@@ -1,0 +1,128 @@
+//! Engine micro-benchmarks: scans, joins (hash vs nested loop),
+//! aggregation, and set operations over a generated database.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use fisql_engine::{execute, Database};
+use fisql_spider::{
+    data_gen::{populate, DataGenOptions},
+    schema_gen::{generate_schema, SchemaGenOptions},
+    vocab::THEMES,
+};
+use fisql_sqlkit::parse_query;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_db(rows: usize) -> Database {
+    let mut rng = StdRng::seed_from_u64(0xBE7C);
+    let opts = SchemaGenOptions {
+        min_tables: 6,
+        max_tables: 6,
+        ..Default::default()
+    };
+    let mut db = generate_schema(&THEMES[1], 0, &opts, &mut rng);
+    populate(
+        &mut db,
+        &THEMES[1],
+        &DataGenOptions {
+            min_rows: rows,
+            max_rows: rows,
+            null_probability: 0.05,
+        },
+        &mut rng,
+    );
+    db
+}
+
+fn first_two_fk_tables(db: &Database) -> Option<(String, String, String, String)> {
+    for t in &db.tables {
+        if let Some(fk) = t.foreign_keys.first() {
+            let target = db.table(&fk.ref_table)?;
+            return Some((
+                t.name.clone(),
+                t.columns[fk.column].name.clone(),
+                target.name.clone(),
+                target.columns[fk.ref_column].name.clone(),
+            ));
+        }
+    }
+    None
+}
+
+fn bench_scan_filter(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scan_filter");
+    for rows in [50usize, 200, 1000] {
+        let db = bench_db(rows);
+        let t = db.tables[0].name.clone();
+        let q = parse_query(&format!("SELECT COUNT(*) FROM {t} WHERE {t}_id % 3 = 0")).unwrap();
+        g.bench_with_input(BenchmarkId::from_parameter(rows), &rows, |b, _| {
+            b.iter(|| execute(black_box(&db), black_box(&q)).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_joins(c: &mut Criterion) {
+    let db = bench_db(400);
+    let Some((child, fk_col, parent, pk_col)) = first_two_fk_tables(&db) else {
+        return;
+    };
+    // Hash-joinable equality constraint.
+    let hash = parse_query(&format!(
+        "SELECT COUNT(*) FROM {child} JOIN {parent} ON {child}.{fk_col} = {parent}.{pk_col}"
+    ))
+    .unwrap();
+    // Non-equi constraint forces the nested loop.
+    let nested = parse_query(&format!(
+        "SELECT COUNT(*) FROM {child} JOIN {parent} ON {child}.{fk_col} > {parent}.{pk_col}"
+    ))
+    .unwrap();
+    let mut g = c.benchmark_group("join");
+    g.bench_function("hash_equi", |b| {
+        b.iter(|| execute(black_box(&db), black_box(&hash)).unwrap())
+    });
+    g.bench_function("nested_loop", |b| {
+        b.iter(|| execute(black_box(&db), black_box(&nested)).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_aggregate(c: &mut Criterion) {
+    let db = bench_db(1000);
+    let t = &db.tables[0];
+    let text_col = t
+        .columns
+        .iter()
+        .find(|c| c.dtype == fisql_engine::DataType::Text)
+        .map(|c| c.name.clone())
+        .unwrap_or_else(|| t.columns[1].name.clone());
+    let q = parse_query(&format!(
+        "SELECT {text_col}, COUNT(*) FROM {} GROUP BY {text_col} HAVING COUNT(*) > 1",
+        t.name
+    ))
+    .unwrap();
+    c.bench_function("aggregate/group_having", |b| {
+        b.iter(|| execute(black_box(&db), black_box(&q)).unwrap())
+    });
+}
+
+fn bench_set_ops(c: &mut Criterion) {
+    let db = bench_db(500);
+    let t = db.tables[0].name.clone();
+    let col = db.tables[0].columns[1].name.clone();
+    let q = parse_query(&format!(
+        "SELECT {col} FROM {t} UNION SELECT {col} FROM {t} EXCEPT SELECT {col} FROM {t} LIMIT 1"
+    ))
+    .unwrap();
+    c.bench_function("set_ops/union_except", |b| {
+        b.iter(|| execute(black_box(&db), black_box(&q)).unwrap())
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_scan_filter,
+    bench_joins,
+    bench_aggregate,
+    bench_set_ops
+);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Figure 2 as a Criterion benchmark: the zero-shot evaluation pipeline
+//! end to end (corpus-cached; measures generation + execution + scoring).
+//!
+//! The experiment binary `exp_fig2` reports the accuracy numbers; this
+//! bench tracks the throughput of regenerating the figure.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use fisql_core::zero_shot_report;
+use fisql_llm::{LlmConfig, SimLlm};
+use fisql_spider::{build_aep, build_spider, AepConfig, SpiderConfig};
+
+fn bench_zero_shot(c: &mut Criterion) {
+    let spider = build_spider(&SpiderConfig::small(0xF16));
+    let aep = build_aep(&AepConfig {
+        n_examples: 60,
+        seed: 0xF16,
+    });
+    let llm = SimLlm::new(LlmConfig::default());
+
+    let mut g = c.benchmark_group("fig2_zero_shot");
+    g.sample_size(20);
+    g.bench_function("spider_like", |b| {
+        b.iter(|| zero_shot_report(black_box(&spider), black_box(&llm)))
+    });
+    g.bench_function("aep_like", |b| {
+        b.iter(|| zero_shot_report(black_box(&aep), black_box(&llm)))
+    });
+    g.finish();
+
+    // Sanity: the figure's headline ordering holds at bench scale too.
+    let s = zero_shot_report(&spider, &llm).accuracy();
+    let a = zero_shot_report(&aep, &llm).accuracy();
+    assert!(s > a, "figure 2 ordering violated: spider {s} vs aep {a}");
+}
+
+fn bench_corpus_generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("corpus_generation");
+    g.sample_size(10);
+    g.bench_function("spider_small", |b| {
+        b.iter(|| build_spider(&SpiderConfig::small(black_box(7))))
+    });
+    g.bench_function("aep_60", |b| {
+        b.iter(|| {
+            build_aep(&AepConfig {
+                n_examples: 60,
+                seed: black_box(7),
+            })
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_zero_shot, bench_corpus_generation);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Figure 8 as a Criterion benchmark: the multi-round correction driver
+//! at one and two rounds, for FISQL and its routing ablation.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use fisql_bench::{annotated_cases, Scale, Setup};
+use fisql_core::{run_correction, Strategy};
+
+fn bench_rounds(c: &mut Criterion) {
+    let setup = Setup::new(Scale::Small, 0xF18);
+    let (_, cases) = annotated_cases(&setup, &setup.spider);
+    assert!(!cases.is_empty());
+
+    let mut g = c.benchmark_group("fig8_rounds");
+    g.sample_size(15);
+    for rounds in [1usize, 2, 3] {
+        for (name, routing) in [("fisql", true), ("no_routing", false)] {
+            g.bench_with_input(BenchmarkId::new(name, rounds), &rounds, |b, &rounds| {
+                b.iter(|| {
+                    run_correction(
+                        black_box(&setup.spider),
+                        black_box(&cases),
+                        Strategy::Fisql {
+                            routing,
+                            highlighting: false,
+                        },
+                        rounds,
+                        &setup.llm,
+                        &setup.user,
+                    )
+                })
+            });
+        }
+    }
+    g.finish();
+
+    // Monotonicity sanity at bench scale.
+    let r = run_correction(
+        &setup.spider,
+        &cases,
+        Strategy::Fisql {
+            routing: true,
+            highlighting: false,
+        },
+        3,
+        &setup.llm,
+        &setup.user,
+    );
+    assert!(r.corrected_after_round.windows(2).all(|w| w[0] <= w[1]));
+}
+
+criterion_group!(benches, bench_rounds);
+criterion_main!(benches);

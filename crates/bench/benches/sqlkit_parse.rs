@@ -1,0 +1,55 @@
+//! Substrate micro-benchmarks: SQL lexing, parsing, printing, diffing,
+//! and normalization throughput.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use fisql_sqlkit::{diff_queries, normalize_query, parse_query, print_query};
+
+const SIMPLE: &str = "SELECT name FROM singer WHERE age > 30";
+const MEDIUM: &str = "SELECT country, COUNT(*) FROM singer \
+    JOIN singer_in_concert ON singer.singer_id = singer_in_concert.singer_id \
+    WHERE age BETWEEN 20 AND 50 GROUP BY country HAVING COUNT(*) > 2 \
+    ORDER BY COUNT(*) DESC LIMIT 10";
+const COMPLEX: &str = "SELECT a.name, (SELECT COUNT(*) FROM t2 WHERE t2.aid = a.id) FROM t1 a \
+    LEFT JOIN t3 ON a.id = t3.aid \
+    WHERE a.x IN (SELECT y FROM t4 WHERE z LIKE '%w%') AND NOT (a.p = 1 OR a.q = 2) \
+    GROUP BY a.name HAVING SUM(a.v) > 100 \
+    UNION SELECT b.name, 0 FROM t5 b ORDER BY 1 ASC LIMIT 50 OFFSET 5";
+
+fn bench_parse(c: &mut Criterion) {
+    let mut g = c.benchmark_group("parse");
+    for (name, sql) in [("simple", SIMPLE), ("medium", MEDIUM), ("complex", COMPLEX)] {
+        g.bench_function(name, |b| b.iter(|| parse_query(black_box(sql)).unwrap()));
+    }
+    g.finish();
+}
+
+fn bench_print(c: &mut Criterion) {
+    let q = parse_query(COMPLEX).unwrap();
+    c.bench_function("print/complex", |b| b.iter(|| print_query(black_box(&q))));
+}
+
+fn bench_normalize(c: &mut Criterion) {
+    let q = parse_query(MEDIUM).unwrap();
+    c.bench_function("normalize/medium", |b| {
+        b.iter(|| normalize_query(black_box(&q)))
+    });
+}
+
+fn bench_diff(c: &mut Criterion) {
+    let p =
+        parse_query("SELECT COUNT(*) FROM s WHERE y >= '2023-01-01' AND y < '2023-02-01'").unwrap();
+    let g =
+        parse_query("SELECT COUNT(*) FROM s WHERE y >= '2024-01-01' AND y < '2024-02-01'").unwrap();
+    c.bench_function("diff/year_shift", |b| {
+        b.iter(|| diff_queries(black_box(&p), black_box(&g)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_parse,
+    bench_print,
+    bench_normalize,
+    bench_diff
+);
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! Table 2 as a Criterion benchmark: one-round feedback incorporation for
+//! each strategy over a cached annotated error set, plus the single-step
+//! latencies of the two pipelines.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use fisql_bench::{annotated_cases, Scale, Setup};
+use fisql_core::{incorporate, run_correction, IncorporateContext, Strategy};
+use fisql_sqlkit::normalize_query;
+
+fn bench_table2(c: &mut Criterion) {
+    let setup = Setup::new(Scale::Small, 0x7AB2);
+    let (_, cases) = annotated_cases(&setup, &setup.spider);
+    assert!(!cases.is_empty(), "no annotated cases at bench scale");
+
+    let strategies = [
+        (
+            "fisql",
+            Strategy::Fisql {
+                routing: true,
+                highlighting: false,
+            },
+        ),
+        (
+            "fisql_no_routing",
+            Strategy::Fisql {
+                routing: false,
+                highlighting: false,
+            },
+        ),
+        ("query_rewrite", Strategy::QueryRewrite),
+    ];
+
+    let mut g = c.benchmark_group("table2_one_round");
+    g.sample_size(20);
+    for (name, strategy) in strategies {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                run_correction(
+                    black_box(&setup.spider),
+                    black_box(&cases),
+                    strategy,
+                    1,
+                    &setup.llm,
+                    &setup.user,
+                )
+            })
+        });
+    }
+    g.finish();
+
+    // Single-step latency of one incorporation call.
+    let case = &cases[0];
+    let example = &setup.spider.examples[case.error.example_idx];
+    let db = setup.spider.database(example);
+    let previous = normalize_query(&case.error.initial);
+    let mut g = c.benchmark_group("incorporate_step");
+    for (name, strategy) in [
+        (
+            "fisql",
+            Strategy::Fisql {
+                routing: true,
+                highlighting: false,
+            },
+        ),
+        ("query_rewrite", Strategy::QueryRewrite),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                incorporate(
+                    strategy,
+                    &setup.llm,
+                    &IncorporateContext {
+                        db,
+                        example,
+                        question: &example.question,
+                        previous: black_box(&previous),
+                        feedback: &case.feedback,
+                        round: 0,
+                    },
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

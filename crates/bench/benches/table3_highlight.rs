@@ -1,0 +1,82 @@
+//! Table 3 as a Criterion benchmark: interpretation with and without
+//! highlight grounding, plus the span-map construction itself.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use fisql_bench::{annotated_cases, Scale, Setup};
+use fisql_core::{interpret, run_correction, Strategy};
+use fisql_sqlkit::{normalize_query, print_query_spanned, OpClass, Span};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_highlight(c: &mut Criterion) {
+    let setup = Setup::new(Scale::Small, 0x7AB3);
+    let (_, cases) = annotated_cases(&setup, &setup.aep);
+    assert!(!cases.is_empty());
+
+    let mut g = c.benchmark_group("table3_highlight");
+    g.sample_size(15);
+    for (name, highlighting) in [("plain", false), ("highlighting", true)] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                run_correction(
+                    black_box(&setup.aep),
+                    black_box(&cases),
+                    Strategy::Fisql {
+                        routing: true,
+                        highlighting,
+                    },
+                    1,
+                    &setup.llm,
+                    &setup.user,
+                )
+            })
+        });
+    }
+    g.finish();
+
+    // Micro: interpretation latency with a highlight attached.
+    let predicted = normalize_query(
+        &fisql_sqlkit::parse_query(
+            "SELECT COUNT(*) FROM hkg_dim_segment \
+             WHERE createdTime >= '2023-01-01' AND createdTime < '2023-02-01'",
+        )
+        .unwrap(),
+    );
+    let db = &setup.aep.databases[0];
+    let spanned = print_query_spanned(&predicted);
+    let hl: Span = spanned.span_of(&fisql_sqlkit::ClausePath::Where).unwrap();
+    let mut group = c.benchmark_group("interpret");
+    group.bench_function("with_highlight", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(1);
+            interpret(
+                black_box("change to 2024"),
+                &predicted,
+                db,
+                Some(OpClass::Edit),
+                Some(hl),
+                &mut rng,
+            )
+        })
+    });
+    group.bench_function("without_highlight", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(1);
+            interpret(
+                black_box("we are in 2024"),
+                &predicted,
+                db,
+                Some(OpClass::Edit),
+                None,
+                &mut rng,
+            )
+        })
+    });
+    group.bench_function("span_map_build", |b| {
+        b.iter(|| print_query_spanned(black_box(&predicted)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_highlight);
+criterion_main!(benches);

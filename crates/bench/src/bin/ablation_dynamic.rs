@@ -1,0 +1,50 @@
+//! Extension experiment: fixed vs dynamic routing demonstrations.
+//!
+//! The paper's §5 proposes enhancing the routing mechanism "with dynamic
+//! example selection based on query structure and feedback" as future
+//! work. This binary measures that extension against the paper's fixed
+//! per-type demonstration sets.
+//!
+//! Run: `cargo run --release -p fisql-bench --bin ablation_dynamic`
+
+use fisql_bench::{annotated_cases, correction, pct, Setup};
+use fisql_core::Strategy;
+
+fn main() {
+    let setup = Setup::from_env();
+    println!(
+        "# Extension — fixed vs dynamic routing demonstrations (seed {})\n",
+        setup.seed
+    );
+
+    let (_, spider_cases) = annotated_cases(&setup, &setup.spider);
+    let (_, aep_cases) = annotated_cases(&setup, &setup.aep);
+
+    println!("{:<26} {:>12} {:>12}", "Method", "EP", "SPIDER");
+    let mut rows = Vec::new();
+    for strategy in [
+        Strategy::Fisql {
+            routing: true,
+            highlighting: false,
+        },
+        Strategy::FisqlDynamic,
+    ] {
+        let ep = correction(&setup, &setup.aep, &aep_cases, strategy, 1);
+        let sp = correction(&setup, &setup.spider, &spider_cases, strategy, 1);
+        println!(
+            "{:<26} {:>12} {:>12}",
+            strategy.name(),
+            pct(ep.corrected_after_round[0], ep.total),
+            pct(sp.corrected_after_round[0], sp.total)
+        );
+        rows.push(serde_json::json!({
+            "method": strategy.name(),
+            "ep_pct": 100.0 * ep.corrected_after_round[0] as f64 / ep.total.max(1) as f64,
+            "spider_pct": 100.0 * sp.corrected_after_round[0] as f64 / sp.total.max(1) as f64,
+        }));
+    }
+    println!(
+        "\n{}",
+        serde_json::json!({"ablation": "dynamic-routing", "rows": rows})
+    );
+}

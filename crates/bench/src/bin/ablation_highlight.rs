@@ -1,0 +1,61 @@
+//! Ablation: highlight-coverage sweep.
+//!
+//! DESIGN.md §5 — Table 3 reports highlighting fully available; this
+//! sweep varies how often users actually attach a highlight, mapping the
+//! engagement→benefit curve of the interface feature.
+//!
+//! Run: `cargo run --release -p fisql-bench --bin ablation_highlight`
+
+use fisql_bench::{annotated_cases, correction, pct, Setup};
+use fisql_core::Strategy;
+use fisql_feedback::{SimUser, UserConfig};
+
+fn main() {
+    let base = Setup::from_env();
+    println!(
+        "# Ablation — highlight coverage sweep (seed {})\n",
+        base.seed
+    );
+
+    println!("{:<14} {:>14} {:>14}", "p(highlight)", "SPIDER", "EP");
+    let mut rows = Vec::new();
+    for p_highlight in [0.0, 0.25, 0.5, 0.75, 1.0] {
+        let mut setup = Setup::new(fisql_bench::Scale::from_env(), base.seed);
+        setup.user = SimUser::new(UserConfig {
+            seed: base.seed ^ 0x05E4,
+            p_highlight,
+            ..Default::default()
+        });
+        let mut pcts = Vec::new();
+        for corpus in [&setup.spider, &setup.aep] {
+            let (_, cases) = annotated_cases(&setup, corpus);
+            let report = correction(
+                &setup,
+                corpus,
+                &cases,
+                Strategy::Fisql {
+                    routing: true,
+                    highlighting: true,
+                },
+                1,
+            );
+            pcts.push((report.corrected_after_round[0], report.total));
+        }
+        println!(
+            "{:<14.2} {:>14} {:>14}",
+            p_highlight,
+            pct(pcts[0].0, pcts[0].1),
+            pct(pcts[1].0, pcts[1].1)
+        );
+        rows.push(serde_json::json!({
+            "p_highlight": p_highlight,
+            "spider_pct": 100.0 * pcts[0].0 as f64 / pcts[0].1.max(1) as f64,
+            "ep_pct": 100.0 * pcts[1].0 as f64 / pcts[1].1.max(1) as f64,
+        }));
+    }
+    println!("\n(p = 0 reduces to plain FISQL; p = 1 is Table 3's '+ Highlighting' row)");
+    println!(
+        "\n{}",
+        serde_json::json!({"ablation": "highlight", "rows": rows})
+    );
+}

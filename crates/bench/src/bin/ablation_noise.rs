@@ -1,0 +1,63 @@
+//! Ablation: feedback-misalignment sweep.
+//!
+//! DESIGN.md §5 — the paper's error cause (c): "user feedback being
+//! misaligned with the correction required". This sweep varies the
+//! simulated user's misalignment probability and measures how much of
+//! FISQL's one-round correction rate it costs.
+//!
+//! Run: `cargo run --release -p fisql-bench --bin ablation_noise`
+
+use fisql_bench::{annotated_cases, correction, pct, Setup};
+use fisql_core::Strategy;
+use fisql_feedback::{SimUser, UserConfig};
+
+fn main() {
+    let base = Setup::from_env();
+    println!(
+        "# Ablation — feedback misalignment sweep (seed {})\n",
+        base.seed
+    );
+
+    println!("{:<14} {:>14} {:>14}", "p(misalign)", "SPIDER", "EP");
+    let mut rows = Vec::new();
+    for p_misalign in [0.0, 0.04, 0.08, 0.15, 0.30, 0.50] {
+        let mut setup = Setup::new(fisql_bench::Scale::from_env(), base.seed);
+        setup.user = SimUser::new(UserConfig {
+            seed: base.seed ^ 0x05E4,
+            p_misalign,
+            ..Default::default()
+        });
+        let mut pcts = Vec::new();
+        for corpus in [&setup.spider, &setup.aep] {
+            // Re-annotate under this noise level (misalignment changes the
+            // feedback itself, not just its interpretation).
+            let (_, cases) = annotated_cases(&setup, corpus);
+            let report = correction(
+                &setup,
+                corpus,
+                &cases,
+                Strategy::Fisql {
+                    routing: true,
+                    highlighting: false,
+                },
+                1,
+            );
+            pcts.push((report.corrected_after_round[0], report.total));
+        }
+        println!(
+            "{:<14.2} {:>14} {:>14}",
+            p_misalign,
+            pct(pcts[0].0, pcts[0].1),
+            pct(pcts[1].0, pcts[1].1)
+        );
+        rows.push(serde_json::json!({
+            "p_misalign": p_misalign,
+            "spider_pct": 100.0 * pcts[0].0 as f64 / pcts[0].1.max(1) as f64,
+            "ep_pct": 100.0 * pcts[1].0 as f64 / pcts[1].1.max(1) as f64,
+        }));
+    }
+    println!(
+        "\n{}",
+        serde_json::json!({"ablation": "misalignment", "rows": rows})
+    );
+}

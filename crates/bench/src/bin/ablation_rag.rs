@@ -1,0 +1,49 @@
+//! Ablation: RAG demonstration-budget sweep.
+//!
+//! DESIGN.md §5 — how few-shot demonstrations affect the Assistant's
+//! first-pass accuracy (and therefore the size of the error set feedback
+//! has to fix). The paper's production pipeline uses RAG demonstrations
+//! (§3.2); Figure 2's zero-shot setting is the 0-demo point of this
+//! sweep.
+//!
+//! Run: `cargo run --release -p fisql-bench --bin ablation_rag`
+
+use fisql_bench::Setup;
+use fisql_core::Assistant;
+use fisql_spider::evaluate;
+
+fn main() {
+    let setup = Setup::from_env();
+    println!(
+        "# Ablation — demonstration budget sweep (seed {})\n",
+        setup.seed
+    );
+
+    println!("{:<8} {:>16} {:>16}", "demos", "SPIDER acc", "AEP acc");
+    let mut rows = Vec::new();
+    for demos in [0usize, 1, 3, 5, 8] {
+        let mut accs = Vec::new();
+        for corpus in [&setup.spider, &setup.aep] {
+            let assistant = Assistant::for_corpus(corpus, setup.llm.clone(), demos);
+            let preds: Vec<(usize, fisql_sqlkit::Query)> = corpus
+                .examples
+                .iter()
+                .enumerate()
+                .map(|(i, e)| (i, assistant.answer(corpus.database(e), e, 0).query))
+                .collect();
+            let report = evaluate(corpus, preds.iter().map(|(i, q)| (&corpus.examples[*i], q)));
+            accs.push(report.accuracy());
+        }
+        println!(
+            "{:<8} {:>15.1}% {:>15.1}%",
+            demos,
+            100.0 * accs[0],
+            100.0 * accs[1]
+        );
+        rows.push(serde_json::json!({
+            "demos": demos, "spider": accs[0], "aep": accs[1],
+        }));
+    }
+    println!("\n(0 demos = Figure 2's zero-shot points)");
+    println!("\n{}", serde_json::json!({"ablation": "rag", "rows": rows}));
+}

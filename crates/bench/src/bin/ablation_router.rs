@@ -1,0 +1,51 @@
+//! Ablation: router-accuracy sweep.
+//!
+//! DESIGN.md §5 — how the one-round correction rate degrades as the
+//! feedback-type classifier is corrupted, from a perfect router down to
+//! near-random routing. The paper only reports routing fully on vs fully
+//! off (Table 2); this sweep maps the space between.
+//!
+//! Run: `cargo run --release -p fisql-bench --bin ablation_router`
+
+use fisql_bench::{annotated_cases, correction, pct, Setup};
+use fisql_core::Strategy;
+use fisql_llm::SimLlm;
+
+fn main() {
+    let mut setup = Setup::from_env();
+    println!("# Ablation — router noise sweep (seed {})\n", setup.seed);
+    let (_, cases) = annotated_cases(&setup, &setup.spider);
+    println!("annotated SPIDER cases: {}\n", cases.len());
+
+    println!("{:<14} {:>22}", "router noise", "% corrected (1 round)");
+    let mut rows = Vec::new();
+    for noise in [0.0, 0.06, 0.15, 0.30, 0.50, 0.6667] {
+        let mut cfg = setup.llm.cfg;
+        cfg.calibration.router_noise = noise;
+        setup.llm = SimLlm::new(cfg);
+        let report = correction(
+            &setup,
+            &setup.spider,
+            &cases,
+            Strategy::Fisql {
+                routing: true,
+                highlighting: false,
+            },
+            1,
+        );
+        println!(
+            "{:<14.2} {:>22}",
+            noise,
+            pct(report.corrected_after_round[0], report.total)
+        );
+        rows.push(serde_json::json!({
+            "noise": noise,
+            "pct": 100.0 * report.corrected_after_round[0] as f64 / report.total.max(1) as f64,
+        }));
+    }
+    println!("\n(noise 0.67 ≈ uniform routing; compare the FISQL(- Routing) row of Table 2)");
+    println!(
+        "\n{}",
+        serde_json::json!({"ablation": "router", "rows": rows})
+    );
+}

@@ -1,0 +1,73 @@
+//! Diagnostic: failure-mode breakdown for FISQL round-1 corrections.
+//! Not part of the paper's tables; used for calibration analysis.
+
+use fisql_bench::{annotated_cases, Setup};
+use fisql_core::{incorporate, IncorporateContext, Strategy};
+use fisql_spider::check_prediction;
+use fisql_sqlkit::{diff_queries, normalize_query};
+
+fn main() {
+    let setup = Setup::from_env();
+    for (name, corpus) in [("SPIDER", &setup.spider), ("EP", &setup.aep)] {
+        let (_, cases) = annotated_cases(&setup, corpus);
+        let mut ok = 0;
+        let mut misaligned = 0;
+        let mut interp_fail = 0;
+        let mut ambiguous_wrong = 0;
+        let mut apply_fail = 0;
+        let mut partial_multi = 0;
+        let mut other = 0;
+        let mut initial_multi = 0;
+        for case in &cases {
+            let example = &corpus.examples[case.error.example_idx];
+            let db = corpus.database(example);
+            let previous = normalize_query(&case.error.initial);
+            let d0 = diff_queries(&previous, &example.gold);
+            let edits_needed_multi =
+                fisql_feedback::year_shift_target(&d0).is_none() && d0.len() > 1;
+            if edits_needed_multi {
+                initial_multi += 1;
+            }
+            let out = incorporate(
+                Strategy::Fisql {
+                    routing: true,
+                    highlighting: false,
+                },
+                &setup.llm,
+                &IncorporateContext {
+                    db,
+                    example,
+                    question: &example.question,
+                    previous: &previous,
+                    feedback: &case.feedback,
+                    round: 0,
+                },
+            );
+            if check_prediction(db, example, &out.query).is_correct() {
+                ok += 1;
+                continue;
+            }
+            if case.feedback.misaligned {
+                misaligned += 1;
+            } else if let Some(i) = &out.interpretation {
+                if i.candidates == 0 {
+                    interp_fail += 1;
+                } else if out.query == previous {
+                    apply_fail += 1;
+                } else if edits_needed_multi {
+                    partial_multi += 1;
+                } else if i.candidates > 1 {
+                    ambiguous_wrong += 1;
+                } else {
+                    other += 1;
+                }
+            } else {
+                other += 1;
+            }
+        }
+        println!(
+            "{name}: total {} ok {} | misaligned {} interp-fail {} apply-fail {} multi-partial {} ambiguous {} other {} (initial multi-edit {})",
+            cases.len(), ok, misaligned, interp_fail, apply_fail, partial_multi, ambiguous_wrong, other, initial_multi
+        );
+    }
+}

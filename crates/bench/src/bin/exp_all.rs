@@ -1,0 +1,125 @@
+//! Runs every experiment of the paper in sequence and prints a combined
+//! paper-vs-measured summary (the source for EXPERIMENTS.md).
+//!
+//! Run: `cargo run --release -p fisql-bench --bin exp_all`
+
+use fisql_bench::{annotated_cases, correction, Setup};
+use fisql_core::{zero_shot_report, Strategy};
+
+fn main() {
+    let setup = Setup::from_env();
+    println!("# FISQL — full experiment suite (seed {})\n", setup.seed);
+
+    // Figure 2.
+    let spider_zs = zero_shot_report(&setup.spider, &setup.llm);
+    let aep_zs = zero_shot_report(&setup.aep, &setup.llm);
+
+    // §4.1 statistics.
+    let (spider_errors, spider_cases) = annotated_cases(&setup, &setup.spider);
+    let (aep_errors, aep_cases) = annotated_cases(&setup, &setup.aep);
+
+    // Tables 2-3.
+    let fisql = Strategy::Fisql {
+        routing: true,
+        highlighting: false,
+    };
+    let no_routing = Strategy::Fisql {
+        routing: false,
+        highlighting: false,
+    };
+    let highlighting = Strategy::Fisql {
+        routing: true,
+        highlighting: true,
+    };
+    let p = |r: &fisql_core::CorrectionReport, round: usize| r.pct_after(round);
+
+    let qr_ep = correction(&setup, &setup.aep, &aep_cases, Strategy::QueryRewrite, 1);
+    let qr_sp = correction(
+        &setup,
+        &setup.spider,
+        &spider_cases,
+        Strategy::QueryRewrite,
+        1,
+    );
+    let nr_sp = correction(&setup, &setup.spider, &spider_cases, no_routing, 2);
+    let nr_ep = correction(&setup, &setup.aep, &aep_cases, no_routing, 1);
+    let fi_ep = correction(&setup, &setup.aep, &aep_cases, fisql, 1);
+    let fi_sp = correction(&setup, &setup.spider, &spider_cases, fisql, 2);
+    let hl_ep = correction(&setup, &setup.aep, &aep_cases, highlighting, 1);
+    let hl_sp = correction(&setup, &setup.spider, &spider_cases, highlighting, 1);
+
+    println!("| Experiment                        | Paper  | Measured |");
+    println!("|-----------------------------------|--------|----------|");
+    println!(
+        "| Fig 2: SPIDER zero-shot accuracy  | 68.6%  | {:>7.1}% |",
+        100.0 * spider_zs.accuracy()
+    );
+    println!(
+        "| Fig 2: AEP zero-shot accuracy     | 24.0%  | {:>7.1}% |",
+        100.0 * aep_zs.accuracy()
+    );
+    println!(
+        "| §4.1: SPIDER errors               | 243/1034 | {}/{} |",
+        spider_errors,
+        setup.spider.examples.len()
+    );
+    println!(
+        "| §4.1: annotated SPIDER feedback   | 101 (~41%) | {} ({:.0}%) |",
+        spider_cases.len(),
+        100.0 * spider_cases.len() as f64 / spider_errors.max(1) as f64
+    );
+    println!(
+        "| §4.1: EP feedback set             | 53     | {} (of {} errors) |",
+        aep_cases.len(),
+        aep_errors
+    );
+    println!(
+        "| T2: Query Rewrite EP / SPIDER     | 35.85 / 16.83 | {:.2} / {:.2} |",
+        p(&qr_ep, 1),
+        p(&qr_sp, 1)
+    );
+    println!(
+        "| T2: FISQL(-Routing) SPIDER        | 43.56  | {:>7.2} |",
+        p(&nr_sp, 1)
+    );
+    println!(
+        "| T2: FISQL(-Routing) EP            | —      | {:>7.2} |",
+        p(&nr_ep, 1)
+    );
+    println!(
+        "| T2: FISQL EP / SPIDER             | 67.92 / 44.55 | {:.2} / {:.2} |",
+        p(&fi_ep, 1),
+        p(&fi_sp, 1)
+    );
+    println!(
+        "| F8: FISQL round 2 (SPIDER)        | ~60    | {:>7.2} |",
+        p(&fi_sp, 2)
+    );
+    println!(
+        "| F8: (-Routing) round 2 (SPIDER)   | ~59    | {:>7.2} |",
+        p(&nr_sp, 2)
+    );
+    println!(
+        "| T3: FISQL+Highlight EP / SPIDER   | 69.81 / 44.55 | {:.2} / {:.2} |",
+        p(&hl_ep, 1),
+        p(&hl_sp, 1)
+    );
+
+    let json = serde_json::json!({
+        "seed": setup.seed,
+        "fig2": {"spider": spider_zs.accuracy(), "aep": aep_zs.accuracy()},
+        "errors": {"spider": spider_errors, "spider_annotated": spider_cases.len(),
+                    "aep": aep_errors, "aep_annotated": aep_cases.len()},
+        "table2": {
+            "query_rewrite": {"ep": p(&qr_ep, 1), "spider": p(&qr_sp, 1)},
+            "fisql_no_routing": {"ep": p(&nr_ep, 1), "spider": p(&nr_sp, 1)},
+            "fisql": {"ep": p(&fi_ep, 1), "spider": p(&fi_sp, 1)},
+        },
+        "fig8": {"fisql": fi_sp.corrected_after_round, "no_routing": nr_sp.corrected_after_round,
+                  "total": spider_cases.len()},
+        "table3": {
+            "fisql_highlight": {"ep": p(&hl_ep, 1), "spider": p(&hl_sp, 1)},
+        },
+    });
+    println!("\n{json}");
+}

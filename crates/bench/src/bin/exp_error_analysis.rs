@@ -1,0 +1,37 @@
+//! §4.2 — error analysis: why feedback rounds fail.
+//!
+//! The paper attributes residual errors to (a) multiple errors needing
+//! multiple rounds, (b) failure to interpret/apply the feedback, and (c)
+//! misaligned feedback. This binary quantifies that taxonomy for every
+//! strategy on both datasets.
+//!
+//! Run: `cargo run --release -p fisql-bench --bin exp_error_analysis`
+
+use fisql_bench::{annotated_cases, Setup};
+use fisql_core::{analyze_round, Strategy};
+
+fn main() {
+    let setup = Setup::from_env();
+    println!("# §4.2 — error analysis (seed {})\n", setup.seed);
+    let (_, spider_cases) = annotated_cases(&setup, &setup.spider);
+    let (_, aep_cases) = annotated_cases(&setup, &setup.aep);
+
+    let mut reports = Vec::new();
+    for (corpus, cases) in [(&setup.spider, &spider_cases), (&setup.aep, &aep_cases)] {
+        for strategy in [
+            Strategy::Fisql {
+                routing: true,
+                highlighting: false,
+            },
+            Strategy::QueryRewrite,
+        ] {
+            let a = analyze_round(corpus, cases, strategy, &setup.llm);
+            println!("{}", a.render());
+            reports.push(a);
+        }
+    }
+    println!(
+        "{}",
+        serde_json::to_string(&reports).expect("reports serialize")
+    );
+}

@@ -1,0 +1,64 @@
+//! Figure 2 — zero-shot NL2SQL accuracy: SPIDER vs AEP.
+//!
+//! Paper values: SPIDER 68.6%, AEP 24.0%. Also prints the §4.1 error
+//! statistics (gpt-3.5 errs on 243/1034 SPIDER dev questions; ~41%
+//! annotated).
+//!
+//! Run: `cargo run --release -p fisql-bench --bin exp_fig2`
+//! (set `FISQL_SCALE=small` for a quick pass).
+
+use fisql_bench::{annotated_cases, Setup};
+use fisql_core::zero_shot_report;
+
+fn main() {
+    let setup = Setup::from_env();
+    println!("# Figure 2 — zero-shot accuracy (seed {})\n", setup.seed);
+
+    let spider = zero_shot_report(&setup.spider, &setup.llm);
+    let aep = zero_shot_report(&setup.aep, &setup.llm);
+
+    println!("{:<18} {:>10} {:>12}", "dataset", "accuracy", "paper");
+    println!(
+        "{:<18} {:>9.1}% {:>12}",
+        "SPIDER (ours)",
+        100.0 * spider.accuracy(),
+        "68.6%"
+    );
+    println!(
+        "{:<18} {:>9.1}% {:>12}",
+        "AEP (ours)",
+        100.0 * aep.accuracy(),
+        "24.0%"
+    );
+    println!(
+        "\nPer-hardness breakdown (SPIDER-like):\n{}",
+        spider.render()
+    );
+
+    // §4.1 error statistics, measured with the production (few-shot RAG)
+    // Assistant like the paper's collection protocol.
+    let (spider_errors, spider_annotated) = annotated_cases(&setup, &setup.spider);
+    println!("# §4.1 error statistics");
+    println!(
+        "SPIDER-like errors: {}/{} (paper: 243/1034)",
+        spider_errors,
+        setup.spider.examples.len()
+    );
+    println!(
+        "annotated feedback: {} ({:.0}% of errors; paper: 101 ≈ 41%)",
+        spider_annotated.len(),
+        100.0 * spider_annotated.len() as f64 / spider_errors.max(1) as f64
+    );
+
+    let json = serde_json::json!({
+        "figure": 2,
+        "seed": setup.seed,
+        "spider_accuracy": spider.accuracy(),
+        "aep_accuracy": aep.accuracy(),
+        "paper": {"spider": 0.686, "aep": 0.24},
+        "spider_errors": spider_errors,
+        "spider_total": setup.spider.examples.len(),
+        "annotated": spider_annotated.len(),
+    });
+    println!("\n{json}");
+}

@@ -1,0 +1,101 @@
+//! Table 2 — % instances corrected after one feedback round.
+//!
+//! Paper values:
+//!
+//! | Method            | Experience Platform | SPIDER |
+//! |-------------------|---------------------|--------|
+//! | Query Rewrite     | 35.85               | 16.83  |
+//! | FISQL (- Routing) | —                   | 43.56  |
+//! | FISQL             | 67.92               | 44.55  |
+//!
+//! Run: `cargo run --release -p fisql-bench --bin exp_table2`
+//! Pass `--show-examples` to also print Table 1-style feedback examples.
+
+use fisql_bench::{annotated_cases, correction, pct, Setup};
+use fisql_core::Strategy;
+use fisql_sqlkit::OpClass;
+
+fn main() {
+    let show_examples = std::env::args().any(|a| a == "--show-examples");
+    let setup = Setup::from_env();
+    println!("# Table 2 — % instances corrected (seed {})\n", setup.seed);
+
+    let (spider_errors, spider_cases) = annotated_cases(&setup, &setup.spider);
+    let (aep_errors, aep_cases) = annotated_cases(&setup, &setup.aep);
+    println!(
+        "annotated feedback sets: SPIDER {} (of {} errors; paper 101), EP {} (of {} errors; paper 53)\n",
+        spider_cases.len(),
+        spider_errors,
+        aep_cases.len(),
+        aep_errors
+    );
+
+    let strategies = [
+        (Strategy::QueryRewrite, Some(35.85), Some(16.83)),
+        (
+            Strategy::Fisql {
+                routing: false,
+                highlighting: false,
+            },
+            None,
+            Some(43.56),
+        ),
+        (
+            Strategy::Fisql {
+                routing: true,
+                highlighting: false,
+            },
+            Some(67.92),
+            Some(44.55),
+        ),
+    ];
+
+    println!(
+        "{:<20} {:>12} {:>10} {:>12} {:>10}",
+        "Method", "EP (ours)", "EP paper", "SPIDER(ours)", "paper"
+    );
+    let mut rows = Vec::new();
+    for (strategy, ep_paper, spider_paper) in strategies {
+        let ep = correction(&setup, &setup.aep, &aep_cases, strategy, 1);
+        let sp = correction(&setup, &setup.spider, &spider_cases, strategy, 1);
+        println!(
+            "{:<20} {:>12} {:>10} {:>12} {:>10}",
+            strategy.name(),
+            pct(ep.corrected_after_round[0], ep.total),
+            ep_paper.map(|v| format!("{v:.2}")).unwrap_or("-".into()),
+            pct(sp.corrected_after_round[0], sp.total),
+            spider_paper
+                .map(|v| format!("{v:.2}"))
+                .unwrap_or("-".into()),
+        );
+        rows.push(serde_json::json!({
+            "method": strategy.name(),
+            "ep_pct": 100.0 * ep.corrected_after_round[0] as f64 / ep.total.max(1) as f64,
+            "spider_pct": 100.0 * sp.corrected_after_round[0] as f64 / sp.total.max(1) as f64,
+            "ep_paper": ep_paper,
+            "spider_paper": spider_paper,
+        }));
+    }
+
+    if show_examples {
+        println!("\n# Table 1 — example feedback per type");
+        let mut seen = std::collections::HashSet::new();
+        for case in spider_cases.iter().chain(&aep_cases) {
+            let class = case
+                .feedback
+                .intended
+                .first()
+                .map(|e| e.class())
+                .unwrap_or(OpClass::Edit);
+            if seen.insert(class) {
+                println!("{:<8} {}", class.to_string(), case.feedback.text);
+            }
+            if seen.len() >= 3 {
+                break;
+            }
+        }
+    }
+
+    let json = serde_json::json!({"table": 2, "seed": setup.seed, "rows": rows});
+    println!("\n{json}");
+}

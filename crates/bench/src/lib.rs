@@ -1,0 +1,132 @@
+//! Shared harness for the experiment binaries and Criterion benches.
+//!
+//! Every table and figure of the paper has a binary in `src/bin/` that
+//! regenerates it (see DESIGN.md §4); this library holds the common
+//! corpus/model/user construction so all experiments run off identical,
+//! seeded inputs.
+
+#![warn(missing_docs)]
+
+use fisql_core::{
+    annotate_errors, collect_errors, run_correction, AnnotatedCase, CorrectionReport, Strategy,
+};
+use fisql_feedback::{SimUser, UserConfig};
+use fisql_llm::{LlmConfig, SimLlm};
+use fisql_spider::{build_aep, build_spider, AepConfig, Corpus, SpiderConfig};
+
+/// Master seed shared by all experiments unless overridden with
+/// `FISQL_SEED`.
+pub const DEFAULT_SEED: u64 = 0xF15C;
+
+/// Scale of an experiment run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Paper scale: 200 databases / 1034 SPIDER-like questions, 225
+    /// AEP-like questions.
+    Full,
+    /// CI scale: a few databases, a few dozen questions.
+    Small,
+}
+
+impl Scale {
+    /// Reads `FISQL_SCALE=small` from the environment (default: full).
+    pub fn from_env() -> Scale {
+        match std::env::var("FISQL_SCALE").as_deref() {
+            Ok("small") => Scale::Small,
+            _ => Scale::Full,
+        }
+    }
+}
+
+/// Seed from `FISQL_SEED`, defaulting to [`DEFAULT_SEED`].
+pub fn seed_from_env() -> u64 {
+    std::env::var("FISQL_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_SEED)
+}
+
+/// The full experimental setup: both corpora plus model and user.
+pub struct Setup {
+    /// SPIDER-like corpus.
+    pub spider: Corpus,
+    /// AEP-like corpus.
+    pub aep: Corpus,
+    /// The simulated LLM.
+    pub llm: SimLlm,
+    /// The simulated user.
+    pub user: SimUser,
+    /// The seed everything derives from.
+    pub seed: u64,
+}
+
+impl Setup {
+    /// Builds the setup at the given scale and seed.
+    pub fn new(scale: Scale, seed: u64) -> Setup {
+        let spider = match scale {
+            Scale::Full => build_spider(&SpiderConfig {
+                seed,
+                ..Default::default()
+            }),
+            Scale::Small => build_spider(&SpiderConfig::small(seed)),
+        };
+        let aep = match scale {
+            Scale::Full => build_aep(&AepConfig {
+                seed: seed ^ 0xAE9,
+                ..Default::default()
+            }),
+            Scale::Small => build_aep(&AepConfig {
+                n_examples: 60,
+                seed: seed ^ 0xAE9,
+            }),
+        };
+        let llm = SimLlm::new(LlmConfig {
+            seed: seed ^ 0x515E,
+            calibration: Default::default(),
+        });
+        let user = SimUser::new(UserConfig {
+            seed: seed ^ 0x05E4,
+            ..Default::default()
+        });
+        Setup {
+            spider,
+            aep,
+            llm,
+            user,
+            seed,
+        }
+    }
+
+    /// Builds from environment (`FISQL_SCALE`, `FISQL_SEED`).
+    pub fn from_env() -> Setup {
+        Setup::new(Scale::from_env(), seed_from_env())
+    }
+}
+
+/// Error collection + annotation for one corpus (the §4.1 protocol).
+pub fn annotated_cases(setup: &Setup, corpus: &Corpus) -> (usize, Vec<AnnotatedCase>) {
+    let errors = collect_errors(corpus, &setup.llm, 3);
+    let n_errors = errors.len();
+    let annotated = annotate_errors(corpus, &errors, &setup.user);
+    (n_errors, annotated)
+}
+
+/// Runs one strategy and returns its report.
+pub fn correction(
+    setup: &Setup,
+    corpus: &Corpus,
+    cases: &[AnnotatedCase],
+    strategy: Strategy,
+    rounds: usize,
+) -> CorrectionReport {
+    run_correction(corpus, cases, strategy, rounds, &setup.llm, &setup.user)
+}
+
+/// Formats a percentage the way the paper's tables do.
+pub fn pct(n: usize, total: usize) -> String {
+    if total == 0 {
+        "-".to_string()
+    } else {
+        format!("{:.2}", 100.0 * n as f64 / total as f64)
+    }
+}

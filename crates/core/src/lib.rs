@@ -1,0 +1,38 @@
+//! # fisql-core
+//!
+//! FISQL — Feedback-Infused SQL generation (Menon et al., EDBT 2025) —
+//! the paper's primary contribution: an interactive human-in-the-loop
+//! NL2SQL correction pipeline.
+//!
+//! - [`assistant`]: the NL2SQL front end (§3.2) returning execution
+//!   result, reformulation, step-by-step explanation, and SQL.
+//! - [`interpret`]: grounding natural-language feedback onto clause-level
+//!   edits of the previous query.
+//! - [`pipeline`]: the two-step feedback incorporation (§3.3) with the
+//!   routing and highlighting switches, plus the Query Rewrite baseline.
+//! - [`refine`]: incremental query building (§5 future work).
+//! - [`session`]: the chat surface (Figures 3-4).
+//! - [`experiment`]: drivers regenerating the paper's evaluation (§4).
+
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod assistant;
+pub mod experiment;
+pub mod explain;
+pub mod interpret;
+pub mod pipeline;
+pub mod refine;
+pub mod session;
+
+pub use analysis::{analyze_round, ErrorAnalysis, FailureCause};
+pub use assistant::{Assistant, AssistantTurn};
+pub use experiment::{
+    annotate_errors, collect_errors, run_correction, zero_shot_report, AnnotatedCase,
+    CorrectionReport, ErrorCase,
+};
+pub use explain::{explain_query, reformulate};
+pub use interpret::{interpret, Interpretation};
+pub use pipeline::{incorporate, IncorporateContext, IncorporateOutcome, Strategy};
+pub use refine::{QueryBuilder, RefineError, RefineStep};
+pub use session::{ChatEvent, Session};

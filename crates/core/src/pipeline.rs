@@ -1,0 +1,339 @@
+//! Feedback-incorporation strategies: FISQL (with and without routing and
+//! highlighting) and the Query Rewrite baseline.
+//!
+//! All strategies share one signature — previous query + feedback in,
+//! revised query out — so the experiment driver and benches swap them
+//! freely.
+
+use crate::interpret::{interpret, Interpretation};
+use fisql_engine::Database;
+use fisql_feedback::Feedback;
+use fisql_llm::{prompt, GenMode, GenRequest, SimLlm};
+use fisql_spider::Example;
+use fisql_sqlkit::{normalize_query, print_query, OpClass, Query};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Which feedback-incorporation strategy to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Strategy {
+    /// FISQL's two-step prompting (§3.3). `routing` enables feedback-type
+    /// identification; `highlighting` uses the user's highlight span for
+    /// grounding (Table 3).
+    Fisql {
+        /// Feedback-type identification on/off (Table 2's ablation).
+        routing: bool,
+        /// Highlight grounding on/off (Table 3).
+        highlighting: bool,
+    },
+    /// FISQL with *dynamically selected* routing demonstrations (the
+    /// paper's §5 future-work extension): instead of the fixed per-type
+    /// demonstration set, the most feedback-relevant demonstrations are
+    /// retrieved from a tagged pool ([`fisql_llm::RoutingPool`]).
+    FisqlDynamic,
+    /// The Query Rewrite baseline (§4.1): paraphrase the question to fold
+    /// in the feedback, then regenerate from scratch.
+    QueryRewrite,
+}
+
+impl Strategy {
+    /// Canonical display name matching the paper's tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Strategy::Fisql {
+                routing: true,
+                highlighting: false,
+            } => "FISQL",
+            Strategy::Fisql {
+                routing: false,
+                highlighting: false,
+            } => "FISQL (- Routing)",
+            Strategy::Fisql {
+                routing: true,
+                highlighting: true,
+            } => "FISQL (+ Highlighting)",
+            Strategy::Fisql {
+                routing: false,
+                highlighting: true,
+            } => "FISQL (- Routing, + Highlighting)",
+            Strategy::FisqlDynamic => "FISQL (dynamic routing)",
+            Strategy::QueryRewrite => "Query Rewrite",
+        }
+    }
+}
+
+/// Everything a strategy needs for one incorporation step.
+pub struct IncorporateContext<'a> {
+    /// Database under query.
+    pub db: &'a Database,
+    /// The benchmark example (question + gold + channels).
+    pub example: &'a Example,
+    /// The question as currently phrased (Query Rewrite mutates this
+    /// across rounds).
+    pub question: &'a str,
+    /// The previous (normalized) prediction.
+    pub previous: &'a Query,
+    /// The user's feedback this round.
+    pub feedback: &'a Feedback,
+    /// Round number (0-based).
+    pub round: u64,
+}
+
+/// The result of one incorporation step.
+#[derive(Debug, Clone)]
+pub struct IncorporateOutcome {
+    /// The revised query (normalized).
+    pub query: Query,
+    /// The question text after this round (changes only for Query
+    /// Rewrite).
+    pub question: String,
+    /// The routed feedback class, when routing ran.
+    pub routed: Option<OpClass>,
+    /// Interpretation diagnostics (FISQL paths only).
+    pub interpretation: Option<Interpretation>,
+    /// The full prompt sent to the model (fidelity).
+    pub prompt: String,
+}
+
+/// Runs one feedback-incorporation step with `strategy`.
+pub fn incorporate(
+    strategy: Strategy,
+    llm: &SimLlm,
+    ctx: &IncorporateContext<'_>,
+) -> IncorporateOutcome {
+    match strategy {
+        Strategy::Fisql {
+            routing,
+            highlighting,
+        } => fisql_step(llm, ctx, routing, highlighting, false),
+        Strategy::FisqlDynamic => fisql_step(llm, ctx, true, false, true),
+        Strategy::QueryRewrite => rewrite_step(llm, ctx),
+    }
+}
+
+fn fisql_step(
+    llm: &SimLlm,
+    ctx: &IncorporateContext<'_>,
+    routing: bool,
+    highlighting: bool,
+    dynamic: bool,
+) -> IncorporateOutcome {
+    // Step 1 (§3.3): feedback-type identification + routed demonstrations
+    // (fixed set, or dynamically selected — the §5 extension).
+    let routed = routing.then(|| llm.classify_feedback(&ctx.feedback.text, ctx.round));
+    let type_demos: Vec<String> = match routed {
+        Some(class) if dynamic => builtin_pool().select(class, &ctx.feedback.text, ctx.previous, 2),
+        Some(class) => prompt::type_demonstrations(class),
+        None => Vec::new(),
+    };
+
+    // Step 2: the regeneration prompt (Figure 6), built for fidelity.
+    let prompt_text = prompt::feedback_prompt(
+        ctx.db,
+        &[],
+        &type_demos,
+        ctx.question,
+        &print_query(ctx.previous),
+        &ctx.feedback.text,
+    );
+
+    // Interpret the feedback against the previous query.
+    let mut rng = StdRng::seed_from_u64(
+        0x1E27 ^ (ctx.example.id as u64).rotate_left(13) ^ ctx.round.rotate_left(29),
+    );
+    let highlight = if highlighting {
+        ctx.feedback.highlight
+    } else {
+        None
+    };
+    let interp = interpret(
+        &ctx.feedback.text,
+        ctx.previous,
+        ctx.db,
+        routed,
+        highlight,
+        &mut rng,
+    );
+
+    let query = if interp.edits.is_empty() {
+        // Interpretation failure: the model regenerates essentially the
+        // same query (paper error cause (b)).
+        ctx.previous.clone()
+    } else {
+        let p = llm.edit_success_prob(routing, dynamic) * llm.edit_complexity_factor(&interp.edits);
+        let applied = llm.apply_feedback_edit_with_prob(
+            ctx.previous,
+            &interp.edits,
+            p,
+            ctx.example.id,
+            ctx.round,
+        );
+        normalize_query(&applied)
+    };
+
+    IncorporateOutcome {
+        query,
+        question: ctx.question.to_string(),
+        routed,
+        interpretation: Some(interp),
+        prompt: prompt_text,
+    }
+}
+
+/// The built-in routing pool, embedded once per process (building it per
+/// incorporation step would re-embed every demonstration each round).
+fn builtin_pool() -> &'static fisql_llm::RoutingPool {
+    use std::sync::OnceLock;
+    static POOL: OnceLock<fisql_llm::RoutingPool> = OnceLock::new();
+    POOL.get_or_init(fisql_llm::RoutingPool::builtin)
+}
+
+fn rewrite_step(llm: &SimLlm, ctx: &IncorporateContext<'_>) -> IncorporateOutcome {
+    // Paraphrase the question to absorb the feedback …
+    let new_question = llm.rewrite_question(ctx.question, &ctx.feedback.text);
+    let prompt_text = prompt::rewrite_prompt(ctx.question, &ctx.feedback.text);
+    // … then regenerate from scratch. The regeneration resamples the
+    // comprehension model: hints now present in the question resolve their
+    // channels, but every *other* channel refires independently — the
+    // mechanism behind the baseline's weakness.
+    let generation = llm.generate_sql(&GenRequest {
+        example: ctx.example,
+        demos: 3,
+        hint_text: &new_question,
+        salt: 1000 + ctx.round,
+        mode: GenMode::Rewrite,
+    });
+    IncorporateOutcome {
+        query: normalize_query(&generation.query),
+        question: new_question,
+        routed: None,
+        interpretation: None,
+        prompt: prompt_text,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fisql_feedback::Feedback;
+    use fisql_llm::{Calibration, LlmConfig};
+    use fisql_spider::{build_aep, AepConfig};
+    use fisql_sqlkit::{parse_query, structurally_equal};
+
+    fn flawless_llm() -> SimLlm {
+        SimLlm::new(LlmConfig {
+            seed: 1,
+            calibration: Calibration {
+                router_noise: 0.0,
+                edit_apply_with_routing: 1.0,
+                edit_apply_without_routing: 1.0,
+                ..Default::default()
+            },
+        })
+    }
+
+    #[test]
+    fn fisql_fixes_the_figure4_flagship() {
+        let corpus = build_aep(&AepConfig {
+            n_examples: 5,
+            seed: 2,
+        });
+        let e = &corpus.examples[0];
+        let previous = normalize_query(
+            &parse_query(
+                "SELECT COUNT(*) FROM hkg_dim_segment \
+                 WHERE createdTime >= '2023-01-01' AND createdTime < '2023-02-01'",
+            )
+            .unwrap(),
+        );
+        let fb = Feedback {
+            text: "we are in 2024".into(),
+            highlight: None,
+            intended: vec![],
+            misaligned: false,
+        };
+        let out = incorporate(
+            Strategy::Fisql {
+                routing: true,
+                highlighting: false,
+            },
+            &flawless_llm(),
+            &IncorporateContext {
+                db: corpus.database(e),
+                example: e,
+                question: &e.question,
+                previous: &previous,
+                feedback: &fb,
+                round: 0,
+            },
+        );
+        assert!(
+            structurally_equal(&out.query, &e.gold),
+            "got {}",
+            print_query(&out.query)
+        );
+        assert_eq!(out.routed, Some(OpClass::Edit));
+        assert!(out.prompt.contains("we are in 2024"));
+    }
+
+    #[test]
+    fn rewrite_step_changes_question() {
+        let corpus = build_aep(&AepConfig {
+            n_examples: 5,
+            seed: 2,
+        });
+        let e = &corpus.examples[0];
+        let previous = normalize_query(&e.gold);
+        let fb = Feedback {
+            text: "we are in 2024".into(),
+            highlight: None,
+            intended: vec![],
+            misaligned: false,
+        };
+        let out = incorporate(
+            Strategy::QueryRewrite,
+            &flawless_llm(),
+            &IncorporateContext {
+                db: corpus.database(e),
+                example: e,
+                question: &e.question,
+                previous: &previous,
+                feedback: &fb,
+                round: 0,
+            },
+        );
+        assert!(out.question.contains("2024"));
+        assert!(out.question.contains("January"));
+        assert!(out.interpretation.is_none());
+    }
+
+    #[test]
+    fn strategy_names_match_paper() {
+        assert_eq!(
+            Strategy::Fisql {
+                routing: true,
+                highlighting: false
+            }
+            .name(),
+            "FISQL"
+        );
+        assert_eq!(
+            Strategy::Fisql {
+                routing: false,
+                highlighting: false
+            }
+            .name(),
+            "FISQL (- Routing)"
+        );
+        assert_eq!(
+            Strategy::Fisql {
+                routing: true,
+                highlighting: true
+            }
+            .name(),
+            "FISQL (+ Highlighting)"
+        );
+        assert_eq!(Strategy::QueryRewrite.name(), "Query Rewrite");
+    }
+}

@@ -1,0 +1,300 @@
+//! Incremental query building — the paper's §5 future work:
+//! "this tool could be adapted to allow users to build up complex SQL
+//! queries by asking simple questions first".
+//!
+//! A [`QueryBuilder`] starts from a simple query and layers refinements
+//! expressed in plain language, reusing FISQL's feedback-interpretation
+//! machinery in a *cooperative* mode: every utterance is a construction
+//! step, not an error correction, so interpretation is deterministic and
+//! each successful step must change the query.
+//!
+//! ```
+//! use fisql_core::refine::QueryBuilder;
+//! use fisql_engine::{Column, DataType, Database, Table};
+//!
+//! let mut db = Database::new("d");
+//! db.add_table(Table::new("segment", vec![
+//!     Column::new("segment_id", DataType::Int),
+//!     Column::new("segment_name", DataType::Text),
+//!     Column::new("status", DataType::Text),
+//!     Column::new("profile_count", DataType::Int),
+//! ]));
+//!
+//! let mut b = QueryBuilder::from_sql(&db, "SELECT segment_name FROM segment").unwrap();
+//! b.refine("only include rows where status is 'active'").unwrap();
+//! b.refine("order the profile count in descending order").unwrap();
+//! b.refine("only show the top 5").unwrap();
+//! assert_eq!(
+//!     b.sql(),
+//!     "SELECT segment_name FROM segment WHERE status = 'active' \
+//!      ORDER BY profile_count DESC LIMIT 5"
+//! );
+//! ```
+
+use crate::interpret::interpret;
+use fisql_engine::Database;
+use fisql_sqlkit::{apply_edits, normalize_query, parse_query, print_query, EditOp, Query};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt;
+
+/// Why a refinement step failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RefineError {
+    /// The utterance could not be grounded to any edit.
+    NotUnderstood {
+        /// The utterance.
+        text: String,
+    },
+    /// The interpreted edit left the query unchanged.
+    NoEffect {
+        /// The utterance.
+        text: String,
+    },
+    /// The interpreted edit could not be applied.
+    Apply {
+        /// The edit engine's message.
+        message: String,
+    },
+    /// The seed SQL failed to parse.
+    Parse {
+        /// The parser's message.
+        message: String,
+    },
+}
+
+impl fmt::Display for RefineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RefineError::NotUnderstood { text } => {
+                write!(f, "could not interpret refinement `{text}`")
+            }
+            RefineError::NoEffect { text } => {
+                write!(f, "refinement `{text}` had no effect on the query")
+            }
+            RefineError::Apply { message } => write!(f, "could not apply refinement: {message}"),
+            RefineError::Parse { message } => write!(f, "invalid seed SQL: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for RefineError {}
+
+/// One applied refinement step (for history/undo).
+#[derive(Debug, Clone)]
+pub struct RefineStep {
+    /// What the user said.
+    pub text: String,
+    /// The edits it was interpreted as.
+    pub edits: Vec<EditOp>,
+    /// The query before this step.
+    pub before: Query,
+}
+
+/// An incremental query builder.
+pub struct QueryBuilder<'a> {
+    db: &'a Database,
+    current: Query,
+    history: Vec<RefineStep>,
+}
+
+impl<'a> QueryBuilder<'a> {
+    /// Starts from an existing query.
+    pub fn new(db: &'a Database, seed: Query) -> Self {
+        QueryBuilder {
+            db,
+            current: normalize_query(&seed),
+            history: Vec::new(),
+        }
+    }
+
+    /// Starts from SQL text.
+    pub fn from_sql(db: &'a Database, sql: &str) -> Result<Self, RefineError> {
+        let q = parse_query(sql).map_err(|e| RefineError::Parse {
+            message: e.to_string(),
+        })?;
+        Ok(QueryBuilder::new(db, q))
+    }
+
+    /// The current query.
+    pub fn query(&self) -> &Query {
+        &self.current
+    }
+
+    /// The current SQL text.
+    pub fn sql(&self) -> String {
+        print_query(&self.current)
+    }
+
+    /// Steps applied so far.
+    pub fn history(&self) -> &[RefineStep] {
+        &self.history
+    }
+
+    /// Applies one plain-language refinement. Interpretation is
+    /// deterministic (seeded by the step index) and a step that leaves
+    /// the query unchanged is an error — a construction step must build.
+    pub fn refine(&mut self, text: &str) -> Result<&Query, RefineError> {
+        let mut rng = StdRng::seed_from_u64(self.history.len() as u64);
+        // Cooperative mode: no routing filter (the builder trusts the
+        // interpreter's own candidate ranking), no highlight.
+        let interp = interpret(text, &self.current, self.db, None, None, &mut rng);
+        if interp.edits.is_empty() {
+            return Err(RefineError::NotUnderstood {
+                text: text.to_string(),
+            });
+        }
+        let next = apply_edits(&self.current, &interp.edits).map_err(|e| RefineError::Apply {
+            message: e.to_string(),
+        })?;
+        let next = normalize_query(&next);
+        if next == self.current {
+            return Err(RefineError::NoEffect {
+                text: text.to_string(),
+            });
+        }
+        self.history.push(RefineStep {
+            text: text.to_string(),
+            edits: interp.edits,
+            before: std::mem::replace(&mut self.current, next),
+        });
+        Ok(&self.current)
+    }
+
+    /// Undoes the last refinement; returns false when there is nothing to
+    /// undo.
+    pub fn undo(&mut self) -> bool {
+        match self.history.pop() {
+            Some(step) => {
+                self.current = step.before;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Executes the current query against the builder's database.
+    pub fn run(&self) -> Result<fisql_engine::ResultSet, String> {
+        fisql_engine::execute(self.db, &self.current).map_err(|e| e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fisql_engine::{Column, DataType, Table, Value};
+
+    fn db() -> Database {
+        let mut db = Database::new("d");
+        let mut seg = Table::new(
+            "segment",
+            vec![
+                Column::new("segment_id", DataType::Int),
+                Column::new("segment_name", DataType::Text),
+                Column::new("status", DataType::Text),
+                Column::new("profile_count", DataType::Int),
+            ],
+        );
+        seg.primary_key = Some(0);
+        for (id, name, status, count) in [
+            (1, "ABC", "active", 100),
+            (2, "Loyalty", "active", 400),
+            (3, "Churned", "inactive", 50),
+            (4, "VIP", "active", 900),
+        ] {
+            seg.push_row(vec![
+                Value::Int(id),
+                name.into(),
+                status.into(),
+                Value::Int(count),
+            ]);
+        }
+        db.add_table(seg);
+        db
+    }
+
+    #[test]
+    fn builds_up_a_query_step_by_step() {
+        let db = db();
+        let mut b = QueryBuilder::from_sql(&db, "SELECT segment_name FROM segment").unwrap();
+        b.refine("only include rows where status is 'active'")
+            .unwrap();
+        b.refine("order the profile count in descending order")
+            .unwrap();
+        b.refine("only show the top 2").unwrap();
+        assert_eq!(
+            b.sql(),
+            "SELECT segment_name FROM segment WHERE status = 'active' \
+             ORDER BY profile_count DESC LIMIT 2"
+        );
+        let rs = b.run().unwrap();
+        assert_eq!(rs.rows[0][0], Value::Text("VIP".into()));
+        assert_eq!(rs.rows[1][0], Value::Text("Loyalty".into()));
+        assert_eq!(b.history().len(), 3);
+    }
+
+    #[test]
+    fn also_show_adds_columns() {
+        let db = db();
+        let mut b = QueryBuilder::from_sql(&db, "SELECT segment_name FROM segment").unwrap();
+        b.refine("also show the profile count").unwrap();
+        assert_eq!(b.sql(), "SELECT segment_name, profile_count FROM segment");
+    }
+
+    #[test]
+    fn ungroundable_refinement_errors() {
+        let db = db();
+        let mut b = QueryBuilder::from_sql(&db, "SELECT segment_name FROM segment").unwrap();
+        let err = b.refine("make it nicer somehow").unwrap_err();
+        assert!(matches!(err, RefineError::NotUnderstood { .. }));
+        assert!(b.history().is_empty());
+    }
+
+    #[test]
+    fn no_effect_refinement_errors() {
+        let db = db();
+        let mut b = QueryBuilder::from_sql(
+            &db,
+            "SELECT segment_name FROM segment ORDER BY segment_name ASC",
+        )
+        .unwrap();
+        let err = b
+            .refine("order the segment name in ascending order")
+            .unwrap_err();
+        assert!(matches!(err, RefineError::NoEffect { .. }));
+    }
+
+    #[test]
+    fn undo_restores_previous_query() {
+        let db = db();
+        let mut b = QueryBuilder::from_sql(&db, "SELECT segment_name FROM segment").unwrap();
+        let before = b.sql();
+        b.refine("only show the top 3").unwrap();
+        assert_ne!(b.sql(), before);
+        assert!(b.undo());
+        assert_eq!(b.sql(), before);
+        assert!(!b.undo());
+    }
+
+    #[test]
+    fn invalid_seed_sql_errors() {
+        let db = db();
+        assert!(matches!(
+            QueryBuilder::from_sql(&db, "SELECT FROM"),
+            Err(RefineError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn removal_refinements_work_too() {
+        let db = db();
+        let mut b = QueryBuilder::from_sql(
+            &db,
+            "SELECT segment_name, status FROM segment WHERE status = 'active'",
+        )
+        .unwrap();
+        b.refine("do not show the status").unwrap();
+        b.refine("do not filter by status").unwrap();
+        assert_eq!(b.sql(), "SELECT segment_name FROM segment");
+    }
+}

@@ -1,0 +1,186 @@
+//! Conversation sessions: the chat surface of Figures 3-4.
+//!
+//! A [`Session`] strings Assistant turns and feedback turns together,
+//! maintaining the transcript a user of the tool would see. The example
+//! binaries use it to replay the paper's walkthroughs.
+
+use crate::assistant::{Assistant, AssistantTurn};
+use crate::pipeline::{incorporate, IncorporateContext, Strategy};
+use fisql_engine::Database;
+use fisql_feedback::Feedback;
+use fisql_spider::Example;
+use fisql_sqlkit::Span;
+
+/// One event in the chat transcript.
+#[derive(Debug, Clone)]
+pub enum ChatEvent {
+    /// Something the user typed.
+    User(String),
+    /// An Assistant response (rendered).
+    Assistant(String),
+}
+
+/// An interactive FISQL session over one database.
+pub struct Session<'a> {
+    /// The database under conversation.
+    pub db: &'a Database,
+    /// The Assistant front end.
+    pub assistant: Assistant,
+    /// The feedback-incorporation strategy.
+    pub strategy: Strategy,
+    /// The running transcript.
+    pub transcript: Vec<ChatEvent>,
+    /// The current example and state, once a question was asked.
+    state: Option<State>,
+    round: u64,
+}
+
+struct State {
+    question: String,
+    current: fisql_sqlkit::Query,
+}
+
+impl<'a> Session<'a> {
+    /// Opens a session.
+    pub fn new(db: &'a Database, assistant: Assistant, strategy: Strategy) -> Self {
+        Session {
+            db,
+            assistant,
+            strategy,
+            transcript: Vec::new(),
+            state: None,
+            round: 0,
+        }
+    }
+
+    /// Asks the example's question; returns the Assistant's turn.
+    pub fn ask(&mut self, example: &Example) -> AssistantTurn {
+        self.transcript
+            .push(ChatEvent::User(example.question.clone()));
+        let turn = self.assistant.answer(self.db, example, 0);
+        self.transcript
+            .push(ChatEvent::Assistant(Assistant::render_turn(&turn)));
+        self.state = Some(State {
+            question: example.question.clone(),
+            current: turn.query.clone(),
+        });
+        self.round = 0;
+        turn
+    }
+
+    /// Sends natural-language feedback (optionally with a highlight over
+    /// the last shown SQL); returns the revised Assistant turn.
+    ///
+    /// # Panics
+    /// Panics if called before [`Session::ask`].
+    pub fn give_feedback(
+        &mut self,
+        example: &Example,
+        text: &str,
+        highlight: Option<Span>,
+    ) -> AssistantTurn {
+        let state = self.state.as_mut().expect("ask() before give_feedback()");
+        self.transcript
+            .push(ChatEvent::User(format!("Here is my feedback: {text}")));
+        let feedback = Feedback {
+            text: text.to_string(),
+            highlight,
+            intended: vec![],
+            misaligned: false,
+        };
+        let outcome = incorporate(
+            self.strategy,
+            &self.assistant.llm,
+            &IncorporateContext {
+                db: self.db,
+                example,
+                question: &state.question,
+                previous: &state.current,
+                feedback: &feedback,
+                round: self.round,
+            },
+        );
+        self.round += 1;
+        state.current = outcome.query.clone();
+        state.question = outcome.question.clone();
+        let turn = self
+            .assistant
+            .present(self.db, outcome.query, outcome.prompt, vec![]);
+        self.transcript
+            .push(ChatEvent::Assistant(Assistant::render_turn(&turn)));
+        turn
+    }
+
+    /// Renders the whole transcript.
+    pub fn render_transcript(&self) -> String {
+        let mut out = String::new();
+        for event in &self.transcript {
+            match event {
+                ChatEvent::User(t) => out.push_str(&format!("User> {t}\n\n")),
+                ChatEvent::Assistant(t) => out.push_str(&format!("Assistant>\n{t}\n")),
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fisql_llm::{Calibration, LlmConfig, SimLlm};
+    use fisql_spider::{build_aep, AepConfig};
+    use fisql_sqlkit::structurally_equal;
+
+    #[test]
+    fn figure4_walkthrough_end_to_end() {
+        let corpus = build_aep(&AepConfig {
+            n_examples: 3,
+            seed: 44,
+        });
+        let mut e = corpus.examples[0].clone();
+        // Keep only the year-default channel so the forced failure is
+        // exactly the Figure 4 misunderstanding.
+        e.channels.retain(|wc| wc.channel.kind() == "year-default");
+        let e = &e;
+        // Force the Figure 4 failure mode: every channel fires, so the
+        // year default lands on 2023.
+        let failing = SimLlm::new(LlmConfig {
+            seed: 9,
+            calibration: Calibration {
+                base_fire_rate: 10.0,
+                max_fire_prob: 1.0,
+                router_noise: 0.0,
+                edit_apply_with_routing: 1.0,
+                ..Default::default()
+            },
+        });
+        let assistant = Assistant {
+            llm: failing,
+            store: fisql_llm::DemoStore::new(vec![]),
+            demos_k: 0,
+        };
+        let mut session = Session::new(
+            corpus.database(e),
+            assistant,
+            Strategy::Fisql {
+                routing: true,
+                highlighting: false,
+            },
+        );
+        let first = session.ask(e);
+        assert!(
+            first.sql_text.contains("2023"),
+            "expected the wrong-year query, got {}",
+            first.sql_text
+        );
+        let revised = session.give_feedback(e, "we are in 2024", None);
+        assert!(
+            structurally_equal(&revised.query, &e.gold),
+            "feedback did not fix the query: {}",
+            revised.sql_text
+        );
+        let transcript = session.render_transcript();
+        assert!(transcript.contains("Here is my feedback: we are in 2024"));
+        assert!(transcript.matches("Assistant>").count() == 2);
+    }
+}

@@ -1,0 +1,467 @@
+//! DDL/DML loading: build a [`Database`] from SQL text.
+//!
+//! Supports the subset needed to ship schemas and fixture data as plain
+//! `.sql` files — `CREATE TABLE` with column types, `PRIMARY KEY` and
+//! `REFERENCES` column constraints, and multi-row `INSERT INTO`:
+//!
+//! ```sql
+//! CREATE TABLE singer (
+//!   singer_id INT PRIMARY KEY,
+//!   name TEXT,
+//!   age INT
+//! );
+//! INSERT INTO singer VALUES (1, 'Joe Sharp', 52), (2, 'Ann', 33);
+//! ```
+//!
+//! This is also the inverse of [`Database::schema_text`], so generated
+//! schemas round-trip through their textual form.
+
+use crate::error::ExecError;
+use crate::schema::{Column, Database, ForeignKey, Table};
+use crate::value::{DataType, Value};
+use fisql_sqlkit::lexer::lex;
+use fisql_sqlkit::token::{Keyword, Token, TokenKind};
+
+/// An error raised while loading DDL/DML text.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DdlError {
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for DdlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "DDL error: {}", self.message)
+    }
+}
+
+impl std::error::Error for DdlError {}
+
+impl From<fisql_sqlkit::ParseError> for DdlError {
+    fn from(e: fisql_sqlkit::ParseError) -> Self {
+        DdlError {
+            message: e.to_string(),
+        }
+    }
+}
+
+impl From<ExecError> for DdlError {
+    fn from(e: ExecError) -> Self {
+        DdlError {
+            message: e.to_string(),
+        }
+    }
+}
+
+/// Parses a script of `CREATE TABLE` / `INSERT INTO` statements into a
+/// database named `name`.
+pub fn load_script(name: &str, sql: &str) -> Result<Database, DdlError> {
+    let tokens = lex(sql)?;
+    let mut p = DdlParser { tokens, pos: 0 };
+    let mut db = Database::new(name);
+    loop {
+        p.skip_semicolons();
+        if p.at_eof() {
+            break;
+        }
+        if p.eat_ident_ci("CREATE") {
+            p.expect_ident_ci("TABLE")?;
+            let table = p.create_table(&db)?;
+            db.add_table(table);
+            continue;
+        }
+        if p.eat_ident_ci("INSERT") {
+            p.expect_ident_ci("INTO")?;
+            p.insert_into(&mut db)?;
+            continue;
+        }
+        return Err(DdlError {
+            message: format!(
+                "expected CREATE TABLE or INSERT INTO, found {}",
+                p.peek().kind.describe()
+            ),
+        });
+    }
+    Ok(db)
+}
+
+struct DdlParser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl DdlParser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn advance(&mut self) -> Token {
+        let t = self.tokens[self.pos.min(self.tokens.len() - 1)].clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_eof(&self) -> bool {
+        matches!(self.peek().kind, TokenKind::Eof)
+    }
+
+    fn skip_semicolons(&mut self) {
+        while matches!(self.peek().kind, TokenKind::Semicolon) {
+            self.advance();
+        }
+    }
+
+    /// Matches an identifier (or keyword spelled like one)
+    /// case-insensitively.
+    fn eat_ident_ci(&mut self, word: &str) -> bool {
+        let matches = match &self.peek().kind {
+            TokenKind::Ident(s) => s.eq_ignore_ascii_case(word),
+            TokenKind::Keyword(k) => k.as_str().eq_ignore_ascii_case(word),
+            _ => false,
+        };
+        if matches {
+            self.advance();
+        }
+        matches
+    }
+
+    fn expect_ident_ci(&mut self, word: &str) -> Result<(), DdlError> {
+        if self.eat_ident_ci(word) {
+            Ok(())
+        } else {
+            Err(DdlError {
+                message: format!("expected `{word}`, found {}", self.peek().kind.describe()),
+            })
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, DdlError> {
+        match &self.peek().kind {
+            TokenKind::Ident(_) => {
+                let t = self.advance();
+                match t.kind {
+                    TokenKind::Ident(s) => Ok(s),
+                    _ => unreachable!(),
+                }
+            }
+            other => Err(DdlError {
+                message: format!("expected identifier, found {}", other.describe()),
+            }),
+        }
+    }
+
+    fn expect(&mut self, kind: TokenKind) -> Result<(), DdlError> {
+        if self.peek().kind == kind {
+            self.advance();
+            Ok(())
+        } else {
+            Err(DdlError {
+                message: format!(
+                    "expected {}, found {}",
+                    kind.describe(),
+                    self.peek().kind.describe()
+                ),
+            })
+        }
+    }
+
+    fn create_table(&mut self, db: &Database) -> Result<Table, DdlError> {
+        let name = self.ident()?;
+        self.expect(TokenKind::LParen)?;
+        let mut columns = Vec::new();
+        let mut primary_key = None;
+        let mut foreign_keys = Vec::new();
+        loop {
+            let col_name = self.ident()?;
+            let dtype = self.data_type()?;
+            let idx = columns.len();
+            columns.push(Column::new(col_name, dtype));
+            // Column constraints, in any order.
+            loop {
+                if self.eat_ident_ci("PRIMARY") {
+                    self.expect_ident_ci("KEY")?;
+                    primary_key = Some(idx);
+                } else if self.eat_ident_ci("REFERENCES") {
+                    let ref_table = self.ident()?;
+                    let ref_column = if self.peek().kind == TokenKind::LParen {
+                        self.advance();
+                        let ref_col_name = self.ident()?;
+                        self.expect(TokenKind::RParen)?;
+                        db.table(&ref_table)
+                            .and_then(|t| t.column_index(&ref_col_name))
+                            .unwrap_or(0)
+                    } else {
+                        0
+                    };
+                    foreign_keys.push(ForeignKey {
+                        column: idx,
+                        ref_table,
+                        ref_column,
+                    });
+                } else if self.eat_ident_ci("NOT") {
+                    // NOT NULL: accepted and ignored (the engine does not
+                    // enforce nullability).
+                    if !self.eat_ident_ci("NULL") {
+                        return Err(DdlError {
+                            message: "expected NULL after NOT".into(),
+                        });
+                    }
+                } else if self.eat_ident_ci("UNIQUE") {
+                    // Accepted and ignored.
+                } else {
+                    break;
+                }
+            }
+            if self.peek().kind == TokenKind::Comma {
+                self.advance();
+                continue;
+            }
+            self.expect(TokenKind::RParen)?;
+            break;
+        }
+        let mut table = Table::new(name, columns);
+        table.primary_key = primary_key;
+        table.foreign_keys = foreign_keys;
+        Ok(table)
+    }
+
+    fn data_type(&mut self) -> Result<DataType, DdlError> {
+        let raw = self.ident()?;
+        let dtype = match raw.to_ascii_uppercase().as_str() {
+            "INT" | "INTEGER" | "BIGINT" | "SMALLINT" => DataType::Int,
+            "FLOAT" | "REAL" | "DOUBLE" | "NUMERIC" | "DECIMAL" => DataType::Float,
+            "TEXT" | "VARCHAR" | "CHAR" | "STRING" | "CLOB" => DataType::Text,
+            "BOOL" | "BOOLEAN" => DataType::Bool,
+            "DATE" | "DATETIME" | "TIMESTAMP" => DataType::Date,
+            other => {
+                return Err(DdlError {
+                    message: format!("unknown data type `{other}`"),
+                })
+            }
+        };
+        // Optional length suffix: VARCHAR(255).
+        if self.peek().kind == TokenKind::LParen {
+            self.advance();
+            while self.peek().kind != TokenKind::RParen && !self.at_eof() {
+                self.advance();
+            }
+            self.expect(TokenKind::RParen)?;
+        }
+        Ok(dtype)
+    }
+
+    fn insert_into(&mut self, db: &mut Database) -> Result<(), DdlError> {
+        let table_name = self.ident()?;
+        // Optional explicit column list.
+        let explicit_cols: Option<Vec<String>> = if self.peek().kind == TokenKind::LParen {
+            self.advance();
+            let mut cols = vec![self.ident()?];
+            while self.peek().kind == TokenKind::Comma {
+                self.advance();
+                cols.push(self.ident()?);
+            }
+            self.expect(TokenKind::RParen)?;
+            Some(cols)
+        } else {
+            None
+        };
+        self.expect_ident_ci("VALUES")?;
+        // Snapshot the column mapping before mutably borrowing rows.
+        let (arity, mapping) = {
+            let table = db.table(&table_name).ok_or_else(|| DdlError {
+                message: format!("INSERT into unknown table `{table_name}`"),
+            })?;
+            let mapping: Option<Vec<usize>> = match &explicit_cols {
+                Some(cols) => {
+                    let mut m = Vec::with_capacity(cols.len());
+                    for c in cols {
+                        m.push(table.column_index(c).ok_or_else(|| DdlError {
+                            message: format!("unknown column `{c}` in INSERT"),
+                        })?);
+                    }
+                    Some(m)
+                }
+                None => None,
+            };
+            (table.columns.len(), mapping)
+        };
+
+        loop {
+            self.expect(TokenKind::LParen)?;
+            let mut values = vec![self.value()?];
+            while self.peek().kind == TokenKind::Comma {
+                self.advance();
+                values.push(self.value()?);
+            }
+            self.expect(TokenKind::RParen)?;
+
+            let row = match &mapping {
+                Some(m) => {
+                    if values.len() != m.len() {
+                        return Err(DdlError {
+                            message: format!(
+                                "INSERT arity {} != column list {}",
+                                values.len(),
+                                m.len()
+                            ),
+                        });
+                    }
+                    let mut row = vec![Value::Null; arity];
+                    for (slot, v) in m.iter().zip(values) {
+                        row[*slot] = v;
+                    }
+                    row
+                }
+                None => {
+                    if values.len() != arity {
+                        return Err(DdlError {
+                            message: format!(
+                                "INSERT arity {} != table arity {arity}",
+                                values.len()
+                            ),
+                        });
+                    }
+                    values
+                }
+            };
+            db.table_mut(&table_name)
+                .expect("checked above")
+                .push_row(row);
+
+            if self.peek().kind == TokenKind::Comma {
+                self.advance();
+                continue;
+            }
+            break;
+        }
+        Ok(())
+    }
+
+    fn value(&mut self) -> Result<Value, DdlError> {
+        // Optional unary minus.
+        let negative = if self.peek().kind == TokenKind::Minus {
+            self.advance();
+            true
+        } else {
+            false
+        };
+        let t = self.advance();
+        let v = match t.kind {
+            TokenKind::Number(n) => Value::Int(if negative { -n } else { n }),
+            TokenKind::Float(x) => Value::Float(if negative { -x } else { x }),
+            TokenKind::String(s) if !negative => Value::Text(s),
+            TokenKind::Keyword(Keyword::Null) if !negative => Value::Null,
+            TokenKind::Keyword(Keyword::True) if !negative => Value::Bool(true),
+            TokenKind::Keyword(Keyword::False) if !negative => Value::Bool(false),
+            other => {
+                return Err(DdlError {
+                    message: format!("expected a literal value, found {}", other.describe()),
+                })
+            }
+        };
+        Ok(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::execute_sql;
+
+    const SCRIPT: &str = r#"
+        CREATE TABLE singer (
+          singer_id INT PRIMARY KEY,
+          name TEXT NOT NULL,
+          age INTEGER,
+          rating REAL
+        );
+        CREATE TABLE concert (
+          concert_id INT PRIMARY KEY,
+          singer_id INT REFERENCES singer(singer_id),
+          title VARCHAR(80),
+          held_on DATE
+        );
+        INSERT INTO singer VALUES
+          (1, 'Joe Sharp', 52, 4.5),
+          (2, 'Ann O''Hara', 33, NULL),
+          (3, 'Tribal King', 25, 3.0);
+        INSERT INTO concert (concert_id, singer_id, title) VALUES (1, 2, 'Opening Night');
+    "#;
+
+    #[test]
+    fn loads_schema_and_rows() {
+        let db = load_script("demo", SCRIPT).unwrap();
+        assert_eq!(db.tables.len(), 2);
+        let singer = db.table("singer").unwrap();
+        assert_eq!(singer.primary_key, Some(0));
+        assert_eq!(singer.rows.len(), 3);
+        assert_eq!(singer.rows[1][1], Value::Text("Ann O'Hara".into()));
+        assert!(singer.rows[1][3].is_null());
+        let concert = db.table("concert").unwrap();
+        assert_eq!(concert.foreign_keys.len(), 1);
+        assert_eq!(concert.foreign_keys[0].ref_table, "singer");
+        // Column-list insert leaves unmentioned columns NULL.
+        assert!(concert.rows[0][3].is_null());
+    }
+
+    #[test]
+    fn loaded_database_is_queryable() {
+        let db = load_script("demo", SCRIPT).unwrap();
+        let rs = execute_sql(
+            &db,
+            "SELECT s.name FROM singer s JOIN concert c ON s.singer_id = c.singer_id",
+        )
+        .unwrap();
+        assert_eq!(rs.rows[0][0], Value::Text("Ann O'Hara".into()));
+    }
+
+    #[test]
+    fn schema_text_round_trips() {
+        let db = load_script("demo", SCRIPT).unwrap();
+        let text = db.schema_text();
+        let reloaded = load_script("demo", &text).unwrap();
+        assert_eq!(db.tables.len(), reloaded.tables.len());
+        for (a, b) in db.tables.iter().zip(&reloaded.tables) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.columns, b.columns);
+            assert_eq!(a.primary_key, b.primary_key);
+            assert_eq!(a.foreign_keys, b.foreign_keys);
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(load_script("d", "CREATE singer (x INT)").is_err());
+        assert!(load_script("d", "CREATE TABLE t (x FANCYTYPE)").is_err());
+        assert!(load_script("d", "INSERT INTO missing VALUES (1)").is_err());
+        assert!(
+            load_script("d", "CREATE TABLE t (x INT); INSERT INTO t VALUES (1, 2)").is_err(),
+            "arity mismatch must error"
+        );
+        assert!(
+            load_script("d", "DROP TABLE t").is_err(),
+            "unsupported statement"
+        );
+    }
+
+    #[test]
+    fn negative_and_boolean_literals() {
+        let db = load_script(
+            "d",
+            "CREATE TABLE t (a INT, b FLOAT, c BOOL); INSERT INTO t VALUES (-5, -2.5, TRUE);",
+        )
+        .unwrap();
+        let t = db.table("t").unwrap();
+        assert_eq!(t.rows[0][0], Value::Int(-5));
+        assert_eq!(t.rows[0][1], Value::Float(-2.5));
+        assert_eq!(t.rows[0][2], Value::Bool(true));
+    }
+
+    #[test]
+    fn empty_script_yields_empty_database() {
+        let db = load_script("d", "  ;; ").unwrap();
+        assert!(db.tables.is_empty());
+    }
+}

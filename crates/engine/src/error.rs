@@ -1,0 +1,100 @@
+//! Execution errors.
+
+use std::fmt;
+
+/// An error raised while executing a query.
+///
+/// Execution errors matter to the reproduction: the paper's Assistant
+/// reports "We found nothing for your query" style failures, and a
+/// predicted SQL that errors (unknown column, type mismatch) counts as an
+/// incorrect prediction in the execution-match metric.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// Referenced table does not exist.
+    UnknownTable {
+        /// Offending name.
+        name: String,
+    },
+    /// Referenced column cannot be resolved.
+    UnknownColumn {
+        /// Offending name (possibly qualified).
+        name: String,
+    },
+    /// Column name resolves to more than one binding.
+    AmbiguousColumn {
+        /// Offending name.
+        name: String,
+    },
+    /// A duplicate binding name in FROM.
+    DuplicateBinding {
+        /// Offending binding name.
+        name: String,
+    },
+    /// An operation received a value of the wrong type.
+    TypeError {
+        /// Explanation.
+        message: String,
+    },
+    /// A subquery used where a single column was required returned a
+    /// different arity.
+    SubqueryArity {
+        /// Number of columns the subquery produced.
+        columns: usize,
+    },
+    /// Set-operation arms produced different column counts.
+    SetOpArity {
+        /// Left arm column count.
+        left: usize,
+        /// Right arm column count.
+        right: usize,
+    },
+    /// `*` used outside a valid position.
+    MisplacedWildcard,
+    /// Aggregate call nested inside another aggregate.
+    NestedAggregate,
+    /// A bare column appeared in an aggregate query without being grouped.
+    UngroupedColumn {
+        /// Offending column.
+        name: String,
+    },
+    /// Wrong number of arguments to a function.
+    FunctionArity {
+        /// Function name.
+        func: &'static str,
+        /// Arguments given.
+        given: usize,
+    },
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::UnknownTable { name } => write!(f, "unknown table `{name}`"),
+            ExecError::UnknownColumn { name } => write!(f, "unknown column `{name}`"),
+            ExecError::AmbiguousColumn { name } => write!(f, "ambiguous column `{name}`"),
+            ExecError::DuplicateBinding { name } => {
+                write!(f, "duplicate table binding `{name}` in FROM")
+            }
+            ExecError::TypeError { message } => write!(f, "type error: {message}"),
+            ExecError::SubqueryArity { columns } => {
+                write!(f, "subquery must return one column, returned {columns}")
+            }
+            ExecError::SetOpArity { left, right } => {
+                write!(f, "set operation arms differ in arity: {left} vs {right}")
+            }
+            ExecError::MisplacedWildcard => write!(f, "`*` is not valid here"),
+            ExecError::NestedAggregate => write!(f, "aggregate calls cannot be nested"),
+            ExecError::UngroupedColumn { name } => {
+                write!(f, "column `{name}` must appear in GROUP BY")
+            }
+            ExecError::FunctionArity { func, given } => {
+                write!(f, "wrong number of arguments to {func} ({given} given)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// Result alias for engine APIs.
+pub type ExecResult<T> = Result<T, ExecError>;

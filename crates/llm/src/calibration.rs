@@ -1,0 +1,134 @@
+//! Calibration constants for the simulated LLM.
+//!
+//! Every probability in the simulation lives here, in one documented
+//! struct, so the ablation benches can sweep them and DESIGN.md §7 can
+//! point at a single source of truth. Defaults are tuned so that the
+//! *mechanisms* (channel firing, demonstration damping, feedback
+//! resolution) reproduce the paper's headline numbers:
+//!
+//! - Figure 2: zero-shot execution accuracy ≈ 68.6% on SPIDER-like,
+//!   ≈ 24% on AEP-like;
+//! - §4.1: roughly 243/1034 SPIDER errors;
+//! - Tables 2-3 / Figure 8 correction rates (see `fisql-core`).
+
+use serde::{Deserialize, Serialize};
+
+/// The simulated LLM's behavioural constants.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Calibration {
+    /// Multiplier from a channel's difficulty weight to its firing
+    /// probability in a zero-/few-shot generation.
+    pub base_fire_rate: f64,
+    /// Upper clamp on any single channel's firing probability.
+    pub max_fire_prob: f64,
+    /// Multiplicative damping applied per in-context demonstration
+    /// (demonstrations ground the model, reducing misreadings).
+    pub few_shot_damping: f64,
+    /// Demonstrations beyond this count stop helping.
+    pub few_shot_cap: usize,
+    /// Residual firing probability for a channel whose resolution is
+    /// spelled out in the prompt (e.g. the rewritten question names the
+    /// correct year explicitly).
+    pub resolved_residual: f64,
+    /// Probability the feedback-type router misclassifies an utterance.
+    pub router_noise: f64,
+    /// Probability that a feedback edit is applied *correctly* given
+    /// routed (type-matched) demonstrations in context.
+    pub edit_apply_with_routing: f64,
+    /// Probability that a feedback edit is applied correctly *without*
+    /// routed demonstrations (the FISQL(−Routing) ablation).
+    pub edit_apply_without_routing: f64,
+    /// Probability that a hint present in a *rewritten question* actually
+    /// disambiguates regeneration (the Query Rewrite baseline). Direct
+    /// feedback editing does not pay this discount: FISQL revises the
+    /// previous SQL in context, whereas a paraphrased question is just
+    /// another question the model can misread again.
+    pub rewrite_hint_efficacy: f64,
+    /// Channel-refire multiplier during rewrite regeneration: the merged
+    /// question is longer and clunkier than the original, and the model
+    /// re-parses it from scratch.
+    pub rewrite_refire_boost: f64,
+    /// Probability that rewriting re-rolls a channel's sticky latent — a
+    /// genuinely fresh read of that aspect of the question.
+    pub rewrite_refresh: f64,
+    /// Additive bonus to the edit-apply success probability when the
+    /// routed demonstrations were *dynamically selected* for this
+    /// feedback (the paper's §5 future-work extension): more relevant
+    /// demonstrations ground the revision better.
+    pub dynamic_demo_bonus: f64,
+    /// Multiplier on apply success for *moderate* edits (column swaps,
+    /// generic predicate rewrites) — revisions the LLM gets mostly right
+    /// but not as reliably as literal substitutions.
+    pub moderate_edit_reliability: f64,
+    /// Multiplier on apply success for *structural* edits (ordering,
+    /// grouping, joins, limits) — the revisions GPT-class models fumble
+    /// most often.
+    pub structural_edit_reliability: f64,
+}
+
+impl Default for Calibration {
+    fn default() -> Self {
+        Calibration {
+            base_fire_rate: 0.30,
+            max_fire_prob: 0.92,
+            few_shot_damping: 0.93,
+            few_shot_cap: 5,
+            resolved_residual: 0.06,
+            router_noise: 0.06,
+            edit_apply_with_routing: 0.89,
+            edit_apply_without_routing: 0.86,
+            rewrite_hint_efficacy: 0.40,
+            rewrite_refire_boost: 1.40,
+            rewrite_refresh: 0.08,
+            dynamic_demo_bonus: 0.05,
+            moderate_edit_reliability: 0.68,
+            structural_edit_reliability: 0.52,
+        }
+    }
+}
+
+impl Calibration {
+    /// Firing probability for a channel of difficulty `weight`, with
+    /// `demos` demonstrations in context, optionally `resolved` by an
+    /// explicit hint.
+    pub fn fire_prob(&self, weight: f64, demos: usize, resolved: bool) -> f64 {
+        if resolved {
+            return self.resolved_residual;
+        }
+        let damping = self
+            .few_shot_damping
+            .powi(demos.min(self.few_shot_cap) as i32);
+        (weight * self.base_fire_rate * damping).min(self.max_fire_prob)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fire_prob_monotone_in_weight() {
+        let c = Calibration::default();
+        assert!(c.fire_prob(2.0, 0, false) > c.fire_prob(1.0, 0, false));
+    }
+
+    #[test]
+    fn demos_reduce_fire_prob() {
+        let c = Calibration::default();
+        assert!(c.fire_prob(1.0, 5, false) < c.fire_prob(1.0, 0, false));
+        // Cap: beyond few_shot_cap no extra damping.
+        assert_eq!(c.fire_prob(1.0, 5, false), c.fire_prob(1.0, 50, false));
+    }
+
+    #[test]
+    fn resolution_dominates() {
+        let c = Calibration::default();
+        assert_eq!(c.fire_prob(10.0, 0, true), c.resolved_residual);
+    }
+
+    #[test]
+    fn clamp_applies() {
+        let c = Calibration::default();
+        assert!(c.fire_prob(1000.0, 0, false) <= c.max_fire_prob);
+    }
+}

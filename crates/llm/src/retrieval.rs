@@ -1,0 +1,111 @@
+//! Demonstration store for retrieval-augmented generation.
+
+use crate::embedding::Embedding;
+use serde::{Deserialize, Serialize};
+
+/// One (question, SQL) demonstration pair.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Demonstration {
+    /// Natural-language question.
+    pub question: String,
+    /// Its SQL answer, as text.
+    pub sql: String,
+}
+
+/// An embedded demonstration pool with top-k cosine retrieval.
+#[derive(Debug, Clone)]
+pub struct DemoStore {
+    demos: Vec<Demonstration>,
+    embeddings: Vec<Embedding>,
+}
+
+impl DemoStore {
+    /// Builds a store from demonstrations, embedding each question.
+    pub fn new(demos: Vec<Demonstration>) -> Self {
+        let embeddings = demos
+            .iter()
+            .map(|d| Embedding::embed(&d.question))
+            .collect();
+        DemoStore { demos, embeddings }
+    }
+
+    /// Number of stored demonstrations.
+    pub fn len(&self) -> usize {
+        self.demos.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.demos.is_empty()
+    }
+
+    /// Returns the `k` demonstrations most similar to `query`, best
+    /// first. Ties break by insertion order (stable).
+    pub fn retrieve(&self, query: &str, k: usize) -> Vec<&Demonstration> {
+        if k == 0 || self.demos.is_empty() {
+            return Vec::new();
+        }
+        let q = Embedding::embed(query);
+        let mut scored: Vec<(usize, f32)> = self
+            .embeddings
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (i, q.cosine(e)))
+            .collect();
+        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        scored
+            .into_iter()
+            .take(k)
+            .map(|(i, _)| &self.demos[i])
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> DemoStore {
+        DemoStore::new(vec![
+            Demonstration {
+                question: "how many singers are there".into(),
+                sql: "SELECT COUNT(*) FROM singer".into(),
+            },
+            Demonstration {
+                question: "average age of all singers".into(),
+                sql: "SELECT AVG(age) FROM singer".into(),
+            },
+            Demonstration {
+                question: "list flights departing from Paris".into(),
+                sql: "SELECT * FROM flight WHERE source = 'Paris'".into(),
+            },
+        ])
+    }
+
+    #[test]
+    fn retrieves_most_similar_first() {
+        let s = store();
+        let got = s.retrieve("how many flights are there", 2);
+        assert_eq!(got.len(), 2);
+        // Both the count demo and the flight demo should beat the AVG one.
+        let qs: Vec<&str> = got.iter().map(|d| d.question.as_str()).collect();
+        assert!(qs.iter().any(|q| q.contains("how many")));
+    }
+
+    #[test]
+    fn k_zero_returns_nothing() {
+        assert!(store().retrieve("anything", 0).is_empty());
+    }
+
+    #[test]
+    fn k_larger_than_pool_returns_all() {
+        assert_eq!(store().retrieve("singers", 10).len(), 3);
+    }
+
+    #[test]
+    fn empty_store_is_safe() {
+        let s = DemoStore::new(vec![]);
+        assert!(s.is_empty());
+        assert!(s.retrieve("q", 3).is_empty());
+    }
+}

@@ -1,0 +1,393 @@
+//! Dynamic feedback-demonstration selection (the paper's §5 future work:
+//! "our routing mechanism can be enhanced with dynamic example selection
+//! based on query structure and feedback").
+//!
+//! Instead of the *fixed* per-type demonstration set of §3.3
+//! ([`crate::prompt::type_demonstrations`]), a [`RoutingPool`] holds a
+//! larger library of feedback demonstrations tagged by operation type and
+//! the clause they touch, and selects the `k` most relevant ones by
+//! similarity between the incoming feedback (plus the previous query's
+//! clause inventory) and each demonstration.
+
+use crate::embedding::Embedding;
+use crate::prompt::feedback_demo;
+use fisql_sqlkit::{OpClass, Query};
+use serde::{Deserialize, Serialize};
+
+/// Which clause a feedback demonstration is about (coarse; used as a
+/// structure signal alongside the text similarity).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum ClauseKind {
+    Select,
+    From,
+    Where,
+    GroupHaving,
+    OrderLimit,
+    Distinct,
+}
+
+/// One feedback demonstration in the pool.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FeedbackDemo {
+    /// The demonstration's question.
+    pub question: String,
+    /// The pre-feedback SQL.
+    pub query: String,
+    /// The user feedback text.
+    pub feedback: String,
+    /// The revised SQL.
+    pub revised: String,
+    /// Operation type.
+    pub class: OpClass,
+    /// Clause touched.
+    pub clause: ClauseKind,
+}
+
+impl FeedbackDemo {
+    /// Renders in the Figure 5 prompt format.
+    pub fn render(&self) -> String {
+        feedback_demo(&self.question, &self.query, &self.feedback, &self.revised)
+    }
+}
+
+/// A library of feedback demonstrations with dynamic selection.
+#[derive(Debug, Clone)]
+pub struct RoutingPool {
+    demos: Vec<FeedbackDemo>,
+    embeddings: Vec<Embedding>,
+}
+
+impl RoutingPool {
+    /// Builds a pool, embedding each demonstration's feedback text.
+    pub fn new(demos: Vec<FeedbackDemo>) -> Self {
+        let embeddings = demos
+            .iter()
+            .map(|d| Embedding::embed(&d.feedback))
+            .collect();
+        RoutingPool { demos, embeddings }
+    }
+
+    /// The built-in library: the fixed §3.3 demonstrations plus a wider
+    /// spread across clause kinds.
+    pub fn builtin() -> Self {
+        use ClauseKind::*;
+        use OpClass::*;
+        let mk = |question: &str,
+                  query: &str,
+                  feedback: &str,
+                  revised: &str,
+                  class: OpClass,
+                  clause: ClauseKind| FeedbackDemo {
+            question: question.to_string(),
+            query: query.to_string(),
+            feedback: feedback.to_string(),
+            revised: revised.to_string(),
+            class,
+            clause,
+        };
+        RoutingPool::new(vec![
+            mk(
+                "List the names of all customers.",
+                "SELECT name FROM customer",
+                "order the names in ascending order.",
+                "SELECT name FROM customer ORDER BY name ASC",
+                Add,
+                OrderLimit,
+            ),
+            mk(
+                "Show the best-rated restaurants.",
+                "SELECT name FROM restaurant ORDER BY rating DESC",
+                "only show the top 5",
+                "SELECT name FROM restaurant ORDER BY rating DESC LIMIT 5",
+                Add,
+                OrderLimit,
+            ),
+            mk(
+                "Show products in the toys category.",
+                "SELECT product_name FROM product",
+                "only include products in the toys category",
+                "SELECT product_name FROM product WHERE category = 'Toys'",
+                Add,
+                Where,
+            ),
+            mk(
+                "List all the cities we ship to.",
+                "SELECT city FROM shipment",
+                "remove duplicate rows from the answer",
+                "SELECT DISTINCT city FROM shipment",
+                Add,
+                Distinct,
+            ),
+            mk(
+                "Show each customer's orders.",
+                "SELECT name FROM customer",
+                "you need to bring in the order information",
+                "SELECT customer.name, order_record.order_id FROM customer \
+                 JOIN order_record ON customer.customer_id = order_record.customer_id",
+                Add,
+                From,
+            ),
+            mk(
+                "List the names of employees.",
+                "SELECT name, description FROM employee",
+                "do not give descriptions",
+                "SELECT name FROM employee",
+                Remove,
+                Select,
+            ),
+            mk(
+                "How many orders are there?",
+                "SELECT COUNT(*) FROM order_record WHERE status = 'open'",
+                "count all orders, not just open ones",
+                "SELECT COUNT(*) FROM order_record",
+                Remove,
+                Where,
+            ),
+            mk(
+                "List players by score.",
+                "SELECT name FROM player ORDER BY score DESC LIMIT 10",
+                "no need to sort the results",
+                "SELECT name FROM player",
+                Remove,
+                OrderLimit,
+            ),
+            mk(
+                "how many audiences were created in January?",
+                "SELECT COUNT(*) FROM hkg_dim_segment \
+                 WHERE createdTime >= '2023-01-01' and createdTime < '2023-02-01'",
+                "we are in 2024",
+                "SELECT COUNT(*) FROM hkg_dim_segment \
+                 WHERE createdTime >= '2024-01-01' and createdTime < '2024-02-01'",
+                Edit,
+                Where,
+            ),
+            mk(
+                "Show the name and the release year of the song by the youngest singer.",
+                "SELECT Name, Song_release_year FROM singer \
+                 WHERE Age = (SELECT min(Age) FROM singer)",
+                "Provide song name instead of singer name",
+                "SELECT Song_Name, Song_release_year FROM singer \
+                 WHERE Age = (SELECT min(Age) FROM singer)",
+                Edit,
+                Select,
+            ),
+            mk(
+                "How many sessions ran yesterday?",
+                "SELECT COUNT(*) FROM session_log WHERE duration > 100",
+                "it should be 500",
+                "SELECT COUNT(*) FROM session_log WHERE duration > 500",
+                Edit,
+                Where,
+            ),
+            mk(
+                "Which stores stock this item?",
+                "SELECT store_name FROM warehouse",
+                "use store instead of warehouse",
+                "SELECT store_name FROM store",
+                Edit,
+                From,
+            ),
+            mk(
+                "Which countries have more than 3 singers?",
+                "SELECT country, COUNT(*) FROM singer GROUP BY country HAVING COUNT(*) > 5",
+                "the threshold should be 3",
+                "SELECT country, COUNT(*) FROM singer GROUP BY country HAVING COUNT(*) > 3",
+                Edit,
+                GroupHaving,
+            ),
+            mk(
+                "Sort the singers from oldest to youngest.",
+                "SELECT name FROM singer ORDER BY age ASC",
+                "sort by age (descending)",
+                "SELECT name FROM singer ORDER BY age DESC",
+                Edit,
+                OrderLimit,
+            ),
+        ])
+    }
+
+    /// Number of demonstrations in the pool.
+    pub fn len(&self) -> usize {
+        self.demos.len()
+    }
+
+    /// Whether the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.demos.is_empty()
+    }
+
+    /// Selects the `k` rendered demonstrations most relevant to the
+    /// routed class, the feedback text, and the previous query's clause
+    /// inventory. Scoring: text cosine + structure bonus when the
+    /// demonstration's clause exists in the previous query, restricted to
+    /// the routed class (falling back to all classes when the class has
+    /// no demos).
+    pub fn select(
+        &self,
+        class: OpClass,
+        feedback: &str,
+        previous: &Query,
+        k: usize,
+    ) -> Vec<String> {
+        if k == 0 || self.demos.is_empty() {
+            return Vec::new();
+        }
+        let fb = Embedding::embed(feedback);
+        let present = clause_inventory(previous);
+        let scored = |restrict: bool| {
+            let mut v: Vec<(usize, f32)> = self
+                .demos
+                .iter()
+                .enumerate()
+                .filter(|(_, d)| !restrict || d.class == class)
+                .map(|(i, d)| {
+                    let text = fb.cosine(&self.embeddings[i]);
+                    let structure = if present.contains(&d.clause) {
+                        0.25
+                    } else {
+                        0.0
+                    };
+                    (i, text + structure)
+                })
+                .collect();
+            v.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+            v
+        };
+        let mut ranked = scored(true);
+        if ranked.is_empty() {
+            ranked = scored(false);
+        }
+        ranked
+            .into_iter()
+            .take(k)
+            .map(|(i, _)| self.demos[i].render())
+            .collect()
+    }
+}
+
+/// The clause kinds present in a query (which clauses feedback could be
+/// about).
+pub fn clause_inventory(q: &Query) -> Vec<ClauseKind> {
+    let mut out = vec![ClauseKind::Select, ClauseKind::From];
+    if q.core.where_clause.is_some() {
+        out.push(ClauseKind::Where);
+    }
+    if !q.core.group_by.is_empty() || q.core.having.is_some() {
+        out.push(ClauseKind::GroupHaving);
+    }
+    if !q.order_by.is_empty() || q.limit.is_some() {
+        out.push(ClauseKind::OrderLimit);
+    }
+    if q.core.distinct {
+        out.push(ClauseKind::Distinct);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fisql_sqlkit::parse_query;
+
+    #[test]
+    fn builtin_pool_covers_all_classes_and_clauses() {
+        let pool = RoutingPool::builtin();
+        assert!(pool.len() >= 12);
+        for class in [OpClass::Add, OpClass::Remove, OpClass::Edit] {
+            assert!(
+                pool.demos.iter().any(|d| d.class == class),
+                "no demo for {class}"
+            );
+        }
+        for clause in [
+            ClauseKind::Select,
+            ClauseKind::From,
+            ClauseKind::Where,
+            ClauseKind::OrderLimit,
+        ] {
+            assert!(
+                pool.demos.iter().any(|d| d.clause == clause),
+                "no demo for {clause:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn selection_prefers_similar_feedback() {
+        let pool = RoutingPool::builtin();
+        let q =
+            parse_query("SELECT COUNT(*) FROM hkg_dim_segment WHERE createdTime >= '2023-01-01'")
+                .unwrap();
+        let picked = pool.select(OpClass::Edit, "we are in 2025", &q, 2);
+        assert_eq!(picked.len(), 2);
+        assert!(
+            picked[0].contains("we are in 2024"),
+            "year demo should rank first:\n{}",
+            picked[0]
+        );
+    }
+
+    #[test]
+    fn selection_respects_routed_class() {
+        let pool = RoutingPool::builtin();
+        let q = parse_query("SELECT name FROM customer").unwrap();
+        let picked = pool.select(OpClass::Remove, "do not show the address", &q, 3);
+        assert!(!picked.is_empty());
+        // Every selected demo is a Remove-type demo (they all came from
+        // the Remove shelf, whose rendered texts we can spot-check).
+        assert!(picked
+            .iter()
+            .any(|p| p.contains("do not give descriptions")));
+    }
+
+    #[test]
+    fn structure_bonus_prefers_clauses_present_in_query() {
+        let pool = RoutingPool::builtin();
+        let with_order = parse_query("SELECT name FROM t ORDER BY name ASC").unwrap();
+        let picked = pool.select(
+            OpClass::Remove,
+            "that last bit is unnecessary",
+            &with_order,
+            1,
+        );
+        // With no lexical overlap the structure bonus decides; the query
+        // has ORDER BY, so an OrderLimit demo should surface.
+        assert!(
+            picked[0].contains("no need to sort") || picked[0].contains("ORDER BY"),
+            "{}",
+            picked[0]
+        );
+    }
+
+    #[test]
+    fn empty_k_or_pool_is_safe() {
+        let pool = RoutingPool::new(vec![]);
+        let q = parse_query("SELECT 1").unwrap();
+        assert!(pool.is_empty());
+        assert!(pool.select(OpClass::Edit, "x", &q, 3).is_empty());
+        assert!(RoutingPool::builtin()
+            .select(OpClass::Edit, "x", &q, 0)
+            .is_empty());
+    }
+
+    #[test]
+    fn clause_inventory_reflects_query() {
+        let q = parse_query(
+            "SELECT DISTINCT a FROM t WHERE x = 1 GROUP BY a HAVING COUNT(*) > 1 \
+             ORDER BY a ASC LIMIT 3",
+        )
+        .unwrap();
+        let inv = clause_inventory(&q);
+        for kind in [
+            ClauseKind::Select,
+            ClauseKind::From,
+            ClauseKind::Where,
+            ClauseKind::GroupHaving,
+            ClauseKind::OrderLimit,
+            ClauseKind::Distinct,
+        ] {
+            assert!(inv.contains(&kind), "{kind:?} missing");
+        }
+    }
+}

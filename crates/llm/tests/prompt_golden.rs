@@ -1,0 +1,157 @@
+//! Golden tests for the paper's prompt skeletons (Figures 1, 5, 6 and the
+//! router/rewrite prompts). The rendered prompts are the *interface* the
+//! paper defines; these tests freeze their exact shape so a refactor
+//! cannot silently drift from the published format.
+
+use fisql_engine::{Column, DataType, Database, Table};
+use fisql_llm::{prompt, Demonstration};
+use fisql_sqlkit::OpClass;
+
+fn demo_db() -> Database {
+    let mut db = Database::new("demo");
+    let mut t = Table::new(
+        "hkg_dim_segment",
+        vec![
+            Column::new("segment_id", DataType::Int),
+            Column::new("segment_name", DataType::Text),
+            Column::new("createdTime", DataType::Date),
+        ],
+    );
+    t.primary_key = Some(0);
+    db.add_table(t);
+    db
+}
+
+#[test]
+fn figure1_zero_shot_golden() {
+    let p = prompt::zero_shot_prompt(&demo_db(), "how many audiences were created in January?");
+    let expected = "\
+You are an expert SQL assistant. Given the database schema below, write a single SQL query that answers the user question. Return only the SQL query.
+
+Schema:
+CREATE TABLE hkg_dim_segment (
+  segment_id INT PRIMARY KEY,
+  segment_name TEXT,
+  createdTime DATE
+);
+
+Question: how many audiences were created in January?
+Query:";
+    assert_eq!(p, expected);
+}
+
+#[test]
+fn few_shot_prompt_golden() {
+    let demo = Demonstration {
+        question: "how many segments are there?".into(),
+        sql: "SELECT COUNT(*) FROM hkg_dim_segment".into(),
+    };
+    let p = prompt::few_shot_prompt(&demo_db(), &[&demo], "count active segments");
+    assert!(p.contains("Here are some examples:\n"));
+    assert!(p.contains(
+        "Question: how many segments are there?\nQuery: SELECT COUNT(*) FROM hkg_dim_segment\n"
+    ));
+    assert!(p.ends_with("Question: count active segments\nQuery:"));
+}
+
+#[test]
+fn figure5_feedback_demo_golden() {
+    let d = prompt::feedback_demo(
+        "how many audiences were created in January?",
+        "SELECT COUNT(*) AS segmentCount FROM hkg_dim_segment WHERE createdTime >= '2023-01-01' and createdTime < '2023-02-01'",
+        "we are in 2024",
+        "SELECT COUNT(*) AS segmentCount FROM hkg_dim_segment WHERE createdTime >= '2024-01-01' and createdTime < '2024-02-01'",
+    );
+    let expected = "\
+Question: how many audiences were created in January?
+Query: SELECT COUNT(*) AS segmentCount FROM hkg_dim_segment WHERE createdTime >= '2023-01-01' and createdTime < '2023-02-01'
+The SQL query you have generated has received the following feedback: we are in 2024
+Taking into account the feedback, please rewrite the SQL query.
+Query: SELECT COUNT(*) AS segmentCount FROM hkg_dim_segment WHERE createdTime >= '2024-01-01' and createdTime < '2024-02-01'
+";
+    assert_eq!(d, expected);
+}
+
+#[test]
+fn figure6_feedback_prompt_golden_tail() {
+    let p = prompt::feedback_prompt(
+        &demo_db(),
+        &[],
+        &[],
+        "how many audiences were created in January?",
+        "SELECT COUNT(*) FROM hkg_dim_segment WHERE createdTime >= '2023-01-01'",
+        "we are in 2024",
+    );
+    // The Figure 6 tail, verbatim (italicized additions in the paper).
+    let expected_tail = "\
+Here is the question you need to answer:
+Question: how many audiences were created in January?
+Query: SELECT COUNT(*) FROM hkg_dim_segment WHERE createdTime >= '2023-01-01'
+The SQL query you have generated has received the following feedback: we are in 2024
+Taking into account the feedback, please rewrite the SQL query.
+Query:";
+    assert!(
+        p.ends_with(expected_tail),
+        "prompt tail drifted from Figure 6:\n{p}"
+    );
+}
+
+#[test]
+fn feedback_prompt_includes_routed_demos_between_schema_and_question() {
+    let type_demos = prompt::type_demonstrations(OpClass::Edit);
+    let p = prompt::feedback_prompt(
+        &demo_db(),
+        &[],
+        &type_demos,
+        "q",
+        "SELECT 1",
+        "we are in 2024",
+    );
+    let schema_pos = p.find("CREATE TABLE").unwrap();
+    let demo_pos = p.find("Provide song name instead of singer name").unwrap();
+    let question_pos = p.find("Here is the question you need to answer").unwrap();
+    assert!(schema_pos < demo_pos && demo_pos < question_pos);
+}
+
+#[test]
+fn router_prompt_golden() {
+    let p = prompt::router_prompt("change to 2024");
+    let expected = "\
+Classify the user feedback on a SQL query into one of three operation types: Add (the feedback suggests adding a SQL operation), Remove (the feedback suggests removing a SQL operation), or Edit (the feedback updates arguments of an existing SQL operation).
+
+Feedback: order the names in ascending order.
+Type: Add
+
+Feedback: do not give descriptions
+Type: Remove
+
+Feedback: we are in 2024
+Type: Edit
+
+Feedback: change to 2024
+Type:";
+    assert_eq!(p, expected);
+}
+
+#[test]
+fn rewrite_prompt_golden() {
+    let p = prompt::rewrite_prompt(
+        "how many audiences were created in January?",
+        "we are in 2024",
+    );
+    assert!(p.starts_with("Rewrite the user's question"));
+    assert!(p.contains("Rewritten: how many audiences were created in January 2024?"));
+    assert!(p.ends_with("Rewritten:"));
+}
+
+#[test]
+fn type_demonstrations_are_figure5_formatted() {
+    for class in [OpClass::Add, OpClass::Remove, OpClass::Edit] {
+        for d in prompt::type_demonstrations(class) {
+            assert!(d.starts_with("Question: "), "{d}");
+            assert!(d.contains("\nQuery: "));
+            assert!(d.contains("has received the following feedback: "), "{d}");
+            assert!(d.contains("Taking into account the feedback, please rewrite the SQL query."));
+        }
+    }
+}

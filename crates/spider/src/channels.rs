@@ -1,0 +1,826 @@
+//! Error channels: the structured ways a (simulated) NL2SQL model can
+//! misunderstand a question.
+//!
+//! Each benchmark example carries the list of channels *applicable* to it,
+//! derived from its intent and schema (a question with an implicit year
+//! can suffer [`ErrorChannel::YearDefault`]; a projection whose column has
+//! a confusable sibling can suffer [`ErrorChannel::ColumnConfusion`]; …).
+//! The simulated LLM in `fisql-llm` samples each applicable channel with a
+//! probability proportional to the weight recorded here times its own
+//! per-dataset comprehension prior — closed-domain (AEP-style) examples
+//! carry systematically heavier weights, which is exactly the paper's
+//! explanation for the SPIDER-vs-AEP accuracy gap (Figure 2).
+
+use crate::intent::{AggIntent, Intent, PredKind, Projection, Shape};
+use fisql_engine::Database;
+use fisql_sqlkit::ast::{BinOp, Literal};
+use serde::{Deserialize, Serialize};
+
+/// One way the model can err on an example.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ErrorChannel {
+    /// Implicit year resolved to the previous year (Figure 4's
+    /// "we are in 2024" scenario).
+    YearDefault {
+        /// Which predicate carries the date window.
+        pred_idx: usize,
+    },
+    /// A projected column replaced by a confusable sibling (`name` vs
+    /// `song_name`).
+    ColumnConfusion {
+        /// Which projection is corrupted.
+        proj_idx: usize,
+        /// The wrong column used instead.
+        wrong: String,
+    },
+    /// A filtered column replaced by a confusable sibling.
+    FilterColumnConfusion {
+        /// Which predicate is corrupted.
+        pred_idx: usize,
+        /// The wrong column used instead.
+        wrong: String,
+    },
+    /// The primary table replaced by a plausible wrong table (closed-
+    /// domain jargon: "audiences" resolved to the wrong dimension table).
+    TableConfusion {
+        /// The wrong table used instead.
+        wrong: String,
+    },
+    /// ORDER BY (and its LIMIT) dropped from a superlative.
+    DropOrderBy,
+    /// ORDER BY direction flipped.
+    WrongOrderDirection,
+    /// LIMIT dropped (ordering kept).
+    DropLimit,
+    /// Aggregate function confused (COUNT vs SUM, MIN vs MAX).
+    AggConfusion {
+        /// Which projection is corrupted.
+        proj_idx: usize,
+        /// The wrong aggregate used instead.
+        wrong: AggIntent,
+    },
+    /// A spurious extra column added to the SELECT list.
+    ExtraColumn {
+        /// The column gratuitously added.
+        column: String,
+    },
+    /// A requested column dropped from the SELECT list.
+    MissingColumn {
+        /// Which projection is dropped.
+        proj_idx: usize,
+    },
+    /// A filter predicate dropped entirely.
+    DropPredicate {
+        /// Which predicate is dropped.
+        pred_idx: usize,
+    },
+    /// A literal replaced by a nearby-but-wrong value.
+    LiteralDrift {
+        /// Which predicate is corrupted.
+        pred_idx: usize,
+        /// The wrong literal used instead.
+        wrong: Literal,
+    },
+    /// Comparison operator off by strictness (`>` vs `>=`).
+    ComparisonConfusion {
+        /// Which predicate is corrupted.
+        pred_idx: usize,
+        /// The wrong operator used instead.
+        wrong_op: BinOp,
+    },
+    /// A join step omitted (columns of the dropped table are then
+    /// mis-attributed to the primary table, usually yielding an execution
+    /// error — hallucinated schema linking).
+    MissingJoin {
+        /// Which join step is dropped.
+        join_idx: usize,
+    },
+    /// DISTINCT omitted.
+    MissingDistinct,
+    /// HAVING threshold drifts by one.
+    HavingThresholdDrift {
+        /// The wrong threshold used instead.
+        wrong: i64,
+    },
+    /// Extremum subquery flips MIN↔MAX.
+    ExtremumFlip,
+}
+
+impl ErrorChannel {
+    /// Stable channel kind label, for analysis tables.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ErrorChannel::YearDefault { .. } => "year-default",
+            ErrorChannel::ColumnConfusion { .. } => "column-confusion",
+            ErrorChannel::FilterColumnConfusion { .. } => "filter-column-confusion",
+            ErrorChannel::TableConfusion { .. } => "table-confusion",
+            ErrorChannel::DropOrderBy => "drop-order-by",
+            ErrorChannel::WrongOrderDirection => "wrong-order-direction",
+            ErrorChannel::DropLimit => "drop-limit",
+            ErrorChannel::AggConfusion { .. } => "agg-confusion",
+            ErrorChannel::ExtraColumn { .. } => "extra-column",
+            ErrorChannel::MissingColumn { .. } => "missing-column",
+            ErrorChannel::DropPredicate { .. } => "drop-predicate",
+            ErrorChannel::LiteralDrift { .. } => "literal-drift",
+            ErrorChannel::ComparisonConfusion { .. } => "comparison-confusion",
+            ErrorChannel::MissingJoin { .. } => "missing-join",
+            ErrorChannel::MissingDistinct => "missing-distinct",
+            ErrorChannel::HavingThresholdDrift { .. } => "having-threshold-drift",
+            ErrorChannel::ExtremumFlip => "extremum-flip",
+        }
+    }
+}
+
+/// A channel with its example-specific difficulty weight. The simulated
+/// LLM fires the channel with probability `min(1, weight × prior)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WeightedChannel {
+    /// The channel.
+    pub channel: ErrorChannel,
+    /// Relative difficulty weight (1.0 = baseline).
+    pub weight: f64,
+}
+
+/// Dataset-level difficulty profile.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DifficultyProfile {
+    /// Multiplier on lexical-ambiguity channels (column/table confusion).
+    pub lexical: f64,
+    /// Multiplier on vague-phrasing channels (year default, drop
+    /// predicate).
+    pub vagueness: f64,
+    /// Multiplier on structural channels (joins, order, limit, distinct).
+    pub structural: f64,
+}
+
+impl DifficultyProfile {
+    /// SPIDER-like open-domain profile: common-sense schemas, low
+    /// ambiguity.
+    pub fn spider() -> Self {
+        DifficultyProfile {
+            lexical: 1.0,
+            vagueness: 1.0,
+            structural: 1.0,
+        }
+    }
+
+    /// AEP-like closed-domain profile: jargon-heavy vocabulary and vague
+    /// phrasing from non-technical users.
+    pub fn aep() -> Self {
+        DifficultyProfile {
+            lexical: 2.35,
+            vagueness: 0.45,
+            structural: 0.3,
+        }
+    }
+}
+
+/// Computes the channels applicable to `intent` against `db`.
+pub fn applicable_channels(
+    intent: &Intent,
+    db: &Database,
+    profile: &DifficultyProfile,
+) -> Vec<WeightedChannel> {
+    let mut out = Vec::new();
+    let mut push = |channel: ErrorChannel, weight: f64| {
+        out.push(WeightedChannel { channel, weight });
+    };
+
+    // Predicate-level channels.
+    for (i, p) in intent.preds.iter().enumerate() {
+        match &p.kind {
+            PredKind::MonthWindow { .. } => {
+                // The year is implicit in the question → strong channel.
+                push(
+                    ErrorChannel::YearDefault { pred_idx: i },
+                    1.2 * profile.vagueness,
+                );
+            }
+            PredKind::Cmp { op, value } => {
+                if let Literal::Number(n) = value {
+                    push(
+                        ErrorChannel::LiteralDrift {
+                            pred_idx: i,
+                            wrong: Literal::Number(drift_number(*n)),
+                        },
+                        0.45 * profile.vagueness,
+                    );
+                }
+                if let Some(wrong_op) = strictness_neighbor(*op) {
+                    push(
+                        ErrorChannel::ComparisonConfusion {
+                            pred_idx: i,
+                            wrong_op,
+                        },
+                        0.5 * profile.vagueness,
+                    );
+                }
+            }
+            _ => {}
+        }
+        push(
+            ErrorChannel::DropPredicate { pred_idx: i },
+            0.35 * profile.vagueness,
+        );
+        if let Some(wrong) = confusable_sibling(db, &p.table, &p.column) {
+            push(
+                ErrorChannel::FilterColumnConfusion { pred_idx: i, wrong },
+                0.6 * profile.lexical,
+            );
+        }
+    }
+
+    // Projection-level channels.
+    for (i, proj) in intent.projections.iter().enumerate() {
+        match proj {
+            Projection::Column { table, column } => {
+                if let Some(wrong) = confusable_sibling(db, table, column) {
+                    push(
+                        ErrorChannel::ColumnConfusion { proj_idx: i, wrong },
+                        0.8 * profile.lexical,
+                    );
+                }
+            }
+            Projection::Agg(a) => {
+                if let Some(wrong) = agg_neighbor(a) {
+                    push(
+                        ErrorChannel::AggConfusion { proj_idx: i, wrong },
+                        0.4 * profile.lexical,
+                    );
+                }
+            }
+        }
+    }
+    if intent.projections.len() > 1 && matches!(intent.shape, Shape::Select) {
+        push(
+            ErrorChannel::MissingColumn {
+                proj_idx: intent.projections.len() - 1,
+            },
+            0.5 * profile.structural,
+        );
+    }
+    if matches!(intent.shape, Shape::Select | Shape::Superlative { .. }) {
+        if let Some(extra) = extra_column_candidate(db, intent) {
+            push(
+                ErrorChannel::ExtraColumn { column: extra },
+                0.4 * profile.structural,
+            );
+        }
+    }
+
+    // Table confusion: another table sharing a name stem.
+    if let Some(wrong) = confusable_table(db, &intent.primary) {
+        push(
+            ErrorChannel::TableConfusion { wrong },
+            0.5 * profile.lexical,
+        );
+    }
+
+    // Shape-level channels.
+    match &intent.shape {
+        Shape::Superlative { .. } => {
+            push(ErrorChannel::DropOrderBy, 0.6 * profile.structural);
+            push(ErrorChannel::WrongOrderDirection, 0.5 * profile.structural);
+            push(ErrorChannel::DropLimit, 0.4 * profile.structural);
+        }
+        Shape::GroupBy {
+            having_count_gt: Some(n),
+            ..
+        } => {
+            push(
+                ErrorChannel::HavingThresholdDrift { wrong: n + 1 },
+                0.45 * profile.structural,
+            );
+        }
+        Shape::Extremum { .. } => {
+            push(ErrorChannel::ExtremumFlip, 0.5 * profile.structural);
+        }
+        _ => {}
+    }
+    for (i, _) in intent.joins.iter().enumerate() {
+        push(
+            ErrorChannel::MissingJoin { join_idx: i },
+            0.45 * profile.structural,
+        );
+    }
+    if intent.distinct {
+        push(ErrorChannel::MissingDistinct, 0.5 * profile.structural);
+    }
+    out
+}
+
+/// Applies a channel to the intent and compiles the corrupted query.
+pub fn corrupt(intent: &Intent, channel: &ErrorChannel) -> fisql_sqlkit::Query {
+    corrupt_many(intent, std::slice::from_ref(channel))
+}
+
+/// Applies several channels and compiles the corrupted query.
+///
+/// Index-bearing channels address the *original* intent, so removals
+/// (dropped predicates/projections/joins) are applied last, in descending
+/// index order, after all in-place mutations.
+pub fn corrupt_many(intent: &Intent, channels: &[ErrorChannel]) -> fisql_sqlkit::Query {
+    let mut i = intent.clone();
+    let mut drop_limit_post = false;
+    let is_removal = |c: &ErrorChannel| {
+        matches!(
+            c,
+            ErrorChannel::MissingColumn { .. }
+                | ErrorChannel::DropPredicate { .. }
+                | ErrorChannel::MissingJoin { .. }
+        )
+    };
+    let removal_index = |c: &ErrorChannel| match c {
+        ErrorChannel::MissingColumn { proj_idx } => *proj_idx,
+        ErrorChannel::DropPredicate { pred_idx } => *pred_idx,
+        ErrorChannel::MissingJoin { join_idx } => *join_idx,
+        _ => 0,
+    };
+    let (mut removals, mutations): (Vec<&ErrorChannel>, Vec<&ErrorChannel>) =
+        channels.iter().partition(|c| is_removal(c));
+    removals.sort_by_key(|c| std::cmp::Reverse(removal_index(c)));
+    for c in mutations.into_iter().chain(removals) {
+        if apply_channel_to_intent(&mut i, c) {
+            drop_limit_post = true;
+        }
+    }
+    let mut q = i.compile();
+    if drop_limit_post {
+        q.limit = None;
+    }
+    q
+}
+
+/// Mutates `i` per `channel`; returns true when the compiled query's LIMIT
+/// must be stripped afterwards.
+fn apply_channel_to_intent(i: &mut Intent, channel: &ErrorChannel) -> bool {
+    let mut drop_limit_post = false;
+    match channel {
+        ErrorChannel::YearDefault { pred_idx } => {
+            if let Some(p) = i.preds.get_mut(*pred_idx) {
+                if let PredKind::MonthWindow { year, .. } = &mut p.kind {
+                    *year -= 1;
+                }
+            }
+        }
+        ErrorChannel::ColumnConfusion { proj_idx, wrong } => {
+            if let Some(Projection::Column { column, .. }) = i.projections.get_mut(*proj_idx) {
+                *column = wrong.clone();
+            }
+        }
+        ErrorChannel::FilterColumnConfusion { pred_idx, wrong } => {
+            if let Some(p) = i.preds.get_mut(*pred_idx) {
+                p.column = wrong.clone();
+            }
+        }
+        ErrorChannel::TableConfusion { wrong } => {
+            let old = i.primary.clone();
+            i.primary = wrong.clone();
+            for p in &mut i.preds {
+                if p.table == old {
+                    p.table = wrong.clone();
+                }
+            }
+            for proj in &mut i.projections {
+                if let Projection::Column { table, .. } = proj {
+                    if *table == old {
+                        *table = wrong.clone();
+                    }
+                }
+            }
+            for j in &mut i.joins {
+                if j.left_table == old {
+                    j.left_table = wrong.clone();
+                }
+            }
+            if let Shape::Superlative { order_table, .. } = &mut i.shape {
+                if *order_table == old {
+                    *order_table = wrong.clone();
+                }
+            }
+            if let Shape::GroupBy { key_table, .. } = &mut i.shape {
+                if *key_table == old {
+                    *key_table = wrong.clone();
+                }
+            }
+        }
+        ErrorChannel::DropOrderBy => {
+            if matches!(i.shape, Shape::Superlative { .. }) {
+                i.shape = Shape::Select;
+            }
+        }
+        ErrorChannel::WrongOrderDirection => {
+            if let Shape::Superlative { desc, .. } = &mut i.shape {
+                *desc = !*desc;
+            }
+        }
+        ErrorChannel::DropLimit => {
+            drop_limit_post = true;
+        }
+        ErrorChannel::AggConfusion { proj_idx, wrong } => {
+            if let Some(Projection::Agg(a)) = i.projections.get_mut(*proj_idx) {
+                *a = wrong.clone();
+            }
+        }
+        ErrorChannel::ExtraColumn { column } => {
+            i.projections.push(Projection::Column {
+                table: i.primary.clone(),
+                column: column.clone(),
+            });
+        }
+        ErrorChannel::MissingColumn { proj_idx } => {
+            if i.projections.len() > 1 && *proj_idx < i.projections.len() {
+                i.projections.remove(*proj_idx);
+            }
+        }
+        ErrorChannel::DropPredicate { pred_idx } => {
+            if *pred_idx < i.preds.len() {
+                i.preds.remove(*pred_idx);
+            }
+        }
+        ErrorChannel::LiteralDrift { pred_idx, wrong } => {
+            if let Some(p) = i.preds.get_mut(*pred_idx) {
+                if let PredKind::Cmp { value, .. } = &mut p.kind {
+                    *value = wrong.clone();
+                }
+            }
+        }
+        ErrorChannel::ComparisonConfusion { pred_idx, wrong_op } => {
+            if let Some(p) = i.preds.get_mut(*pred_idx) {
+                if let PredKind::Cmp { op, .. } = &mut p.kind {
+                    *op = *wrong_op;
+                }
+            }
+        }
+        ErrorChannel::MissingJoin { join_idx } => {
+            if *join_idx < i.joins.len() {
+                let dropped = i.joins.remove(*join_idx);
+                // Mis-attribute the dropped table's columns to the primary
+                // table (hallucinated schema linking).
+                for proj in &mut i.projections {
+                    if let Projection::Column { table, .. } = proj {
+                        if *table == dropped.table {
+                            *table = i.primary.clone();
+                        }
+                    }
+                }
+                for p in &mut i.preds {
+                    if p.table == dropped.table {
+                        p.table = i.primary.clone();
+                    }
+                }
+                // Later joins that attached to the dropped table reattach
+                // to the primary (still likely broken — that is the
+                // point).
+                for j in &mut i.joins {
+                    if j.left_table == dropped.table {
+                        j.left_table = i.primary.clone();
+                    }
+                }
+            }
+        }
+        ErrorChannel::MissingDistinct => {
+            i.distinct = false;
+        }
+        ErrorChannel::HavingThresholdDrift { wrong } => {
+            if let Shape::GroupBy {
+                having_count_gt: Some(n),
+                ..
+            } = &mut i.shape
+            {
+                *n = *wrong;
+            }
+        }
+        ErrorChannel::ExtremumFlip => {
+            if let Shape::Extremum { max, .. } = &mut i.shape {
+                *max = !*max;
+            }
+        }
+    }
+    drop_limit_post
+}
+
+/// Finds a same-table sibling column likely to be confused with `column`:
+/// shares the trailing name token (`name` / `song_name`) and type class.
+pub fn confusable_sibling(db: &Database, table: &str, column: &str) -> Option<String> {
+    let t = db.table(table)?;
+    let target_stem = stem(column);
+    let col_idx = t.column_index(column)?;
+    let dtype = t.columns[col_idx].dtype;
+    t.columns
+        .iter()
+        .filter(|c| !c.name.eq_ignore_ascii_case(column))
+        .filter(|c| c.dtype.is_textual() == dtype.is_textual())
+        .find(|c| stem(&c.name) == target_stem)
+        .map(|c| c.name.clone())
+}
+
+/// Finds a different table sharing the leading name stem (`order_record` /
+/// `order_line`) — the generator's repeated entities (`student`,
+/// `student_2`) also qualify.
+pub fn confusable_table(db: &Database, table: &str) -> Option<String> {
+    let target = first_token(table);
+    db.tables
+        .iter()
+        .filter(|t| !t.name.eq_ignore_ascii_case(table))
+        .find(|t| first_token(&t.name) == target)
+        .map(|t| t.name.clone())
+}
+
+/// A plausible spurious extra column: a text column of the primary table
+/// not already projected.
+fn extra_column_candidate(db: &Database, intent: &Intent) -> Option<String> {
+    let t = db.table(&intent.primary)?;
+    let projected: Vec<&str> = intent
+        .projections
+        .iter()
+        .filter_map(|p| match p {
+            Projection::Column { column, .. } => Some(column.as_str()),
+            Projection::Agg(_) => None,
+        })
+        .collect();
+    t.columns
+        .iter()
+        .skip(1) // not the PK
+        .find(|c| {
+            c.dtype.is_textual() && !projected.iter().any(|p| p.eq_ignore_ascii_case(&c.name))
+        })
+        .map(|c| c.name.clone())
+}
+
+fn stem(name: &str) -> &str {
+    name.rsplit('_').next().unwrap_or(name)
+}
+
+fn first_token(name: &str) -> &str {
+    name.split('_').next().unwrap_or(name)
+}
+
+fn drift_number(n: i64) -> i64 {
+    // Deterministic drift keeps corpus generation reproducible: a
+    // magnitude-aware nudge.
+    if n.abs() >= 100 {
+        n + 10
+    } else if n.abs() >= 10 {
+        n + 5
+    } else {
+        n + 1
+    }
+}
+
+fn strictness_neighbor(op: BinOp) -> Option<BinOp> {
+    match op {
+        BinOp::Gt => Some(BinOp::GtEq),
+        BinOp::GtEq => Some(BinOp::Gt),
+        BinOp::Lt => Some(BinOp::LtEq),
+        BinOp::LtEq => Some(BinOp::Lt),
+        _ => None,
+    }
+}
+
+fn agg_neighbor(a: &AggIntent) -> Option<AggIntent> {
+    match a {
+        AggIntent::Count => None,
+        AggIntent::CountDistinct(_) => Some(AggIntent::Count),
+        AggIntent::Sum(c) => Some(AggIntent::Avg(c.clone())),
+        AggIntent::Avg(c) => Some(AggIntent::Sum(c.clone())),
+        AggIntent::Min(c) => Some(AggIntent::Max(c.clone())),
+        AggIntent::Max(c) => Some(AggIntent::Min(c.clone())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::intent::{JoinStep, PredIntent};
+    use fisql_engine::{Column, DataType, Table};
+    use fisql_sqlkit::{diff_queries, print_query};
+
+    fn test_db() -> Database {
+        let mut db = Database::new("t");
+        let mut singer = Table::new(
+            "singer",
+            vec![
+                Column::new("singer_id", DataType::Int),
+                Column::new("name", DataType::Text),
+                Column::new("song_name", DataType::Text),
+                Column::new("age", DataType::Int),
+                Column::new("created_time", DataType::Date),
+            ],
+        );
+        singer.primary_key = Some(0);
+        db.add_table(singer);
+        db.add_table(Table::new(
+            "singer_2",
+            vec![
+                Column::new("singer_2_id", DataType::Int),
+                Column::new("name", DataType::Text),
+            ],
+        ));
+        db
+    }
+
+    fn month_intent() -> Intent {
+        Intent {
+            primary: "singer".into(),
+            joins: vec![],
+            projections: vec![Projection::Agg(AggIntent::Count)],
+            distinct: false,
+            preds: vec![PredIntent {
+                table: "singer".into(),
+                column: "created_time".into(),
+                kind: PredKind::MonthWindow {
+                    year: 2024,
+                    month: 1,
+                },
+            }],
+            shape: Shape::AggOnly,
+        }
+    }
+
+    #[test]
+    fn month_window_gets_year_default_channel() {
+        let db = test_db();
+        let chans = applicable_channels(&month_intent(), &db, &DifficultyProfile::spider());
+        assert!(chans
+            .iter()
+            .any(|c| matches!(c.channel, ErrorChannel::YearDefault { .. })));
+    }
+
+    #[test]
+    fn year_default_corruption_shifts_both_bounds() {
+        let i = month_intent();
+        let gold = i.compile();
+        let bad = corrupt(&i, &ErrorChannel::YearDefault { pred_idx: 0 });
+        let sql = print_query(&bad);
+        assert!(
+            sql.contains("2023-01-01") && sql.contains("2023-02-01"),
+            "{sql}"
+        );
+        // The diff back to gold is exactly two Edit-type predicate ops —
+        // the paper's Figure 5 demonstration.
+        let edits = diff_queries(&bad, &gold);
+        assert_eq!(edits.len(), 2);
+        assert!(edits
+            .iter()
+            .all(|e| e.class() == fisql_sqlkit::OpClass::Edit));
+    }
+
+    #[test]
+    fn confusable_sibling_finds_shared_stem() {
+        let db = test_db();
+        assert_eq!(
+            confusable_sibling(&db, "singer", "name"),
+            Some("song_name".to_string())
+        );
+        assert_eq!(confusable_sibling(&db, "singer", "age"), None);
+    }
+
+    #[test]
+    fn confusable_table_finds_stem_sibling() {
+        let db = test_db();
+        assert_eq!(
+            confusable_table(&db, "singer"),
+            Some("singer_2".to_string())
+        );
+    }
+
+    #[test]
+    fn column_confusion_corruption() {
+        let mut i = month_intent();
+        i.projections = vec![Projection::Column {
+            table: "singer".into(),
+            column: "name".into(),
+        }];
+        i.shape = Shape::Select;
+        let bad = corrupt(
+            &i,
+            &ErrorChannel::ColumnConfusion {
+                proj_idx: 0,
+                wrong: "song_name".into(),
+            },
+        );
+        assert!(print_query(&bad).contains("song_name"));
+    }
+
+    #[test]
+    fn aep_profile_concentrates_on_lexical_confusion() {
+        // The closed-domain profile models jargon: lexical channels
+        // (table/column confusion) are far heavier than on SPIDER, while
+        // structural channels are comparable.
+        let aep = DifficultyProfile::aep();
+        let spider = DifficultyProfile::spider();
+        assert!(aep.lexical > 2.0 * spider.lexical);
+        // On an intent whose table has a confusable sibling, the AEP
+        // table-confusion mass dominates the SPIDER one.
+        let db = test_db();
+        let i = month_intent();
+        let weight_of = |p: &DifficultyProfile| -> f64 {
+            applicable_channels(&i, &db, p)
+                .iter()
+                .filter(|c| matches!(c.channel, ErrorChannel::TableConfusion { .. }))
+                .map(|c| c.weight)
+                .sum()
+        };
+        assert!(weight_of(&aep) > 2.0 * weight_of(&spider));
+    }
+
+    #[test]
+    fn drop_order_by_corruption() {
+        let i = Intent {
+            primary: "singer".into(),
+            joins: vec![],
+            projections: vec![Projection::Column {
+                table: "singer".into(),
+                column: "name".into(),
+            }],
+            distinct: false,
+            preds: vec![],
+            shape: Shape::Superlative {
+                order_table: "singer".into(),
+                order_col: "age".into(),
+                desc: true,
+                limit: 1,
+            },
+        };
+        let bad = corrupt(&i, &ErrorChannel::DropOrderBy);
+        assert_eq!(print_query(&bad), "SELECT name FROM singer");
+        let bad = corrupt(&i, &ErrorChannel::DropLimit);
+        assert_eq!(
+            print_query(&bad),
+            "SELECT name FROM singer ORDER BY age DESC"
+        );
+        let bad = corrupt(&i, &ErrorChannel::WrongOrderDirection);
+        assert!(print_query(&bad).contains("ASC"));
+    }
+
+    #[test]
+    fn missing_join_misattributes_columns() {
+        let i = Intent {
+            primary: "singer".into(),
+            joins: vec![JoinStep {
+                table: "concert".into(),
+                left_table: "singer".into(),
+                left_col: "singer_id".into(),
+                right_col: "singer_id".into(),
+            }],
+            projections: vec![Projection::Column {
+                table: "concert".into(),
+                column: "year".into(),
+            }],
+            distinct: false,
+            preds: vec![],
+            shape: Shape::Select,
+        };
+        let bad = corrupt(&i, &ErrorChannel::MissingJoin { join_idx: 0 });
+        let sql = print_query(&bad);
+        assert!(!sql.contains("JOIN"), "{sql}");
+        assert!(sql.contains("year"), "{sql}");
+    }
+
+    #[test]
+    fn extremum_flip() {
+        let i = Intent {
+            primary: "singer".into(),
+            joins: vec![],
+            projections: vec![Projection::Column {
+                table: "singer".into(),
+                column: "name".into(),
+            }],
+            distinct: false,
+            preds: vec![],
+            shape: Shape::Extremum {
+                column: "age".into(),
+                max: false,
+            },
+        };
+        let bad = corrupt(&i, &ErrorChannel::ExtremumFlip);
+        assert!(print_query(&bad).contains("MAX(age)"));
+    }
+
+    #[test]
+    fn every_corruption_differs_from_gold() {
+        let db = test_db();
+        let mut i = month_intent();
+        i.projections = vec![
+            Projection::Column {
+                table: "singer".into(),
+                column: "name".into(),
+            },
+            Projection::Column {
+                table: "singer".into(),
+                column: "age".into(),
+            },
+        ];
+        i.shape = Shape::Select;
+        let gold = i.compile();
+        for wc in applicable_channels(&i, &db, &DifficultyProfile::aep()) {
+            let bad = corrupt(&i, &wc.channel);
+            assert!(
+                !fisql_sqlkit::structurally_equal(&bad, &gold),
+                "channel {:?} produced no change",
+                wc.channel.kind()
+            );
+        }
+    }
+}

@@ -1,0 +1,529 @@
+//! Semantic frames ("intents") underlying generated questions.
+//!
+//! Every benchmark example is generated *intent-first*: a structured
+//! semantic frame is sampled from the database schema, then (a) compiled
+//! into the gold SQL query and (b) rendered into a natural-language
+//! question. The simulated LLM receives the question plus the intent's
+//! ambiguity annotations, mirroring how a real model receives a question
+//! whose surface form underdetermines the SQL.
+
+use fisql_sqlkit::ast::*;
+use serde::{Deserialize, Serialize};
+
+/// An aggregate in a projection.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum AggIntent {
+    /// `COUNT(*)`
+    Count,
+    /// `COUNT(DISTINCT col)`
+    CountDistinct(String),
+    /// `SUM(col)`
+    Sum(String),
+    /// `AVG(col)`
+    Avg(String),
+    /// `MIN(col)`
+    Min(String),
+    /// `MAX(col)`
+    Max(String),
+}
+
+impl AggIntent {
+    /// The aggregated column, if any.
+    pub fn column(&self) -> Option<&str> {
+        match self {
+            AggIntent::Count => None,
+            AggIntent::CountDistinct(c)
+            | AggIntent::Sum(c)
+            | AggIntent::Avg(c)
+            | AggIntent::Min(c)
+            | AggIntent::Max(c) => Some(c),
+        }
+    }
+
+    /// Compiles to an expression. `qualify` prefixes column refs with a
+    /// table name (used when the query has joins).
+    pub fn to_expr(&self, qualify: Option<&str>) -> Expr {
+        let col = |c: &str| match qualify {
+            Some(t) => Expr::qcol(t, c),
+            None => Expr::col(c),
+        };
+        match self {
+            AggIntent::Count => Expr::count_star(),
+            AggIntent::CountDistinct(c) => Expr::Call {
+                func: Func::Count,
+                distinct: true,
+                args: vec![col(c)],
+            },
+            AggIntent::Sum(c) => Expr::call(Func::Sum, vec![col(c)]),
+            AggIntent::Avg(c) => Expr::call(Func::Avg, vec![col(c)]),
+            AggIntent::Min(c) => Expr::call(Func::Min, vec![col(c)]),
+            AggIntent::Max(c) => Expr::call(Func::Max, vec![col(c)]),
+        }
+    }
+}
+
+/// One projected item.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Projection {
+    /// A plain column `table.column`.
+    Column {
+        /// Owning table.
+        table: String,
+        /// Column name.
+        column: String,
+    },
+    /// An aggregate over the primary table.
+    Agg(AggIntent),
+}
+
+/// The kind of a filter predicate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PredKind {
+    /// `col <op> literal`
+    Cmp {
+        /// Comparison operator.
+        op: BinOp,
+        /// Right-hand literal.
+        value: Literal,
+    },
+    /// `col LIKE '%word%'`
+    Like {
+        /// The contained word (wildcards added at compile time).
+        word: String,
+    },
+    /// `col BETWEEN lo AND hi`
+    Between {
+        /// Lower bound.
+        lo: Literal,
+        /// Upper bound.
+        hi: Literal,
+    },
+    /// `col IS [NOT] NULL`
+    IsNull {
+        /// Negated (`IS NOT NULL`).
+        negated: bool,
+    },
+    /// A calendar-month window over a date column:
+    /// `col >= 'Y-M-01' AND col < '<next month>'`.
+    ///
+    /// This is the paper's flagship ambiguity (Figure 4): the question
+    /// says only "in January", leaving the year implicit.
+    MonthWindow {
+        /// The correct (current) year.
+        year: i64,
+        /// Month 1..=12.
+        month: u32,
+    },
+}
+
+/// One filter predicate bound to a column.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PredIntent {
+    /// Owning table.
+    pub table: String,
+    /// Filtered column.
+    pub column: String,
+    /// Predicate shape.
+    pub kind: PredKind,
+}
+
+/// One join step (always along a generated FK edge).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JoinStep {
+    /// Table being joined in.
+    pub table: String,
+    /// Table already in scope the join attaches to.
+    pub left_table: String,
+    /// Join column on `left_table`.
+    pub left_col: String,
+    /// Join column on `table`.
+    pub right_col: String,
+}
+
+/// The overall query shape.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Shape {
+    /// Plain projection.
+    Select,
+    /// Aggregates only.
+    AggOnly,
+    /// `GROUP BY key` with `COUNT(*)`, optionally `HAVING COUNT(*) > n`.
+    GroupBy {
+        /// Table owning the grouping key.
+        key_table: String,
+        /// Grouping column.
+        key: String,
+        /// Optional HAVING threshold.
+        having_count_gt: Option<i64>,
+    },
+    /// `ORDER BY col [DESC] LIMIT n` superlative.
+    Superlative {
+        /// Table owning the sort column.
+        order_table: String,
+        /// Sort column.
+        order_col: String,
+        /// Sort direction.
+        desc: bool,
+        /// Row limit.
+        limit: u64,
+    },
+    /// `WHERE col = (SELECT MIN/MAX(col) FROM table)` extremum.
+    Extremum {
+        /// The extremized column (on the primary table).
+        column: String,
+        /// MAX if true, MIN otherwise.
+        max: bool,
+    },
+}
+
+/// A complete semantic frame.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Intent {
+    /// Primary table.
+    pub primary: String,
+    /// Join chain (may be empty).
+    pub joins: Vec<JoinStep>,
+    /// Projected items.
+    pub projections: Vec<Projection>,
+    /// `SELECT DISTINCT`.
+    pub distinct: bool,
+    /// Filter predicates (conjoined).
+    pub preds: Vec<PredIntent>,
+    /// Query shape.
+    pub shape: Shape,
+}
+
+impl Intent {
+    /// Whether compiled column references need table qualification.
+    pub fn qualified(&self) -> bool {
+        !self.joins.is_empty()
+    }
+
+    /// Compiles the intent into its gold SQL query.
+    pub fn compile(&self) -> Query {
+        let q = self.qualified();
+        let colref = |table: &str, column: &str| {
+            if q {
+                Expr::qcol(table, column)
+            } else {
+                Expr::col(column)
+            }
+        };
+
+        // FROM clause.
+        let mut from = FromClause::table(self.primary.clone());
+        for j in &self.joins {
+            from.joins.push(Join {
+                kind: JoinKind::Inner,
+                factor: TableFactor::table(j.table.clone()),
+                constraint: Some(Expr::binary(
+                    Expr::qcol(j.left_table.clone(), j.left_col.clone()),
+                    BinOp::Eq,
+                    Expr::qcol(j.table.clone(), j.right_col.clone()),
+                )),
+            });
+        }
+
+        // Projections.
+        let agg_qualifier = if q { Some(self.primary.as_str()) } else { None };
+        let mut items: Vec<SelectItem> = self
+            .projections
+            .iter()
+            .map(|p| match p {
+                Projection::Column { table, column } => SelectItem::expr(colref(table, column)),
+                Projection::Agg(a) => SelectItem::expr(a.to_expr(agg_qualifier)),
+            })
+            .collect();
+
+        // WHERE.
+        let mut where_parts: Vec<Expr> = self.preds.iter().flat_map(|p| pred_exprs(p, q)).collect();
+
+        let mut core = SelectCore {
+            distinct: self.distinct,
+            items: Vec::new(),
+            from: Some(from),
+            where_clause: None,
+            group_by: Vec::new(),
+            having: None,
+        };
+        let mut order_by = Vec::new();
+        let mut limit = None;
+
+        match &self.shape {
+            Shape::Select | Shape::AggOnly => {}
+            Shape::GroupBy {
+                key_table,
+                key,
+                having_count_gt,
+            } => {
+                let key_expr = colref(key_table, key);
+                items = vec![
+                    SelectItem::expr(key_expr.clone()),
+                    SelectItem::expr(Expr::count_star()),
+                ];
+                core.group_by = vec![key_expr];
+                if let Some(n) = having_count_gt {
+                    core.having = Some(Expr::binary(Expr::count_star(), BinOp::Gt, Expr::num(*n)));
+                }
+            }
+            Shape::Superlative {
+                order_table,
+                order_col,
+                desc,
+                limit: n,
+            } => {
+                order_by.push(OrderItem {
+                    expr: colref(order_table, order_col),
+                    desc: *desc,
+                });
+                limit = Some(LimitClause::new(*n));
+            }
+            Shape::Extremum { column, max } => {
+                let inner_agg = if *max {
+                    AggIntent::Max(column.clone())
+                } else {
+                    AggIntent::Min(column.clone())
+                };
+                let sub = Query::select(
+                    vec![SelectItem::expr(inner_agg.to_expr(None))],
+                    FromClause::table(self.primary.clone()),
+                );
+                where_parts.push(Expr::binary(
+                    colref(&self.primary, column),
+                    BinOp::Eq,
+                    Expr::Subquery(Box::new(sub)),
+                ));
+            }
+        }
+
+        core.items = items;
+        core.where_clause = Expr::conjoin(where_parts);
+        Query {
+            core,
+            compound: Vec::new(),
+            order_by,
+            limit,
+        }
+    }
+}
+
+/// Compiles one predicate intent into one or two (MonthWindow) conjuncts.
+pub fn pred_exprs(p: &PredIntent, qualify: bool) -> Vec<Expr> {
+    let col = if qualify {
+        Expr::qcol(p.table.clone(), p.column.clone())
+    } else {
+        Expr::col(p.column.clone())
+    };
+    match &p.kind {
+        PredKind::Cmp { op, value } => vec![Expr::binary(col, *op, Expr::Literal(value.clone()))],
+        PredKind::Like { word } => vec![Expr::Like {
+            expr: Box::new(col),
+            pattern: Box::new(Expr::str(format!("%{word}%"))),
+            negated: false,
+        }],
+        PredKind::Between { lo, hi } => vec![Expr::Between {
+            expr: Box::new(col),
+            low: Box::new(Expr::Literal(lo.clone())),
+            high: Box::new(Expr::Literal(hi.clone())),
+            negated: false,
+        }],
+        PredKind::IsNull { negated } => vec![Expr::IsNull {
+            expr: Box::new(col),
+            negated: *negated,
+        }],
+        PredKind::MonthWindow { year, month } => {
+            let (ny, nm) = if *month == 12 {
+                (year + 1, 1)
+            } else {
+                (*year, month + 1)
+            };
+            vec![
+                Expr::binary(
+                    col.clone(),
+                    BinOp::GtEq,
+                    Expr::str(format!("{year:04}-{month:02}-01")),
+                ),
+                Expr::binary(col, BinOp::Lt, Expr::str(format!("{ny:04}-{nm:02}-01"))),
+            ]
+        }
+    }
+}
+
+/// Month names for question rendering.
+pub const MONTH_NAMES: [&str; 12] = [
+    "January",
+    "February",
+    "March",
+    "April",
+    "May",
+    "June",
+    "July",
+    "August",
+    "September",
+    "October",
+    "November",
+    "December",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fisql_sqlkit::print_query;
+
+    fn base_intent() -> Intent {
+        Intent {
+            primary: "singer".into(),
+            joins: vec![],
+            projections: vec![Projection::Column {
+                table: "singer".into(),
+                column: "name".into(),
+            }],
+            distinct: false,
+            preds: vec![],
+            shape: Shape::Select,
+        }
+    }
+
+    #[test]
+    fn compiles_plain_select() {
+        let sql = print_query(&base_intent().compile());
+        assert_eq!(sql, "SELECT name FROM singer");
+    }
+
+    #[test]
+    fn compiles_count() {
+        let mut i = base_intent();
+        i.projections = vec![Projection::Agg(AggIntent::Count)];
+        i.shape = Shape::AggOnly;
+        assert_eq!(print_query(&i.compile()), "SELECT COUNT(*) FROM singer");
+    }
+
+    #[test]
+    fn compiles_filters() {
+        let mut i = base_intent();
+        i.preds = vec![PredIntent {
+            table: "singer".into(),
+            column: "age".into(),
+            kind: PredKind::Cmp {
+                op: BinOp::Gt,
+                value: Literal::Number(30),
+            },
+        }];
+        assert_eq!(
+            print_query(&i.compile()),
+            "SELECT name FROM singer WHERE age > 30"
+        );
+    }
+
+    #[test]
+    fn compiles_month_window() {
+        let mut i = base_intent();
+        i.primary = "segment".into();
+        i.projections = vec![Projection::Agg(AggIntent::Count)];
+        i.shape = Shape::AggOnly;
+        i.preds = vec![PredIntent {
+            table: "segment".into(),
+            column: "created_time".into(),
+            kind: PredKind::MonthWindow {
+                year: 2024,
+                month: 1,
+            },
+        }];
+        let sql = print_query(&i.compile());
+        assert!(sql.contains("created_time >= '2024-01-01'"));
+        assert!(sql.contains("created_time < '2024-02-01'"));
+    }
+
+    #[test]
+    fn month_window_december_wraps_year() {
+        let p = PredIntent {
+            table: "t".into(),
+            column: "d".into(),
+            kind: PredKind::MonthWindow {
+                year: 2023,
+                month: 12,
+            },
+        };
+        let exprs = pred_exprs(&p, false);
+        let texts: Vec<String> = exprs.iter().map(fisql_sqlkit::print_expr).collect();
+        assert!(texts[1].contains("2024-01-01"), "{texts:?}");
+    }
+
+    #[test]
+    fn compiles_join_with_qualification() {
+        let mut i = base_intent();
+        i.joins = vec![JoinStep {
+            table: "concert".into(),
+            left_table: "singer".into(),
+            left_col: "singer_id".into(),
+            right_col: "singer_id".into(),
+        }];
+        let sql = print_query(&i.compile());
+        assert_eq!(
+            sql,
+            "SELECT singer.name FROM singer JOIN concert ON singer.singer_id = concert.singer_id"
+        );
+    }
+
+    #[test]
+    fn compiles_group_by_having() {
+        let mut i = base_intent();
+        i.shape = Shape::GroupBy {
+            key_table: "singer".into(),
+            key: "country".into(),
+            having_count_gt: Some(2),
+        };
+        assert_eq!(
+            print_query(&i.compile()),
+            "SELECT country, COUNT(*) FROM singer GROUP BY country HAVING COUNT(*) > 2"
+        );
+    }
+
+    #[test]
+    fn compiles_superlative() {
+        let mut i = base_intent();
+        i.shape = Shape::Superlative {
+            order_table: "singer".into(),
+            order_col: "age".into(),
+            desc: true,
+            limit: 1,
+        };
+        assert_eq!(
+            print_query(&i.compile()),
+            "SELECT name FROM singer ORDER BY age DESC LIMIT 1"
+        );
+    }
+
+    #[test]
+    fn compiles_extremum() {
+        let mut i = base_intent();
+        i.shape = Shape::Extremum {
+            column: "age".into(),
+            max: false,
+        };
+        assert_eq!(
+            print_query(&i.compile()),
+            "SELECT name FROM singer WHERE age = (SELECT MIN(age) FROM singer)"
+        );
+    }
+
+    #[test]
+    fn compiled_gold_always_parses_back() {
+        // Round-trip through the printer/parser for a tour of shapes.
+        let mut intents = vec![base_intent()];
+        let mut i = base_intent();
+        i.distinct = true;
+        i.preds = vec![PredIntent {
+            table: "singer".into(),
+            column: "name".into(),
+            kind: PredKind::Like { word: "Jo".into() },
+        }];
+        intents.push(i);
+        for intent in intents {
+            let gold = intent.compile();
+            let printed = print_query(&gold);
+            let reparsed = fisql_sqlkit::parse_query(&printed).unwrap();
+            assert_eq!(gold, reparsed);
+        }
+    }
+}

@@ -1,0 +1,461 @@
+//! Seeded intent sampling against a concrete database.
+//!
+//! Every generated gold query is validated by execution before an example
+//! is accepted, so the corpus contains no broken gold SQL.
+
+use crate::intent::{AggIntent, Intent, JoinStep, PredIntent, PredKind, Projection, Shape};
+use fisql_engine::{DataType, Database, Table, Value};
+use fisql_sqlkit::ast::{BinOp, Literal};
+use rand::Rng;
+
+/// Samples an intent against `db`. Returns `None` when the database lacks
+/// the structure the sampled shape needs (caller retries).
+pub fn generate_intent(db: &Database, rng: &mut impl Rng) -> Option<Intent> {
+    let primary = pick_table(db, rng)?;
+    let shape_roll = rng.gen_range(0..100);
+
+    match shape_roll {
+        0..=29 => gen_select(db, primary, rng),
+        30..=54 => gen_agg(db, primary, rng),
+        55..=69 => gen_group_by(db, primary, rng),
+        70..=84 => gen_superlative(db, primary, rng),
+        _ => gen_extremum(db, primary, rng),
+    }
+}
+
+fn pick_table<'a>(db: &'a Database, rng: &mut impl Rng) -> Option<&'a Table> {
+    let eligible: Vec<&Table> = db
+        .tables
+        .iter()
+        .filter(|t| !t.rows.is_empty() && t.columns.len() >= 3)
+        .collect();
+    if eligible.is_empty() {
+        return None;
+    }
+    Some(eligible[rng.gen_range(0..eligible.len())])
+}
+
+fn gen_select(db: &Database, primary: &Table, rng: &mut impl Rng) -> Option<Intent> {
+    let mut projections = Vec::new();
+    let n_cols = if rng.gen_bool(0.4) { 2 } else { 1 };
+    let candidates = non_pk_columns(primary);
+    if candidates.is_empty() {
+        return None;
+    }
+    for _ in 0..n_cols {
+        let c = candidates[rng.gen_range(0..candidates.len())];
+        if !projections
+            .iter()
+            .any(|p| matches!(p, Projection::Column { column, .. } if column == c))
+        {
+            projections.push(Projection::Column {
+                table: primary.name.clone(),
+                column: c.to_string(),
+            });
+        }
+    }
+    let joins = maybe_join(db, primary, rng, 0.3);
+    let preds = gen_preds(db, primary, &joins, rng, 0.75);
+    let distinct = projections.len() == 1 && rng.gen_bool(0.15);
+    Some(Intent {
+        primary: primary.name.clone(),
+        joins,
+        projections,
+        distinct,
+        preds,
+        shape: Shape::Select,
+    })
+}
+
+fn gen_agg(db: &Database, primary: &Table, rng: &mut impl Rng) -> Option<Intent> {
+    let agg = if rng.gen_bool(0.55) {
+        AggIntent::Count
+    } else {
+        let nums = numeric_columns(primary);
+        if nums.is_empty() {
+            AggIntent::Count
+        } else {
+            let c = nums[rng.gen_range(0..nums.len())].to_string();
+            match rng.gen_range(0..4) {
+                0 => AggIntent::Sum(c),
+                1 => AggIntent::Avg(c),
+                2 => AggIntent::Min(c),
+                _ => AggIntent::Max(c),
+            }
+        }
+    };
+    let joins = maybe_join(db, primary, rng, 0.2);
+    let preds = gen_preds(db, primary, &joins, rng, 0.8);
+    Some(Intent {
+        primary: primary.name.clone(),
+        joins,
+        projections: vec![Projection::Agg(agg)],
+        distinct: false,
+        preds,
+        shape: Shape::AggOnly,
+    })
+}
+
+fn gen_group_by(db: &Database, primary: &Table, rng: &mut impl Rng) -> Option<Intent> {
+    let keys = text_columns(primary);
+    if keys.is_empty() {
+        return gen_agg(db, primary, rng);
+    }
+    let key = keys[rng.gen_range(0..keys.len())].to_string();
+    let having = if rng.gen_bool(0.35) {
+        Some(rng.gen_range(1..=3))
+    } else {
+        None
+    };
+    Some(Intent {
+        primary: primary.name.clone(),
+        joins: vec![],
+        projections: vec![Projection::Agg(AggIntent::Count)],
+        distinct: false,
+        preds: gen_preds(db, primary, &[], rng, 0.3),
+        shape: Shape::GroupBy {
+            key_table: primary.name.clone(),
+            key,
+            having_count_gt: having,
+        },
+    })
+}
+
+fn gen_superlative(db: &Database, primary: &Table, rng: &mut impl Rng) -> Option<Intent> {
+    let nums = numeric_columns(primary);
+    let texts = text_columns(primary);
+    if nums.is_empty() || texts.is_empty() {
+        return gen_select(db, primary, rng);
+    }
+    let order_col = nums[rng.gen_range(0..nums.len())].to_string();
+    let proj = texts[rng.gen_range(0..texts.len())].to_string();
+    let limit = if rng.gen_bool(0.8) {
+        1
+    } else {
+        rng.gen_range(2..=5)
+    };
+    Some(Intent {
+        primary: primary.name.clone(),
+        joins: vec![],
+        projections: vec![Projection::Column {
+            table: primary.name.clone(),
+            column: proj,
+        }],
+        distinct: false,
+        preds: gen_preds(db, primary, &[], rng, 0.25),
+        shape: Shape::Superlative {
+            order_table: primary.name.clone(),
+            order_col,
+            desc: rng.gen_bool(0.5),
+            limit,
+        },
+    })
+}
+
+fn gen_extremum(db: &Database, primary: &Table, rng: &mut impl Rng) -> Option<Intent> {
+    let nums = numeric_columns(primary);
+    let texts = text_columns(primary);
+    if nums.is_empty() || texts.is_empty() {
+        return gen_agg(db, primary, rng);
+    }
+    let column = nums[rng.gen_range(0..nums.len())].to_string();
+    let n_proj = if rng.gen_bool(0.3) { 2 } else { 1 };
+    let mut projections = Vec::new();
+    for _ in 0..n_proj {
+        let c = texts[rng.gen_range(0..texts.len())].to_string();
+        if !projections
+            .iter()
+            .any(|p| matches!(p, Projection::Column { column, .. } if *column == c))
+        {
+            projections.push(Projection::Column {
+                table: primary.name.clone(),
+                column: c,
+            });
+        }
+    }
+    Some(Intent {
+        primary: primary.name.clone(),
+        joins: vec![],
+        projections,
+        distinct: false,
+        preds: vec![],
+        shape: Shape::Extremum {
+            column,
+            max: rng.gen_bool(0.5),
+        },
+    })
+}
+
+/// With probability `p`, adds one FK join step from the primary table
+/// (either direction along a foreign key).
+fn maybe_join(db: &Database, primary: &Table, rng: &mut impl Rng, p: f64) -> Vec<JoinStep> {
+    if !rng.gen_bool(p) {
+        return Vec::new();
+    }
+    let mut options: Vec<JoinStep> = Vec::new();
+    // Child direction: primary has an FK to another table.
+    for fk in &primary.foreign_keys {
+        if let Some(target) = db.table(&fk.ref_table) {
+            options.push(JoinStep {
+                table: target.name.clone(),
+                left_table: primary.name.clone(),
+                left_col: primary.columns[fk.column].name.clone(),
+                right_col: target.columns[fk.ref_column].name.clone(),
+            });
+        }
+    }
+    // Parent direction: another table has an FK to primary.
+    for t in &db.tables {
+        if t.name == primary.name {
+            continue;
+        }
+        for fk in &t.foreign_keys {
+            if fk.ref_table.eq_ignore_ascii_case(&primary.name) {
+                options.push(JoinStep {
+                    table: t.name.clone(),
+                    left_table: primary.name.clone(),
+                    left_col: primary.columns[fk.ref_column].name.clone(),
+                    right_col: t.columns[fk.column].name.clone(),
+                });
+            }
+        }
+    }
+    if options.is_empty() {
+        return Vec::new();
+    }
+    vec![options.swap_remove(rng.gen_range(0..options.len()))]
+}
+
+/// Samples 0-2 predicates over the primary (or a joined) table, with
+/// literals drawn from actual stored data so filters are non-degenerate.
+fn gen_preds(
+    db: &Database,
+    primary: &Table,
+    joins: &[JoinStep],
+    rng: &mut impl Rng,
+    p_any: f64,
+) -> Vec<PredIntent> {
+    let mut preds = Vec::new();
+    if !rng.gen_bool(p_any) {
+        return preds;
+    }
+    let n = if rng.gen_bool(0.25) { 2 } else { 1 };
+    // Candidate (table, column, dtype) triples.
+    let mut candidates: Vec<(&Table, usize)> = Vec::new();
+    for (ci, c) in primary.columns.iter().enumerate() {
+        if ci != 0 && !c.name.ends_with("_id") {
+            candidates.push((primary, ci));
+        }
+    }
+    for j in joins {
+        if let Some(t) = db.table(&j.table) {
+            for (ci, c) in t.columns.iter().enumerate() {
+                if ci != 0 && !c.name.ends_with("_id") {
+                    candidates.push((t, ci));
+                }
+            }
+        }
+    }
+    if candidates.is_empty() {
+        return preds;
+    }
+    for _ in 0..n {
+        let (t, ci) = candidates[rng.gen_range(0..candidates.len())];
+        let col = &t.columns[ci];
+        if preds
+            .iter()
+            .any(|p: &PredIntent| p.column == col.name && p.table == t.name)
+        {
+            continue;
+        }
+        let kind = match col.dtype {
+            DataType::Date => PredKind::MonthWindow {
+                year: 2024,
+                month: rng.gen_range(1..=6),
+            },
+            DataType::Int => {
+                let v = sample_value(t, ci, rng).and_then(|v| match v {
+                    Value::Int(n) => Some(n),
+                    _ => None,
+                });
+                let Some(v) = v else { continue };
+                let op = [BinOp::Gt, BinOp::Lt, BinOp::GtEq, BinOp::Eq][rng.gen_range(0..4)];
+                PredKind::Cmp {
+                    op,
+                    value: Literal::Number(v),
+                }
+            }
+            DataType::Float => {
+                let v = sample_value(t, ci, rng).and_then(|v| v.as_f64());
+                let Some(v) = v else { continue };
+                PredKind::Cmp {
+                    op: if rng.gen_bool(0.5) {
+                        BinOp::Gt
+                    } else {
+                        BinOp::Lt
+                    },
+                    value: Literal::Float((v * 100.0).round() / 100.0),
+                }
+            }
+            DataType::Text => {
+                let v = sample_value(t, ci, rng).and_then(|v| match v {
+                    Value::Text(s) => Some(s),
+                    _ => None,
+                });
+                let Some(s) = v else { continue };
+                if rng.gen_bool(0.25) && s.len() >= 3 {
+                    let word = s.split_whitespace().next().unwrap_or(&s).to_string();
+                    PredKind::Like { word }
+                } else {
+                    PredKind::Cmp {
+                        op: BinOp::Eq,
+                        value: Literal::String(s),
+                    }
+                }
+            }
+            DataType::Bool => continue,
+        };
+        preds.push(PredIntent {
+            table: t.name.clone(),
+            column: col.name.clone(),
+            kind,
+        });
+    }
+    preds
+}
+
+fn sample_value(t: &Table, ci: usize, rng: &mut impl Rng) -> Option<Value> {
+    for _ in 0..8 {
+        let row = &t.rows[rng.gen_range(0..t.rows.len())];
+        if !row[ci].is_null() {
+            return Some(row[ci].clone());
+        }
+    }
+    None
+}
+
+fn non_pk_columns(t: &Table) -> Vec<&str> {
+    t.columns
+        .iter()
+        .enumerate()
+        .filter(|(i, c)| *i != 0 && !c.name.ends_with("_id"))
+        .map(|(_, c)| c.name.as_str())
+        .collect()
+}
+
+fn numeric_columns(t: &Table) -> Vec<&str> {
+    t.columns
+        .iter()
+        .enumerate()
+        .filter(|(i, c)| *i != 0 && c.dtype.is_numeric() && !c.name.ends_with("_id"))
+        .map(|(_, c)| c.name.as_str())
+        .collect()
+}
+
+fn text_columns(t: &Table) -> Vec<&str> {
+    t.columns
+        .iter()
+        .filter(|c| c.dtype == DataType::Text)
+        .map(|c| c.name.as_str())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data_gen::{populate, DataGenOptions};
+    use crate::schema_gen::{generate_schema, SchemaGenOptions};
+    use crate::vocab::THEMES;
+    use fisql_engine::execute;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample_db() -> Database {
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut db = generate_schema(&THEMES[2], 0, &SchemaGenOptions::default(), &mut rng);
+        populate(&mut db, &THEMES[2], &DataGenOptions::default(), &mut rng);
+        db
+    }
+
+    #[test]
+    fn generated_intents_compile_and_execute() {
+        let db = sample_db();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut executed = 0;
+        for _ in 0..200 {
+            if let Some(intent) = generate_intent(&db, &mut rng) {
+                let gold = intent.compile();
+                let result = execute(&db, &gold);
+                assert!(
+                    result.is_ok(),
+                    "gold failed: {}\n{:?}",
+                    fisql_sqlkit::print_query(&gold),
+                    result.err()
+                );
+                executed += 1;
+            }
+        }
+        assert!(executed > 150, "only {executed} intents generated");
+    }
+
+    #[test]
+    fn shape_variety_is_present() {
+        let db = sample_db();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut shapes = std::collections::HashSet::new();
+        for _ in 0..300 {
+            if let Some(intent) = generate_intent(&db, &mut rng) {
+                shapes.insert(match intent.shape {
+                    Shape::Select => "select",
+                    Shape::AggOnly => "agg",
+                    Shape::GroupBy { .. } => "group",
+                    Shape::Superlative { .. } => "superlative",
+                    Shape::Extremum { .. } => "extremum",
+                });
+            }
+        }
+        assert!(shapes.len() >= 4, "shapes seen: {shapes:?}");
+    }
+
+    #[test]
+    fn joins_appear_sometimes() {
+        let db = sample_db();
+        let mut rng = StdRng::seed_from_u64(3);
+        let with_joins = (0..300)
+            .filter_map(|_| generate_intent(&db, &mut rng))
+            .filter(|i| !i.joins.is_empty())
+            .count();
+        assert!(with_joins > 10, "joins: {with_joins}");
+    }
+
+    #[test]
+    fn predicates_use_real_data_values() {
+        let db = sample_db();
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut eq_preds = 0;
+        for _ in 0..300 {
+            let Some(intent) = generate_intent(&db, &mut rng) else {
+                continue;
+            };
+            for p in &intent.preds {
+                if let PredKind::Cmp {
+                    op: BinOp::Eq,
+                    value: Literal::String(s),
+                } = &p.kind
+                {
+                    // The value exists in the column it filters.
+                    let t = db.table(&p.table).unwrap();
+                    let ci = t.column_index(&p.column).unwrap();
+                    assert!(
+                        t.rows.iter().any(|r| r[ci] == Value::Text(s.clone())),
+                        "value {s} not found in {}.{}",
+                        p.table,
+                        p.column
+                    );
+                    eq_preds += 1;
+                }
+            }
+        }
+        assert!(eq_preds > 5);
+    }
+}

@@ -1,0 +1,207 @@
+//! Seeded schema generation.
+//!
+//! Produces databases matching the SPIDER statistics quoted in the paper
+//! (§4.1): "about 200 databases with 5-20 tables per database and 5-10
+//! columns per table". Foreign keys link later tables to earlier ones so
+//! every database has join paths for the question generator.
+
+use crate::vocab::Theme;
+use fisql_engine::{Column, DataType, Database, ForeignKey, Table};
+use rand::Rng;
+
+/// Options controlling schema generation.
+#[derive(Debug, Clone)]
+pub struct SchemaGenOptions {
+    /// Minimum number of tables.
+    pub min_tables: usize,
+    /// Maximum number of tables (inclusive).
+    pub max_tables: usize,
+    /// Minimum columns per table (including the PK).
+    pub min_columns: usize,
+    /// Maximum columns per table (inclusive).
+    pub max_columns: usize,
+    /// Probability that a non-first table gains a foreign key.
+    pub fk_probability: f64,
+    /// Probability of a second foreign key.
+    pub second_fk_probability: f64,
+}
+
+impl Default for SchemaGenOptions {
+    fn default() -> Self {
+        SchemaGenOptions {
+            min_tables: 5,
+            max_tables: 20,
+            min_columns: 5,
+            max_columns: 10,
+            fk_probability: 0.75,
+            second_fk_probability: 0.25,
+        }
+    }
+}
+
+/// Generates a database schema (no rows) for `theme`, named
+/// `{theme}_{variant}`.
+pub fn generate_schema(
+    theme: &Theme,
+    variant: usize,
+    opts: &SchemaGenOptions,
+    rng: &mut impl Rng,
+) -> Database {
+    let mut db = Database::new(format!("{}_{}", theme.name, variant));
+    let n_tables = rng.gen_range(opts.min_tables..=opts.max_tables);
+
+    let mut entity_names: Vec<String> = Vec::with_capacity(n_tables);
+    for i in 0..n_tables {
+        let base = theme.entities[i % theme.entities.len()];
+        let name = if i < theme.entities.len() {
+            base.to_string()
+        } else {
+            format!("{}_{}", base, i / theme.entities.len() + 1)
+        };
+        entity_names.push(name);
+    }
+
+    for (i, entity) in entity_names.iter().enumerate() {
+        let n_cols = rng.gen_range(opts.min_columns..=opts.max_columns);
+        let mut columns = vec![Column::new(format!("{entity}_id"), DataType::Int)];
+        let mut used: Vec<String> = vec![format!("{entity}_id")];
+        let mut foreign_keys = Vec::new();
+
+        // Foreign keys to earlier tables come right after the PK so join
+        // columns are predictable.
+        if i > 0 && rng.gen_bool(opts.fk_probability) {
+            let mut targets = vec![rng.gen_range(0..i)];
+            if i > 1 && rng.gen_bool(opts.second_fk_probability) {
+                let second = rng.gen_range(0..i);
+                if second != targets[0] {
+                    targets.push(second);
+                }
+            }
+            for target in targets {
+                let fk_name = format!("{}_id", entity_names[target]);
+                if used.iter().any(|u| u == &fk_name) {
+                    continue;
+                }
+                foreign_keys.push(ForeignKey {
+                    column: columns.len(),
+                    ref_table: entity_names[target].clone(),
+                    ref_column: 0,
+                });
+                used.push(fk_name.clone());
+                columns.push(Column::new(fk_name, DataType::Int));
+            }
+        }
+
+        // Always include at least one text attribute (the "name-like"
+        // column questions project).
+        push_unique(
+            &mut columns,
+            &mut used,
+            pick(theme.text_attrs, rng),
+            DataType::Text,
+        );
+
+        while columns.len() < n_cols {
+            let roll = rng.gen_range(0..100);
+            let (name, dtype) = if roll < 35 {
+                (pick(theme.text_attrs, rng), DataType::Text)
+            } else if roll < 65 {
+                (pick(theme.int_attrs, rng), DataType::Int)
+            } else if roll < 85 {
+                (pick(theme.float_attrs, rng), DataType::Float)
+            } else {
+                (pick(theme.date_attrs, rng), DataType::Date)
+            };
+            push_unique(&mut columns, &mut used, name, dtype);
+        }
+
+        let mut table = Table::new(entity.clone(), columns);
+        table.primary_key = Some(0);
+        table.foreign_keys = foreign_keys;
+        db.add_table(table);
+    }
+    db
+}
+
+fn pick<'a>(pool: &[&'a str], rng: &mut impl Rng) -> &'a str {
+    pool[rng.gen_range(0..pool.len())]
+}
+
+fn push_unique(columns: &mut Vec<Column>, used: &mut Vec<String>, name: &str, dtype: DataType) {
+    if used.iter().any(|u| u.eq_ignore_ascii_case(name)) {
+        return;
+    }
+    used.push(name.to_string());
+    columns.push(Column::new(name, dtype));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vocab::THEMES;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn schemas_meet_paper_statistics() {
+        let opts = SchemaGenOptions::default();
+        let mut rng = StdRng::seed_from_u64(7);
+        for theme in THEMES.iter().take(5) {
+            for v in 0..4 {
+                let db = generate_schema(theme, v, &opts, &mut rng);
+                assert!(
+                    (5..=20).contains(&db.tables.len()),
+                    "table count {} out of range",
+                    db.tables.len()
+                );
+                for t in &db.tables {
+                    assert!(
+                        (4..=10).contains(&t.columns.len()),
+                        "column count {} out of range for {}",
+                        t.columns.len(),
+                        t.name
+                    );
+                    assert_eq!(t.primary_key, Some(0));
+                    // Every FK references an existing table's PK.
+                    for fk in &t.foreign_keys {
+                        let target = db.table(&fk.ref_table).expect("fk target exists");
+                        assert_eq!(fk.ref_column, 0);
+                        assert_eq!(target.primary_key, Some(0));
+                        assert!(fk.column < t.columns.len());
+                    }
+                    // Column names are unique case-insensitively.
+                    let mut names: Vec<String> =
+                        t.columns.iter().map(|c| c.name.to_lowercase()).collect();
+                    names.sort();
+                    let before = names.len();
+                    names.dedup();
+                    assert_eq!(names.len(), before, "dup column in {}", t.name);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let opts = SchemaGenOptions::default();
+        let a = generate_schema(&THEMES[0], 1, &opts, &mut StdRng::seed_from_u64(42));
+        let b = generate_schema(&THEMES[0], 1, &opts, &mut StdRng::seed_from_u64(42));
+        assert_eq!(a, b);
+        let c = generate_schema(&THEMES[0], 1, &opts, &mut StdRng::seed_from_u64(43));
+        assert_ne!(a, c, "different seeds should give different schemas");
+    }
+
+    #[test]
+    fn table_names_unique() {
+        let opts = SchemaGenOptions {
+            min_tables: 20,
+            max_tables: 20,
+            ..Default::default()
+        };
+        let db = generate_schema(&THEMES[1], 0, &opts, &mut StdRng::seed_from_u64(3));
+        let mut names: Vec<_> = db.tables.iter().map(|t| t.name.clone()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 20);
+    }
+}

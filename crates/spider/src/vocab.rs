@@ -1,0 +1,731 @@
+//! Domain vocabulary pools used by the synthetic schema generator.
+//!
+//! The SPIDER benchmark spans ~200 databases drawn from everyday domains
+//! (colleges, flights, pets, concerts, …) whose schemas use common-sense
+//! names. The generator reproduces that flavour by instantiating schemas
+//! from the domain themes below; the AEP-like corpus instead uses the
+//! closed-domain marketing vocabulary in [`crate::aep`].
+
+/// A domain theme: a family of entity concepts the generator can turn
+/// into tables.
+#[derive(Debug, Clone, Copy)]
+pub struct Theme {
+    /// Theme identifier, used in database names.
+    pub name: &'static str,
+    /// Entity nouns; each becomes a table (with `_` plural-free naming).
+    pub entities: &'static [&'static str],
+    /// Text attribute column names plausible in this theme.
+    pub text_attrs: &'static [&'static str],
+    /// Integer attribute column names.
+    pub int_attrs: &'static [&'static str],
+    /// Float attribute column names.
+    pub float_attrs: &'static [&'static str],
+    /// Date attribute column names.
+    pub date_attrs: &'static [&'static str],
+    /// Categorical value pool for text attributes.
+    pub categories: &'static [&'static str],
+}
+
+/// All available themes. 24 themes × seeded variation yields the ~200
+/// distinct databases of the SPIDER-like corpus.
+pub const THEMES: &[Theme] = &[
+    Theme {
+        name: "college",
+        entities: &[
+            "student",
+            "course",
+            "department",
+            "instructor",
+            "section",
+            "classroom",
+            "major",
+            "enrollment",
+        ],
+        text_attrs: &[
+            "name",
+            "title",
+            "building",
+            "email",
+            "advisor_name",
+            "dept_name",
+            "level",
+        ],
+        int_attrs: &[
+            "age",
+            "credits",
+            "capacity",
+            "year",
+            "enrollment_count",
+            "room_number",
+        ],
+        float_attrs: &["gpa", "salary", "budget", "tuition"],
+        date_attrs: &["enroll_date", "start_date", "end_date"],
+        categories: &["Freshman", "Sophomore", "Junior", "Senior", "Graduate"],
+    },
+    Theme {
+        name: "concert",
+        entities: &[
+            "singer",
+            "concert",
+            "stadium",
+            "song",
+            "album",
+            "band",
+            "ticket",
+            "venue_staff",
+        ],
+        text_attrs: &[
+            "name",
+            "song_name",
+            "concert_name",
+            "country",
+            "location",
+            "genre",
+            "label",
+        ],
+        int_attrs: &[
+            "age",
+            "year",
+            "song_release_year",
+            "capacity",
+            "attendance",
+            "duration",
+        ],
+        float_attrs: &["price", "rating", "highest", "average"],
+        date_attrs: &["release_date", "event_date"],
+        categories: &["Pop", "Rock", "Jazz", "Folk", "Classical"],
+    },
+    Theme {
+        name: "flight",
+        entities: &[
+            "flight",
+            "airport",
+            "airline",
+            "aircraft",
+            "pilot",
+            "booking",
+            "passenger",
+            "route",
+        ],
+        text_attrs: &[
+            "name",
+            "city",
+            "country",
+            "source_airport",
+            "dest_airport",
+            "airline_name",
+            "abbreviation",
+        ],
+        int_attrs: &[
+            "id_number",
+            "distance",
+            "elevation",
+            "seats",
+            "year_founded",
+            "flight_number",
+        ],
+        float_attrs: &["price", "duration_hours", "on_time_rate"],
+        date_attrs: &["departure_date", "arrival_date"],
+        categories: &["Domestic", "International", "Charter", "Cargo"],
+    },
+    Theme {
+        name: "pets",
+        entities: &[
+            "pet",
+            "owner",
+            "veterinarian",
+            "treatment",
+            "breed",
+            "shelter",
+            "adoption",
+            "appointment",
+        ],
+        text_attrs: &["name", "pet_type", "breed_name", "city", "state", "color"],
+        int_attrs: &["age", "weight", "pet_age", "visits", "capacity"],
+        float_attrs: &["fee", "cost", "weight_kg"],
+        date_attrs: &["adoption_date", "visit_date", "birth_date"],
+        categories: &["Dog", "Cat", "Bird", "Rabbit", "Hamster"],
+    },
+    Theme {
+        name: "employment",
+        entities: &[
+            "employee",
+            "company",
+            "position",
+            "project",
+            "assignment",
+            "office",
+            "manager",
+            "contract",
+        ],
+        text_attrs: &[
+            "name",
+            "company_name",
+            "title",
+            "city",
+            "industry",
+            "headquarter",
+        ],
+        int_attrs: &["age", "year", "staff_count", "floor", "hours"],
+        float_attrs: &["salary", "revenue", "market_value", "bonus"],
+        date_attrs: &["hire_date", "founded_date", "deadline"],
+        categories: &["Engineering", "Sales", "Finance", "Marketing", "Operations"],
+    },
+    Theme {
+        name: "library",
+        entities: &[
+            "book",
+            "author",
+            "publisher",
+            "member",
+            "loan",
+            "branch",
+            "reservation",
+            "genre_list",
+        ],
+        text_attrs: &[
+            "title",
+            "name",
+            "publisher_name",
+            "language",
+            "city",
+            "isbn",
+        ],
+        int_attrs: &["pages", "year", "copies", "member_count", "age"],
+        float_attrs: &["price", "rating", "late_fee"],
+        date_attrs: &["publish_date", "due_date", "join_date"],
+        categories: &["Fiction", "History", "Science", "Biography", "Poetry"],
+    },
+    Theme {
+        name: "hospital",
+        entities: &[
+            "patient",
+            "doctor",
+            "nurse",
+            "ward",
+            "prescription",
+            "procedure_record",
+            "department",
+            "stay",
+        ],
+        text_attrs: &[
+            "name",
+            "diagnosis",
+            "specialty",
+            "ward_name",
+            "medication",
+            "blood_type",
+        ],
+        int_attrs: &["age", "room", "bed_count", "dosage", "year"],
+        float_attrs: &["cost", "height", "weight"],
+        date_attrs: &["admission_date", "discharge_date", "visit_date"],
+        categories: &[
+            "Cardiology",
+            "Neurology",
+            "Oncology",
+            "Pediatrics",
+            "Radiology",
+        ],
+    },
+    Theme {
+        name: "restaurant",
+        entities: &[
+            "restaurant",
+            "dish",
+            "chef",
+            "reservation",
+            "review",
+            "ingredient",
+            "menu",
+            "supplier",
+        ],
+        text_attrs: &[
+            "name",
+            "cuisine",
+            "city",
+            "dish_name",
+            "chef_name",
+            "street",
+        ],
+        int_attrs: &[
+            "capacity",
+            "year_opened",
+            "spice_level",
+            "calories",
+            "table_count",
+        ],
+        float_attrs: &["price", "rating", "tip_percent"],
+        date_attrs: &["visit_date", "opened_date"],
+        categories: &["Italian", "Thai", "Mexican", "Indian", "French"],
+    },
+    Theme {
+        name: "ecommerce",
+        entities: &[
+            "customer",
+            "product",
+            "order_record",
+            "shipment",
+            "category_list",
+            "cart",
+            "payment",
+            "warehouse",
+        ],
+        text_attrs: &[
+            "name",
+            "product_name",
+            "city",
+            "country",
+            "status_text",
+            "carrier",
+        ],
+        int_attrs: &["quantity", "stock", "year", "zip", "units_sold"],
+        float_attrs: &["price", "discount", "total_amount", "weight"],
+        date_attrs: &["order_date", "ship_date", "delivery_date"],
+        categories: &["Electronics", "Clothing", "Books", "Garden", "Toys"],
+    },
+    Theme {
+        name: "sports",
+        entities: &[
+            "player",
+            "team",
+            "match_record",
+            "stadium",
+            "coach",
+            "season",
+            "injury",
+            "transfer",
+        ],
+        text_attrs: &[
+            "name",
+            "team_name",
+            "position",
+            "country",
+            "city",
+            "coach_name",
+        ],
+        int_attrs: &[
+            "age", "goals", "points", "year", "capacity", "wins", "losses",
+        ],
+        float_attrs: &["salary", "height", "average_score"],
+        date_attrs: &["match_date", "signed_date"],
+        categories: &["Forward", "Midfielder", "Defender", "Goalkeeper", "Coach"],
+    },
+    Theme {
+        name: "realestate",
+        entities: &[
+            "property",
+            "agent",
+            "buyer",
+            "listing",
+            "viewing",
+            "neighborhood",
+            "mortgage",
+            "inspection",
+        ],
+        text_attrs: &[
+            "address",
+            "name",
+            "city",
+            "property_type",
+            "agency",
+            "status_text",
+        ],
+        int_attrs: &[
+            "bedrooms",
+            "bathrooms",
+            "year_built",
+            "square_feet",
+            "floor_count",
+        ],
+        float_attrs: &["price", "commission", "interest_rate", "lot_size"],
+        date_attrs: &["list_date", "sale_date", "viewing_date"],
+        categories: &["House", "Apartment", "Condo", "Townhouse", "Land"],
+    },
+    Theme {
+        name: "banking",
+        entities: &[
+            "account",
+            "customer",
+            "transaction_record",
+            "branch",
+            "loan",
+            "card",
+            "advisor",
+            "deposit",
+        ],
+        text_attrs: &[
+            "name",
+            "account_type",
+            "branch_name",
+            "city",
+            "currency",
+            "status_text",
+        ],
+        int_attrs: &["age", "year_opened", "credit_score", "term_months"],
+        float_attrs: &["balance", "amount", "interest_rate", "credit_limit"],
+        date_attrs: &["open_date", "transaction_date", "due_date"],
+        categories: &["Checking", "Savings", "Credit", "Investment", "Retirement"],
+    },
+    Theme {
+        name: "museum",
+        entities: &[
+            "exhibit", "artist", "museum", "visitor", "tour", "artifact", "gallery", "donation",
+        ],
+        text_attrs: &["name", "title", "nationality", "city", "period", "material"],
+        int_attrs: &[
+            "year_created",
+            "age",
+            "visitor_count",
+            "floor",
+            "piece_count",
+        ],
+        float_attrs: &["ticket_price", "insured_value", "donation_amount"],
+        date_attrs: &["acquired_date", "visit_date"],
+        categories: &["Painting", "Sculpture", "Photography", "Textile", "Ceramic"],
+    },
+    Theme {
+        name: "film",
+        entities: &[
+            "movie",
+            "director",
+            "actor",
+            "studio",
+            "screening",
+            "award",
+            "cinema",
+            "review_entry",
+        ],
+        text_attrs: &[
+            "title",
+            "name",
+            "genre",
+            "country",
+            "studio_name",
+            "language",
+        ],
+        int_attrs: &["year", "duration", "age", "screen_count", "vote_count"],
+        float_attrs: &["gross", "budget", "rating"],
+        date_attrs: &["release_date", "ceremony_date"],
+        categories: &["Drama", "Comedy", "Action", "Horror", "Documentary"],
+    },
+    Theme {
+        name: "government",
+        entities: &[
+            "county",
+            "city_record",
+            "representative",
+            "election",
+            "district",
+            "department",
+            "budget_item",
+            "policy",
+        ],
+        text_attrs: &["name", "party", "state", "county_name", "status_text"],
+        int_attrs: &["population", "year", "votes", "seat_count", "area"],
+        float_attrs: &["budget", "tax_rate", "turnout_percent"],
+        date_attrs: &["election_date", "term_start"],
+        categories: &[
+            "Democratic",
+            "Republican",
+            "Independent",
+            "Green",
+            "Libertarian",
+        ],
+    },
+    Theme {
+        name: "shipping",
+        entities: &[
+            "vessel",
+            "port",
+            "cargo",
+            "voyage",
+            "captain",
+            "container",
+            "dock",
+            "manifest",
+        ],
+        text_attrs: &[
+            "name",
+            "port_name",
+            "country",
+            "cargo_type",
+            "flag",
+            "status_text",
+        ],
+        int_attrs: &["tonnage", "year_built", "crew_count", "container_count"],
+        float_attrs: &["length", "draft", "freight_rate"],
+        date_attrs: &["departure_date", "arrival_date"],
+        categories: &["Bulk", "Tanker", "Container", "RoRo", "Reefer"],
+    },
+    Theme {
+        name: "music_platform",
+        entities: &[
+            "track",
+            "artist",
+            "playlist",
+            "listener",
+            "subscription",
+            "label_record",
+            "podcast",
+            "session_log",
+        ],
+        text_attrs: &["title", "name", "genre", "country", "device", "plan_name"],
+        int_attrs: &[
+            "duration_seconds",
+            "play_count",
+            "age",
+            "year",
+            "follower_count",
+        ],
+        float_attrs: &["monthly_fee", "royalty_rate", "rating"],
+        date_attrs: &["signup_date", "release_date"],
+        categories: &["Free", "Student", "Premium", "Family", "Duo"],
+    },
+    Theme {
+        name: "insurance",
+        entities: &[
+            "policy",
+            "claim",
+            "policyholder",
+            "adjuster",
+            "coverage",
+            "premium_record",
+            "incident",
+            "payout",
+        ],
+        text_attrs: &[
+            "name",
+            "policy_type",
+            "city",
+            "status_text",
+            "incident_type",
+        ],
+        int_attrs: &["age", "year", "claim_count", "term_years"],
+        float_attrs: &["premium", "deductible", "payout_amount", "coverage_limit"],
+        date_attrs: &["start_date", "claim_date", "expiry_date"],
+        categories: &["Auto", "Home", "Life", "Health", "Travel"],
+    },
+    Theme {
+        name: "gaming",
+        entities: &[
+            "game",
+            "player_profile",
+            "match_log",
+            "guild",
+            "item",
+            "achievement",
+            "tournament",
+            "server",
+        ],
+        text_attrs: &["name", "title", "genre", "region", "platform", "rank_name"],
+        int_attrs: &["level", "score", "play_hours", "year", "member_count"],
+        float_attrs: &["price", "win_rate", "prize_pool"],
+        date_attrs: &["release_date", "joined_date"],
+        categories: &["RPG", "FPS", "Strategy", "Puzzle", "Racing"],
+    },
+    Theme {
+        name: "energy",
+        entities: &[
+            "plant",
+            "turbine",
+            "grid_node",
+            "outage",
+            "meter",
+            "supplier",
+            "tariff",
+            "reading",
+        ],
+        text_attrs: &["name", "plant_type", "region", "operator", "status_text"],
+        int_attrs: &[
+            "capacity_mw",
+            "year_commissioned",
+            "household_count",
+            "duration_minutes",
+        ],
+        float_attrs: &["output", "efficiency", "price_per_kwh"],
+        date_attrs: &["reading_date", "outage_date"],
+        categories: &["Solar", "Wind", "Hydro", "Nuclear", "Gas"],
+    },
+    Theme {
+        name: "logistics",
+        entities: &[
+            "driver",
+            "truck",
+            "delivery",
+            "depot",
+            "route_plan",
+            "parcel",
+            "client",
+            "fuel_log",
+        ],
+        text_attrs: &["name", "city", "license_plate", "status_text", "depot_name"],
+        int_attrs: &["age", "mileage", "parcel_count", "year", "capacity_kg"],
+        float_attrs: &["fuel_cost", "distance_km", "weight"],
+        date_attrs: &["delivery_date", "dispatch_date"],
+        categories: &["Express", "Standard", "Economy", "Overnight", "Same-day"],
+    },
+    Theme {
+        name: "telecom",
+        entities: &[
+            "subscriber",
+            "plan",
+            "tower",
+            "call_record",
+            "device",
+            "invoice",
+            "region_entry",
+            "outage_log",
+        ],
+        text_attrs: &["name", "plan_name", "city", "device_model", "status_text"],
+        int_attrs: &["age", "data_gb", "minutes_used", "year", "tower_count"],
+        float_attrs: &["monthly_cost", "overage_fee", "signal_strength"],
+        date_attrs: &["activation_date", "invoice_date"],
+        categories: &["Prepaid", "Postpaid", "Business", "Family", "Unlimited"],
+    },
+    Theme {
+        name: "agriculture",
+        entities: &[
+            "farm",
+            "crop",
+            "harvest",
+            "field",
+            "equipment",
+            "farmer",
+            "market_sale",
+            "irrigation_log",
+        ],
+        text_attrs: &["name", "crop_type", "region", "soil_type", "owner_name"],
+        int_attrs: &["acreage", "year", "yield_tons", "worker_count"],
+        float_attrs: &["price_per_ton", "rainfall", "subsidy"],
+        date_attrs: &["harvest_date", "planting_date"],
+        categories: &["Wheat", "Corn", "Soy", "Rice", "Barley"],
+    },
+    Theme {
+        name: "research",
+        entities: &[
+            "paper",
+            "researcher",
+            "lab",
+            "grant",
+            "citation_record",
+            "conference",
+            "dataset_entry",
+            "review_log",
+        ],
+        text_attrs: &["title", "name", "institution", "field", "venue", "country"],
+        int_attrs: &[
+            "year",
+            "citation_count",
+            "page_count",
+            "h_index",
+            "author_count",
+        ],
+        float_attrs: &["funding_amount", "acceptance_rate", "impact_factor"],
+        date_attrs: &["submission_date", "publication_date"],
+        categories: &["Databases", "ML", "Systems", "Theory", "HCI"],
+    },
+    Theme {
+        name: "tourism",
+        entities: &[
+            "hotel",
+            "guest",
+            "booking_record",
+            "attraction",
+            "tour_package",
+            "guide",
+            "review_item",
+            "destination",
+        ],
+        text_attrs: &["name", "city", "country", "attraction_type", "status_text"],
+        int_attrs: &[
+            "stars",
+            "room_count",
+            "year_opened",
+            "nights",
+            "visitor_count",
+        ],
+        float_attrs: &["nightly_rate", "rating", "package_price"],
+        date_attrs: &["checkin_date", "checkout_date"],
+        categories: &["Beach", "Mountain", "City", "Desert", "Island"],
+    },
+];
+
+/// First-name pool for person-ish text values.
+pub const FIRST_NAMES: &[&str] = &[
+    "Joe", "Ann", "Maria", "Wei", "Priya", "Liam", "Sofia", "Noah", "Emma", "Raj", "Olivia",
+    "Mateo", "Yuki", "Omar", "Nina", "Lucas", "Amara", "Ivan", "Chloe", "Hugo", "Zara", "Felix",
+    "Ines", "Dmitri", "Leila", "Oscar", "Tara", "Jonas", "Aisha", "Marco",
+];
+
+/// Surname pool.
+pub const LAST_NAMES: &[&str] = &[
+    "Sharp", "Brown", "White", "King", "Nizinik", "Garcia", "Chen", "Patel", "Okafor", "Silva",
+    "Novak", "Larsen", "Haddad", "Kim", "Moreau", "Rossi", "Tanaka", "Weber", "Costa", "Dubois",
+];
+
+/// City pool.
+pub const CITIES: &[&str] = &[
+    "New York", "Paris", "Tokyo", "Berlin", "Madrid", "Toronto", "Sydney", "Mumbai", "Lagos",
+    "Seoul", "Lima", "Cairo", "Oslo", "Prague", "Lisbon", "Austin",
+];
+
+/// Country pool.
+pub const COUNTRIES: &[&str] = &[
+    "United States",
+    "France",
+    "Japan",
+    "Germany",
+    "Spain",
+    "Canada",
+    "Australia",
+    "India",
+    "Nigeria",
+    "South Korea",
+    "Peru",
+    "Egypt",
+    "Norway",
+    "Netherlands",
+];
+
+/// Generic word pool for titles and free-text values.
+pub const WORDS: &[&str] = &[
+    "Sun", "River", "Echo", "Summit", "Harbor", "Aurora", "Cedar", "Quartz", "Falcon", "Ember",
+    "Willow", "Atlas", "Comet", "Delta", "Horizon", "Iris", "Juniper", "Krypton", "Lumen",
+    "Meadow", "Nimbus", "Onyx", "Prism", "Quill", "Raven", "Sable", "Tundra",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn themes_are_well_formed() {
+        assert!(THEMES.len() >= 20, "need enough themes for ~200 DBs");
+        for t in THEMES {
+            assert!(t.entities.len() >= 6, "theme {} too few entities", t.name);
+            assert!(t.text_attrs.len() >= 4);
+            assert!(t.int_attrs.len() >= 3);
+            assert!(!t.float_attrs.is_empty());
+            assert!(!t.date_attrs.is_empty());
+            assert!(t.categories.len() >= 4);
+        }
+    }
+
+    #[test]
+    fn theme_names_are_unique() {
+        let mut names: Vec<_> = THEMES.iter().map(|t| t.name).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), THEMES.len());
+    }
+
+    #[test]
+    fn entity_names_unique_within_theme() {
+        for t in THEMES {
+            let mut e: Vec<_> = t.entities.to_vec();
+            e.sort();
+            e.dedup();
+            assert_eq!(e.len(), t.entities.len(), "dup entity in {}", t.name);
+        }
+    }
+}

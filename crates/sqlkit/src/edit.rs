@@ -1,0 +1,440 @@
+//! Application of clause-level [`EditOp`]s to queries.
+//!
+//! The simulated LLM performs a correction by *applying* an edit operation
+//! it inferred from the user's feedback. Keeping application separate from
+//! inference means the FISQL pipeline and its ablations share one edit
+//! engine and differ only in how reliably they infer the right operation —
+//! exactly the paper's framing (routing improves inference precision, not
+//! the edit mechanics).
+
+use crate::ast::*;
+use crate::diff::EditOp;
+
+/// Errors surfaced when an edit cannot be applied to a query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EditError {
+    /// The index referenced by the edit is out of bounds.
+    IndexOutOfRange {
+        /// What kind of element was indexed.
+        what: &'static str,
+        /// The offending index.
+        index: usize,
+        /// The number of elements present.
+        len: usize,
+    },
+    /// A `ReplaceTable` edit referenced a table absent from the query.
+    TableNotFound {
+        /// The missing table.
+        table: String,
+    },
+}
+
+impl std::fmt::Display for EditError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EditError::IndexOutOfRange { what, index, len } => {
+                write!(f, "{what} index {index} out of range (len {len})")
+            }
+            EditError::TableNotFound { table } => write!(f, "table `{table}` not in query"),
+        }
+    }
+}
+
+impl std::error::Error for EditError {}
+
+/// Applies `op` to `query`, returning the edited query.
+pub fn apply_edit(query: &Query, op: &EditOp) -> Result<Query, EditError> {
+    let mut q = query.clone();
+    match op {
+        EditOp::AddSelectItem { item } => {
+            q.core.items.push(item.clone());
+        }
+        EditOp::RemoveSelectItem { index, .. } => {
+            let len = q.core.items.len();
+            if *index >= len {
+                return Err(EditError::IndexOutOfRange {
+                    what: "select item",
+                    index: *index,
+                    len,
+                });
+            }
+            // Never leave the SELECT list empty.
+            if len == 1 {
+                q.core.items = vec![SelectItem::Wildcard];
+            } else {
+                q.core.items.remove(*index);
+            }
+        }
+        EditOp::ReplaceSelectItem { index, to, .. } => {
+            let len = q.core.items.len();
+            let slot = q
+                .core
+                .items
+                .get_mut(*index)
+                .ok_or(EditError::IndexOutOfRange {
+                    what: "select item",
+                    index: *index,
+                    len,
+                })?;
+            *slot = to.clone();
+        }
+        EditOp::SetDistinct { distinct } => {
+            q.core.distinct = *distinct;
+        }
+        EditOp::ReplaceTable { from, to } => {
+            replace_table(&mut q, from, to)?;
+        }
+        EditOp::AddJoin { join } => {
+            match &mut q.core.from {
+                Some(f) => f.joins.push(join.clone()),
+                None => {
+                    q.core.from = Some(FromClause {
+                        base: join.factor.clone(),
+                        joins: Vec::new(),
+                    });
+                }
+            };
+        }
+        EditOp::RemoveJoin { index, .. } => {
+            let Some(f) = &mut q.core.from else {
+                return Err(EditError::IndexOutOfRange {
+                    what: "join",
+                    index: *index,
+                    len: 0,
+                });
+            };
+            if *index >= f.joins.len() {
+                return Err(EditError::IndexOutOfRange {
+                    what: "join",
+                    index: *index,
+                    len: f.joins.len(),
+                });
+            }
+            f.joins.remove(*index);
+        }
+        EditOp::AddPredicate { pred } => {
+            q.core.where_clause = Some(match q.core.where_clause.take() {
+                Some(w) => w.and(pred.clone()),
+                None => pred.clone(),
+            });
+        }
+        EditOp::RemovePredicate { index, .. } => {
+            let conj: Vec<Expr> = q
+                .core
+                .where_clause
+                .as_ref()
+                .map(|w| w.conjuncts().into_iter().cloned().collect())
+                .unwrap_or_default();
+            if *index >= conj.len() {
+                return Err(EditError::IndexOutOfRange {
+                    what: "predicate",
+                    index: *index,
+                    len: conj.len(),
+                });
+            }
+            let mut conj = conj;
+            conj.remove(*index);
+            q.core.where_clause = Expr::conjoin(conj);
+        }
+        EditOp::ReplacePredicate { index, to, .. } => {
+            let mut conj: Vec<Expr> = q
+                .core
+                .where_clause
+                .as_ref()
+                .map(|w| w.conjuncts().into_iter().cloned().collect())
+                .unwrap_or_default();
+            if *index >= conj.len() {
+                // The predicate to replace does not exist — treat as add,
+                // which is what a cooperative model does with feedback
+                // about a missing condition.
+                conj.push(to.clone());
+            } else {
+                conj[*index] = to.clone();
+            }
+            q.core.where_clause = Expr::conjoin(conj);
+        }
+        EditOp::SetGroupBy { to, .. } => {
+            q.core.group_by = to.clone();
+            if to.is_empty() {
+                q.core.having = None;
+            }
+        }
+        EditOp::SetHaving { to, .. } => {
+            q.core.having = to.clone();
+        }
+        EditOp::SetOrderBy { to, .. } => {
+            q.order_by = to.clone();
+        }
+        EditOp::SetLimit { to, .. } => {
+            q.limit = *to;
+        }
+        EditOp::ReplaceQuery { to } => {
+            q = (**to).clone();
+        }
+    }
+    Ok(q)
+}
+
+/// Applies a sequence of edits left to right, stopping at the first error.
+pub fn apply_edits(query: &Query, ops: &[EditOp]) -> Result<Query, EditError> {
+    let mut q = query.clone();
+    for op in ops {
+        q = apply_edit(&q, op)?;
+    }
+    Ok(q)
+}
+
+/// Replaces every reference to table `from` with `to`: FROM factors
+/// (including join factors) and qualified column references across all
+/// clauses of the outer query.
+fn replace_table(q: &mut Query, from: &str, to: &str) -> Result<(), EditError> {
+    let mut found = false;
+    for core in q.cores_mut() {
+        if let Some(f) = &mut core.from {
+            let mut rename = |factor: &mut TableFactor| {
+                if let TableFactor::Table { name, .. } = factor {
+                    if name.eq_ignore_ascii_case(from) {
+                        *name = to.to_string();
+                        found = true;
+                    }
+                }
+            };
+            rename(&mut f.base);
+            for j in &mut f.joins {
+                rename(&mut j.factor);
+            }
+        }
+        let rewrite = &mut |e: &mut Expr| {
+            if let Expr::Column(c) = e {
+                if let Some(t) = &mut c.table {
+                    if t.eq_ignore_ascii_case(from) {
+                        *t = to.to_string();
+                    }
+                }
+            }
+        };
+        for item in &mut core.items {
+            if let SelectItem::Expr { expr, .. } = item {
+                expr.walk_mut(rewrite);
+            }
+        }
+        if let Some(f) = &mut core.from {
+            for j in &mut f.joins {
+                if let Some(c) = &mut j.constraint {
+                    c.walk_mut(rewrite);
+                }
+            }
+        }
+        if let Some(w) = &mut core.where_clause {
+            w.walk_mut(rewrite);
+        }
+        for g in &mut core.group_by {
+            g.walk_mut(rewrite);
+        }
+        if let Some(h) = &mut core.having {
+            h.walk_mut(rewrite);
+        }
+    }
+    for o in &mut q.order_by {
+        o.expr.walk_mut(&mut |e: &mut Expr| {
+            if let Expr::Column(c) = e {
+                if let Some(t) = &mut c.table {
+                    if t.eq_ignore_ascii_case(from) {
+                        *t = to.to_string();
+                    }
+                }
+            }
+        });
+    }
+    if found {
+        Ok(())
+    } else {
+        Err(EditError::TableNotFound {
+            table: from.to_string(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diff::diff_queries;
+    use crate::normalize::structurally_equal;
+    use crate::parser::parse_query;
+    use crate::printer::print_query;
+
+    fn q(sql: &str) -> Query {
+        parse_query(sql).unwrap()
+    }
+
+    /// The fundamental contract: applying `diff(p, g)` to `p` yields a
+    /// query structurally equal to `g`.
+    fn assert_diff_apply_roundtrip(p: &str, g: &str) {
+        let pq = q(p);
+        let gq = q(g);
+        let edits = diff_queries(&pq, &gq);
+        // Diff is computed against the normalized prediction, so apply to
+        // the normalized form as the pipeline does.
+        let base = crate::normalize::normalize_query(&pq);
+        let fixed = apply_edits(&base, &edits).expect("edits apply");
+        assert!(
+            structurally_equal(&fixed, &gq),
+            "apply(diff) failed:\n  p: {p}\n  g: {g}\n  got: {}",
+            print_query(&fixed)
+        );
+    }
+
+    #[test]
+    fn diff_apply_roundtrips() {
+        let cases = [
+            ("SELECT a FROM t", "SELECT b FROM t"),
+            ("SELECT a FROM t", "SELECT a, b FROM t"),
+            ("SELECT a, b FROM t", "SELECT a FROM t"),
+            ("SELECT a FROM t", "SELECT DISTINCT a FROM t"),
+            ("SELECT a FROM t1", "SELECT a FROM t2"),
+            (
+                "SELECT COUNT(*) FROM s WHERE y = 2023",
+                "SELECT COUNT(*) FROM s WHERE y = 2024",
+            ),
+            ("SELECT a FROM t", "SELECT a FROM t WHERE x > 1"),
+            ("SELECT a FROM t WHERE x > 1", "SELECT a FROM t"),
+            ("SELECT a FROM t", "SELECT a FROM t ORDER BY a DESC LIMIT 3"),
+            (
+                "SELECT a FROM t ORDER BY a ASC",
+                "SELECT a FROM t ORDER BY a DESC",
+            ),
+            (
+                "SELECT city, COUNT(*) FROM t GROUP BY city",
+                "SELECT city, COUNT(*) FROM t GROUP BY city HAVING COUNT(*) > 5",
+            ),
+            (
+                "SELECT a.x FROM a",
+                "SELECT a.x FROM a JOIN b ON a.id = b.aid",
+            ),
+            (
+                "SELECT a.x FROM a JOIN b ON a.id = b.aid WHERE b.y = 1",
+                "SELECT a.x FROM a JOIN c ON a.id = c.aid WHERE c.y = 1",
+            ),
+            ("SELECT a FROM t", "SELECT a FROM t UNION SELECT b FROM s"),
+            (
+                "SELECT name FROM singer WHERE age = (SELECT MAX(age) FROM singer)",
+                "SELECT name FROM singer WHERE age = (SELECT MIN(age) FROM singer)",
+            ),
+        ];
+        for (p, g) in cases {
+            assert_diff_apply_roundtrip(p, g);
+        }
+    }
+
+    #[test]
+    fn replace_table_rewrites_qualified_columns() {
+        let query = q("SELECT b.x FROM a JOIN b ON a.id = b.aid WHERE b.y = 1 ORDER BY b.x ASC");
+        let edited = apply_edit(
+            &query,
+            &EditOp::ReplaceTable {
+                from: "b".into(),
+                to: "c".into(),
+            },
+        )
+        .unwrap();
+        let text = print_query(&edited);
+        assert!(!text.contains("b."), "{text}");
+        assert!(text.contains("c.x") && text.contains("c.aid") && text.contains("c.y"));
+    }
+
+    #[test]
+    fn replace_missing_table_errors() {
+        let query = q("SELECT a FROM t");
+        let err = apply_edit(
+            &query,
+            &EditOp::ReplaceTable {
+                from: "zzz".into(),
+                to: "t2".into(),
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, EditError::TableNotFound { .. }));
+    }
+
+    #[test]
+    fn remove_last_select_item_leaves_wildcard() {
+        let query = q("SELECT a FROM t");
+        let edited = apply_edit(
+            &query,
+            &EditOp::RemoveSelectItem {
+                index: 0,
+                item: SelectItem::expr(Expr::col("a")),
+            },
+        )
+        .unwrap();
+        assert_eq!(edited.core.items, vec![SelectItem::Wildcard]);
+    }
+
+    #[test]
+    fn out_of_range_indices_error() {
+        let query = q("SELECT a FROM t WHERE x = 1");
+        assert!(apply_edit(
+            &query,
+            &EditOp::RemovePredicate {
+                index: 5,
+                pred: Expr::col("x"),
+            },
+        )
+        .is_err());
+        assert!(apply_edit(
+            &query,
+            &EditOp::RemoveJoin {
+                index: 0,
+                join: Join {
+                    kind: JoinKind::Inner,
+                    factor: TableFactor::table("b"),
+                    constraint: None,
+                },
+            },
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn replace_predicate_out_of_range_degrades_to_add() {
+        let query = q("SELECT a FROM t");
+        let edited = apply_edit(
+            &query,
+            &EditOp::ReplacePredicate {
+                index: 0,
+                from: Expr::col("x"),
+                to: Expr::binary(Expr::col("x"), BinOp::Eq, Expr::num(1)),
+            },
+        )
+        .unwrap();
+        assert!(edited.core.where_clause.is_some());
+    }
+
+    #[test]
+    fn clearing_group_by_clears_having() {
+        let query = q("SELECT city, COUNT(*) FROM t GROUP BY city HAVING COUNT(*) > 1");
+        let edited = apply_edit(
+            &query,
+            &EditOp::SetGroupBy {
+                from: vec![Expr::col("city")],
+                to: vec![],
+            },
+        )
+        .unwrap();
+        assert!(edited.core.group_by.is_empty());
+        assert!(edited.core.having.is_none());
+    }
+
+    #[test]
+    fn add_predicate_conjoins() {
+        let query = q("SELECT a FROM t WHERE x = 1");
+        let edited = apply_edit(
+            &query,
+            &EditOp::AddPredicate {
+                pred: Expr::binary(Expr::col("y"), BinOp::Eq, Expr::num(2)),
+            },
+        )
+        .unwrap();
+        assert_eq!(edited.core.where_clause.unwrap().conjuncts().len(), 2);
+    }
+}

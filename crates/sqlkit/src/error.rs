@@ -1,0 +1,84 @@
+//! Error types for lexing and parsing.
+
+use crate::span::Span;
+use std::fmt;
+
+/// An error produced while lexing or parsing SQL text.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// What went wrong.
+    pub message: String,
+    /// Where in the input it went wrong.
+    pub span: Span,
+}
+
+impl ParseError {
+    /// Creates a parse error at `span`.
+    pub fn new(message: impl Into<String>, span: Span) -> Self {
+        ParseError {
+            message: message.into(),
+            span,
+        }
+    }
+
+    /// Renders the error with a caret line pointing into `source`.
+    pub fn render(&self, source: &str) -> String {
+        let mut out = format!(
+            "parse error: {} at byte {}\n",
+            self.message, self.span.start
+        );
+        // Find the line containing the error.
+        let start = source[..self.span.start.min(source.len())]
+            .rfind('\n')
+            .map(|i| i + 1)
+            .unwrap_or(0);
+        let end = source[start..]
+            .find('\n')
+            .map(|i| start + i)
+            .unwrap_or(source.len());
+        let line = &source[start..end];
+        out.push_str(line);
+        out.push('\n');
+        let col = self.span.start.saturating_sub(start);
+        out.extend(std::iter::repeat_n(' ', col));
+        let width = self
+            .span
+            .len()
+            .max(1)
+            .min(end.saturating_sub(self.span.start).max(1));
+        out.extend(std::iter::repeat_n('^', width));
+        out
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at {}", self.message, self.span)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Convenience result alias for parser APIs.
+pub type ParseResult<T> = Result<T, ParseError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_points_at_error() {
+        let src = "SELECT FROM t";
+        let err = ParseError::new("expected expression", Span::new(7, 11));
+        let rendered = err.render(src);
+        assert!(rendered.contains("SELECT FROM t"));
+        assert!(rendered.contains("^^^^"));
+        assert!(rendered.lines().last().unwrap().starts_with("       ^"));
+    }
+
+    #[test]
+    fn display_includes_span() {
+        let err = ParseError::new("boom", Span::new(1, 2));
+        assert_eq!(err.to_string(), "boom at 1..2");
+    }
+}

@@ -1,0 +1,406 @@
+//! A hand-written SQL lexer producing spanned tokens.
+//!
+//! The lexer is deliberately strict about the subset it accepts: anything
+//! outside it is a [`ParseError`] with a span, so malformed SQL coming out
+//! of the simulated LLM surfaces as a structured failure rather than a
+//! panic (the paper's Assistant likewise treats unparsable generations as
+//! errors to be corrected by feedback).
+
+use crate::error::{ParseError, ParseResult};
+use crate::span::Span;
+use crate::token::{Keyword, Token, TokenKind};
+
+/// Lexes `input` into a token vector terminated by a single [`TokenKind::Eof`].
+pub fn lex(input: &str) -> ParseResult<Vec<Token>> {
+    Lexer::new(input).run()
+}
+
+struct Lexer<'a> {
+    input: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(input: &'a str) -> Self {
+        Lexer {
+            input,
+            bytes: input.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn run(mut self) -> ParseResult<Vec<Token>> {
+        let mut tokens = Vec::new();
+        loop {
+            self.skip_whitespace_and_comments()?;
+            let start = self.pos;
+            let Some(&b) = self.bytes.get(self.pos) else {
+                tokens.push(Token::new(TokenKind::Eof, Span::point(self.pos)));
+                return Ok(tokens);
+            };
+            let kind = match b {
+                b'(' => self.single(TokenKind::LParen),
+                b')' => self.single(TokenKind::RParen),
+                b',' => self.single(TokenKind::Comma),
+                b'.' => self.single(TokenKind::Dot),
+                b';' => self.single(TokenKind::Semicolon),
+                b'+' => self.single(TokenKind::Plus),
+                b'-' => self.single(TokenKind::Minus),
+                b'*' => self.single(TokenKind::Star),
+                b'/' => self.single(TokenKind::Slash),
+                b'%' => self.single(TokenKind::Percent),
+                b'=' => self.single(TokenKind::Eq),
+                b'<' => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos) {
+                        Some(b'=') => {
+                            self.pos += 1;
+                            TokenKind::LtEq
+                        }
+                        Some(b'>') => {
+                            self.pos += 1;
+                            TokenKind::NotEq
+                        }
+                        _ => TokenKind::Lt,
+                    }
+                }
+                b'>' => {
+                    self.pos += 1;
+                    if self.bytes.get(self.pos) == Some(&b'=') {
+                        self.pos += 1;
+                        TokenKind::GtEq
+                    } else {
+                        TokenKind::Gt
+                    }
+                }
+                b'!' => {
+                    self.pos += 1;
+                    if self.bytes.get(self.pos) == Some(&b'=') {
+                        self.pos += 1;
+                        TokenKind::NotEq
+                    } else {
+                        return Err(ParseError::new(
+                            "unexpected `!` (did you mean `!=`?)",
+                            Span::new(start, self.pos),
+                        ));
+                    }
+                }
+                b'\'' => self.string_literal()?,
+                b'"' | b'`' => self.quoted_ident(b)?,
+                b'0'..=b'9' => self.number()?,
+                b'A'..=b'Z' | b'a'..=b'z' | b'_' => self.ident_or_keyword(),
+                _ => {
+                    let ch = self.input[start..]
+                        .chars()
+                        .next()
+                        .expect("byte present implies char present");
+                    return Err(ParseError::new(
+                        format!("unexpected character `{ch}`"),
+                        Span::new(start, start + ch.len_utf8()),
+                    ));
+                }
+            };
+            tokens.push(Token::new(kind, Span::new(start, self.pos)));
+        }
+    }
+
+    fn single(&mut self, kind: TokenKind) -> TokenKind {
+        self.pos += 1;
+        kind
+    }
+
+    fn skip_whitespace_and_comments(&mut self) -> ParseResult<()> {
+        loop {
+            while self
+                .bytes
+                .get(self.pos)
+                .is_some_and(|b| b.is_ascii_whitespace())
+            {
+                self.pos += 1;
+            }
+            // `-- comment` to end of line
+            if self.bytes.get(self.pos) == Some(&b'-')
+                && self.bytes.get(self.pos + 1) == Some(&b'-')
+            {
+                while self.bytes.get(self.pos).is_some_and(|&b| b != b'\n') {
+                    self.pos += 1;
+                }
+                continue;
+            }
+            // `/* block comment */`
+            if self.bytes.get(self.pos) == Some(&b'/')
+                && self.bytes.get(self.pos + 1) == Some(&b'*')
+            {
+                let start = self.pos;
+                self.pos += 2;
+                loop {
+                    if self.pos + 1 >= self.bytes.len() {
+                        return Err(ParseError::new(
+                            "unterminated block comment",
+                            Span::new(start, self.bytes.len()),
+                        ));
+                    }
+                    if self.bytes[self.pos] == b'*' && self.bytes[self.pos + 1] == b'/' {
+                        self.pos += 2;
+                        break;
+                    }
+                    self.pos += 1;
+                }
+                continue;
+            }
+            return Ok(());
+        }
+    }
+
+    fn string_literal(&mut self) -> ParseResult<TokenKind> {
+        let start = self.pos;
+        self.pos += 1; // opening quote
+        let mut value = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                None => {
+                    return Err(ParseError::new(
+                        "unterminated string literal",
+                        Span::new(start, self.pos),
+                    ));
+                }
+                Some(b'\'') => {
+                    // `''` escapes a single quote.
+                    if self.bytes.get(self.pos + 1) == Some(&b'\'') {
+                        value.push('\'');
+                        self.pos += 2;
+                    } else {
+                        self.pos += 1;
+                        return Ok(TokenKind::String(value));
+                    }
+                }
+                Some(_) => {
+                    // Advance over one UTF-8 scalar.
+                    let rest = &self.input[self.pos..];
+                    let ch = rest.chars().next().expect("non-empty rest");
+                    value.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn quoted_ident(&mut self, quote: u8) -> ParseResult<TokenKind> {
+        let start = self.pos;
+        self.pos += 1;
+        let begin = self.pos;
+        while self.bytes.get(self.pos).is_some_and(|&b| b != quote) {
+            self.pos += 1;
+        }
+        if self.bytes.get(self.pos) != Some(&quote) {
+            return Err(ParseError::new(
+                "unterminated quoted identifier",
+                Span::new(start, self.pos),
+            ));
+        }
+        let name = self.input[begin..self.pos].to_string();
+        self.pos += 1;
+        if name.is_empty() {
+            return Err(ParseError::new(
+                "empty quoted identifier",
+                Span::new(start, self.pos),
+            ));
+        }
+        Ok(TokenKind::Ident(name))
+    }
+
+    fn number(&mut self) -> ParseResult<TokenKind> {
+        let start = self.pos;
+        while self.bytes.get(self.pos).is_some_and(u8::is_ascii_digit) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.bytes.get(self.pos) == Some(&b'.')
+            && self.bytes.get(self.pos + 1).is_some_and(u8::is_ascii_digit)
+        {
+            is_float = true;
+            self.pos += 1;
+            while self.bytes.get(self.pos).is_some_and(u8::is_ascii_digit) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.bytes.get(self.pos), Some(b'e') | Some(b'E')) {
+            let mut lookahead = self.pos + 1;
+            if matches!(self.bytes.get(lookahead), Some(b'+') | Some(b'-')) {
+                lookahead += 1;
+            }
+            if self.bytes.get(lookahead).is_some_and(u8::is_ascii_digit) {
+                is_float = true;
+                self.pos = lookahead;
+                while self.bytes.get(self.pos).is_some_and(u8::is_ascii_digit) {
+                    self.pos += 1;
+                }
+            }
+        }
+        let text = &self.input[start..self.pos];
+        if is_float {
+            text.parse::<f64>()
+                .map(TokenKind::Float)
+                .map_err(|_| ParseError::new("invalid float literal", Span::new(start, self.pos)))
+        } else {
+            text.parse::<i64>().map(TokenKind::Number).map_err(|_| {
+                ParseError::new("integer literal out of range", Span::new(start, self.pos))
+            })
+        }
+    }
+
+    fn ident_or_keyword(&mut self) -> TokenKind {
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|&b| b.is_ascii_alphanumeric() || b == b'_')
+        {
+            self.pos += 1;
+        }
+        let text = &self.input[start..self.pos];
+        match Keyword::from_ident(text) {
+            Some(kw) => TokenKind::Keyword(kw),
+            None => TokenKind::Ident(text.to_string()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(input: &str) -> Vec<TokenKind> {
+        lex(input).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_simple_select() {
+        let ks = kinds("SELECT a FROM t");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Keyword(Keyword::Select),
+                TokenKind::Ident("a".into()),
+                TokenKind::Keyword(Keyword::From),
+                TokenKind::Ident("t".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        assert_eq!(kinds("select")[0], TokenKind::Keyword(Keyword::Select));
+        assert_eq!(kinds("SeLeCt")[0], TokenKind::Keyword(Keyword::Select));
+    }
+
+    #[test]
+    fn lexes_operators() {
+        let ks = kinds("= != <> < <= > >= + - * / %");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Eq,
+                TokenKind::NotEq,
+                TokenKind::NotEq,
+                TokenKind::Lt,
+                TokenKind::LtEq,
+                TokenKind::Gt,
+                TokenKind::GtEq,
+                TokenKind::Plus,
+                TokenKind::Minus,
+                TokenKind::Star,
+                TokenKind::Slash,
+                TokenKind::Percent,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_string_with_escape() {
+        let ks = kinds("'it''s'");
+        assert_eq!(ks[0], TokenKind::String("it's".into()));
+    }
+
+    #[test]
+    fn lexes_unicode_string() {
+        let ks = kinds("'héllo—world'");
+        assert_eq!(ks[0], TokenKind::String("héllo—world".into()));
+    }
+
+    #[test]
+    fn unterminated_string_is_error() {
+        assert!(lex("'oops").is_err());
+    }
+
+    #[test]
+    fn lexes_numbers() {
+        assert_eq!(kinds("42")[0], TokenKind::Number(42));
+        assert_eq!(kinds("3.5")[0], TokenKind::Float(3.5));
+        assert_eq!(kinds("1e3")[0], TokenKind::Float(1000.0));
+        assert_eq!(kinds("2.5e-1")[0], TokenKind::Float(0.25));
+    }
+
+    #[test]
+    fn dot_after_int_without_digits_is_separate() {
+        // `t.` style access: `1.` would be Number then Dot.
+        let ks = kinds("t.c");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Ident("t".into()),
+                TokenKind::Dot,
+                TokenKind::Ident("c".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn quoted_identifiers() {
+        assert_eq!(kinds("\"Group\"")[0], TokenKind::Ident("Group".into()));
+        assert_eq!(kinds("`order`")[0], TokenKind::Ident("order".into()));
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let ks = kinds("SELECT -- the column\n a /* really */ FROM t");
+        assert_eq!(ks.len(), 5);
+    }
+
+    #[test]
+    fn unterminated_block_comment_is_error() {
+        assert!(lex("SELECT /* a").is_err());
+    }
+
+    #[test]
+    fn bare_bang_is_error() {
+        assert!(lex("a ! b").is_err());
+    }
+
+    #[test]
+    fn spans_are_accurate() {
+        let toks = lex("SELECT abc").unwrap();
+        assert_eq!(toks[0].span, Span::new(0, 6));
+        assert_eq!(toks[1].span, Span::new(7, 10));
+        assert_eq!(toks[2].span, Span::point(10));
+    }
+
+    #[test]
+    fn huge_integer_is_error() {
+        assert!(lex("99999999999999999999999").is_err());
+    }
+
+    #[test]
+    fn multibyte_unexpected_character_errors_cleanly() {
+        // Regression: the error path used to slice one byte into a
+        // multi-byte character and panic.
+        let err = lex("ກk").unwrap_err();
+        assert!(err.message.contains("unexpected character"));
+        let err = lex("SELECT 🦀 FROM t").unwrap_err();
+        assert!(err.message.contains('🦀'));
+    }
+}

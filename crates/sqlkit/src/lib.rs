@@ -1,0 +1,58 @@
+//! # fisql-sqlkit
+//!
+//! SQL substrate for the FISQL reproduction: lexer, parser, AST,
+//! span-tracking pretty-printer, structural normalization, clause-level
+//! diff, and edit application.
+//!
+//! The crate is self-contained (no engine dependency) so that every layer
+//! above it — the relational engine, the benchmark generator, the
+//! simulated LLM, and FISQL itself — speaks one AST.
+//!
+//! ## Quick tour
+//!
+//! ```
+//! use fisql_sqlkit::{parse_query, print_query, diff_queries, apply_edits};
+//!
+//! let predicted = parse_query(
+//!     "SELECT COUNT(*) FROM hkg_dim_segment \
+//!      WHERE createdTime >= '2023-01-01' AND createdTime < '2023-02-01'",
+//! ).unwrap();
+//! let gold = parse_query(
+//!     "SELECT COUNT(*) FROM hkg_dim_segment \
+//!      WHERE createdTime >= '2024-01-01' AND createdTime < '2024-02-01'",
+//! ).unwrap();
+//!
+//! // The paper's Figure 4 example: the user feedback "we are in 2024"
+//! // corresponds to two Edit-type operations on the WHERE clause.
+//! let edits = diff_queries(&predicted, &gold);
+//! assert_eq!(edits.len(), 2);
+//!
+//! let fixed = apply_edits(&fisql_sqlkit::normalize_query(&predicted), &edits).unwrap();
+//! assert!(fisql_sqlkit::structurally_equal(&fixed, &gold));
+//! # let _ = print_query(&fixed);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod diff;
+pub mod edit;
+pub mod error;
+pub mod lexer;
+pub mod normalize;
+pub mod parser;
+pub mod printer;
+pub mod span;
+pub mod token;
+
+pub use ast::{
+    BinOp, ClausePath, ColumnRef, Expr, FromClause, Func, Join, JoinKind, LimitClause, Literal,
+    OrderItem, Query, SelectCore, SelectItem, SetOp, TableFactor, UnaryOp,
+};
+pub use diff::{diff_queries, EditOp, OpClass};
+pub use edit::{apply_edit, apply_edits, EditError};
+pub use error::{ParseError, ParseResult};
+pub use normalize::{normalize_query, structurally_equal};
+pub use parser::{parse_expr, parse_query};
+pub use printer::{print_expr, print_query, print_query_spanned, SpannedSql};
+pub use span::Span;

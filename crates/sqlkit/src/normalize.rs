@@ -1,0 +1,275 @@
+//! Structural normalization of queries.
+//!
+//! Execution-match (the paper's metric) is computed by the engine, but the
+//! feedback simulator and the error analysis need a *structural* notion of
+//! equivalence that is insensitive to superficial choices the generator or
+//! the simulated LLM may make: identifier case, conjunct order, which side
+//! of a comparison the literal sits on, `x <> y` vs `x != y`, and so on.
+//!
+//! [`normalize_query`] rewrites a query into a canonical form;
+//! [`structurally_equal`] compares two queries modulo that form.
+
+use crate::ast::*;
+use crate::printer::print_expr;
+
+/// Returns a canonicalized copy of `query`.
+///
+/// Normalizations applied (in each select core, recursively):
+/// - identifiers (tables, columns, aliases) lower-cased;
+/// - comparisons flipped so a literal operand sits on the right;
+/// - WHERE/HAVING conjuncts sorted by rendered text;
+/// - IN-list elements sorted by rendered text;
+/// - `ASC` made explicit (no-op structurally; `desc: false` already).
+pub fn normalize_query(query: &Query) -> Query {
+    let mut q = query.clone();
+    normalize_in_place(&mut q);
+    q
+}
+
+/// Structural equality modulo normalization.
+pub fn structurally_equal(a: &Query, b: &Query) -> bool {
+    normalize_query(a) == normalize_query(b)
+}
+
+fn normalize_in_place(q: &mut Query) {
+    for core in q.cores_mut() {
+        normalize_core(core);
+    }
+    for item in &mut q.order_by {
+        normalize_expr(&mut item.expr);
+    }
+}
+
+fn normalize_core(core: &mut SelectCore) {
+    for item in &mut core.items {
+        match item {
+            SelectItem::Wildcard => {}
+            SelectItem::QualifiedWildcard(t) => lower(t),
+            SelectItem::Expr { expr, alias } => {
+                normalize_expr(expr);
+                if let Some(a) = alias {
+                    lower(a);
+                }
+            }
+        }
+    }
+    if let Some(from) = &mut core.from {
+        normalize_factor(&mut from.base);
+        for join in &mut from.joins {
+            normalize_factor(&mut join.factor);
+            if let Some(c) = &mut join.constraint {
+                normalize_expr(c);
+            }
+        }
+    }
+    if let Some(w) = &mut core.where_clause {
+        normalize_expr(w);
+        *w = sort_conjuncts(w.clone());
+    }
+    for g in &mut core.group_by {
+        normalize_expr(g);
+    }
+    if let Some(h) = &mut core.having {
+        normalize_expr(h);
+        *h = sort_conjuncts(h.clone());
+    }
+}
+
+fn normalize_factor(f: &mut TableFactor) {
+    match f {
+        TableFactor::Table { name, alias } => {
+            lower(name);
+            if let Some(a) = alias {
+                lower(a);
+            }
+        }
+        TableFactor::Derived { subquery, alias } => {
+            normalize_in_place(subquery);
+            lower(alias);
+        }
+    }
+}
+
+fn normalize_expr(e: &mut Expr) {
+    // Bottom-up: normalize children first, then local rewrites.
+    match e {
+        Expr::Column(c) => {
+            if let Some(t) = &mut c.table {
+                lower(t);
+            }
+            lower(&mut c.column);
+        }
+        Expr::Literal(_) | Expr::Wildcard => {}
+        Expr::Unary { expr, .. } => normalize_expr(expr),
+        Expr::Binary { left, op, right } => {
+            normalize_expr(left);
+            normalize_expr(right);
+            // Literal-left comparisons flip: `1 < a` → `a > 1`.
+            if op.is_comparison()
+                && matches!(**left, Expr::Literal(_))
+                && !matches!(**right, Expr::Literal(_))
+            {
+                std::mem::swap(left, right);
+                *op = op.flipped();
+            }
+            // Commutative operand ordering for `=` and `!=` between two
+            // columns, so `a.x = b.y` and `b.y = a.x` compare equal.
+            if matches!(op, BinOp::Eq | BinOp::NotEq)
+                && matches!(**left, Expr::Column(_))
+                && matches!(**right, Expr::Column(_))
+                && print_expr(right) < print_expr(left)
+            {
+                std::mem::swap(left, right);
+            }
+        }
+        Expr::Call { args, .. } => {
+            for a in args {
+                normalize_expr(a);
+            }
+        }
+        Expr::Case {
+            operand,
+            branches,
+            else_branch,
+        } => {
+            if let Some(op) = operand {
+                normalize_expr(op);
+            }
+            for (w, t) in branches {
+                normalize_expr(w);
+                normalize_expr(t);
+            }
+            if let Some(el) = else_branch {
+                normalize_expr(el);
+            }
+        }
+        Expr::InList { expr, list, .. } => {
+            normalize_expr(expr);
+            for item in list.iter_mut() {
+                normalize_expr(item);
+            }
+            list.sort_by_key(print_expr);
+        }
+        Expr::InSubquery { expr, subquery, .. } => {
+            normalize_expr(expr);
+            normalize_in_place(subquery);
+        }
+        Expr::Between {
+            expr, low, high, ..
+        } => {
+            normalize_expr(expr);
+            normalize_expr(low);
+            normalize_expr(high);
+        }
+        Expr::Like { expr, pattern, .. } => {
+            normalize_expr(expr);
+            normalize_expr(pattern);
+        }
+        Expr::IsNull { expr, .. } => normalize_expr(expr),
+        Expr::Exists { subquery, .. } => normalize_in_place(subquery),
+        Expr::Subquery(q) => normalize_in_place(q),
+    }
+}
+
+fn sort_conjuncts(e: Expr) -> Expr {
+    let mut parts: Vec<Expr> = e.conjuncts().into_iter().cloned().collect();
+    if parts.len() <= 1 {
+        return e;
+    }
+    parts.sort_by_key(print_expr);
+    Expr::conjoin(parts).expect("non-empty conjunct list")
+}
+
+fn lower(s: &mut String) {
+    if s.chars().any(|c| c.is_ascii_uppercase()) {
+        *s = s.to_ascii_lowercase();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+
+    fn eq(a: &str, b: &str) -> bool {
+        structurally_equal(&parse_query(a).unwrap(), &parse_query(b).unwrap())
+    }
+
+    #[test]
+    fn case_insensitive_identifiers() {
+        assert!(eq("SELECT Name FROM Singer", "SELECT name FROM singer"));
+    }
+
+    #[test]
+    fn conjunct_order_irrelevant() {
+        assert!(eq(
+            "SELECT * FROM t WHERE a = 1 AND b = 2",
+            "SELECT * FROM t WHERE b = 2 AND a = 1"
+        ));
+    }
+
+    #[test]
+    fn literal_side_irrelevant() {
+        assert!(eq(
+            "SELECT * FROM t WHERE 30 < age",
+            "SELECT * FROM t WHERE age > 30"
+        ));
+    }
+
+    #[test]
+    fn column_eq_commutes() {
+        assert!(eq(
+            "SELECT * FROM a JOIN b ON a.id = b.aid",
+            "SELECT * FROM a JOIN b ON b.aid = a.id"
+        ));
+    }
+
+    #[test]
+    fn in_list_order_irrelevant() {
+        assert!(eq(
+            "SELECT * FROM t WHERE x IN (3, 1, 2)",
+            "SELECT * FROM t WHERE x IN (1, 2, 3)"
+        ));
+    }
+
+    #[test]
+    fn different_predicates_differ() {
+        assert!(!eq(
+            "SELECT * FROM t WHERE a = 1",
+            "SELECT * FROM t WHERE a = 2"
+        ));
+        assert!(!eq("SELECT a FROM t", "SELECT b FROM t"));
+        assert!(!eq(
+            "SELECT a FROM t ORDER BY a",
+            "SELECT a FROM t ORDER BY a DESC"
+        ));
+    }
+
+    #[test]
+    fn subqueries_normalize_recursively() {
+        assert!(eq(
+            "SELECT * FROM t WHERE x IN (SELECT Y FROM S WHERE b = 2 AND a = 1)",
+            "SELECT * FROM t WHERE x IN (SELECT y FROM s WHERE a = 1 AND b = 2)"
+        ));
+    }
+
+    #[test]
+    fn normalization_is_idempotent() {
+        let q = parse_query(
+            "SELECT Name FROM Singer WHERE 30 < Age AND City IN ('b', 'a') ORDER BY Name",
+        )
+        .unwrap();
+        let n1 = normalize_query(&q);
+        let n2 = normalize_query(&n1);
+        assert_eq!(n1, n2);
+    }
+
+    #[test]
+    fn string_literal_case_is_preserved() {
+        // Data values must not be case-folded.
+        assert!(!eq(
+            "SELECT * FROM t WHERE name = 'Alice'",
+            "SELECT * FROM t WHERE name = 'alice'"
+        ));
+    }
+}

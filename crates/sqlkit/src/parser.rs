@@ -1,0 +1,965 @@
+//! Recursive-descent parser for the FISQL SQL subset.
+//!
+//! Grammar (informal):
+//!
+//! ```text
+//! query      := select_core (setop select_core)* order? limit?
+//! setop      := UNION [ALL] | INTERSECT | EXCEPT
+//! select_core:= SELECT [DISTINCT] items [FROM from] [WHERE expr]
+//!               [GROUP BY exprs [HAVING expr]]
+//! from       := factor (join)*
+//! join       := [INNER|LEFT [OUTER]|RIGHT [OUTER]|CROSS] JOIN factor [ON expr]
+//! factor     := ident [AS? alias] | '(' query ')' AS? alias
+//! expr       := precedence-climbing over OR/AND/NOT/cmp/add/mul with
+//!               postfix IN / BETWEEN / LIKE / IS [NOT] NULL
+//! primary    := literal | column | '(' query ')' | '(' expr ')'
+//!               | func '(' [DISTINCT] args ')' | CASE ... END | EXISTS (...)
+//! ```
+
+use crate::ast::*;
+use crate::error::{ParseError, ParseResult};
+use crate::lexer::lex;
+use crate::span::Span;
+use crate::token::{Keyword, Token, TokenKind};
+
+/// Parses a single SQL query (optionally `;`-terminated). Trailing input is
+/// an error.
+pub fn parse_query(input: &str) -> ParseResult<Query> {
+    let tokens = lex(input)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let q = p.query()?;
+    p.eat_if(&TokenKind::Semicolon);
+    p.expect_kind(&TokenKind::Eof)?;
+    Ok(q)
+}
+
+/// Parses a standalone scalar/boolean expression (used by tests and by the
+/// feedback-grounding machinery to parse user-highlighted fragments).
+pub fn parse_expr(input: &str) -> ParseResult<Expr> {
+    let tokens = lex(input)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let e = p.expr(0)?;
+    p.expect_kind(&TokenKind::Eof)?;
+    Ok(e)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn peek2(&self) -> &Token {
+        &self.tokens[(self.pos + 1).min(self.tokens.len() - 1)]
+    }
+
+    fn advance(&mut self) -> Token {
+        let t = self.tokens[self.pos.min(self.tokens.len() - 1)].clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_kw(&self, kw: Keyword) -> bool {
+        matches!(&self.peek().kind, TokenKind::Keyword(k) if *k == kw)
+    }
+
+    fn eat_kw(&mut self, kw: Keyword) -> bool {
+        if self.at_kw(kw) {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: Keyword) -> ParseResult<()> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(self.unexpected(&format!("expected keyword {kw}")))
+        }
+    }
+
+    fn eat_if(&mut self, kind: &TokenKind) -> bool {
+        if &self.peek().kind == kind {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kind(&mut self, kind: &TokenKind) -> ParseResult<()> {
+        if self.eat_if(kind) {
+            Ok(())
+        } else {
+            Err(self.unexpected(&format!("expected {}", kind.describe())))
+        }
+    }
+
+    fn unexpected(&self, expectation: &str) -> ParseError {
+        let t = self.peek();
+        ParseError::new(
+            format!("{expectation}, found {}", t.kind.describe()),
+            t.span,
+        )
+    }
+
+    fn ident(&mut self) -> ParseResult<(String, Span)> {
+        match &self.peek().kind {
+            TokenKind::Ident(_) => {
+                let t = self.advance();
+                match t.kind {
+                    TokenKind::Ident(name) => Ok((name, t.span)),
+                    _ => unreachable!("peeked Ident"),
+                }
+            }
+            _ => Err(self.unexpected("expected identifier")),
+        }
+    }
+
+    // ---- query level ----------------------------------------------------
+
+    fn query(&mut self) -> ParseResult<Query> {
+        let core = self.select_core()?;
+        let mut compound = Vec::new();
+        loop {
+            let op = if self.eat_kw(Keyword::Union) {
+                if self.eat_kw(Keyword::All) {
+                    SetOp::UnionAll
+                } else {
+                    SetOp::Union
+                }
+            } else if self.eat_kw(Keyword::Intersect) {
+                SetOp::Intersect
+            } else if self.eat_kw(Keyword::Except) {
+                SetOp::Except
+            } else {
+                break;
+            };
+            compound.push((op, self.select_core()?));
+        }
+        let order_by = self.order_by()?;
+        let limit = self.limit()?;
+        Ok(Query {
+            core,
+            compound,
+            order_by,
+            limit,
+        })
+    }
+
+    fn select_core(&mut self) -> ParseResult<SelectCore> {
+        self.expect_kw(Keyword::Select)?;
+        let distinct = self.eat_kw(Keyword::Distinct);
+        let mut items = vec![self.select_item()?];
+        while self.eat_if(&TokenKind::Comma) {
+            items.push(self.select_item()?);
+        }
+        let from = if self.eat_kw(Keyword::From) {
+            Some(self.from_clause()?)
+        } else {
+            None
+        };
+        let where_clause = if self.eat_kw(Keyword::Where) {
+            Some(self.expr(0)?)
+        } else {
+            None
+        };
+        let mut group_by = Vec::new();
+        let mut having = None;
+        if self.at_kw(Keyword::Group) {
+            self.advance();
+            self.expect_kw(Keyword::By)?;
+            group_by.push(self.expr(0)?);
+            while self.eat_if(&TokenKind::Comma) {
+                group_by.push(self.expr(0)?);
+            }
+            if self.eat_kw(Keyword::Having) {
+                having = Some(self.expr(0)?);
+            }
+        }
+        Ok(SelectCore {
+            distinct,
+            items,
+            from,
+            where_clause,
+            group_by,
+            having,
+        })
+    }
+
+    fn select_item(&mut self) -> ParseResult<SelectItem> {
+        if self.eat_if(&TokenKind::Star) {
+            return Ok(SelectItem::Wildcard);
+        }
+        // `t.*`
+        if let (TokenKind::Ident(name), TokenKind::Dot) = (&self.peek().kind, &self.peek2().kind) {
+            if self.tokens.get(self.pos + 2).map(|t| &t.kind) == Some(&TokenKind::Star) {
+                let name = name.clone();
+                self.advance();
+                self.advance();
+                self.advance();
+                return Ok(SelectItem::QualifiedWildcard(name));
+            }
+        }
+        let expr = self.expr(0)?;
+        let alias = self.alias()?;
+        Ok(SelectItem::Expr { expr, alias })
+    }
+
+    /// Parses `[AS] alias` when present. A bare identifier only counts as
+    /// an alias when it is not a clause-starting keyword (that case is
+    /// already excluded because keywords are not identifiers).
+    fn alias(&mut self) -> ParseResult<Option<String>> {
+        if self.eat_kw(Keyword::As) {
+            let (name, _) = self.ident()?;
+            return Ok(Some(name));
+        }
+        if let TokenKind::Ident(_) = &self.peek().kind {
+            let (name, _) = self.ident()?;
+            return Ok(Some(name));
+        }
+        Ok(None)
+    }
+
+    #[allow(clippy::wrong_self_convention)]
+    fn from_clause(&mut self) -> ParseResult<FromClause> {
+        let base = self.table_factor()?;
+        let mut joins = Vec::new();
+        loop {
+            let kind = if self.eat_kw(Keyword::Join) {
+                JoinKind::Inner
+            } else if self.at_kw(Keyword::Inner) {
+                self.advance();
+                self.expect_kw(Keyword::Join)?;
+                JoinKind::Inner
+            } else if self.at_kw(Keyword::Left) {
+                self.advance();
+                self.eat_kw(Keyword::Outer);
+                self.expect_kw(Keyword::Join)?;
+                JoinKind::Left
+            } else if self.at_kw(Keyword::Right) {
+                self.advance();
+                self.eat_kw(Keyword::Outer);
+                self.expect_kw(Keyword::Join)?;
+                JoinKind::Right
+            } else if self.at_kw(Keyword::Cross) {
+                self.advance();
+                self.expect_kw(Keyword::Join)?;
+                JoinKind::Cross
+            } else if self.eat_if(&TokenKind::Comma) {
+                // `FROM a, b` is an implicit cross join.
+                JoinKind::Cross
+            } else {
+                break;
+            };
+            let factor = self.table_factor()?;
+            let constraint = if self.eat_kw(Keyword::On) {
+                Some(self.expr(0)?)
+            } else {
+                None
+            };
+            joins.push(Join {
+                kind,
+                factor,
+                constraint,
+            });
+        }
+        Ok(FromClause { base, joins })
+    }
+
+    fn table_factor(&mut self) -> ParseResult<TableFactor> {
+        if self.eat_if(&TokenKind::LParen) {
+            let subquery = Box::new(self.query()?);
+            self.expect_kind(&TokenKind::RParen)?;
+            self.eat_kw(Keyword::As);
+            let (alias, _) = self.ident()?;
+            return Ok(TableFactor::Derived { subquery, alias });
+        }
+        let (name, _) = self.ident()?;
+        let alias = self.alias()?;
+        Ok(TableFactor::Table { name, alias })
+    }
+
+    fn order_by(&mut self) -> ParseResult<Vec<OrderItem>> {
+        if !self.at_kw(Keyword::Order) {
+            return Ok(Vec::new());
+        }
+        self.advance();
+        self.expect_kw(Keyword::By)?;
+        let mut items = Vec::new();
+        loop {
+            let expr = self.expr(0)?;
+            let desc = if self.eat_kw(Keyword::Desc) {
+                true
+            } else {
+                self.eat_kw(Keyword::Asc);
+                false
+            };
+            items.push(OrderItem { expr, desc });
+            if !self.eat_if(&TokenKind::Comma) {
+                break;
+            }
+        }
+        Ok(items)
+    }
+
+    fn limit(&mut self) -> ParseResult<Option<LimitClause>> {
+        if !self.eat_kw(Keyword::Limit) {
+            return Ok(None);
+        }
+        let count = self.unsigned()?;
+        let offset = if self.eat_kw(Keyword::Offset) {
+            Some(self.unsigned()?)
+        } else {
+            None
+        };
+        Ok(Some(LimitClause { count, offset }))
+    }
+
+    fn unsigned(&mut self) -> ParseResult<u64> {
+        match &self.peek().kind {
+            TokenKind::Number(n) if *n >= 0 => {
+                let n = *n as u64;
+                self.advance();
+                Ok(n)
+            }
+            _ => Err(self.unexpected("expected a non-negative integer")),
+        }
+    }
+
+    // ---- expressions -----------------------------------------------------
+
+    /// Precedence-climbing expression parser. `min_prec` is the minimum
+    /// binding power a binary operator must have to be consumed.
+    fn expr(&mut self, min_prec: u8) -> ParseResult<Expr> {
+        let mut lhs = self.unary()?;
+        loop {
+            // Postfix predicates bind tighter than AND/OR but looser than
+            // comparisons; SQL treats them at comparison level (prec 3).
+            lhs = self.postfix(lhs, min_prec)?;
+            let op = match self.binop() {
+                Some(op) if op.precedence() >= min_prec.max(1) && op.precedence() >= min_prec => op,
+                _ => break,
+            };
+            if op.precedence() < min_prec {
+                break;
+            }
+            self.advance_binop(op);
+            let rhs = self.expr(op.precedence() + 1)?;
+            lhs = Expr::binary(lhs, op, rhs);
+        }
+        Ok(lhs)
+    }
+
+    /// Peeks the next binary operator without consuming it.
+    fn binop(&self) -> Option<BinOp> {
+        Some(match &self.peek().kind {
+            TokenKind::Plus => BinOp::Add,
+            TokenKind::Minus => BinOp::Sub,
+            TokenKind::Star => BinOp::Mul,
+            TokenKind::Slash => BinOp::Div,
+            TokenKind::Percent => BinOp::Mod,
+            TokenKind::Eq => BinOp::Eq,
+            TokenKind::NotEq => BinOp::NotEq,
+            TokenKind::Lt => BinOp::Lt,
+            TokenKind::LtEq => BinOp::LtEq,
+            TokenKind::Gt => BinOp::Gt,
+            TokenKind::GtEq => BinOp::GtEq,
+            TokenKind::Keyword(Keyword::And) => BinOp::And,
+            TokenKind::Keyword(Keyword::Or) => BinOp::Or,
+            _ => return None,
+        })
+    }
+
+    fn advance_binop(&mut self, _op: BinOp) {
+        self.advance();
+    }
+
+    /// Postfix predicate operators: IN, BETWEEN, LIKE, IS [NOT] NULL, and
+    /// NOT-prefixed forms. These sit at precedence 3 — above AND (2),
+    /// below comparisons (4).
+    fn postfix(&mut self, lhs: Expr, min_prec: u8) -> ParseResult<Expr> {
+        const PREDICATE_PREC: u8 = 3;
+        if min_prec > PREDICATE_PREC {
+            return Ok(lhs);
+        }
+        let mut lhs = lhs;
+        loop {
+            let negated = if self.at_kw(Keyword::Not)
+                && matches!(
+                    self.peek2().kind,
+                    TokenKind::Keyword(Keyword::In)
+                        | TokenKind::Keyword(Keyword::Between)
+                        | TokenKind::Keyword(Keyword::Like)
+                ) {
+                self.advance();
+                true
+            } else {
+                false
+            };
+            if self.eat_kw(Keyword::In) {
+                self.expect_kind(&TokenKind::LParen)?;
+                if self.at_kw(Keyword::Select) {
+                    let subquery = Box::new(self.query()?);
+                    self.expect_kind(&TokenKind::RParen)?;
+                    lhs = Expr::InSubquery {
+                        expr: Box::new(lhs),
+                        subquery,
+                        negated,
+                    };
+                } else {
+                    let mut list = vec![self.expr(0)?];
+                    while self.eat_if(&TokenKind::Comma) {
+                        list.push(self.expr(0)?);
+                    }
+                    self.expect_kind(&TokenKind::RParen)?;
+                    lhs = Expr::InList {
+                        expr: Box::new(lhs),
+                        list,
+                        negated,
+                    };
+                }
+            } else if self.eat_kw(Keyword::Between) {
+                // Bounds parse above AND precedence so the connective AND
+                // is not swallowed.
+                let low = self.expr(BinOp::And.precedence() + 1)?;
+                self.expect_kw(Keyword::And)?;
+                let high = self.expr(BinOp::And.precedence() + 1)?;
+                lhs = Expr::Between {
+                    expr: Box::new(lhs),
+                    low: Box::new(low),
+                    high: Box::new(high),
+                    negated,
+                };
+            } else if self.eat_kw(Keyword::Like) {
+                let pattern = self.expr(PREDICATE_PREC + 1)?;
+                lhs = Expr::Like {
+                    expr: Box::new(lhs),
+                    pattern: Box::new(pattern),
+                    negated,
+                };
+            } else if self.at_kw(Keyword::Is) {
+                self.advance();
+                let negated = self.eat_kw(Keyword::Not);
+                self.expect_kw(Keyword::Null)?;
+                lhs = Expr::IsNull {
+                    expr: Box::new(lhs),
+                    negated,
+                };
+            } else {
+                if negated {
+                    return Err(self.unexpected("expected IN, BETWEEN, or LIKE after NOT"));
+                }
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn unary(&mut self) -> ParseResult<Expr> {
+        if self.eat_kw(Keyword::Not) {
+            let inner = self.expr(BinOp::And.precedence() + 1)?;
+            return Ok(Expr::Unary {
+                op: UnaryOp::Not,
+                expr: Box::new(inner),
+            });
+        }
+        if self.eat_if(&TokenKind::Minus) {
+            let inner = self.unary()?;
+            // Fold negative numeric literals immediately.
+            return Ok(match inner {
+                Expr::Literal(Literal::Number(n)) => Expr::Literal(Literal::Number(-n)),
+                Expr::Literal(Literal::Float(x)) => Expr::Literal(Literal::Float(-x)),
+                other => Expr::Unary {
+                    op: UnaryOp::Neg,
+                    expr: Box::new(other),
+                },
+            });
+        }
+        if self.eat_if(&TokenKind::Plus) {
+            return self.unary();
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> ParseResult<Expr> {
+        match self.peek().kind.clone() {
+            TokenKind::Number(n) => {
+                self.advance();
+                Ok(Expr::Literal(Literal::Number(n)))
+            }
+            TokenKind::Float(x) => {
+                self.advance();
+                Ok(Expr::Literal(Literal::Float(x)))
+            }
+            TokenKind::String(s) => {
+                self.advance();
+                Ok(Expr::Literal(Literal::String(s)))
+            }
+            TokenKind::Keyword(Keyword::Null) => {
+                self.advance();
+                Ok(Expr::Literal(Literal::Null))
+            }
+            TokenKind::Keyword(Keyword::True) => {
+                self.advance();
+                Ok(Expr::Literal(Literal::Bool(true)))
+            }
+            TokenKind::Keyword(Keyword::False) => {
+                self.advance();
+                Ok(Expr::Literal(Literal::Bool(false)))
+            }
+            TokenKind::Keyword(Keyword::Exists) => {
+                self.advance();
+                self.expect_kind(&TokenKind::LParen)?;
+                let subquery = Box::new(self.query()?);
+                self.expect_kind(&TokenKind::RParen)?;
+                Ok(Expr::Exists {
+                    subquery,
+                    negated: false,
+                })
+            }
+            TokenKind::Keyword(Keyword::Case) => self.case_expr(),
+            TokenKind::LParen => {
+                self.advance();
+                if self.at_kw(Keyword::Select) {
+                    let subquery = Box::new(self.query()?);
+                    self.expect_kind(&TokenKind::RParen)?;
+                    Ok(Expr::Subquery(subquery))
+                } else {
+                    let e = self.expr(0)?;
+                    self.expect_kind(&TokenKind::RParen)?;
+                    Ok(e)
+                }
+            }
+            TokenKind::Star => {
+                self.advance();
+                Ok(Expr::Wildcard)
+            }
+            TokenKind::Ident(name) => {
+                // Function call?
+                if self.peek2().kind == TokenKind::LParen {
+                    if let Some(func) = Func::from_name(&name) {
+                        self.advance(); // name
+                        self.advance(); // (
+                        let distinct = self.eat_kw(Keyword::Distinct);
+                        let mut args = Vec::new();
+                        if !self.eat_if(&TokenKind::RParen) {
+                            loop {
+                                if self.eat_if(&TokenKind::Star) {
+                                    args.push(Expr::Wildcard);
+                                } else {
+                                    args.push(self.expr(0)?);
+                                }
+                                if !self.eat_if(&TokenKind::Comma) {
+                                    break;
+                                }
+                            }
+                            self.expect_kind(&TokenKind::RParen)?;
+                        }
+                        return Ok(Expr::Call {
+                            func,
+                            distinct,
+                            args,
+                        });
+                    }
+                    return Err(ParseError::new(
+                        format!("unknown function `{name}`"),
+                        self.peek().span,
+                    ));
+                }
+                self.advance();
+                // Qualified column `t.c`?
+                if self.eat_if(&TokenKind::Dot) {
+                    let (col, _) = self.ident()?;
+                    Ok(Expr::Column(ColumnRef::qualified(name, col)))
+                } else {
+                    Ok(Expr::Column(ColumnRef::bare(name)))
+                }
+            }
+            _ => Err(self.unexpected("expected expression")),
+        }
+    }
+
+    fn case_expr(&mut self) -> ParseResult<Expr> {
+        self.expect_kw(Keyword::Case)?;
+        let operand = if !self.at_kw(Keyword::When) {
+            Some(Box::new(self.expr(0)?))
+        } else {
+            None
+        };
+        let mut branches = Vec::new();
+        while self.eat_kw(Keyword::When) {
+            let when = self.expr(0)?;
+            self.expect_kw(Keyword::Then)?;
+            let then = self.expr(0)?;
+            branches.push((when, then));
+        }
+        if branches.is_empty() {
+            return Err(self.unexpected("expected WHEN after CASE"));
+        }
+        let else_branch = if self.eat_kw(Keyword::Else) {
+            Some(Box::new(self.expr(0)?))
+        } else {
+            None
+        };
+        self.expect_kw(Keyword::End)?;
+        Ok(Expr::Case {
+            operand,
+            branches,
+            else_branch,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(sql: &str) -> Query {
+        parse_query(sql).unwrap_or_else(|e| panic!("{}", e.render(sql)))
+    }
+
+    #[test]
+    fn parses_minimal_select() {
+        let query = q("SELECT name FROM singer");
+        assert_eq!(query.core.items.len(), 1);
+        assert_eq!(
+            query.core.from.as_ref().unwrap().base,
+            TableFactor::table("singer")
+        );
+    }
+
+    #[test]
+    fn parses_select_without_from() {
+        let query = q("SELECT 1 + 2");
+        assert!(query.core.from.is_none());
+    }
+
+    #[test]
+    fn parses_distinct_and_aliases() {
+        let query = q("SELECT DISTINCT name AS n, age a FROM singer s");
+        assert!(query.core.distinct);
+        assert_eq!(
+            query.core.items[0],
+            SelectItem::aliased(Expr::col("name"), "n")
+        );
+        assert_eq!(
+            query.core.items[1],
+            SelectItem::aliased(Expr::col("age"), "a")
+        );
+        assert_eq!(
+            query.core.from.as_ref().unwrap().base,
+            TableFactor::aliased("singer", "s")
+        );
+    }
+
+    #[test]
+    fn parses_wildcards() {
+        let query = q("SELECT *, t.* FROM t");
+        assert_eq!(query.core.items[0], SelectItem::Wildcard);
+        assert_eq!(
+            query.core.items[1],
+            SelectItem::QualifiedWildcard("t".into())
+        );
+    }
+
+    #[test]
+    fn parses_joins() {
+        let query =
+            q("SELECT * FROM a JOIN b ON a.id = b.aid LEFT JOIN c ON b.id = c.bid CROSS JOIN d");
+        let from = query.core.from.as_ref().unwrap();
+        assert_eq!(from.joins.len(), 3);
+        assert_eq!(from.joins[0].kind, JoinKind::Inner);
+        assert_eq!(from.joins[1].kind, JoinKind::Left);
+        assert_eq!(from.joins[2].kind, JoinKind::Cross);
+        assert!(from.joins[2].constraint.is_none());
+    }
+
+    #[test]
+    fn parses_comma_join() {
+        let query = q("SELECT * FROM a, b WHERE a.id = b.aid");
+        let from = query.core.from.as_ref().unwrap();
+        assert_eq!(from.joins.len(), 1);
+        assert_eq!(from.joins[0].kind, JoinKind::Cross);
+    }
+
+    #[test]
+    fn parses_where_precedence() {
+        let query = q("SELECT * FROM t WHERE a = 1 OR b = 2 AND c = 3");
+        // OR is the root: (a=1) OR ((b=2) AND (c=3))
+        match query.core.where_clause.unwrap() {
+            Expr::Binary {
+                op: BinOp::Or,
+                right,
+                ..
+            } => {
+                assert!(matches!(*right, Expr::Binary { op: BinOp::And, .. }));
+            }
+            other => panic!("expected OR at root, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_arithmetic_precedence() {
+        let e = parse_expr("1 + 2 * 3").unwrap();
+        match e {
+            Expr::Binary {
+                op: BinOp::Add,
+                right,
+                ..
+            } => {
+                assert!(matches!(*right, Expr::Binary { op: BinOp::Mul, .. }));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_parens_override() {
+        let e = parse_expr("(1 + 2) * 3").unwrap();
+        assert!(matches!(e, Expr::Binary { op: BinOp::Mul, .. }));
+    }
+
+    #[test]
+    fn parses_group_by_having() {
+        let query = q("SELECT city, COUNT(*) FROM t GROUP BY city HAVING COUNT(*) > 2");
+        assert_eq!(query.core.group_by, vec![Expr::col("city")]);
+        assert!(query.core.having.is_some());
+    }
+
+    #[test]
+    fn parses_order_limit_offset() {
+        let query = q("SELECT a FROM t ORDER BY a DESC, b LIMIT 10 OFFSET 5");
+        assert_eq!(query.order_by.len(), 2);
+        assert!(query.order_by[0].desc);
+        assert!(!query.order_by[1].desc);
+        assert_eq!(
+            query.limit,
+            Some(LimitClause {
+                count: 10,
+                offset: Some(5)
+            })
+        );
+    }
+
+    #[test]
+    fn parses_aggregates_and_distinct_arg() {
+        let query = q("SELECT COUNT(*), COUNT(DISTINCT city), AVG(age) FROM t");
+        assert_eq!(query.core.items[0], SelectItem::expr(Expr::count_star()));
+        match &query.core.items[1] {
+            SelectItem::Expr {
+                expr: Expr::Call { func, distinct, .. },
+                ..
+            } => {
+                assert_eq!(*func, Func::Count);
+                assert!(*distinct);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_in_list_and_subquery() {
+        let query = q("SELECT * FROM t WHERE a IN (1, 2, 3) AND b NOT IN (SELECT id FROM s)");
+        let w = query.core.where_clause.unwrap();
+        let parts = w.conjuncts();
+        assert!(matches!(parts[0], Expr::InList { negated: false, .. }));
+        assert!(matches!(parts[1], Expr::InSubquery { negated: true, .. }));
+    }
+
+    #[test]
+    fn parses_between_with_and() {
+        let query = q("SELECT * FROM t WHERE a BETWEEN 1 AND 10 AND b = 2");
+        let w = query.core.where_clause.unwrap();
+        let parts = w.conjuncts();
+        assert_eq!(parts.len(), 2);
+        assert!(matches!(parts[0], Expr::Between { .. }));
+    }
+
+    #[test]
+    fn parses_not_between() {
+        let e = parse_expr("a NOT BETWEEN 1 AND 2").unwrap();
+        assert!(matches!(e, Expr::Between { negated: true, .. }));
+    }
+
+    #[test]
+    fn parses_like_and_is_null() {
+        let query = q("SELECT * FROM t WHERE name LIKE 'A%' AND x IS NOT NULL AND y IS NULL");
+        let w = query.core.where_clause.unwrap();
+        let parts = w.conjuncts();
+        assert!(matches!(parts[0], Expr::Like { negated: false, .. }));
+        assert!(matches!(parts[1], Expr::IsNull { negated: true, .. }));
+        assert!(matches!(parts[2], Expr::IsNull { negated: false, .. }));
+    }
+
+    #[test]
+    fn parses_exists() {
+        let query = q("SELECT * FROM t WHERE EXISTS (SELECT 1 FROM s WHERE s.tid = t.id)");
+        assert!(matches!(
+            query.core.where_clause.unwrap(),
+            Expr::Exists { negated: false, .. }
+        ));
+    }
+
+    #[test]
+    fn parses_not_exists_via_not() {
+        let query = q("SELECT * FROM t WHERE NOT EXISTS (SELECT 1 FROM s)");
+        assert!(matches!(
+            query.core.where_clause.unwrap(),
+            Expr::Unary {
+                op: UnaryOp::Not,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn parses_scalar_subquery() {
+        let query = q("SELECT name FROM singer WHERE age = (SELECT MIN(age) FROM singer)");
+        let w = query.core.where_clause.unwrap();
+        match w {
+            Expr::Binary { right, .. } => assert!(matches!(*right, Expr::Subquery(_))),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_derived_table() {
+        let query = q("SELECT x.n FROM (SELECT name AS n FROM singer) AS x");
+        match &query.core.from.as_ref().unwrap().base {
+            TableFactor::Derived { alias, .. } => assert_eq!(alias, "x"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_set_ops() {
+        let query = q("SELECT a FROM t UNION SELECT b FROM s EXCEPT SELECT c FROM r ORDER BY 1");
+        assert_eq!(query.compound.len(), 2);
+        assert_eq!(query.compound[0].0, SetOp::Union);
+        assert_eq!(query.compound[1].0, SetOp::Except);
+        assert_eq!(query.order_by.len(), 1);
+    }
+
+    #[test]
+    fn parses_union_all() {
+        let query = q("SELECT a FROM t UNION ALL SELECT a FROM s");
+        assert_eq!(query.compound[0].0, SetOp::UnionAll);
+    }
+
+    #[test]
+    fn parses_case() {
+        let e = parse_expr("CASE WHEN a > 1 THEN 'big' ELSE 'small' END").unwrap();
+        match e {
+            Expr::Case {
+                operand,
+                branches,
+                else_branch,
+            } => {
+                assert!(operand.is_none());
+                assert_eq!(branches.len(), 1);
+                assert!(else_branch.is_some());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_case_with_operand() {
+        let e = parse_expr("CASE x WHEN 1 THEN 'a' WHEN 2 THEN 'b' END").unwrap();
+        match e {
+            Expr::Case {
+                operand, branches, ..
+            } => {
+                assert!(operand.is_some());
+                assert_eq!(branches.len(), 2);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_negative_literals() {
+        assert_eq!(
+            parse_expr("-5").unwrap(),
+            Expr::Literal(Literal::Number(-5))
+        );
+        assert_eq!(
+            parse_expr("-2.5").unwrap(),
+            Expr::Literal(Literal::Float(-2.5))
+        );
+    }
+
+    #[test]
+    fn parses_qualified_columns() {
+        let e = parse_expr("t.c + s.d").unwrap();
+        let cols = e.columns();
+        assert_eq!(cols[0], &ColumnRef::qualified("t", "c"));
+        assert_eq!(cols[1], &ColumnRef::qualified("s", "d"));
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        assert!(parse_query("SELECT a FROM t b c").is_err());
+        assert!(parse_query("SELECT a FROM t) ").is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_function() {
+        assert!(parse_query("SELECT FOO(a) FROM t").is_err());
+    }
+
+    #[test]
+    fn rejects_empty_input() {
+        assert!(parse_query("").is_err());
+        assert!(parse_query("   ").is_err());
+    }
+
+    #[test]
+    fn rejects_keywords_as_bare_columns() {
+        assert!(parse_query("SELECT select FROM t").is_err());
+    }
+
+    #[test]
+    fn quoted_keyword_identifier_works() {
+        let query = q("SELECT \"select\" FROM t");
+        assert_eq!(query.core.items[0], SelectItem::expr(Expr::col("select")));
+    }
+
+    #[test]
+    fn semicolon_terminated_ok() {
+        assert!(parse_query("SELECT a FROM t;").is_ok());
+    }
+
+    #[test]
+    fn error_positions_are_useful() {
+        let err = parse_query("SELECT a FROM WHERE x = 1").unwrap_err();
+        assert!(err.span.start >= 14, "span was {:?}", err.span);
+    }
+
+    #[test]
+    fn deeply_nested_subqueries() {
+        let sql = "SELECT a FROM t WHERE x IN (SELECT y FROM s WHERE z IN (SELECT w FROM r WHERE v = (SELECT MAX(u) FROM p)))";
+        assert!(parse_query(sql).is_ok());
+    }
+
+    #[test]
+    fn not_with_comparison_binds_correctly() {
+        // NOT binds looser than comparisons: NOT a = 1 → NOT (a = 1)
+        let e = parse_expr("NOT a = 1").unwrap();
+        match e {
+            Expr::Unary {
+                op: UnaryOp::Not,
+                expr,
+            } => assert!(matches!(*expr, Expr::Binary { op: BinOp::Eq, .. })),
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,590 @@
+//! Pretty-printer rendering an AST back to canonical SQL text, recording
+//! the byte span every clause occupies.
+//!
+//! The span map is the substrate for FISQL's *highlighting* feature
+//! (paper Figure 9, Table 3): a user highlight is a byte range over the
+//! rendered SQL, and [`SpannedSql::clause_at`] resolves it to the most
+//! specific [`ClausePath`] containing it.
+
+use crate::ast::*;
+use crate::span::Span;
+
+/// Rendered SQL text plus a clause→span map over that text.
+#[derive(Debug, Clone)]
+pub struct SpannedSql {
+    /// The rendered SQL.
+    pub text: String,
+    /// `(path, span)` pairs; more specific paths may nest inside broader
+    /// ones (e.g. `WherePredicate(0)` inside `Where`).
+    pub spans: Vec<(ClausePath, Span)>,
+}
+
+impl SpannedSql {
+    /// Span of a specific clause, if it exists in the rendered query.
+    pub fn span_of(&self, path: &ClausePath) -> Option<Span> {
+        self.spans.iter().find(|(p, _)| p == path).map(|(_, s)| *s)
+    }
+
+    /// The most specific clause whose span contains (or, failing that,
+    /// overlaps) the given highlight span. Ties go to the smaller span.
+    pub fn clause_at(&self, highlight: Span) -> Option<&ClausePath> {
+        let best_containing = self
+            .spans
+            .iter()
+            .filter(|(_, s)| s.contains(highlight))
+            .min_by_key(|(_, s)| s.len());
+        if let Some((p, _)) = best_containing {
+            return Some(p);
+        }
+        self.spans
+            .iter()
+            .filter(|(_, s)| s.overlaps(highlight))
+            .min_by_key(|(_, s)| s.len())
+            .map(|(p, _)| p)
+    }
+}
+
+/// Renders `query` to canonical SQL text (single line, upper-case
+/// keywords).
+pub fn print_query(query: &Query) -> String {
+    print_query_spanned(query).text
+}
+
+/// Renders `query` and records clause spans.
+pub fn print_query_spanned(query: &Query) -> SpannedSql {
+    let mut p = Printer::default();
+    p.query(query, true);
+    SpannedSql {
+        text: p.out,
+        spans: p.spans,
+    }
+}
+
+/// Renders a single expression.
+pub fn print_expr(expr: &Expr) -> String {
+    let mut p = Printer::default();
+    p.expr(expr, 0);
+    p.out
+}
+
+#[derive(Default)]
+struct Printer {
+    out: String,
+    spans: Vec<(ClausePath, Span)>,
+    /// Span recording is only enabled for the outermost query.
+    depth: usize,
+}
+
+impl Printer {
+    fn push(&mut self, s: &str) {
+        self.out.push_str(s);
+    }
+
+    fn mark<R>(&mut self, path: ClausePath, f: impl FnOnce(&mut Self) -> R) -> R {
+        let start = self.out.len();
+        let r = f(self);
+        if self.depth == 0 {
+            self.spans.push((path, Span::new(start, self.out.len())));
+        }
+        r
+    }
+
+    fn query(&mut self, q: &Query, outer: bool) {
+        if !outer {
+            self.depth += 1;
+        }
+        self.select_core(&q.core);
+        for (i, (op, core)) in q.compound.iter().enumerate() {
+            let start = self.out.len();
+            self.push(" ");
+            self.push(op.as_str());
+            self.push(" ");
+            self.select_core(core);
+            if self.depth == 0 {
+                self.spans
+                    .push((ClausePath::Compound(i), Span::new(start, self.out.len())));
+            }
+        }
+        if !q.order_by.is_empty() {
+            self.mark(ClausePath::OrderBy, |p| {
+                p.push(" ORDER BY ");
+                for (i, item) in q.order_by.iter().enumerate() {
+                    if i > 0 {
+                        p.push(", ");
+                    }
+                    p.expr(&item.expr, 0);
+                    if item.desc {
+                        p.push(" DESC");
+                    } else {
+                        p.push(" ASC");
+                    }
+                }
+            });
+        }
+        if let Some(limit) = &q.limit {
+            self.mark(ClausePath::Limit, |p| {
+                p.push(&format!(" LIMIT {}", limit.count));
+                if let Some(off) = limit.offset {
+                    p.push(&format!(" OFFSET {off}"));
+                }
+            });
+        }
+        if !outer {
+            self.depth -= 1;
+        }
+    }
+
+    fn select_core(&mut self, core: &SelectCore) {
+        self.push("SELECT ");
+        if core.distinct {
+            self.push("DISTINCT ");
+        }
+        let list_start = self.out.len();
+        for (i, item) in core.items.iter().enumerate() {
+            if i > 0 {
+                self.push(", ");
+            }
+            let start = self.out.len();
+            self.select_item(item);
+            if self.depth == 0 {
+                self.spans
+                    .push((ClausePath::SelectItem(i), Span::new(start, self.out.len())));
+            }
+        }
+        if self.depth == 0 {
+            self.spans.push((
+                ClausePath::SelectList,
+                Span::new(list_start, self.out.len()),
+            ));
+        }
+        if let Some(from) = &core.from {
+            self.mark(ClausePath::From, |p| {
+                p.push(" FROM ");
+                p.table_factor(&from.base);
+                for (i, join) in from.joins.iter().enumerate() {
+                    let start = p.out.len();
+                    p.push(" ");
+                    p.push(join.kind.as_str());
+                    p.push(" ");
+                    p.table_factor(&join.factor);
+                    if let Some(on) = &join.constraint {
+                        p.push(" ON ");
+                        p.expr(on, 0);
+                    }
+                    if p.depth == 0 {
+                        p.spans
+                            .push((ClausePath::Join(i), Span::new(start, p.out.len())));
+                    }
+                }
+            });
+        }
+        if let Some(w) = &core.where_clause {
+            self.mark(ClausePath::Where, |p| {
+                p.push(" WHERE ");
+                let conjuncts = w.conjuncts();
+                if conjuncts.len() > 1 {
+                    // Render each conjunct with its own span so highlights
+                    // can target individual predicates.
+                    for (i, c) in conjuncts.iter().enumerate() {
+                        if i > 0 {
+                            p.push(" AND ");
+                        }
+                        let start = p.out.len();
+                        // AND has precedence 2; operands need > 2.
+                        p.expr(c, 3);
+                        if p.depth == 0 {
+                            p.spans.push((
+                                ClausePath::WherePredicate(i),
+                                Span::new(start, p.out.len()),
+                            ));
+                        }
+                    }
+                } else {
+                    let start = p.out.len();
+                    p.expr(w, 0);
+                    if p.depth == 0 {
+                        p.spans
+                            .push((ClausePath::WherePredicate(0), Span::new(start, p.out.len())));
+                    }
+                }
+            });
+        }
+        if !core.group_by.is_empty() {
+            self.mark(ClausePath::GroupBy, |p| {
+                p.push(" GROUP BY ");
+                for (i, e) in core.group_by.iter().enumerate() {
+                    if i > 0 {
+                        p.push(", ");
+                    }
+                    p.expr(e, 0);
+                }
+            });
+        }
+        if let Some(h) = &core.having {
+            self.mark(ClausePath::Having, |p| {
+                p.push(" HAVING ");
+                p.expr(h, 0);
+            });
+        }
+    }
+
+    fn select_item(&mut self, item: &SelectItem) {
+        match item {
+            SelectItem::Wildcard => self.push("*"),
+            SelectItem::QualifiedWildcard(t) => {
+                self.push(t);
+                self.push(".*");
+            }
+            SelectItem::Expr { expr, alias } => {
+                self.expr(expr, 0);
+                if let Some(a) = alias {
+                    self.push(" AS ");
+                    self.push(a);
+                }
+            }
+        }
+    }
+
+    fn table_factor(&mut self, f: &TableFactor) {
+        match f {
+            TableFactor::Table { name, alias } => {
+                self.push(name);
+                if let Some(a) = alias {
+                    self.push(" AS ");
+                    self.push(a);
+                }
+            }
+            TableFactor::Derived { subquery, alias } => {
+                self.push("(");
+                self.query(subquery, false);
+                self.push(") AS ");
+                self.push(alias);
+            }
+        }
+    }
+
+    /// Prints `e`, parenthesising when its top-level binding power is below
+    /// `min_prec` (the precedence context of the caller).
+    fn expr(&mut self, e: &Expr, min_prec: u8) {
+        match e {
+            Expr::Column(c) => self.push(&c.to_string()),
+            Expr::Literal(l) => self.push(&l.to_string()),
+            Expr::Wildcard => self.push("*"),
+            Expr::Unary { op, expr } => match op {
+                UnaryOp::Neg => {
+                    self.push("-");
+                    self.expr(expr, 7);
+                }
+                UnaryOp::Not => {
+                    let need = min_prec > 2;
+                    if need {
+                        self.push("(");
+                    }
+                    self.push("NOT ");
+                    self.expr(expr, 3);
+                    if need {
+                        self.push(")");
+                    }
+                }
+            },
+            Expr::Binary { left, op, right } => {
+                let prec = op.precedence();
+                let need = prec < min_prec;
+                if need {
+                    self.push("(");
+                }
+                self.expr(left, prec);
+                self.push(" ");
+                self.push(op.as_str());
+                self.push(" ");
+                self.expr(right, prec + 1);
+                if need {
+                    self.push(")");
+                }
+            }
+            Expr::Call {
+                func,
+                distinct,
+                args,
+            } => {
+                self.push(func.as_str());
+                self.push("(");
+                if *distinct {
+                    self.push("DISTINCT ");
+                }
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        self.push(", ");
+                    }
+                    self.expr(a, 0);
+                }
+                self.push(")");
+            }
+            Expr::Case {
+                operand,
+                branches,
+                else_branch,
+            } => {
+                self.push("CASE");
+                if let Some(op) = operand {
+                    self.push(" ");
+                    self.expr(op, 0);
+                }
+                for (w, t) in branches {
+                    self.push(" WHEN ");
+                    self.expr(w, 0);
+                    self.push(" THEN ");
+                    self.expr(t, 0);
+                }
+                if let Some(el) = else_branch {
+                    self.push(" ELSE ");
+                    self.expr(el, 0);
+                }
+                self.push(" END");
+            }
+            Expr::InList {
+                expr,
+                list,
+                negated,
+            } => {
+                self.predicate_open(min_prec);
+                self.expr(expr, 4);
+                self.push(if *negated { " NOT IN (" } else { " IN (" });
+                for (i, e) in list.iter().enumerate() {
+                    if i > 0 {
+                        self.push(", ");
+                    }
+                    self.expr(e, 0);
+                }
+                self.push(")");
+                self.predicate_close(min_prec);
+            }
+            Expr::InSubquery {
+                expr,
+                subquery,
+                negated,
+            } => {
+                self.predicate_open(min_prec);
+                self.expr(expr, 4);
+                self.push(if *negated { " NOT IN (" } else { " IN (" });
+                self.query(subquery, false);
+                self.push(")");
+                self.predicate_close(min_prec);
+            }
+            Expr::Between {
+                expr,
+                low,
+                high,
+                negated,
+            } => {
+                self.predicate_open(min_prec);
+                self.expr(expr, 4);
+                self.push(if *negated {
+                    " NOT BETWEEN "
+                } else {
+                    " BETWEEN "
+                });
+                self.expr(low, 4);
+                self.push(" AND ");
+                self.expr(high, 4);
+                self.predicate_close(min_prec);
+            }
+            Expr::Like {
+                expr,
+                pattern,
+                negated,
+            } => {
+                self.predicate_open(min_prec);
+                self.expr(expr, 4);
+                self.push(if *negated { " NOT LIKE " } else { " LIKE " });
+                self.expr(pattern, 4);
+                self.predicate_close(min_prec);
+            }
+            Expr::IsNull { expr, negated } => {
+                self.predicate_open(min_prec);
+                self.expr(expr, 4);
+                self.push(if *negated { " IS NOT NULL" } else { " IS NULL" });
+                self.predicate_close(min_prec);
+            }
+            Expr::Exists { subquery, negated } => {
+                if *negated {
+                    self.push("NOT ");
+                }
+                self.push("EXISTS (");
+                self.query(subquery, false);
+                self.push(")");
+            }
+            Expr::Subquery(q) => {
+                self.push("(");
+                self.query(q, false);
+                self.push(")");
+            }
+        }
+    }
+
+    /// Predicates (IN/BETWEEN/LIKE/IS NULL) sit at precedence 3.
+    fn predicate_open(&mut self, min_prec: u8) {
+        if min_prec > 3 {
+            self.push("(");
+        }
+    }
+
+    fn predicate_close(&mut self, min_prec: u8) {
+        if min_prec > 3 {
+            self.push(")");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+
+    fn roundtrip(sql: &str) -> String {
+        let q = parse_query(sql).unwrap_or_else(|e| panic!("{}", e.render(sql)));
+        let printed = print_query(&q);
+        let q2 =
+            parse_query(&printed).unwrap_or_else(|e| panic!("reparse of `{printed}` failed: {e}"));
+        assert_eq!(q, q2, "printed form `{printed}` did not roundtrip");
+        printed
+    }
+
+    #[test]
+    fn roundtrips_basic_queries() {
+        for sql in [
+            "SELECT name FROM singer",
+            "SELECT DISTINCT a, b AS x FROM t WHERE a > 1 AND b < 2",
+            "SELECT COUNT(*) FROM t GROUP BY c HAVING COUNT(*) > 3",
+            "SELECT a FROM t ORDER BY a DESC LIMIT 10 OFFSET 2",
+            "SELECT * FROM a JOIN b ON a.id = b.aid LEFT JOIN c ON b.id = c.bid",
+            "SELECT a FROM t UNION SELECT b FROM s",
+            "SELECT a FROM t WHERE x IN (SELECT y FROM s)",
+            "SELECT a FROM t WHERE x BETWEEN 1 AND 5",
+            "SELECT a FROM t WHERE name LIKE 'A%'",
+            "SELECT a FROM t WHERE x IS NOT NULL",
+            "SELECT a FROM (SELECT b AS a FROM s) AS d",
+            "SELECT CASE WHEN a > 1 THEN 'x' ELSE 'y' END FROM t",
+            "SELECT COUNT(DISTINCT a) FROM t",
+            "SELECT a FROM t WHERE NOT (a = 1 OR b = 2)",
+        ] {
+            roundtrip(sql);
+        }
+    }
+
+    #[test]
+    fn parenthesization_preserves_structure() {
+        let printed = roundtrip("SELECT * FROM t WHERE (a = 1 OR b = 2) AND c = 3");
+        assert!(printed.contains("("), "printed: {printed}");
+    }
+
+    #[test]
+    fn no_spurious_parens_in_plain_conjunction() {
+        let printed = roundtrip("SELECT * FROM t WHERE a = 1 AND b = 2");
+        assert!(!printed.contains("("), "printed: {printed}");
+    }
+
+    #[test]
+    fn spans_cover_clauses() {
+        let q = parse_query(
+            "SELECT name, age FROM singer WHERE age > 30 AND name LIKE 'A%' \
+             GROUP BY name HAVING COUNT(*) > 1 ORDER BY age DESC LIMIT 3",
+        )
+        .unwrap();
+        let spanned = print_query_spanned(&q);
+        let text = &spanned.text;
+        let w = spanned.span_of(&ClausePath::Where).unwrap();
+        assert!(w.slice(text).starts_with(" WHERE"));
+        let ob = spanned.span_of(&ClausePath::OrderBy).unwrap();
+        assert!(ob.slice(text).starts_with(" ORDER BY"));
+        let lim = spanned.span_of(&ClausePath::Limit).unwrap();
+        assert!(lim.slice(text).contains("LIMIT 3"));
+        let p0 = spanned.span_of(&ClausePath::WherePredicate(0)).unwrap();
+        assert_eq!(p0.slice(text), "age > 30");
+        let p1 = spanned.span_of(&ClausePath::WherePredicate(1)).unwrap();
+        assert_eq!(p1.slice(text), "name LIKE 'A%'");
+    }
+
+    #[test]
+    fn clause_at_finds_most_specific() {
+        let q = parse_query("SELECT name FROM singer WHERE age > 30 AND city = 'NYC'").unwrap();
+        let spanned = print_query_spanned(&q);
+        // Highlight the `30` literal.
+        let pos = spanned.text.find("30").unwrap();
+        let path = spanned.clause_at(Span::new(pos, pos + 2)).unwrap();
+        assert_eq!(path, &ClausePath::WherePredicate(0));
+        // Highlight the second predicate's column.
+        let pos = spanned.text.find("city").unwrap();
+        let path = spanned.clause_at(Span::new(pos, pos + 4)).unwrap();
+        assert_eq!(path, &ClausePath::WherePredicate(1));
+    }
+
+    #[test]
+    fn clause_at_handles_straddling_highlights() {
+        let q = parse_query("SELECT name FROM singer ORDER BY name ASC").unwrap();
+        let spanned = print_query_spanned(&q);
+        // Highlight straddling FROM into ORDER BY resolves to an
+        // overlapping clause rather than None.
+        let from_pos = spanned.text.find("singer").unwrap();
+        let hl = Span::new(from_pos, spanned.text.len());
+        assert!(spanned.clause_at(hl).is_some());
+    }
+
+    #[test]
+    fn subquery_spans_not_recorded() {
+        let q = parse_query("SELECT a FROM t WHERE x IN (SELECT y FROM s WHERE z = 1)").unwrap();
+        let spanned = print_query_spanned(&q);
+        // Exactly one Where span: the outer one.
+        let wheres: Vec<_> = spanned
+            .spans
+            .iter()
+            .filter(|(p, _)| *p == ClausePath::Where)
+            .collect();
+        assert_eq!(wheres.len(), 1);
+    }
+
+    #[test]
+    fn select_item_spans() {
+        let q = parse_query("SELECT name, COUNT(*) AS n FROM t GROUP BY name").unwrap();
+        let spanned = print_query_spanned(&q);
+        assert_eq!(
+            spanned
+                .span_of(&ClausePath::SelectItem(0))
+                .unwrap()
+                .slice(&spanned.text),
+            "name"
+        );
+        assert_eq!(
+            spanned
+                .span_of(&ClausePath::SelectItem(1))
+                .unwrap()
+                .slice(&spanned.text),
+            "COUNT(*) AS n"
+        );
+    }
+
+    #[test]
+    fn compound_spans() {
+        let q = parse_query("SELECT a FROM t UNION SELECT b FROM s").unwrap();
+        let spanned = print_query_spanned(&q);
+        let c = spanned.span_of(&ClausePath::Compound(0)).unwrap();
+        assert!(c.slice(&spanned.text).starts_with(" UNION"));
+    }
+
+    #[test]
+    fn between_in_comparison_context_parenthesised() {
+        // (a BETWEEN 1 AND 2) = TRUE requires parens when printed back.
+        let e = Expr::binary(
+            Expr::Between {
+                expr: Box::new(Expr::col("a")),
+                low: Box::new(Expr::num(1)),
+                high: Box::new(Expr::num(2)),
+                negated: false,
+            },
+            BinOp::Eq,
+            Expr::Literal(Literal::Bool(true)),
+        );
+        let printed = print_expr(&e);
+        assert!(printed.starts_with('('), "printed: {printed}");
+    }
+}

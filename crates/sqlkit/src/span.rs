@@ -1,0 +1,113 @@
+//! Byte-range spans used to tie tokens, AST nodes, and printed SQL text
+//! together.
+//!
+//! Spans serve two purposes in FISQL:
+//!
+//! 1. Parse errors report the offending source range.
+//! 2. The pretty-printer records, for every clause of a printed query, the
+//!    byte range it occupies in the rendered text. User *highlights*
+//!    (paper §4.2, Figure 9) are byte ranges over that same rendered text,
+//!    so mapping a highlight back to a clause is a span-containment lookup.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A half-open byte range `[start, end)` into some source text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Span {
+    /// Byte offset of the first byte covered by the span.
+    pub start: usize,
+    /// Byte offset one past the last byte covered by the span.
+    pub end: usize,
+}
+
+impl Span {
+    /// Creates a span covering `[start, end)`.
+    pub fn new(start: usize, end: usize) -> Self {
+        debug_assert!(start <= end, "span start must not exceed end");
+        Span { start, end }
+    }
+
+    /// The empty span at a single position.
+    pub fn point(at: usize) -> Self {
+        Span { start: at, end: at }
+    }
+
+    /// Number of bytes covered.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the span covers zero bytes.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Smallest span covering both `self` and `other`.
+    pub fn merge(&self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+
+    /// Whether `self` fully contains `other`.
+    pub fn contains(&self, other: Span) -> bool {
+        self.start <= other.start && other.end <= self.end
+    }
+
+    /// Whether the two spans share at least one byte.
+    pub fn overlaps(&self, other: Span) -> bool {
+        self.start < other.end && other.start < self.end
+    }
+
+    /// Extracts the covered text from `source`. Returns an empty string if
+    /// the span is out of bounds (never panics; spans may come from user
+    /// highlights over stale text).
+    pub fn slice<'a>(&self, source: &'a str) -> &'a str {
+        source.get(self.start..self.end).unwrap_or("")
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}..{}", self.start, self.end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_covers_both() {
+        let a = Span::new(2, 5);
+        let b = Span::new(7, 9);
+        assert_eq!(a.merge(b), Span::new(2, 9));
+        assert_eq!(b.merge(a), Span::new(2, 9));
+    }
+
+    #[test]
+    fn containment_and_overlap() {
+        let outer = Span::new(0, 10);
+        let inner = Span::new(3, 7);
+        assert!(outer.contains(inner));
+        assert!(!inner.contains(outer));
+        assert!(outer.overlaps(inner));
+        assert!(!Span::new(0, 3).overlaps(Span::new(3, 6)));
+        assert!(Span::new(0, 4).overlaps(Span::new(3, 6)));
+    }
+
+    #[test]
+    fn slice_is_safe_on_out_of_bounds() {
+        let s = "SELECT 1";
+        assert_eq!(Span::new(0, 6).slice(s), "SELECT");
+        assert_eq!(Span::new(100, 200).slice(s), "");
+    }
+
+    #[test]
+    fn point_is_empty() {
+        assert!(Span::point(4).is_empty());
+        assert_eq!(Span::point(4).len(), 0);
+    }
+}

@@ -1,0 +1,281 @@
+//! Token definitions for the SQL lexer.
+
+use crate::span::Span;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// SQL keywords recognised by the lexer.
+///
+/// The set covers the SELECT-statement subset used by the SPIDER benchmark
+/// (the paper's evaluation target) plus the keywords appearing in the
+/// AEP-style analytics queries of the paper's figures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum Keyword {
+    Select,
+    Distinct,
+    From,
+    Where,
+    Group,
+    By,
+    Having,
+    Order,
+    Limit,
+    Offset,
+    Asc,
+    Desc,
+    Join,
+    Inner,
+    Left,
+    Right,
+    Full,
+    Outer,
+    Cross,
+    On,
+    As,
+    And,
+    Or,
+    Not,
+    In,
+    Between,
+    Like,
+    Is,
+    Null,
+    Exists,
+    Union,
+    Intersect,
+    Except,
+    All,
+    Case,
+    When,
+    Then,
+    Else,
+    End,
+    True,
+    False,
+}
+
+impl Keyword {
+    /// Looks up a keyword from an identifier, case-insensitively.
+    pub fn from_ident(ident: &str) -> Option<Keyword> {
+        use Keyword::*;
+        let kw = match ident.to_ascii_uppercase().as_str() {
+            "SELECT" => Select,
+            "DISTINCT" => Distinct,
+            "FROM" => From,
+            "WHERE" => Where,
+            "GROUP" => Group,
+            "BY" => By,
+            "HAVING" => Having,
+            "ORDER" => Order,
+            "LIMIT" => Limit,
+            "OFFSET" => Offset,
+            "ASC" => Asc,
+            "DESC" => Desc,
+            "JOIN" => Join,
+            "INNER" => Inner,
+            "LEFT" => Left,
+            "RIGHT" => Right,
+            "FULL" => Full,
+            "OUTER" => Outer,
+            "CROSS" => Cross,
+            "ON" => On,
+            "AS" => As,
+            "AND" => And,
+            "OR" => Or,
+            "NOT" => Not,
+            "IN" => In,
+            "BETWEEN" => Between,
+            "LIKE" => Like,
+            "IS" => Is,
+            "NULL" => Null,
+            "EXISTS" => Exists,
+            "UNION" => Union,
+            "INTERSECT" => Intersect,
+            "EXCEPT" => Except,
+            "ALL" => All,
+            "CASE" => Case,
+            "WHEN" => When,
+            "THEN" => Then,
+            "ELSE" => Else,
+            "END" => End,
+            "TRUE" => True,
+            "FALSE" => False,
+            _ => return None,
+        };
+        Some(kw)
+    }
+
+    /// Canonical (upper-case) spelling.
+    pub fn as_str(&self) -> &'static str {
+        use Keyword::*;
+        match self {
+            Select => "SELECT",
+            Distinct => "DISTINCT",
+            From => "FROM",
+            Where => "WHERE",
+            Group => "GROUP",
+            By => "BY",
+            Having => "HAVING",
+            Order => "ORDER",
+            Limit => "LIMIT",
+            Offset => "OFFSET",
+            Asc => "ASC",
+            Desc => "DESC",
+            Join => "JOIN",
+            Inner => "INNER",
+            Left => "LEFT",
+            Right => "RIGHT",
+            Full => "FULL",
+            Outer => "OUTER",
+            Cross => "CROSS",
+            On => "ON",
+            As => "AS",
+            And => "AND",
+            Or => "OR",
+            Not => "NOT",
+            In => "IN",
+            Between => "BETWEEN",
+            Like => "LIKE",
+            Is => "IS",
+            Null => "NULL",
+            Exists => "EXISTS",
+            Union => "UNION",
+            Intersect => "INTERSECT",
+            Except => "EXCEPT",
+            All => "ALL",
+            Case => "CASE",
+            When => "WHEN",
+            Then => "THEN",
+            Else => "ELSE",
+            End => "END",
+            True => "TRUE",
+            False => "FALSE",
+        }
+    }
+}
+
+impl fmt::Display for Keyword {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// The kind of a lexed token. Literal payloads carry their decoded value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TokenKind {
+    /// A recognised SQL keyword.
+    Keyword(Keyword),
+    /// A bare or quoted identifier (quotes stripped).
+    Ident(String),
+    /// An integer literal.
+    Number(i64),
+    /// A floating-point literal.
+    Float(f64),
+    /// A single-quoted string literal (quotes stripped, `''` unescaped).
+    String(String),
+    /// `=`
+    Eq,
+    /// `<>` or `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    LtEq,
+    /// `>`
+    Gt,
+    /// `>=`
+    GtEq,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `;`
+    Semicolon,
+    /// End of input sentinel.
+    Eof,
+}
+
+impl TokenKind {
+    /// Human-readable description used in parse-error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Keyword(k) => format!("keyword {k}"),
+            TokenKind::Ident(s) => format!("identifier `{s}`"),
+            TokenKind::Number(n) => format!("number {n}"),
+            TokenKind::Float(x) => format!("number {x}"),
+            TokenKind::String(s) => format!("string '{s}'"),
+            TokenKind::Eq => "`=`".to_string(),
+            TokenKind::NotEq => "`!=`".to_string(),
+            TokenKind::Lt => "`<`".to_string(),
+            TokenKind::LtEq => "`<=`".to_string(),
+            TokenKind::Gt => "`>`".to_string(),
+            TokenKind::GtEq => "`>=`".to_string(),
+            TokenKind::Plus => "`+`".to_string(),
+            TokenKind::Minus => "`-`".to_string(),
+            TokenKind::Star => "`*`".to_string(),
+            TokenKind::Slash => "`/`".to_string(),
+            TokenKind::Percent => "`%`".to_string(),
+            TokenKind::LParen => "`(`".to_string(),
+            TokenKind::RParen => "`)`".to_string(),
+            TokenKind::Comma => "`,`".to_string(),
+            TokenKind::Dot => "`.`".to_string(),
+            TokenKind::Semicolon => "`;`".to_string(),
+            TokenKind::Eof => "end of input".to_string(),
+        }
+    }
+}
+
+/// A token together with its source span.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Token {
+    /// What was lexed.
+    pub kind: TokenKind,
+    /// Where it was lexed from.
+    pub span: Span,
+}
+
+impl Token {
+    /// Creates a token.
+    pub fn new(kind: TokenKind, span: Span) -> Self {
+        Token { kind, span }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyword_roundtrip() {
+        for kw in [
+            Keyword::Select,
+            Keyword::Between,
+            Keyword::Intersect,
+            Keyword::End,
+        ] {
+            assert_eq!(Keyword::from_ident(kw.as_str()), Some(kw));
+            assert_eq!(Keyword::from_ident(&kw.as_str().to_lowercase()), Some(kw));
+        }
+    }
+
+    #[test]
+    fn non_keyword_idents() {
+        assert_eq!(Keyword::from_ident("singer"), None);
+        assert_eq!(Keyword::from_ident("selects"), None);
+    }
+}

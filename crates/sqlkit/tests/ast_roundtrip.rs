@@ -1,0 +1,260 @@
+//! Property tests over *arbitrary* ASTs (not just corpus-generated ones):
+//! the printer must emit text the parser maps back to the identical tree,
+//! normalization must be idempotent, and spans must cover the rendered
+//! text.
+
+use fisql_sqlkit::ast::*;
+use fisql_sqlkit::{normalize_query, parse_query, print_query, print_query_spanned};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------------
+// AST generators
+// ---------------------------------------------------------------------------
+
+fn ident() -> impl Strategy<Value = String> {
+    // Identifiers that are not keywords: letter prefix + alnum tail.
+    "[a-z][a-z0-9_]{0,8}".prop_filter("not a keyword", |s| {
+        fisql_sqlkit::token::Keyword::from_ident(s).is_none() && Func::from_name(s).is_none()
+    })
+}
+
+fn literal() -> impl Strategy<Value = Literal> {
+    prop_oneof![
+        any::<i32>().prop_map(|n| Literal::Number(n as i64)),
+        (-1000i64..1000, 1u32..100).prop_map(|(n, d)| Literal::Float(n as f64 / d as f64)),
+        "[ -~&&[^'\\\\]]{0,12}".prop_map(Literal::String),
+        any::<bool>().prop_map(Literal::Bool),
+        Just(Literal::Null),
+    ]
+}
+
+fn column_ref() -> impl Strategy<Value = ColumnRef> {
+    (proptest::option::of(ident()), ident()).prop_map(|(t, c)| ColumnRef {
+        table: t,
+        column: c,
+    })
+}
+
+fn leaf_expr() -> impl Strategy<Value = Expr> {
+    prop_oneof![
+        column_ref().prop_map(Expr::Column),
+        literal().prop_map(Expr::Literal),
+    ]
+}
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    leaf_expr().prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            // Binary ops.
+            (
+                inner.clone(),
+                prop_oneof![
+                    Just(BinOp::Add),
+                    Just(BinOp::Sub),
+                    Just(BinOp::Mul),
+                    Just(BinOp::Div),
+                    Just(BinOp::Eq),
+                    Just(BinOp::NotEq),
+                    Just(BinOp::Lt),
+                    Just(BinOp::GtEq),
+                    Just(BinOp::And),
+                    Just(BinOp::Or),
+                ],
+                inner.clone()
+            )
+                .prop_map(|(l, op, r)| Expr::binary(l, op, r)),
+            // NOT.
+            inner.clone().prop_map(|e| Expr::Unary {
+                op: UnaryOp::Not,
+                expr: Box::new(e),
+            }),
+            // Aggregate / scalar calls.
+            (inner.clone(), any::<bool>()).prop_map(|(e, d)| Expr::Call {
+                func: Func::Max,
+                distinct: d,
+                args: vec![e],
+            }),
+            inner.clone().prop_map(|e| Expr::call(Func::Abs, vec![e])),
+            // IN list.
+            (
+                inner.clone(),
+                proptest::collection::vec(leaf_expr(), 1..4),
+                any::<bool>()
+            )
+                .prop_map(|(e, list, negated)| Expr::InList {
+                    expr: Box::new(e),
+                    list,
+                    negated,
+                }),
+            // BETWEEN.
+            (inner.clone(), leaf_expr(), leaf_expr(), any::<bool>()).prop_map(
+                |(e, lo, hi, negated)| Expr::Between {
+                    expr: Box::new(e),
+                    low: Box::new(lo),
+                    high: Box::new(hi),
+                    negated,
+                }
+            ),
+            // LIKE.
+            (inner.clone(), "[a-z%_]{1,6}", any::<bool>()).prop_map(|(e, pat, negated)| {
+                Expr::Like {
+                    expr: Box::new(e),
+                    pattern: Box::new(Expr::str(pat)),
+                    negated,
+                }
+            }),
+            // IS NULL.
+            (inner, any::<bool>()).prop_map(|(e, negated)| Expr::IsNull {
+                expr: Box::new(e),
+                negated,
+            }),
+        ]
+    })
+}
+
+fn select_item() -> impl Strategy<Value = SelectItem> {
+    prop_oneof![
+        5 => (arb_expr(), proptest::option::of(ident()))
+            .prop_map(|(expr, alias)| SelectItem::Expr { expr, alias }),
+        1 => Just(SelectItem::Wildcard),
+    ]
+}
+
+fn order_item() -> impl Strategy<Value = OrderItem> {
+    (column_ref().prop_map(Expr::Column), any::<bool>())
+        .prop_map(|(expr, desc)| OrderItem { expr, desc })
+}
+
+fn from_clause() -> impl Strategy<Value = FromClause> {
+    (
+        ident(),
+        proptest::option::of(ident()),
+        proptest::collection::vec(
+            (
+                prop_oneof![
+                    Just(JoinKind::Inner),
+                    Just(JoinKind::Left),
+                    Just(JoinKind::Cross)
+                ],
+                ident(),
+                proptest::option::of((column_ref(), column_ref())),
+            ),
+            0..3,
+        ),
+    )
+        .prop_map(|(base, alias, joins)| FromClause {
+            base: TableFactor::Table { name: base, alias },
+            joins: joins
+                .into_iter()
+                .map(|(kind, table, on)| Join {
+                    kind,
+                    factor: TableFactor::table(table),
+                    constraint: on
+                        .map(|(a, b)| Expr::binary(Expr::Column(a), BinOp::Eq, Expr::Column(b))),
+                })
+                .collect(),
+        })
+}
+
+fn arb_query() -> impl Strategy<Value = Query> {
+    (
+        any::<bool>(),
+        proptest::collection::vec(select_item(), 1..4),
+        proptest::option::of(from_clause()),
+        proptest::option::of(arb_expr()),
+        proptest::collection::vec(column_ref().prop_map(Expr::Column), 0..2),
+        proptest::option::of(arb_expr()),
+        proptest::collection::vec(order_item(), 0..2),
+        proptest::option::of((0u64..100, proptest::option::of(0u64..20))),
+    )
+        .prop_map(
+            |(distinct, items, from, where_clause, group_by, having, order_by, limit)| Query {
+                core: SelectCore {
+                    distinct,
+                    items,
+                    from,
+                    where_clause,
+                    having: if group_by.is_empty() { None } else { having },
+                    group_by,
+                },
+                compound: Vec::new(),
+                order_by,
+                limit: limit.map(|(count, offset)| LimitClause { count, offset }),
+            },
+        )
+}
+
+// ---------------------------------------------------------------------------
+// Properties
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn print_parse_roundtrip(q in arb_query()) {
+        let printed = print_query(&q);
+        let reparsed = parse_query(&printed)
+            .unwrap_or_else(|e| panic!("printed SQL failed to parse:\n{printed}\n{e}"));
+        prop_assert_eq!(&reparsed, &q, "roundtrip mismatch for:\n{}", printed);
+    }
+
+    #[test]
+    fn normalize_is_idempotent_on_arbitrary_queries(q in arb_query()) {
+        let n1 = normalize_query(&q);
+        let n2 = normalize_query(&n1);
+        prop_assert_eq!(n1, n2);
+    }
+
+    #[test]
+    fn normalized_queries_still_roundtrip(q in arb_query()) {
+        let n = normalize_query(&q);
+        let printed = print_query(&n);
+        let reparsed = parse_query(&printed)
+            .unwrap_or_else(|e| panic!("normalized SQL failed to parse:\n{printed}\n{e}"));
+        prop_assert_eq!(normalize_query(&reparsed), n);
+    }
+
+    #[test]
+    fn spans_are_in_bounds_and_resolvable(q in arb_query()) {
+        let spanned = print_query_spanned(&q);
+        for (path, span) in &spanned.spans {
+            prop_assert!(span.end <= spanned.text.len(), "span {path} out of bounds");
+            prop_assert!(span.start <= span.end);
+            // Every recorded span resolves back to *some* clause.
+            if !span.is_empty() {
+                prop_assert!(spanned.clause_at(*span).is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn expr_printer_roundtrips(e in arb_expr()) {
+        let printed = fisql_sqlkit::print_expr(&e);
+        let reparsed = fisql_sqlkit::parse_expr(&printed)
+            .unwrap_or_else(|err| panic!("printed expr failed to parse:\n{printed}\n{err}"));
+        prop_assert_eq!(&reparsed, &e, "expr roundtrip mismatch for: {}", printed);
+    }
+
+    #[test]
+    fn diff_of_identical_queries_is_empty(q in arb_query()) {
+        prop_assert!(fisql_sqlkit::diff_queries(&q, &q).is_empty());
+    }
+
+    #[test]
+    fn lexer_never_panics_on_arbitrary_input(s in "\\PC{0,64}") {
+        let _ = fisql_sqlkit::lexer::lex(&s);
+    }
+
+    #[test]
+    fn parser_never_panics_on_arbitrary_input(s in "\\PC{0,64}") {
+        let _ = parse_query(&s);
+    }
+
+    #[test]
+    fn parser_never_panics_on_sqlish_input(
+        s in "(SELECT|FROM|WHERE|JOIN|ON|AND|OR|NOT|IN|LIKE|GROUP BY|ORDER BY|LIMIT|[a-z]{1,4}|[0-9]{1,3}|'[a-z]{0,3}'|[(),.*=<>]| ){1,24}"
+    ) {
+        let _ = parse_query(&s);
+    }
+}

@@ -1,0 +1,82 @@
+//! Closed-domain analytics over the AEP-like marketing database.
+//!
+//! Demonstrates the substrate the paper's motivating scenario runs on:
+//! the marketing schema (segments, destinations, activations, journeys),
+//! the jargon problem ("which destinations is the segment activated
+//! to?"), and the engine answering the *correctly interpreted* SQL with
+//! joins through the mapping table.
+//!
+//! Run: `cargo run --example marketing_analytics`
+
+use fisql::prelude::*;
+use rand::rngs::StdRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(2024);
+    let db = fisql_spider::build_aep_database(&mut rng);
+    println!("schema:\n{}", db.schema_text());
+
+    // The paper's §1 example: "which destinations is the 'ABC' segment
+    // activated to?" — `activated` means the segment↔destination mapping
+    // is non-empty, which requires joining through the map table.
+    let activated = execute_sql(
+        &db,
+        "SELECT DISTINCT d.destination_name \
+         FROM hkg_dim_segment s \
+         JOIN hkg_map_segment_destination m ON s.segment_id = m.segment_id \
+         JOIN hkg_dim_destination d ON m.destination_id = d.destination_id \
+         WHERE s.segment_name LIKE 'ABC%'",
+    )
+    .unwrap();
+    println!("destinations the ABC segment is activated to:\n{activated}");
+
+    // A naive (mis)interpretation — `activated` read as a status flag —
+    // produces a different (wrong) answer, motivating the feedback loop.
+    let naive = execute_sql(
+        &db,
+        "SELECT destination_name FROM hkg_dim_destination WHERE status = 'active'",
+    )
+    .unwrap();
+    println!(
+        "naive reading (`status = 'active'`): {} rows — a different answer entirely\n",
+        naive.len()
+    );
+
+    // Operational insights of the kind the Assistant serves (Figure 3):
+    for (label, sql) in [
+        (
+            "audiences created in January 2024",
+            "SELECT COUNT(*) FROM hkg_dim_segment \
+             WHERE createdTime >= '2024-01-01' AND createdTime < '2024-02-01'",
+        ),
+        (
+            "largest audiences by profile count",
+            "SELECT segment_name, profile_count FROM hkg_dim_segment \
+             WHERE profile_count IS NOT NULL ORDER BY profile_count DESC LIMIT 3",
+        ),
+        (
+            "activations per destination platform",
+            "SELECT d.platform_type, COUNT(*) FROM hkg_map_segment_destination m \
+             JOIN hkg_dim_destination d ON m.destination_id = d.destination_id \
+             GROUP BY d.platform_type ORDER BY COUNT(*) DESC",
+        ),
+        (
+            "datasets with no successful queries",
+            "SELECT dataset_name FROM hkg_dim_dataset WHERE dataset_id NOT IN \
+             (SELECT dataset_id FROM hkg_fact_query_log WHERE status = 'success')",
+        ),
+    ] {
+        let rs = execute_sql(&db, sql).unwrap();
+        println!("== {label} ==\n{rs}");
+    }
+
+    // And the Assistant's explanation surface for the join query.
+    let q = parse_query(
+        "SELECT d.destination_name FROM hkg_dim_segment s \
+         JOIN hkg_map_segment_destination m ON s.segment_id = m.segment_id \
+         JOIN hkg_dim_destination d ON m.destination_id = d.destination_id \
+         WHERE s.segment_name LIKE 'ABC%'",
+    )
+    .unwrap();
+    println!("how the Assistant explains it:\n{}", explain_query(&q));
+}

@@ -1,0 +1,52 @@
+//! Incremental query building (the paper's §5 future work): start from a
+//! simple question and layer plain-language refinements until the query
+//! does what you want — with undo.
+//!
+//! Run: `cargo run --example query_builder`
+
+use fisql::prelude::*;
+use fisql_core::refine::QueryBuilder;
+use rand::rngs::StdRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(2024);
+    let db = fisql_spider::build_aep_database(&mut rng);
+
+    let mut builder = QueryBuilder::from_sql(&db, "SELECT segment_name FROM hkg_dim_segment")
+        .expect("seed query parses");
+    println!("start:   {}", builder.sql());
+
+    for step in [
+        "only include rows where status is 'active'",
+        "also show the profile count",
+        "order the profile count in descending order",
+        "only show the top 5",
+    ] {
+        builder.refine(step).expect("refinement applies");
+        println!("+ `{step}`\n  -> {}", builder.sql());
+    }
+
+    println!("\nresult:\n{}", builder.run().expect("query executes"));
+
+    // Changed your mind? Undo pops the last step.
+    builder.undo();
+    println!("after undo: {}", builder.sql());
+
+    // Uninterpretable refinements fail loudly instead of guessing.
+    let err = builder.refine("make it fancier").unwrap_err();
+    println!("rejected: {err}");
+
+    println!("\n{} steps recorded:", builder.history().len());
+    for (i, step) in builder.history().iter().enumerate() {
+        println!(
+            "  {}. `{}` => {}",
+            i + 1,
+            step.text,
+            step.edits
+                .iter()
+                .map(|e| e.describe())
+                .collect::<Vec<_>>()
+                .join("; ")
+        );
+    }
+}

@@ -1,0 +1,97 @@
+//! Quickstart: the FISQL pipeline in five minutes.
+//!
+//! Builds a tiny database, asks a question through the Assistant, gives
+//! natural-language feedback, and shows the corrected SQL — the paper's
+//! core loop, end to end.
+//!
+//! Run: `cargo run --example quickstart`
+
+use fisql::prelude::*;
+
+fn main() {
+    // 1. A database. The engine is in-memory; rows are plain values.
+    let mut db = Database::new("music");
+    let mut singer = Table::new(
+        "singer",
+        vec![
+            Column::new("singer_id", DataType::Int),
+            Column::new("name", DataType::Text),
+            Column::new("song_name", DataType::Text),
+            Column::new("song_release_year", DataType::Int),
+            Column::new("age", DataType::Int),
+        ],
+    );
+    singer.primary_key = Some(0);
+    for (id, name, song, year, age) in [
+        (1, "Joe Sharp", "You", 1992, 52),
+        (2, "Timbaland", "Dangerous", 2008, 32),
+        (3, "Tribal King", "Facilement", 2016, 25),
+    ] {
+        singer.push_row(vec![
+            Value::Int(id),
+            name.into(),
+            song.into(),
+            Value::Int(year),
+            Value::Int(age),
+        ]);
+    }
+    db.add_table(singer);
+
+    // 2. Execute SQL directly against the engine.
+    let rs = execute_sql(&db, "SELECT name FROM singer WHERE age < 40").unwrap();
+    println!("Young singers:\n{rs}");
+
+    // 3. The paper's Figure 7 walkthrough: the model answered with the
+    //    singer's name where the user wanted the song's name.
+    let predicted = parse_query(
+        "SELECT name, song_release_year FROM singer \
+         WHERE age = (SELECT MIN(age) FROM singer)",
+    )
+    .unwrap();
+    let gold = parse_query(
+        "SELECT song_name, song_release_year FROM singer \
+         WHERE age = (SELECT MIN(age) FROM singer)",
+    )
+    .unwrap();
+
+    let wrong = execute_sql(
+        &db,
+        "SELECT name, song_release_year FROM singer \
+         WHERE age = (SELECT MIN(age) FROM singer)",
+    )
+    .unwrap();
+    println!("What the user saw (wrong column):\n{wrong}");
+
+    // 4. The user's feedback, interpreted against the previous query.
+    let feedback = "Provide song name instead of singer name";
+    let normalized = normalize_query(&predicted);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+    let interp = interpret(
+        feedback,
+        &normalized,
+        &db,
+        Some(OpClass::Edit),
+        None,
+        &mut rng,
+    );
+    println!(
+        "Interpreted `{feedback}` as: {}",
+        interp
+            .edits
+            .iter()
+            .map(|e| e.describe())
+            .collect::<Vec<_>>()
+            .join("; ")
+    );
+
+    // 5. Apply the edit and verify the correction by execution match.
+    let fixed = apply_edits(&normalized, &interp.edits).unwrap();
+    println!("Revised SQL: {}", print_query(&fixed));
+    assert!(structurally_equal(&fixed, &gold));
+
+    let a = fisql::fisql_engine::execute(&db, &fixed).unwrap();
+    let b = fisql::fisql_engine::execute(&db, &gold).unwrap();
+    assert!(results_match(&a, &b));
+    println!("\nCorrected result:\n{a}");
+    println!("Execution match with the intended query: ✓");
+}

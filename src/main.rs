@@ -1,0 +1,173 @@
+//! `fisql` — the interactive FISQL console.
+//!
+//! A terminal rendition of the paper's tool (Figures 3-4): ask questions
+//! against the bundled AEP-like marketing database (or your own `.sql`
+//! schema file), read the Assistant's four outputs, and steer it with
+//! plain-language feedback.
+//!
+//! ```text
+//! fisql [path/to/schema.sql]
+//!
+//! you> how many audiences were created in January?
+//! ...assistant answers...
+//! you> feedback: we are in 2024
+//! ...assistant revises the SQL...
+//! you> :sql        show the current SQL
+//! you> :run SELECT COUNT(*) FROM hkg_dim_segment
+//! you> :schema     print the schema
+//! you> :quit
+//! ```
+//!
+//! The backing model is the simulated LLM, so "asking a question" means
+//! picking the bundled corpus question closest to yours (by embedding
+//! similarity) and answering it — good enough to drive the whole feedback
+//! pipeline interactively.
+
+use fisql::prelude::*;
+use fisql_core::Assistant;
+use fisql_llm::Embedding;
+use std::io::{BufRead, Write};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+
+    // Corpus + database: bundled AEP-like by default; a schema file makes
+    // a custom database (questions then run through :run only).
+    let corpus = build_aep(&AepConfig {
+        n_examples: 120,
+        seed: 0xC11,
+    });
+    let custom_db = args.get(1).map(|path| {
+        let sql = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("error: cannot read {path}: {e}");
+            std::process::exit(2);
+        });
+        fisql::fisql_engine::load_script("custom", &sql).unwrap_or_else(|e| {
+            eprintln!("error: cannot load {path}: {e}");
+            std::process::exit(2);
+        })
+    });
+    let db = custom_db.as_ref().unwrap_or(&corpus.databases[0]);
+
+    let llm = SimLlm::new(LlmConfig::default());
+    let assistant = Assistant::for_corpus(&corpus, llm, 3);
+    let strategy = Strategy::Fisql {
+        routing: true,
+        highlighting: false,
+    };
+    let mut session = fisql_core::Session::new(db, assistant, strategy);
+
+    // Question embeddings for nearest-question matching.
+    let embeddings: Vec<Embedding> = corpus
+        .examples
+        .iter()
+        .map(|e| Embedding::embed(&e.question))
+        .collect();
+    let mut current_example: Option<Example> = None;
+
+    println!("fisql — Feedback-Infused SQL console (database: {})", db);
+    println!("type a question, `feedback: <text>`, `:sql`, `:run <SQL>`, `:explain <SQL>`, `:schema`, `:examples`, or `:quit`\n");
+
+    let stdin = std::io::stdin();
+    let mut line = String::new();
+    loop {
+        print!("you> ");
+        std::io::stdout().flush().ok();
+        line.clear();
+        if stdin.lock().read_line(&mut line).unwrap_or(0) == 0 {
+            break;
+        }
+        let input = line.trim();
+        if input.is_empty() {
+            continue;
+        }
+        match input {
+            ":quit" | ":q" | "exit" => break,
+            ":schema" => {
+                println!("{}", db.schema_text());
+                continue;
+            }
+            ":sql" => {
+                match session.transcript.iter().rev().find_map(|e| match e {
+                    fisql_core::ChatEvent::Assistant(t) => Some(t.clone()),
+                    _ => None,
+                }) {
+                    Some(t) => {
+                        let sql = t
+                            .lines()
+                            .skip_while(|l| !l.contains("[Show source]"))
+                            .nth(1)
+                            .unwrap_or("(no SQL yet)");
+                        println!("{sql}");
+                    }
+                    None => println!("(ask a question first)"),
+                }
+                continue;
+            }
+            ":examples" => {
+                for e in corpus.examples.iter().take(10) {
+                    println!("  - {}", e.question);
+                }
+                continue;
+            }
+            _ => {}
+        }
+        if let Some(sql) = input.strip_prefix(":run ") {
+            match execute_sql(db, sql) {
+                Ok(rs) => println!("{rs}"),
+                Err(e) => println!("error: {e}"),
+            }
+            continue;
+        }
+        if let Some(sql) = input.strip_prefix(":explain ") {
+            match parse_query(sql) {
+                Ok(q) => println!("{}", fisql::fisql_engine::explain(db, &q)),
+                Err(e) => println!("error: {e}"),
+            }
+            continue;
+        }
+        if input.starts_with(':') {
+            println!(
+                "(unknown command `{input}` — try :sql, :run, :explain, :schema, :examples, :quit)"
+            );
+            continue;
+        }
+        if let Some(feedback) = input
+            .strip_prefix("feedback:")
+            .or_else(|| input.strip_prefix("fb:"))
+        {
+            let Some(example) = &current_example else {
+                println!("(ask a question before giving feedback)");
+                continue;
+            };
+            let turn = session.give_feedback(example, feedback.trim(), None);
+            println!("{}", Assistant::render_turn(&turn));
+            continue;
+        }
+
+        // A question: find the nearest bundled question and answer it.
+        if custom_db.is_some() {
+            println!("(custom databases support `:run <SQL>`; questions need the bundled corpus)");
+            continue;
+        }
+        let q = Embedding::embed(input);
+        let best = embeddings
+            .iter()
+            .enumerate()
+            .max_by(|a, b| {
+                q.cosine(a.1)
+                    .partial_cmp(&q.cosine(b.1))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        let example = corpus.examples[best].clone();
+        if !example.question.eq_ignore_ascii_case(input) {
+            println!("(interpreting as: {})", example.question);
+        }
+        let turn = session.ask(&example);
+        println!("{}", Assistant::render_turn(&turn));
+        current_example = Some(example);
+    }
+    println!("bye.");
+}

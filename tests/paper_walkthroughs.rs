@@ -1,0 +1,172 @@
+//! The paper's worked examples (Figures 4, 5, 7, 9 and Table 1),
+//! reproduced verbatim through the public API.
+
+use fisql::prelude::*;
+use rand::rngs::StdRng;
+
+/// Figure 5: the Edit-type demonstration — "we are in 2024" turns the
+/// 2023 window into the 2024 window.
+#[test]
+fn figure5_edit_demonstration() {
+    let before = parse_query(
+        "SELECT COUNT(*) AS segmentCount FROM hkg_dim_segment \
+         WHERE createdTime >= '2023-01-01' and createdTime < '2023-02-01'",
+    )
+    .unwrap();
+    let after = parse_query(
+        "SELECT COUNT(*) AS segmentCount FROM hkg_dim_segment \
+         WHERE createdTime >= '2024-01-01' and createdTime < '2024-02-01'",
+    )
+    .unwrap();
+
+    let mut rng = StdRng::seed_from_u64(5);
+    let db = aep_db();
+    let interp = interpret(
+        "we are in 2024",
+        &normalize_query(&before),
+        &db,
+        Some(OpClass::Edit),
+        None,
+        &mut rng,
+    );
+    let fixed = apply_edits(&normalize_query(&before), &interp.edits).unwrap();
+    assert!(structurally_equal(&fixed, &after));
+}
+
+/// Figure 7: the youngest-singer example — feedback replaces the singer
+/// name with the song name.
+#[test]
+fn figure7_song_name_walkthrough() {
+    let db = singer_db();
+    let predicted = parse_query(
+        "SELECT Name, Song_release_year FROM singer WHERE Age = (SELECT min(Age) FROM singer)",
+    )
+    .unwrap();
+    // The user saw "Tribal King | 2016" and knows Tribal King is the
+    // singer, not the song.
+    let rs = fisql::fisql_engine::execute(&db, &predicted).unwrap();
+    assert_eq!(rs.rows[0][0], Value::Text("Tribal King".into()));
+
+    let mut rng = StdRng::seed_from_u64(7);
+    let interp = interpret(
+        "Provide song name instead of singer name",
+        &normalize_query(&predicted),
+        &db,
+        Some(OpClass::Edit),
+        None,
+        &mut rng,
+    );
+    let fixed = apply_edits(&normalize_query(&predicted), &interp.edits).unwrap();
+    let gold = parse_query(
+        "SELECT song_name, song_release_year FROM singer \
+         WHERE age = (SELECT MIN(age) FROM singer)",
+    )
+    .unwrap();
+    assert!(structurally_equal(&fixed, &gold), "{}", print_query(&fixed));
+    let fixed_rs = fisql::fisql_engine::execute(&db, &fixed).unwrap();
+    assert_eq!(fixed_rs.rows[0][0], Value::Text("Love".into()));
+}
+
+/// Figure 9: highlighting the WHERE clause grounds the terse feedback
+/// "change to 2024".
+#[test]
+fn figure9_highlight_grounding() {
+    let db = aep_db();
+    let predicted = normalize_query(
+        &parse_query(
+            "SELECT COUNT(*) FROM hkg_dim_segment \
+             WHERE createdTime >= '2023-01-01' AND createdTime < '2023-02-01'",
+        )
+        .unwrap(),
+    );
+    let spanned = fisql::fisql_sqlkit::print_query_spanned(&predicted);
+    // The user highlights the first WHERE predicate.
+    let highlight = spanned
+        .span_of(&fisql::fisql_sqlkit::ClausePath::Where)
+        .unwrap();
+    let mut rng = StdRng::seed_from_u64(9);
+    let interp = interpret(
+        "change to 2024",
+        &predicted,
+        &db,
+        Some(OpClass::Edit),
+        Some(highlight),
+        &mut rng,
+    );
+    assert!(!interp.edits.is_empty(), "highlighted feedback must ground");
+    let fixed = apply_edits(&predicted, &interp.edits).unwrap();
+    let sql = print_query(&fixed);
+    assert!(sql.contains("2024-01-01"), "{sql}");
+}
+
+/// Table 1: the router classifies the three canonical feedback texts.
+#[test]
+fn table1_feedback_types() {
+    let llm = SimLlm::new(LlmConfig {
+        seed: 1,
+        calibration: Calibration {
+            router_noise: 0.0,
+            ..Default::default()
+        },
+    });
+    assert_eq!(
+        llm.classify_feedback("order the names in ascending order.", 0),
+        OpClass::Add
+    );
+    assert_eq!(
+        llm.classify_feedback("do not give descriptions", 0),
+        OpClass::Remove
+    );
+    assert_eq!(llm.classify_feedback("we are in 2024", 0), OpClass::Edit);
+}
+
+/// Figure 4's observable surface: the Assistant's explanation of the
+/// wrong-year query mirrors the paper's bullet list.
+#[test]
+fn figure4_explanation_surface() {
+    let q = parse_query(
+        "SELECT COUNT(*) FROM hkg_dim_segment \
+         WHERE createdTime >= '2023-01-01' AND createdTime < '2023-02-01'",
+    )
+    .unwrap();
+    let text = explain_query(&q);
+    assert!(text.contains("First, consider all the"));
+    assert!(text.contains("createdTime >= '2023-01-01'"));
+    assert!(text.contains("createdTime < '2023-02-01'"));
+    assert!(text.to_lowercase().contains("count"));
+}
+
+fn aep_db() -> Database {
+    let mut rng = StdRng::seed_from_u64(1);
+    fisql_spider::build_aep_database(&mut rng)
+}
+
+fn singer_db() -> Database {
+    let mut db = Database::new("concert_singer");
+    let mut singer = Table::new(
+        "singer",
+        vec![
+            Column::new("singer_id", DataType::Int),
+            Column::new("name", DataType::Text),
+            Column::new("song_name", DataType::Text),
+            Column::new("song_release_year", DataType::Int),
+            Column::new("age", DataType::Int),
+        ],
+    );
+    singer.primary_key = Some(0);
+    for (id, name, song, year, age) in [
+        (1, "Joe Sharp", "You", 1992, 52),
+        (2, "Rose White", "Sun", 2003, 41),
+        (3, "Tribal King", "Love", 2016, 25),
+    ] {
+        singer.push_row(vec![
+            Value::Int(id),
+            name.into(),
+            song.into(),
+            Value::Int(year),
+            Value::Int(age),
+        ]);
+    }
+    db.add_table(singer);
+    db
+}

@@ -1,0 +1,193 @@
+//! Property-based tests over the core data structures and invariants,
+//! using the corpus generators as structured input sources.
+
+use fisql::prelude::*;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+
+/// Builds a reusable small corpus once.
+fn corpus_for(seed: u64) -> Corpus {
+    build_spider(&SpiderConfig {
+        n_databases: 6,
+        n_examples: 40,
+        seed,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// print ∘ parse is the identity on every generated gold query.
+    #[test]
+    fn gold_queries_roundtrip_through_printer(seed in 0u64..500) {
+        let corpus = corpus_for(seed);
+        for e in &corpus.examples {
+            let printed = print_query(&e.gold);
+            let reparsed = parse_query(&printed).expect("printed gold parses");
+            prop_assert_eq!(&reparsed, &e.gold, "roundtrip failed for {}", printed);
+        }
+    }
+
+    /// Normalization is idempotent and preserves execution results.
+    #[test]
+    fn normalization_preserves_execution(seed in 0u64..500) {
+        let corpus = corpus_for(seed);
+        for e in corpus.examples.iter().take(20) {
+            let db = corpus.database(e);
+            let norm = normalize_query(&e.gold);
+            prop_assert_eq!(normalize_query(&norm), norm.clone());
+            let a = fisql::fisql_engine::execute(db, &e.gold).unwrap();
+            let b = fisql::fisql_engine::execute(db, &norm).unwrap();
+            prop_assert!(results_match(&b, &a), "normalization changed results for {}", print_query(&e.gold));
+        }
+    }
+
+    /// apply(diff(p, g), p) ≡ g for every corrupted prediction.
+    #[test]
+    fn diff_apply_recovers_gold(seed in 0u64..500) {
+        let corpus = corpus_for(seed);
+        for e in corpus.examples.iter().take(20) {
+            for wc in e.channels.iter().take(3) {
+                let bad = normalize_query(&fisql_spider::corrupt(&e.intent, &wc.channel));
+                let edits = diff_queries(&bad, &e.gold);
+                let fixed = apply_edits(&bad, &edits).expect("edits apply");
+                prop_assert!(
+                    structurally_equal(&fixed, &e.gold),
+                    "channel {} not invertible: {} → {}",
+                    wc.channel.kind(),
+                    print_query(&bad),
+                    print_query(&fixed)
+                );
+            }
+        }
+    }
+
+    /// Engine invariants on generated data: LIMIT bounds, WHERE subsets,
+    /// DISTINCT no larger than raw.
+    #[test]
+    fn engine_invariants(seed in 0u64..500) {
+        let corpus = corpus_for(seed);
+        let db = &corpus.databases[(seed as usize) % corpus.databases.len()];
+        let table = db.tables.iter().find(|t| !t.rows.is_empty()).unwrap();
+        let name = &table.name;
+        let total = execute_sql(db, &format!("SELECT COUNT(*) FROM {name}")).unwrap();
+        let total_n = match total.scalar().unwrap() { Value::Int(n) => *n, _ => unreachable!() };
+        prop_assert_eq!(total_n as usize, table.rows.len());
+
+        let limited = execute_sql(db, &format!("SELECT * FROM {name} LIMIT 5")).unwrap();
+        prop_assert!(limited.len() <= 5);
+
+        let col = &table.columns[0].name;
+        let distinct = execute_sql(db, &format!("SELECT DISTINCT {col} FROM {name}")).unwrap();
+        let raw = execute_sql(db, &format!("SELECT {col} FROM {name}")).unwrap();
+        prop_assert!(distinct.len() <= raw.len());
+
+        let union_all = execute_sql(
+            db,
+            &format!("SELECT {col} FROM {name} UNION ALL SELECT {col} FROM {name}"),
+        )
+        .unwrap();
+        prop_assert_eq!(union_all.len(), 2 * raw.len());
+
+        let union = execute_sql(
+            db,
+            &format!("SELECT {col} FROM {name} UNION SELECT {col} FROM {name}"),
+        )
+        .unwrap();
+        prop_assert_eq!(union.len(), distinct.len());
+    }
+
+    /// Zero-shot generation is invariant under the attempt salt
+    /// (misreadings are systematic), and corrupted outputs always parse.
+    #[test]
+    fn generation_systematicity(seed in 0u64..200) {
+        let corpus = corpus_for(seed);
+        let llm = SimLlm::new(LlmConfig { seed, calibration: Calibration::default() });
+        for e in corpus.examples.iter().take(10) {
+            let gen = |salt| llm.generate_sql(&GenRequest {
+                example: e,
+                demos: 0,
+                hint_text: "",
+                salt,
+                mode: GenMode::Initial,
+            }).query;
+            let a = gen(0);
+            prop_assert_eq!(&gen(1234), &a);
+            // The produced SQL is always well-formed.
+            let printed = print_query(&a);
+            prop_assert!(parse_query(&printed).is_ok(), "unparsable generation {}", printed);
+        }
+    }
+
+    /// The simulated user never fabricates feedback for a correct query
+    /// and never leaks gold SQL text verbatim.
+    #[test]
+    fn user_feedback_sanity(seed in 0u64..200) {
+        let corpus = corpus_for(seed);
+        let user = SimUser::new(UserConfig { seed, p_engage: 1.0, ..Default::default() });
+        for e in corpus.examples.iter().take(10) {
+            let view = UserView {
+                question: e.question.clone(),
+                sql: fisql::fisql_sqlkit::print_query_spanned(&e.gold),
+                explanation: String::new(),
+                result: Ok(String::new()),
+            };
+            prop_assert!(user.feedback(e, &e.gold, &view, 0).is_none());
+            if let Some(wc) = e.channels.first() {
+                let bad = normalize_query(&fisql_spider::corrupt(&e.intent, &wc.channel));
+                if !structurally_equal(&bad, &e.gold) {
+                    if let Some(fb) = user.feedback(e, &bad, &view, 0) {
+                        prop_assert!(!fb.text.contains("SELECT"), "feedback leaked SQL: {}", fb.text);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Highlight spans always slice to valid UTF-8 text inside the rendered
+/// SQL (non-proptest because it exercises the feedback highlighter).
+#[test]
+fn highlights_are_within_rendered_sql() {
+    let corpus = corpus_for(99);
+    let user = SimUser::new(UserConfig {
+        p_engage: 1.0,
+        p_misalign: 0.0,
+        p_highlight: 1.0,
+        ..Default::default()
+    });
+    let mut checked = 0;
+    for e in &corpus.examples {
+        let Some(wc) = e.channels.first() else {
+            continue;
+        };
+        let bad = normalize_query(&fisql_spider::corrupt(&e.intent, &wc.channel));
+        if structurally_equal(&bad, &e.gold) {
+            continue;
+        }
+        let spanned = fisql::fisql_sqlkit::print_query_spanned(&bad);
+        let view = UserView {
+            question: e.question.clone(),
+            sql: spanned.clone(),
+            explanation: String::new(),
+            result: Ok(String::new()),
+        };
+        if let Some(mut fb) = user.feedback(e, &bad, &view, 0) {
+            user.add_highlight(&mut fb, &spanned, e.id, 0);
+            if let Some(hl) = fb.highlight {
+                assert!(hl.end <= spanned.text.len());
+                assert!(!hl.slice(&spanned.text).is_empty());
+                checked += 1;
+            }
+        }
+    }
+    assert!(checked > 3, "too few highlights exercised: {checked}");
+}
+
+/// The AEP database regenerates identically from the same seed.
+#[test]
+fn aep_database_is_seed_deterministic() {
+    let a = fisql_spider::build_aep_database(&mut StdRng::seed_from_u64(5));
+    let b = fisql_spider::build_aep_database(&mut StdRng::seed_from_u64(5));
+    assert_eq!(a, b);
+}
