@@ -1,8 +1,11 @@
-//! Diagnostic: failure-mode breakdown for FISQL round-1 corrections.
+//! Diagnostic: failure-mode breakdown for FISQL round-1 corrections,
+//! plus the static-analysis gate's per-strategy catch rate (candidates
+//! flagged/repaired before execution vs. failed at the engine).
 //! Not part of the paper's tables; used for calibration analysis.
 
 use fisql_bench::{annotated_cases, Setup};
 use fisql_core::{incorporate, IncorporateContext, Strategy};
+use fisql_engine::execute;
 use fisql_spider::check_prediction;
 use fisql_sqlkit::{diff_queries, normalize_query};
 
@@ -69,5 +72,53 @@ fn main() {
             "{name}: total {} ok {} | misaligned {} interp-fail {} apply-fail {} multi-partial {} ambiguous {} other {} (initial multi-edit {})",
             cases.len(), ok, misaligned, interp_fail, apply_fail, partial_multi, ambiguous_wrong, other, initial_multi
         );
+
+        // Static-analysis gate: per strategy, how many round-1 candidates
+        // the analyzer flags (and typo-repairs) before they can reach the
+        // engine, vs. how many of the gated candidates still fail there.
+        for strategy in [
+            Strategy::Fisql {
+                routing: true,
+                highlighting: false,
+            },
+            Strategy::FisqlDynamic,
+            Strategy::QueryRewrite,
+        ] {
+            let mut flagged = 0u64;
+            let mut repaired = 0u64;
+            let mut saved = 0u64;
+            let mut exec_failed = 0u64;
+            for case in &cases {
+                let example = &corpus.examples[case.error.example_idx];
+                let db = corpus.database(example);
+                let out = incorporate(
+                    strategy,
+                    &setup.llm,
+                    &IncorporateContext {
+                        db,
+                        example,
+                        question: &example.question,
+                        previous: &normalize_query(&case.error.initial),
+                        feedback: &case.feedback,
+                        round: 0,
+                    },
+                );
+                if out.gate.has_errors() {
+                    flagged += 1;
+                }
+                if out.gate.repaired {
+                    repaired += 1;
+                }
+                saved += out.gate.executions_saved;
+                if execute(db, &out.query).is_err() {
+                    exec_failed += 1;
+                }
+            }
+            println!(
+                "{name} gate [{}]: statically flagged {flagged} (repaired {repaired}, executions saved {saved}) | failed at engine {exec_failed} of {}",
+                strategy.name(),
+                cases.len()
+            );
+        }
     }
 }

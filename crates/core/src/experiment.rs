@@ -124,6 +124,14 @@ pub struct CorrectionReport {
     pub total: usize,
     /// Cumulative corrected counts after round 1, 2, … rounds.
     pub corrected_after_round: Vec<usize>,
+    /// Candidates the static analyzer flagged with error-severity
+    /// diagnostics before execution (across all rounds).
+    #[serde(default)]
+    pub statically_flagged: usize,
+    /// Candidates the analyzer auto-repaired, i.e. engine executions of a
+    /// doomed query that were skipped (across all rounds).
+    #[serde(default)]
+    pub executions_saved: u64,
 }
 
 impl CorrectionReport {
@@ -152,6 +160,8 @@ pub fn run_correction(
     user: &SimUser,
 ) -> CorrectionReport {
     let mut corrected_after_round = vec![0usize; rounds];
+    let mut statically_flagged = 0usize;
+    let mut executions_saved = 0u64;
     for case in cases {
         let example = &corpus.examples[case.error.example_idx];
         let db = corpus.database(example);
@@ -192,6 +202,10 @@ pub fn run_correction(
                     round: round as u64,
                 },
             );
+            if outcome.gate.has_errors() {
+                statically_flagged += 1;
+            }
+            executions_saved += outcome.gate.executions_saved;
             current = outcome.query;
             question = outcome.question;
 
@@ -210,6 +224,8 @@ pub fn run_correction(
         strategy: strategy.name().to_string(),
         total: cases.len(),
         corrected_after_round,
+        statically_flagged,
+        executions_saved,
     }
 }
 
@@ -324,6 +340,8 @@ mod tests {
             strategy: "FISQL".into(),
             total: 100,
             corrected_after_round: vec![45, 60],
+            statically_flagged: 0,
+            executions_saved: 0,
         };
         assert!((report.pct_after(1) - 45.0).abs() < 1e-9);
         assert!((report.pct_after(2) - 60.0).abs() < 1e-9);

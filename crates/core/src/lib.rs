@@ -33,6 +33,8 @@ pub use experiment::{
 };
 pub use explain::{explain_query, reformulate};
 pub use interpret::{interpret, Interpretation};
-pub use pipeline::{incorporate, IncorporateContext, IncorporateOutcome, Strategy};
+pub use pipeline::{
+    gate_candidate, incorporate, GateOutcome, IncorporateContext, IncorporateOutcome, Strategy,
+};
 pub use refine::{QueryBuilder, RefineError, RefineStep};
 pub use session::{ChatEvent, Session};

@@ -10,6 +10,7 @@ use fisql_engine::Database;
 use fisql_feedback::Feedback;
 use fisql_llm::{prompt, GenMode, GenRequest, SimLlm};
 use fisql_spider::Example;
+use fisql_sqlkit::check::{check_query, render_report, repair_query, Diagnostic};
 use fisql_sqlkit::{normalize_query, print_query, OpClass, Query};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -94,6 +95,76 @@ pub struct IncorporateOutcome {
     pub interpretation: Option<Interpretation>,
     /// The full prompt sent to the model (fidelity).
     pub prompt: String,
+    /// What the static-analysis gate found (and possibly fixed) in the
+    /// candidate before it could reach the engine.
+    pub gate: GateOutcome,
+}
+
+/// What the static-analysis gate ([`gate_candidate`]) did to one
+/// candidate query.
+#[derive(Debug, Clone, Default)]
+pub struct GateOutcome {
+    /// Diagnostics the analyzer reported for the candidate (pre-repair).
+    pub diagnostics: Vec<Diagnostic>,
+    /// Whether a typo-level repair made the candidate analyzer-clean.
+    pub repaired: bool,
+    /// Engine executions avoided: a repaired candidate skips the failing
+    /// run it would otherwise have burned.
+    pub executions_saved: u64,
+}
+
+impl GateOutcome {
+    /// Whether the candidate had error-severity findings (before repair).
+    pub fn has_errors(&self) -> bool {
+        self.diagnostics.iter().any(Diagnostic::is_error)
+    }
+}
+
+/// Gates a candidate query through the static analyzer before it can
+/// reach the engine. Error findings are rendered and folded into the
+/// regeneration prompt (so the next round's model sees exactly which
+/// names were invalid), and a unique typo-level repair (edit distance
+/// ≤ 2 against the schema, names that exist nowhere in it) is applied
+/// when it makes the candidate analyzer-clean.
+pub fn gate_candidate(
+    db: &Database,
+    candidate: Query,
+    prompt: &mut String,
+) -> (Query, GateOutcome) {
+    let schema = db.schema_info();
+    let diagnostics = check_query(&candidate, &schema);
+    if !diagnostics.iter().any(Diagnostic::is_error) {
+        return (
+            candidate,
+            GateOutcome {
+                diagnostics,
+                ..GateOutcome::default()
+            },
+        );
+    }
+    let sql = print_query(&candidate);
+    prompt.push_str(&prompt::diagnostics_addendum(&render_report(
+        &sql,
+        &diagnostics,
+    )));
+    match repair_query(&candidate, &schema) {
+        Some(fixed) => (
+            normalize_query(&fixed),
+            GateOutcome {
+                diagnostics,
+                repaired: true,
+                executions_saved: 1,
+            },
+        ),
+        None => (
+            candidate,
+            GateOutcome {
+                diagnostics,
+                repaired: false,
+                executions_saved: 0,
+            },
+        ),
+    }
 }
 
 /// Runs one feedback-incorporation step with `strategy`.
@@ -172,12 +243,16 @@ fn fisql_step(
         normalize_query(&applied)
     };
 
+    let mut prompt_text = prompt_text;
+    let (query, gate) = gate_candidate(ctx.db, query, &mut prompt_text);
+
     IncorporateOutcome {
         query,
         question: ctx.question.to_string(),
         routed,
         interpretation: Some(interp),
         prompt: prompt_text,
+        gate,
     }
 }
 
@@ -204,12 +279,16 @@ fn rewrite_step(llm: &SimLlm, ctx: &IncorporateContext<'_>) -> IncorporateOutcom
         salt: 1000 + ctx.round,
         mode: GenMode::Rewrite,
     });
+    let mut prompt_text = prompt_text;
+    let (query, gate) =
+        gate_candidate(ctx.db, normalize_query(&generation.query), &mut prompt_text);
     IncorporateOutcome {
-        query: normalize_query(&generation.query),
+        query,
         question: new_question,
         routed: None,
         interpretation: None,
         prompt: prompt_text,
+        gate,
     }
 }
 
@@ -306,6 +385,50 @@ mod tests {
         assert!(out.question.contains("2024"));
         assert!(out.question.contains("January"));
         assert!(out.interpretation.is_none());
+    }
+
+    #[test]
+    fn gate_repairs_typo_and_annotates_prompt() {
+        let corpus = build_aep(&AepConfig {
+            n_examples: 5,
+            seed: 2,
+        });
+        let e = &corpus.examples[0];
+        let db = corpus.database(e);
+        // `createdTme` exists nowhere in the schema; its unique nearest
+        // schema name within distance 2 is `createdTime`.
+        let candidate =
+            parse_query("SELECT COUNT(*) FROM hkg_dim_segment WHERE createdTme >= '2024-01-01'")
+                .unwrap();
+        let mut prompt = String::from("base prompt");
+        let (fixed, gate) = gate_candidate(db, candidate, &mut prompt);
+        assert!(gate.has_errors());
+        assert!(gate.repaired);
+        assert_eq!(gate.executions_saved, 1);
+        // The gate normalizes the repaired query, lowercasing identifiers.
+        assert!(print_query(&fixed).contains("createdtime"));
+        assert!(prompt.starts_with("base prompt"));
+        assert!(prompt.contains("unknown-column"), "{prompt}");
+        assert!(prompt.contains("createdTime"), "{prompt}");
+    }
+
+    #[test]
+    fn gate_leaves_structural_errors_for_feedback() {
+        let corpus = build_aep(&AepConfig {
+            n_examples: 5,
+            seed: 2,
+        });
+        let e = &corpus.examples[0];
+        let db = corpus.database(e);
+        // `activation_date` is a real column of another table: that is a
+        // missing join, not a typo — the gate must not rename it.
+        let candidate = parse_query("SELECT activation_date FROM hkg_dim_segment").unwrap();
+        let mut prompt = String::new();
+        let (kept, gate) = gate_candidate(db, candidate.clone(), &mut prompt);
+        assert!(gate.has_errors());
+        assert!(!gate.repaired);
+        assert_eq!(kept, candidate);
+        assert!(prompt.contains("activation_date"), "{prompt}");
     }
 
     #[test]

@@ -33,6 +33,7 @@
 
 use crate::interpret::interpret;
 use fisql_engine::Database;
+use fisql_sqlkit::check::{check_query, render_report, repair_query, Diagnostic, SchemaInfo};
 use fisql_sqlkit::{apply_edits, normalize_query, parse_query, print_query, EditOp, Query};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -61,6 +62,13 @@ pub enum RefineError {
         /// The parser's message.
         message: String,
     },
+    /// The refined query failed static semantic analysis and could not be
+    /// auto-repaired.
+    Invalid {
+        /// The rendered diagnostic report
+        /// ([`fisql_sqlkit::check::render_report`]).
+        report: String,
+    },
 }
 
 impl fmt::Display for RefineError {
@@ -74,6 +82,9 @@ impl fmt::Display for RefineError {
             }
             RefineError::Apply { message } => write!(f, "could not apply refinement: {message}"),
             RefineError::Parse { message } => write!(f, "invalid seed SQL: {message}"),
+            RefineError::Invalid { report } => {
+                write!(f, "refined query fails semantic analysis:\n{report}")
+            }
         }
     }
 }
@@ -94,17 +105,24 @@ pub struct RefineStep {
 /// An incremental query builder.
 pub struct QueryBuilder<'a> {
     db: &'a Database,
+    schema: SchemaInfo,
     current: Query,
     history: Vec<RefineStep>,
+    diagnostics: Vec<Diagnostic>,
 }
 
 impl<'a> QueryBuilder<'a> {
     /// Starts from an existing query.
     pub fn new(db: &'a Database, seed: Query) -> Self {
+        let schema = db.schema_info();
+        let current = normalize_query(&seed);
+        let diagnostics = check_query(&current, &schema);
         QueryBuilder {
             db,
-            current: normalize_query(&seed),
+            schema,
+            current,
             history: Vec::new(),
+            diagnostics,
         }
     }
 
@@ -131,6 +149,13 @@ impl<'a> QueryBuilder<'a> {
         &self.history
     }
 
+    /// Static-analysis findings for the current query (warnings only —
+    /// an error-bearing refinement is rejected, so the current query
+    /// never carries error-severity diagnostics past [`Self::refine`]).
+    pub fn diagnostics(&self) -> &[Diagnostic] {
+        &self.diagnostics
+    }
+
     /// Applies one plain-language refinement. Interpretation is
     /// deterministic (seeded by the step index) and a step that leaves
     /// the query unchanged is an error — a construction step must build.
@@ -153,6 +178,24 @@ impl<'a> QueryBuilder<'a> {
                 text: text.to_string(),
             });
         }
+        // Static gate: a refinement that makes the query semantically
+        // invalid is repaired when it is a unique typo, rejected otherwise.
+        let mut next = next;
+        let mut diags = check_query(&next, &self.schema);
+        if diags.iter().any(Diagnostic::is_error) {
+            match repair_query(&next, &self.schema) {
+                Some(fixed) => {
+                    next = normalize_query(&fixed);
+                    diags = check_query(&next, &self.schema);
+                }
+                None => {
+                    return Err(RefineError::Invalid {
+                        report: render_report(&print_query(&next), &diags),
+                    });
+                }
+            }
+        }
+        self.diagnostics = diags;
         self.history.push(RefineStep {
             text: text.to_string(),
             edits: interp.edits,
@@ -167,6 +210,7 @@ impl<'a> QueryBuilder<'a> {
         match self.history.pop() {
             Some(step) => {
                 self.current = step.before;
+                self.diagnostics = check_query(&self.current, &self.schema);
                 true
             }
             None => false,
@@ -283,6 +327,47 @@ mod tests {
             QueryBuilder::from_sql(&db, "SELECT FROM"),
             Err(RefineError::Parse { .. })
         ));
+    }
+
+    #[test]
+    fn refine_repairs_typo_in_seed_query() {
+        let db = db();
+        // `segment_nme` exists nowhere; its unique nearest schema name is
+        // `segment_name`, so the first refinement both applies and heals.
+        let mut b = QueryBuilder::from_sql(&db, "SELECT segment_nme FROM segment").unwrap();
+        assert!(b.diagnostics().iter().any(|d| d.is_error()));
+        b.refine("only show the top 3").unwrap();
+        assert_eq!(b.sql(), "SELECT segment_name FROM segment LIMIT 3");
+        assert!(b.diagnostics().is_empty());
+    }
+
+    #[test]
+    fn unrepairable_refinement_is_rejected() {
+        let db = db();
+        let mut b = QueryBuilder::from_sql(&db, "SELECT completely_made_up FROM segment").unwrap();
+        let err = b.refine("only show the top 3").unwrap_err();
+        match err {
+            RefineError::Invalid { report } => {
+                assert!(report.contains("unknown-column"), "{report}");
+                assert!(report.contains("completely_made_up"), "{report}");
+            }
+            other => panic!("expected Invalid, got {other:?}"),
+        }
+        // The failed step is not recorded.
+        assert!(b.history().is_empty());
+    }
+
+    #[test]
+    fn diagnostics_surface_warnings() {
+        let db = db();
+        let b = QueryBuilder::from_sql(
+            &db,
+            "SELECT segment_name FROM segment WHERE segment_name > 5",
+        )
+        .unwrap();
+        let diags = b.diagnostics();
+        assert!(!diags.is_empty());
+        assert!(diags.iter().all(|d| !d.is_error()));
     }
 
     #[test]

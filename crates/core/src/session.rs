@@ -5,7 +5,7 @@
 //! binaries use it to replay the paper's walkthroughs.
 
 use crate::assistant::{Assistant, AssistantTurn};
-use crate::pipeline::{incorporate, IncorporateContext, Strategy};
+use crate::pipeline::{incorporate, GateOutcome, IncorporateContext, Strategy};
 use fisql_engine::Database;
 use fisql_feedback::Feedback;
 use fisql_spider::Example;
@@ -33,6 +33,8 @@ pub struct Session<'a> {
     /// The current example and state, once a question was asked.
     state: Option<State>,
     round: u64,
+    last_gate: Option<GateOutcome>,
+    executions_saved: u64,
 }
 
 struct State {
@@ -50,7 +52,19 @@ impl<'a> Session<'a> {
             transcript: Vec::new(),
             state: None,
             round: 0,
+            last_gate: None,
+            executions_saved: 0,
         }
+    }
+
+    /// Static-analysis gate outcome of the most recent feedback turn.
+    pub fn last_gate(&self) -> Option<&GateOutcome> {
+        self.last_gate.as_ref()
+    }
+
+    /// Engine executions the analyzer gate has saved over this session.
+    pub fn executions_saved(&self) -> u64 {
+        self.executions_saved
     }
 
     /// Asks the example's question; returns the Assistant's turn.
@@ -103,6 +117,8 @@ impl<'a> Session<'a> {
         self.round += 1;
         state.current = outcome.query.clone();
         state.question = outcome.question.clone();
+        self.executions_saved += outcome.gate.executions_saved;
+        self.last_gate = Some(outcome.gate.clone());
         let turn = self
             .assistant
             .present(self.db, outcome.query, outcome.prompt, vec![]);

@@ -1,0 +1,154 @@
+//! Schema introspection: bridges [`Database`] to the static analyzer's
+//! [`SchemaInfo`] description.
+//!
+//! `fisql-sqlkit` deliberately has no engine dependency (every layer
+//! shares its AST), so the analyzer defines its own schema types and this
+//! module converts the engine's index-based schema (foreign keys by
+//! column *index*) into the analyzer's name-based one.
+
+use crate::schema::{Database, Table};
+use crate::value::DataType;
+use fisql_sqlkit::check::{ColType, ColumnInfo, FkInfo, SchemaInfo, TableInfo};
+
+/// Maps an engine column type to the analyzer's type lattice.
+pub fn col_type(dtype: DataType) -> ColType {
+    match dtype {
+        DataType::Int => ColType::Int,
+        DataType::Float => ColType::Float,
+        DataType::Text => ColType::Text,
+        DataType::Bool => ColType::Bool,
+        DataType::Date => ColType::Date,
+    }
+}
+
+fn table_info(db: &Database, t: &Table) -> TableInfo {
+    TableInfo {
+        name: t.name.clone(),
+        columns: t
+            .columns
+            .iter()
+            .map(|c| ColumnInfo {
+                name: c.name.clone(),
+                ctype: col_type(c.dtype),
+            })
+            .collect(),
+        primary_key: t
+            .primary_key
+            .and_then(|i| t.columns.get(i))
+            .map(|c| c.name.clone()),
+        foreign_keys: t
+            .foreign_keys
+            .iter()
+            .filter_map(|fk| {
+                let column = t.columns.get(fk.column)?.name.clone();
+                let ref_column = db
+                    .table(&fk.ref_table)?
+                    .columns
+                    .get(fk.ref_column)?
+                    .name
+                    .clone();
+                Some(FkInfo {
+                    column,
+                    ref_table: fk.ref_table.clone(),
+                    ref_column,
+                })
+            })
+            .collect(),
+    }
+}
+
+/// Builds the analyzer's schema description for a database. Foreign keys
+/// with out-of-range column indices or dangling table references are
+/// dropped (they could never produce a usable join hint).
+pub fn schema_info(db: &Database) -> SchemaInfo {
+    SchemaInfo {
+        tables: db.tables.iter().map(|t| table_info(db, t)).collect(),
+    }
+}
+
+impl Database {
+    /// Analyzer-facing schema description ([`schema_info`]).
+    pub fn schema_info(&self) -> SchemaInfo {
+        schema_info(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Column, ForeignKey};
+    use fisql_sqlkit::check::check_query;
+    use fisql_sqlkit::parse_query;
+
+    fn sample_db() -> Database {
+        let mut db = Database::new("concert_singer");
+        let mut singer = Table::new(
+            "singer",
+            vec![
+                Column::new("singer_id", DataType::Int),
+                Column::new("name", DataType::Text),
+                Column::new("age", DataType::Int),
+            ],
+        );
+        singer.primary_key = Some(0);
+        db.add_table(singer);
+        let mut concert = Table::new(
+            "concert",
+            vec![
+                Column::new("concert_id", DataType::Int),
+                Column::new("singer_id", DataType::Int),
+                Column::new("concert_date", DataType::Date),
+            ],
+        );
+        concert.primary_key = Some(0);
+        concert.foreign_keys.push(ForeignKey {
+            column: 1,
+            ref_table: "singer".into(),
+            ref_column: 0,
+        });
+        db.add_table(concert);
+        db
+    }
+
+    #[test]
+    fn schema_info_resolves_fk_names() {
+        let info = sample_db().schema_info();
+        let concert = info.table("concert").unwrap();
+        assert_eq!(concert.primary_key.as_deref(), Some("concert_id"));
+        assert_eq!(concert.foreign_keys.len(), 1);
+        let fk = &concert.foreign_keys[0];
+        assert_eq!(fk.column, "singer_id");
+        assert_eq!(fk.ref_table, "singer");
+        assert_eq!(fk.ref_column, "singer_id");
+        assert_eq!(
+            info.table("singer").unwrap().column("age").unwrap().ctype,
+            ColType::Int
+        );
+    }
+
+    #[test]
+    fn dangling_fk_is_dropped() {
+        let mut db = sample_db();
+        db.table_mut("concert")
+            .unwrap()
+            .foreign_keys
+            .push(ForeignKey {
+                column: 99,
+                ref_table: "singer".into(),
+                ref_column: 0,
+            });
+        let info = db.schema_info();
+        assert_eq!(info.table("concert").unwrap().foreign_keys.len(), 1);
+    }
+
+    #[test]
+    fn analyzer_runs_against_introspected_schema() {
+        let db = sample_db();
+        let info = db.schema_info();
+        let q = parse_query("SELECT name FROM singer WHERE age > 30").unwrap();
+        assert!(check_query(&q, &info).is_empty());
+        let bad = parse_query("SELECT nam FROM singer").unwrap();
+        let diags = check_query(&bad, &info);
+        assert!(diags.iter().any(|d| d.is_error()));
+    }
+}

@@ -31,6 +31,7 @@ pub mod ddl;
 pub mod error;
 pub mod exec;
 pub mod explain;
+pub mod introspect;
 pub mod result;
 pub mod schema;
 pub mod value;
@@ -39,6 +40,7 @@ pub use ddl::{load_script, DdlError};
 pub use error::{ExecError, ExecResult};
 pub use exec::{execute, execute_sql, like_match};
 pub use explain::explain;
+pub use introspect::{col_type, schema_info};
 pub use result::{results_match, row_key, ResultSet};
 pub use schema::{Column, Database, ForeignKey, Table};
 pub use value::{float_eq, DataType, Value};

@@ -127,6 +127,20 @@ pub fn rewrite_prompt(question: &str, feedback: &str) -> String {
     )
 }
 
+/// Folds a static-analysis diagnostic report into a regeneration prompt.
+///
+/// When `core::pipeline`'s analyzer gate finds error-severity problems in
+/// a candidate query, the rendered report (see
+/// `fisql_sqlkit::check::render_report`) is appended to the prompt so the
+/// next regeneration sees exactly which names or clauses were invalid and
+/// what the nearest schema-valid alternatives are.
+pub fn diagnostics_addendum(report: &str) -> String {
+    format!(
+        "\n\nThe candidate SQL has schema problems found by static \
+         analysis. Fix them in your revision:\n{report}"
+    )
+}
+
 /// The fixed demonstration set retrieved for each routed feedback type
 /// (§3.3: "we retrieve a fixed set of examples that illustrate how to
 /// revise SQL queries based on the predicted feedback type").

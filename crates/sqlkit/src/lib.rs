@@ -35,6 +35,7 @@
 #![warn(missing_docs)]
 
 pub mod ast;
+pub mod check;
 pub mod diff;
 pub mod edit;
 pub mod error;
@@ -48,6 +49,10 @@ pub mod token;
 pub use ast::{
     BinOp, ClausePath, ColumnRef, Expr, FromClause, Func, Join, JoinKind, LimitClause, Literal,
     OrderItem, Query, SelectCore, SelectItem, SetOp, TableFactor, UnaryOp,
+};
+pub use check::{
+    check_query, edit_distance, nearest_name, render_report, repair_query, ColType, ColumnInfo,
+    DiagCode, Diagnostic, FkInfo, SchemaInfo, Severity, TableInfo,
 };
 pub use diff::{diff_queries, EditOp, OpClass};
 pub use edit::{apply_edit, apply_edits, EditError};

@@ -17,6 +17,12 @@ pub struct SpannedSql {
     /// `(path, span)` pairs; more specific paths may nest inside broader
     /// ones (e.g. `WherePredicate(0)` inside `Where`).
     pub spans: Vec<(ClausePath, Span)>,
+    /// `(atom text, span)` pairs for every schema-referencing atom —
+    /// table names in FROM, column references, function names, and `*` —
+    /// in print order, recorded at **every** nesting depth (unlike clause
+    /// spans, which cover only the outermost query). This is the substrate
+    /// for [`crate::check`]'s span-anchored diagnostics.
+    pub atoms: Vec<(String, Span)>,
 }
 
 impl SpannedSql {
@@ -57,6 +63,7 @@ pub fn print_query_spanned(query: &Query) -> SpannedSql {
     SpannedSql {
         text: p.out,
         spans: p.spans,
+        atoms: p.atoms,
     }
 }
 
@@ -71,13 +78,24 @@ pub fn print_expr(expr: &Expr) -> String {
 struct Printer {
     out: String,
     spans: Vec<(ClausePath, Span)>,
-    /// Span recording is only enabled for the outermost query.
+    /// Schema-referencing atoms (tables, columns, functions, `*`),
+    /// recorded at every depth.
+    atoms: Vec<(String, Span)>,
+    /// Clause-span recording is only enabled for the outermost query.
     depth: usize,
 }
 
 impl Printer {
     fn push(&mut self, s: &str) {
         self.out.push_str(s);
+    }
+
+    /// Pushes `s` and records it as an atom (with its exact byte span).
+    fn push_atom(&mut self, s: &str) {
+        let start = self.out.len();
+        self.out.push_str(s);
+        self.atoms
+            .push((s.to_string(), Span::new(start, self.out.len())));
     }
 
     fn mark<R>(&mut self, path: ClausePath, f: impl FnOnce(&mut Self) -> R) -> R {
@@ -230,10 +248,9 @@ impl Printer {
 
     fn select_item(&mut self, item: &SelectItem) {
         match item {
-            SelectItem::Wildcard => self.push("*"),
+            SelectItem::Wildcard => self.push_atom("*"),
             SelectItem::QualifiedWildcard(t) => {
-                self.push(t);
-                self.push(".*");
+                self.push_atom(&format!("{t}.*"));
             }
             SelectItem::Expr { expr, alias } => {
                 self.expr(expr, 0);
@@ -248,7 +265,7 @@ impl Printer {
     fn table_factor(&mut self, f: &TableFactor) {
         match f {
             TableFactor::Table { name, alias } => {
-                self.push(name);
+                self.push_atom(name);
                 if let Some(a) = alias {
                     self.push(" AS ");
                     self.push(a);
@@ -267,9 +284,9 @@ impl Printer {
     /// `min_prec` (the precedence context of the caller).
     fn expr(&mut self, e: &Expr, min_prec: u8) {
         match e {
-            Expr::Column(c) => self.push(&c.to_string()),
+            Expr::Column(c) => self.push_atom(&c.to_string()),
             Expr::Literal(l) => self.push(&l.to_string()),
-            Expr::Wildcard => self.push("*"),
+            Expr::Wildcard => self.push_atom("*"),
             Expr::Unary { op, expr } => match op {
                 UnaryOp::Neg => {
                     self.push("-");
@@ -307,7 +324,7 @@ impl Printer {
                 distinct,
                 args,
             } => {
-                self.push(func.as_str());
+                self.push_atom(func.as_str());
                 self.push("(");
                 if *distinct {
                     self.push("DISTINCT ");
@@ -569,6 +586,54 @@ mod tests {
         let spanned = print_query_spanned(&q);
         let c = spanned.span_of(&ClausePath::Compound(0)).unwrap();
         assert!(c.slice(&spanned.text).starts_with(" UNION"));
+    }
+
+    #[test]
+    fn atom_spans_cover_tables_columns_and_functions() {
+        let q = parse_query(
+            "SELECT name, COUNT(*) FROM singer JOIN concert ON singer.singer_id = concert.singer_id \
+             WHERE age > 30",
+        )
+        .unwrap();
+        let spanned = print_query_spanned(&q);
+        for (atom, span) in &spanned.atoms {
+            assert_eq!(
+                span.slice(&spanned.text),
+                atom,
+                "atom span must slice to its text"
+            );
+        }
+        let texts: Vec<&str> = spanned.atoms.iter().map(|(a, _)| a.as_str()).collect();
+        for expected in [
+            "name",
+            "COUNT",
+            "*",
+            "singer",
+            "concert",
+            "singer.singer_id",
+            "concert.singer_id",
+            "age",
+        ] {
+            assert!(
+                texts.contains(&expected),
+                "missing atom {expected}: {texts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn atoms_recorded_inside_subqueries() {
+        let q = parse_query("SELECT a FROM t WHERE x IN (SELECT y FROM s)").unwrap();
+        let spanned = print_query_spanned(&q);
+        let texts: Vec<&str> = spanned.atoms.iter().map(|(a, _)| a.as_str()).collect();
+        assert!(
+            texts.contains(&"y"),
+            "subquery column atom missing: {texts:?}"
+        );
+        assert!(
+            texts.contains(&"s"),
+            "subquery table atom missing: {texts:?}"
+        );
     }
 
     #[test]

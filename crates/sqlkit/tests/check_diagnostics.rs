@@ -1,0 +1,330 @@
+//! One test per diagnostic code of `fisql_sqlkit::check`, each asserting
+//! the span anchors to the exact offending atom of the canonically
+//! printed SQL.
+
+use fisql_sqlkit::ast::{Expr, Func, SelectCore, SelectItem};
+use fisql_sqlkit::check::{
+    check_query, ColType, DiagCode, Diagnostic, FkInfo, SchemaInfo, Severity, TableInfo,
+};
+use fisql_sqlkit::{parse_query, print_query, Query};
+
+fn schema() -> SchemaInfo {
+    let mut singer = TableInfo::new(
+        "singer",
+        vec![
+            ("singer_id", ColType::Int),
+            ("name", ColType::Text),
+            ("age", ColType::Int),
+            ("country", ColType::Text),
+        ],
+    );
+    singer.primary_key = Some("singer_id".into());
+    let mut concert = TableInfo::new(
+        "concert",
+        vec![
+            ("concert_id", ColType::Int),
+            ("singer_id", ColType::Int),
+            ("venue", ColType::Text),
+            ("concert_date", ColType::Date),
+        ],
+    );
+    concert.primary_key = Some("concert_id".into());
+    concert.foreign_keys.push(FkInfo {
+        column: "singer_id".into(),
+        ref_table: "singer".into(),
+        ref_column: "singer_id".into(),
+    });
+    SchemaInfo::new(vec![singer, concert])
+}
+
+/// Checks `sql` and returns `(printed_sql, diagnostics)`.
+fn check(sql: &str) -> (String, Vec<Diagnostic>) {
+    let q = parse_query(sql).unwrap();
+    check_ast(&q)
+}
+
+fn check_ast(q: &Query) -> (String, Vec<Diagnostic>) {
+    (print_query(q), check_query(q, &schema()))
+}
+
+/// The first diagnostic with `code`, or a panic listing what was found.
+fn find(diags: &[Diagnostic], code: DiagCode) -> &Diagnostic {
+    diags
+        .iter()
+        .find(|d| d.code == code)
+        .unwrap_or_else(|| panic!("no {code:?} in {diags:?}"))
+}
+
+#[test]
+fn unknown_table_spans_the_table_name() {
+    let (sql, diags) = check("SELECT name FROM singerz");
+    let d = find(&diags, DiagCode::UnknownTable);
+    assert_eq!(d.severity, Severity::Error);
+    assert_eq!(d.span.slice(&sql), "singerz");
+    assert!(d.hint.as_deref().unwrap().contains("singer"), "{d:?}");
+}
+
+#[test]
+fn unknown_column_spans_the_column() {
+    let (sql, diags) = check("SELECT wrong_col FROM singer");
+    let d = find(&diags, DiagCode::UnknownColumn);
+    assert_eq!(d.severity, Severity::Error);
+    assert_eq!(d.span.slice(&sql), "wrong_col");
+}
+
+#[test]
+fn unknown_column_hints_nearest_name() {
+    let (_, diags) = check("SELECT nme FROM singer");
+    let d = find(&diags, DiagCode::UnknownColumn);
+    assert!(d.hint.as_deref().unwrap().contains("name"), "{d:?}");
+}
+
+#[test]
+fn unknown_column_hints_other_table_when_name_is_real() {
+    // `venue` is a real column — of concert, not singer; the hint should
+    // steer toward the join rather than a rename.
+    let (_, diags) = check("SELECT venue FROM singer");
+    let d = find(&diags, DiagCode::UnknownColumn);
+    assert!(d.hint.as_deref().unwrap().contains("concert"), "{d:?}");
+}
+
+#[test]
+fn ambiguous_column_spans_the_reference() {
+    let (sql, diags) = check(
+        "SELECT singer_id FROM singer JOIN concert \
+         ON singer.singer_id = concert.singer_id",
+    );
+    let d = find(&diags, DiagCode::AmbiguousColumn);
+    assert_eq!(d.severity, Severity::Error);
+    assert_eq!(d.span.slice(&sql), "singer_id");
+    // The span is the SELECT item, not the ON references.
+    assert_eq!(d.span.start, sql.find("singer_id").unwrap());
+    let hint = d.hint.as_deref().unwrap();
+    assert!(hint.contains("singer.singer_id") && hint.contains("concert.singer_id"));
+}
+
+#[test]
+fn duplicate_alias_is_an_error() {
+    let (_, diags) = check(
+        "SELECT singer.name FROM singer JOIN singer \
+         ON singer.singer_id = singer.singer_id",
+    );
+    let d = find(&diags, DiagCode::DuplicateAlias);
+    assert_eq!(d.severity, Severity::Error);
+}
+
+#[test]
+fn aggregate_in_where_spans_the_call() {
+    let (sql, diags) = check("SELECT name FROM singer WHERE COUNT(*) > 1");
+    let d = find(&diags, DiagCode::AggregateInWhere);
+    assert_eq!(d.severity, Severity::Error);
+    assert_eq!(d.span.slice(&sql), "COUNT");
+    assert!(d.span.start > sql.find("WHERE").unwrap());
+}
+
+#[test]
+fn nested_aggregate_spans_the_inner_call() {
+    let (sql, diags) = check("SELECT MAX(SUM(age)) FROM singer");
+    let d = find(&diags, DiagCode::NestedAggregate);
+    assert_eq!(d.severity, Severity::Error);
+    assert_eq!(d.span.slice(&sql), "SUM");
+}
+
+#[test]
+fn misplaced_wildcard_outside_count() {
+    // SUM(*) is unrepresentable in the parser's grammar for good reason;
+    // build the AST directly.
+    let q = Query::select(
+        vec![SelectItem::expr(Expr::call(
+            Func::Sum,
+            vec![Expr::Wildcard],
+        ))],
+        fisql_sqlkit::ast::FromClause::table("singer"),
+    );
+    let (sql, diags) = check_ast(&q);
+    let d = find(&diags, DiagCode::MisplacedWildcard);
+    assert_eq!(d.severity, Severity::Error);
+    assert_eq!(d.span.slice(&sql), "*");
+}
+
+#[test]
+fn select_star_without_from_is_flagged() {
+    let q = Query::from_core(SelectCore {
+        distinct: false,
+        items: vec![SelectItem::Wildcard],
+        from: None,
+        where_clause: None,
+        group_by: Vec::new(),
+        having: None,
+    });
+    let (sql, diags) = check_ast(&q);
+    let d = find(&diags, DiagCode::MisplacedWildcard);
+    assert_eq!(d.span.slice(&sql), "*");
+}
+
+#[test]
+fn bad_arity_spans_the_function() {
+    let (sql, diags) = check("SELECT SUBSTR(name) FROM singer");
+    let d = find(&diags, DiagCode::BadArity);
+    assert_eq!(d.severity, Severity::Error);
+    assert_eq!(d.span.slice(&sql), "SUBSTR");
+}
+
+#[test]
+fn extra_argument_is_a_warning() {
+    let (sql, diags) = check("SELECT ABS(age, 2) FROM singer");
+    let d = find(&diags, DiagCode::ExtraArgument);
+    assert_eq!(d.severity, Severity::Warning);
+    assert_eq!(d.span.slice(&sql), "ABS");
+}
+
+#[test]
+fn bad_arg_type_on_numeric_aggregate_over_text() {
+    let (sql, diags) = check("SELECT SUM(name) FROM singer");
+    let d = find(&diags, DiagCode::BadArgType);
+    assert_eq!(d.severity, Severity::Warning);
+    assert_eq!(d.span.slice(&sql), "SUM");
+}
+
+#[test]
+fn type_mismatch_spans_the_compared_column() {
+    let (sql, diags) = check("SELECT name FROM singer WHERE age > 'tall'");
+    let d = find(&diags, DiagCode::TypeMismatch);
+    assert_eq!(d.severity, Severity::Warning);
+    assert_eq!(d.span.slice(&sql), "age");
+    assert!(d.span.start > sql.find("WHERE").unwrap());
+}
+
+#[test]
+fn date_column_compares_with_string_literals_cleanly() {
+    // Dates are ISO strings in the engine; this must NOT be a mismatch.
+    let (_, diags) = check("SELECT venue FROM concert WHERE concert_date >= '2024-01-01'");
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn ungrouped_column_spans_the_bare_column() {
+    let (sql, diags) = check("SELECT name, COUNT(*) FROM singer GROUP BY country");
+    let d = find(&diags, DiagCode::UngroupedColumn);
+    assert_eq!(d.severity, Severity::Warning);
+    assert_eq!(d.span.slice(&sql), "name");
+    assert!(d.hint.is_some());
+}
+
+#[test]
+fn grouped_columns_are_not_flagged() {
+    let (_, diags) = check("SELECT country, COUNT(*) FROM singer GROUP BY country");
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn having_without_aggregate_is_linted() {
+    let mut core = SelectCore::new(
+        vec![SelectItem::expr(Expr::col("name"))],
+        fisql_sqlkit::ast::FromClause::table("singer"),
+    );
+    core.having = Some(Expr::binary(
+        Expr::col("age"),
+        fisql_sqlkit::BinOp::Gt,
+        Expr::num(30),
+    ));
+    let (sql, diags) = check_ast(&Query::from_core(core));
+    let d = find(&diags, DiagCode::HavingWithoutAggregate);
+    assert_eq!(d.severity, Severity::Warning);
+    assert!(sql[d.span.start..d.span.end].contains("HAVING"), "{sql}");
+}
+
+#[test]
+fn disconnected_join_spans_the_condition_and_hints_fk() {
+    let (sql, diags) = check(
+        "SELECT singer.name FROM singer JOIN concert \
+         ON singer.singer_id = singer.age",
+    );
+    let d = find(&diags, DiagCode::DisconnectedJoin);
+    assert_eq!(d.severity, Severity::Warning);
+    assert!(d.span.start > sql.find("ON").unwrap());
+    assert_eq!(
+        d.hint.as_deref().unwrap(),
+        "try ON singer.singer_id = concert.singer_id"
+    );
+}
+
+#[test]
+fn set_op_arity_mismatch_is_an_error() {
+    let (sql, diags) = check("SELECT name FROM singer UNION SELECT name, age FROM singer");
+    let d = find(&diags, DiagCode::SetOpArity);
+    assert_eq!(d.severity, Severity::Error);
+    assert!(!d.span.slice(&sql).is_empty());
+    assert!(d.message.contains("1") && d.message.contains("2"), "{d:?}");
+}
+
+#[test]
+fn subquery_arity_flags_wide_in_subqueries() {
+    let (sql, diags) = check(
+        "SELECT name FROM singer WHERE singer_id IN \
+         (SELECT singer_id, concert_id FROM concert)",
+    );
+    let d = find(&diags, DiagCode::SubqueryArity);
+    assert_eq!(d.severity, Severity::Error);
+    assert!(!d.span.slice(&sql).is_empty());
+}
+
+#[test]
+fn order_by_after_set_op_must_name_an_output_column() {
+    let (sql, diags) =
+        check("SELECT name FROM singer UNION SELECT country FROM singer ORDER BY age");
+    let d = find(&diags, DiagCode::OrderByTarget);
+    assert_eq!(d.severity, Severity::Error);
+    assert_eq!(d.span.slice(&sql), "age");
+    assert!(d.span.start > sql.find("ORDER BY").unwrap());
+}
+
+#[test]
+fn out_of_range_ordinal_in_simple_query_is_a_warning() {
+    let (_, diags) = check("SELECT name FROM singer ORDER BY 5");
+    let d = find(&diags, DiagCode::OrderByTarget);
+    assert_eq!(d.severity, Severity::Warning);
+}
+
+#[test]
+fn limit_zero_is_linted() {
+    let (sql, diags) = check("SELECT name FROM singer LIMIT 0");
+    let d = find(&diags, DiagCode::LimitZero);
+    assert_eq!(d.severity, Severity::Warning);
+    assert!(d.span.slice(&sql).contains("LIMIT"), "{sql}");
+}
+
+#[test]
+fn order_by_output_alias_resolves() {
+    let (_, diags) = check("SELECT COUNT(*) AS n FROM singer GROUP BY country ORDER BY n DESC");
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn correlated_subquery_resolves_against_outer_scope() {
+    let (_, diags) = check(
+        "SELECT name FROM singer WHERE EXISTS \
+         (SELECT concert_id FROM concert WHERE concert.singer_id = singer.singer_id)",
+    );
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn derived_table_columns_resolve_by_alias_and_name() {
+    let (_, diags) = check(
+        "SELECT s.name FROM (SELECT name, age FROM singer WHERE age > 20) AS s \
+         WHERE s.age < 60",
+    );
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn errors_sort_before_warnings() {
+    let (_, diags) = check("SELECT wrong_col FROM singer WHERE age > 'x' LIMIT 0");
+    assert!(!diags.is_empty());
+    let first_warning = diags.iter().position(|d| !d.is_error());
+    let last_error = diags.iter().rposition(|d| d.is_error());
+    if let (Some(w), Some(e)) = (first_warning, last_error) {
+        assert!(e < w, "{diags:?}");
+    }
+}

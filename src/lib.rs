@@ -61,8 +61,9 @@ pub mod prelude {
         build_aep, build_spider, AepConfig, Corpus, Example, Hardness, SpiderConfig,
     };
     pub use fisql_sqlkit::{
-        apply_edits, diff_queries, normalize_query, parse_query, print_query, structurally_equal,
-        EditOp, OpClass, Query, Span,
+        apply_edits, check_query, diff_queries, normalize_query, parse_query, print_query,
+        render_report, repair_query, structurally_equal, DiagCode, Diagnostic, EditOp, OpClass,
+        Query, SchemaInfo, Severity, Span,
     };
     pub use rand::SeedableRng;
 }

@@ -181,6 +181,66 @@ fn corrections_are_verified_by_execution_not_syntax() {
 }
 
 #[test]
+fn gate_corrects_hallucinated_column_without_engine_execution() {
+    // A candidate referencing a column that exists nowhere in the schema
+    // (a hallucinated name one typo away from a real one) is caught by the
+    // static analyzer inside the incorporation step: repaired before it
+    // could burn an engine execution, with the diagnostics folded into the
+    // regeneration prompt.
+    let aep = build_aep(&AepConfig {
+        n_examples: 3,
+        seed: 21,
+    });
+    let e = &aep.examples[0];
+    let db = aep.database(e);
+    let previous = normalize_query(
+        &parse_query("SELECT COUNT(*) FROM hkg_dim_segment WHERE createdTme >= '2024-01-01'")
+            .unwrap(),
+    );
+    // Feedback no interpreter can ground: the model regenerates the same
+    // (still hallucinated) query, so only the gate stands between the typo
+    // and the engine.
+    let feedback = Feedback {
+        text: "please make it nicer".into(),
+        highlight: None,
+        intended: vec![],
+        misaligned: false,
+    };
+    let llm = SimLlm::new(LlmConfig::default());
+    let out = incorporate(
+        Strategy::Fisql {
+            routing: true,
+            highlighting: false,
+        },
+        &llm,
+        &IncorporateContext {
+            db,
+            example: e,
+            question: &e.question,
+            previous: &previous,
+            feedback: &feedback,
+            round: 0,
+        },
+    );
+    assert!(out.gate.has_errors(), "gate saw no errors");
+    assert!(
+        out.gate.repaired,
+        "gate did not repair: {}",
+        print_query(&out.query)
+    );
+    assert_eq!(out.gate.executions_saved, 1);
+    // Identifiers are normalized to lowercase, so compare that way.
+    let sql = print_query(&out.query);
+    assert!(sql.contains("createdtime"), "not corrected: {sql}");
+    assert!(!sql.contains("createdtme"), "typo survived: {sql}");
+    // The prompt carries the analyzer's findings for the next round.
+    assert!(out.prompt.contains("static analysis"), "{}", out.prompt);
+    assert!(out.prompt.contains("createdtme"), "{}", out.prompt);
+    // And the repaired query executes cleanly.
+    assert!(execute_sql(db, &sql).is_ok());
+}
+
+#[test]
 fn session_transcript_records_full_conversation() {
     let aep = build_aep(&AepConfig {
         n_examples: 3,

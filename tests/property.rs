@@ -119,6 +119,43 @@ proptest! {
         }
     }
 
+    /// The semantic analyzer never panics on generated or corrupted
+    /// queries, never flags a gold query as erroneous, and whenever it
+    /// reports no errors the engine executes the query successfully
+    /// (no name/type failures slip past a clean bill of health).
+    #[test]
+    fn analyzer_agrees_with_engine(seed in 0u64..500) {
+        let corpus = corpus_for(seed);
+        for e in corpus.examples.iter().take(15) {
+            let db = corpus.database(e);
+            let schema = db.schema_info();
+            let gold_sql = print_query(&e.gold);
+            let gold_diags = check_query(&e.gold, &schema);
+            prop_assert!(
+                gold_diags.iter().all(|d| !d.is_error()),
+                "gold query flagged as erroneous: {}\n{}",
+                gold_sql,
+                render_report(&gold_sql, &gold_diags)
+            );
+            prop_assert!(
+                repair_query(&e.gold, &schema).is_none(),
+                "repair rewrote a clean gold query: {}",
+                gold_sql
+            );
+            for wc in e.channels.iter().take(3) {
+                let bad = normalize_query(&fisql_spider::corrupt(&e.intent, &wc.channel));
+                let diags = check_query(&bad, &schema);
+                if diags.iter().all(|d| !d.is_error()) {
+                    prop_assert!(
+                        fisql::fisql_engine::execute(db, &bad).is_ok(),
+                        "analyzer-clean query failed execution: {}",
+                        print_query(&bad)
+                    );
+                }
+            }
+        }
+    }
+
     /// The simulated user never fabricates feedback for a correct query
     /// and never leaks gold SQL text verbatim.
     #[test]
