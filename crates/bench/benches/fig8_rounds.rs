@@ -3,7 +3,7 @@
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use fisql_bench::{annotated_cases, Scale, Setup};
-use fisql_core::{run_correction, Strategy};
+use fisql_core::{CorrectionRun, Strategy};
 
 fn bench_rounds(c: &mut Criterion) {
     let setup = Setup::new(Scale::Small, 0xF18);
@@ -16,17 +16,13 @@ fn bench_rounds(c: &mut Criterion) {
         for (name, routing) in [("fisql", true), ("no_routing", false)] {
             g.bench_with_input(BenchmarkId::new(name, rounds), &rounds, |b, &rounds| {
                 b.iter(|| {
-                    run_correction(
-                        black_box(&setup.spider),
-                        black_box(&cases),
-                        Strategy::Fisql {
+                    CorrectionRun::new(black_box(&setup.spider), &setup.llm, &setup.user)
+                        .strategy(Strategy::Fisql {
                             routing,
                             highlighting: false,
-                        },
-                        rounds,
-                        &setup.llm,
-                        &setup.user,
-                    )
+                        })
+                        .rounds(rounds)
+                        .run(black_box(&cases))
                 })
             });
         }
@@ -34,17 +30,13 @@ fn bench_rounds(c: &mut Criterion) {
     g.finish();
 
     // Monotonicity sanity at bench scale.
-    let r = run_correction(
-        &setup.spider,
-        &cases,
-        Strategy::Fisql {
+    let r = CorrectionRun::new(&setup.spider, &setup.llm, &setup.user)
+        .strategy(Strategy::Fisql {
             routing: true,
             highlighting: false,
-        },
-        3,
-        &setup.llm,
-        &setup.user,
-    );
+        })
+        .rounds(3)
+        .run(&cases);
     assert!(r.corrected_after_round.windows(2).all(|w| w[0] <= w[1]));
 }
 

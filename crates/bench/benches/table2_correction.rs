@@ -4,7 +4,7 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use fisql_bench::{annotated_cases, Scale, Setup};
-use fisql_core::{incorporate, run_correction, IncorporateContext, Strategy};
+use fisql_core::{incorporate, CorrectionRun, IncorporateContext, Strategy};
 use fisql_sqlkit::normalize_query;
 
 fn bench_table2(c: &mut Criterion) {
@@ -35,14 +35,10 @@ fn bench_table2(c: &mut Criterion) {
     for (name, strategy) in strategies {
         g.bench_function(name, |b| {
             b.iter(|| {
-                run_correction(
-                    black_box(&setup.spider),
-                    black_box(&cases),
-                    strategy,
-                    1,
-                    &setup.llm,
-                    &setup.user,
-                )
+                CorrectionRun::new(black_box(&setup.spider), &setup.llm, &setup.user)
+                    .strategy(strategy)
+                    .rounds(1)
+                    .run(black_box(&cases))
             })
         });
     }

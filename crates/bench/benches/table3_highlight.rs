@@ -3,7 +3,7 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use fisql_bench::{annotated_cases, Scale, Setup};
-use fisql_core::{interpret, run_correction, Strategy};
+use fisql_core::{interpret, CorrectionRun, Strategy};
 use fisql_sqlkit::{normalize_query, print_query_spanned, OpClass, Span};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -18,17 +18,13 @@ fn bench_highlight(c: &mut Criterion) {
     for (name, highlighting) in [("plain", false), ("highlighting", true)] {
         g.bench_function(name, |b| {
             b.iter(|| {
-                run_correction(
-                    black_box(&setup.aep),
-                    black_box(&cases),
-                    Strategy::Fisql {
+                CorrectionRun::new(black_box(&setup.aep), &setup.llm, &setup.user)
+                    .strategy(Strategy::Fisql {
                         routing: true,
                         highlighting,
-                    },
-                    1,
-                    &setup.llm,
-                    &setup.user,
-                )
+                    })
+                    .rounds(1)
+                    .run(black_box(&cases))
             })
         });
     }

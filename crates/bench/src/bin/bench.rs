@@ -1,0 +1,94 @@
+//! Parallel-runner benchmark: serial vs sharded correction runs.
+//!
+//! Runs the same correction experiment at 1, 2, 4, and 8 workers,
+//! asserts the reports are byte-identical (the runner's determinism
+//! contract), and emits `BENCH_parallel.json` with wall times, speedups,
+//! and cache statistics. CI uploads the file as a workflow artifact.
+//!
+//! Run: `FISQL_SCALE=small cargo run --release -p fisql-bench --bin bench`
+//!
+//! Speedup is hardware-dependent: on a single-core machine every worker
+//! count degenerates to roughly serial throughput (the report records
+//! `available_parallelism` so results are interpretable).
+
+use fisql_bench::{annotated_cases, runner, Setup};
+use fisql_core::{CorrectionReport, Strategy};
+
+fn main() {
+    let setup = Setup::from_env();
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!(
+        "# Parallel runner benchmark (seed {}, {} core(s) available)\n",
+        setup.seed, cores
+    );
+
+    let (_, cases) = annotated_cases(&setup, &setup.spider);
+    println!("annotated SPIDER feedback set: {} cases", cases.len());
+
+    let strategy = Strategy::Fisql {
+        routing: true,
+        highlighting: false,
+    };
+    let rounds = 2;
+    let run_at = |workers: usize| -> CorrectionReport {
+        runner(&setup, &setup.spider)
+            .strategy(strategy)
+            .rounds(rounds)
+            .workers(workers)
+            .run(&cases)
+    };
+
+    // Warm the embedding/selection caches so every worker count is
+    // measured against the same cache state.
+    let _ = run_at(1);
+
+    let serial = run_at(1);
+    let serial_json = serde_json::to_string(&serial).unwrap();
+    println!(
+        "\n{:>8} {:>12} {:>12} {:>10} {:>12} {:>10}",
+        "workers", "wall ms", "cases/s", "speedup", "cache hits", "identical"
+    );
+
+    let mut rows = Vec::new();
+    for workers in [1usize, 2, 4, 8] {
+        let report = run_at(workers);
+        let identical = serde_json::to_string(&report).unwrap() == serial_json;
+        assert!(
+            identical,
+            "report at {workers} workers diverged from serial"
+        );
+        let m = &report.metrics;
+        let speedup = serial.metrics.wall_ms / m.wall_ms.max(1e-9);
+        println!(
+            "{:>8} {:>12.2} {:>12.1} {:>9.2}x {:>12} {:>10}",
+            m.workers, m.wall_ms, m.cases_per_sec, speedup, m.cache_hits, identical
+        );
+        rows.push(serde_json::json!({
+            "requested_workers": workers,
+            "effective_workers": m.workers,
+            "wall_ms": m.wall_ms,
+            "cases_per_sec": m.cases_per_sec,
+            "speedup_vs_serial": speedup,
+            "engine_executions": m.engine_executions,
+            "cache_hits": m.cache_hits,
+            "cache_misses": m.cache_misses,
+            "cache_hit_rate": m.cache_hit_rate(),
+            "report_identical_to_serial": identical,
+        }));
+    }
+
+    let json = serde_json::json!({
+        "seed": setup.seed,
+        "available_parallelism": cores,
+        "cases": cases.len(),
+        "rounds": rounds,
+        "strategy": serial.strategy,
+        "corrected_after_round": serial.corrected_after_round,
+        "runs": rows,
+    });
+    let out = "BENCH_parallel.json";
+    std::fs::write(out, json.to_string()).expect("write BENCH_parallel.json");
+    println!("\nwrote {out}");
+}

@@ -7,9 +7,7 @@
 
 #![warn(missing_docs)]
 
-use fisql_core::{
-    annotate_errors, collect_errors, run_correction, AnnotatedCase, CorrectionReport, Strategy,
-};
+use fisql_core::{AnnotatedCase, CorrectionReport, CorrectionRun, Strategy};
 use fisql_feedback::{SimUser, UserConfig};
 use fisql_llm::{LlmConfig, SimLlm};
 use fisql_spider::{build_aep, build_spider, AepConfig, Corpus, SpiderConfig};
@@ -103,11 +101,18 @@ impl Setup {
     }
 }
 
+/// The experiment builder wired for one corpus of this setup, honouring
+/// `FISQL_WORKERS` (the builder default reads it).
+pub fn runner<'a>(setup: &'a Setup, corpus: &'a Corpus) -> CorrectionRun<'a> {
+    CorrectionRun::new(corpus, &setup.llm, &setup.user).demos_k(3)
+}
+
 /// Error collection + annotation for one corpus (the §4.1 protocol).
 pub fn annotated_cases(setup: &Setup, corpus: &Corpus) -> (usize, Vec<AnnotatedCase>) {
-    let errors = collect_errors(corpus, &setup.llm, 3);
+    let run = runner(setup, corpus);
+    let errors = run.collect_errors();
     let n_errors = errors.len();
-    let annotated = annotate_errors(corpus, &errors, &setup.user);
+    let annotated = run.annotate(&errors);
     (n_errors, annotated)
 }
 
@@ -119,7 +124,10 @@ pub fn correction(
     strategy: Strategy,
     rounds: usize,
 ) -> CorrectionReport {
-    run_correction(corpus, cases, strategy, rounds, &setup.llm, &setup.user)
+    runner(setup, corpus)
+        .strategy(strategy)
+        .rounds(rounds)
+        .run(cases)
 }
 
 /// Formats a percentage the way the paper's tables do.

@@ -178,7 +178,7 @@ pub fn analyze_round(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::experiment::{annotate_errors, collect_errors};
+    use crate::runner::CorrectionRun;
     use fisql_feedback::{SimUser, UserConfig};
     use fisql_llm::LlmConfig;
     use fisql_spider::{build_spider, SpiderConfig};
@@ -191,8 +191,9 @@ mod tests {
         });
         let llm = SimLlm::new(LlmConfig::default());
         let user = SimUser::new(UserConfig::default());
-        let errors = collect_errors(&corpus, &llm, 3);
-        let cases = annotate_errors(&corpus, &errors, &user);
+        let run = CorrectionRun::new(&corpus, &llm, &user).demos_k(3);
+        let errors = run.collect_errors();
+        let cases = run.annotate(&errors);
         (corpus, llm, cases)
     }
 

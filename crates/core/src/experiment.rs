@@ -1,23 +1,34 @@
 //! Experiment drivers regenerating the paper's evaluation (§4).
 //!
-//! Each public function corresponds to a step of the paper's protocol:
+//! Each step of the paper's protocol maps onto the API:
 //!
 //! 1. [`zero_shot_report`] — Figure 2's zero-shot accuracy comparison.
-//! 2. [`collect_errors`] — run the (few-shot, RAG) Assistant over a
-//!    corpus and keep the failures (§4.1: 243/1034 SPIDER errors).
-//! 3. [`annotate_errors`] — the simulated user provides feedback where
-//!    they can (§4.1: 101 annotated ≈ 41%).
-//! 4. [`run_correction`] — multi-round feedback incorporation with a
-//!    chosen [`Strategy`], producing the % instances corrected per round
-//!    (Tables 2-3, Figure 8).
+//! 2. [`CorrectionRun::collect_errors`](crate::runner::CorrectionRun::collect_errors)
+//!    — run the (few-shot, RAG) Assistant over a corpus and keep the
+//!    failures (§4.1: 243/1034 SPIDER errors).
+//! 3. [`CorrectionRun::annotate`](crate::runner::CorrectionRun::annotate)
+//!    — the simulated user provides feedback where they can (§4.1: 101
+//!    annotated ≈ 41%).
+//! 4. [`CorrectionRun::run`](crate::runner::CorrectionRun::run) —
+//!    multi-round feedback incorporation with a chosen [`Strategy`],
+//!    producing the % instances corrected per round (Tables 2-3,
+//!    Figure 8) — sharded across worker threads, bit-identical at any
+//!    worker count.
+//!
+//! The positional free functions ([`collect_errors`], [`annotate_errors`],
+//! [`run_correction`]) remain as thin deprecated shims over the
+//! [`CorrectionRun`](crate::runner::CorrectionRun) builder for one
+//! release.
 
-use crate::assistant::Assistant;
-use crate::pipeline::{incorporate, IncorporateContext, Strategy};
+use crate::pipeline::Strategy;
+use crate::runner::{CorrectionRun, ExperimentConfig, RunMetrics};
 use fisql_feedback::{Feedback, SimUser, UserView};
 use fisql_llm::SimLlm;
-use fisql_spider::{check_prediction, evaluate, AccuracyReport, Corpus, Verdict};
-use fisql_sqlkit::{normalize_query, print_query_spanned, Query};
+use fisql_spider::{evaluate, AccuracyReport, Corpus};
+use fisql_sqlkit::{print_query_spanned, Query};
 use serde::{Deserialize, Serialize};
+
+use crate::assistant::Assistant;
 
 /// Figure 2: zero-shot accuracy (no demonstrations, Figure 1 prompt).
 pub fn zero_shot_report(corpus: &Corpus, llm: &SimLlm) -> AccuracyReport {
@@ -51,22 +62,17 @@ pub struct ErrorCase {
 
 /// Runs the production Assistant (few-shot RAG) over the corpus and
 /// collects the error cases.
+#[deprecated(
+    since = "0.2.0",
+    note = "use the `CorrectionRun` builder: `CorrectionRun::new(corpus, llm, user).demos_k(k).collect_errors()`"
+)]
 pub fn collect_errors(corpus: &Corpus, llm: &SimLlm, demos_k: usize) -> Vec<ErrorCase> {
-    let assistant = Assistant::for_corpus(corpus, llm.clone(), demos_k);
-    let mut errors = Vec::new();
-    for (i, e) in corpus.examples.iter().enumerate() {
-        let db = corpus.database(e);
-        let turn = assistant.answer(db, e, 0);
-        let verdict = check_prediction(db, e, &turn.query);
-        if !verdict.is_correct() {
-            errors.push(ErrorCase {
-                example_idx: i,
-                initial: turn.query,
-                execution_error: matches!(verdict, Verdict::ExecutionError { .. }),
-            });
-        }
-    }
-    errors
+    // The shim has no `SimUser`; error collection never consults one.
+    let placeholder_user = SimUser::new(fisql_feedback::UserConfig::default());
+    CorrectionRun::new(corpus, llm, &placeholder_user)
+        .demos_k(demos_k)
+        .workers(1)
+        .collect_errors()
 }
 
 /// An error case the simulated user could and did annotate.
@@ -80,27 +86,24 @@ pub struct AnnotatedCase {
 
 /// Asks the simulated user for feedback on every error; keeps the
 /// annotatable subset (the paper's 101-of-243).
+#[deprecated(
+    since = "0.2.0",
+    note = "use the `CorrectionRun` builder: `CorrectionRun::new(corpus, llm, user).annotate(errors)`"
+)]
 pub fn annotate_errors(
     corpus: &Corpus,
     errors: &[ErrorCase],
     user: &SimUser,
 ) -> Vec<AnnotatedCase> {
-    let mut out = Vec::new();
-    for err in errors {
-        let example = &corpus.examples[err.example_idx];
-        let db = corpus.database(example);
-        let view = build_view(db, example, &err.initial);
-        if let Some(feedback) = user.feedback(example, &err.initial, &view, 0) {
-            out.push(AnnotatedCase {
-                error: err.clone(),
-                feedback,
-            });
-        }
-    }
-    out
+    // Annotation never consults the LLM; any backend satisfies the shim.
+    let placeholder_llm = SimLlm::new(fisql_llm::LlmConfig::default());
+    CorrectionRun::new(corpus, &placeholder_llm, user)
+        .workers(1)
+        .annotate(errors)
 }
 
-fn build_view(
+/// Assembles what the user sees before giving feedback (paper Figure 7).
+pub(crate) fn build_view(
     db: &fisql_engine::Database,
     example: &fisql_spider::Example,
     predicted: &Query,
@@ -132,16 +135,26 @@ pub struct CorrectionReport {
     /// doomed query that were skipped (across all rounds).
     #[serde(default)]
     pub executions_saved: u64,
+    /// Per-run throughput metrics (worker count, wall time, cache hit
+    /// rate, …). Excluded from serialization and comparisons: wall-clock
+    /// and cache interleaving vary run to run, while every other report
+    /// field is bit-identical at any worker count.
+    #[serde(skip)]
+    pub metrics: RunMetrics,
 }
 
 impl CorrectionReport {
     /// % instances corrected after `round` rounds (1-based).
+    ///
+    /// Asking about a round beyond the recorded data returns 0 — the run
+    /// has nothing to say about rounds it never executed. (It used to
+    /// silently clamp to the last recorded round, repeating the final
+    /// bucket for any out-of-range query.)
     pub fn pct_after(&self, round: usize) -> f64 {
-        if self.total == 0 || round == 0 {
+        if self.total == 0 || round == 0 || round > self.corrected_after_round.len() {
             return 0.0;
         }
-        let idx = (round - 1).min(self.corrected_after_round.len().saturating_sub(1));
-        100.0 * self.corrected_after_round[idx] as f64 / self.total as f64
+        100.0 * self.corrected_after_round[round - 1] as f64 / self.total as f64
     }
 }
 
@@ -151,6 +164,10 @@ impl CorrectionReport {
 /// Round 0's feedback is the annotation itself; later rounds re-elicit
 /// feedback on the revised query. A case counts as corrected at round `r`
 /// once its execution result matches gold.
+#[deprecated(
+    since = "0.2.0",
+    note = "use the `CorrectionRun` builder: `CorrectionRun::new(corpus, llm, user).strategy(s).rounds(n).run(cases)`"
+)]
 pub fn run_correction(
     corpus: &Corpus,
     cases: &[AnnotatedCase],
@@ -159,74 +176,15 @@ pub fn run_correction(
     llm: &SimLlm,
     user: &SimUser,
 ) -> CorrectionReport {
-    let mut corrected_after_round = vec![0usize; rounds];
-    let mut statically_flagged = 0usize;
-    let mut executions_saved = 0u64;
-    for case in cases {
-        let example = &corpus.examples[case.error.example_idx];
-        let db = corpus.database(example);
-        let mut current = normalize_query(&case.error.initial);
-        let mut question = example.question.clone();
-        let mut corrected_at: Option<usize> = None;
-
-        for round in 0..rounds {
-            // Elicit (or reuse) this round's feedback.
-            let mut feedback = if round == 0 {
-                Some(case.feedback.clone())
-            } else {
-                let view = build_view(db, example, &current);
-                user.feedback(example, &current, &view, round as u64)
-            };
-            let Some(fb) = feedback.as_mut() else {
-                break;
-            };
-            // Attach a highlight when the interface supports it.
-            if let Strategy::Fisql {
-                highlighting: true, ..
-            } = strategy
-            {
-                if fb.highlight.is_none() {
-                    let spanned = print_query_spanned(&current);
-                    user.add_highlight(fb, &spanned, example.id, round as u64);
-                }
-            }
-            let outcome = incorporate(
-                strategy,
-                llm,
-                &IncorporateContext {
-                    db,
-                    example,
-                    question: &question,
-                    previous: &current,
-                    feedback: fb,
-                    round: round as u64,
-                },
-            );
-            if outcome.gate.has_errors() {
-                statically_flagged += 1;
-            }
-            executions_saved += outcome.gate.executions_saved;
-            current = outcome.query;
-            question = outcome.question;
-
-            if check_prediction(db, example, &current).is_correct() {
-                corrected_at = Some(round);
-                break;
-            }
-        }
-        if let Some(r) = corrected_at {
-            for slot in corrected_after_round.iter_mut().skip(r) {
-                *slot += 1;
-            }
-        }
-    }
-    CorrectionReport {
-        strategy: strategy.name().to_string(),
-        total: cases.len(),
-        corrected_after_round,
-        statically_flagged,
-        executions_saved,
-    }
+    CorrectionRun::new(corpus, llm, user)
+        .config(ExperimentConfig {
+            strategy,
+            rounds,
+            seed: llm.cfg.seed,
+            workers: 1,
+            ..ExperimentConfig::default()
+        })
+        .run(cases)
 }
 
 #[cfg(test)]
@@ -280,33 +238,35 @@ mod tests {
     #[test]
     fn error_collection_and_annotation_shrink() {
         let (corpus, llm, user) = small_setup();
-        let errors = collect_errors(&corpus, &llm, 3);
+        let errors = CorrectionRun::new(&corpus, &llm, &user)
+            .demos_k(3)
+            .collect_errors();
         assert!(!errors.is_empty());
         assert!(errors.len() < corpus.examples.len());
-        let annotated = annotate_errors(&corpus, &errors, &user);
+        let annotated = CorrectionRun::new(&corpus, &llm, &user).annotate(&errors);
         assert!(annotated.len() < errors.len() || errors.len() <= 2);
     }
 
     #[test]
     fn fisql_beats_query_rewrite() {
         let (corpus, llm, user) = small_setup();
-        let errors = collect_errors(&corpus, &llm, 3);
-        let annotated = annotate_errors(&corpus, &errors, &user);
+        let run = CorrectionRun::new(&corpus, &llm, &user).demos_k(3);
+        let errors = run.collect_errors();
+        let annotated = run.annotate(&errors);
         if annotated.len() < 5 {
             return; // too small to compare meaningfully
         }
-        let fisql = run_correction(
-            &corpus,
-            &annotated,
-            Strategy::Fisql {
+        let fisql = run
+            .strategy(Strategy::Fisql {
                 routing: true,
                 highlighting: false,
-            },
-            1,
-            &llm,
-            &user,
-        );
-        let rewrite = run_correction(&corpus, &annotated, Strategy::QueryRewrite, 1, &llm, &user);
+            })
+            .rounds(1)
+            .run(&annotated);
+        let rewrite = run
+            .strategy(Strategy::QueryRewrite)
+            .rounds(1)
+            .run(&annotated);
         assert!(
             fisql.corrected_after_round[0] >= rewrite.corrected_after_round[0],
             "FISQL {} < rewrite {}",
@@ -318,20 +278,44 @@ mod tests {
     #[test]
     fn second_round_never_hurts() {
         let (corpus, llm, user) = small_setup();
-        let errors = collect_errors(&corpus, &llm, 3);
-        let annotated = annotate_errors(&corpus, &errors, &user);
-        let report = run_correction(
-            &corpus,
-            &annotated,
-            Strategy::Fisql {
+        let run = CorrectionRun::new(&corpus, &llm, &user).demos_k(3);
+        let errors = run.collect_errors();
+        let annotated = run.annotate(&errors);
+        let report = run
+            .strategy(Strategy::Fisql {
                 routing: true,
                 highlighting: false,
-            },
-            2,
-            &llm,
-            &user,
-        );
+            })
+            .rounds(2)
+            .run(&annotated);
         assert!(report.corrected_after_round[1] >= report.corrected_after_round[0]);
+    }
+
+    #[test]
+    fn deprecated_shims_match_builder() {
+        // The positional shims must stay behaviourally identical to the
+        // builder until they are removed.
+        #![allow(deprecated)]
+        let (corpus, llm, user) = small_setup();
+        let errors = collect_errors(&corpus, &llm, 3);
+        let builder_errors = CorrectionRun::new(&corpus, &llm, &user)
+            .demos_k(3)
+            .collect_errors();
+        assert_eq!(errors.len(), builder_errors.len());
+        let annotated = annotate_errors(&corpus, &errors, &user);
+        let strategy = Strategy::Fisql {
+            routing: true,
+            highlighting: false,
+        };
+        let shim = run_correction(&corpus, &annotated, strategy, 1, &llm, &user);
+        let built = CorrectionRun::new(&corpus, &llm, &user)
+            .strategy(strategy)
+            .rounds(1)
+            .run(&annotated);
+        assert_eq!(
+            serde_json::to_string(&shim).unwrap(),
+            serde_json::to_string(&built).unwrap()
+        );
     }
 
     #[test]
@@ -342,10 +326,35 @@ mod tests {
             corrected_after_round: vec![45, 60],
             statically_flagged: 0,
             executions_saved: 0,
+            metrics: RunMetrics::default(),
         };
         assert!((report.pct_after(1) - 45.0).abs() < 1e-9);
         assert!((report.pct_after(2) - 60.0).abs() < 1e-9);
-        // Round beyond recorded data clamps to the last round.
-        assert!((report.pct_after(5) - 60.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pct_after_is_zero_beyond_recorded_rounds() {
+        // Regression: out-of-range rounds used to clamp to the final
+        // bucket, reporting 60% for a round the run never executed.
+        let report = CorrectionReport {
+            strategy: "FISQL".into(),
+            total: 100,
+            corrected_after_round: vec![45, 60],
+            statically_flagged: 0,
+            executions_saved: 0,
+            metrics: RunMetrics::default(),
+        };
+        assert_eq!(report.pct_after(3), 0.0);
+        assert_eq!(report.pct_after(5), 0.0);
+        assert_eq!(report.pct_after(0), 0.0);
+        let empty = CorrectionReport {
+            strategy: "FISQL".into(),
+            total: 0,
+            corrected_after_round: vec![],
+            statically_flagged: 0,
+            executions_saved: 0,
+            metrics: RunMetrics::default(),
+        };
+        assert_eq!(empty.pct_after(1), 0.0);
     }
 }

@@ -13,6 +13,9 @@
 //! - [`refine`]: incremental query building (§5 future work).
 //! - [`session`]: the chat surface (Figures 3-4).
 //! - [`experiment`]: drivers regenerating the paper's evaluation (§4).
+//! - [`runner`]: the parallel, sharded evaluation runner behind the
+//!   [`CorrectionRun`] builder — bit-identical reports at any worker
+//!   count.
 
 #![warn(missing_docs)]
 
@@ -23,10 +26,12 @@ pub mod explain;
 pub mod interpret;
 pub mod pipeline;
 pub mod refine;
+pub mod runner;
 pub mod session;
 
 pub use analysis::{analyze_round, ErrorAnalysis, FailureCause};
 pub use assistant::{Assistant, AssistantTurn};
+#[allow(deprecated)]
 pub use experiment::{
     annotate_errors, collect_errors, run_correction, zero_shot_report, AnnotatedCase,
     CorrectionReport, ErrorCase,
@@ -37,4 +42,5 @@ pub use pipeline::{
     gate_candidate, incorporate, GateOutcome, IncorporateContext, IncorporateOutcome, Strategy,
 };
 pub use refine::{QueryBuilder, RefineError, RefineStep};
+pub use runner::{workers_from_env, CorrectionRun, ExperimentConfig, RunMetrics};
 pub use session::{ChatEvent, Session};

@@ -8,7 +8,7 @@
 use crate::interpret::{interpret, Interpretation};
 use fisql_engine::Database;
 use fisql_feedback::Feedback;
-use fisql_llm::{prompt, GenMode, GenRequest, SimLlm};
+use fisql_llm::{prompt, GenMode, GenRequest, LanguageModel};
 use fisql_spider::Example;
 use fisql_sqlkit::check::{check_query, render_report, repair_query, Diagnostic};
 use fisql_sqlkit::{normalize_query, print_query, OpClass, Query};
@@ -168,9 +168,13 @@ pub fn gate_candidate(
 }
 
 /// Runs one feedback-incorporation step with `strategy`.
-pub fn incorporate(
+///
+/// Generic over the LLM backend: anything implementing
+/// [`LanguageModel`] (the simulated model, or a future real-LLM client)
+/// drives the same pipeline.
+pub fn incorporate<L: LanguageModel + ?Sized>(
     strategy: Strategy,
-    llm: &SimLlm,
+    llm: &L,
     ctx: &IncorporateContext<'_>,
 ) -> IncorporateOutcome {
     match strategy {
@@ -183,8 +187,8 @@ pub fn incorporate(
     }
 }
 
-fn fisql_step(
-    llm: &SimLlm,
+fn fisql_step<L: LanguageModel + ?Sized>(
+    llm: &L,
     ctx: &IncorporateContext<'_>,
     routing: bool,
     highlighting: bool,
@@ -264,7 +268,10 @@ fn builtin_pool() -> &'static fisql_llm::RoutingPool {
     POOL.get_or_init(fisql_llm::RoutingPool::builtin)
 }
 
-fn rewrite_step(llm: &SimLlm, ctx: &IncorporateContext<'_>) -> IncorporateOutcome {
+fn rewrite_step<L: LanguageModel + ?Sized>(
+    llm: &L,
+    ctx: &IncorporateContext<'_>,
+) -> IncorporateOutcome {
     // Paraphrase the question to absorb the feedback …
     let new_question = llm.rewrite_question(ctx.question, &ctx.feedback.text);
     let prompt_text = prompt::rewrite_prompt(ctx.question, &ctx.feedback.text);
@@ -296,7 +303,7 @@ fn rewrite_step(llm: &SimLlm, ctx: &IncorporateContext<'_>) -> IncorporateOutcom
 mod tests {
     use super::*;
     use fisql_feedback::Feedback;
-    use fisql_llm::{Calibration, LlmConfig};
+    use fisql_llm::{Calibration, LlmConfig, SimLlm};
     use fisql_spider::{build_aep, AepConfig};
     use fisql_sqlkit::{parse_query, structurally_equal};
 

@@ -1,0 +1,541 @@
+//! Parallel, sharded evaluation runner (the builder-style experiment API).
+//!
+//! [`CorrectionRun`] replaces the positional `run_correction(corpus,
+//! cases, strategy, rounds, llm, user)` free functions with a builder:
+//!
+//! ```no_run
+//! # use fisql_core::runner::CorrectionRun;
+//! # use fisql_core::pipeline::Strategy;
+//! # let (corpus, llm, user) = unimplemented!();
+//! let run = CorrectionRun::new(&corpus, &llm, &user)
+//!     .strategy(Strategy::Fisql { routing: true, highlighting: false })
+//!     .rounds(3)
+//!     .workers(4);
+//! let errors = run.collect_errors();
+//! let annotated = run.annotate(&errors);
+//! let report = run.run(&annotated);
+//! ```
+//!
+//! # Sharding and determinism
+//!
+//! Cases are split into contiguous chunks, one per worker, and each chunk
+//! is evaluated on its own scoped thread ([`std::thread::scope`], so the
+//! corpus, model, and user are plain borrows — no `Arc` plumbing).
+//! Per-case work is *order-independent by construction*: every random
+//! draw in the simulated model and user derives from a pure hash of
+//! (component seed, example id, round), never from shared mutable state,
+//! and the merged report is a sum of per-case outcomes. Chunks are merged
+//! in shard order, so the report is **bit-identical to the serial driver
+//! at any worker count** — asserted by this module's tests and
+//! `tests/concurrency.rs`.
+//!
+//! The only thread-count-dependent observables are throughput numbers
+//! (wall time, cache hit counters), which are quarantined in
+//! [`RunMetrics`] and excluded from report serialization.
+
+use crate::assistant::Assistant;
+use crate::experiment::{build_view, AnnotatedCase, CorrectionReport, ErrorCase};
+use crate::pipeline::{incorporate, IncorporateContext, Strategy};
+use fisql_feedback::SimUser;
+use fisql_llm::{cache, LanguageModel, SimLlm};
+use fisql_spider::{check_prediction, Corpus, Verdict};
+use fisql_sqlkit::{normalize_query, print_query_spanned};
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Environment variable overriding the default worker count (used by CI
+/// to exercise the suite serially and sharded).
+pub const WORKERS_ENV: &str = "FISQL_WORKERS";
+
+/// Everything a correction experiment is parameterized by.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentConfig {
+    /// Feedback-incorporation strategy under test.
+    pub strategy: Strategy,
+    /// Feedback rounds per case (the paper's Figure 8 x-axis).
+    pub rounds: usize,
+    /// Experiment seed recorded with the run (per-component seeds live in
+    /// the model/user configs; this labels the run as a whole).
+    pub seed: u64,
+    /// Worker threads for sharded evaluation. `0` means "auto": use
+    /// [`std::thread::available_parallelism`].
+    pub workers: usize,
+    /// Demonstrations retrieved per prompt for error collection.
+    pub demos_k: usize,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig {
+            strategy: Strategy::Fisql {
+                routing: true,
+                highlighting: false,
+            },
+            rounds: 1,
+            seed: 0xF15C,
+            workers: workers_from_env(),
+            demos_k: 3,
+        }
+    }
+}
+
+impl ExperimentConfig {
+    /// Resolves `workers` to a concrete thread count for `n_items` work
+    /// items: `0` becomes the machine's available parallelism, and the
+    /// count never exceeds the number of items (and never drops below 1).
+    pub fn effective_workers(&self, n_items: usize) -> usize {
+        let requested = if self.workers == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.workers
+        };
+        requested.clamp(1, n_items.max(1))
+    }
+}
+
+/// Reads [`WORKERS_ENV`]; unset, empty, or unparsable means `0` (auto).
+pub fn workers_from_env() -> usize {
+    std::env::var(WORKERS_ENV)
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(0)
+}
+
+/// Throughput metrics for one runner invocation.
+///
+/// These are the *volatile* observables — wall time and cache counters
+/// legitimately vary with thread count and machine load — kept apart from
+/// the deterministic report fields (and skipped during serialization of
+/// [`CorrectionReport`]).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunMetrics {
+    /// Worker threads actually used.
+    pub workers: usize,
+    /// Wall-clock time of the sharded evaluation, milliseconds.
+    pub wall_ms: f64,
+    /// Cases evaluated per second of wall time.
+    pub cases_per_sec: f64,
+    /// Engine executions attributable to the evaluation loop (user-view
+    /// renders and correctness checks; deterministic).
+    pub engine_executions: u64,
+    /// Retrieval/embedding cache hits during the run (process-wide delta).
+    pub cache_hits: u64,
+    /// Retrieval/embedding cache misses during the run.
+    pub cache_misses: u64,
+}
+
+impl RunMetrics {
+    /// Cache hits as a fraction of all cache lookups during the run.
+    pub fn cache_hit_rate(&self) -> f64 {
+        cache::CacheStats {
+            hits: self.cache_hits,
+            misses: self.cache_misses,
+        }
+        .hit_rate()
+    }
+
+    fn finish(
+        workers: usize,
+        n_cases: usize,
+        started: Instant,
+        before: cache::CacheStats,
+        engine_executions: u64,
+    ) -> RunMetrics {
+        let wall = started.elapsed();
+        let delta = cache::global_stats().since(&before);
+        let secs = wall.as_secs_f64();
+        RunMetrics {
+            workers,
+            wall_ms: secs * 1e3,
+            cases_per_sec: if secs > 0.0 {
+                n_cases as f64 / secs
+            } else {
+                0.0
+            },
+            engine_executions,
+            cache_hits: delta.hits,
+            cache_misses: delta.misses,
+        }
+    }
+}
+
+/// What one case contributes to the merged report. Summing these in any
+/// order yields the same totals, which is what makes sharding free.
+struct CaseOutcome {
+    corrected_at: Option<usize>,
+    statically_flagged: usize,
+    executions_saved: u64,
+    engine_executions: u64,
+}
+
+/// Builder for the correction experiment (see the module docs).
+///
+/// Generic over the language model so custom [`LanguageModel`] backends
+/// drive the same runner; [`collect_errors`](CorrectionRun::collect_errors)
+/// alone is specific to [`SimLlm`] because the Assistant front end is.
+#[derive(Debug)]
+pub struct CorrectionRun<'a, L: LanguageModel + ?Sized = SimLlm> {
+    corpus: &'a Corpus,
+    llm: &'a L,
+    user: &'a SimUser,
+    cfg: ExperimentConfig,
+}
+
+// Manual Clone/Copy: derives would bound `L: Clone`/`L: Copy`, but only
+// references to `L` are stored.
+impl<'a, L: LanguageModel + ?Sized> Clone for CorrectionRun<'a, L> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<'a, L: LanguageModel + ?Sized> Copy for CorrectionRun<'a, L> {}
+
+impl<'a, L: LanguageModel + ?Sized> CorrectionRun<'a, L> {
+    /// Starts a run over `corpus` with the default
+    /// [`ExperimentConfig`].
+    pub fn new(corpus: &'a Corpus, llm: &'a L, user: &'a SimUser) -> Self {
+        CorrectionRun {
+            corpus,
+            llm,
+            user,
+            cfg: ExperimentConfig::default(),
+        }
+    }
+
+    /// Sets the feedback-incorporation strategy.
+    pub fn strategy(mut self, strategy: Strategy) -> Self {
+        self.cfg.strategy = strategy;
+        self
+    }
+
+    /// Sets the number of feedback rounds.
+    pub fn rounds(mut self, rounds: usize) -> Self {
+        self.cfg.rounds = rounds;
+        self
+    }
+
+    /// Sets the recorded experiment seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Sets the worker-thread count (`0` = auto).
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.cfg.workers = workers;
+        self
+    }
+
+    /// Sets the demonstrations-per-prompt for error collection.
+    pub fn demos_k(mut self, demos_k: usize) -> Self {
+        self.cfg.demos_k = demos_k;
+        self
+    }
+
+    /// Replaces the whole configuration at once.
+    pub fn config(mut self, cfg: ExperimentConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// The current configuration.
+    pub fn current_config(&self) -> &ExperimentConfig {
+        &self.cfg
+    }
+
+    /// Asks the simulated user for feedback on every error; keeps the
+    /// annotatable subset (the paper's 101-of-243). Sharded like
+    /// [`run`](CorrectionRun::run); output order matches input order.
+    pub fn annotate(&self, errors: &[ErrorCase]) -> Vec<AnnotatedCase> {
+        let annotate_one = |err: &ErrorCase| -> Option<AnnotatedCase> {
+            let example = &self.corpus.examples[err.example_idx];
+            let db = self.corpus.database(example);
+            let view = build_view(db, example, &err.initial);
+            self.user
+                .feedback(example, &err.initial, &view, 0)
+                .map(|feedback| AnnotatedCase {
+                    error: err.clone(),
+                    feedback,
+                })
+        };
+        shard_map(
+            errors,
+            self.cfg.effective_workers(errors.len()),
+            annotate_one,
+        )
+        .into_iter()
+        .flatten()
+        .collect()
+    }
+
+    /// Runs the multi-round correction protocol (§4.2, Figure 8) for the
+    /// configured strategy over the annotated cases, sharded across the
+    /// configured worker count. The returned report is bit-identical at
+    /// any worker count; only [`CorrectionReport::metrics`] varies.
+    pub fn run(&self, cases: &[AnnotatedCase]) -> CorrectionReport {
+        let started = Instant::now();
+        let cache_before = cache::global_stats();
+        let workers = self.cfg.effective_workers(cases.len());
+
+        let outcomes = shard_map(cases, workers, |case| self.run_case(case));
+
+        let mut corrected_after_round = vec![0usize; self.cfg.rounds];
+        let mut statically_flagged = 0usize;
+        let mut executions_saved = 0u64;
+        let mut engine_executions = 0u64;
+        for outcome in &outcomes {
+            statically_flagged += outcome.statically_flagged;
+            executions_saved += outcome.executions_saved;
+            engine_executions += outcome.engine_executions;
+            if let Some(r) = outcome.corrected_at {
+                for slot in corrected_after_round.iter_mut().skip(r) {
+                    *slot += 1;
+                }
+            }
+        }
+        CorrectionReport {
+            strategy: self.cfg.strategy.name().to_string(),
+            total: cases.len(),
+            corrected_after_round,
+            statically_flagged,
+            executions_saved,
+            metrics: RunMetrics::finish(
+                workers,
+                cases.len(),
+                started,
+                cache_before,
+                engine_executions,
+            ),
+        }
+    }
+
+    /// One case's multi-round correction loop — the unit of sharding.
+    fn run_case(&self, case: &AnnotatedCase) -> CaseOutcome {
+        let example = &self.corpus.examples[case.error.example_idx];
+        let db = self.corpus.database(example);
+        let mut current = normalize_query(&case.error.initial);
+        let mut question = example.question.clone();
+        let mut outcome = CaseOutcome {
+            corrected_at: None,
+            statically_flagged: 0,
+            executions_saved: 0,
+            engine_executions: 0,
+        };
+
+        for round in 0..self.cfg.rounds {
+            // Elicit (or reuse) this round's feedback.
+            let mut feedback = if round == 0 {
+                Some(case.feedback.clone())
+            } else {
+                let view = build_view(db, example, &current);
+                outcome.engine_executions += 1; // the view renders a result grid
+                self.user.feedback(example, &current, &view, round as u64)
+            };
+            let Some(fb) = feedback.as_mut() else {
+                break;
+            };
+            // Attach a highlight when the interface supports it.
+            if let Strategy::Fisql {
+                highlighting: true, ..
+            } = self.cfg.strategy
+            {
+                if fb.highlight.is_none() {
+                    let spanned = print_query_spanned(&current);
+                    self.user
+                        .add_highlight(fb, &spanned, example.id, round as u64);
+                }
+            }
+            let step = incorporate(
+                self.cfg.strategy,
+                self.llm,
+                &IncorporateContext {
+                    db,
+                    example,
+                    question: &question,
+                    previous: &current,
+                    feedback: fb,
+                    round: round as u64,
+                },
+            );
+            if step.gate.has_errors() {
+                outcome.statically_flagged += 1;
+            }
+            outcome.executions_saved += step.gate.executions_saved;
+            current = step.query;
+            question = step.question;
+
+            outcome.engine_executions += 2; // correctness check runs predicted + gold
+            if check_prediction(db, example, &current).is_correct() {
+                outcome.corrected_at = Some(round);
+                break;
+            }
+        }
+        outcome
+    }
+}
+
+impl<'a> CorrectionRun<'a, SimLlm> {
+    /// Runs the production Assistant (few-shot RAG) over the corpus and
+    /// collects the error cases (§4.1). Sharded across the configured
+    /// worker count; output order matches corpus order.
+    pub fn collect_errors(&self) -> Vec<ErrorCase> {
+        let assistant = Assistant::for_corpus(self.corpus, self.llm.clone(), self.cfg.demos_k);
+        let indexed: Vec<usize> = (0..self.corpus.examples.len()).collect();
+        let workers = self.cfg.effective_workers(indexed.len());
+        let check_one = |i: &usize| -> Option<ErrorCase> {
+            let e = &self.corpus.examples[*i];
+            let db = self.corpus.database(e);
+            let turn = assistant.answer(db, e, 0);
+            let verdict = check_prediction(db, e, &turn.query);
+            if verdict.is_correct() {
+                None
+            } else {
+                Some(ErrorCase {
+                    example_idx: *i,
+                    initial: turn.query,
+                    execution_error: matches!(verdict, Verdict::ExecutionError { .. }),
+                })
+            }
+        };
+        shard_map(&indexed, workers, check_one)
+            .into_iter()
+            .flatten()
+            .collect()
+    }
+}
+
+/// Maps `f` over `items` on `workers` scoped threads, each taking one
+/// contiguous chunk, and concatenates the per-chunk outputs in shard
+/// order — so the result equals `items.iter().map(f).collect()` exactly,
+/// for any `workers`.
+fn shard_map<T, R, F>(items: &[T], workers: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    if items.is_empty() {
+        return Vec::new();
+    }
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let chunk = items.len().div_ceil(workers);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|shard| scope.spawn(|| shard.iter().map(&f).collect::<Vec<R>>()))
+            .collect();
+        let mut merged = Vec::with_capacity(items.len());
+        for handle in handles {
+            merged.extend(handle.join().expect("runner worker panicked"));
+        }
+        merged
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fisql_feedback::UserConfig;
+    use fisql_llm::LlmConfig;
+    use fisql_spider::SpiderConfig;
+
+    fn small_setup() -> (Corpus, SimLlm, SimUser) {
+        let corpus = fisql_spider::build_spider(&SpiderConfig::small(77));
+        (
+            corpus,
+            SimLlm::new(LlmConfig::default()),
+            SimUser::new(UserConfig::default()),
+        )
+    }
+
+    #[test]
+    fn shard_map_equals_serial_map_for_any_worker_count() {
+        let items: Vec<u64> = (0..23).collect();
+        let serial: Vec<u64> = items.iter().map(|x| x * x).collect();
+        for workers in [1, 2, 3, 8, 64] {
+            assert_eq!(shard_map(&items, workers, |x| x * x), serial);
+        }
+        assert!(shard_map(&[] as &[u64], 4, |x| x * x).is_empty());
+    }
+
+    #[test]
+    fn reports_are_bit_identical_at_any_worker_count() {
+        let (corpus, llm, user) = small_setup();
+        let run = CorrectionRun::new(&corpus, &llm, &user)
+            .demos_k(3)
+            .rounds(2);
+        let errors = run.workers(1).collect_errors();
+        let annotated = run.workers(1).annotate(&errors);
+        assert!(
+            !annotated.is_empty(),
+            "need cases to make the test meaningful"
+        );
+
+        let serial = run.workers(1).run(&annotated);
+        let serial_json = serde_json::to_string(&serial).unwrap();
+        for workers in [2, 8] {
+            let parallel = run.workers(workers).run(&annotated);
+            assert_eq!(
+                serde_json::to_string(&parallel).unwrap(),
+                serial_json,
+                "report diverged at {workers} workers"
+            );
+        }
+    }
+
+    #[test]
+    fn collection_and_annotation_are_worker_count_invariant() {
+        let (corpus, llm, user) = small_setup();
+        let run = CorrectionRun::new(&corpus, &llm, &user).demos_k(3);
+        let serial_errors = run.workers(1).collect_errors();
+        let sharded_errors = run.workers(8).collect_errors();
+        assert_eq!(serial_errors.len(), sharded_errors.len());
+        for (a, b) in serial_errors.iter().zip(&sharded_errors) {
+            assert_eq!(a.example_idx, b.example_idx);
+            assert_eq!(a.initial, b.initial);
+        }
+        let serial_ann = run.workers(1).annotate(&serial_errors);
+        let sharded_ann = run.workers(8).annotate(&serial_errors);
+        assert_eq!(serial_ann.len(), sharded_ann.len());
+    }
+
+    #[test]
+    fn metrics_record_throughput() {
+        let (corpus, llm, user) = small_setup();
+        let run = CorrectionRun::new(&corpus, &llm, &user)
+            .demos_k(3)
+            .workers(2);
+        let errors = run.collect_errors();
+        let annotated = run.annotate(&errors);
+        let report = run.run(&annotated);
+        assert_eq!(report.metrics.workers, 2.min(annotated.len().max(1)));
+        assert!(report.metrics.wall_ms >= 0.0);
+        if !annotated.is_empty() {
+            assert!(report.metrics.cases_per_sec > 0.0);
+            assert!(report.metrics.engine_executions >= 2 * annotated.len() as u64);
+        }
+        // metrics are serde(skip): serialized reports contain none of them
+        let json = serde_json::to_string(&report).unwrap();
+        assert!(!json.contains("wall_ms"));
+    }
+
+    #[test]
+    fn workers_env_and_effective_workers_resolution() {
+        let cfg = ExperimentConfig {
+            workers: 4,
+            ..ExperimentConfig::default()
+        };
+        assert_eq!(cfg.effective_workers(100), 4);
+        assert_eq!(cfg.effective_workers(2), 2); // never more threads than items
+        assert_eq!(cfg.effective_workers(0), 1); // never fewer than one
+        let auto = ExperimentConfig {
+            workers: 0,
+            ..ExperimentConfig::default()
+        };
+        assert!(auto.effective_workers(100) >= 1);
+    }
+}

@@ -12,12 +12,33 @@ use fisql_spider::Example;
 use fisql_sqlkit::Span;
 
 /// One event in the chat transcript.
+///
+/// Feedback turns and analyzer-gate outcomes are structured variants, so
+/// consumers read them straight off the transcript instead of through
+/// side-channel getters (`last_gate()` / `executions_saved()` are now
+/// deprecated shims over these events).
 #[derive(Debug, Clone)]
 pub enum ChatEvent {
     /// Something the user typed.
     User(String),
     /// An Assistant response (rendered).
     Assistant(String),
+    /// A feedback turn: the user's utterance plus an optional highlight
+    /// over the previously shown SQL.
+    Feedback {
+        /// The feedback utterance.
+        text: String,
+        /// Highlighted span of the rendered SQL, if any.
+        highlight: Option<Span>,
+    },
+    /// The static-analysis gate's verdict on one feedback round's
+    /// candidate query.
+    Gate {
+        /// Which feedback round (0-based) produced the candidate.
+        round: u64,
+        /// The analyzer outcome (diagnostics, repair, executions saved).
+        outcome: GateOutcome,
+    },
 }
 
 /// An interactive FISQL session over one database.
@@ -33,8 +54,6 @@ pub struct Session<'a> {
     /// The current example and state, once a question was asked.
     state: Option<State>,
     round: u64,
-    last_gate: Option<GateOutcome>,
-    executions_saved: u64,
 }
 
 struct State {
@@ -52,19 +71,34 @@ impl<'a> Session<'a> {
             transcript: Vec::new(),
             state: None,
             round: 0,
-            last_gate: None,
-            executions_saved: 0,
         }
     }
 
     /// Static-analysis gate outcome of the most recent feedback turn.
+    #[deprecated(
+        since = "0.2.0",
+        note = "read `ChatEvent::Gate` events from `Session::transcript`"
+    )]
     pub fn last_gate(&self) -> Option<&GateOutcome> {
-        self.last_gate.as_ref()
+        self.transcript.iter().rev().find_map(|e| match e {
+            ChatEvent::Gate { outcome, .. } => Some(outcome),
+            _ => None,
+        })
     }
 
     /// Engine executions the analyzer gate has saved over this session.
+    #[deprecated(
+        since = "0.2.0",
+        note = "sum `outcome.executions_saved` over `ChatEvent::Gate` events in `Session::transcript`"
+    )]
     pub fn executions_saved(&self) -> u64 {
-        self.executions_saved
+        self.transcript
+            .iter()
+            .map(|e| match e {
+                ChatEvent::Gate { outcome, .. } => outcome.executions_saved,
+                _ => 0,
+            })
+            .sum()
     }
 
     /// Asks the example's question; returns the Assistant's turn.
@@ -94,8 +128,10 @@ impl<'a> Session<'a> {
         highlight: Option<Span>,
     ) -> AssistantTurn {
         let state = self.state.as_mut().expect("ask() before give_feedback()");
-        self.transcript
-            .push(ChatEvent::User(format!("Here is my feedback: {text}")));
+        self.transcript.push(ChatEvent::Feedback {
+            text: text.to_string(),
+            highlight,
+        });
         let feedback = Feedback {
             text: text.to_string(),
             highlight,
@@ -114,11 +150,13 @@ impl<'a> Session<'a> {
                 round: self.round,
             },
         );
-        self.round += 1;
         state.current = outcome.query.clone();
         state.question = outcome.question.clone();
-        self.executions_saved += outcome.gate.executions_saved;
-        self.last_gate = Some(outcome.gate.clone());
+        self.transcript.push(ChatEvent::Gate {
+            round: self.round,
+            outcome: outcome.gate.clone(),
+        });
+        self.round += 1;
         let turn = self
             .assistant
             .present(self.db, outcome.query, outcome.prompt, vec![]);
@@ -128,12 +166,31 @@ impl<'a> Session<'a> {
     }
 
     /// Renders the whole transcript.
+    ///
+    /// Feedback turns render as user lines; gate events render only when
+    /// the analyzer actually found or repaired something (a clean gate is
+    /// invisible in the chat, as in the paper's Figure 4).
     pub fn render_transcript(&self) -> String {
         let mut out = String::new();
         for event in &self.transcript {
             match event {
                 ChatEvent::User(t) => out.push_str(&format!("User> {t}\n\n")),
                 ChatEvent::Assistant(t) => out.push_str(&format!("Assistant>\n{t}\n")),
+                ChatEvent::Feedback { text, .. } => {
+                    out.push_str(&format!("User> Here is my feedback: {text}\n\n"))
+                }
+                ChatEvent::Gate { round, outcome } if outcome.has_errors() || outcome.repaired => {
+                    out.push_str(&format!(
+                        "[analyzer] round {round}: {} diagnostic(s){}\n\n",
+                        outcome.diagnostics.len(),
+                        if outcome.repaired {
+                            ", auto-repaired"
+                        } else {
+                            ""
+                        },
+                    ));
+                }
+                ChatEvent::Gate { .. } => {}
             }
         }
         out
@@ -198,5 +255,31 @@ mod tests {
         let transcript = session.render_transcript();
         assert!(transcript.contains("Here is my feedback: we are in 2024"));
         assert!(transcript.matches("Assistant>").count() == 2);
+
+        // The feedback turn and the gate verdict are structured events.
+        assert!(session.transcript.iter().any(|e| matches!(
+            e,
+            ChatEvent::Feedback { text, highlight: None } if text == "we are in 2024"
+        )));
+        let gates: Vec<_> = session
+            .transcript
+            .iter()
+            .filter_map(|e| match e {
+                ChatEvent::Gate { round, outcome } => Some((*round, outcome)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(gates.len(), 1);
+        assert_eq!(gates[0].0, 0);
+
+        // The deprecated getters agree with the transcript events.
+        #[allow(deprecated)]
+        {
+            assert_eq!(
+                session.last_gate().map(|g| g.executions_saved),
+                Some(gates[0].1.executions_saved)
+            );
+            assert_eq!(session.executions_saved(), gates[0].1.executions_saved);
+        }
     }
 }

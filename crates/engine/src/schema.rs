@@ -192,6 +192,14 @@ impl fmt::Display for Database {
     }
 }
 
+// The parallel evaluation runner shares `&Database` across worker
+// threads; this fails to compile if a future field (Rc, RefCell, raw
+// pointer, …) silently removes that capability.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Database>();
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -17,6 +17,8 @@
 
 #![warn(missing_docs)]
 
+pub mod backend;
+pub mod cache;
 pub mod calibration;
 pub mod embedding;
 pub mod model;
@@ -24,6 +26,8 @@ pub mod prompt;
 pub mod retrieval;
 pub mod routing_pool;
 
+pub use backend::LanguageModel;
+pub use cache::{CacheStats, ConcurrentCache};
 pub use calibration::Calibration;
 pub use embedding::Embedding;
 pub use model::{

@@ -1,7 +1,16 @@
 //! Demonstration store for retrieval-augmented generation.
+//!
+//! Embeddings are memoized through the process-wide concurrent cache
+//! ([`crate::cache::embed_cached`]): repeated retrievals for the same
+//! question — common when several strategies sweep the same corpus, or
+//! when the parallel runner fans a replay out across threads — skip the
+//! re-embedding entirely. Cached and uncached retrieval return identical
+//! demonstrations (the cache stores exact computed vectors).
 
+use crate::cache::embed_cached;
 use crate::embedding::Embedding;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// One (question, SQL) demonstration pair.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -16,16 +25,15 @@ pub struct Demonstration {
 #[derive(Debug, Clone)]
 pub struct DemoStore {
     demos: Vec<Demonstration>,
-    embeddings: Vec<Embedding>,
+    embeddings: Vec<Arc<Embedding>>,
 }
 
 impl DemoStore {
-    /// Builds a store from demonstrations, embedding each question.
+    /// Builds a store from demonstrations, embedding each question
+    /// (through the shared embedding cache, so rebuilding a store over
+    /// the same corpus is nearly free).
     pub fn new(demos: Vec<Demonstration>) -> Self {
-        let embeddings = demos
-            .iter()
-            .map(|d| Embedding::embed(&d.question))
-            .collect();
+        let embeddings = demos.iter().map(|d| embed_cached(&d.question)).collect();
         DemoStore { demos, embeddings }
     }
 
@@ -45,12 +53,12 @@ impl DemoStore {
         if k == 0 || self.demos.is_empty() {
             return Vec::new();
         }
-        let q = Embedding::embed(query);
+        let q = embed_cached(query);
         let mut scored: Vec<(usize, f32)> = self
             .embeddings
             .iter()
             .enumerate()
-            .map(|(i, e)| (i, q.cosine(e)))
+            .map(|(i, e)| (i, q.cosine(e.as_ref())))
             .collect();
         scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
         scored
@@ -100,6 +108,34 @@ mod tests {
     #[test]
     fn k_larger_than_pool_returns_all() {
         assert_eq!(store().retrieve("singers", 10).len(), 3);
+    }
+
+    #[test]
+    fn cached_retrieval_matches_uncached_ranking() {
+        // A cold retrieve computes the query embedding; a warm retrieve
+        // serves it from the shared cache. Both must return the same
+        // demonstrations in the same order, and both must agree with a
+        // from-scratch cosine ranking.
+        let s = store();
+        let query = "how many flights depart from Paris";
+        let cold: Vec<Demonstration> = s.retrieve(query, 3).into_iter().cloned().collect();
+        let warm: Vec<Demonstration> = s.retrieve(query, 3).into_iter().cloned().collect();
+        assert_eq!(cold, warm);
+
+        let q = Embedding::embed(query);
+        let mut reference: Vec<(usize, f32)> = s
+            .demos
+            .iter()
+            .enumerate()
+            .map(|(i, d)| (i, q.cosine(&Embedding::embed(&d.question))))
+            .collect();
+        reference.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        let expected: Vec<Demonstration> = reference
+            .into_iter()
+            .take(3)
+            .map(|(i, _)| s.demos[i].clone())
+            .collect();
+        assert_eq!(cold, expected);
     }
 
     #[test]

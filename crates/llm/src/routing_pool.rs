@@ -9,10 +9,12 @@
 //! similarity between the incoming feedback (plus the previous query's
 //! clause inventory) and each demonstration.
 
+use crate::cache::{embed_cached, CacheStats, ConcurrentCache};
 use crate::embedding::Embedding;
 use crate::prompt::feedback_demo;
 use fisql_sqlkit::{OpClass, Query};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Which clause a feedback demonstration is about (coarse; used as a
 /// structure signal alongside the text similarity).
@@ -51,11 +53,21 @@ impl FeedbackDemo {
     }
 }
 
+/// Memo key for one dynamic selection: routed class, feedback text,
+/// clause-inventory bitmask of the previous query, and `k`.
+type SelectKey = (OpClass, String, u8, usize);
+
 /// A library of feedback demonstrations with dynamic selection.
+///
+/// Selections are memoized in a concurrent cache shared by all clones of
+/// the pool: the multi-round correction protocol re-selects for the same
+/// `(class, feedback, clause shape)` triple every round and across every
+/// worker thread, and selection is a pure function of the key.
 #[derive(Debug, Clone)]
 pub struct RoutingPool {
     demos: Vec<FeedbackDemo>,
     embeddings: Vec<Embedding>,
+    select_cache: Arc<ConcurrentCache<SelectKey, Vec<String>>>,
 }
 
 impl RoutingPool {
@@ -65,7 +77,17 @@ impl RoutingPool {
             .iter()
             .map(|d| Embedding::embed(&d.feedback))
             .collect();
-        RoutingPool { demos, embeddings }
+        RoutingPool {
+            demos,
+            embeddings,
+            select_cache: Arc::new(ConcurrentCache::new()),
+        }
+    }
+
+    /// Hit/miss counters of this pool's selection cache (shared across
+    /// clones).
+    pub fn select_cache_stats(&self) -> CacheStats {
+        self.select_cache.stats()
     }
 
     /// The built-in library: the fixed §3.3 demonstrations plus a wider
@@ -233,8 +255,12 @@ impl RoutingPool {
         if k == 0 || self.demos.is_empty() {
             return Vec::new();
         }
-        let fb = Embedding::embed(feedback);
         let present = clause_inventory(previous);
+        let key: SelectKey = (class, feedback.to_string(), inventory_bits(&present), k);
+        if let Some(cached) = self.select_cache.get(&key) {
+            return cached;
+        }
+        let fb = embed_cached(feedback);
         let scored = |restrict: bool| {
             let mut v: Vec<(usize, f32)> = self
                 .demos
@@ -258,12 +284,28 @@ impl RoutingPool {
         if ranked.is_empty() {
             ranked = scored(false);
         }
-        ranked
+        let picked: Vec<String> = ranked
             .into_iter()
             .take(k)
             .map(|(i, _)| self.demos[i].render())
-            .collect()
+            .collect();
+        self.select_cache.insert(key, picked.clone());
+        picked
     }
+}
+
+/// Packs a clause inventory into a stable bitmask for cache keying.
+fn inventory_bits(present: &[ClauseKind]) -> u8 {
+    present.iter().fold(0u8, |acc, kind| {
+        acc | match kind {
+            ClauseKind::Select => 1 << 0,
+            ClauseKind::From => 1 << 1,
+            ClauseKind::Where => 1 << 2,
+            ClauseKind::GroupHaving => 1 << 3,
+            ClauseKind::OrderLimit => 1 << 4,
+            ClauseKind::Distinct => 1 << 5,
+        }
+    })
 }
 
 /// The clause kinds present in a query (which clauses feedback could be
@@ -358,6 +400,37 @@ mod tests {
             "{}",
             picked[0]
         );
+    }
+
+    #[test]
+    fn cached_selection_matches_fresh_selection() {
+        let pool = RoutingPool::builtin();
+        let q =
+            parse_query("SELECT COUNT(*) FROM hkg_dim_segment WHERE createdTime >= '2023-01-01'")
+                .unwrap();
+        let before = pool.select_cache_stats();
+        let cold = pool.select(OpClass::Edit, "we are in 2025", &q, 2);
+        let warm = pool.select(OpClass::Edit, "we are in 2025", &q, 2);
+        assert_eq!(cold, warm, "memoized selection must be identical");
+        let delta = pool.select_cache_stats().since(&before);
+        assert_eq!((delta.hits, delta.misses), (1, 1));
+        // A fresh, cache-cold pool agrees too.
+        assert_eq!(
+            RoutingPool::builtin().select(OpClass::Edit, "we are in 2025", &q, 2),
+            cold
+        );
+    }
+
+    #[test]
+    fn clones_share_the_selection_cache() {
+        let pool = RoutingPool::builtin();
+        let q = parse_query("SELECT name FROM customer").unwrap();
+        let clone = pool.clone();
+        let from_original = pool.select(OpClass::Remove, "drop the address", &q, 2);
+        let before = clone.select_cache_stats();
+        let from_clone = clone.select(OpClass::Remove, "drop the address", &q, 2);
+        assert_eq!(from_original, from_clone);
+        assert_eq!(clone.select_cache_stats().since(&before).hits, 1);
     }
 
     #[test]

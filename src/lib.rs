@@ -45,17 +45,20 @@ pub use fisql_sqlkit;
 
 /// The commonly-used surface of the whole workspace in one import.
 pub mod prelude {
+    #[allow(deprecated)]
+    pub use fisql_core::{annotate_errors, collect_errors, run_correction};
     pub use fisql_core::{
-        annotate_errors, collect_errors, explain_query, incorporate, interpret, reformulate,
-        run_correction, zero_shot_report, Assistant, AssistantTurn, IncorporateContext, Session,
-        Strategy,
+        explain_query, incorporate, interpret, reformulate, zero_shot_report, AnnotatedCase,
+        Assistant, AssistantTurn, ChatEvent, CorrectionReport, CorrectionRun, ErrorCase,
+        ExperimentConfig, IncorporateContext, RunMetrics, Session, Strategy,
     };
     pub use fisql_engine::{
         execute_sql, results_match, Column, DataType, Database, ForeignKey, ResultSet, Table, Value,
     };
     pub use fisql_feedback::{Feedback, SimUser, UserConfig, UserView};
     pub use fisql_llm::{
-        Calibration, DemoStore, Demonstration, GenMode, GenRequest, LlmConfig, SimLlm,
+        Calibration, DemoStore, Demonstration, GenMode, GenRequest, LanguageModel, LlmConfig,
+        SimLlm,
     };
     pub use fisql_spider::{
         build_aep, build_spider, AepConfig, Corpus, Example, Hardness, SpiderConfig,

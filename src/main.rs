@@ -18,6 +18,12 @@
 //! you> :quit
 //! ```
 //!
+//! `fisql --eval [--workers N]` skips the console and runs the sharded
+//! correction evaluation (collect → annotate → correct) on the bundled
+//! corpora, printing per-round correction rates and throughput. `N = 0`
+//! (the default) uses all available cores; `FISQL_WORKERS` is honoured
+//! when the flag is absent.
+//!
 //! The backing model is the simulated LLM, so "asking a question" means
 //! picking the bundled corpus question closest to yours (by embedding
 //! similarity) and answering it — good enough to drive the whole feedback
@@ -30,6 +36,11 @@ use std::io::{BufRead, Write};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+
+    if args.iter().any(|a| a == "--eval") {
+        run_eval(&args);
+        return;
+    }
 
     // Corpus + database: bundled AEP-like by default; a schema file makes
     // a custom database (questions then run through :run only).
@@ -170,4 +181,59 @@ fn main() {
         current_example = Some(example);
     }
     println!("bye.");
+}
+
+/// `fisql --eval [--workers N]`: the sharded correction evaluation on the
+/// bundled SPIDER-like and AEP-like corpora.
+fn run_eval(args: &[String]) {
+    let workers = args
+        .iter()
+        .position(|a| a == "--workers")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| {
+            v.parse().unwrap_or_else(|_| {
+                eprintln!("error: --workers expects a number, got `{v}`");
+                std::process::exit(2);
+            })
+        })
+        .unwrap_or_else(fisql_core::workers_from_env);
+
+    let spider = build_spider(&SpiderConfig {
+        n_databases: 12,
+        n_examples: 96,
+        seed: 0xC11,
+    });
+    let aep = build_aep(&AepConfig {
+        n_examples: 60,
+        seed: 0xC11 ^ 0xAE9,
+    });
+    let llm = SimLlm::new(LlmConfig::default());
+    let user = SimUser::new(UserConfig::default());
+
+    for corpus in [&spider, &aep] {
+        let run = CorrectionRun::new(corpus, &llm, &user)
+            .demos_k(3)
+            .rounds(2)
+            .workers(workers);
+        let errors = run.collect_errors();
+        let cases = run.annotate(&errors);
+        let report = run.run(&cases);
+        let m = &report.metrics;
+        println!(
+            "{}: {} errors, {} annotated; corrected after r1/r2: {:.1}%/{:.1}%",
+            corpus.name,
+            errors.len(),
+            cases.len(),
+            report.pct_after(1),
+            report.pct_after(2),
+        );
+        println!(
+            "  {} worker(s), {:.1} ms, {:.1} cases/s, {} engine executions, cache hit rate {:.0}%",
+            m.workers,
+            m.wall_ms,
+            m.cases_per_sec,
+            m.engine_executions,
+            100.0 * m.cache_hit_rate(),
+        );
+    }
 }

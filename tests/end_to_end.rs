@@ -37,26 +37,22 @@ fn figure2_shape_spider_far_above_aep() {
 fn table2_shape_fisql_beats_rewrite_on_both_datasets() {
     let (spider, aep, llm, user) = setup();
     for corpus in [&spider, &aep] {
-        let errors = collect_errors(corpus, &llm, 3);
-        let cases = annotate_errors(corpus, &errors, &user);
+        let run = CorrectionRun::new(corpus, &llm, &user).demos_k(3).rounds(1);
+        let errors = run.collect_errors();
+        let cases = run.annotate(&errors);
         assert!(
             cases.len() >= 10,
             "{}: too few annotated cases ({})",
             corpus.name,
             cases.len()
         );
-        let fisql = run_correction(
-            corpus,
-            &cases,
-            Strategy::Fisql {
+        let fisql = run
+            .strategy(Strategy::Fisql {
                 routing: true,
                 highlighting: false,
-            },
-            1,
-            &llm,
-            &user,
-        );
-        let rewrite = run_correction(corpus, &cases, Strategy::QueryRewrite, 1, &llm, &user);
+            })
+            .run(&cases);
+        let rewrite = run.strategy(Strategy::QueryRewrite).run(&cases);
         assert!(
             fisql.corrected_after_round[0] as f64 >= 1.3 * rewrite.corrected_after_round[0] as f64,
             "{}: FISQL {} vs rewrite {} (expected a wide win)",
@@ -70,30 +66,23 @@ fn table2_shape_fisql_beats_rewrite_on_both_datasets() {
 #[test]
 fn figure8_shape_round_two_improves_and_converges() {
     let (spider, _, llm, user) = setup();
-    let errors = collect_errors(&spider, &llm, 3);
-    let cases = annotate_errors(&spider, &errors, &user);
-    let fisql = run_correction(
-        &spider,
-        &cases,
-        Strategy::Fisql {
+    let run = CorrectionRun::new(&spider, &llm, &user)
+        .demos_k(3)
+        .rounds(2);
+    let errors = run.collect_errors();
+    let cases = run.annotate(&errors);
+    let fisql = run
+        .strategy(Strategy::Fisql {
             routing: true,
             highlighting: false,
-        },
-        2,
-        &llm,
-        &user,
-    );
-    let no_routing = run_correction(
-        &spider,
-        &cases,
-        Strategy::Fisql {
+        })
+        .run(&cases);
+    let no_routing = run
+        .strategy(Strategy::Fisql {
             routing: false,
             highlighting: false,
-        },
-        2,
-        &llm,
-        &user,
-    );
+        })
+        .run(&cases);
     // Round 2 strictly helps.
     assert!(fisql.corrected_after_round[1] > fisql.corrected_after_round[0]);
     assert!(no_routing.corrected_after_round[1] > no_routing.corrected_after_round[0]);
@@ -110,31 +99,29 @@ fn figure8_shape_round_two_improves_and_converges() {
 
 #[test]
 fn whole_pipeline_is_deterministic() {
-    let run = || {
+    let run_once = || {
         let (spider, _, llm, user) = setup();
-        let errors = collect_errors(&spider, &llm, 3);
-        let cases = annotate_errors(&spider, &errors, &user);
-        let report = run_correction(
-            &spider,
-            &cases,
-            Strategy::Fisql {
+        let run = CorrectionRun::new(&spider, &llm, &user)
+            .demos_k(3)
+            .rounds(2)
+            .strategy(Strategy::Fisql {
                 routing: true,
                 highlighting: false,
-            },
-            2,
-            &llm,
-            &user,
-        );
+            });
+        let errors = run.collect_errors();
+        let cases = run.annotate(&errors);
+        let report = run.run(&cases);
         (errors.len(), cases.len(), report.corrected_after_round)
     };
-    assert_eq!(run(), run());
+    assert_eq!(run_once(), run_once());
 }
 
 #[test]
 fn annotated_cases_only_cover_real_errors() {
     let (spider, _, llm, user) = setup();
-    let errors = collect_errors(&spider, &llm, 3);
-    let cases = annotate_errors(&spider, &errors, &user);
+    let run = CorrectionRun::new(&spider, &llm, &user).demos_k(3);
+    let errors = run.collect_errors();
+    let cases = run.annotate(&errors);
     for case in &cases {
         let example = &spider.examples[case.error.example_idx];
         let db = spider.database(example);
@@ -152,8 +139,9 @@ fn corrections_are_verified_by_execution_not_syntax() {
     // judged by execution match. Verify at least one corrected case is
     // *not* structurally identical to gold.
     let (spider, _, llm, user) = setup();
-    let errors = collect_errors(&spider, &llm, 3);
-    let cases = annotate_errors(&spider, &errors, &user);
+    let run = CorrectionRun::new(&spider, &llm, &user).demos_k(3);
+    let errors = run.collect_errors();
+    let cases = run.annotate(&errors);
     let mut corrected_any = false;
     for case in &cases {
         let example = &spider.examples[case.error.example_idx];
