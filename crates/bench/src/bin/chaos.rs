@@ -1,0 +1,105 @@
+//! Chaos benchmark: accuracy-after-feedback and throughput under
+//! injected backend faults.
+//!
+//! Runs the same correction experiment with the resilient chaos stack
+//! (`Resilient<FaultyBackend<SimLlm>>`) at fault rates 0%, 5%, and 20%,
+//! asserts each faulted run is bit-identical between 1 and 4 workers
+//! (the chaos determinism contract), and emits `BENCH_resilience.json`
+//! with per-rate accuracy, degradation, and resilience telemetry. CI
+//! uploads the file as a workflow artifact.
+//!
+//! Run: `FISQL_SCALE=small cargo run --release -p fisql-bench --bin chaos`
+
+use fisql_bench::{annotated_cases, Setup};
+use fisql_core::{CorrectionReport, CorrectionRun, Strategy};
+use fisql_llm::{FaultConfig, FaultyBackend, ResilienceConfig, Resilient};
+
+fn main() {
+    let setup = Setup::from_env();
+    let retry_budget = 3u32;
+    let rounds = 2usize;
+    println!(
+        "# Chaos benchmark (seed {}, retry budget {retry_budget})\n",
+        setup.seed
+    );
+
+    let (_, cases) = annotated_cases(&setup, &setup.spider);
+    println!("annotated SPIDER feedback set: {} cases", cases.len());
+
+    let strategy = Strategy::Fisql {
+        routing: true,
+        highlighting: false,
+    };
+
+    println!(
+        "\n{:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>12}",
+        "fault %", "pct after", "degraded", "retries", "exhausted", "trips", "cases/s"
+    );
+
+    let mut rows = Vec::new();
+    for fault_rate in [0.0f64, 0.05, 0.20] {
+        let chaos = Resilient::new(
+            FaultyBackend::new(setup.llm.clone(), FaultConfig::uniform(fault_rate)),
+            ResilienceConfig {
+                attempt_budget: retry_budget,
+                ..Default::default()
+            },
+        );
+        let run = CorrectionRun::new(&setup.spider, &chaos, &setup.user)
+            .demos_k(3)
+            .strategy(strategy)
+            .rounds(rounds);
+        let run_at = |workers: usize| -> CorrectionReport { run.workers(workers).run(&cases) };
+
+        let serial = run_at(1);
+        let parallel = run_at(4);
+        let identical =
+            serde_json::to_string(&serial).unwrap() == serde_json::to_string(&parallel).unwrap();
+        assert!(
+            identical,
+            "faulted report at 4 workers diverged from serial (rate {fault_rate})"
+        );
+
+        let m = &parallel.metrics;
+        let r = &m.resilience;
+        println!(
+            "{:>10.1} {:>10.2} {:>10} {:>10} {:>10} {:>10} {:>12.1}",
+            fault_rate * 100.0,
+            serial.pct_after(rounds),
+            serial.degraded_rounds,
+            r.retries,
+            r.exhausted,
+            r.breaker_trips,
+            m.cases_per_sec,
+        );
+        let pct_after_round: Vec<f64> = (1..=rounds).map(|n| serial.pct_after(n)).collect();
+        rows.push(serde_json::json!({
+            "fault_rate": fault_rate,
+            "pct_after_round": pct_after_round,
+            "corrected_after_round": serial.corrected_after_round,
+            "degraded_rounds": serial.degraded_rounds,
+            "cases_degraded": serial.cases_degraded,
+            "wall_ms": m.wall_ms,
+            "cases_per_sec": m.cases_per_sec,
+            "backend_calls": r.calls,
+            "attempts": r.attempts,
+            "retries": r.retries,
+            "exhausted": r.exhausted,
+            "breaker_trips": r.breaker_trips,
+            "breaker_fast_fails": r.breaker_fast_fails,
+            "report_identical_across_workers": identical,
+        }));
+    }
+
+    let json = serde_json::json!({
+        "seed": setup.seed,
+        "cases": cases.len(),
+        "rounds": rounds,
+        "retry_budget": retry_budget,
+        "strategy": format!("{strategy:?}"),
+        "runs": rows,
+    });
+    let out = "BENCH_resilience.json";
+    std::fs::write(out, json.to_string()).expect("write BENCH_resilience.json");
+    println!("\nwrote {out}");
+}

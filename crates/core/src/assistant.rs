@@ -7,7 +7,7 @@
 //! explanation, and (d) the SQL itself ("Show source").
 
 use crate::explain::{explain_query, reformulate};
-use fisql_engine::{execute, Database, ResultSet};
+use fisql_engine::{Database, ResultSet};
 use fisql_llm::{prompt, DemoStore, Demonstration, GenMode, GenRequest, SimLlm};
 use fisql_spider::{Corpus, Example};
 use fisql_sqlkit::{normalize_query, print_query, print_query_spanned, Query, SpannedSql};
@@ -100,7 +100,15 @@ impl Assistant {
         let spanned = print_query_spanned(&query);
         let reformulation = reformulate(&query);
         let explanation = explain_query(&query);
-        let result = execute(db, &query).map_err(|e| e.to_string());
+        // Row-budget guard only (no wall-clock deadline): the rendered
+        // grid participates in deterministic replay, so the outcome must
+        // not depend on machine load.
+        let guard = fisql_engine::ExecLimits {
+            max_rows: fisql_engine::ExecLimits::interactive().max_rows,
+            deadline_ms: None,
+        };
+        let result =
+            fisql_engine::execute_with_limits(db, &query, guard).map_err(|e| e.to_string());
         AssistantTurn {
             query,
             sql_text,

@@ -22,6 +22,7 @@
 
 use crate::pipeline::Strategy;
 use crate::runner::{CorrectionRun, ExperimentConfig, RunMetrics};
+use fisql_engine::ExecLimits;
 use fisql_feedback::{Feedback, SimUser, UserView};
 use fisql_llm::SimLlm;
 use fisql_spider::{evaluate, AccuracyReport, Corpus};
@@ -103,16 +104,26 @@ pub fn annotate_errors(
 }
 
 /// Assembles what the user sees before giving feedback (paper Figure 7).
+///
+/// Runs under a row-count guard: a model-generated query that would
+/// materialize millions of join rows renders as an error grid instead of
+/// stalling the evaluation loop. Only the (deterministic) row budget is
+/// used here — a wall-clock deadline could make a report depend on
+/// machine load, breaking the bit-identical-replay contract.
 pub(crate) fn build_view(
     db: &fisql_engine::Database,
     example: &fisql_spider::Example,
     predicted: &Query,
 ) -> UserView {
+    let guard = ExecLimits {
+        max_rows: ExecLimits::interactive().max_rows,
+        deadline_ms: None,
+    };
     UserView {
         question: example.question.clone(),
         sql: print_query_spanned(predicted),
         explanation: crate::explain::explain_query(predicted),
-        result: fisql_engine::execute(db, predicted)
+        result: fisql_engine::execute_with_limits(db, predicted, guard)
             .map(|rs| rs.render_grid(10))
             .map_err(|e| e.to_string()),
     }
@@ -135,6 +146,15 @@ pub struct CorrectionReport {
     /// doomed query that were skipped (across all rounds).
     #[serde(default)]
     pub executions_saved: u64,
+    /// Feedback rounds that degraded gracefully — backend calls failed
+    /// past the resilience layer, so the round kept the previous SQL
+    /// (across all cases and rounds). Deterministic for a deterministic
+    /// fault schedule, hence serialized with the report.
+    #[serde(default)]
+    pub degraded_rounds: u64,
+    /// Cases with at least one degraded round.
+    #[serde(default)]
+    pub cases_degraded: usize,
     /// Per-run throughput metrics (worker count, wall time, cache hit
     /// rate, …). Excluded from serialization and comparisons: wall-clock
     /// and cache interleaving vary run to run, while every other report
@@ -326,6 +346,8 @@ mod tests {
             corrected_after_round: vec![45, 60],
             statically_flagged: 0,
             executions_saved: 0,
+            degraded_rounds: 0,
+            cases_degraded: 0,
             metrics: RunMetrics::default(),
         };
         assert!((report.pct_after(1) - 45.0).abs() < 1e-9);
@@ -342,6 +364,8 @@ mod tests {
             corrected_after_round: vec![45, 60],
             statically_flagged: 0,
             executions_saved: 0,
+            degraded_rounds: 0,
+            cases_degraded: 0,
             metrics: RunMetrics::default(),
         };
         assert_eq!(report.pct_after(3), 0.0);
@@ -353,6 +377,8 @@ mod tests {
             corrected_after_round: vec![],
             statically_flagged: 0,
             executions_saved: 0,
+            degraded_rounds: 0,
+            cases_degraded: 0,
             metrics: RunMetrics::default(),
         };
         assert_eq!(empty.pct_after(1), 0.0);

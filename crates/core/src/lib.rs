@@ -39,7 +39,8 @@ pub use experiment::{
 pub use explain::{explain_query, reformulate};
 pub use interpret::{interpret, Interpretation};
 pub use pipeline::{
-    gate_candidate, incorporate, GateOutcome, IncorporateContext, IncorporateOutcome, Strategy,
+    gate_candidate, incorporate, try_incorporate, GateOutcome, IncorporateContext,
+    IncorporateOutcome, Strategy,
 };
 pub use refine::{QueryBuilder, RefineError, RefineStep};
 pub use runner::{workers_from_env, CorrectionRun, ExperimentConfig, RunMetrics};

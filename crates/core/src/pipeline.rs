@@ -8,7 +8,7 @@
 use crate::interpret::{interpret, Interpretation};
 use fisql_engine::Database;
 use fisql_feedback::Feedback;
-use fisql_llm::{prompt, GenMode, GenRequest, LanguageModel};
+use fisql_llm::{prompt, BackendResult, FallibleLanguageModel, GenMode, GenRequest, LanguageModel};
 use fisql_spider::Example;
 use fisql_sqlkit::check::{check_query, render_report, repair_query, Diagnostic};
 use fisql_sqlkit::{normalize_query, print_query, OpClass, Query};
@@ -167,16 +167,32 @@ pub fn gate_candidate(
     }
 }
 
-/// Runs one feedback-incorporation step with `strategy`.
+/// Runs one feedback-incorporation step with `strategy` on an
+/// *infallible* backend.
 ///
-/// Generic over the LLM backend: anything implementing
-/// [`LanguageModel`] (the simulated model, or a future real-LLM client)
-/// drives the same pipeline.
+/// Thin wrapper over [`try_incorporate`]: for a plain [`LanguageModel`]
+/// every backend call returns `Ok` through the blanket lift, so the
+/// result is unwrapped here once, keeping existing call sites untouched.
 pub fn incorporate<L: LanguageModel + ?Sized>(
     strategy: Strategy,
     llm: &L,
     ctx: &IncorporateContext<'_>,
 ) -> IncorporateOutcome {
+    try_incorporate(strategy, llm, ctx).expect("infallible backends cannot return backend errors")
+}
+
+/// Runs one feedback-incorporation step with `strategy`, fallibly.
+///
+/// Generic over the fallible backend surface: the simulated model (via
+/// the blanket lift), a faulty/resilient wrapper stack, or a future
+/// real-LLM client all drive the same pipeline. A returned error means a
+/// backend role failed past any middleware's patience — callers decide
+/// whether to degrade (keep the previous round's SQL) or surface it.
+pub fn try_incorporate<L: FallibleLanguageModel + ?Sized>(
+    strategy: Strategy,
+    llm: &L,
+    ctx: &IncorporateContext<'_>,
+) -> BackendResult<IncorporateOutcome> {
     match strategy {
         Strategy::Fisql {
             routing,
@@ -187,16 +203,19 @@ pub fn incorporate<L: LanguageModel + ?Sized>(
     }
 }
 
-fn fisql_step<L: LanguageModel + ?Sized>(
+fn fisql_step<L: FallibleLanguageModel + ?Sized>(
     llm: &L,
     ctx: &IncorporateContext<'_>,
     routing: bool,
     highlighting: bool,
     dynamic: bool,
-) -> IncorporateOutcome {
+) -> BackendResult<IncorporateOutcome> {
     // Step 1 (§3.3): feedback-type identification + routed demonstrations
     // (fixed set, or dynamically selected — the §5 extension).
-    let routed = routing.then(|| llm.classify_feedback(&ctx.feedback.text, ctx.round));
+    let routed = match routing {
+        true => Some(llm.try_classify_feedback(&ctx.feedback.text, ctx.round)?),
+        false => None,
+    };
     let type_demos: Vec<String> = match routed {
         Some(class) if dynamic => builtin_pool().select(class, &ctx.feedback.text, ctx.previous, 2),
         Some(class) => prompt::type_demonstrations(class),
@@ -236,28 +255,29 @@ fn fisql_step<L: LanguageModel + ?Sized>(
         // same query (paper error cause (b)).
         ctx.previous.clone()
     } else {
-        let p = llm.edit_success_prob(routing, dynamic) * llm.edit_complexity_factor(&interp.edits);
-        let applied = llm.apply_feedback_edit_with_prob(
+        let p = llm.try_edit_success_prob(routing, dynamic)?
+            * llm.try_edit_complexity_factor(&interp.edits)?;
+        let applied = llm.try_apply_feedback_edit_with_prob(
             ctx.previous,
             &interp.edits,
             p,
             ctx.example.id,
             ctx.round,
-        );
+        )?;
         normalize_query(&applied)
     };
 
     let mut prompt_text = prompt_text;
     let (query, gate) = gate_candidate(ctx.db, query, &mut prompt_text);
 
-    IncorporateOutcome {
+    Ok(IncorporateOutcome {
         query,
         question: ctx.question.to_string(),
         routed,
         interpretation: Some(interp),
         prompt: prompt_text,
         gate,
-    }
+    })
 }
 
 /// The built-in routing pool, embedded once per process (building it per
@@ -268,35 +288,35 @@ fn builtin_pool() -> &'static fisql_llm::RoutingPool {
     POOL.get_or_init(fisql_llm::RoutingPool::builtin)
 }
 
-fn rewrite_step<L: LanguageModel + ?Sized>(
+fn rewrite_step<L: FallibleLanguageModel + ?Sized>(
     llm: &L,
     ctx: &IncorporateContext<'_>,
-) -> IncorporateOutcome {
+) -> BackendResult<IncorporateOutcome> {
     // Paraphrase the question to absorb the feedback …
-    let new_question = llm.rewrite_question(ctx.question, &ctx.feedback.text);
+    let new_question = llm.try_rewrite_question(ctx.question, &ctx.feedback.text)?;
     let prompt_text = prompt::rewrite_prompt(ctx.question, &ctx.feedback.text);
     // … then regenerate from scratch. The regeneration resamples the
     // comprehension model: hints now present in the question resolve their
     // channels, but every *other* channel refires independently — the
     // mechanism behind the baseline's weakness.
-    let generation = llm.generate_sql(&GenRequest {
+    let generation = llm.try_generate_sql(&GenRequest {
         example: ctx.example,
         demos: 3,
         hint_text: &new_question,
         salt: 1000 + ctx.round,
         mode: GenMode::Rewrite,
-    });
+    })?;
     let mut prompt_text = prompt_text;
     let (query, gate) =
         gate_candidate(ctx.db, normalize_query(&generation.query), &mut prompt_text);
-    IncorporateOutcome {
+    Ok(IncorporateOutcome {
         query,
         question: new_question,
         routed: None,
         interpretation: None,
         prompt: prompt_text,
         gate,
-    }
+    })
 }
 
 #[cfg(test)]

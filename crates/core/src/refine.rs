@@ -217,9 +217,16 @@ impl<'a> QueryBuilder<'a> {
         }
     }
 
-    /// Executes the current query against the builder's database.
+    /// Executes the current query against the builder's database, under
+    /// the interactive resource guard — a runaway cross join built up
+    /// step by step must not hang the refinement session.
     pub fn run(&self) -> Result<fisql_engine::ResultSet, String> {
-        fisql_engine::execute(self.db, &self.current).map_err(|e| e.to_string())
+        fisql_engine::execute_with_limits(
+            self.db,
+            &self.current,
+            fisql_engine::ExecLimits::interactive(),
+        )
+        .map_err(|e| e.to_string())
     }
 }
 

@@ -35,9 +35,9 @@
 
 use crate::assistant::Assistant;
 use crate::experiment::{build_view, AnnotatedCase, CorrectionReport, ErrorCase};
-use crate::pipeline::{incorporate, IncorporateContext, Strategy};
+use crate::pipeline::{try_incorporate, IncorporateContext, Strategy};
 use fisql_feedback::SimUser;
-use fisql_llm::{cache, LanguageModel, SimLlm};
+use fisql_llm::{cache, FallibleLanguageModel, ResilienceStats, SimLlm};
 use fisql_spider::{check_prediction, Corpus, Verdict};
 use fisql_sqlkit::{normalize_query, print_query_spanned};
 use serde::{Deserialize, Serialize};
@@ -124,6 +124,10 @@ pub struct RunMetrics {
     pub cache_hits: u64,
     /// Retrieval/embedding cache misses during the run.
     pub cache_misses: u64,
+    /// Resilience-layer telemetry deltas for the run (attempts, retries,
+    /// breaker trips, fast-fails, …). All zeros when the backend exposes
+    /// no resilience middleware.
+    pub resilience: ResilienceStats,
 }
 
 impl RunMetrics {
@@ -142,6 +146,7 @@ impl RunMetrics {
         started: Instant,
         before: cache::CacheStats,
         engine_executions: u64,
+        resilience: ResilienceStats,
     ) -> RunMetrics {
         let wall = started.elapsed();
         let delta = cache::global_stats().since(&before);
@@ -157,6 +162,7 @@ impl RunMetrics {
             engine_executions,
             cache_hits: delta.hits,
             cache_misses: delta.misses,
+            resilience,
         }
     }
 }
@@ -168,15 +174,25 @@ struct CaseOutcome {
     statically_flagged: usize,
     executions_saved: u64,
     engine_executions: u64,
+    degraded_rounds: u64,
 }
 
 /// Builder for the correction experiment (see the module docs).
 ///
-/// Generic over the language model so custom [`LanguageModel`] backends
-/// drive the same runner; [`collect_errors`](CorrectionRun::collect_errors)
-/// alone is specific to [`SimLlm`] because the Assistant front end is.
+/// Generic over the *fallible* backend surface, so the simulated model
+/// (via the blanket lift), a fault-injected chaos stack, or a real
+/// remote client all drive the same runner;
+/// [`collect_errors`](CorrectionRun::collect_errors) alone is specific
+/// to [`SimLlm`] because the Assistant front end is.
+///
+/// When a backend call fails past the resilience layer, the affected
+/// round **degrades** — the case keeps its previous SQL and moves on —
+/// and the merged report counts degraded rounds/cases. The runner calls
+/// [`FallibleLanguageModel::begin_session`] at the start of every case,
+/// so circuit-breaker and deadline state is per-case and the report
+/// stays bit-identical at any worker count even under injected faults.
 #[derive(Debug)]
-pub struct CorrectionRun<'a, L: LanguageModel + ?Sized = SimLlm> {
+pub struct CorrectionRun<'a, L: FallibleLanguageModel + ?Sized = SimLlm> {
     corpus: &'a Corpus,
     llm: &'a L,
     user: &'a SimUser,
@@ -185,14 +201,14 @@ pub struct CorrectionRun<'a, L: LanguageModel + ?Sized = SimLlm> {
 
 // Manual Clone/Copy: derives would bound `L: Clone`/`L: Copy`, but only
 // references to `L` are stored.
-impl<'a, L: LanguageModel + ?Sized> Clone for CorrectionRun<'a, L> {
+impl<'a, L: FallibleLanguageModel + ?Sized> Clone for CorrectionRun<'a, L> {
     fn clone(&self) -> Self {
         *self
     }
 }
-impl<'a, L: LanguageModel + ?Sized> Copy for CorrectionRun<'a, L> {}
+impl<'a, L: FallibleLanguageModel + ?Sized> Copy for CorrectionRun<'a, L> {}
 
-impl<'a, L: LanguageModel + ?Sized> CorrectionRun<'a, L> {
+impl<'a, L: FallibleLanguageModel + ?Sized> CorrectionRun<'a, L> {
     /// Starts a run over `corpus` with the default
     /// [`ExperimentConfig`].
     pub fn new(corpus: &'a Corpus, llm: &'a L, user: &'a SimUser) -> Self {
@@ -277,6 +293,7 @@ impl<'a, L: LanguageModel + ?Sized> CorrectionRun<'a, L> {
     pub fn run(&self, cases: &[AnnotatedCase]) -> CorrectionReport {
         let started = Instant::now();
         let cache_before = cache::global_stats();
+        let resilience_before = self.llm.resilience_stats().unwrap_or_default();
         let workers = self.cfg.effective_workers(cases.len());
 
         let outcomes = shard_map(cases, workers, |case| self.run_case(case));
@@ -285,34 +302,51 @@ impl<'a, L: LanguageModel + ?Sized> CorrectionRun<'a, L> {
         let mut statically_flagged = 0usize;
         let mut executions_saved = 0u64;
         let mut engine_executions = 0u64;
+        let mut degraded_rounds = 0u64;
+        let mut cases_degraded = 0usize;
         for outcome in &outcomes {
             statically_flagged += outcome.statically_flagged;
             executions_saved += outcome.executions_saved;
             engine_executions += outcome.engine_executions;
+            degraded_rounds += outcome.degraded_rounds;
+            cases_degraded += usize::from(outcome.degraded_rounds > 0);
             if let Some(r) = outcome.corrected_at {
                 for slot in corrected_after_round.iter_mut().skip(r) {
                     *slot += 1;
                 }
             }
         }
+        let resilience = self
+            .llm
+            .resilience_stats()
+            .unwrap_or_default()
+            .since(&resilience_before);
         CorrectionReport {
             strategy: self.cfg.strategy.name().to_string(),
             total: cases.len(),
             corrected_after_round,
             statically_flagged,
             executions_saved,
+            degraded_rounds,
+            cases_degraded,
             metrics: RunMetrics::finish(
                 workers,
                 cases.len(),
                 started,
                 cache_before,
                 engine_executions,
+                resilience,
             ),
         }
     }
 
     /// One case's multi-round correction loop — the unit of sharding.
     fn run_case(&self, case: &AnnotatedCase) -> CaseOutcome {
+        // One case = one resilience session: the backend resets its
+        // per-session breaker/deadline state here, on this worker's
+        // thread, so failure handling depends only on this case's own
+        // call history (the sharding-invariance contract).
+        self.llm.begin_session();
         let example = &self.corpus.examples[case.error.example_idx];
         let db = self.corpus.database(example);
         let mut current = normalize_query(&case.error.initial);
@@ -322,6 +356,7 @@ impl<'a, L: LanguageModel + ?Sized> CorrectionRun<'a, L> {
             statically_flagged: 0,
             executions_saved: 0,
             engine_executions: 0,
+            degraded_rounds: 0,
         };
 
         for round in 0..self.cfg.rounds {
@@ -347,7 +382,7 @@ impl<'a, L: LanguageModel + ?Sized> CorrectionRun<'a, L> {
                         .add_highlight(fb, &spanned, example.id, round as u64);
                 }
             }
-            let step = incorporate(
+            let step = match try_incorporate(
                 self.cfg.strategy,
                 self.llm,
                 &IncorporateContext {
@@ -358,7 +393,18 @@ impl<'a, L: LanguageModel + ?Sized> CorrectionRun<'a, L> {
                     feedback: fb,
                     round: round as u64,
                 },
-            );
+            ) {
+                Ok(step) => step,
+                Err(_) => {
+                    // Graceful degradation: the backend failed past the
+                    // resilience layer's patience, so this round keeps
+                    // the previous SQL (known incorrect — the loop only
+                    // reaches here uncorrected) and moves on. The next
+                    // round re-elicits feedback against it.
+                    outcome.degraded_rounds += 1;
+                    continue;
+                }
+            };
             if step.gate.has_errors() {
                 outcome.statically_flagged += 1;
             }

@@ -5,9 +5,12 @@
 //! binaries use it to replay the paper's walkthroughs.
 
 use crate::assistant::{Assistant, AssistantTurn};
-use crate::pipeline::{incorporate, GateOutcome, IncorporateContext, Strategy};
+use crate::pipeline::{
+    incorporate, try_incorporate, GateOutcome, IncorporateContext, IncorporateOutcome, Strategy,
+};
 use fisql_engine::Database;
 use fisql_feedback::Feedback;
+use fisql_llm::{BackendError, FallibleLanguageModel};
 use fisql_spider::Example;
 use fisql_sqlkit::Span;
 
@@ -38,6 +41,15 @@ pub enum ChatEvent {
         round: u64,
         /// The analyzer outcome (diagnostics, repair, executions saved).
         outcome: GateOutcome,
+    },
+    /// A feedback round whose backend calls failed past the resilience
+    /// layer's patience: the session kept the previous round's SQL
+    /// instead of crashing (graceful degradation).
+    Degraded {
+        /// Which feedback round (0-based) degraded.
+        round: u64,
+        /// The rendered backend error chain (outermost first).
+        error: String,
     },
 }
 
@@ -127,7 +139,7 @@ impl<'a> Session<'a> {
         text: &str,
         highlight: Option<Span>,
     ) -> AssistantTurn {
-        let state = self.state.as_mut().expect("ask() before give_feedback()");
+        let state = self.state.as_ref().expect("ask() before give_feedback()");
         self.transcript.push(ChatEvent::Feedback {
             text: text.to_string(),
             highlight,
@@ -150,6 +162,65 @@ impl<'a> Session<'a> {
                 round: self.round,
             },
         );
+        self.absorb(outcome)
+    }
+
+    /// Sends feedback through an *external fallible backend* (a
+    /// [`Resilient`](fisql_llm::Resilient) stack over a remote client,
+    /// or a fault-injected chaos backend) instead of the Assistant's own
+    /// infallible model.
+    ///
+    /// On a backend error the round **degrades** instead of panicking:
+    /// the previous round's SQL is kept, a [`ChatEvent::Degraded`] event
+    /// records the error chain, and the Assistant re-presents the
+    /// unchanged query.
+    ///
+    /// # Panics
+    /// Panics if called before [`Session::ask`].
+    pub fn give_feedback_via<L: FallibleLanguageModel + ?Sized>(
+        &mut self,
+        llm: &L,
+        example: &Example,
+        text: &str,
+        highlight: Option<Span>,
+    ) -> AssistantTurn {
+        let state = self
+            .state
+            .as_ref()
+            .expect("ask() before give_feedback_via()");
+        self.transcript.push(ChatEvent::Feedback {
+            text: text.to_string(),
+            highlight,
+        });
+        let feedback = Feedback {
+            text: text.to_string(),
+            highlight,
+            intended: vec![],
+            misaligned: false,
+        };
+        match try_incorporate(
+            self.strategy,
+            llm,
+            &IncorporateContext {
+                db: self.db,
+                example,
+                question: &state.question,
+                previous: &state.current,
+                feedback: &feedback,
+                round: self.round,
+            },
+        ) {
+            Ok(outcome) => self.absorb(outcome),
+            Err(err) => self.degrade(err),
+        }
+    }
+
+    /// Commits one successful incorporation outcome to the session.
+    fn absorb(&mut self, outcome: IncorporateOutcome) -> AssistantTurn {
+        let state = self
+            .state
+            .as_mut()
+            .expect("absorb() requires an active question");
         state.current = outcome.query.clone();
         state.question = outcome.question.clone();
         self.transcript.push(ChatEvent::Gate {
@@ -160,6 +231,28 @@ impl<'a> Session<'a> {
         let turn = self
             .assistant
             .present(self.db, outcome.query, outcome.prompt, vec![]);
+        self.transcript
+            .push(ChatEvent::Assistant(Assistant::render_turn(&turn)));
+        turn
+    }
+
+    /// Degrades one feedback round: records the error and re-presents
+    /// the previous SQL unchanged.
+    fn degrade(&mut self, err: BackendError) -> AssistantTurn {
+        self.transcript.push(ChatEvent::Degraded {
+            round: self.round,
+            error: err.chain(),
+        });
+        self.round += 1;
+        let current = self
+            .state
+            .as_ref()
+            .expect("degrade() requires an active question")
+            .current
+            .clone();
+        let turn = self
+            .assistant
+            .present(self.db, current, String::new(), vec![]);
         self.transcript
             .push(ChatEvent::Assistant(Assistant::render_turn(&turn)));
         turn
@@ -191,6 +284,11 @@ impl<'a> Session<'a> {
                     ));
                 }
                 ChatEvent::Gate { .. } => {}
+                ChatEvent::Degraded { round, error } => {
+                    out.push_str(&format!(
+                        "[degraded] round {round}: kept previous SQL ({error})\n\n"
+                    ));
+                }
             }
         }
         out
@@ -200,24 +298,21 @@ impl<'a> Session<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fisql_llm::{Calibration, LlmConfig, SimLlm};
-    use fisql_spider::{build_aep, AepConfig};
+    use fisql_llm::{Calibration, FaultConfig, FaultyBackend, LlmConfig, SimLlm};
+    use fisql_spider::{build_aep, AepConfig, Corpus, Example};
     use fisql_sqlkit::structurally_equal;
 
-    #[test]
-    fn figure4_walkthrough_end_to_end() {
+    /// The Figure 4 fixture: a corpus whose first example keeps only its
+    /// year-default channel, plus an over-firing model that reliably
+    /// produces the wrong-year query.
+    fn figure4_fixture() -> (Corpus, Example, SimLlm) {
         let corpus = build_aep(&AepConfig {
             n_examples: 3,
             seed: 44,
         });
         let mut e = corpus.examples[0].clone();
-        // Keep only the year-default channel so the forced failure is
-        // exactly the Figure 4 misunderstanding.
         e.channels.retain(|wc| wc.channel.kind() == "year-default");
-        let e = &e;
-        // Force the Figure 4 failure mode: every channel fires, so the
-        // year default lands on 2023.
-        let failing = SimLlm::new(LlmConfig {
+        let llm = SimLlm::new(LlmConfig {
             seed: 9,
             calibration: Calibration {
                 base_fire_rate: 10.0,
@@ -227,6 +322,15 @@ mod tests {
                 ..Default::default()
             },
         });
+        (corpus, e, llm)
+    }
+
+    #[test]
+    fn figure4_walkthrough_end_to_end() {
+        // Force the Figure 4 failure mode: every channel fires, so the
+        // year default lands on 2023.
+        let (corpus, e, failing) = figure4_fixture();
+        let e = &e;
         let assistant = Assistant {
             llm: failing,
             store: fisql_llm::DemoStore::new(vec![]),
@@ -281,5 +385,136 @@ mod tests {
             );
             assert_eq!(session.executions_saved(), gates[0].1.executions_saved);
         }
+    }
+
+    /// Regression: replaying a question after a deprecated-shim call used
+    /// to double-count gate events. `executions_saved()` must be a pure
+    /// fold over the transcript — idempotent, unaffected by interleaved
+    /// shim reads, counting each `ChatEvent::Gate` exactly once even when
+    /// `ask()` restarts the round counter at 0.
+    #[test]
+    fn replay_after_shim_call_does_not_double_count_gates() {
+        let (corpus, e, llm) = figure4_fixture();
+        let assistant = Assistant {
+            llm,
+            store: fisql_llm::DemoStore::new(vec![]),
+            demos_k: 0,
+        };
+        let mut session = Session::new(
+            corpus.database(&e),
+            assistant,
+            Strategy::Fisql {
+                routing: true,
+                highlighting: false,
+            },
+        );
+        session.ask(&e);
+        session.give_feedback(&e, "we are in 2024", None);
+
+        // A shim read between rounds must not mutate any counter.
+        #[allow(deprecated)]
+        let after_round_one = {
+            let _ = session.last_gate();
+            session.executions_saved()
+        };
+
+        session.give_feedback(&e, "we are in 2024", None);
+        // Replay: re-asking resets the round counter to 0, so the next
+        // gate event reuses round number 0 — it must still count once.
+        session.ask(&e);
+        session.give_feedback(&e, "we are in 2024", None);
+
+        let gate_rounds: Vec<u64> = session
+            .transcript
+            .iter()
+            .filter_map(|ev| match ev {
+                ChatEvent::Gate { round, .. } => Some(*round),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            gate_rounds,
+            vec![0, 1, 0],
+            "one gate event per feedback turn"
+        );
+
+        let expected: u64 = session
+            .transcript
+            .iter()
+            .filter_map(|ev| match ev {
+                ChatEvent::Gate { outcome, .. } => Some(outcome.executions_saved),
+                _ => None,
+            })
+            .sum();
+        #[allow(deprecated)]
+        {
+            assert_eq!(
+                session.executions_saved(),
+                expected,
+                "each gate event must be counted exactly once"
+            );
+            assert_eq!(
+                session.executions_saved(),
+                session.executions_saved(),
+                "the shim must be idempotent"
+            );
+            assert!(session.executions_saved() >= after_round_one);
+        }
+    }
+
+    /// A degraded round records `ChatEvent::Degraded` — never a gate
+    /// event — keeps the previous SQL, and leaves `executions_saved()`
+    /// untouched.
+    #[test]
+    fn degraded_rounds_keep_sql_and_add_no_gate_events() {
+        let (corpus, e, llm) = figure4_fixture();
+        // Every non-calibration call faults, so incorporation always
+        // exhausts into a degrade.
+        let broken = FaultyBackend::new(llm.clone(), FaultConfig::uniform(1.0));
+        let assistant = Assistant {
+            llm,
+            store: fisql_llm::DemoStore::new(vec![]),
+            demos_k: 0,
+        };
+        let mut session = Session::new(
+            corpus.database(&e),
+            assistant,
+            Strategy::Fisql {
+                routing: true,
+                highlighting: false,
+            },
+        );
+        let first = session.ask(&e);
+        #[allow(deprecated)]
+        let saved_before = session.executions_saved();
+
+        let revised = session.give_feedback_via(&broken, &e, "we are in 2024", None);
+        assert!(
+            structurally_equal(&revised.query, &first.query),
+            "a degraded round must keep the previous round's SQL"
+        );
+        let degraded: Vec<u64> = session
+            .transcript
+            .iter()
+            .filter_map(|ev| match ev {
+                ChatEvent::Degraded { round, .. } => Some(*round),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(degraded, vec![0]);
+        assert!(
+            !session
+                .transcript
+                .iter()
+                .any(|ev| matches!(ev, ChatEvent::Gate { .. })),
+            "degraded rounds must not fabricate gate events"
+        );
+        #[allow(deprecated)]
+        {
+            assert_eq!(session.executions_saved(), saved_before);
+        }
+        assert!(session
+            .render_transcript()
+            .contains("[degraded] round 0: kept previous SQL"));
     }
 }

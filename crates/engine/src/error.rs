@@ -64,6 +64,16 @@ pub enum ExecError {
         /// Arguments given.
         given: usize,
     },
+    /// The statement ran past a resource budget (row-count or wall-clock
+    /// deadline) set via `ExecLimits` — a guard rail, not a semantic
+    /// error: the query might be valid, it is just too expensive to let
+    /// finish inside an interactive correction loop.
+    BudgetExceeded {
+        /// Which budget tripped: `"rows"` or `"time"`.
+        resource: &'static str,
+        /// The configured limit (rows, or milliseconds).
+        limit: u64,
+    },
 }
 
 impl fmt::Display for ExecError {
@@ -89,6 +99,13 @@ impl fmt::Display for ExecError {
             }
             ExecError::FunctionArity { func, given } => {
                 write!(f, "wrong number of arguments to {func} ({given} given)")
+            }
+            ExecError::BudgetExceeded { resource, limit } => {
+                let unit = if *resource == "time" { " ms" } else { " rows" };
+                write!(
+                    f,
+                    "statement exceeded its {resource} budget ({limit}{unit})"
+                )
             }
         }
     }

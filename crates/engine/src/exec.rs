@@ -20,16 +20,63 @@ use crate::schema::Database;
 use crate::value::Value;
 use fisql_sqlkit::ast::*;
 use fisql_sqlkit::print_expr;
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::cmp::Ordering;
 use std::collections::{HashMap, HashSet};
 use std::rc::Rc;
+use std::time::Instant;
+
+/// Resource budgets for one statement execution — guard rails for
+/// running model-generated SQL inside an interactive loop, where a
+/// runaway cross join must not hang the session.
+///
+/// `max_rows` bounds the rows *materialized* across the whole statement
+/// (scans, join outputs, projections — intermediate results count, not
+/// just the final result). `deadline_ms` bounds wall-clock time, checked
+/// at every materialization step and periodically inside join loops.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecLimits {
+    /// Maximum rows materialized; `None` = unbounded.
+    pub max_rows: Option<u64>,
+    /// Wall-clock deadline in milliseconds; `None` = unbounded.
+    pub deadline_ms: Option<u64>,
+}
+
+impl ExecLimits {
+    /// No budgets — the behaviour of plain [`execute`].
+    pub const UNLIMITED: ExecLimits = ExecLimits {
+        max_rows: None,
+        deadline_ms: None,
+    };
+
+    /// The default guard for interactive use: generous enough for every
+    /// benchmark query, tight enough to stop a runaway cross join.
+    pub fn interactive() -> ExecLimits {
+        ExecLimits {
+            max_rows: Some(1_000_000),
+            deadline_ms: Some(2_000),
+        }
+    }
+}
 
 /// Executes `query` against `db`.
 pub fn execute(db: &Database, query: &Query) -> ExecResult<ResultSet> {
+    execute_with_limits(db, query, ExecLimits::UNLIMITED)
+}
+
+/// Executes `query` against `db` under the given resource budgets,
+/// failing with [`ExecError::BudgetExceeded`] when one trips.
+pub fn execute_with_limits(
+    db: &Database,
+    query: &Query,
+    limits: ExecLimits,
+) -> ExecResult<ResultSet> {
     Executor {
         db,
         subquery_cache: RefCell::new(HashMap::new()),
+        limits,
+        rows_charged: Cell::new(0),
+        started: Instant::now(),
     }
     .query(query, None)
 }
@@ -151,9 +198,50 @@ struct Executor<'a> {
     /// `WHERE age = (SELECT MIN(age) FROM singer)` re-runs the inner
     /// query once per outer row.
     subquery_cache: RefCell<HashMap<String, Rc<ResultSet>>>,
+    /// Resource budgets for this statement.
+    limits: ExecLimits,
+    /// Rows materialized so far (statement-wide, across subqueries).
+    rows_charged: Cell<u64>,
+    /// When the statement started, for the wall-clock deadline.
+    started: Instant,
 }
 
 impl<'a> Executor<'a> {
+    /// Charges `n` materialized rows against the budgets. The row check
+    /// runs on every charge; the (costlier) clock read runs only when
+    /// the running total crosses a 1024-row boundary, so per-row charges
+    /// in join loops stay cheap.
+    fn charge_rows(&self, n: usize) -> ExecResult<()> {
+        let before = self.rows_charged.get();
+        let total = before.saturating_add(n as u64);
+        self.rows_charged.set(total);
+        if let Some(limit) = self.limits.max_rows {
+            if total > limit {
+                return Err(ExecError::BudgetExceeded {
+                    resource: "rows",
+                    limit,
+                });
+            }
+        }
+        if total >> 10 != before >> 10 {
+            self.check_deadline()?;
+        }
+        Ok(())
+    }
+
+    /// Checks the wall-clock deadline (called at materialization points
+    /// and periodically inside join loops).
+    fn check_deadline(&self) -> ExecResult<()> {
+        if let Some(limit) = self.limits.deadline_ms {
+            if self.started.elapsed().as_millis() as u64 > limit {
+                return Err(ExecError::BudgetExceeded {
+                    resource: "time",
+                    limit,
+                });
+            }
+        }
+        Ok(())
+    }
     // -- query / set-op level ------------------------------------------------
 
     fn query(&self, q: &Query, outer: Option<&Scope<'_>>) -> ExecResult<ResultSet> {
@@ -291,6 +379,7 @@ impl<'a> Executor<'a> {
                     .db
                     .table(name)
                     .ok_or_else(|| ExecError::UnknownTable { name: name.clone() })?;
+                self.charge_rows(table.rows.len())?;
                 Ok(Relation {
                     bindings: vec![Binding {
                         name: alias.clone().unwrap_or_else(|| table.name.clone()),
@@ -303,6 +392,7 @@ impl<'a> Executor<'a> {
             }
             TableFactor::Derived { subquery, alias } => {
                 let rs = self.query(subquery, outer)?;
+                self.charge_rows(rs.rows.len())?;
                 Ok(Relation {
                     bindings: vec![Binding {
                         name: alias.clone(),
@@ -367,6 +457,7 @@ impl<'a> Executor<'a> {
                             for &j in js {
                                 let mut row = l.clone();
                                 row.extend(right.rows[j].iter().cloned());
+                                self.charge_rows(1)?;
                                 rows.push(row);
                                 matched = true;
                                 right_matched[j] = true;
@@ -376,6 +467,7 @@ impl<'a> Executor<'a> {
                     if !matched && join.kind == JoinKind::Left {
                         let mut row = l.clone();
                         row.extend(std::iter::repeat_n(Value::Null, right.width));
+                        self.charge_rows(1)?;
                         rows.push(row);
                     }
                 }
@@ -385,15 +477,19 @@ impl<'a> Executor<'a> {
                             let mut row: Vec<Value> =
                                 std::iter::repeat_n(Value::Null, left.width).collect();
                             row.extend(right.rows[j].iter().cloned());
+                            self.charge_rows(1)?;
                             rows.push(row);
                         }
                     }
                 }
             }
             None => {
-                // Nested loop.
+                // Nested loop. A highly selective constraint can spin
+                // here for a long time without materializing anything,
+                // so the deadline is also checked per outer row.
                 let mut right_matched = vec![false; right.rows.len()];
                 for l in &left.rows {
+                    self.check_deadline()?;
                     let mut matched = false;
                     for (j, r) in right.rows.iter().enumerate() {
                         let mut row = l.clone();
@@ -410,6 +506,7 @@ impl<'a> Executor<'a> {
                             None => true,
                         };
                         if keep {
+                            self.charge_rows(1)?;
                             rows.push(row);
                             matched = true;
                             right_matched[j] = true;
@@ -418,6 +515,7 @@ impl<'a> Executor<'a> {
                     if !matched && join.kind == JoinKind::Left {
                         let mut row = l.clone();
                         row.extend(std::iter::repeat_n(Value::Null, right.width));
+                        self.charge_rows(1)?;
                         rows.push(row);
                     }
                 }
@@ -427,6 +525,7 @@ impl<'a> Executor<'a> {
                             let mut row: Vec<Value> =
                                 std::iter::repeat_n(Value::Null, left.width).collect();
                             row.extend(right.rows[j].iter().cloned());
+                            self.charge_rows(1)?;
                             rows.push(row);
                         }
                     }

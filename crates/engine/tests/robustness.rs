@@ -222,3 +222,89 @@ fn case_expression_edge_cases() {
     .unwrap();
     assert_eq!(rs.rows[0][0], Value::Text("other".into()));
 }
+
+// -- resource budgets (`ExecLimits`) ----------------------------------------
+
+#[test]
+fn row_budget_stops_runaway_cross_join() {
+    use fisql_engine::{execute_with_limits, ExecError, ExecLimits};
+    let mut db = Database::new("big");
+    let mut t = Table::new("n", vec![Column::new("v", DataType::Int)]);
+    for i in 0..200 {
+        t.push_row(vec![Value::Int(i)]);
+    }
+    db.add_table(t);
+    // 200 x 200 cross join: 40k join rows + 400 scan rows.
+    let q = fisql_sqlkit::parse_query("SELECT COUNT(*) FROM n AS a JOIN n AS b").unwrap();
+    let err = execute_with_limits(
+        &db,
+        &q,
+        ExecLimits {
+            max_rows: Some(10_000),
+            deadline_ms: None,
+        },
+    )
+    .unwrap_err();
+    assert_eq!(
+        err,
+        ExecError::BudgetExceeded {
+            resource: "rows",
+            limit: 10_000
+        }
+    );
+    assert!(err.to_string().contains("rows budget"), "{err}");
+    // The same statement under a generous budget succeeds.
+    let rs = execute_with_limits(
+        &db,
+        &q,
+        ExecLimits {
+            max_rows: Some(100_000),
+            deadline_ms: None,
+        },
+    )
+    .unwrap();
+    assert_eq!(rs.scalar().unwrap(), &Value::Int(40_000));
+}
+
+#[test]
+fn zero_deadline_trips_the_time_budget() {
+    use fisql_engine::{execute_with_limits, ExecError, ExecLimits};
+    let mut db = Database::new("big");
+    let mut t = Table::new("n", vec![Column::new("v", DataType::Int)]);
+    for i in 0..600 {
+        t.push_row(vec![Value::Int(i)]);
+    }
+    db.add_table(t);
+    // A non-equi nested-loop join keeps the executor busy long enough
+    // that the per-outer-row deadline check fires with a 0 ms budget.
+    let q =
+        fisql_sqlkit::parse_query("SELECT COUNT(*) FROM n AS a JOIN n AS b ON a.v < b.v").unwrap();
+    let err = execute_with_limits(
+        &db,
+        &q,
+        ExecLimits {
+            max_rows: None,
+            deadline_ms: Some(0),
+        },
+    )
+    .unwrap_err();
+    assert_eq!(
+        err,
+        ExecError::BudgetExceeded {
+            resource: "time",
+            limit: 0
+        }
+    );
+}
+
+#[test]
+fn unlimited_limits_match_plain_execute() {
+    use fisql_engine::{execute, execute_with_limits, ExecLimits};
+    let db = db();
+    let q = fisql_sqlkit::parse_query("SELECT name, age FROM t ORDER BY t_id").unwrap();
+    let plain = execute(&db, &q).unwrap();
+    let limited = execute_with_limits(&db, &q, ExecLimits::UNLIMITED).unwrap();
+    let guarded = execute_with_limits(&db, &q, ExecLimits::interactive()).unwrap();
+    assert_eq!(plain.rows, limited.rows);
+    assert_eq!(plain.rows, guarded.rows);
+}

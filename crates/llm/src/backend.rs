@@ -6,8 +6,25 @@
 //! local inference server, …) can slot in without touching the pipeline.
 //! The `Send + Sync` bound is load-bearing: the runner shares one backend
 //! reference across its scoped worker threads.
+//!
+//! Two traits, one failure story:
+//!
+//! - [`LanguageModel`] is the *infallible* surface: in-process backends
+//!   ([`SimLlm`]) that cannot fail.
+//! - [`FallibleLanguageModel`] is what the pipeline actually consumes:
+//!   every role returns `Result<_, BackendError>`, so remote backends can
+//!   report timeouts, rate limits, and malformed completions honestly. A
+//!   blanket impl lifts every `LanguageModel` into it (returning `Ok`
+//!   always), so existing call sites and custom infallible backends keep
+//!   working unchanged.
+//!
+//! The fault injector ([`crate::faults::FaultyBackend`]) and the retry
+//! middleware ([`crate::resilience::Resilient`]) implement only the
+//! fallible trait — they are the layers where failure is real.
 
+use crate::error::BackendResult;
 use crate::model::{GenRequest, Generation, SimLlm};
+use crate::resilience::ResilienceStats;
 use fisql_sqlkit::{EditOp, OpClass, Query};
 
 /// The three roles the paper prompts its LLM for (§3.2-3.3), plus the
@@ -47,6 +64,92 @@ pub trait LanguageModel: Send + Sync {
         example_id: usize,
         salt: u64,
     ) -> Query;
+}
+
+/// The fallible backend surface the pipeline consumes: the same six
+/// roles as [`LanguageModel`], each returning
+/// `Result<_, `[`BackendError`](crate::error::BackendError)`>`.
+///
+/// Implement this directly for backends that can fail (remote clients,
+/// the fault injector, the resilience middleware); implement
+/// [`LanguageModel`] for backends that cannot — the blanket impl lifts
+/// them here for free.
+///
+/// Determinism contract: like [`LanguageModel`], every method must be a
+/// pure function of its arguments (plus per-call attempt context, see
+/// [`crate::faults::call_attempt`]) — the evaluation runner replays
+/// faulted runs bit-for-bit at any worker count on the strength of it.
+pub trait FallibleLanguageModel: Send + Sync {
+    /// NL2SQL generation (role 1), fallibly.
+    fn try_generate_sql(&self, req: &GenRequest<'_>) -> BackendResult<Generation>;
+
+    /// Feedback-type identification (role 2), fallibly.
+    fn try_classify_feedback(&self, utterance: &str, salt: u64) -> BackendResult<OpClass>;
+
+    /// The Query Rewrite baseline's paraphrasing step, fallibly.
+    fn try_rewrite_question(&self, question: &str, feedback: &str) -> BackendResult<String>;
+
+    /// Edit success probability (calibration surface), fallibly.
+    fn try_edit_success_prob(&self, routed: bool, dynamic: bool) -> BackendResult<f64>;
+
+    /// Edit complexity multiplier (calibration surface), fallibly.
+    fn try_edit_complexity_factor(&self, edits: &[EditOp]) -> BackendResult<f64>;
+
+    /// Applies interpreted feedback edits (role 3), fallibly.
+    fn try_apply_feedback_edit_with_prob(
+        &self,
+        previous: &Query,
+        edits: &[EditOp],
+        p: f64,
+        example_id: usize,
+        salt: u64,
+    ) -> BackendResult<Query>;
+
+    /// Marks the start of a resilience session — one correction case in
+    /// the runner, one conversation in the chat surface. Middleware
+    /// resets per-session state (circuit breaker, deadline clock) here;
+    /// plain backends need not care.
+    fn begin_session(&self) {}
+
+    /// Cumulative resilience telemetry, when this backend (or a layer
+    /// inside it) is retry middleware. `None` for plain backends.
+    fn resilience_stats(&self) -> Option<ResilienceStats> {
+        None
+    }
+}
+
+/// Every infallible backend is trivially a fallible one.
+impl<T: LanguageModel + ?Sized> FallibleLanguageModel for T {
+    fn try_generate_sql(&self, req: &GenRequest<'_>) -> BackendResult<Generation> {
+        Ok(self.generate_sql(req))
+    }
+
+    fn try_classify_feedback(&self, utterance: &str, salt: u64) -> BackendResult<OpClass> {
+        Ok(self.classify_feedback(utterance, salt))
+    }
+
+    fn try_rewrite_question(&self, question: &str, feedback: &str) -> BackendResult<String> {
+        Ok(self.rewrite_question(question, feedback))
+    }
+
+    fn try_edit_success_prob(&self, routed: bool, dynamic: bool) -> BackendResult<f64> {
+        Ok(self.edit_success_prob(routed, dynamic))
+    }
+
+    fn try_edit_complexity_factor(&self, edits: &[EditOp]) -> BackendResult<f64> {
+        Ok(self.edit_complexity_factor(edits))
+    }
+
+    fn try_apply_feedback_edit_with_prob(
+        &self,
+        previous: &Query,
+        edits: &[EditOp],
+        p: f64,
+        example_id: usize,
+        salt: u64,
+    ) -> BackendResult<Query> {
+        Ok(self.apply_feedback_edit_with_prob(previous, edits, p, example_id, salt))
+    }
 }
 
 impl LanguageModel for SimLlm {
@@ -123,5 +226,39 @@ mod tests {
             dynamic.edit_success_prob(true, false),
             llm.edit_success_prob(true, false)
         );
+    }
+
+    #[test]
+    fn blanket_impl_lifts_infallible_backends() {
+        let llm = SimLlm::new(LlmConfig::default());
+        let fallible: &dyn FallibleLanguageModel = &llm;
+        let corpus = build_aep(&AepConfig {
+            n_examples: 3,
+            seed: 21,
+        });
+        let req = GenRequest {
+            example: &corpus.examples[0],
+            demos: 0,
+            hint_text: "",
+            salt: 0,
+            mode: GenMode::Initial,
+        };
+        assert_eq!(
+            fallible.try_generate_sql(&req).unwrap().query,
+            llm.generate_sql(&req).query
+        );
+        assert_eq!(
+            fallible.try_classify_feedback("we are in 2024", 0).unwrap(),
+            llm.classify_feedback("we are in 2024", 0)
+        );
+        assert_eq!(
+            fallible
+                .try_rewrite_question("how many?", "we are in 2024")
+                .unwrap(),
+            llm.rewrite_question("how many?", "we are in 2024")
+        );
+        // Plain backends expose no resilience machinery.
+        assert!(fallible.resilience_stats().is_none());
+        fallible.begin_session(); // a no-op, but callable
     }
 }

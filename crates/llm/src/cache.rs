@@ -85,6 +85,12 @@ impl<K: Eq + Hash, V: Clone> ConcurrentCache<K, V> {
     }
 
     /// Looks up `key`, recording a hit or miss.
+    ///
+    /// Poison-tolerant: cache entries are pure-function results, so a
+    /// panic on another thread mid-insert cannot leave a torn value —
+    /// at worst a key is missing, which is just a miss. Propagating the
+    /// poison would instead cascade one worker's panic into every
+    /// cache user.
     pub fn get<Q>(&self, key: &Q) -> Option<V>
     where
         K: Borrow<Q>,
@@ -93,7 +99,7 @@ impl<K: Eq + Hash, V: Clone> ConcurrentCache<K, V> {
         let got = self
             .map
             .read()
-            .expect("cache lock poisoned")
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
             .get(key)
             .cloned();
         if got.is_some() {
@@ -112,14 +118,17 @@ impl<K: Eq + Hash, V: Clone> ConcurrentCache<K, V> {
     pub fn insert(&self, key: K, value: V) {
         self.map
             .write()
-            .expect("cache lock poisoned")
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
             .entry(key)
             .or_insert(value);
     }
 
     /// Number of cached entries.
     pub fn len(&self) -> usize {
-        self.map.read().expect("cache lock poisoned").len()
+        self.map
+            .read()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .len()
     }
 
     /// Whether the cache holds no entries.

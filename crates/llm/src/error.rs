@@ -1,0 +1,175 @@
+//! Typed backend failures.
+//!
+//! The paper's assistant sits on a remote `gpt-3.5-turbo` endpoint; a
+//! production deployment of the pipeline has to survive that endpoint
+//! timing out, rate-limiting, or returning garbage. [`BackendError`] is
+//! the honest vocabulary for those outcomes, consumed by the retry
+//! middleware ([`crate::resilience`]) and, past the retry budget, by the
+//! correction loop's graceful-degradation path in `fisql-core`.
+
+use std::fmt;
+
+/// Why one backend call failed.
+///
+/// The first four variants are *call-level* outcomes a single attempt can
+/// produce (and the fault injector [`crate::faults::FaultyBackend`] can
+/// synthesize); [`BackendError::Exhausted`] is the *aggregate* outcome the
+/// resilience middleware reports once its attempt budget, session
+/// deadline, or circuit breaker gave up — carrying the last call-level
+/// error as its chain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BackendError {
+    /// The call exceeded its wall-clock budget.
+    Timeout {
+        /// How long the attempt ran before being cut off, milliseconds.
+        elapsed_ms: u64,
+    },
+    /// The endpoint asked us to back off.
+    RateLimited {
+        /// Server-provided retry hint, milliseconds.
+        retry_after_ms: u64,
+    },
+    /// A transient transport/server fault (connection reset, 5xx, …).
+    Transient {
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// The backend answered, but the payload was unusable (unparsable
+    /// SQL, empty completion, refused instruction).
+    MalformedOutput {
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// The resilience layer gave up: attempt budget spent, session
+    /// deadline passed, or circuit breaker open.
+    Exhausted {
+        /// Attempts actually made (0 when the breaker rejected the call
+        /// before any attempt).
+        attempts: u32,
+        /// Why the layer stopped retrying.
+        reason: ExhaustedReason,
+        /// The last call-level error observed, if any (the error chain).
+        last: Option<Box<BackendError>>,
+    },
+}
+
+/// Why the resilience layer stopped retrying.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExhaustedReason {
+    /// Every budgeted attempt failed.
+    AttemptBudget,
+    /// The per-session deadline passed (counting backoff time).
+    SessionDeadline,
+    /// The circuit breaker was open and rejected the call outright.
+    BreakerOpen,
+}
+
+impl BackendError {
+    /// Whether a retry could plausibly change the outcome. `Exhausted` is
+    /// terminal by construction.
+    pub fn is_retryable(&self) -> bool {
+        !matches!(self, BackendError::Exhausted { .. })
+    }
+
+    /// Server-suggested minimum delay before the next attempt,
+    /// milliseconds (only rate-limit responses carry one).
+    pub fn retry_after_ms(&self) -> Option<u64> {
+        match self {
+            BackendError::RateLimited { retry_after_ms } => Some(*retry_after_ms),
+            _ => None,
+        }
+    }
+
+    /// Renders the error and its chain on one line, outermost first —
+    /// what degradation events record in transcripts and reports.
+    pub fn chain(&self) -> String {
+        let mut out = self.to_string();
+        let mut cur: &dyn std::error::Error = self;
+        while let Some(src) = cur.source() {
+            out.push_str(": ");
+            out.push_str(&src.to_string());
+            cur = src;
+        }
+        out
+    }
+}
+
+impl fmt::Display for BackendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BackendError::Timeout { elapsed_ms } => {
+                write!(f, "backend call timed out after {elapsed_ms} ms")
+            }
+            BackendError::RateLimited { retry_after_ms } => {
+                write!(f, "backend rate-limited (retry after {retry_after_ms} ms)")
+            }
+            BackendError::Transient { detail } => write!(f, "transient backend fault: {detail}"),
+            BackendError::MalformedOutput { detail } => {
+                write!(f, "backend returned malformed output: {detail}")
+            }
+            BackendError::Exhausted {
+                attempts, reason, ..
+            } => {
+                let why = match reason {
+                    ExhaustedReason::AttemptBudget => "attempt budget spent",
+                    ExhaustedReason::SessionDeadline => "session deadline passed",
+                    ExhaustedReason::BreakerOpen => "circuit breaker open",
+                };
+                write!(f, "backend exhausted after {attempts} attempt(s) ({why})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BackendError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BackendError::Exhausted {
+                last: Some(last), ..
+            } => Some(last.as_ref()),
+            _ => None,
+        }
+    }
+}
+
+/// Result alias for fallible backend calls.
+pub type BackendResult<T> = Result<T, BackendError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_chain_render_the_full_story() {
+        let e = BackendError::Exhausted {
+            attempts: 3,
+            reason: ExhaustedReason::AttemptBudget,
+            last: Some(Box::new(BackendError::RateLimited {
+                retry_after_ms: 250,
+            })),
+        };
+        let chain = e.chain();
+        assert!(chain.contains("exhausted after 3 attempt(s)"), "{chain}");
+        assert!(chain.contains("retry after 250 ms"), "{chain}");
+    }
+
+    #[test]
+    fn retryability_and_hints() {
+        assert!(BackendError::Timeout { elapsed_ms: 10 }.is_retryable());
+        assert!(BackendError::MalformedOutput {
+            detail: "empty".into()
+        }
+        .is_retryable());
+        let exhausted = BackendError::Exhausted {
+            attempts: 1,
+            reason: ExhaustedReason::BreakerOpen,
+            last: None,
+        };
+        assert!(!exhausted.is_retryable());
+        assert_eq!(
+            BackendError::RateLimited { retry_after_ms: 42 }.retry_after_ms(),
+            Some(42)
+        );
+        assert_eq!(exhausted.retry_after_ms(), None);
+    }
+}

@@ -21,17 +21,23 @@ pub mod backend;
 pub mod cache;
 pub mod calibration;
 pub mod embedding;
+pub mod error;
+pub mod faults;
 pub mod model;
 pub mod prompt;
+pub mod resilience;
 pub mod retrieval;
 pub mod routing_pool;
 
-pub use backend::LanguageModel;
+pub use backend::{FallibleLanguageModel, LanguageModel};
 pub use cache::{CacheStats, ConcurrentCache};
 pub use calibration::Calibration;
 pub use embedding::Embedding;
+pub use error::{BackendError, BackendResult, ExhaustedReason};
+pub use faults::{FaultConfig, FaultyBackend, FAULT_RATE_ENV};
 pub use model::{
     channel_resolved_by_text, keyword_route, GenMode, GenRequest, Generation, LlmConfig, SimLlm,
 };
+pub use resilience::{BreakerState, ResilienceConfig, ResilienceStats, Resilient};
 pub use retrieval::{DemoStore, Demonstration};
 pub use routing_pool::{clause_inventory, ClauseKind, FeedbackDemo, RoutingPool};

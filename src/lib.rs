@@ -57,8 +57,9 @@ pub mod prelude {
     };
     pub use fisql_feedback::{Feedback, SimUser, UserConfig, UserView};
     pub use fisql_llm::{
-        Calibration, DemoStore, Demonstration, GenMode, GenRequest, LanguageModel, LlmConfig,
-        SimLlm,
+        BackendError, BackendResult, Calibration, DemoStore, Demonstration, ExhaustedReason,
+        FallibleLanguageModel, FaultConfig, FaultyBackend, GenMode, GenRequest, LanguageModel,
+        LlmConfig, ResilienceConfig, ResilienceStats, Resilient, SimLlm,
     };
     pub use fisql_spider::{
         build_aep, build_spider, AepConfig, Corpus, Example, Hardness, SpiderConfig,

@@ -183,20 +183,37 @@ fn main() {
     println!("bye.");
 }
 
-/// `fisql --eval [--workers N]`: the sharded correction evaluation on the
-/// bundled SPIDER-like and AEP-like corpora.
-fn run_eval(args: &[String]) {
-    let workers = args
-        .iter()
-        .position(|a| a == "--workers")
+/// Parses `--flag value` from the argument list, exiting on a malformed
+/// value.
+fn flag_value<T: std::str::FromStr>(args: &[String], flag: &str) -> Option<T> {
+    args.iter()
+        .position(|a| a == flag)
         .and_then(|i| args.get(i + 1))
         .map(|v| {
             v.parse().unwrap_or_else(|_| {
-                eprintln!("error: --workers expects a number, got `{v}`");
+                eprintln!("error: {flag} expects a number, got `{v}`");
                 std::process::exit(2);
             })
         })
-        .unwrap_or_else(fisql_core::workers_from_env);
+}
+
+/// `fisql --eval [--workers N] [--fault-rate R] [--retry-budget B]`: the
+/// sharded correction evaluation on the bundled SPIDER-like and AEP-like
+/// corpora.
+///
+/// `--fault-rate R` injects deterministic backend faults at total rate
+/// `R` (e.g. `0.2`), split evenly across timeouts, rate limits,
+/// transient faults, and malformed output; `--retry-budget B` sets the
+/// resilience layer's attempts per call (default 3). With faults the
+/// correction loop degrades gracefully — failed rounds keep the previous
+/// SQL — and the printed metrics include retry/breaker/degradation
+/// counts. `FISQL_FAULT_RATE` is honoured when the flag is absent.
+fn run_eval(args: &[String]) {
+    let workers = flag_value(args, "--workers").unwrap_or_else(fisql_core::workers_from_env);
+    let fault_rate: f64 = flag_value(args, "--fault-rate")
+        .or_else(|| FaultConfig::from_env().map(|c| c.total_rate()))
+        .unwrap_or(0.0);
+    let retry_budget: u32 = flag_value(args, "--retry-budget").unwrap_or(3);
 
     let spider = build_spider(&SpiderConfig {
         n_databases: 12,
@@ -209,14 +226,31 @@ fn run_eval(args: &[String]) {
     });
     let llm = SimLlm::new(LlmConfig::default());
     let user = SimUser::new(UserConfig::default());
+    // The chaos stack: faults injected under the simulated model, retries
+    // and breaker on top. Built even at rate 0 — the zero-rate injector
+    // passes everything through, and `Resilient` adds only bookkeeping —
+    // so the eval path is identical with and without chaos.
+    let chaos = Resilient::new(
+        FaultyBackend::new(llm.clone(), FaultConfig::uniform(fault_rate)),
+        ResilienceConfig {
+            attempt_budget: retry_budget,
+            ..ResilienceConfig::default()
+        },
+    );
 
     for corpus in [&spider, &aep] {
-        let run = CorrectionRun::new(corpus, &llm, &user)
+        // Error collection runs the Assistant front end (SimLlm-specific);
+        // the correction loop proper runs through the chaos stack.
+        let collect = CorrectionRun::new(corpus, &llm, &user)
             .demos_k(3)
             .rounds(2)
             .workers(workers);
-        let errors = run.collect_errors();
-        let cases = run.annotate(&errors);
+        let errors = collect.collect_errors();
+        let cases = collect.annotate(&errors);
+        let run = CorrectionRun::new(corpus, &chaos, &user)
+            .demos_k(3)
+            .rounds(2)
+            .workers(workers);
         let report = run.run(&cases);
         let m = &report.metrics;
         println!(
@@ -235,5 +269,19 @@ fn run_eval(args: &[String]) {
             m.engine_executions,
             100.0 * m.cache_hit_rate(),
         );
+        if fault_rate > 0.0 {
+            let r = &m.resilience;
+            println!(
+                "  faults: rate {:.0}%, {} attempts / {} calls, {} retries, {} breaker trips, \
+                 {} rounds degraded in {} case(s)",
+                100.0 * fault_rate,
+                r.attempts,
+                r.calls,
+                r.retries,
+                r.breaker_trips,
+                report.degraded_rounds,
+                report.cases_degraded,
+            );
+        }
     }
 }

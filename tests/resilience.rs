@@ -1,0 +1,185 @@
+//! Chaos suite: contracts of the fault-tolerant backend stack.
+//!
+//! - With faults disabled, the resilience middleware is *invisible*: a
+//!   `Resilient<SimLlm>` run is bit-identical to the plain path at any
+//!   worker count.
+//! - With faults enabled, the fault schedule is a pure function of the
+//!   call context, so chaos runs replay bit-for-bit at 1/4/8 workers and
+//!   across reruns.
+//! - Degradation is *graceful*: a full outage completes without panic and
+//!   lands exactly on the no-feedback baseline — never below it.
+
+use fisql::prelude::*;
+
+fn setup() -> (Corpus, SimLlm, SimUser) {
+    let corpus = build_spider(&SpiderConfig {
+        n_databases: 10,
+        n_examples: 80,
+        seed: 0xC4A05,
+    });
+    let llm = SimLlm::new(LlmConfig::default());
+    let user = SimUser::new(UserConfig::default());
+    (corpus, llm, user)
+}
+
+/// Error collection and annotation run on the plain (infallible) model:
+/// the chaos stack only wraps the correction loop, mirroring the CLI.
+fn annotated(corpus: &Corpus, llm: &SimLlm, user: &SimUser) -> Vec<AnnotatedCase> {
+    let plain = CorrectionRun::new(corpus, llm, user).demos_k(3);
+    let errors = plain.collect_errors();
+    plain.annotate(&errors)
+}
+
+const STRATEGY: Strategy = Strategy::Fisql {
+    routing: true,
+    highlighting: false,
+};
+
+#[test]
+fn resilient_wrapper_is_invisible_without_faults() {
+    let (corpus, llm, user) = setup();
+    let cases = annotated(&corpus, &llm, &user);
+    assert!(cases.len() >= 5, "need a non-trivial case set");
+
+    let plain = CorrectionRun::new(&corpus, &llm, &user)
+        .demos_k(3)
+        .strategy(STRATEGY)
+        .rounds(2)
+        .workers(1)
+        .run(&cases);
+    let plain_json = serde_json::to_string(&plain).unwrap();
+
+    let resilient = Resilient::with_defaults(llm.clone());
+    let wrapped = CorrectionRun::new(&corpus, &resilient, &user)
+        .demos_k(3)
+        .strategy(STRATEGY)
+        .rounds(2);
+    for workers in [1usize, 4, 8] {
+        let report = wrapped.workers(workers).run(&cases);
+        assert_eq!(
+            serde_json::to_string(&report).unwrap(),
+            plain_json,
+            "Resilient<SimLlm> diverged from the seed path at {workers} workers"
+        );
+        assert_eq!(report.degraded_rounds, 0);
+        assert_eq!(report.metrics.resilience.retries, 0);
+    }
+}
+
+#[test]
+fn faulted_runs_replay_bit_identical_at_any_worker_count() {
+    let (corpus, llm, user) = setup();
+    let cases = annotated(&corpus, &llm, &user);
+
+    let chaos = Resilient::new(
+        FaultyBackend::new(llm.clone(), FaultConfig::uniform(0.2)),
+        ResilienceConfig {
+            attempt_budget: 3,
+            ..Default::default()
+        },
+    );
+    let run = CorrectionRun::new(&corpus, &chaos, &user)
+        .demos_k(3)
+        .strategy(STRATEGY)
+        .rounds(2);
+
+    let serial = run.workers(1).run(&cases);
+    let serial_json = serde_json::to_string(&serial).unwrap();
+    assert!(
+        serial.metrics.resilience.retries > 0,
+        "a 20% fault rate with budget 3 must retry at least once"
+    );
+    assert!(serial.metrics.resilience.attempts > serial.metrics.resilience.calls);
+
+    for workers in [4usize, 8] {
+        let parallel = run.workers(workers).run(&cases);
+        assert_eq!(
+            serde_json::to_string(&parallel).unwrap(),
+            serial_json,
+            "faulted report diverged at {workers} workers"
+        );
+        // The volatile telemetry is worker-invariant too: the fault and
+        // retry schedules are pure functions of per-call context.
+        assert_eq!(parallel.metrics.resilience, serial.metrics.resilience);
+    }
+
+    // Rerun determinism: a fresh, identically-configured stack replays
+    // the exact same chaos run.
+    let chaos2 = Resilient::new(
+        FaultyBackend::new(llm.clone(), FaultConfig::uniform(0.2)),
+        ResilienceConfig {
+            attempt_budget: 3,
+            ..Default::default()
+        },
+    );
+    let rerun = CorrectionRun::new(&corpus, &chaos2, &user)
+        .demos_k(3)
+        .strategy(STRATEGY)
+        .rounds(2)
+        .workers(4)
+        .run(&cases);
+    assert_eq!(serde_json::to_string(&rerun).unwrap(), serial_json);
+    // Backoff jitter is seeded per middleware *instance*, so the summed
+    // backoff_ms legitimately differs by a few milliseconds between two
+    // stacks; every discrete counter must still replay exactly.
+    let (mut a, mut b) = (rerun.metrics.resilience, serial.metrics.resilience);
+    a.backoff_ms = 0;
+    b.backoff_ms = 0;
+    assert_eq!(a, b);
+}
+
+#[test]
+fn full_outage_degrades_to_the_no_feedback_baseline() {
+    let (corpus, llm, user) = setup();
+    let cases = annotated(&corpus, &llm, &user);
+    let rounds = 2usize;
+
+    // Every non-calibration backend call faults: the correction loop gets
+    // zero usable model turns, which must degrade every round — the
+    // result is exactly the no-feedback baseline (no corrections), and a
+    // run that completes without panicking.
+    // A hair-trigger breaker (trip on the first exhausted call, 1
+    // cooldown call) so each case's two correction rounds exercise the
+    // full closed -> open -> fast-fail path: round 1 exhausts its
+    // attempt budget and trips, round 2 is rejected by the open breaker.
+    let chaos = Resilient::new(
+        FaultyBackend::new(llm.clone(), FaultConfig::uniform(1.0)),
+        ResilienceConfig {
+            attempt_budget: 2,
+            failure_threshold: 1,
+            cooldown_calls: 1,
+            ..Default::default()
+        },
+    );
+    let report = CorrectionRun::new(&corpus, &chaos, &user)
+        .demos_k(3)
+        .strategy(STRATEGY)
+        .rounds(rounds)
+        .workers(4)
+        .run(&cases);
+
+    assert_eq!(report.total, cases.len());
+    for round in 1..=rounds {
+        assert_eq!(
+            report.pct_after(round),
+            0.0,
+            "degradation must never correct (or uncorrect) anything"
+        );
+    }
+    assert_eq!(report.cases_degraded, cases.len());
+    assert_eq!(report.degraded_rounds, (cases.len() * rounds) as u64);
+
+    // The breaker actually engaged: consecutive failures walk it to
+    // Open (a trip), the cooldown fast-fails callers, then a half-open
+    // probe re-opens it — all visible in the run telemetry.
+    let stats = report.metrics.resilience;
+    assert!(
+        stats.breaker_trips > 0,
+        "a full outage must trip the breaker"
+    );
+    assert!(
+        stats.breaker_fast_fails > 0,
+        "an open breaker must fast-fail at least one call"
+    );
+    assert!(stats.exhausted > 0);
+}
