@@ -55,7 +55,7 @@ fn bench_scan_filter(c: &mut Criterion) {
         let t = db.tables[0].name.clone();
         let q = parse_query(&format!("SELECT COUNT(*) FROM {t} WHERE {t}_id % 3 = 0")).unwrap();
         g.bench_with_input(BenchmarkId::from_parameter(rows), &rows, |b, _| {
-            b.iter(|| execute(black_box(&db), black_box(&q)).unwrap())
+            b.iter(|| execute(black_box(&db), black_box(&q)).unwrap());
         });
     }
     g.finish();
@@ -78,10 +78,10 @@ fn bench_joins(c: &mut Criterion) {
     .unwrap();
     let mut g = c.benchmark_group("join");
     g.bench_function("hash_equi", |b| {
-        b.iter(|| execute(black_box(&db), black_box(&hash)).unwrap())
+        b.iter(|| execute(black_box(&db), black_box(&hash)).unwrap());
     });
     g.bench_function("nested_loop", |b| {
-        b.iter(|| execute(black_box(&db), black_box(&nested)).unwrap())
+        b.iter(|| execute(black_box(&db), black_box(&nested)).unwrap());
     });
     g.finish();
 }
@@ -101,7 +101,7 @@ fn bench_aggregate(c: &mut Criterion) {
     ))
     .unwrap();
     c.bench_function("aggregate/group_having", |b| {
-        b.iter(|| execute(black_box(&db), black_box(&q)).unwrap())
+        b.iter(|| execute(black_box(&db), black_box(&q)).unwrap());
     });
 }
 
@@ -114,7 +114,7 @@ fn bench_set_ops(c: &mut Criterion) {
     ))
     .unwrap();
     c.bench_function("set_ops/union_except", |b| {
-        b.iter(|| execute(black_box(&db), black_box(&q)).unwrap())
+        b.iter(|| execute(black_box(&db), black_box(&q)).unwrap());
     });
 }
 

@@ -20,10 +20,10 @@ fn bench_zero_shot(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig2_zero_shot");
     g.sample_size(20);
     g.bench_function("spider_like", |b| {
-        b.iter(|| zero_shot_report(black_box(&spider), black_box(&llm)))
+        b.iter(|| zero_shot_report(black_box(&spider), black_box(&llm)));
     });
     g.bench_function("aep_like", |b| {
-        b.iter(|| zero_shot_report(black_box(&aep), black_box(&llm)))
+        b.iter(|| zero_shot_report(black_box(&aep), black_box(&llm)));
     });
     g.finish();
 
@@ -37,7 +37,7 @@ fn bench_corpus_generation(c: &mut Criterion) {
     let mut g = c.benchmark_group("corpus_generation");
     g.sample_size(10);
     g.bench_function("spider_small", |b| {
-        b.iter(|| build_spider(&SpiderConfig::small(black_box(7))))
+        b.iter(|| build_spider(&SpiderConfig::small(black_box(7))));
     });
     g.bench_function("aep_60", |b| {
         b.iter(|| {
@@ -45,7 +45,7 @@ fn bench_corpus_generation(c: &mut Criterion) {
                 n_examples: 60,
                 seed: black_box(7),
             })
-        })
+        });
     });
     g.finish();
 }

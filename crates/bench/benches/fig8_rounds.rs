@@ -23,7 +23,7 @@ fn bench_rounds(c: &mut Criterion) {
                         })
                         .rounds(rounds)
                         .run(black_box(&cases))
-                })
+                });
             });
         }
     }

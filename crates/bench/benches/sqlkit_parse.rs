@@ -31,7 +31,7 @@ fn bench_print(c: &mut Criterion) {
 fn bench_normalize(c: &mut Criterion) {
     let q = parse_query(MEDIUM).unwrap();
     c.bench_function("normalize/medium", |b| {
-        b.iter(|| normalize_query(black_box(&q)))
+        b.iter(|| normalize_query(black_box(&q)));
     });
 }
 
@@ -41,7 +41,7 @@ fn bench_diff(c: &mut Criterion) {
     let g =
         parse_query("SELECT COUNT(*) FROM s WHERE y >= '2024-01-01' AND y < '2024-02-01'").unwrap();
     c.bench_function("diff/year_shift", |b| {
-        b.iter(|| diff_queries(black_box(&p), black_box(&g)))
+        b.iter(|| diff_queries(black_box(&p), black_box(&g)));
     });
 }
 

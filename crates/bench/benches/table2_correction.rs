@@ -39,7 +39,7 @@ fn bench_table2(c: &mut Criterion) {
                     .strategy(strategy)
                     .rounds(1)
                     .run(black_box(&cases))
-            })
+            });
         });
     }
     g.finish();
@@ -72,9 +72,10 @@ fn bench_table2(c: &mut Criterion) {
                         previous: black_box(&previous),
                         feedback: &case.feedback,
                         round: 0,
+                        conformance_gate: false,
                     },
                 )
-            })
+            });
         });
     }
     g.finish();

@@ -25,7 +25,7 @@ fn bench_highlight(c: &mut Criterion) {
                     })
                     .rounds(1)
                     .run(black_box(&cases))
-            })
+            });
         });
     }
     g.finish();
@@ -53,7 +53,7 @@ fn bench_highlight(c: &mut Criterion) {
                 Some(hl),
                 &mut rng,
             )
-        })
+        });
     });
     group.bench_function("without_highlight", |b| {
         b.iter(|| {
@@ -66,10 +66,10 @@ fn bench_highlight(c: &mut Criterion) {
                 None,
                 &mut rng,
             )
-        })
+        });
     });
     group.bench_function("span_map_build", |b| {
-        b.iter(|| print_query_spanned(black_box(&predicted)))
+        b.iter(|| print_query_spanned(black_box(&predicted)));
     });
     group.finish();
 }

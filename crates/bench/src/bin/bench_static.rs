@@ -1,0 +1,114 @@
+//! Static-analysis benchmark: equivalence oracle + conformance gate.
+//!
+//! Runs the SPIDER-subset correction experiment with the static
+//! equivalence oracle and the feedback-conformance gate on and off, and
+//! asserts the acceptance invariants of both features:
+//!
+//! - the oracle skips at least one engine execution at every worker
+//!   count, without changing a single verdict;
+//! - the conformance-gated report is byte-identical to the gate-off
+//!   report except for the new agreement/retry counters.
+//!
+//! Emits `BENCH_static.json`; CI uploads it as a workflow artifact.
+//!
+//! Run: `FISQL_SCALE=small cargo run --release -p fisql-bench --bin bench_static`
+
+use fisql_bench::{annotated_cases, runner, Setup};
+use fisql_core::{CorrectionReport, Strategy};
+
+fn main() {
+    let setup = Setup::from_env();
+    println!("# Static-analysis benchmark (seed {})\n", setup.seed);
+
+    let (_, cases) = annotated_cases(&setup, &setup.spider);
+    println!("annotated SPIDER feedback set: {} cases", cases.len());
+
+    let strategy = Strategy::Fisql {
+        routing: true,
+        highlighting: false,
+    };
+    let rounds = 2;
+    let run_with = |workers: usize, oracle: bool, gate: bool| -> CorrectionReport {
+        runner(&setup, &setup.spider)
+            .strategy(strategy)
+            .rounds(rounds)
+            .workers(workers)
+            .static_oracle(oracle)
+            .conformance_gate(gate)
+            .run(&cases)
+    };
+
+    // Warm the embedding/selection caches.
+    let _ = run_with(1, false, false);
+
+    let baseline = run_with(1, false, false);
+    let baseline_json = serde_json::to_string(&baseline).unwrap();
+
+    println!(
+        "\n{:>8} {:>14} {:>12} {:>12} {:>10}",
+        "workers", "exec skipped", "executions", "agreements", "retries"
+    );
+    let mut rows = Vec::new();
+    for workers in [1usize, 2] {
+        let report = run_with(workers, true, true);
+
+        // Oracle acceptance: at least one execution skipped statically,
+        // verdicts untouched.
+        assert!(
+            report.executions_skipped_static >= 1,
+            "no executions skipped statically at {workers} workers"
+        );
+        assert_eq!(
+            report.corrected_after_round, baseline.corrected_after_round,
+            "oracle/gate changed verdicts at {workers} workers"
+        );
+
+        // Gate acceptance: zeroing the new counters makes the report
+        // byte-identical to the oracle-off/gate-off baseline.
+        let mut neutered = report.clone();
+        neutered.executions_skipped_static = 0;
+        neutered.router_realized_agreements = 0;
+        neutered.router_realized_disagreements = 0;
+        neutered.conformance_retries = 0;
+        assert_eq!(
+            serde_json::to_string(&neutered).unwrap(),
+            baseline_json,
+            "gated report differs beyond the new counters at {workers} workers"
+        );
+
+        let m = &report.metrics;
+        println!(
+            "{:>8} {:>14} {:>12} {:>12} {:>10}",
+            m.workers,
+            report.executions_skipped_static,
+            m.engine_executions,
+            report.router_realized_agreements,
+            report.conformance_retries,
+        );
+        rows.push(serde_json::json!({
+            "requested_workers": workers,
+            "effective_workers": m.workers,
+            "wall_ms": m.wall_ms,
+            "engine_executions": m.engine_executions,
+            "executions_skipped_static": report.executions_skipped_static,
+            "router_realized_agreements": report.router_realized_agreements,
+            "router_realized_disagreements": report.router_realized_disagreements,
+            "conformance_retries": report.conformance_retries,
+            "agreement_rate": m.agreement.agreement_rate(),
+            "report_identical_modulo_counters": true,
+        }));
+    }
+
+    let json = serde_json::json!({
+        "seed": setup.seed,
+        "cases": cases.len(),
+        "rounds": rounds,
+        "strategy": baseline.strategy,
+        "corrected_after_round": baseline.corrected_after_round,
+        "baseline_engine_executions": baseline.metrics.engine_executions,
+        "runs": rows,
+    });
+    let out = "BENCH_static.json";
+    std::fs::write(out, json.to_string()).expect("write BENCH_static.json");
+    println!("\nwrote {out}");
+}

@@ -44,6 +44,7 @@ fn main() {
                     previous: &previous,
                     feedback: &case.feedback,
                     round: 0,
+                    conformance_gate: false,
                 },
             );
             if check_prediction(db, example, &out.query).is_correct() {
@@ -101,6 +102,7 @@ fn main() {
                         previous: &normalize_query(&case.error.initial),
                         feedback: &case.feedback,
                         round: 0,
+                        conformance_gate: false,
                     },
                 );
                 if out.gate.has_errors() {

@@ -136,6 +136,7 @@ pub fn analyze_round(
                 previous: &previous,
                 feedback: &case.feedback,
                 round: 0,
+                conformance_gate: false,
             },
         );
         if check_prediction(db, example, &out.query).is_correct() {

@@ -14,16 +14,10 @@
 //!    producing the % instances corrected per round (Tables 2-3,
 //!    Figure 8) — sharded across worker threads, bit-identical at any
 //!    worker count.
-//!
-//! The positional free functions ([`collect_errors`], [`annotate_errors`],
-//! [`run_correction`]) remain as thin deprecated shims over the
-//! [`CorrectionRun`](crate::runner::CorrectionRun) builder for one
-//! release.
 
-use crate::pipeline::Strategy;
-use crate::runner::{CorrectionRun, ExperimentConfig, RunMetrics};
+use crate::runner::RunMetrics;
 use fisql_engine::ExecLimits;
-use fisql_feedback::{Feedback, SimUser, UserView};
+use fisql_feedback::{Feedback, UserView};
 use fisql_llm::SimLlm;
 use fisql_spider::{evaluate, AccuracyReport, Corpus};
 use fisql_sqlkit::{print_query_spanned, Query};
@@ -61,21 +55,6 @@ pub struct ErrorCase {
     pub execution_error: bool,
 }
 
-/// Runs the production Assistant (few-shot RAG) over the corpus and
-/// collects the error cases.
-#[deprecated(
-    since = "0.2.0",
-    note = "use the `CorrectionRun` builder: `CorrectionRun::new(corpus, llm, user).demos_k(k).collect_errors()`"
-)]
-pub fn collect_errors(corpus: &Corpus, llm: &SimLlm, demos_k: usize) -> Vec<ErrorCase> {
-    // The shim has no `SimUser`; error collection never consults one.
-    let placeholder_user = SimUser::new(fisql_feedback::UserConfig::default());
-    CorrectionRun::new(corpus, llm, &placeholder_user)
-        .demos_k(demos_k)
-        .workers(1)
-        .collect_errors()
-}
-
 /// An error case the simulated user could and did annotate.
 #[derive(Debug, Clone)]
 pub struct AnnotatedCase {
@@ -83,24 +62,6 @@ pub struct AnnotatedCase {
     pub error: ErrorCase,
     /// The round-0 feedback.
     pub feedback: Feedback,
-}
-
-/// Asks the simulated user for feedback on every error; keeps the
-/// annotatable subset (the paper's 101-of-243).
-#[deprecated(
-    since = "0.2.0",
-    note = "use the `CorrectionRun` builder: `CorrectionRun::new(corpus, llm, user).annotate(errors)`"
-)]
-pub fn annotate_errors(
-    corpus: &Corpus,
-    errors: &[ErrorCase],
-    user: &SimUser,
-) -> Vec<AnnotatedCase> {
-    // Annotation never consults the LLM; any backend satisfies the shim.
-    let placeholder_llm = SimLlm::new(fisql_llm::LlmConfig::default());
-    CorrectionRun::new(corpus, &placeholder_llm, user)
-        .workers(1)
-        .annotate(errors)
 }
 
 /// Assembles what the user sees before giving feedback (paper Figure 7).
@@ -155,6 +116,22 @@ pub struct CorrectionReport {
     /// Cases with at least one degraded round.
     #[serde(default)]
     pub cases_degraded: usize,
+    /// Engine executions skipped by the static equivalence oracle: a
+    /// candidate provably equivalent to a query the case already executed
+    /// and found incorrect inherits that verdict without running (each
+    /// skip avoids the predicted + gold pair, so this counts in twos).
+    #[serde(default)]
+    pub executions_skipped_static: u64,
+    /// Conformance-gate checks where the realized edit class agreed with
+    /// the routed feedback type (zero when the gate is off).
+    #[serde(default)]
+    pub router_realized_agreements: u64,
+    /// Conformance-gate checks that disagreed (and triggered a re-prompt).
+    #[serde(default)]
+    pub router_realized_disagreements: u64,
+    /// Conformance re-prompts issued (one per disagreement, by design).
+    #[serde(default)]
+    pub conformance_retries: u64,
     /// Per-run throughput metrics (worker count, wall time, cache hit
     /// rate, …). Excluded from serialization and comparisons: wall-clock
     /// and cache interleaving vary run to run, while every other report
@@ -178,39 +155,12 @@ impl CorrectionReport {
     }
 }
 
-/// Runs the multi-round correction protocol (§4.2, Figure 8) for one
-/// strategy over the annotated cases.
-///
-/// Round 0's feedback is the annotation itself; later rounds re-elicit
-/// feedback on the revised query. A case counts as corrected at round `r`
-/// once its execution result matches gold.
-#[deprecated(
-    since = "0.2.0",
-    note = "use the `CorrectionRun` builder: `CorrectionRun::new(corpus, llm, user).strategy(s).rounds(n).run(cases)`"
-)]
-pub fn run_correction(
-    corpus: &Corpus,
-    cases: &[AnnotatedCase],
-    strategy: Strategy,
-    rounds: usize,
-    llm: &SimLlm,
-    user: &SimUser,
-) -> CorrectionReport {
-    CorrectionRun::new(corpus, llm, user)
-        .config(ExperimentConfig {
-            strategy,
-            rounds,
-            seed: llm.cfg.seed,
-            workers: 1,
-            ..ExperimentConfig::default()
-        })
-        .run(cases)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fisql_feedback::UserConfig;
+    use crate::pipeline::Strategy;
+    use crate::runner::CorrectionRun;
+    use fisql_feedback::{SimUser, UserConfig};
     use fisql_llm::LlmConfig;
     use fisql_spider::{build_aep, AepConfig, SpiderConfig};
 
@@ -312,33 +262,6 @@ mod tests {
     }
 
     #[test]
-    fn deprecated_shims_match_builder() {
-        // The positional shims must stay behaviourally identical to the
-        // builder until they are removed.
-        #![allow(deprecated)]
-        let (corpus, llm, user) = small_setup();
-        let errors = collect_errors(&corpus, &llm, 3);
-        let builder_errors = CorrectionRun::new(&corpus, &llm, &user)
-            .demos_k(3)
-            .collect_errors();
-        assert_eq!(errors.len(), builder_errors.len());
-        let annotated = annotate_errors(&corpus, &errors, &user);
-        let strategy = Strategy::Fisql {
-            routing: true,
-            highlighting: false,
-        };
-        let shim = run_correction(&corpus, &annotated, strategy, 1, &llm, &user);
-        let built = CorrectionRun::new(&corpus, &llm, &user)
-            .strategy(strategy)
-            .rounds(1)
-            .run(&annotated);
-        assert_eq!(
-            serde_json::to_string(&shim).unwrap(),
-            serde_json::to_string(&built).unwrap()
-        );
-    }
-
-    #[test]
     fn correction_report_percentages() {
         let report = CorrectionReport {
             strategy: "FISQL".into(),
@@ -348,6 +271,10 @@ mod tests {
             executions_saved: 0,
             degraded_rounds: 0,
             cases_degraded: 0,
+            executions_skipped_static: 0,
+            router_realized_agreements: 0,
+            router_realized_disagreements: 0,
+            conformance_retries: 0,
             metrics: RunMetrics::default(),
         };
         assert!((report.pct_after(1) - 45.0).abs() < 1e-9);
@@ -366,6 +293,10 @@ mod tests {
             executions_saved: 0,
             degraded_rounds: 0,
             cases_degraded: 0,
+            executions_skipped_static: 0,
+            router_realized_agreements: 0,
+            router_realized_disagreements: 0,
+            conformance_retries: 0,
             metrics: RunMetrics::default(),
         };
         assert_eq!(report.pct_after(3), 0.0);
@@ -379,6 +310,10 @@ mod tests {
             executions_saved: 0,
             degraded_rounds: 0,
             cases_degraded: 0,
+            executions_skipped_static: 0,
+            router_realized_agreements: 0,
+            router_realized_disagreements: 0,
+            conformance_retries: 0,
             metrics: RunMetrics::default(),
         };
         assert_eq!(empty.pct_after(1), 0.0);

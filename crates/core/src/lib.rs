@@ -31,16 +31,12 @@ pub mod session;
 
 pub use analysis::{analyze_round, ErrorAnalysis, FailureCause};
 pub use assistant::{Assistant, AssistantTurn};
-#[allow(deprecated)]
-pub use experiment::{
-    annotate_errors, collect_errors, run_correction, zero_shot_report, AnnotatedCase,
-    CorrectionReport, ErrorCase,
-};
+pub use experiment::{zero_shot_report, AnnotatedCase, CorrectionReport, ErrorCase};
 pub use explain::{explain_query, reformulate};
 pub use interpret::{interpret, Interpretation};
 pub use pipeline::{
-    gate_candidate, incorporate, try_incorporate, GateOutcome, IncorporateContext,
-    IncorporateOutcome, Strategy,
+    gate_candidate, incorporate, try_incorporate, ConformanceReport, GateOutcome,
+    IncorporateContext, IncorporateOutcome, Strategy,
 };
 pub use refine::{QueryBuilder, RefineError, RefineStep};
 pub use runner::{workers_from_env, CorrectionRun, ExperimentConfig, RunMetrics};

@@ -11,7 +11,10 @@ use fisql_feedback::Feedback;
 use fisql_llm::{prompt, BackendResult, FallibleLanguageModel, GenMode, GenRequest, LanguageModel};
 use fisql_spider::Example;
 use fisql_sqlkit::check::{check_query, render_report, repair_query, Diagnostic};
-use fisql_sqlkit::{normalize_query, print_query, OpClass, Query};
+use fisql_sqlkit::{
+    diff_queries, normalize_query, print_query, print_query_spanned, realized_classes,
+    same_clause_family, OpClass, Query,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
@@ -79,6 +82,12 @@ pub struct IncorporateContext<'a> {
     pub feedback: &'a Feedback,
     /// Round number (0-based).
     pub round: u64,
+    /// Run the feedback-conformance gate: diff the candidate against the
+    /// previous query and verify the realized edit class (and, with
+    /// highlighting, the touched clause) agrees with the routed feedback
+    /// type; a non-conformant candidate gets one re-prompt with the
+    /// conformance diagnostic folded in.
+    pub conformance_gate: bool,
 }
 
 /// The result of one incorporation step.
@@ -98,6 +107,24 @@ pub struct IncorporateOutcome {
     /// What the static-analysis gate found (and possibly fixed) in the
     /// candidate before it could reach the engine.
     pub gate: GateOutcome,
+    /// What the feedback-conformance gate observed, when it ran (FISQL
+    /// paths with routing, `conformance_gate` on).
+    pub conformance: Option<ConformanceReport>,
+}
+
+/// What the feedback-conformance gate observed for one candidate: whether
+/// the edit class realized by the regeneration (per [`diff_queries`])
+/// agrees with the class the router predicted from the feedback text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConformanceReport {
+    /// The routed feedback class the candidate was checked against.
+    pub routed: OpClass,
+    /// Whether the first candidate already conformed.
+    pub agreed: bool,
+    /// Whether a conformance re-prompt was issued.
+    pub retried: bool,
+    /// Whether the final candidate (after any retry) conformed.
+    pub agreed_after_retry: bool,
 }
 
 /// What the static-analysis gate ([`gate_candidate`]) did to one
@@ -250,11 +277,12 @@ fn fisql_step<L: FallibleLanguageModel + ?Sized>(
         &mut rng,
     );
 
-    let query = if interp.edits.is_empty() {
-        // Interpretation failure: the model regenerates essentially the
-        // same query (paper error cause (b)).
-        ctx.previous.clone()
-    } else {
+    let candidate = || -> BackendResult<Query> {
+        if interp.edits.is_empty() {
+            // Interpretation failure: the model regenerates essentially
+            // the same query (paper error cause (b)).
+            return Ok(ctx.previous.clone());
+        }
         let p = llm.try_edit_success_prob(routing, dynamic)?
             * llm.try_edit_complexity_factor(&interp.edits)?;
         let applied = llm.try_apply_feedback_edit_with_prob(
@@ -264,10 +292,66 @@ fn fisql_step<L: FallibleLanguageModel + ?Sized>(
             ctx.example.id,
             ctx.round,
         )?;
-        normalize_query(&applied)
+        Ok(normalize_query(&applied))
+    };
+    let mut query = candidate()?;
+    let mut prompt_text = prompt_text;
+
+    // Feedback-conformance gate: the realized edit class (diff of previous
+    // vs candidate) must agree with the routed class, and — under
+    // highlighting — the realized edits must touch the clause the user
+    // highlighted. A no-op candidate (empty diff) is cause-(b)
+    // non-conformance whenever the router predicted any change.
+    let conformance = match (ctx.conformance_gate, routed) {
+        (true, Some(routed_class)) => {
+            let conforms = |q: &Query| {
+                let realized = diff_queries(ctx.previous, q);
+                let classes = realized_classes(&realized);
+                if !classes.contains(&routed_class) {
+                    return false;
+                }
+                let span_ok = match highlight {
+                    Some(h) => {
+                        let spanned = print_query_spanned(ctx.previous);
+                        match spanned.clause_at(h) {
+                            Some(path) => realized
+                                .iter()
+                                .any(|e| same_clause_family(&e.clause(), path)),
+                            None => true,
+                        }
+                    }
+                    None => true,
+                };
+                span_ok
+            };
+            let agreed = conforms(&query);
+            let mut report = ConformanceReport {
+                routed: routed_class,
+                agreed,
+                retried: false,
+                agreed_after_retry: agreed,
+            };
+            if !agreed {
+                report.retried = true;
+                let realized = realized_classes(&diff_queries(ctx.previous, &query));
+                prompt_text.push_str(&prompt::conformance_addendum(
+                    &routed_class.to_string(),
+                    &realized.iter().map(|c| c.to_string()).collect::<Vec<_>>(),
+                ));
+                // One re-prompt. Deterministic backends reproduce the same
+                // candidate (the report still records the retry); if the
+                // retry dies in a faulty backend, keep the first candidate
+                // rather than fail the whole round.
+                if let Ok(second) = candidate() {
+                    query = second;
+                }
+                report.agreed_after_retry = conforms(&query);
+            }
+            Some(report)
+        }
+        _ => None,
     };
 
-    let mut prompt_text = prompt_text;
     let (query, gate) = gate_candidate(ctx.db, query, &mut prompt_text);
 
     Ok(IncorporateOutcome {
@@ -277,6 +361,7 @@ fn fisql_step<L: FallibleLanguageModel + ?Sized>(
         interpretation: Some(interp),
         prompt: prompt_text,
         gate,
+        conformance,
     })
 }
 
@@ -316,6 +401,7 @@ fn rewrite_step<L: FallibleLanguageModel + ?Sized>(
         interpretation: None,
         prompt: prompt_text,
         gate,
+        conformance: None,
     })
 }
 
@@ -372,6 +458,7 @@ mod tests {
                 previous: &previous,
                 feedback: &fb,
                 round: 0,
+                conformance_gate: false,
             },
         );
         assert!(
@@ -381,6 +468,130 @@ mod tests {
         );
         assert_eq!(out.routed, Some(OpClass::Edit));
         assert!(out.prompt.contains("we are in 2024"));
+    }
+
+    #[test]
+    fn conformance_gate_reports_agreement_on_good_edit() {
+        let corpus = build_aep(&AepConfig {
+            n_examples: 5,
+            seed: 2,
+        });
+        let e = &corpus.examples[0];
+        let previous = normalize_query(
+            &parse_query(
+                "SELECT COUNT(*) FROM hkg_dim_segment \
+                 WHERE createdTime >= '2023-01-01' AND createdTime < '2023-02-01'",
+            )
+            .unwrap(),
+        );
+        let fb = Feedback {
+            text: "we are in 2024".into(),
+            highlight: None,
+            intended: vec![],
+            misaligned: false,
+        };
+        let out = incorporate(
+            Strategy::Fisql {
+                routing: true,
+                highlighting: false,
+            },
+            &flawless_llm(),
+            &IncorporateContext {
+                db: corpus.database(e),
+                example: e,
+                question: &e.question,
+                previous: &previous,
+                feedback: &fb,
+                round: 0,
+                conformance_gate: true,
+            },
+        );
+        let report = out.conformance.expect("gate should have run");
+        assert_eq!(report.routed, OpClass::Edit);
+        assert!(report.agreed);
+        assert!(!report.retried);
+        assert!(report.agreed_after_retry);
+        // The agreeing path must not pollute the prompt.
+        assert!(!out.prompt.contains("conformance"), "{}", out.prompt);
+    }
+
+    #[test]
+    fn conformance_gate_retries_on_noop_candidate() {
+        let corpus = build_aep(&AepConfig {
+            n_examples: 5,
+            seed: 2,
+        });
+        let e = &corpus.examples[0];
+        let previous = normalize_query(&e.gold);
+        // Routable but ungroundable: the router sees an Edit-type
+        // feedback, the interpreter finds nothing to change, so the
+        // candidate is a no-op — cause-(b) non-conformance.
+        let fb = Feedback {
+            text: "change the frobnication coefficient".into(),
+            highlight: None,
+            intended: vec![],
+            misaligned: false,
+        };
+        let out = incorporate(
+            Strategy::Fisql {
+                routing: true,
+                highlighting: false,
+            },
+            &flawless_llm(),
+            &IncorporateContext {
+                db: corpus.database(e),
+                example: e,
+                question: &e.question,
+                previous: &previous,
+                feedback: &fb,
+                round: 0,
+                conformance_gate: true,
+            },
+        );
+        let report = out.conformance.expect("gate should have run");
+        assert!(!report.agreed);
+        assert!(report.retried);
+        // Deterministic backend: the retry reproduces the no-op.
+        assert!(!report.agreed_after_retry);
+        assert!(structurally_equal(&out.query, &previous));
+        assert!(
+            out.prompt.contains("revision"),
+            "conformance addendum missing from prompt: {}",
+            out.prompt
+        );
+    }
+
+    #[test]
+    fn conformance_gate_off_reports_nothing() {
+        let corpus = build_aep(&AepConfig {
+            n_examples: 5,
+            seed: 2,
+        });
+        let e = &corpus.examples[0];
+        let previous = normalize_query(&e.gold);
+        let fb = Feedback {
+            text: "we are in 2024".into(),
+            highlight: None,
+            intended: vec![],
+            misaligned: false,
+        };
+        let out = incorporate(
+            Strategy::Fisql {
+                routing: true,
+                highlighting: false,
+            },
+            &flawless_llm(),
+            &IncorporateContext {
+                db: corpus.database(e),
+                example: e,
+                question: &e.question,
+                previous: &previous,
+                feedback: &fb,
+                round: 0,
+                conformance_gate: false,
+            },
+        );
+        assert!(out.conformance.is_none());
     }
 
     #[test]
@@ -407,6 +618,7 @@ mod tests {
                 previous: &previous,
                 feedback: &fb,
                 round: 0,
+                conformance_gate: false,
             },
         );
         assert!(out.question.contains("2024"));

@@ -34,7 +34,10 @@
 use crate::interpret::interpret;
 use fisql_engine::Database;
 use fisql_sqlkit::check::{check_query, render_report, repair_query, Diagnostic, SchemaInfo};
-use fisql_sqlkit::{apply_edits, normalize_query, parse_query, print_query, EditOp, Query};
+use fisql_sqlkit::{
+    apply_edits, diff_queries, normalize_query, parse_query, print_query, realized_classes, EditOp,
+    OpClass, Query,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::fmt;
@@ -98,8 +101,22 @@ pub struct RefineStep {
     pub text: String,
     /// The edits it was interpreted as.
     pub edits: Vec<EditOp>,
+    /// The edit classes the step *actually realized*, per
+    /// [`diff_queries`] of before vs after (normalization or the typo
+    /// repair can make these differ from the interpreted edits' classes).
+    pub realized: Vec<OpClass>,
     /// The query before this step.
     pub before: Query,
+}
+
+impl RefineStep {
+    /// Whether every interpreted edit class was realized in the final
+    /// diff — the refinement analogue of the pipeline's
+    /// feedback-conformance check.
+    pub fn conformant(&self) -> bool {
+        let realized = &self.realized;
+        self.edits.iter().all(|e| realized.contains(&e.class()))
+    }
 }
 
 /// An incremental query builder.
@@ -196,9 +213,11 @@ impl<'a> QueryBuilder<'a> {
             }
         }
         self.diagnostics = diags;
+        let realized = realized_classes(&diff_queries(&self.current, &next));
         self.history.push(RefineStep {
             text: text.to_string(),
             edits: interp.edits,
+            realized,
             before: std::mem::replace(&mut self.current, next),
         });
         Ok(&self.current)
@@ -282,6 +301,17 @@ mod tests {
         assert_eq!(rs.rows[0][0], Value::Text("VIP".into()));
         assert_eq!(rs.rows[1][0], Value::Text("Loyalty".into()));
         assert_eq!(b.history().len(), 3);
+    }
+
+    #[test]
+    fn steps_record_realized_classes() {
+        let db = db();
+        let mut b = QueryBuilder::from_sql(&db, "SELECT segment_name FROM segment").unwrap();
+        b.refine("only include rows where status is 'active'")
+            .unwrap();
+        let step = &b.history()[0];
+        assert_eq!(step.realized, vec![OpClass::Add]);
+        assert!(step.conformant());
     }
 
     #[test]

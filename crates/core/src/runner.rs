@@ -1,7 +1,7 @@
 //! Parallel, sharded evaluation runner (the builder-style experiment API).
 //!
-//! [`CorrectionRun`] replaces the positional `run_correction(corpus,
-//! cases, strategy, rounds, llm, user)` free functions with a builder:
+//! [`CorrectionRun`] is the single entry point for the §4.1/§4.2
+//! correction experiments:
 //!
 //! ```no_run
 //! # use fisql_core::runner::CorrectionRun;
@@ -37,7 +37,7 @@ use crate::assistant::Assistant;
 use crate::experiment::{build_view, AnnotatedCase, CorrectionReport, ErrorCase};
 use crate::pipeline::{try_incorporate, IncorporateContext, Strategy};
 use fisql_feedback::SimUser;
-use fisql_llm::{cache, FallibleLanguageModel, ResilienceStats, SimLlm};
+use fisql_llm::{cache, AgreementStats, FallibleLanguageModel, ResilienceStats, SimLlm};
 use fisql_spider::{check_prediction, Corpus, Verdict};
 use fisql_sqlkit::{normalize_query, print_query_spanned};
 use serde::{Deserialize, Serialize};
@@ -62,6 +62,21 @@ pub struct ExperimentConfig {
     pub workers: usize,
     /// Demonstrations retrieved per prompt for error collection.
     pub demos_k: usize,
+    /// Static equivalence oracle: skip the engine correctness check when
+    /// a candidate is provably equivalent to a query this case already
+    /// executed and found incorrect (counts into
+    /// `executions_skipped_static`). Sound by construction — the oracle
+    /// only ever reuses verdicts of queries that executed without error.
+    #[serde(default = "default_true")]
+    pub static_oracle: bool,
+    /// Feedback-conformance gate in the incorporation pipeline (see
+    /// [`crate::pipeline::ConformanceReport`]).
+    #[serde(default)]
+    pub conformance_gate: bool,
+}
+
+fn default_true() -> bool {
+    true
 }
 
 impl Default for ExperimentConfig {
@@ -75,6 +90,8 @@ impl Default for ExperimentConfig {
             seed: 0xF15C,
             workers: workers_from_env(),
             demos_k: 3,
+            static_oracle: default_true(),
+            conformance_gate: false,
         }
     }
 }
@@ -128,6 +145,11 @@ pub struct RunMetrics {
     /// breaker trips, fast-fails, …). All zeros when the backend exposes
     /// no resilience middleware.
     pub resilience: ResilienceStats,
+    /// Router-vs-realized conformance telemetry (all zeros when the
+    /// conformance gate is off). The serialized report carries the same
+    /// totals in its own counter fields; this copy rides with the other
+    /// run-level telemetry for programmatic access.
+    pub agreement: AgreementStats,
 }
 
 impl RunMetrics {
@@ -163,6 +185,7 @@ impl RunMetrics {
             cache_hits: delta.hits,
             cache_misses: delta.misses,
             resilience,
+            agreement: AgreementStats::default(),
         }
     }
 }
@@ -175,6 +198,8 @@ struct CaseOutcome {
     executions_saved: u64,
     engine_executions: u64,
     degraded_rounds: u64,
+    executions_skipped_static: u64,
+    agreement: AgreementStats,
 }
 
 /// Builder for the correction experiment (see the module docs).
@@ -250,6 +275,18 @@ impl<'a, L: FallibleLanguageModel + ?Sized> CorrectionRun<'a, L> {
         self
     }
 
+    /// Enables or disables the static equivalence oracle.
+    pub fn static_oracle(mut self, on: bool) -> Self {
+        self.cfg.static_oracle = on;
+        self
+    }
+
+    /// Enables or disables the feedback-conformance gate.
+    pub fn conformance_gate(mut self, on: bool) -> Self {
+        self.cfg.conformance_gate = on;
+        self
+    }
+
     /// Replaces the whole configuration at once.
     pub fn config(mut self, cfg: ExperimentConfig) -> Self {
         self.cfg = cfg;
@@ -304,12 +341,16 @@ impl<'a, L: FallibleLanguageModel + ?Sized> CorrectionRun<'a, L> {
         let mut engine_executions = 0u64;
         let mut degraded_rounds = 0u64;
         let mut cases_degraded = 0usize;
+        let mut executions_skipped_static = 0u64;
+        let mut agreement = AgreementStats::default();
         for outcome in &outcomes {
             statically_flagged += outcome.statically_flagged;
             executions_saved += outcome.executions_saved;
             engine_executions += outcome.engine_executions;
             degraded_rounds += outcome.degraded_rounds;
             cases_degraded += usize::from(outcome.degraded_rounds > 0);
+            executions_skipped_static += outcome.executions_skipped_static;
+            agreement.merge(&outcome.agreement);
             if let Some(r) = outcome.corrected_at {
                 for slot in corrected_after_round.iter_mut().skip(r) {
                     *slot += 1;
@@ -321,6 +362,15 @@ impl<'a, L: FallibleLanguageModel + ?Sized> CorrectionRun<'a, L> {
             .resilience_stats()
             .unwrap_or_default()
             .since(&resilience_before);
+        let mut metrics = RunMetrics::finish(
+            workers,
+            cases.len(),
+            started,
+            cache_before,
+            engine_executions,
+            resilience,
+        );
+        metrics.agreement = agreement;
         CorrectionReport {
             strategy: self.cfg.strategy.name().to_string(),
             total: cases.len(),
@@ -329,14 +379,11 @@ impl<'a, L: FallibleLanguageModel + ?Sized> CorrectionRun<'a, L> {
             executions_saved,
             degraded_rounds,
             cases_degraded,
-            metrics: RunMetrics::finish(
-                workers,
-                cases.len(),
-                started,
-                cache_before,
-                engine_executions,
-                resilience,
-            ),
+            executions_skipped_static,
+            router_realized_agreements: agreement.agreements,
+            router_realized_disagreements: agreement.disagreements(),
+            conformance_retries: agreement.retries,
+            metrics,
         }
     }
 
@@ -357,7 +404,19 @@ impl<'a, L: FallibleLanguageModel + ?Sized> CorrectionRun<'a, L> {
             executions_saved: 0,
             engine_executions: 0,
             degraded_rounds: 0,
+            executions_skipped_static: 0,
+            agreement: AgreementStats::default(),
         };
+
+        // Equivalence-oracle memo: normalized queries this case already
+        // executed and found *incorrect* (but executable — execution
+        // errors are never memoized, so a memo hit proves the candidate
+        // would produce the same wrong result). The initial prediction
+        // seeds it: the case exists because that query was wrong.
+        let mut known_incorrect: Vec<fisql_sqlkit::Query> = Vec::new();
+        if self.cfg.static_oracle && !case.error.execution_error {
+            known_incorrect.push(current.clone());
+        }
 
         for round in 0..self.cfg.rounds {
             // Elicit (or reuse) this round's feedback.
@@ -382,7 +441,7 @@ impl<'a, L: FallibleLanguageModel + ?Sized> CorrectionRun<'a, L> {
                         .add_highlight(fb, &spanned, example.id, round as u64);
                 }
             }
-            let step = match try_incorporate(
+            let Ok(step) = try_incorporate(
                 self.cfg.strategy,
                 self.llm,
                 &IncorporateContext {
@@ -392,30 +451,56 @@ impl<'a, L: FallibleLanguageModel + ?Sized> CorrectionRun<'a, L> {
                     previous: &current,
                     feedback: fb,
                     round: round as u64,
+                    conformance_gate: self.cfg.conformance_gate,
                 },
-            ) {
-                Ok(step) => step,
-                Err(_) => {
-                    // Graceful degradation: the backend failed past the
-                    // resilience layer's patience, so this round keeps
-                    // the previous SQL (known incorrect — the loop only
-                    // reaches here uncorrected) and moves on. The next
-                    // round re-elicits feedback against it.
-                    outcome.degraded_rounds += 1;
-                    continue;
-                }
+            ) else {
+                // Graceful degradation: the backend failed past the
+                // resilience layer's patience, so this round keeps
+                // the previous SQL (known incorrect — the loop only
+                // reaches here uncorrected) and moves on. The next
+                // round re-elicits feedback against it.
+                outcome.degraded_rounds += 1;
+                continue;
             };
             if step.gate.has_errors() {
                 outcome.statically_flagged += 1;
             }
             outcome.executions_saved += step.gate.executions_saved;
+            if let Some(c) = step.conformance {
+                outcome
+                    .agreement
+                    .record(c.agreed, c.retried, c.agreed_after_retry);
+            }
             current = step.query;
             question = step.question;
 
+            // Equivalence oracle: a candidate provably equivalent to a
+            // query this case already executed-and-found-incorrect must
+            // produce the same (wrong) result — skip both engine runs of
+            // the correctness check. Only analyzer-clean candidates are
+            // eligible: a gate error means the query may not execute at
+            // all, and the memo's verdicts only transfer to executions.
+            if self.cfg.static_oracle
+                && !step.gate.has_errors()
+                && known_incorrect
+                    .iter()
+                    .any(|q| fisql_sqlkit::provably_equivalent(q, &current))
+            {
+                outcome.executions_skipped_static += 2;
+                continue;
+            }
+
             outcome.engine_executions += 2; // correctness check runs predicted + gold
-            if check_prediction(db, example, &current).is_correct() {
+            let verdict = check_prediction(db, example, &current);
+            if verdict.is_correct() {
                 outcome.corrected_at = Some(round);
                 break;
+            }
+            if self.cfg.static_oracle
+                && !step.gate.has_errors()
+                && !matches!(verdict, Verdict::ExecutionError { .. })
+            {
+                known_incorrect.push(current.clone());
             }
         }
         outcome
@@ -562,11 +647,78 @@ mod tests {
         assert!(report.metrics.wall_ms >= 0.0);
         if !annotated.is_empty() {
             assert!(report.metrics.cases_per_sec > 0.0);
-            assert!(report.metrics.engine_executions >= 2 * annotated.len() as u64);
+            // Every case's correctness check either ran (2 executions)
+            // or was skipped by the static equivalence oracle.
+            assert!(
+                report.metrics.engine_executions + report.executions_skipped_static
+                    >= 2 * annotated.len() as u64
+            );
         }
         // metrics are serde(skip): serialized reports contain none of them
         let json = serde_json::to_string(&report).unwrap();
         assert!(!json.contains("wall_ms"));
+    }
+
+    #[test]
+    fn oracle_skips_executions_without_changing_verdicts() {
+        let (corpus, llm, user) = small_setup();
+        let run = CorrectionRun::new(&corpus, &llm, &user)
+            .demos_k(3)
+            .rounds(2)
+            .workers(1);
+        let errors = run.collect_errors();
+        let annotated = run.annotate(&errors);
+        assert!(!annotated.is_empty());
+
+        let with_oracle = run.static_oracle(true).run(&annotated);
+        let without = run.static_oracle(false).run(&annotated);
+        assert_eq!(without.executions_skipped_static, 0);
+        assert!(
+            with_oracle.executions_skipped_static > 0,
+            "expected at least one statically skipped execution"
+        );
+        // Soundness: skipping executions must not change any verdict.
+        assert_eq!(
+            with_oracle.corrected_after_round,
+            without.corrected_after_round
+        );
+        assert_eq!(with_oracle.statically_flagged, without.statically_flagged);
+        // The oracle really avoided engine work.
+        assert_eq!(
+            with_oracle.metrics.engine_executions + with_oracle.executions_skipped_static,
+            without.metrics.engine_executions
+        );
+    }
+
+    #[test]
+    fn conformance_gate_preserves_report_modulo_counters() {
+        let (corpus, llm, user) = small_setup();
+        let run = CorrectionRun::new(&corpus, &llm, &user)
+            .demos_k(3)
+            .rounds(2)
+            .workers(1);
+        let errors = run.collect_errors();
+        let annotated = run.annotate(&errors);
+        assert!(!annotated.is_empty());
+
+        let gated = run.conformance_gate(true).run(&annotated);
+        let plain = run.conformance_gate(false).run(&annotated);
+        assert_eq!(plain.router_realized_agreements, 0);
+        assert_eq!(plain.conformance_retries, 0);
+        assert!(
+            gated.router_realized_agreements + gated.router_realized_disagreements > 0,
+            "gate saw no candidates"
+        );
+        // On a deterministic backend the re-prompt regenerates the same
+        // candidate, so everything except the new counters is identical.
+        let mut neutered = gated.clone();
+        neutered.router_realized_agreements = plain.router_realized_agreements;
+        neutered.router_realized_disagreements = plain.router_realized_disagreements;
+        neutered.conformance_retries = plain.conformance_retries;
+        assert_eq!(
+            serde_json::to_string(&neutered).unwrap(),
+            serde_json::to_string(&plain).unwrap()
+        );
     }
 
     #[test]

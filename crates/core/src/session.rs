@@ -160,6 +160,7 @@ impl<'a> Session<'a> {
                 previous: &state.current,
                 feedback: &feedback,
                 round: self.round,
+                conformance_gate: false,
             },
         );
         self.absorb(outcome)
@@ -208,6 +209,7 @@ impl<'a> Session<'a> {
                 previous: &state.current,
                 feedback: &feedback,
                 round: self.round,
+                conformance_gate: false,
             },
         ) {
             Ok(outcome) => self.absorb(outcome),
@@ -270,7 +272,7 @@ impl<'a> Session<'a> {
                 ChatEvent::User(t) => out.push_str(&format!("User> {t}\n\n")),
                 ChatEvent::Assistant(t) => out.push_str(&format!("Assistant>\n{t}\n")),
                 ChatEvent::Feedback { text, .. } => {
-                    out.push_str(&format!("User> Here is my feedback: {text}\n\n"))
+                    out.push_str(&format!("User> Here is my feedback: {text}\n\n"));
                 }
                 ChatEvent::Gate { round, outcome } if outcome.has_errors() || outcome.repaired => {
                     out.push_str(&format!(

@@ -1,0 +1,89 @@
+//! Router-vs-realized agreement accounting.
+//!
+//! The feedback router predicts an edit class (Add / Remove / Edit /
+//! Rewrite) from the user's feedback text; the conformance gate in
+//! `fisql-core` later diffs the regenerated candidate against the
+//! previous query to see which classes were *actually realized*. These
+//! counters aggregate how often the two agree — the telemetry behind the
+//! conformance columns of the correction report.
+
+use serde::{Deserialize, Serialize};
+
+/// Aggregate counters for router-vs-realized conformance checks.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AgreementStats {
+    /// Conformance checks performed (one per gated candidate).
+    pub checks: u64,
+    /// Checks where the realized classes included the routed class on
+    /// the first candidate.
+    pub agreements: u64,
+    /// Conformance re-prompts issued (one per first-candidate
+    /// disagreement, by design).
+    pub retries: u64,
+    /// Re-prompts whose second candidate conformed.
+    pub recovered: u64,
+}
+
+impl AgreementStats {
+    /// Records one conformance check.
+    pub fn record(&mut self, agreed: bool, retried: bool, agreed_after_retry: bool) {
+        self.checks += 1;
+        self.agreements += u64::from(agreed);
+        self.retries += u64::from(retried);
+        self.recovered += u64::from(retried && agreed_after_retry);
+    }
+
+    /// Accumulates another set of counters (sharded-runner merge).
+    pub fn merge(&mut self, other: &AgreementStats) {
+        self.checks += other.checks;
+        self.agreements += other.agreements;
+        self.retries += other.retries;
+        self.recovered += other.recovered;
+    }
+
+    /// Checks whose first candidate disagreed.
+    pub fn disagreements(&self) -> u64 {
+        self.checks - self.agreements
+    }
+
+    /// First-candidate agreement as a fraction of all checks; `0.0` when
+    /// no checks ran.
+    pub fn agreement_rate(&self) -> f64 {
+        if self.checks == 0 {
+            0.0
+        } else {
+            self.agreements as f64 / self.checks as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_merge_accumulate() {
+        let mut a = AgreementStats::default();
+        a.record(true, false, true);
+        a.record(false, true, true);
+        a.record(false, true, false);
+        assert_eq!(a.checks, 3);
+        assert_eq!(a.agreements, 1);
+        assert_eq!(a.disagreements(), 2);
+        assert_eq!(a.retries, 2);
+        assert_eq!(a.recovered, 1);
+
+        let mut b = AgreementStats::default();
+        b.record(true, false, true);
+        b.merge(&a);
+        assert_eq!(b.checks, 4);
+        assert_eq!(b.agreements, 2);
+        assert!((b.agreement_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_rate_is_zero() {
+        assert_eq!(AgreementStats::default().agreement_rate(), 0.0);
+        assert_eq!(AgreementStats::default().disagreements(), 0);
+    }
+}

@@ -275,7 +275,7 @@ impl<B: FallibleLanguageModel> FallibleLanguageModel for FaultyBackend<B> {
     }
 
     fn begin_session(&self) {
-        self.inner.begin_session()
+        self.inner.begin_session();
     }
 
     fn resilience_stats(&self) -> Option<crate::resilience::ResilienceStats> {

@@ -17,6 +17,7 @@
 
 #![warn(missing_docs)]
 
+pub mod agreement;
 pub mod backend;
 pub mod cache;
 pub mod calibration;
@@ -29,6 +30,7 @@ pub mod resilience;
 pub mod retrieval;
 pub mod routing_pool;
 
+pub use agreement::AgreementStats;
 pub use backend::{FallibleLanguageModel, LanguageModel};
 pub use cache::{CacheStats, ConcurrentCache};
 pub use calibration::Calibration;

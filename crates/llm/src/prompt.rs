@@ -141,6 +141,26 @@ pub fn diagnostics_addendum(report: &str) -> String {
     )
 }
 
+/// Folds a feedback-conformance diagnostic into a regeneration prompt.
+///
+/// When the conformance gate in `core::pipeline` finds that the edit
+/// class realized by a candidate (per `fisql_sqlkit::diff_queries`)
+/// disagrees with the routed feedback type, this addendum tells the
+/// re-prompted model what kind of change the feedback called for and what
+/// the candidate actually did.
+pub fn conformance_addendum(routed: &str, realized: &[String]) -> String {
+    let did = if realized.is_empty() {
+        "made no change to the query".to_string()
+    } else {
+        format!("realized {} operations instead", realized.join(", "))
+    };
+    format!(
+        "\n\nThe feedback calls for a {routed}-type revision, but your \
+         candidate {did}. Regenerate so the revision actually applies a \
+         {routed} operation to the previous SQL."
+    )
+}
+
 /// The fixed demonstration set retrieved for each routed feedback type
 /// (§3.3: "we retrieve a fixed set of examples that illustrate how to
 /// revise SQL queries based on the predicted feedback type").

@@ -229,7 +229,7 @@ mod tests {
                 for row in &t.rows {
                     match &row[fk.column] {
                         Value::Int(v) => {
-                            assert!(*v >= 1 && *v <= max_pk, "dangling FK {} in {}", v, t.name)
+                            assert!(*v >= 1 && *v <= max_pk, "dangling FK {} in {}", v, t.name);
                         }
                         Value::Null => {}
                         other => panic!("FK column holds {other:?}"),

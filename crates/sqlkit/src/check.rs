@@ -43,6 +43,7 @@
 //! identical atoms still points at the same text).
 
 use crate::ast::*;
+use crate::flow;
 use crate::printer::{print_expr, print_query_spanned, SpannedSql};
 use crate::span::Span;
 use serde::{Deserialize, Serialize};
@@ -253,6 +254,15 @@ pub enum DiagCode {
     OrderByTarget,
     /// `LIMIT 0` — the query can never return rows.
     LimitZero,
+    /// A predicate (or pair of predicates on one key) no row can satisfy,
+    /// proved by the flow pass's constant/interval domain.
+    ContradictoryPredicate,
+    /// A predicate every row satisfies — it filters nothing.
+    TautologicalPredicate,
+    /// A predicate implied by another conjunct on the same key.
+    RedundantPredicate,
+    /// A join whose ON condition can never be satisfied.
+    ImpossibleJoin,
 }
 
 impl DiagCode {
@@ -277,6 +287,10 @@ impl DiagCode {
             DiagCode::SubqueryArity => "subquery-arity",
             DiagCode::OrderByTarget => "order-by-target",
             DiagCode::LimitZero => "limit-zero",
+            DiagCode::ContradictoryPredicate => "contradictory-predicate",
+            DiagCode::TautologicalPredicate => "tautological-predicate",
+            DiagCode::RedundantPredicate => "redundant-predicate",
+            DiagCode::ImpossibleJoin => "impossible-join",
         }
     }
 }
@@ -628,6 +642,7 @@ pub fn check_query(query: &Query, schema: &SchemaInfo) -> Vec<Diagnostic> {
         collect_bare: false,
     };
     checker.check_query_scoped(query, None);
+    checker.check_flow(query);
     checker
         .diags
         .sort_by_key(|d| (std::cmp::Reverse(d.severity), d.span.start));
@@ -1212,6 +1227,112 @@ impl<'s> Checker<'s> {
         }
     }
 
+    // -------------------------------------------------------------------
+    // Flow lints (the `crate::flow` abstract-interpretation pass)
+    // -------------------------------------------------------------------
+
+    /// Lints driven by the flow pass: predicates no row can satisfy,
+    /// predicates that filter nothing, predicates implied by a sibling
+    /// conjunct, and joins whose ON condition can never match. All are
+    /// warnings — the engine executes these queries fine; they just
+    /// cannot compute what was plausibly meant.
+    fn check_flow(&mut self, q: &Query) {
+        for (ci, core) in q.cores().enumerate() {
+            // Per-predicate spans are recorded for the first core only;
+            // compound arms anchor to their arm's clause span.
+            let arm = (ci > 0).then(|| {
+                self.spans
+                    .clause(&ClausePath::Compound(ci.saturating_sub(1)))
+            });
+            if let Some(w) = &core.where_clause {
+                let spans: Vec<Span> = (0..w.conjuncts().len())
+                    .map(|i| {
+                        arm.unwrap_or_else(|| self.spans.clause(&ClausePath::WherePredicate(i)))
+                    })
+                    .collect();
+                self.filter_flow_lints(w, "WHERE", &spans);
+            }
+            if let Some(h) = &core.having {
+                let span = arm.unwrap_or_else(|| self.spans.clause(&ClausePath::Having));
+                let spans = vec![span; h.conjuncts().len()];
+                self.filter_flow_lints(h, "HAVING", &spans);
+            }
+            if let Some(from) = &core.from {
+                for (ji, join) in from.joins.iter().enumerate() {
+                    let Some(on) = &join.constraint else { continue };
+                    if flow::analyze_conjunction(&on.conjuncts()).unsatisfiable() {
+                        let span = arm.unwrap_or_else(|| self.spans.clause(&ClausePath::Join(ji)));
+                        self.push(
+                            DiagCode::ImpossibleJoin,
+                            Severity::Warning,
+                            span,
+                            format!("join condition `{}` can never be satisfied", print_expr(on)),
+                            Some("no row pair can match; fix the ON condition".into()),
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Reports the flow pass's findings for one WHERE/HAVING conjunction;
+    /// `spans[i]` anchors conjunct `i`.
+    fn filter_flow_lints(&mut self, filter: &Expr, clause: &str, spans: &[Span]) {
+        let conjuncts = filter.conjuncts();
+        let facts = flow::analyze_conjunction(&conjuncts);
+        for &i in &facts.never_true {
+            self.push(
+                DiagCode::ContradictoryPredicate,
+                Severity::Warning,
+                spans[i],
+                format!(
+                    "{clause} predicate `{}` can never be true",
+                    print_expr(conjuncts[i])
+                ),
+                Some("the filter rejects every row; drop or fix the predicate".into()),
+            );
+        }
+        for &i in &facts.tautological {
+            self.push(
+                DiagCode::TautologicalPredicate,
+                Severity::Warning,
+                spans[i],
+                format!(
+                    "{clause} predicate `{}` is always true and filters nothing",
+                    print_expr(conjuncts[i])
+                ),
+                Some("drop the predicate or tighten it".into()),
+            );
+        }
+        for &(i, j) in &facts.contradictions {
+            self.push(
+                DiagCode::ContradictoryPredicate,
+                Severity::Warning,
+                spans[j],
+                format!(
+                    "{clause} predicates `{}` and `{}` contradict each other; \
+                     no row satisfies both",
+                    print_expr(conjuncts[i]),
+                    print_expr(conjuncts[j])
+                ),
+                Some("the conjunction is unsatisfiable; one side must change".into()),
+            );
+        }
+        for &(red, by) in &facts.redundant {
+            self.push(
+                DiagCode::RedundantPredicate,
+                Severity::Warning,
+                spans[red],
+                format!(
+                    "{clause} predicate `{}` is implied by `{}`",
+                    print_expr(conjuncts[red]),
+                    print_expr(conjuncts[by])
+                ),
+                Some(format!("drop `{}`", print_expr(conjuncts[red]))),
+            );
+        }
+    }
+
     /// Suggests a join condition along a schema foreign key between the
     /// last binding and any earlier one.
     fn fk_join_hint(&self, bindings: &[ScopeBinding]) -> Option<String> {
@@ -1575,10 +1696,7 @@ impl<'s> Checker<'s> {
                         DiagCode::TypeMismatch,
                         Severity::Warning,
                         span,
-                        format!(
-                            "comparison between {} and {} never matches on real data",
-                            lt, rt
-                        ),
+                        format!("comparison between {lt} and {rt} never matches on real data"),
                         None,
                     );
                 }
@@ -2031,6 +2149,95 @@ mod tests {
 
     fn check(sql: &str) -> Vec<Diagnostic> {
         check_query(&parse_query(sql).unwrap(), &schema())
+    }
+
+    /// Diagnostics of one code, as `(code, span text)` pairs against the
+    /// canonical printing.
+    fn find<'d>(diags: &'d [Diagnostic], code: DiagCode, sql: &str) -> Vec<&'d Diagnostic> {
+        let printed = print_query(&parse_query(sql).unwrap());
+        let hits: Vec<&Diagnostic> = diags.iter().filter(|d| d.code == code).collect();
+        for d in &hits {
+            assert!(
+                d.span.end <= printed.len(),
+                "span out of bounds for {sql}: {d:?}"
+            );
+        }
+        hits
+    }
+
+    #[test]
+    fn contradictory_predicates_are_flagged() {
+        let sql = "SELECT name FROM singer WHERE age > 40 AND age < 30";
+        let diags = check(sql);
+        let hits = find(&diags, DiagCode::ContradictoryPredicate, sql);
+        assert_eq!(hits.len(), 1, "{diags:?}");
+        assert_eq!(hits[0].severity, Severity::Warning);
+        assert!(hits[0].message.contains("contradict"));
+        // The span anchors to a WHERE conjunct, not the whole query.
+        let printed = print_query(&parse_query(sql).unwrap());
+        assert!(hits[0].span.end - hits[0].span.start < printed.len());
+
+        // Single never-true conjunct.
+        let sql = "SELECT name FROM singer WHERE age = NULL";
+        let hits_own = check(sql);
+        assert_eq!(
+            find(&hits_own, DiagCode::ContradictoryPredicate, sql).len(),
+            1
+        );
+
+        // HAVING over aggregates participates too (keys are rendered
+        // expressions, so `COUNT(*)` works as a key).
+        let sql = "SELECT country, COUNT(*) FROM singer GROUP BY country \
+                   HAVING COUNT(*) > 5 AND COUNT(*) < 2";
+        let diags = check(sql);
+        assert_eq!(find(&diags, DiagCode::ContradictoryPredicate, sql).len(), 1);
+    }
+
+    #[test]
+    fn tautological_and_redundant_predicates_are_flagged() {
+        let sql = "SELECT name FROM singer WHERE age >= age";
+        let diags = check(sql);
+        assert_eq!(find(&diags, DiagCode::TautologicalPredicate, sql).len(), 1);
+
+        let sql = "SELECT name FROM singer WHERE age > 30 AND age > 20";
+        let diags = check(sql);
+        let hits = find(&diags, DiagCode::RedundantPredicate, sql);
+        assert_eq!(hits.len(), 1, "{diags:?}");
+        assert!(hits[0].message.contains("implied by"));
+
+        // Satisfiable, non-overlapping predicates stay clean.
+        let sql = "SELECT name FROM singer WHERE age > 20 AND age < 30";
+        let diags = check(sql);
+        assert!(find(&diags, DiagCode::RedundantPredicate, sql).is_empty());
+        assert!(find(&diags, DiagCode::ContradictoryPredicate, sql).is_empty());
+    }
+
+    #[test]
+    fn impossible_join_is_flagged() {
+        let sql = "SELECT name FROM singer JOIN concert \
+                   ON singer.singer_id = concert.singer_id AND concert.concert_id = NULL";
+        let diags = check(sql);
+        let hits = find(&diags, DiagCode::ImpossibleJoin, sql);
+        assert_eq!(hits.len(), 1, "{diags:?}");
+        assert_eq!(hits[0].severity, Severity::Warning);
+
+        // A normal equi-join stays clean.
+        let sql = "SELECT name FROM singer JOIN concert \
+                   ON singer.singer_id = concert.singer_id";
+        let diags = check(sql);
+        assert!(find(&diags, DiagCode::ImpossibleJoin, sql).is_empty());
+    }
+
+    #[test]
+    fn flow_lints_cover_compound_arms() {
+        let sql = "SELECT name FROM singer WHERE age > 1 \
+                   UNION SELECT name FROM singer WHERE age > 5 AND age < 2";
+        let diags = check(sql);
+        let hits = find(&diags, DiagCode::ContradictoryPredicate, sql);
+        assert_eq!(hits.len(), 1, "{diags:?}");
+        // Anchored to the compound arm's span.
+        let printed = print_query(&parse_query(sql).unwrap());
+        assert!(printed[hits[0].span.start..hits[0].span.end].contains("UNION"));
     }
 
     #[test]

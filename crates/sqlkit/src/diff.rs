@@ -269,6 +269,41 @@ impl EditOp {
     }
 }
 
+/// The distinct [`OpClass`]es realized by an edit list, in first-seen
+/// order. Empty iff the list is empty (the candidate is a no-op) — the
+/// conformance gate treats that as its own disagreement cause.
+pub fn realized_classes(edits: &[EditOp]) -> Vec<OpClass> {
+    let mut classes = Vec::new();
+    for e in edits {
+        let c = e.class();
+        if !classes.contains(&c) {
+            classes.push(c);
+        }
+    }
+    classes
+}
+
+/// Whether two clause paths refer to the same top-level clause family:
+/// `WherePredicate(i)` counts as WHERE, `SelectItem(i)` as the SELECT
+/// list, `Join(i)` as FROM. Used to ground a user highlight (resolved to
+/// a clause of the *previous* query) against the clauses a candidate's
+/// realized edits touched.
+pub fn same_clause_family(a: &ClausePath, b: &ClausePath) -> bool {
+    fn family(p: &ClausePath) -> u8 {
+        match p {
+            ClausePath::SelectItem(_) | ClausePath::SelectList => 0,
+            ClausePath::From | ClausePath::Join(_) => 1,
+            ClausePath::Where | ClausePath::WherePredicate(_) => 2,
+            ClausePath::GroupBy => 3,
+            ClausePath::Having => 4,
+            ClausePath::OrderBy => 5,
+            ClausePath::Limit => 6,
+            ClausePath::Compound(_) => 7,
+        }
+    }
+    family(a) == family(b)
+}
+
 fn add_remove_edit(from_absent: bool, to_absent: bool) -> OpClass {
     match (from_absent, to_absent) {
         (true, false) => OpClass::Add,

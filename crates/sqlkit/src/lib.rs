@@ -39,6 +39,7 @@ pub mod check;
 pub mod diff;
 pub mod edit;
 pub mod error;
+pub mod flow;
 pub mod lexer;
 pub mod normalize;
 pub mod parser;
@@ -54,9 +55,14 @@ pub use check::{
     check_query, edit_distance, nearest_name, render_report, repair_query, ColType, ColumnInfo,
     DiagCode, Diagnostic, FkInfo, SchemaInfo, Severity, TableInfo,
 };
-pub use diff::{diff_queries, EditOp, OpClass};
+pub use diff::{diff_queries, realized_classes, same_clause_family, EditOp, OpClass};
 pub use edit::{apply_edit, apply_edits, EditError};
 pub use error::{ParseError, ParseResult};
+pub use flow::{
+    analyze_conjunction, conjunct_truth, output_arity, output_facts, provably_empty,
+    provably_equivalent, query_bounds, CardBounds, ConjunctTruth, OutputFacts, PredicateFacts,
+    Provenance,
+};
 pub use normalize::{normalize_query, structurally_equal};
 pub use parser::{parse_expr, parse_query};
 pub use printer::{print_expr, print_query, print_query_spanned, SpannedSql};

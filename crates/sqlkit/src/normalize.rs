@@ -17,9 +17,17 @@ use crate::printer::print_expr;
 /// Normalizations applied (in each select core, recursively):
 /// - identifiers (tables, columns, aliases) lower-cased;
 /// - comparisons flipped so a literal operand sits on the right;
-/// - WHERE/HAVING conjuncts sorted by rendered text;
+/// - constant subexpressions folded with the engine-faithful rules of
+///   [`crate::flow::fold_expr`] (`1 + 1` → `2`, `NOT TRUE` → `FALSE`,
+///   3VL-safe AND/OR absorption);
+/// - WHERE/HAVING conjuncts sorted by rendered text, then re-folded so
+///   the sorted conjunction is fold-stable;
 /// - IN-list elements sorted by rendered text;
 /// - `ASC` made explicit (no-op structurally; `desc: false` already).
+///
+/// The result is idempotent by construction:
+/// `normalize_query(&normalize_query(q)) == normalize_query(q)` (property
+/// tested in `tests/ast_roundtrip.rs`).
 pub fn normalize_query(query: &Query) -> Query {
     let mut q = query.clone();
     normalize_in_place(&mut q);
@@ -63,15 +71,13 @@ fn normalize_core(core: &mut SelectCore) {
         }
     }
     if let Some(w) = &mut core.where_clause {
-        normalize_expr(w);
-        *w = sort_conjuncts(w.clone());
+        normalize_filter(w);
     }
     for g in &mut core.group_by {
         normalize_expr(g);
     }
     if let Some(h) = &mut core.having {
-        normalize_expr(h);
-        *h = sort_conjuncts(h.clone());
+        normalize_filter(h);
     }
 }
 
@@ -88,6 +94,16 @@ fn normalize_factor(f: &mut TableFactor) {
             lower(alias);
         }
     }
+}
+
+/// WHERE/HAVING: normalize, sort the conjuncts, then fold once more —
+/// sorting can move a `FALSE` conjunct into absorbing position, and the
+/// extra pass keeps normalization idempotent (folds only ever *remove*
+/// conjuncts, so the sorted order survives).
+fn normalize_filter(w: &mut Expr) {
+    normalize_expr(w);
+    *w = sort_conjuncts(w.clone());
+    normalize_expr(w);
 }
 
 fn normalize_expr(e: &mut Expr) {
@@ -168,6 +184,12 @@ fn normalize_expr(e: &mut Expr) {
         Expr::IsNull { expr, .. } => normalize_expr(expr),
         Expr::Exists { subquery, .. } => normalize_in_place(subquery),
         Expr::Subquery(q) => normalize_in_place(q),
+    }
+    // Constant folding, after children are canonical. A fold either
+    // yields a literal or an already-folded child, so this terminates in
+    // at most two steps per node.
+    while let Some(folded) = crate::flow::fold_expr(e) {
+        *e = folded;
     }
 }
 
@@ -262,6 +284,46 @@ mod tests {
         let n1 = normalize_query(&q);
         let n2 = normalize_query(&n1);
         assert_eq!(n1, n2);
+    }
+
+    #[test]
+    fn constant_folding_in_normalization() {
+        assert!(eq(
+            "SELECT a FROM t WHERE a > 1 + 1",
+            "SELECT a FROM t WHERE a > 2"
+        ));
+        assert!(eq(
+            "SELECT a FROM t WHERE NOT TRUE",
+            "SELECT a FROM t WHERE FALSE"
+        ));
+        assert!(eq(
+            "SELECT a FROM t WHERE a > 1 AND TRUE",
+            "SELECT a FROM t WHERE a > 1"
+        ));
+        // Unsound folds are not applied: division by zero stays put…
+        assert!(!eq(
+            "SELECT a FROM t WHERE a > 1 / 0",
+            "SELECT a FROM t WHERE a > 1"
+        ));
+        // …and NULL comparisons are not rewritten.
+        assert!(!eq(
+            "SELECT a FROM t WHERE a = NULL",
+            "SELECT a FROM t WHERE FALSE"
+        ));
+    }
+
+    #[test]
+    fn folding_after_conjunct_sort_is_idempotent() {
+        // Sorting moves FALSE into absorbing position; the post-sort fold
+        // pass must collapse it in the first normalization already.
+        let q = parse_query("SELECT a FROM t WHERE a > 1 AND FALSE AND b < 2").unwrap();
+        let n1 = normalize_query(&q);
+        let n2 = normalize_query(&n1);
+        assert_eq!(n1, n2);
+        assert_eq!(
+            n1.core.where_clause,
+            Some(Expr::Literal(Literal::Bool(false)))
+        );
     }
 
     #[test]

@@ -45,12 +45,10 @@ pub use fisql_sqlkit;
 
 /// The commonly-used surface of the whole workspace in one import.
 pub mod prelude {
-    #[allow(deprecated)]
-    pub use fisql_core::{annotate_errors, collect_errors, run_correction};
     pub use fisql_core::{
         explain_query, incorporate, interpret, reformulate, zero_shot_report, AnnotatedCase,
-        Assistant, AssistantTurn, ChatEvent, CorrectionReport, CorrectionRun, ErrorCase,
-        ExperimentConfig, IncorporateContext, RunMetrics, Session, Strategy,
+        Assistant, AssistantTurn, ChatEvent, ConformanceReport, CorrectionReport, CorrectionRun,
+        ErrorCase, ExperimentConfig, IncorporateContext, RunMetrics, Session, Strategy,
     };
     pub use fisql_engine::{
         execute_sql, results_match, Column, DataType, Database, ForeignKey, ResultSet, Table, Value,
@@ -66,8 +64,8 @@ pub mod prelude {
     };
     pub use fisql_sqlkit::{
         apply_edits, check_query, diff_queries, normalize_query, parse_query, print_query,
-        render_report, repair_query, structurally_equal, DiagCode, Diagnostic, EditOp, OpClass,
-        Query, SchemaInfo, Severity, Span,
+        provably_equivalent, render_report, repair_query, structurally_equal, DiagCode, Diagnostic,
+        EditOp, OpClass, Query, SchemaInfo, Severity, Span,
     };
     pub use rand::SeedableRng;
 }

@@ -76,7 +76,7 @@ fn main() {
         .collect();
     let mut current_example: Option<Example> = None;
 
-    println!("fisql — Feedback-Infused SQL console (database: {})", db);
+    println!("fisql — Feedback-Infused SQL console (database: {db})");
     println!("type a question, `feedback: <text>`, `:sql`, `:run <SQL>`, `:explain <SQL>`, `:schema`, `:examples`, or `:quit`\n");
 
     let stdin = std::io::stdin();
@@ -197,9 +197,9 @@ fn flag_value<T: std::str::FromStr>(args: &[String], flag: &str) -> Option<T> {
         })
 }
 
-/// `fisql --eval [--workers N] [--fault-rate R] [--retry-budget B]`: the
-/// sharded correction evaluation on the bundled SPIDER-like and AEP-like
-/// corpora.
+/// `fisql --eval [--workers N] [--fault-rate R] [--retry-budget B]
+/// [--no-static-oracle] [--conformance-gate]`: the sharded correction
+/// evaluation on the bundled SPIDER-like and AEP-like corpora.
 ///
 /// `--fault-rate R` injects deterministic backend faults at total rate
 /// `R` (e.g. `0.2`), split evenly across timeouts, rate limits,
@@ -208,12 +208,20 @@ fn flag_value<T: std::str::FromStr>(args: &[String], flag: &str) -> Option<T> {
 /// correction loop degrades gracefully — failed rounds keep the previous
 /// SQL — and the printed metrics include retry/breaker/degradation
 /// counts. `FISQL_FAULT_RATE` is honoured when the flag is absent.
+///
+/// `--no-static-oracle` disables the equivalence oracle that skips
+/// engine executions of candidates provably equivalent to queries
+/// already found incorrect; `--conformance-gate` enables the
+/// router-vs-realized feedback-conformance check with its one-shot
+/// re-prompt.
 fn run_eval(args: &[String]) {
     let workers = flag_value(args, "--workers").unwrap_or_else(fisql_core::workers_from_env);
     let fault_rate: f64 = flag_value(args, "--fault-rate")
         .or_else(|| FaultConfig::from_env().map(|c| c.total_rate()))
         .unwrap_or(0.0);
     let retry_budget: u32 = flag_value(args, "--retry-budget").unwrap_or(3);
+    let static_oracle = !args.iter().any(|a| a == "--no-static-oracle");
+    let conformance_gate = args.iter().any(|a| a == "--conformance-gate");
 
     let spider = build_spider(&SpiderConfig {
         n_databases: 12,
@@ -250,7 +258,9 @@ fn run_eval(args: &[String]) {
         let run = CorrectionRun::new(corpus, &chaos, &user)
             .demos_k(3)
             .rounds(2)
-            .workers(workers);
+            .workers(workers)
+            .static_oracle(static_oracle)
+            .conformance_gate(conformance_gate);
         let report = run.run(&cases);
         let m = &report.metrics;
         println!(
@@ -269,6 +279,20 @@ fn run_eval(args: &[String]) {
             m.engine_executions,
             100.0 * m.cache_hit_rate(),
         );
+        if static_oracle {
+            println!(
+                "  static oracle: {} execution(s) skipped",
+                report.executions_skipped_static,
+            );
+        }
+        if conformance_gate {
+            println!(
+                "  conformance: {} agreed / {} disagreed, {} re-prompt(s)",
+                report.router_realized_agreements,
+                report.router_realized_disagreements,
+                report.conformance_retries,
+            );
+        }
         if fault_rate > 0.0 {
             let r = &m.resilience;
             println!(

@@ -95,6 +95,7 @@ fn every_channel_kind_is_closable_by_feedback() {
                         previous: &current,
                         feedback: &fb,
                         round,
+                        conformance_gate: false,
                     },
                 );
                 current = out.query;
@@ -197,6 +198,7 @@ fn aep_jargon_channels_close_too() {
                 previous: &bad,
                 feedback: &fb,
                 round: 0,
+                conformance_gate: false,
             },
         );
         if fisql_spider::check_prediction(db, e, &out.query).is_correct() {

@@ -159,6 +159,7 @@ fn corrections_are_verified_by_execution_not_syntax() {
                 previous: &normalize_query(&case.error.initial),
                 feedback: &case.feedback,
                 round: 0,
+                conformance_gate: false,
             },
         );
         if fisql_spider::check_prediction(db, example, &out.query).is_correct() {
@@ -208,6 +209,7 @@ fn gate_corrects_hallucinated_column_without_engine_execution() {
             previous: &previous,
             feedback: &feedback,
             round: 0,
+            conformance_gate: false,
         },
     );
     assert!(out.gate.has_errors(), "gate saw no errors");

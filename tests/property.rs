@@ -156,6 +156,65 @@ proptest! {
         }
     }
 
+    /// Equivalence-oracle soundness: whenever `provably_equivalent`
+    /// claims two queries are equivalent, executing both against the
+    /// generated database yields matching results. Exercised over gold
+    /// queries, their normalizations, fold-removable tautological
+    /// padding (provably equivalent), and channel corruptions (mostly
+    /// not — the oracle must never claim those falsely either).
+    #[test]
+    fn equivalence_oracle_is_sound(seed in 0u64..300) {
+        use fisql::fisql_sqlkit::{BinOp, Expr, Literal};
+        let corpus = corpus_for(seed);
+        for e in corpus.examples.iter().take(12) {
+            let db = corpus.database(e);
+            let mut variants = vec![e.gold.clone(), normalize_query(&e.gold)];
+            // `WHERE p` → `WHERE p AND TRUE`: constant folding makes this
+            // provably equivalent to the original.
+            if let Some(w) = &e.gold.core.where_clause {
+                let mut padded = e.gold.clone();
+                padded.core.where_clause = Some(Expr::Binary {
+                    left: Box::new(w.clone()),
+                    op: BinOp::And,
+                    right: Box::new(Expr::Literal(Literal::Bool(true))),
+                });
+                prop_assert!(
+                    provably_equivalent(&e.gold, &padded),
+                    "tautological padding not recognized for {}",
+                    print_query(&e.gold)
+                );
+                variants.push(padded);
+            }
+            for wc in e.channels.iter().take(2) {
+                variants.push(normalize_query(&fisql_spider::corrupt(&e.intent, &wc.channel)));
+            }
+            for a in &variants {
+                for b in &variants {
+                    if !provably_equivalent(a, b) {
+                        continue;
+                    }
+                    let ra = fisql::fisql_engine::execute(db, a);
+                    let rb = fisql::fisql_engine::execute(db, b);
+                    match (ra, rb) {
+                        (Ok(ra), Ok(rb)) => prop_assert!(
+                            results_match(&ra, &rb),
+                            "oracle unsound: {} vs {}",
+                            print_query(a),
+                            print_query(b)
+                        ),
+                        (Err(_), Err(_)) => {}
+                        _ => prop_assert!(
+                            false,
+                            "oracle equated an executing and a failing query: {} vs {}",
+                            print_query(a),
+                            print_query(b)
+                        ),
+                    }
+                }
+            }
+        }
+    }
+
     /// The simulated user never fabricates feedback for a correct query
     /// and never leaks gold SQL text verbatim.
     #[test]
