@@ -1,0 +1,108 @@
+//! Durability benchmark: run-journal overhead at each fsync policy.
+//!
+//! Runs the same correction experiment four ways — no journal, then
+//! journaled under `never` / `batch` / `each` fsync — asserting every
+//! variant's report is bit-identical to the unjournaled baseline (the
+//! journal is an observer, never a participant), and measures the
+//! throughput cost of each durability level. A final kill-free resume
+//! pass replays the full journal and must run zero cases. Emits
+//! `BENCH_durability.json`; CI uploads it as a workflow artifact.
+//!
+//! Run: `FISQL_SCALE=small cargo run --release -p fisql-bench --bin bench_durability`
+
+use fisql_bench::{annotated_cases, Setup};
+use fisql_core::{CorrectionRun, FsyncPolicy, Strategy};
+
+fn main() {
+    let setup = Setup::from_env();
+    let rounds = 2usize;
+    let workers = 4usize;
+    println!("# Durability benchmark (seed {})\n", setup.seed);
+
+    let (_, cases) = annotated_cases(&setup, &setup.spider);
+    println!("annotated SPIDER feedback set: {} cases", cases.len());
+
+    let strategy = Strategy::Fisql {
+        routing: true,
+        highlighting: false,
+    };
+    let run = CorrectionRun::new(&setup.spider, &setup.llm, &setup.user)
+        .demos_k(3)
+        .strategy(strategy)
+        .rounds(rounds)
+        .workers(workers);
+
+    let baseline = run.run(&cases);
+    let baseline_json = serde_json::to_string(&baseline).unwrap();
+    let dir = std::env::temp_dir().join(format!("fisql-bench-durability-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+
+    println!(
+        "\n{:>10} {:>10} {:>12} {:>14} {:>12}",
+        "fsync", "wall ms", "cases/s", "overhead %", "bytes"
+    );
+    println!(
+        "{:>10} {:>10.1} {:>12.1} {:>14} {:>12}",
+        "(none)", baseline.metrics.wall_ms, baseline.metrics.cases_per_sec, "-", "-"
+    );
+
+    let mut rows = Vec::new();
+    for policy in [
+        FsyncPolicy::Never,
+        FsyncPolicy::Batch,
+        FsyncPolicy::EachRecord,
+    ] {
+        let path = dir.join(format!("{policy}.fjnl"));
+        let report = run.journal(&path).fsync(policy).run(&cases);
+        assert_eq!(
+            serde_json::to_string(&report).unwrap(),
+            baseline_json,
+            "journaling under {policy} changed the report"
+        );
+        let bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+        let overhead =
+            100.0 * (report.metrics.wall_ms - baseline.metrics.wall_ms) / baseline.metrics.wall_ms;
+
+        // Resume against the complete journal: everything replays from
+        // disk, nothing re-runs, and the report is still identical.
+        let resumed = run.journal(&path).fsync(policy).resume(true).run(&cases);
+        assert_eq!(
+            serde_json::to_string(&resumed).unwrap(),
+            baseline_json,
+            "full-journal resume under {policy} diverged"
+        );
+
+        println!(
+            "{:>10} {:>10.1} {:>12.1} {:>14.1} {:>12}",
+            policy.to_string(),
+            report.metrics.wall_ms,
+            report.metrics.cases_per_sec,
+            overhead,
+            bytes,
+        );
+        rows.push(serde_json::json!({
+            "fsync": policy.to_string(),
+            "wall_ms": report.metrics.wall_ms,
+            "cases_per_sec": report.metrics.cases_per_sec,
+            "overhead_pct_vs_unjournaled": overhead,
+            "journal_bytes": bytes,
+            "resume_wall_ms": resumed.metrics.wall_ms,
+            "report_identical_to_baseline": true,
+        }));
+    }
+
+    let json = serde_json::json!({
+        "seed": setup.seed,
+        "cases": cases.len(),
+        "rounds": rounds,
+        "workers": workers,
+        "strategy": format!("{strategy:?}"),
+        "baseline_wall_ms": baseline.metrics.wall_ms,
+        "baseline_cases_per_sec": baseline.metrics.cases_per_sec,
+        "runs": rows,
+    });
+    let out = "BENCH_durability.json";
+    std::fs::write(out, json.to_string()).expect("write BENCH_durability.json");
+    std::fs::remove_dir_all(&dir).ok();
+    println!("\nwrote {out}");
+}

@@ -1,11 +1,13 @@
 //! Diagnostic: failure-mode breakdown for FISQL round-1 corrections,
 //! plus the static-analysis gate's per-strategy catch rate (candidates
-//! flagged/repaired before execution vs. failed at the engine).
+//! flagged/repaired before execution vs. failed at the engine), plus the
+//! runner's containment accounting under a panic-injecting chaos stack.
 //! Not part of the paper's tables; used for calibration analysis.
 
 use fisql_bench::{annotated_cases, Setup};
-use fisql_core::{incorporate, IncorporateContext, Strategy};
+use fisql_core::{incorporate, CorrectionRun, IncorporateContext, Strategy};
 use fisql_engine::execute;
+use fisql_llm::{FaultConfig, FaultyBackend, ResilienceConfig, Resilient};
 use fisql_spider::check_prediction;
 use fisql_sqlkit::{diff_queries, normalize_query};
 
@@ -122,5 +124,36 @@ fn main() {
                 cases.len()
             );
         }
+
+        // Containment accounting: the same case set under a chaos stack
+        // that also injects client-side panics. Every panic must land in
+        // `cases_crashed` (never abort the run); the split between
+        // crashed, degraded, and completed cases is the diagnostic.
+        let crashing = Resilient::new(
+            FaultyBackend::new(
+                setup.llm.clone(),
+                FaultConfig {
+                    panic: 0.05,
+                    ..FaultConfig::uniform(0.2)
+                },
+            ),
+            ResilienceConfig {
+                attempt_budget: 3,
+                ..Default::default()
+            },
+        );
+        let report = CorrectionRun::new(corpus, &crashing, &setup.user)
+            .demos_k(3)
+            .rounds(2)
+            .workers(4)
+            .run(&cases);
+        println!(
+            "{name} containment: {} of {} case(s) crashed (isolated), {} timed out, {} degraded, {} rounds degraded",
+            report.cases_crashed,
+            report.total,
+            report.cases_timed_out,
+            report.cases_degraded,
+            report.degraded_rounds,
+        );
     }
 }

@@ -132,6 +132,15 @@ pub struct CorrectionReport {
     /// Conformance re-prompts issued (one per disagreement, by design).
     #[serde(default)]
     pub conformance_retries: u64,
+    /// Cases that panicked and were contained by the runner's per-case
+    /// isolation (they count toward `total` but never toward
+    /// `corrected_after_round`).
+    #[serde(default)]
+    pub cases_crashed: usize,
+    /// Cases expired by the stall watchdog (zero when no per-case
+    /// deadline is configured).
+    #[serde(default)]
+    pub cases_timed_out: usize,
     /// Per-run throughput metrics (worker count, wall time, cache hit
     /// rate, …). Excluded from serialization and comparisons: wall-clock
     /// and cache interleaving vary run to run, while every other report
@@ -275,6 +284,8 @@ mod tests {
             router_realized_agreements: 0,
             router_realized_disagreements: 0,
             conformance_retries: 0,
+            cases_crashed: 0,
+            cases_timed_out: 0,
             metrics: RunMetrics::default(),
         };
         assert!((report.pct_after(1) - 45.0).abs() < 1e-9);
@@ -297,6 +308,8 @@ mod tests {
             router_realized_agreements: 0,
             router_realized_disagreements: 0,
             conformance_retries: 0,
+            cases_crashed: 0,
+            cases_timed_out: 0,
             metrics: RunMetrics::default(),
         };
         assert_eq!(report.pct_after(3), 0.0);
@@ -314,6 +327,8 @@ mod tests {
             router_realized_agreements: 0,
             router_realized_disagreements: 0,
             conformance_retries: 0,
+            cases_crashed: 0,
+            cases_timed_out: 0,
             metrics: RunMetrics::default(),
         };
         assert_eq!(empty.pct_after(1), 0.0);

@@ -1,0 +1,105 @@
+//! Per-case panic isolation for the evaluation runner.
+//!
+//! One buggy case (or an injected backend panic) must not abort a run
+//! that has hours of verdicts behind it. [`run_isolated`] runs a closure
+//! under [`std::panic::catch_unwind`] and converts an unwind into an
+//! `Err(message)` the caller records as a crashed-case outcome.
+//!
+//! The default panic hook prints a backtrace to stderr the moment the
+//! panic fires — noisy and misleading when the panic is contained by
+//! design. A process-wide chained hook (installed once, on first use)
+//! suppresses that printing for panics raised inside an isolated
+//! section, captures the message and location into a thread-local
+//! instead, and delegates every other panic to the previous hook
+//! unchanged.
+
+use std::cell::{Cell, RefCell};
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::Once;
+
+thread_local! {
+    /// Nesting depth of isolated sections on this thread (sessions may
+    /// isolate a call that the runner already isolated).
+    static ISOLATION_DEPTH: Cell<u32> = const { Cell::new(0) };
+    /// Message captured by the hook for the innermost in-flight panic.
+    static CAPTURED_PANIC: RefCell<Option<String>> = const { RefCell::new(None) };
+}
+
+static HOOK: Once = Once::new();
+
+fn install_hook() {
+    HOOK.call_once(|| {
+        let previous = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if ISOLATION_DEPTH.with(Cell::get) == 0 {
+                previous(info);
+                return;
+            }
+            let message = info
+                .payload()
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| info.payload().downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "panic payload of unknown type".to_string());
+            let located = match info.location() {
+                Some(location) => format!("{message} (at {location})"),
+                None => message,
+            };
+            CAPTURED_PANIC.with(|c| *c.borrow_mut() = Some(located));
+        }));
+    });
+}
+
+/// Runs `f`, containing any panic it raises. Returns the closure's value
+/// or the captured panic message (with source location when known).
+pub(crate) fn run_isolated<R>(f: impl FnOnce() -> R) -> Result<R, String> {
+    install_hook();
+    ISOLATION_DEPTH.with(|d| d.set(d.get() + 1));
+    let result = panic::catch_unwind(AssertUnwindSafe(f));
+    ISOLATION_DEPTH.with(|d| d.set(d.get() - 1));
+    result.map_err(|payload| {
+        CAPTURED_PANIC.with(RefCell::take).unwrap_or_else(|| {
+            payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "panic payload of unknown type".to_string())
+        })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn values_pass_through() {
+        assert_eq!(run_isolated(|| 41 + 1), Ok(42));
+    }
+
+    #[test]
+    fn panics_become_messages_with_location() {
+        let err = run_isolated(|| -> u32 { panic!("boom {}", 7) }).unwrap_err();
+        assert!(err.contains("boom 7"), "{err}");
+        assert!(err.contains("isolate.rs"), "location missing: {err}");
+    }
+
+    #[test]
+    fn nested_isolation_unwinds_to_the_inner_boundary() {
+        let outer = run_isolated(|| {
+            let inner = run_isolated(|| -> u32 { panic!("inner") });
+            assert!(inner.unwrap_err().contains("inner"));
+            // The outer section is still armed after the inner one pops.
+            let second = run_isolated(|| -> u32 { panic!("second") });
+            assert!(second.unwrap_err().contains("second"));
+            5
+        });
+        assert_eq!(outer, Ok(5));
+    }
+
+    #[test]
+    fn non_string_payloads_are_reported_generically() {
+        let err = run_isolated(|| std::panic::panic_any(1234_i32)).unwrap_err();
+        assert!(err.contains("unknown type"), "{err}");
+    }
+}

@@ -15,7 +15,10 @@
 //! - [`experiment`]: drivers regenerating the paper's evaluation (§4).
 //! - [`runner`]: the parallel, sharded evaluation runner behind the
 //!   [`CorrectionRun`] builder — bit-identical reports at any worker
-//!   count.
+//!   count, with per-case panic isolation and an optional stall
+//!   watchdog.
+//! - [`journal`]: the crash-safe write-ahead run journal that makes
+//!   killed evaluations resumable without changing their reports.
 
 #![warn(missing_docs)]
 
@@ -24,6 +27,8 @@ pub mod assistant;
 pub mod experiment;
 pub mod explain;
 pub mod interpret;
+mod isolate;
+pub mod journal;
 pub mod pipeline;
 pub mod refine;
 pub mod runner;
@@ -34,10 +39,14 @@ pub use assistant::{Assistant, AssistantTurn};
 pub use experiment::{zero_shot_report, AnnotatedCase, CorrectionReport, ErrorCase};
 pub use explain::{explain_query, reformulate};
 pub use interpret::{interpret, Interpretation};
+pub use journal::{FsyncPolicy, RunJournal};
 pub use pipeline::{
     gate_candidate, incorporate, try_incorporate, ConformanceReport, GateOutcome,
     IncorporateContext, IncorporateOutcome, Strategy,
 };
 pub use refine::{QueryBuilder, RefineError, RefineStep};
-pub use runner::{workers_from_env, CorrectionRun, ExperimentConfig, RunMetrics};
+pub use runner::{
+    run_fingerprint, workers_from_env, CaseOutcome, CaseVerdict, CorrectionRun, ExperimentConfig,
+    RunMetrics,
+};
 pub use session::{ChatEvent, Session};

@@ -32,16 +32,48 @@
 //! The only thread-count-dependent observables are throughput numbers
 //! (wall time, cache hit counters), which are quarantined in
 //! [`RunMetrics`] and excluded from report serialization.
+//!
+//! # Durability and robustness
+//!
+//! Three opt-in layers keep long evaluations alive and restartable:
+//!
+//! - **Write-ahead journal** ([`crate::journal`]): with
+//!   [`CorrectionRun::journal`], every finished case is appended to an
+//!   append-only, checksummed journal *before* it is merged; a killed
+//!   run restarted with [`CorrectionRun::resume`] replays the journal,
+//!   skips every recorded case, and produces a report bit-identical to
+//!   an uninterrupted run — at any worker count, because per-case work
+//!   is pure and the journal is keyed by case index, not append order.
+//! - **Panic isolation**: each case runs under
+//!   [`std::panic::catch_unwind`]; a panic (from a pipeline bug or an
+//!   injected backend fault) records a [`CaseOutcome::Crashed`] verdict
+//!   instead of aborting the run.
+//! - **Stall watchdog**: with [`CorrectionRun::case_deadline_ms`], each
+//!   case gets a wall-clock budget. Engine executions poll the budget
+//!   through an execution pulse ([`fisql_engine::set_exec_pulse`]) and
+//!   the round loop checks it at every round boundary, so a stalled
+//!   case is marked [`CaseOutcome::TimedOut`] while the run continues;
+//!   a monitor thread additionally journals cases hung long past their
+//!   deadline so even a subsequent kill loses nothing. Backends that
+//!   expose a virtual session clock
+//!   ([`FallibleLanguageModel::session_virtual_elapsed_ms`]) are also
+//!   expired *deterministically* against that clock, which keeps
+//!   reports worker-count invariant under simulated stalls.
 
 use crate::assistant::Assistant;
 use crate::experiment::{build_view, AnnotatedCase, CorrectionReport, ErrorCase};
+use crate::journal::{Fnv64, FsyncPolicy, RunJournal};
 use crate::pipeline::{try_incorporate, IncorporateContext, Strategy};
 use fisql_feedback::SimUser;
 use fisql_llm::{cache, AgreementStats, FallibleLanguageModel, ResilienceStats, SimLlm};
 use fisql_spider::{check_prediction, Corpus, Verdict};
-use fisql_sqlkit::{normalize_query, print_query_spanned};
+use fisql_sqlkit::{normalize_query, print_query, print_query_spanned};
 use serde::{Deserialize, Serialize};
-use std::time::Instant;
+use std::io;
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 /// Environment variable overriding the default worker count (used by CI
 /// to exercise the suite serially and sharded).
@@ -73,6 +105,16 @@ pub struct ExperimentConfig {
     /// [`crate::pipeline::ConformanceReport`]).
     #[serde(default)]
     pub conformance_gate: bool,
+    /// Stall-watchdog budget per case, in milliseconds. `None` (the
+    /// default) disables the watchdog entirely — no monitor thread, no
+    /// execution pulse, bit-for-bit the pre-watchdog behavior. When
+    /// set, a case exceeding the budget is marked
+    /// [`CaseOutcome::TimedOut`] and the run continues. Backends with a
+    /// virtual session clock are expired against it deterministically;
+    /// otherwise expiry is wall-clock (and so only deterministic when
+    /// no case actually stalls).
+    #[serde(default)]
+    pub case_deadline_ms: Option<u64>,
 }
 
 fn default_true() -> bool {
@@ -92,6 +134,7 @@ impl Default for ExperimentConfig {
             demos_k: 3,
             static_oracle: default_true(),
             conformance_gate: false,
+            case_deadline_ms: None,
         }
     }
 }
@@ -190,16 +233,46 @@ impl RunMetrics {
     }
 }
 
-/// What one case contributes to the merged report. Summing these in any
-/// order yields the same totals, which is what makes sharding free.
-struct CaseOutcome {
-    corrected_at: Option<usize>,
-    statically_flagged: usize,
-    executions_saved: u64,
-    engine_executions: u64,
-    degraded_rounds: u64,
-    executions_skipped_static: u64,
-    agreement: AgreementStats,
+/// What one *completed* case contributes to the merged report. Summing
+/// these in any order yields the same totals, which is what makes
+/// sharding free.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CaseVerdict {
+    /// Zero-based round after which the case was corrected (`None` if
+    /// every round left it wrong).
+    pub corrected_at: Option<usize>,
+    /// Rounds whose candidate the static gate flagged with
+    /// error-severity diagnostics.
+    pub statically_flagged: usize,
+    /// Engine executions the gate's auto-repair avoided.
+    pub executions_saved: u64,
+    /// Engine executions attributable to this case's evaluation loop.
+    pub engine_executions: u64,
+    /// Rounds that degraded gracefully after backend failures.
+    pub degraded_rounds: u64,
+    /// Engine executions skipped by the static equivalence oracle.
+    pub executions_skipped_static: u64,
+    /// Conformance-gate router-vs-realized telemetry for this case.
+    pub agreement: AgreementStats,
+}
+
+/// Terminal outcome of one case — the unit the write-ahead journal
+/// records and the sharded runner merges.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum CaseOutcome {
+    /// The case ran its correction loop to completion.
+    Completed(CaseVerdict),
+    /// The case panicked. The panic was contained by the runner's
+    /// per-case isolation; the run continued.
+    Crashed {
+        /// Captured panic message (with source location when known).
+        message: String,
+    },
+    /// The stall watchdog expired the case.
+    TimedOut {
+        /// Zero-based round that was in flight when the budget ran out.
+        round: usize,
+    },
 }
 
 /// Builder for the correction experiment (see the module docs).
@@ -222,6 +295,9 @@ pub struct CorrectionRun<'a, L: FallibleLanguageModel + ?Sized = SimLlm> {
     llm: &'a L,
     user: &'a SimUser,
     cfg: ExperimentConfig,
+    journal: Option<&'a Path>,
+    resume: bool,
+    fsync: FsyncPolicy,
 }
 
 // Manual Clone/Copy: derives would bound `L: Clone`/`L: Copy`, but only
@@ -242,6 +318,9 @@ impl<'a, L: FallibleLanguageModel + ?Sized> CorrectionRun<'a, L> {
             llm,
             user,
             cfg: ExperimentConfig::default(),
+            journal: None,
+            resume: false,
+            fsync: FsyncPolicy::default(),
         }
     }
 
@@ -287,6 +366,40 @@ impl<'a, L: FallibleLanguageModel + ?Sized> CorrectionRun<'a, L> {
         self
     }
 
+    /// Sets the stall-watchdog budget per case (`None` disables the
+    /// watchdog — the default).
+    pub fn case_deadline_ms(mut self, deadline_ms: Option<u64>) -> Self {
+        self.cfg.case_deadline_ms = deadline_ms;
+        self
+    }
+
+    /// Journals every finished case to the write-ahead journal at
+    /// `path` (see [`crate::journal`]). Without
+    /// [`resume`](CorrectionRun::resume) an existing file is truncated
+    /// and the run starts fresh.
+    pub fn journal(mut self, path: &'a Path) -> Self {
+        self.journal = Some(path);
+        self
+    }
+
+    /// Resume from the configured journal when one already exists:
+    /// recorded cases are skipped and their journaled outcomes merged
+    /// directly, so a killed run picks up where it stopped and still
+    /// produces a report bit-identical to an uninterrupted one. A
+    /// journal written by a different experiment (config or case set)
+    /// is refused. No-op without [`journal`](CorrectionRun::journal).
+    pub fn resume(mut self, on: bool) -> Self {
+        self.resume = on;
+        self
+    }
+
+    /// Sets the journal's fsync policy (default:
+    /// [`FsyncPolicy::Batch`]).
+    pub fn fsync(mut self, policy: FsyncPolicy) -> Self {
+        self.fsync = policy;
+        self
+    }
+
     /// Replaces the whole configuration at once.
     pub fn config(mut self, cfg: ExperimentConfig) -> Self {
         self.cfg = cfg;
@@ -327,13 +440,35 @@ impl<'a, L: FallibleLanguageModel + ?Sized> CorrectionRun<'a, L> {
     /// configured strategy over the annotated cases, sharded across the
     /// configured worker count. The returned report is bit-identical at
     /// any worker count; only [`CorrectionReport::metrics`] varies.
+    ///
+    /// Panics on journal I/O failure; use
+    /// [`try_run`](CorrectionRun::try_run) to handle that gracefully.
+    /// Runs without a journal configured never fail.
     pub fn run(&self, cases: &[AnnotatedCase]) -> CorrectionReport {
+        self.try_run(cases).expect("run journal I/O failed")
+    }
+
+    /// [`run`](CorrectionRun::run) surfacing journal I/O errors instead
+    /// of panicking.
+    pub fn try_run(&self, cases: &[AnnotatedCase]) -> io::Result<CorrectionReport> {
         let started = Instant::now();
         let cache_before = cache::global_stats();
         let resilience_before = self.llm.resilience_stats().unwrap_or_default();
-        let workers = self.cfg.effective_workers(cases.len());
 
-        let outcomes = shard_map(cases, workers, |case| self.run_case(case));
+        let mut outcomes: Vec<Option<CaseOutcome>> = vec![None; cases.len()];
+        let journal = self.open_journal(cases, &mut outcomes)?;
+        let pending: Vec<usize> = outcomes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, o)| o.is_none().then_some(i))
+            .collect();
+        let workers = self.cfg.effective_workers(pending.len());
+        for (idx, outcome) in self.run_pending(cases, &pending, workers, journal.as_ref())? {
+            outcomes[idx] = Some(outcome);
+        }
+        if let Some(journal) = &journal {
+            journal.lock().expect("journal lock").sync()?;
+        }
 
         let mut corrected_after_round = vec![0usize; self.cfg.rounds];
         let mut statically_flagged = 0usize;
@@ -342,19 +477,27 @@ impl<'a, L: FallibleLanguageModel + ?Sized> CorrectionRun<'a, L> {
         let mut degraded_rounds = 0u64;
         let mut cases_degraded = 0usize;
         let mut executions_skipped_static = 0u64;
+        let mut cases_crashed = 0usize;
+        let mut cases_timed_out = 0usize;
         let mut agreement = AgreementStats::default();
-        for outcome in &outcomes {
-            statically_flagged += outcome.statically_flagged;
-            executions_saved += outcome.executions_saved;
-            engine_executions += outcome.engine_executions;
-            degraded_rounds += outcome.degraded_rounds;
-            cases_degraded += usize::from(outcome.degraded_rounds > 0);
-            executions_skipped_static += outcome.executions_skipped_static;
-            agreement.merge(&outcome.agreement);
-            if let Some(r) = outcome.corrected_at {
-                for slot in corrected_after_round.iter_mut().skip(r) {
-                    *slot += 1;
+        for outcome in outcomes.iter().flatten() {
+            match outcome {
+                CaseOutcome::Completed(verdict) => {
+                    statically_flagged += verdict.statically_flagged;
+                    executions_saved += verdict.executions_saved;
+                    engine_executions += verdict.engine_executions;
+                    degraded_rounds += verdict.degraded_rounds;
+                    cases_degraded += usize::from(verdict.degraded_rounds > 0);
+                    executions_skipped_static += verdict.executions_skipped_static;
+                    agreement.merge(&verdict.agreement);
+                    if let Some(r) = verdict.corrected_at {
+                        for slot in corrected_after_round.iter_mut().skip(r) {
+                            *slot += 1;
+                        }
+                    }
                 }
+                CaseOutcome::Crashed { .. } => cases_crashed += 1,
+                CaseOutcome::TimedOut { .. } => cases_timed_out += 1,
             }
         }
         let resilience = self
@@ -371,7 +514,7 @@ impl<'a, L: FallibleLanguageModel + ?Sized> CorrectionRun<'a, L> {
             resilience,
         );
         metrics.agreement = agreement;
-        CorrectionReport {
+        Ok(CorrectionReport {
             strategy: self.cfg.strategy.name().to_string(),
             total: cases.len(),
             corrected_after_round,
@@ -380,15 +523,142 @@ impl<'a, L: FallibleLanguageModel + ?Sized> CorrectionRun<'a, L> {
             degraded_rounds,
             cases_degraded,
             executions_skipped_static,
+            cases_crashed,
+            cases_timed_out,
             router_realized_agreements: agreement.agreements,
             router_realized_disagreements: agreement.disagreements(),
             conformance_retries: agreement.retries,
             metrics,
+        })
+    }
+
+    /// Creates or resumes the configured journal, merging any recovered
+    /// records into `outcomes`. `None` when journaling is off.
+    fn open_journal(
+        &self,
+        cases: &[AnnotatedCase],
+        outcomes: &mut [Option<CaseOutcome>],
+    ) -> io::Result<Option<Mutex<RunJournal>>> {
+        let Some(path) = self.journal else {
+            return Ok(None);
+        };
+        let fingerprint = run_fingerprint(&self.cfg, cases);
+        let n = cases.len() as u64;
+        if self.resume && path.exists() {
+            let (journal, records) =
+                RunJournal::open_resume::<CaseOutcome>(path, fingerprint, n, self.fsync)?;
+            for (idx, outcome) in records {
+                if let Some(slot) = outcomes.get_mut(usize::try_from(idx).unwrap_or(usize::MAX)) {
+                    *slot = Some(outcome); // duplicate records: last wins
+                }
+            }
+            Ok(Some(Mutex::new(journal)))
+        } else {
+            let journal = RunJournal::create(path, fingerprint, n, self.fsync)?;
+            Ok(Some(Mutex::new(journal)))
         }
     }
 
+    /// Evaluates the not-yet-recorded cases, sharded contiguously over
+    /// `workers` scoped threads, write-ahead journaling each outcome as
+    /// it lands. Returns `(case index, outcome)` pairs.
+    fn run_pending(
+        &self,
+        cases: &[AnnotatedCase],
+        pending: &[usize],
+        workers: usize,
+        journal: Option<&Mutex<RunJournal>>,
+    ) -> io::Result<Vec<(usize, CaseOutcome)>> {
+        if pending.is_empty() {
+            return Ok(Vec::new());
+        }
+        let slots: Vec<Arc<CaseSlot>> = (0..workers).map(|_| Arc::new(CaseSlot::idle())).collect();
+        let done = AtomicBool::new(false);
+        let epoch = Instant::now();
+        let chunk = pending.len().div_ceil(workers);
+        std::thread::scope(|scope| {
+            let watchdog = self.cfg.case_deadline_ms.map(|deadline_ms| {
+                let slots = slots.clone();
+                let done = &done;
+                scope.spawn(move || watch_for_stalls(&slots, done, epoch, deadline_ms, journal))
+            });
+            let handles: Vec<_> = pending
+                .chunks(chunk)
+                .zip(&slots)
+                .map(|(shard, slot)| {
+                    scope.spawn(|| self.run_shard(cases, shard, slot, epoch, journal))
+                })
+                .collect();
+            let mut merged = Vec::with_capacity(pending.len());
+            let mut first_err = None;
+            for handle in handles {
+                match handle.join().expect("runner worker panicked") {
+                    Ok(part) => merged.extend(part),
+                    Err(e) => first_err = first_err.or(Some(e)),
+                }
+            }
+            done.store(true, Ordering::Release);
+            if let Some(watchdog) = watchdog {
+                watchdog.join().expect("watchdog panicked");
+            }
+            match first_err {
+                Some(e) => Err(e),
+                None => Ok(merged),
+            }
+        })
+    }
+
+    /// One worker's loop: run each assigned case in panic isolation,
+    /// journal its outcome, and keep the watchdog slot current.
+    fn run_shard(
+        &self,
+        cases: &[AnnotatedCase],
+        shard: &[usize],
+        slot: &Arc<CaseSlot>,
+        epoch: Instant,
+        journal: Option<&Mutex<RunJournal>>,
+    ) -> io::Result<Vec<(usize, CaseOutcome)>> {
+        // While the watchdog is armed, long engine executions on this
+        // thread poll the case budget (strided, inside the engine's
+        // existing budget checks) and abort once it is exhausted.
+        let _pulse = self.cfg.case_deadline_ms.map(|_| {
+            let slot = Arc::clone(slot);
+            fisql_engine::set_exec_pulse(Some(Box::new(move || {
+                now_ms(epoch) > slot.deadline_at_ms.load(Ordering::Relaxed)
+            })));
+            PulseGuard
+        });
+        let mut out = Vec::with_capacity(shard.len());
+        for &idx in shard {
+            slot.begin(idx, epoch, self.cfg.case_deadline_ms);
+            let mut outcome =
+                match crate::isolate::run_isolated(|| self.run_case(&cases[idx], slot, epoch)) {
+                    Ok(outcome) => outcome,
+                    Err(message) => CaseOutcome::Crashed { message },
+                };
+            if slot.claim_journaled() {
+                if let Some(journal) = journal {
+                    journal
+                        .lock()
+                        .expect("journal lock")
+                        .append(idx as u64, &outcome)?;
+                }
+            } else {
+                // The watchdog already journaled this case as hung past
+                // its grace period; keep the in-memory report
+                // consistent with what the journal says.
+                outcome = CaseOutcome::TimedOut {
+                    round: slot.round.load(Ordering::Acquire),
+                };
+            }
+            slot.end();
+            out.push((idx, outcome));
+        }
+        Ok(out)
+    }
+
     /// One case's multi-round correction loop — the unit of sharding.
-    fn run_case(&self, case: &AnnotatedCase) -> CaseOutcome {
+    fn run_case(&self, case: &AnnotatedCase, slot: &CaseSlot, epoch: Instant) -> CaseOutcome {
         // One case = one resilience session: the backend resets its
         // per-session breaker/deadline state here, on this worker's
         // thread, so failure handling depends only on this case's own
@@ -398,15 +668,7 @@ impl<'a, L: FallibleLanguageModel + ?Sized> CorrectionRun<'a, L> {
         let db = self.corpus.database(example);
         let mut current = normalize_query(&case.error.initial);
         let mut question = example.question.clone();
-        let mut outcome = CaseOutcome {
-            corrected_at: None,
-            statically_flagged: 0,
-            executions_saved: 0,
-            engine_executions: 0,
-            degraded_rounds: 0,
-            executions_skipped_static: 0,
-            agreement: AgreementStats::default(),
-        };
+        let mut verdict = CaseVerdict::default();
 
         // Equivalence-oracle memo: normalized queries this case already
         // executed and found *incorrect* (but executable — execution
@@ -419,12 +681,30 @@ impl<'a, L: FallibleLanguageModel + ?Sized> CorrectionRun<'a, L> {
         }
 
         for round in 0..self.cfg.rounds {
+            // Heartbeat plus stall checks at every round boundary: the
+            // wall-clock budget (the same one the engine pulse polls)
+            // and, when the backend keeps one, the *virtual* session
+            // clock — deterministic, so simulated stalls time out
+            // identically at any worker count.
+            slot.round.store(round, Ordering::Release);
+            if let Some(limit) = self.cfg.case_deadline_ms {
+                if now_ms(epoch) > slot.deadline_at_ms.load(Ordering::Relaxed) {
+                    return CaseOutcome::TimedOut { round };
+                }
+                if self
+                    .llm
+                    .session_virtual_elapsed_ms()
+                    .is_some_and(|virtual_ms| virtual_ms > limit)
+                {
+                    return CaseOutcome::TimedOut { round };
+                }
+            }
             // Elicit (or reuse) this round's feedback.
             let mut feedback = if round == 0 {
                 Some(case.feedback.clone())
             } else {
                 let view = build_view(db, example, &current);
-                outcome.engine_executions += 1; // the view renders a result grid
+                verdict.engine_executions += 1; // the view renders a result grid
                 self.user.feedback(example, &current, &view, round as u64)
             };
             let Some(fb) = feedback.as_mut() else {
@@ -459,15 +739,15 @@ impl<'a, L: FallibleLanguageModel + ?Sized> CorrectionRun<'a, L> {
                 // the previous SQL (known incorrect — the loop only
                 // reaches here uncorrected) and moves on. The next
                 // round re-elicits feedback against it.
-                outcome.degraded_rounds += 1;
+                verdict.degraded_rounds += 1;
                 continue;
             };
             if step.gate.has_errors() {
-                outcome.statically_flagged += 1;
+                verdict.statically_flagged += 1;
             }
-            outcome.executions_saved += step.gate.executions_saved;
+            verdict.executions_saved += step.gate.executions_saved;
             if let Some(c) = step.conformance {
-                outcome
+                verdict
                     .agreement
                     .record(c.agreed, c.retried, c.agreed_after_retry);
             }
@@ -486,24 +766,24 @@ impl<'a, L: FallibleLanguageModel + ?Sized> CorrectionRun<'a, L> {
                     .iter()
                     .any(|q| fisql_sqlkit::provably_equivalent(q, &current))
             {
-                outcome.executions_skipped_static += 2;
+                verdict.executions_skipped_static += 2;
                 continue;
             }
 
-            outcome.engine_executions += 2; // correctness check runs predicted + gold
-            let verdict = check_prediction(db, example, &current);
-            if verdict.is_correct() {
-                outcome.corrected_at = Some(round);
+            verdict.engine_executions += 2; // correctness check runs predicted + gold
+            let check = check_prediction(db, example, &current);
+            if check.is_correct() {
+                verdict.corrected_at = Some(round);
                 break;
             }
             if self.cfg.static_oracle
                 && !step.gate.has_errors()
-                && !matches!(verdict, Verdict::ExecutionError { .. })
+                && !matches!(check, Verdict::ExecutionError { .. })
             {
                 known_incorrect.push(current.clone());
             }
         }
-        outcome
+        CaseOutcome::Completed(verdict)
     }
 }
 
@@ -565,6 +845,131 @@ where
         }
         merged
     })
+}
+
+/// Milliseconds elapsed since the run epoch (saturating).
+fn now_ms(epoch: Instant) -> u64 {
+    u64::try_from(epoch.elapsed().as_millis()).unwrap_or(u64::MAX)
+}
+
+/// Shared per-worker watchdog slot: which case the worker is on, its
+/// current round, and the case's absolute wall-clock deadline in
+/// milliseconds since the run epoch (`u64::MAX` = unarmed,
+/// `usize::MAX` case index = idle).
+struct CaseSlot {
+    case_idx: AtomicUsize,
+    round: AtomicUsize,
+    deadline_at_ms: AtomicU64,
+    journaled: AtomicBool,
+}
+
+impl CaseSlot {
+    fn idle() -> CaseSlot {
+        CaseSlot {
+            case_idx: AtomicUsize::new(usize::MAX),
+            round: AtomicUsize::new(0),
+            deadline_at_ms: AtomicU64::new(u64::MAX),
+            journaled: AtomicBool::new(true),
+        }
+    }
+
+    fn begin(&self, idx: usize, epoch: Instant, deadline_ms: Option<u64>) {
+        self.round.store(0, Ordering::Release);
+        self.journaled.store(false, Ordering::Release);
+        self.deadline_at_ms.store(
+            deadline_ms.map_or(u64::MAX, |d| now_ms(epoch).saturating_add(d)),
+            Ordering::Release,
+        );
+        self.case_idx.store(idx, Ordering::Release);
+    }
+
+    fn end(&self) {
+        self.case_idx.store(usize::MAX, Ordering::Release);
+        self.deadline_at_ms.store(u64::MAX, Ordering::Release);
+    }
+
+    /// Exactly-once journaling handshake between the worker and the
+    /// watchdog: whoever flips the flag first writes the record.
+    fn claim_journaled(&self) -> bool {
+        self.journaled
+            .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+    }
+}
+
+/// Clears the engine's execution pulse when the worker thread finishes.
+struct PulseGuard;
+
+impl Drop for PulseGuard {
+    fn drop(&mut self) {
+        fisql_engine::set_exec_pulse(None);
+    }
+}
+
+/// The stall monitor: wakes a few times per deadline period and
+/// write-ahead journals any case hung *far* past its budget (cooperative
+/// cancellation cannot fire while non-engine code is stuck), so that
+/// killing the process mid-hang still leaves a record and the resumed
+/// run skips the poisonous case instead of hanging on it again.
+fn watch_for_stalls(
+    slots: &[Arc<CaseSlot>],
+    done: &AtomicBool,
+    epoch: Instant,
+    deadline_ms: u64,
+    journal: Option<&Mutex<RunJournal>>,
+) {
+    let grace = deadline_ms.saturating_mul(4).max(1);
+    let poll = Duration::from_millis((deadline_ms / 4).clamp(5, 250));
+    while !done.load(Ordering::Acquire) {
+        let now = now_ms(epoch);
+        for slot in slots {
+            let idx = slot.case_idx.load(Ordering::Acquire);
+            if idx == usize::MAX {
+                continue;
+            }
+            let due = slot.deadline_at_ms.load(Ordering::Acquire);
+            if now <= due.saturating_add(grace) {
+                continue;
+            }
+            if let Some(journal) = journal {
+                if slot.claim_journaled() {
+                    let outcome = CaseOutcome::TimedOut {
+                        round: slot.round.load(Ordering::Acquire),
+                    };
+                    if let Ok(mut guard) = journal.lock() {
+                        // Best effort: a journaling error here must not
+                        // take down the monitor.
+                        let _ = guard.append(idx as u64, &outcome);
+                        let _ = guard.sync();
+                    }
+                }
+            }
+        }
+        std::thread::sleep(poll);
+    }
+}
+
+/// Content fingerprint binding a run journal to one experiment: the
+/// full configuration *except* the worker count (sharding never changes
+/// the report, so a journal written at one worker count resumes at any
+/// other) plus a digest of the case set — example index, initial SQL,
+/// feedback text, and execution status of every annotated case.
+pub fn run_fingerprint(cfg: &ExperimentConfig, cases: &[AnnotatedCase]) -> u64 {
+    let mut id_cfg = *cfg;
+    id_cfg.workers = 0;
+    let mut hasher = Fnv64::new();
+    hasher.update(
+        serde_json::to_string(&id_cfg)
+            .expect("config serializes")
+            .as_bytes(),
+    );
+    for case in cases {
+        hasher.update(&(case.error.example_idx as u64).to_le_bytes());
+        hasher.update(print_query(&case.error.initial).as_bytes());
+        hasher.update(case.feedback.text.as_bytes());
+        hasher.update(&[u8::from(case.error.execution_error)]);
+    }
+    hasher.finish()
 }
 
 #[cfg(test)]
@@ -719,6 +1124,206 @@ mod tests {
             serde_json::to_string(&neutered).unwrap(),
             serde_json::to_string(&plain).unwrap()
         );
+    }
+
+    /// A forwarding backend whose virtual session clock is permanently
+    /// past any deadline: every case expires at its first round boundary,
+    /// deterministically, at any worker count.
+    struct StalledClock<B>(B);
+
+    impl<B: FallibleLanguageModel> FallibleLanguageModel for StalledClock<B> {
+        fn try_generate_sql(
+            &self,
+            req: &fisql_llm::GenRequest<'_>,
+        ) -> fisql_llm::BackendResult<fisql_llm::Generation> {
+            self.0.try_generate_sql(req)
+        }
+
+        fn try_classify_feedback(
+            &self,
+            utterance: &str,
+            salt: u64,
+        ) -> fisql_llm::BackendResult<fisql_sqlkit::OpClass> {
+            self.0.try_classify_feedback(utterance, salt)
+        }
+
+        fn try_rewrite_question(
+            &self,
+            question: &str,
+            feedback: &str,
+        ) -> fisql_llm::BackendResult<String> {
+            self.0.try_rewrite_question(question, feedback)
+        }
+
+        fn try_edit_success_prob(
+            &self,
+            routed: bool,
+            dynamic: bool,
+        ) -> fisql_llm::BackendResult<f64> {
+            self.0.try_edit_success_prob(routed, dynamic)
+        }
+
+        fn try_edit_complexity_factor(
+            &self,
+            edits: &[fisql_sqlkit::EditOp],
+        ) -> fisql_llm::BackendResult<f64> {
+            self.0.try_edit_complexity_factor(edits)
+        }
+
+        fn try_apply_feedback_edit_with_prob(
+            &self,
+            previous: &fisql_sqlkit::Query,
+            edits: &[fisql_sqlkit::EditOp],
+            p: f64,
+            example_id: usize,
+            salt: u64,
+        ) -> fisql_llm::BackendResult<fisql_sqlkit::Query> {
+            self.0
+                .try_apply_feedback_edit_with_prob(previous, edits, p, example_id, salt)
+        }
+
+        fn session_virtual_elapsed_ms(&self) -> Option<u64> {
+            Some(u64::MAX)
+        }
+    }
+
+    #[test]
+    fn panicking_cases_are_contained_and_bit_identical() {
+        let (corpus, llm, user) = small_setup();
+        let collect = CorrectionRun::new(&corpus, &llm, &user)
+            .demos_k(3)
+            .rounds(2)
+            .workers(1);
+        let errors = collect.collect_errors();
+        let annotated = collect.annotate(&errors);
+        assert!(!annotated.is_empty());
+
+        let crashing = fisql_llm::FaultyBackend::new(
+            llm.clone(),
+            fisql_llm::FaultConfig {
+                panic: 0.15,
+                ..fisql_llm::FaultConfig::default()
+            },
+        );
+        let run = CorrectionRun::new(&corpus, &crashing, &user)
+            .demos_k(3)
+            .rounds(2);
+        let serial = run.workers(1).run(&annotated);
+        assert!(
+            serial.cases_crashed > 0,
+            "a 15% per-call panic rate never fired across {} cases",
+            annotated.len()
+        );
+        assert_eq!(serial.total, annotated.len());
+        let serial_json = serde_json::to_string(&serial).unwrap();
+        for workers in [4, 8] {
+            let parallel = run.workers(workers).run(&annotated);
+            assert_eq!(
+                serde_json::to_string(&parallel).unwrap(),
+                serial_json,
+                "crash containment diverged at {workers} workers"
+            );
+        }
+    }
+
+    #[test]
+    fn virtual_clock_stalls_time_out_deterministically() {
+        let (corpus, llm, user) = small_setup();
+        let collect = CorrectionRun::new(&corpus, &llm, &user)
+            .demos_k(3)
+            .rounds(2)
+            .workers(1);
+        let errors = collect.collect_errors();
+        let annotated = collect.annotate(&errors);
+        assert!(!annotated.is_empty());
+
+        let stalled = StalledClock(llm.clone());
+        let run = CorrectionRun::new(&corpus, &stalled, &user)
+            .demos_k(3)
+            .rounds(2)
+            .case_deadline_ms(Some(5_000));
+        let serial = run.workers(1).run(&annotated);
+        assert_eq!(
+            serial.cases_timed_out,
+            annotated.len(),
+            "every case's virtual clock is past the deadline"
+        );
+        assert_eq!(serial.corrected_after_round, vec![0, 0]);
+        let serial_json = serde_json::to_string(&serial).unwrap();
+        for workers in [4, 8] {
+            let parallel = run.workers(workers).run(&annotated);
+            assert_eq!(
+                serde_json::to_string(&parallel).unwrap(),
+                serial_json,
+                "virtual-clock expiry diverged at {workers} workers"
+            );
+        }
+
+        // Without a deadline the same backend runs to completion: the
+        // watchdog is strictly opt-in.
+        let unarmed = run.case_deadline_ms(None).workers(1).run(&annotated);
+        assert_eq!(unarmed.cases_timed_out, 0);
+    }
+
+    #[test]
+    fn journal_resume_after_torn_tail_matches_fresh_run() {
+        let (corpus, llm, user) = small_setup();
+        let run = CorrectionRun::new(&corpus, &llm, &user)
+            .demos_k(3)
+            .rounds(2)
+            .workers(1);
+        let errors = run.collect_errors();
+        let annotated = run.annotate(&errors);
+        assert!(annotated.len() >= 4, "need a few cases to truncate");
+        let baseline = run.run(&annotated);
+        let baseline_json = serde_json::to_string(&baseline).unwrap();
+
+        let path =
+            std::env::temp_dir().join(format!("fisql-runner-journal-{}.fjnl", std::process::id()));
+        let journaled = run.journal(&path).fsync(FsyncPolicy::Never).run(&annotated);
+        assert_eq!(
+            serde_json::to_string(&journaled).unwrap(),
+            baseline_json,
+            "journaling must not perturb the report"
+        );
+
+        // Chop the journal mid-record — the moral equivalent of SIGKILL
+        // mid-write — and resume at several worker counts.
+        let full = std::fs::read(&path).unwrap();
+        assert!(full.len() > crate::journal::HEADER_LEN + 16);
+        for (workers, cut) in [
+            (1, full.len() / 3),
+            (4, full.len() / 2),
+            (8, full.len() - 5),
+        ] {
+            let cut = cut.max(crate::journal::HEADER_LEN);
+            std::fs::write(&path, &full[..cut]).unwrap();
+            let resumed = run
+                .workers(workers)
+                .journal(&path)
+                .resume(true)
+                .fsync(FsyncPolicy::Never)
+                .run(&annotated);
+            assert_eq!(
+                serde_json::to_string(&resumed).unwrap(),
+                baseline_json,
+                "resume(cut={cut}, workers={workers}) diverged from the fresh run"
+            );
+        }
+
+        // A resume against a *different* experiment is refused outright.
+        std::fs::write(&path, &full).unwrap();
+        let err = run
+            .rounds(1)
+            .journal(&path)
+            .resume(true)
+            .try_run(&annotated)
+            .unwrap_err();
+        assert!(
+            err.to_string().contains("fingerprint"),
+            "wanted a fingerprint refusal, got: {err}"
+        );
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -51,6 +51,16 @@ pub enum ChatEvent {
         /// The rendered backend error chain (outermost first).
         error: String,
     },
+    /// A feedback round whose incorporation *panicked* (a bug in the
+    /// backend client or pipeline, not a reported error). The session
+    /// contains the panic at the round boundary and keeps the previous
+    /// round's SQL, the same recovery shape as [`ChatEvent::Degraded`].
+    Crashed {
+        /// Which feedback round (0-based) crashed.
+        round: u64,
+        /// The captured panic message (with source location when known).
+        message: String,
+    },
 }
 
 /// An interactive FISQL session over one database.
@@ -199,21 +209,25 @@ impl<'a> Session<'a> {
             intended: vec![],
             misaligned: false,
         };
-        match try_incorporate(
-            self.strategy,
-            llm,
-            &IncorporateContext {
-                db: self.db,
-                example,
-                question: &state.question,
-                previous: &state.current,
-                feedback: &feedback,
-                round: self.round,
-                conformance_gate: false,
-            },
-        ) {
-            Ok(outcome) => self.absorb(outcome),
-            Err(err) => self.degrade(err),
+        let round = self.round;
+        match crate::isolate::run_isolated(|| {
+            try_incorporate(
+                self.strategy,
+                llm,
+                &IncorporateContext {
+                    db: self.db,
+                    example,
+                    question: &state.question,
+                    previous: &state.current,
+                    feedback: &feedback,
+                    round,
+                    conformance_gate: false,
+                },
+            )
+        }) {
+            Ok(Ok(outcome)) => self.absorb(outcome),
+            Ok(Err(err)) => self.degrade(err),
+            Err(message) => self.crash(message),
         }
     }
 
@@ -260,6 +274,28 @@ impl<'a> Session<'a> {
         turn
     }
 
+    /// Contains a panicked feedback round: records the panic message and
+    /// re-presents the previous SQL unchanged, exactly like a degrade.
+    fn crash(&mut self, message: String) -> AssistantTurn {
+        self.transcript.push(ChatEvent::Crashed {
+            round: self.round,
+            message,
+        });
+        self.round += 1;
+        let current = self
+            .state
+            .as_ref()
+            .expect("crash() requires an active question")
+            .current
+            .clone();
+        let turn = self
+            .assistant
+            .present(self.db, current, String::new(), vec![]);
+        self.transcript
+            .push(ChatEvent::Assistant(Assistant::render_turn(&turn)));
+        turn
+    }
+
     /// Renders the whole transcript.
     ///
     /// Feedback turns render as user lines; gate events render only when
@@ -289,6 +325,11 @@ impl<'a> Session<'a> {
                 ChatEvent::Degraded { round, error } => {
                     out.push_str(&format!(
                         "[degraded] round {round}: kept previous SQL ({error})\n\n"
+                    ));
+                }
+                ChatEvent::Crashed { round, message } => {
+                    out.push_str(&format!(
+                        "[crashed] round {round}: kept previous SQL ({message})\n\n"
                     ));
                 }
             }
@@ -518,5 +559,60 @@ mod tests {
         assert!(session
             .render_transcript()
             .contains("[degraded] round 0: kept previous SQL"));
+    }
+
+    /// A panicking backend must not unwind through the session: the round
+    /// is contained as `ChatEvent::Crashed` and the previous SQL is kept.
+    #[test]
+    fn crashed_rounds_are_contained_and_keep_sql() {
+        let (corpus, e, llm) = figure4_fixture();
+        let crashing = FaultyBackend::new(
+            llm.clone(),
+            FaultConfig {
+                panic: 1.0,
+                ..FaultConfig::default()
+            },
+        );
+        let assistant = Assistant {
+            llm,
+            store: fisql_llm::DemoStore::new(vec![]),
+            demos_k: 0,
+        };
+        let mut session = Session::new(
+            corpus.database(&e),
+            assistant,
+            Strategy::Fisql {
+                routing: true,
+                highlighting: false,
+            },
+        );
+        let first = session.ask(&e);
+        let revised = session.give_feedback_via(&crashing, &e, "we are in 2024", None);
+        assert!(
+            structurally_equal(&revised.query, &first.query),
+            "a crashed round must keep the previous round's SQL"
+        );
+        let crashed: Vec<&str> = session
+            .transcript
+            .iter()
+            .filter_map(|ev| match ev {
+                ChatEvent::Crashed { round: 0, message } => Some(message.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(crashed.len(), 1);
+        assert!(
+            crashed[0].contains("injected backend panic"),
+            "panic message should survive capture: {}",
+            crashed[0]
+        );
+        assert!(session
+            .render_transcript()
+            .contains("[crashed] round 0: kept previous SQL"));
+
+        // The session is still usable after containment.
+        let healthy = session.assistant.llm.clone();
+        let again = session.give_feedback_via(&healthy, &e, "we are in 2024", None);
+        assert!(structurally_equal(&again.query, &e.gold));
     }
 }

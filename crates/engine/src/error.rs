@@ -69,9 +69,12 @@ pub enum ExecError {
     /// error: the query might be valid, it is just too expensive to let
     /// finish inside an interactive correction loop.
     BudgetExceeded {
-        /// Which budget tripped: `"rows"` or `"time"`.
+        /// Which budget tripped: `"rows"`, `"time"`, or `"watchdog"`
+        /// (an external cancellation via `exec::set_exec_pulse`).
         resource: &'static str,
-        /// The configured limit (rows, or milliseconds).
+        /// The configured limit (rows, or milliseconds; `0` for a
+        /// watchdog cancellation, whose deadline lives outside the
+        /// statement).
         limit: u64,
     },
 }
@@ -100,8 +103,12 @@ impl fmt::Display for ExecError {
             ExecError::FunctionArity { func, given } => {
                 write!(f, "wrong number of arguments to {func} ({given} given)")
             }
+            ExecError::BudgetExceeded {
+                resource: "watchdog",
+                ..
+            } => write!(f, "statement cancelled by the stall watchdog"),
             ExecError::BudgetExceeded { resource, limit } => {
-                let unit = if *resource == "time" { " ms" } else { " rows" };
+                let unit = if *resource == "rows" { " rows" } else { " ms" };
                 write!(
                     f,
                     "statement exceeded its {resource} budget ({limit}{unit})"

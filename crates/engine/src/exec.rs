@@ -59,6 +59,29 @@ impl ExecLimits {
     }
 }
 
+thread_local! {
+    /// This thread's execution pulse (see [`set_exec_pulse`]).
+    static EXEC_PULSE: RefCell<Option<Box<dyn Fn() -> bool>>> = const { RefCell::new(None) };
+}
+
+/// Installs (or, with `None`, clears) this thread's *execution pulse* —
+/// an external cancellation callback polled during the executor's
+/// strided budget checks. When the pulse returns `true`, the in-flight
+/// statement aborts with a `"watchdog"` [`ExecError::BudgetExceeded`].
+///
+/// The evaluation runner's stall watchdog uses this to cut short engine
+/// executions of cases that have exhausted their per-case deadline,
+/// independently of any per-statement [`ExecLimits`] (in particular, it
+/// fires even for statements running with `deadline_ms: None`).
+pub fn set_exec_pulse(pulse: Option<Box<dyn Fn() -> bool>>) {
+    EXEC_PULSE.with(|p| *p.borrow_mut() = pulse);
+}
+
+/// Polls this thread's execution pulse, if one is installed.
+fn pulse_expired() -> bool {
+    EXEC_PULSE.with(|p| p.borrow().as_ref().is_some_and(|pulse| pulse()))
+}
+
 /// Executes `query` against `db`.
 pub fn execute(db: &Database, query: &Query) -> ExecResult<ResultSet> {
     execute_with_limits(db, query, ExecLimits::UNLIMITED)
@@ -229,8 +252,11 @@ impl<'a> Executor<'a> {
         Ok(())
     }
 
-    /// Checks the wall-clock deadline (called at materialization points
-    /// and periodically inside join loops).
+    /// Checks the wall-clock deadline and the thread's execution pulse
+    /// (called at materialization points and periodically inside join
+    /// loops). The pulse check runs even when `deadline_ms` is `None`,
+    /// so an external watchdog can cancel otherwise-unbounded
+    /// statements.
     fn check_deadline(&self) -> ExecResult<()> {
         if let Some(limit) = self.limits.deadline_ms {
             if self.started.elapsed().as_millis() as u64 > limit {
@@ -239,6 +265,12 @@ impl<'a> Executor<'a> {
                     limit,
                 });
             }
+        }
+        if pulse_expired() {
+            return Err(ExecError::BudgetExceeded {
+                resource: "watchdog",
+                limit: 0,
+            });
         }
         Ok(())
     }

@@ -38,7 +38,7 @@ pub mod value;
 
 pub use ddl::{load_script, DdlError};
 pub use error::{ExecError, ExecResult};
-pub use exec::{execute, execute_sql, execute_with_limits, like_match, ExecLimits};
+pub use exec::{execute, execute_sql, execute_with_limits, like_match, set_exec_pulse, ExecLimits};
 pub use explain::explain;
 pub use introspect::{col_type, schema_info};
 pub use result::{results_match, row_key, ResultSet};

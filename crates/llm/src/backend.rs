@@ -116,6 +116,17 @@ pub trait FallibleLanguageModel: Send + Sync {
     fn resilience_stats(&self) -> Option<ResilienceStats> {
         None
     }
+
+    /// Milliseconds of *virtual* time charged against the current
+    /// thread's session, when this backend keeps a session clock (the
+    /// resilience middleware charges simulated latency for timeouts and
+    /// backoff waits). The evaluation runner's stall watchdog consults
+    /// this to expire stalled cases *deterministically*: unlike wall
+    /// time, the virtual clock advances identically at any worker
+    /// count. `None` (the default) means no session clock.
+    fn session_virtual_elapsed_ms(&self) -> Option<u64> {
+        None
+    }
 }
 
 /// Every infallible backend is trivially a fallible one.

@@ -59,6 +59,15 @@ pub struct FaultConfig {
     pub transient: f64,
     /// Probability of a synthetic malformed completion per attempt.
     pub malformed: f64,
+    /// Probability of an injected *panic* per attempt — modelling a bug
+    /// in the backend client rather than a failure of the remote service.
+    /// Panics are not [`BackendError`]s: they unwind through the whole
+    /// correction pipeline and are caught only by the evaluation runner's
+    /// per-case isolation boundary, which records the case as crashed.
+    /// Excluded from [`FaultConfig::uniform`] and from
+    /// [`FaultConfig::total_rate`] because it is not an error *kind* the
+    /// retry middleware can see.
+    pub panic: f64,
     /// Outage period in example-id space: every `outage_period`-th block
     /// of example ids enters an outage. `0` disables outages.
     pub outage_period: u64,
@@ -75,6 +84,7 @@ impl Default for FaultConfig {
             rate_limited: 0.0,
             transient: 0.0,
             malformed: 0.0,
+            panic: 0.0,
             outage_period: 0,
             outage_width: 0,
         }
@@ -218,6 +228,12 @@ impl<B: FallibleLanguageModel> FaultyBackend<B> {
                 detail: "completion was not parsable SQL".into(),
             });
         }
+        threshold += self.cfg.panic;
+        if u < threshold {
+            // Deliberately NOT a BackendError: this models a client-side
+            // bug, and must unwind to the runner's isolation boundary.
+            panic!("injected backend panic (example {example_id}, key {key:#x})");
+        }
         Ok(())
     }
 }
@@ -280,6 +296,10 @@ impl<B: FallibleLanguageModel> FallibleLanguageModel for FaultyBackend<B> {
 
     fn resilience_stats(&self) -> Option<crate::resilience::ResilienceStats> {
         self.inner.resilience_stats()
+    }
+
+    fn session_virtual_elapsed_ms(&self) -> Option<u64> {
+        self.inner.session_virtual_elapsed_ms()
     }
 }
 
@@ -436,6 +456,21 @@ mod tests {
         assert!(b.try_edit_complexity_factor(&[]).is_ok());
         // … and remote roles indeed fault at rate 1.
         assert!(b.try_rewrite_question("q", "f").is_err());
+    }
+
+    #[test]
+    fn panic_rate_unwinds_instead_of_erroring() {
+        let cfg = FaultConfig {
+            panic: 1.0,
+            ..FaultConfig::default()
+        };
+        // Panics are not error kinds: the retry surface never sees them.
+        assert_eq!(cfg.total_rate(), 0.0);
+        let b = FaultyBackend::new(SimLlm::new(LlmConfig::default()), cfg);
+        let unwound = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            b.try_classify_feedback("how many singers", 0)
+        }));
+        assert!(unwound.is_err(), "panic rate 1 must unwind");
     }
 
     #[test]

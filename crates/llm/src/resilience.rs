@@ -448,6 +448,14 @@ impl<B: FallibleLanguageModel> FallibleLanguageModel for Resilient<B> {
     fn resilience_stats(&self) -> Option<ResilienceStats> {
         Some(self.stats())
     }
+
+    fn session_virtual_elapsed_ms(&self) -> Option<u64> {
+        // The virtual deadline clock doubles as a deterministic stall
+        // signal: backoff charged against this session advances it
+        // identically at any worker count, so a watchdog reading it
+        // expires stalled cases reproducibly.
+        Some(self.with_session(|s| s.virtual_elapsed_ms))
+    }
 }
 
 #[cfg(test)]

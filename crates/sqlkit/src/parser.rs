@@ -26,7 +26,11 @@ use crate::token::{Keyword, Token, TokenKind};
 /// an error.
 pub fn parse_query(input: &str) -> ParseResult<Query> {
     let tokens = lex(input)?;
-    let mut p = Parser { tokens, pos: 0 };
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        depth: 0,
+    };
     let q = p.query()?;
     p.eat_if(&TokenKind::Semicolon);
     p.expect_kind(&TokenKind::Eof)?;
@@ -37,15 +41,25 @@ pub fn parse_query(input: &str) -> ParseResult<Query> {
 /// feedback-grounding machinery to parse user-highlighted fragments).
 pub fn parse_expr(input: &str) -> ParseResult<Expr> {
     let tokens = lex(input)?;
-    let mut p = Parser { tokens, pos: 0 };
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        depth: 0,
+    };
     let e = p.expr(0)?;
     p.expect_kind(&TokenKind::Eof)?;
     Ok(e)
 }
 
+/// Maximum recursion depth across subqueries, parenthesised expressions,
+/// and unary-operator chains. Deeper input gets a diagnostic instead of a
+/// stack overflow — adversarial nesting must never abort the process.
+const MAX_DEPTH: usize = 128;
+
 struct Parser {
     tokens: Vec<Token>,
     pos: usize,
+    depth: usize,
 }
 
 impl Parser {
@@ -124,9 +138,31 @@ impl Parser {
         }
     }
 
+    /// Bumps the recursion depth, failing with a diagnostic past
+    /// [`MAX_DEPTH`]. Every recursive entry point (`query`, `expr`,
+    /// `unary`) calls this; the matching decrement lives in the wrapper
+    /// that called it.
+    fn descend(&mut self) -> ParseResult<()> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(ParseError::new(
+                format!("query nesting exceeds {MAX_DEPTH} levels"),
+                self.peek().span,
+            ));
+        }
+        Ok(())
+    }
+
     // ---- query level ----------------------------------------------------
 
     fn query(&mut self) -> ParseResult<Query> {
+        self.descend()?;
+        let out = self.query_inner();
+        self.depth -= 1;
+        out
+    }
+
+    fn query_inner(&mut self) -> ParseResult<Query> {
         let core = self.select_core()?;
         let mut compound = Vec::new();
         loop {
@@ -340,6 +376,13 @@ impl Parser {
     /// Precedence-climbing expression parser. `min_prec` is the minimum
     /// binding power a binary operator must have to be consumed.
     fn expr(&mut self, min_prec: u8) -> ParseResult<Expr> {
+        self.descend()?;
+        let out = self.expr_inner(min_prec);
+        self.depth -= 1;
+        out
+    }
+
+    fn expr_inner(&mut self, min_prec: u8) -> ParseResult<Expr> {
         let mut lhs = self.unary()?;
         loop {
             // Postfix predicates bind tighter than AND/OR but looser than
@@ -464,6 +507,13 @@ impl Parser {
     }
 
     fn unary(&mut self) -> ParseResult<Expr> {
+        self.descend()?;
+        let out = self.unary_inner();
+        self.depth -= 1;
+        out
+    }
+
+    fn unary_inner(&mut self) -> ParseResult<Expr> {
         if self.eat_kw(Keyword::Not) {
             let inner = self.expr(BinOp::And.precedence() + 1)?;
             return Ok(Expr::Unary {
@@ -948,6 +998,42 @@ mod tests {
     fn deeply_nested_subqueries() {
         let sql = "SELECT a FROM t WHERE x IN (SELECT y FROM s WHERE z IN (SELECT w FROM r WHERE v = (SELECT MAX(u) FROM p)))";
         assert!(parse_query(sql).is_ok());
+    }
+
+    #[test]
+    fn pathological_nesting_errors_instead_of_overflowing() {
+        // 10k opening parens: must produce a diagnostic, not a stack
+        // overflow (each paren recurses through expr → unary → primary).
+        let bomb = format!("SELECT {}1", "(".repeat(10_000));
+        let err = parse_query(&bomb).unwrap_err();
+        assert!(
+            err.message.contains("nesting exceeds"),
+            "wanted a depth diagnostic, got: {}",
+            err.message
+        );
+
+        // A unary-minus chain recurses through unary() directly.
+        let minus_bomb = format!("SELECT {}x FROM t", "- ".repeat(10_000));
+        assert!(parse_query(&minus_bomb).is_err());
+
+        // NOT chains recurse through unary() → expr().
+        let not_bomb = format!("SELECT * FROM t WHERE {}1 = 1", "NOT ".repeat(10_000));
+        assert!(parse_query(&not_bomb).is_err());
+
+        // Deep subquery nesting in FROM position.
+        let sub_bomb = format!(
+            "SELECT * FROM {}t{} x",
+            "(SELECT * FROM ".repeat(5_000),
+            ") y".repeat(5_000)
+        );
+        assert!(parse_query(&sub_bomb).is_err());
+    }
+
+    #[test]
+    fn reasonable_nesting_stays_within_the_depth_budget() {
+        // 20 paren levels is far beyond real SPIDER SQL and must parse.
+        let nested = format!("SELECT {}1{} FROM t", "(".repeat(20), ")".repeat(20));
+        assert!(parse_query(&nested).is_ok());
     }
 
     #[test]

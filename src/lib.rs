@@ -46,9 +46,10 @@ pub use fisql_sqlkit;
 /// The commonly-used surface of the whole workspace in one import.
 pub mod prelude {
     pub use fisql_core::{
-        explain_query, incorporate, interpret, reformulate, zero_shot_report, AnnotatedCase,
-        Assistant, AssistantTurn, ChatEvent, ConformanceReport, CorrectionReport, CorrectionRun,
-        ErrorCase, ExperimentConfig, IncorporateContext, RunMetrics, Session, Strategy,
+        explain_query, incorporate, interpret, reformulate, run_fingerprint, zero_shot_report,
+        AnnotatedCase, Assistant, AssistantTurn, CaseOutcome, CaseVerdict, ChatEvent,
+        ConformanceReport, CorrectionReport, CorrectionRun, ErrorCase, ExperimentConfig,
+        FsyncPolicy, IncorporateContext, RunJournal, RunMetrics, Session, Strategy,
     };
     pub use fisql_engine::{
         execute_sql, results_match, Column, DataType, Database, ForeignKey, ResultSet, Table, Value,

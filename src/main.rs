@@ -191,7 +191,7 @@ fn flag_value<T: std::str::FromStr>(args: &[String], flag: &str) -> Option<T> {
         .and_then(|i| args.get(i + 1))
         .map(|v| {
             v.parse().unwrap_or_else(|_| {
-                eprintln!("error: {flag} expects a number, got `{v}`");
+                eprintln!("error: {flag} got an invalid value `{v}`");
                 std::process::exit(2);
             })
         })
@@ -214,6 +214,17 @@ fn flag_value<T: std::str::FromStr>(args: &[String], flag: &str) -> Option<T> {
 /// already found incorrect; `--conformance-gate` enables the
 /// router-vs-realized feedback-conformance check with its one-shot
 /// re-prompt.
+///
+/// Durability flags: `--journal PATH` appends every finished case's
+/// verdict to a crash-safe write-ahead journal (one file per corpus,
+/// suffixed with the corpus name); `--resume` replays an existing
+/// journal's intact prefix and runs only the remaining cases, producing
+/// a report bit-identical to an uninterrupted run; `--fsync
+/// never|each|batch` picks the journal's durability/throughput
+/// trade-off (default `batch`); `--case-deadline MS` arms the stall
+/// watchdog, expiring cases whose virtual session clock exceeds `MS`
+/// (deterministic at any worker count) and cancelling runaway engine
+/// statements.
 fn run_eval(args: &[String]) {
     let workers = flag_value(args, "--workers").unwrap_or_else(fisql_core::workers_from_env);
     let fault_rate: f64 = flag_value(args, "--fault-rate")
@@ -222,6 +233,14 @@ fn run_eval(args: &[String]) {
     let retry_budget: u32 = flag_value(args, "--retry-budget").unwrap_or(3);
     let static_oracle = !args.iter().any(|a| a == "--no-static-oracle");
     let conformance_gate = args.iter().any(|a| a == "--conformance-gate");
+    let journal: Option<String> = flag_value(args, "--journal");
+    let resume = args.iter().any(|a| a == "--resume");
+    let case_deadline: Option<u64> = flag_value(args, "--case-deadline");
+    let fsync: FsyncPolicy = flag_value(args, "--fsync").unwrap_or_default();
+    if resume && journal.is_none() {
+        eprintln!("error: --resume requires --journal PATH");
+        std::process::exit(2);
+    }
 
     let spider = build_spider(&SpiderConfig {
         n_databases: 12,
@@ -255,13 +274,30 @@ fn run_eval(args: &[String]) {
             .workers(workers);
         let errors = collect.collect_errors();
         let cases = collect.annotate(&errors);
-        let run = CorrectionRun::new(corpus, &chaos, &user)
+        // One journal file per corpus: both corpora share the --journal
+        // prefix but must not share a fingerprinted case list.
+        let journal_path = journal
+            .as_ref()
+            .map(|p| std::path::PathBuf::from(format!("{p}.{}", corpus.name)));
+        let mut run = CorrectionRun::new(corpus, &chaos, &user)
             .demos_k(3)
             .rounds(2)
             .workers(workers)
             .static_oracle(static_oracle)
-            .conformance_gate(conformance_gate);
-        let report = run.run(&cases);
+            .conformance_gate(conformance_gate)
+            .case_deadline_ms(case_deadline)
+            .resume(resume)
+            .fsync(fsync);
+        if let Some(path) = &journal_path {
+            run = run.journal(path);
+        }
+        let report = match run.try_run(&cases) {
+            Ok(report) => report,
+            Err(e) => {
+                eprintln!("error: run journal I/O failed: {e}");
+                std::process::exit(1);
+            }
+        };
         let m = &report.metrics;
         println!(
             "{}: {} errors, {} annotated; corrected after r1/r2: {:.1}%/{:.1}%",
@@ -291,6 +327,20 @@ fn run_eval(args: &[String]) {
                 report.router_realized_agreements,
                 report.router_realized_disagreements,
                 report.conformance_retries,
+            );
+        }
+        if let Some(path) = &journal_path {
+            println!(
+                "  journal: {} ({} policy){}",
+                path.display(),
+                fsync,
+                if resume { ", resumed" } else { "" },
+            );
+        }
+        if report.cases_crashed > 0 || report.cases_timed_out > 0 {
+            println!(
+                "  robustness: {} case(s) crashed, {} timed out",
+                report.cases_crashed, report.cases_timed_out,
             );
         }
         if fault_rate > 0.0 {

@@ -241,6 +241,67 @@ proptest! {
     }
 }
 
+// Fuzz block: no explicit case count, so the proptest default applies
+// and CI can crank it up via `PROPTEST_CASES` (the crash-recovery job
+// runs these at 10k+ cases). The properties assert only "never panics":
+// the SQL front end must answer arbitrary garbage with `Err`, not abort.
+proptest! {
+    /// Lexing and parsing arbitrary bytes never panics — including
+    /// invalid UTF-8 (lossily decoded), control characters, and
+    /// pathological repetition.
+    #[test]
+    fn sql_frontend_never_panics_on_arbitrary_bytes(
+        bytes in proptest::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let input = String::from_utf8_lossy(&bytes);
+        let _ = fisql::fisql_sqlkit::lexer::lex(&input);
+        let _ = parse_query(&input);
+        let _ = fisql::fisql_sqlkit::parse_expr(&input);
+    }
+
+    /// Splicing garbage into well-formed corpus SQL never panics the
+    /// lexer, parser, printer, normalizer, or schema checker — the
+    /// near-valid neighborhood where a parser's assumptions actually
+    /// break, rather than uniformly random noise.
+    #[test]
+    fn mutated_gold_sql_never_panics_the_frontend(
+        seed in 0u64..200,
+        example_idx in 0usize..40,
+        cut in 0usize..400,
+        garbage in ".{0,48}",
+    ) {
+        let corpus = corpus_for(seed);
+        let e = &corpus.examples[example_idx % corpus.examples.len()];
+        let sql = print_query(&e.gold);
+        let at = sql
+            .char_indices()
+            .map(|(i, _)| i)
+            .chain(std::iter::once(sql.len()))
+            .nth(cut % (sql.chars().count() + 1))
+            .unwrap_or(sql.len());
+        let mutated = format!("{}{}{}", &sql[..at], garbage, &sql[at..]);
+        let _ = fisql::fisql_sqlkit::lexer::lex(&mutated);
+        if let Ok(q) = parse_query(&mutated) {
+            // Whatever still parses must survive the rest of the
+            // pipeline: printing, normalizing, and schema checking.
+            let _ = print_query(&q);
+            let _ = normalize_query(&q);
+            let schema = corpus.database(e).schema_info();
+            let _ = check_query(&q, &schema);
+        }
+    }
+
+    /// Deep nesting is answered with a diagnostic, not a stack overflow,
+    /// at every depth — below, at, and far beyond the parser's budget.
+    #[test]
+    fn nested_input_never_overflows_the_parser(depth in 1usize..4_000) {
+        let bomb = format!("SELECT {}1{} FROM t", "(".repeat(depth), ")".repeat(depth));
+        let _ = parse_query(&bomb);
+        let not_bomb = format!("SELECT * FROM t WHERE {}x = 1", "NOT ".repeat(depth));
+        let _ = parse_query(&not_bomb);
+    }
+}
+
 /// Highlight spans always slice to valid UTF-8 text inside the rendered
 /// SQL (non-proptest because it exercises the feedback highlighter).
 #[test]

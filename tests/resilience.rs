@@ -8,6 +8,9 @@
 //!   across reruns.
 //! - Degradation is *graceful*: a full outage completes without panic and
 //!   lands exactly on the no-feedback baseline — never below it.
+//! - Injected backend *panics* (client bugs, not reported errors) are
+//!   contained per case: the run completes, crashed cases are counted,
+//!   and the report still replays bit-for-bit at any worker count.
 
 use fisql::prelude::*;
 
@@ -126,6 +129,59 @@ fn faulted_runs_replay_bit_identical_at_any_worker_count() {
     a.backoff_ms = 0;
     b.backoff_ms = 0;
     assert_eq!(a, b);
+}
+
+/// Regression: a panic inside the backend used to unwind through the
+/// worker thread and abort the whole evaluation. It must instead be
+/// contained at the case boundary — the crashed case is recorded, every
+/// other case completes normally, and the report stays replayable.
+#[test]
+fn injected_panics_are_contained_per_case() {
+    let (corpus, llm, user) = setup();
+    let cases = annotated(&corpus, &llm, &user);
+    assert!(cases.len() >= 5, "need a non-trivial case set");
+
+    // The full chaos stack with an added panic rate: errors retry and
+    // degrade as usual, panics unwind to the runner's isolation boundary.
+    let chaos = Resilient::new(
+        FaultyBackend::new(
+            llm.clone(),
+            FaultConfig {
+                panic: 0.1,
+                ..FaultConfig::uniform(0.2)
+            },
+        ),
+        ResilienceConfig {
+            attempt_budget: 3,
+            ..Default::default()
+        },
+    );
+    let run = CorrectionRun::new(&corpus, &chaos, &user)
+        .demos_k(3)
+        .strategy(STRATEGY)
+        .rounds(2);
+
+    let serial = run.workers(1).run(&cases);
+    assert_eq!(serial.total, cases.len());
+    assert!(
+        serial.cases_crashed > 0,
+        "a 10% per-call panic rate never fired across {} cases",
+        cases.len()
+    );
+    assert!(
+        serial.cases_crashed < cases.len(),
+        "some cases must survive the panic schedule"
+    );
+
+    let serial_json = serde_json::to_string(&serial).unwrap();
+    for workers in [4usize, 8] {
+        let parallel = run.workers(workers).run(&cases);
+        assert_eq!(
+            serde_json::to_string(&parallel).unwrap(),
+            serial_json,
+            "crash containment diverged at {workers} workers"
+        );
+    }
 }
 
 #[test]
