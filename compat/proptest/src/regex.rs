@@ -1,0 +1,295 @@
+//! A small regex-subset parser and generator backing string strategies
+//! (`"[a-z]{1,4}"` used as a `Strategy<Value = String>`).
+//!
+//! Supported constructs — the ones appearing in this workspace's test
+//! patterns: literal characters, `.`, escaped characters, `\PC`
+//! (printable / non-control), character classes with ranges, negation,
+//! and `&&[^...]` intersection-exclusion, alternation groups `(a|b)`,
+//! and `{n}` / `{n,m}` / `?` / `*` / `+` repetition.
+
+use crate::test_runner::TestRng;
+
+/// One parsed regex construct.
+#[derive(Debug, Clone)]
+pub enum Node {
+    /// A literal character.
+    Lit(char),
+    /// A set of characters to choose from uniformly.
+    Class(Vec<char>),
+    /// A parenthesized group.
+    Group(Vec<Node>),
+    /// Alternation between sequences.
+    Alt(Vec<Vec<Node>>),
+    /// Repetition of a node between `min` and `max` times.
+    Rep(Box<Node>, u32, u32),
+}
+
+/// Printable ASCII plus a few multibyte scalars, standing in for the
+/// `\PC` (non-control) category and `.`.
+fn printable() -> Vec<char> {
+    let mut set: Vec<char> = (0x20u8..=0x7e).map(char::from).collect();
+    // A few non-ASCII printables so UTF-8 handling gets exercised.
+    set.extend(['à', 'é', 'λ', '→', '字']);
+    set
+}
+
+struct ClassSpec {
+    negated: bool,
+    chars: Vec<char>,
+}
+
+struct Parser<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+}
+
+impl<'a> Parser<'a> {
+    fn parse_alt(&mut self) -> Result<Vec<Node>, String> {
+        let mut arms = vec![self.parse_seq()?];
+        while self.chars.peek() == Some(&'|') {
+            self.chars.next();
+            arms.push(self.parse_seq()?);
+        }
+        if arms.len() == 1 {
+            Ok(arms.pop().unwrap())
+        } else {
+            Ok(vec![Node::Alt(arms)])
+        }
+    }
+
+    fn parse_seq(&mut self) -> Result<Vec<Node>, String> {
+        let mut seq = Vec::new();
+        loop {
+            let node = match self.chars.peek() {
+                None | Some(')' | '|') => break,
+                Some('(') => {
+                    self.chars.next();
+                    let inner = self.parse_alt()?;
+                    if self.chars.next() != Some(')') {
+                        return Err("unclosed group".into());
+                    }
+                    Node::Group(inner)
+                }
+                Some('[') => {
+                    self.chars.next();
+                    Node::Class(self.parse_class()?)
+                }
+                Some('.') => {
+                    self.chars.next();
+                    Node::Class(printable())
+                }
+                Some('\\') => {
+                    self.chars.next();
+                    match self.chars.next() {
+                        Some('P') => {
+                            // `\PX`: negated one-letter Unicode category.
+                            match self.chars.next() {
+                                Some('C') => Node::Class(printable()),
+                                other => return Err(format!("unsupported category \\P{other:?}")),
+                            }
+                        }
+                        Some('n') => Node::Lit('\n'),
+                        Some('t') => Node::Lit('\t'),
+                        Some('r') => Node::Lit('\r'),
+                        Some(c) => Node::Lit(c),
+                        None => return Err("dangling backslash".into()),
+                    }
+                }
+                Some(&c) => {
+                    self.chars.next();
+                    Node::Lit(c)
+                }
+            };
+            seq.push(self.apply_quantifier(node)?);
+        }
+        Ok(seq)
+    }
+
+    fn apply_quantifier(&mut self, node: Node) -> Result<Node, String> {
+        let (min, max) = match self.chars.peek() {
+            Some('{') => {
+                self.chars.next();
+                let mut min_text = String::new();
+                while self.chars.peek().is_some_and(char::is_ascii_digit) {
+                    min_text.push(self.chars.next().unwrap());
+                }
+                let min: u32 = min_text.parse().map_err(|_| "bad repetition bound")?;
+                let max = if self.chars.peek() == Some(&',') {
+                    self.chars.next();
+                    let mut max_text = String::new();
+                    while self.chars.peek().is_some_and(char::is_ascii_digit) {
+                        max_text.push(self.chars.next().unwrap());
+                    }
+                    if max_text.is_empty() {
+                        min.saturating_mul(2).max(min + 8)
+                    } else {
+                        max_text.parse().map_err(|_| "bad repetition bound")?
+                    }
+                } else {
+                    min
+                };
+                if self.chars.next() != Some('}') {
+                    return Err("unclosed repetition".into());
+                }
+                (min, max)
+            }
+            Some('?') => {
+                self.chars.next();
+                (0, 1)
+            }
+            Some('*') => {
+                self.chars.next();
+                (0, 8)
+            }
+            Some('+') => {
+                self.chars.next();
+                (1, 8)
+            }
+            _ => return Ok(node),
+        };
+        Ok(Node::Rep(Box::new(node), min, max))
+    }
+
+    /// Parses a class body after the opening `[`, through the matching
+    /// `]`, handling `&&[^...]` intersection-exclusion.
+    fn parse_class(&mut self) -> Result<Vec<char>, String> {
+        // Scan the raw class text first (nested brackets appear in the
+        // intersection syntax).
+        let mut raw = String::new();
+        let mut depth = 0u32;
+        loop {
+            match self.chars.next() {
+                None => return Err("unclosed character class".into()),
+                Some('\\') => {
+                    raw.push('\\');
+                    raw.push(self.chars.next().ok_or("dangling backslash in class")?);
+                }
+                Some('[') => {
+                    depth += 1;
+                    raw.push('[');
+                }
+                Some(']') => {
+                    if depth == 0 {
+                        break;
+                    }
+                    depth -= 1;
+                    raw.push(']');
+                }
+                Some(c) => raw.push(c),
+            }
+        }
+
+        let mut parts = raw.split("&&");
+        let base = parse_class_part(parts.next().unwrap_or(""))?;
+        let mut set = if base.negated {
+            printable()
+                .into_iter()
+                .filter(|c| !base.chars.contains(c))
+                .collect()
+        } else {
+            base.chars
+        };
+        for part in parts {
+            let inner = part
+                .strip_prefix('[')
+                .and_then(|p| p.strip_suffix(']'))
+                .unwrap_or(part);
+            let spec = parse_class_part(inner)?;
+            if spec.negated {
+                set.retain(|c| !spec.chars.contains(c));
+            } else {
+                set.retain(|c| spec.chars.contains(c));
+            }
+        }
+        set.sort_unstable();
+        set.dedup();
+        if set.is_empty() {
+            return Err("empty character class".into());
+        }
+        Ok(set)
+    }
+}
+
+/// Parses one `&&`-free class body (optionally `^`-negated) into its
+/// character set.
+fn parse_class_part(text: &str) -> Result<ClassSpec, String> {
+    let (negated, body) = match text.strip_prefix('^') {
+        Some(rest) => (true, rest),
+        None => (false, text),
+    };
+    let mut chars = Vec::new();
+    let mut it = body.chars().peekable();
+    while let Some(c) = it.next() {
+        let lo = if c == '\\' {
+            match it.next().ok_or("dangling backslash in class")? {
+                'n' => '\n',
+                't' => '\t',
+                'r' => '\r',
+                other => other,
+            }
+        } else {
+            c
+        };
+        // A `-` between two chars forms a range; elsewhere it is literal.
+        if it.peek() == Some(&'-') {
+            let mut ahead = it.clone();
+            ahead.next();
+            if let Some(&hi) = ahead.peek() {
+                if hi != ']' {
+                    it.next();
+                    let hi = it.next().unwrap();
+                    if (lo as u32) > (hi as u32) {
+                        return Err("inverted class range".into());
+                    }
+                    for code in (lo as u32)..=(hi as u32) {
+                        if let Some(ch) = char::from_u32(code) {
+                            chars.push(ch);
+                        }
+                    }
+                    continue;
+                }
+            }
+        }
+        chars.push(lo);
+    }
+    Ok(ClassSpec { negated, chars })
+}
+
+/// Parses a regex pattern into its node sequence.
+pub fn parse(pattern: &str) -> Result<Vec<Node>, String> {
+    let mut parser = Parser {
+        chars: pattern.chars().peekable(),
+    };
+    let nodes = parser.parse_alt()?;
+    if parser.chars.next().is_some() {
+        return Err("unbalanced `)`".into());
+    }
+    Ok(nodes)
+}
+
+/// Generates one string matching the parsed pattern.
+pub fn generate(nodes: &[Node], rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    gen_seq(nodes, rng, &mut out);
+    out
+}
+
+fn gen_seq(nodes: &[Node], rng: &mut TestRng, out: &mut String) {
+    for node in nodes {
+        gen_node(node, rng, out);
+    }
+}
+
+fn gen_node(node: &Node, rng: &mut TestRng, out: &mut String) {
+    match node {
+        Node::Lit(c) => out.push(*c),
+        Node::Class(set) => out.push(set[rng.below(set.len() as u64) as usize]),
+        Node::Group(inner) => gen_seq(inner, rng, out),
+        Node::Alt(arms) => gen_seq(&arms[rng.below(arms.len() as u64) as usize], rng, out),
+        Node::Rep(inner, min, max) => {
+            let n = min + rng.below(u64::from(max - min + 1)) as u32;
+            for _ in 0..n {
+                gen_node(inner, rng, out);
+            }
+        }
+    }
+}

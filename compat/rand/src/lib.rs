@@ -1,0 +1,300 @@
+//! Offline stand-in for the `rand` 0.8 crate, providing the exact API
+//! subset this workspace uses: `StdRng`, `SeedableRng::{from_seed,
+//! seed_from_u64}`, and `Rng::{gen, gen_bool, gen_range}`.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! patches `rand` to this crate. Behavioral compatibility with rand
+//! 0.8.5 is a hard requirement — every sampled stream in the repo is
+//! part of its determinism contract — so the implementation mirrors the
+//! published algorithms bit for bit:
+//!
+//! * `StdRng` is ChaCha (12 rounds) with a 64-bit block counter, exactly
+//!   as in `rand_chacha`'s `ChaCha12Rng`;
+//! * `seed_from_u64` expands the seed with SplitMix64, as in
+//!   `rand_core`'s default implementation;
+//! * `gen_range` uses the widening-multiply rejection method of
+//!   `UniformInt` (`sample_single_inclusive`);
+//! * `gen_bool` uses the `Bernoulli` fixed-point comparison, including
+//!   the draw-free `p == 1.0` special case;
+//! * `gen::<f64>()` uses the 53-bit multiply construction of `Standard`.
+
+pub mod rngs;
+
+/// A random number generator core, mirroring `rand_core::RngCore`.
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest);
+    }
+}
+
+/// Seedable construction, mirroring `rand_core::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// The seed array type.
+    type Seed: AsMut<[u8]> + Default;
+
+    /// Construct from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Construct from a `u64`, expanding with a PCG32 stream
+    /// (bit-identical to `rand_core` 0.6's default implementation).
+    fn seed_from_u64(mut state: u64) -> Self {
+        fn pcg32(state: &mut u64) -> [u8; 4] {
+            const MUL: u64 = 6_364_136_223_846_793_005;
+            const INC: u64 = 11_634_580_027_462_260_723;
+            // Advance the state first (to get away from the input value,
+            // in case it has low Hamming weight).
+            *state = state.wrapping_mul(MUL).wrapping_add(INC);
+            let state = *state;
+            let xorshifted = (((state >> 18) ^ state) >> 27) as u32;
+            let rot = (state >> 59) as u32;
+            xorshifted.rotate_right(rot).to_le_bytes()
+        }
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(4) {
+            chunk.copy_from_slice(&pcg32(&mut state)[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+mod uniform {
+    use super::RngCore;
+
+    /// Widening multiply: returns `(hi, lo)` of `a * b`.
+    #[inline]
+    pub fn wmul64(a: u64, b: u64) -> (u64, u64) {
+        let t = (a as u128) * (b as u128);
+        ((t >> 64) as u64, t as u64)
+    }
+
+    #[inline]
+    pub fn wmul32(a: u32, b: u32) -> (u32, u32) {
+        let t = (a as u64) * (b as u64);
+        ((t >> 32) as u32, t as u32)
+    }
+
+    /// One integer type's uniform sampling, rand 0.8.5's
+    /// `sample_single_inclusive` algorithm.
+    macro_rules! uniform_impl {
+        ($ty:ty, $unsigned:ty, $u_large:ty, $gen:ident, $wmul:ident) => {
+            impl SampleUniform for $ty {
+                #[inline]
+                fn sample_single_inclusive<R: RngCore + ?Sized>(
+                    low: $ty,
+                    high: $ty,
+                    rng: &mut R,
+                ) -> $ty {
+                    assert!(low <= high, "gen_range: low > high");
+                    let range = (high as $unsigned)
+                        .wrapping_sub(low as $unsigned)
+                        .wrapping_add(1) as $u_large;
+                    if range == 0 {
+                        // The full integer range.
+                        return $gen(rng) as $ty;
+                    }
+                    let zone = if (<$unsigned>::MAX as u64) <= (u16::MAX as u64) {
+                        let unsigned_max = <$u_large>::MAX;
+                        let ints_to_reject = (unsigned_max - range + 1) % range;
+                        unsigned_max - ints_to_reject
+                    } else {
+                        (range << range.leading_zeros()).wrapping_sub(1)
+                    };
+                    loop {
+                        let v: $u_large = $gen(rng);
+                        let (hi, lo) = $wmul(v, range);
+                        if lo <= zone {
+                            return low.wrapping_add(hi as $ty);
+                        }
+                    }
+                }
+            }
+        };
+    }
+
+    #[inline]
+    fn gen_u32<R: RngCore + ?Sized>(rng: &mut R) -> u32 {
+        rng.next_u32()
+    }
+    #[inline]
+    fn gen_u64<R: RngCore + ?Sized>(rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+
+    /// Types `gen_range` accepts.
+    pub trait SampleUniform: Copy + PartialOrd {
+        /// Uniform sample from `[low, high]`.
+        fn sample_single_inclusive<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R)
+            -> Self;
+    }
+
+    uniform_impl!(u8, u8, u32, gen_u32, wmul32);
+    uniform_impl!(i8, u8, u32, gen_u32, wmul32);
+    uniform_impl!(u16, u16, u32, gen_u32, wmul32);
+    uniform_impl!(i16, u16, u32, gen_u32, wmul32);
+    uniform_impl!(u32, u32, u32, gen_u32, wmul32);
+    uniform_impl!(i32, u32, u32, gen_u32, wmul32);
+    uniform_impl!(u64, u64, u64, gen_u64, wmul64);
+    uniform_impl!(i64, u64, u64, gen_u64, wmul64);
+    uniform_impl!(usize, usize, u64, gen_u64, wmul64);
+    uniform_impl!(isize, usize, u64, gen_u64, wmul64);
+}
+
+pub use uniform::SampleUniform;
+
+/// A range usable with [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Sample one value from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    /// Whether the range contains no values.
+    fn is_empty_range(&self) -> bool;
+}
+
+impl<T: SampleUniform + One> SampleRange<T> for std::ops::Range<T> {
+    #[inline]
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        // Exclusive high: rand delegates to the inclusive sampler on
+        // `high - 1`.
+        T::sample_single_inclusive(self.start, self.end.sub_one(), rng)
+    }
+    fn is_empty_range(&self) -> bool {
+        self.start >= self.end
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::RangeInclusive<T> {
+    #[inline]
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_single_inclusive(*self.start(), *self.end(), rng)
+    }
+    fn is_empty_range(&self) -> bool {
+        self.start() > self.end()
+    }
+}
+
+/// Decrement helper for exclusive ranges.
+pub trait One {
+    /// `self - 1`.
+    fn sub_one(self) -> Self;
+}
+macro_rules! one_impl {
+    ($($t:ty),*) => {$(impl One for $t { fn sub_one(self) -> Self { self - 1 } })*};
+}
+one_impl!(u8, i8, u16, i16, u32, i32, u64, i64, usize, isize);
+
+/// Values `gen()` can produce, mirroring `Standard`.
+pub trait Standard: Sized {
+    /// Sample a uniformly random value.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for u32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+impl Standard for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+impl Standard for usize {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+impl Standard for u8 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() as u8
+    }
+}
+impl Standard for i64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as i64
+    }
+}
+impl Standard for i32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() as i32
+    }
+}
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // rand 0.8 compares the *most* significant bit of a u32 (low
+        // bits of weak generators can be patterned).
+        (rng.next_u32() as i32) < 0
+    }
+}
+impl Standard for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53-bit multiply construction (rand 0.8 `Standard` for f64).
+        let value = rng.next_u64() >> 11;
+        value as f64 * (1.0 / ((1u64 << 53) as f64))
+    }
+}
+impl Standard for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        let value = rng.next_u32() >> 8;
+        value as f32 * (1.0 / ((1u32 << 24) as f32))
+    }
+}
+
+/// User-facing convenience methods, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// A uniformly random value of type `T`.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Uniform sample from `range`.
+    fn gen_range<T, Ra>(&mut self, range: Ra) -> T
+    where
+        T: SampleUniform,
+        Ra: SampleRange<T>,
+        Self: Sized,
+    {
+        assert!(!range.is_empty_range(), "cannot sample empty range");
+        range.sample_single(self)
+    }
+
+    /// Bernoulli trial with probability `p` (rand 0.8 semantics,
+    /// including the draw-free `p >= 1.0` fast path).
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p out of range: {p}");
+        if p >= 1.0 {
+            return true;
+        }
+        // Fixed-point comparison: p_int = p * 2^64.
+        const SCALE: f64 = 2.0 * (1u64 << 63) as f64;
+        let p_int = (p * SCALE) as u64;
+        self.next_u64() < p_int
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// RNG implementations.
+pub mod prelude {
+    pub use super::rngs::StdRng;
+    pub use super::{Rng, RngCore, SeedableRng};
+}

@@ -1,0 +1,180 @@
+//! RNG implementations: `StdRng` (ChaCha, 12 rounds), bit-compatible
+//! with `rand_chacha`'s `ChaCha12Rng` as used by rand 0.8's `StdRng`.
+
+use crate::{RngCore, SeedableRng};
+
+/// ChaCha block function with a 64-bit counter in words 12–13 and the
+/// stream id in words 14–15 (the `rand_chacha` layout).
+fn chacha_block(key: &[u32; 8], counter: u64, stream: u64, rounds: usize, out: &mut [u32; 16]) {
+    const C: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+    let mut x = [0u32; 16];
+    x[..4].copy_from_slice(&C);
+    x[4..12].copy_from_slice(key);
+    x[12] = counter as u32;
+    x[13] = (counter >> 32) as u32;
+    x[14] = stream as u32;
+    x[15] = (stream >> 32) as u32;
+    let initial = x;
+
+    #[inline(always)]
+    fn quarter(x: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+        x[a] = x[a].wrapping_add(x[b]);
+        x[d] = (x[d] ^ x[a]).rotate_left(16);
+        x[c] = x[c].wrapping_add(x[d]);
+        x[b] = (x[b] ^ x[c]).rotate_left(12);
+        x[a] = x[a].wrapping_add(x[b]);
+        x[d] = (x[d] ^ x[a]).rotate_left(8);
+        x[c] = x[c].wrapping_add(x[d]);
+        x[b] = (x[b] ^ x[c]).rotate_left(7);
+    }
+
+    for _ in 0..rounds / 2 {
+        // Column round.
+        quarter(&mut x, 0, 4, 8, 12);
+        quarter(&mut x, 1, 5, 9, 13);
+        quarter(&mut x, 2, 6, 10, 14);
+        quarter(&mut x, 3, 7, 11, 15);
+        // Diagonal round.
+        quarter(&mut x, 0, 5, 10, 15);
+        quarter(&mut x, 1, 6, 11, 12);
+        quarter(&mut x, 2, 7, 8, 13);
+        quarter(&mut x, 3, 4, 9, 14);
+    }
+    for i in 0..16 {
+        out[i] = x[i].wrapping_add(initial[i]);
+    }
+}
+
+/// The standard RNG: ChaCha with 12 rounds, exactly rand 0.8's `StdRng`.
+#[derive(Debug, Clone)]
+pub struct StdRng {
+    key: [u32; 8],
+    /// Block counter of the *next* block to generate.
+    counter: u64,
+    stream: u64,
+    /// Current 16-word block.
+    buf: [u32; 16],
+    /// Next word index into `buf`; 16 means exhausted.
+    index: usize,
+}
+
+impl StdRng {
+    fn refill(&mut self) {
+        let mut out = [0u32; 16];
+        chacha_block(&self.key, self.counter, self.stream, 12, &mut out);
+        self.counter = self.counter.wrapping_add(1);
+        self.buf = out;
+        self.index = 0;
+    }
+
+    #[inline]
+    fn next_word(&mut self) -> u32 {
+        if self.index >= 16 {
+            self.refill();
+        }
+        let w = self.buf[self.index];
+        self.index += 1;
+        w
+    }
+}
+
+impl SeedableRng for StdRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: [u8; 32]) -> Self {
+        let mut key = [0u32; 8];
+        for (i, chunk) in seed.chunks_exact(4).enumerate() {
+            key[i] = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        }
+        StdRng {
+            key,
+            counter: 0,
+            stream: 0,
+            buf: [0; 16],
+            index: 16,
+        }
+    }
+}
+
+impl RngCore for StdRng {
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        self.next_word()
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        // BlockRng pairing: low word first, high word second, crossing
+        // a block boundary exactly as rand_core does.
+        let lo = self.next_word() as u64;
+        let hi = self.next_word() as u64;
+        lo | (hi << 32)
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(4) {
+            let bytes = self.next_word().to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&bytes[..n]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Rng;
+
+    #[test]
+    fn deterministic_across_clones() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn chacha20_rfc_vector() {
+        // RFC 8439 §2.3.2 test vector (20 rounds, counter 1, 96-bit
+        // nonce folded into our 64-bit stream layout does not apply;
+        // instead verify the zero-key zero-nonce ChaCha20 first block
+        // against the well-known reference output).
+        let key = [0u32; 8];
+        let mut out = [0u32; 16];
+        chacha_block(&key, 0, 0, 20, &mut out);
+        // First four words of the ChaCha20 keystream for all-zero
+        // key/nonce (little-endian words of
+        // 76b8e0ada0f13d90405d6ae55386bd28..., as produced by
+        // `openssl enc -chacha20` with zero key/iv).
+        assert_eq!(out[0].to_le_bytes(), [0x76, 0xb8, 0xe0, 0xad]);
+        assert_eq!(out[1].to_le_bytes(), [0xa0, 0xf1, 0x3d, 0x90]);
+        assert_eq!(out[2].to_le_bytes(), [0x40, 0x5d, 0x6a, 0xe5]);
+        assert_eq!(out[3].to_le_bytes(), [0x53, 0x86, 0xbd, 0x28]);
+    }
+
+    #[test]
+    fn gen_bool_edge_cases() {
+        let mut r = StdRng::seed_from_u64(7);
+        assert!(r.gen_bool(1.0));
+        assert!(!r.gen_bool(0.0));
+        let mut trues = 0;
+        for _ in 0..1000 {
+            if r.gen_bool(0.5) {
+                trues += 1;
+            }
+        }
+        assert!((300..700).contains(&trues));
+    }
+
+    #[test]
+    fn gen_range_bounds() {
+        let mut r = StdRng::seed_from_u64(9);
+        for _ in 0..1000 {
+            let x: usize = r.gen_range(0..10);
+            assert!(x < 10);
+            let y: i64 = r.gen_range(5..=7);
+            assert!((5..=7).contains(&y));
+        }
+    }
+}

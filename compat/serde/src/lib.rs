@@ -1,0 +1,333 @@
+//! Offline stand-in for the `serde` crate, providing the API subset this
+//! workspace uses: `#[derive(Serialize, Deserialize)]` on named structs
+//! and enums (externally tagged), `serde::Serialize` bounds, and
+//! `serde::de::DeserializeOwned` bounds.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! patches `serde` to this crate. Instead of serde's visitor-based
+//! zero-copy architecture, this stand-in round-trips every value through
+//! a small self-describing [`Content`] tree; `serde_json` (also patched)
+//! renders and parses that tree. Field order, externally-tagged enum
+//! representation, and the `skip`/`default` attributes match real serde,
+//! so the JSON produced is what the real stack would produce.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A self-describing value tree: the intermediate representation between
+/// typed Rust values and any serialized format.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// JSON `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer.
+    I64(i64),
+    /// An unsigned integer that does not fit `i64`.
+    U64(u64),
+    /// A floating-point number.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// A sequence (arrays, tuples).
+    Seq(Vec<Content>),
+    /// A map with insertion-ordered string keys (structs, maps,
+    /// externally-tagged enum variants).
+    Map(Vec<(String, Content)>),
+}
+
+impl Content {
+    /// The map entries, if this is a map.
+    pub fn as_map(&self) -> Option<&Vec<(String, Content)>> {
+        match self {
+            Content::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The sequence elements, if this is a sequence.
+    pub fn as_seq(&self) -> Option<&Vec<Content>> {
+        match self {
+            Content::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Looks up `key` in insertion-ordered map entries.
+pub fn content_get<'a>(map: &'a [(String, Content)], key: &str) -> Option<&'a Content> {
+    map.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+/// A deserialization error.
+#[derive(Debug, Clone)]
+pub struct DeError(String);
+
+impl DeError {
+    /// Creates an error with the given message.
+    pub fn new(msg: impl Into<String>) -> Self {
+        DeError(msg.into())
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// A value that can be serialized (rendered to a [`Content`] tree).
+pub trait Serialize {
+    /// Converts `self` into the intermediate representation.
+    fn to_content(&self) -> Content;
+}
+
+/// A value that can be deserialized (built from a [`Content`] tree).
+pub trait Deserialize: Sized {
+    /// Builds a value from the intermediate representation.
+    fn from_content(content: &Content) -> Result<Self, DeError>;
+}
+
+/// Deserialization traits, mirroring `serde::de`.
+pub mod de {
+    /// A type deserializable without borrowing from the input, mirroring
+    /// `serde::de::DeserializeOwned`.
+    pub trait DeserializeOwned: Sized + crate::Deserialize {}
+    impl<T: crate::Deserialize> DeserializeOwned for T {}
+}
+
+// --------------------------------------------------------------------------
+// Primitive impls
+// --------------------------------------------------------------------------
+
+macro_rules! signed_impl {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content { Content::I64(*self as i64) }
+        }
+        impl Deserialize for $t {
+            fn from_content(content: &Content) -> Result<Self, DeError> {
+                let n: i64 = match content {
+                    Content::I64(n) => *n,
+                    Content::U64(n) => i64::try_from(*n)
+                        .map_err(|_| DeError::new("integer out of range"))?,
+                    _ => return Err(DeError::new(concat!("expected ", stringify!($t)))),
+                };
+                <$t>::try_from(n).map_err(|_| DeError::new("integer out of range"))
+            }
+        }
+    )*};
+}
+signed_impl!(i8, i16, i32, i64, isize);
+
+macro_rules! unsigned_impl {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                match i64::try_from(*self) {
+                    Ok(n) => Content::I64(n),
+                    Err(_) => Content::U64(*self as u64),
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(content: &Content) -> Result<Self, DeError> {
+                let n: u64 = match content {
+                    Content::I64(n) => u64::try_from(*n)
+                        .map_err(|_| DeError::new("negative integer for unsigned field"))?,
+                    Content::U64(n) => *n,
+                    _ => return Err(DeError::new(concat!("expected ", stringify!($t)))),
+                };
+                <$t>::try_from(n).map_err(|_| DeError::new("integer out of range"))
+            }
+        }
+    )*};
+}
+unsigned_impl!(u8, u16, u32, u64, usize);
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+impl Deserialize for bool {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Bool(b) => Ok(*b),
+            _ => Err(DeError::new("expected bool")),
+        }
+    }
+}
+
+impl Serialize for f64 {
+    fn to_content(&self) -> Content {
+        Content::F64(*self)
+    }
+}
+impl Deserialize for f64 {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::F64(x) => Ok(*x),
+            Content::I64(n) => Ok(*n as f64),
+            Content::U64(n) => Ok(*n as f64),
+            _ => Err(DeError::new("expected f64")),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_content(&self) -> Content {
+        Content::F64(f64::from(*self))
+    }
+}
+impl Deserialize for f32 {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        f64::from_content(content).map(|x| x as f32)
+    }
+}
+
+impl Serialize for char {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+impl Deserialize for char {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            _ => Err(DeError::new("expected single-char string")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+impl Deserialize for String {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Str(s) => Ok(s.clone()),
+            _ => Err(DeError::new("expected string")),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            Some(v) => v.to_content(),
+            None => Content::Null,
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Null => Ok(None),
+            other => T::from_content(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Seq(items) => items.iter().map(T::from_content).collect(),
+            _ => Err(DeError::new("expected sequence")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        T::from_content(content).map(Box::new)
+    }
+}
+
+macro_rules! tuple_impl {
+    ($len:expr => $($name:ident . $idx:tt),+) => {
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_content(&self) -> Content {
+                Content::Seq(vec![$(self.$idx.to_content()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_content(content: &Content) -> Result<Self, DeError> {
+                match content {
+                    Content::Seq(items) if items.len() == $len => {
+                        Ok(($($name::from_content(&items[$idx])?,)+))
+                    }
+                    _ => Err(DeError::new("expected tuple sequence")),
+                }
+            }
+        }
+    };
+}
+tuple_impl!(2 => A.0, B.1);
+tuple_impl!(3 => A.0, B.1, C.2);
+tuple_impl!(4 => A.0, B.1, C.2, D.3);
+
+impl<V: Serialize> Serialize for std::collections::BTreeMap<String, V> {
+    fn to_content(&self) -> Content {
+        Content::Map(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_content()))
+                .collect(),
+        )
+    }
+}
+impl<V: Deserialize> Deserialize for std::collections::BTreeMap<String, V> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::from_content(v)?)))
+                .collect(),
+            _ => Err(DeError::new("expected map")),
+        }
+    }
+}
+
+impl Serialize for Content {
+    fn to_content(&self) -> Content {
+        self.clone()
+    }
+}
+impl Deserialize for Content {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        Ok(content.clone())
+    }
+}

@@ -1,0 +1,480 @@
+//! Offline stand-in for `serde_derive`: generates `serde::Serialize` /
+//! `serde::Deserialize` impls for the shapes this workspace uses —
+//! named-field structs and enums with unit / newtype / tuple / struct
+//! variants, with the `#[serde(skip)]`, `#[serde(default)]`, and
+//! `#[serde(default = "path")]` field attributes.
+//!
+//! `syn`/`quote` are unavailable offline, so the input is parsed directly
+//! from the `proc_macro` token stream and the impl is emitted as source
+//! text. Representation choices (field order, externally-tagged enums)
+//! match real serde so the serialized form is identical.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug, Default, Clone)]
+struct FieldAttrs {
+    skip: bool,
+    /// `None` = required; `Some(None)` = `Default::default()`;
+    /// `Some(Some(path))` = call `path()`.
+    default: Option<Option<String>>,
+}
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    attrs: FieldAttrs,
+}
+
+#[derive(Debug)]
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+#[derive(Debug)]
+enum Input {
+    Struct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+// --------------------------------------------------------------------------
+// Parsing
+// --------------------------------------------------------------------------
+
+/// Consumes leading attributes (`#[...]`), returning any serde field
+/// attributes found among them.
+fn take_attrs(tokens: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) -> FieldAttrs {
+    let mut attrs = FieldAttrs::default();
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                let Some(TokenTree::Group(g)) = tokens.next() else {
+                    panic!("serde_derive: `#` not followed by a bracket group");
+                };
+                parse_attr_group(g.stream(), &mut attrs);
+            }
+            _ => return attrs,
+        }
+    }
+}
+
+/// Parses the inside of one `#[...]`; records serde(skip/default) args.
+fn parse_attr_group(stream: TokenStream, attrs: &mut FieldAttrs) {
+    let mut it = stream.into_iter();
+    let Some(TokenTree::Ident(name)) = it.next() else {
+        return;
+    };
+    if name.to_string() != "serde" {
+        return;
+    }
+    let Some(TokenTree::Group(args)) = it.next() else {
+        return;
+    };
+    let mut args = args.stream().into_iter().peekable();
+    while let Some(tt) = args.next() {
+        let TokenTree::Ident(arg) = tt else { continue };
+        match arg.to_string().as_str() {
+            "skip" | "skip_serializing" | "skip_deserializing" => attrs.skip = true,
+            "default" => {
+                if matches!(args.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+                    args.next();
+                    let Some(TokenTree::Literal(lit)) = args.next() else {
+                        panic!("serde_derive: expected string after `default =`");
+                    };
+                    let text = lit.to_string();
+                    let path = text.trim_matches('"').to_string();
+                    attrs.default = Some(Some(path));
+                } else {
+                    attrs.default = Some(None);
+                }
+            }
+            other => panic!("serde_derive: unsupported serde attribute `{other}`"),
+        }
+    }
+}
+
+/// Skips a visibility qualifier (`pub`, `pub(crate)`, ...).
+fn skip_vis(tokens: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) {
+    if matches!(tokens.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        tokens.next();
+        if matches!(tokens.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            tokens.next();
+        }
+    }
+}
+
+/// Skips a type (or any token run) up to a top-level `,`, tracking angle
+/// brackets since `<`/`>` are plain puncts in the token stream.
+fn skip_until_comma(tokens: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) {
+    let mut depth = 0i32;
+    while let Some(tt) = tokens.peek() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                tokens.next();
+                return;
+            }
+            _ => {}
+        }
+        tokens.next();
+    }
+}
+
+/// Parses `{ field: Ty, ... }` contents into named fields.
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut tokens = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        let attrs = take_attrs(&mut tokens);
+        skip_vis(&mut tokens);
+        match tokens.next() {
+            Some(TokenTree::Ident(name)) => {
+                match tokens.next() {
+                    Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+                    other => panic!("serde_derive: expected `:` after field name, got {other:?}"),
+                }
+                skip_until_comma(&mut tokens);
+                fields.push(Field {
+                    name: name.to_string(),
+                    attrs,
+                });
+            }
+            None => return fields,
+            other => panic!("serde_derive: unexpected token in fields: {other:?}"),
+        }
+    }
+}
+
+/// Counts the top-level comma-separated types in a tuple variant body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut depth = 0i32;
+    let mut count = 0usize;
+    let mut saw_tokens = false;
+    for tt in stream {
+        match tt {
+            TokenTree::Punct(ref p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(ref p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(ref p) if p.as_char() == ',' && depth == 0 => {
+                count += 1;
+                saw_tokens = false;
+                continue;
+            }
+            _ => {}
+        }
+        saw_tokens = true;
+    }
+    if saw_tokens {
+        count += 1;
+    }
+    count
+}
+
+/// Parses enum variants from the brace group contents.
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut tokens = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        let _attrs = take_attrs(&mut tokens);
+        match tokens.next() {
+            Some(TokenTree::Ident(name)) => {
+                let shape = match tokens.peek() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        let n = count_tuple_fields(g.stream());
+                        tokens.next();
+                        VariantShape::Tuple(n)
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        let fields = parse_named_fields(g.stream());
+                        tokens.next();
+                        VariantShape::Struct(fields)
+                    }
+                    _ => VariantShape::Unit,
+                };
+                // Skip an explicit discriminant, then the comma.
+                if matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+                    tokens.next();
+                    skip_until_comma(&mut tokens);
+                } else if matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+                    tokens.next();
+                }
+                variants.push(Variant {
+                    name: name.to_string(),
+                    shape,
+                });
+            }
+            None => return variants,
+            other => panic!("serde_derive: unexpected token in enum body: {other:?}"),
+        }
+    }
+}
+
+/// Parses a full `struct`/`enum` item.
+fn parse_input(input: TokenStream) -> Input {
+    let mut tokens = input.into_iter().peekable();
+    let _ = take_attrs(&mut tokens);
+    skip_vis(&mut tokens);
+    let kind = match tokens.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, got {other:?}"),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("serde_derive: expected type name, got {other:?}"),
+    };
+    if matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive: generic types are not supported by the offline stand-in");
+    }
+    let Some(TokenTree::Group(body)) = tokens.next() else {
+        panic!("serde_derive: expected `{{ ... }}` body on `{name}` (tuple structs unsupported)");
+    };
+    match kind.as_str() {
+        "struct" => Input::Struct {
+            name,
+            fields: parse_named_fields(body.stream()),
+        },
+        "enum" => Input::Enum {
+            name,
+            variants: parse_variants(body.stream()),
+        },
+        other => panic!("serde_derive: cannot derive for `{other}` items"),
+    }
+}
+
+// --------------------------------------------------------------------------
+// Code generation
+// --------------------------------------------------------------------------
+
+fn gen_serialize(input: &Input) -> String {
+    let mut out = String::new();
+    match input {
+        Input::Struct { name, fields } => {
+            out.push_str(&format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_content(&self) -> ::serde::Content {{\n\
+                 let mut fields: ::std::vec::Vec<(::std::string::String, ::serde::Content)> = ::std::vec::Vec::new();\n"
+            ));
+            for f in fields {
+                if f.attrs.skip {
+                    continue;
+                }
+                let fname = &f.name;
+                out.push_str(&format!(
+                    "fields.push((\"{fname}\".to_string(), ::serde::Serialize::to_content(&self.{fname})));\n"
+                ));
+            }
+            out.push_str("::serde::Content::Map(fields)\n}\n}\n");
+        }
+        Input::Enum { name, variants } => {
+            out.push_str(&format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_content(&self) -> ::serde::Content {{\n\
+                 match self {{\n"
+            ));
+            for v in variants {
+                let vname = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => out.push_str(&format!(
+                        "{name}::{vname} => ::serde::Content::Str(\"{vname}\".to_string()),\n"
+                    )),
+                    VariantShape::Tuple(1) => out.push_str(&format!(
+                        "{name}::{vname}(f0) => ::serde::Content::Map(vec![(\"{vname}\".to_string(), ::serde::Serialize::to_content(f0))]),\n"
+                    )),
+                    VariantShape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_content({b})"))
+                            .collect();
+                        out.push_str(&format!(
+                            "{name}::{vname}({}) => ::serde::Content::Map(vec![(\"{vname}\".to_string(), ::serde::Content::Seq(vec![{}]))]),\n",
+                            binds.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                    VariantShape::Struct(fields) => {
+                        let binds: Vec<String> =
+                            fields.iter().map(|f| f.name.clone()).collect();
+                        let pushes: Vec<String> = fields
+                            .iter()
+                            .filter(|f| !f.attrs.skip)
+                            .map(|f| {
+                                format!(
+                                    "inner.push((\"{0}\".to_string(), ::serde::Serialize::to_content({0})));",
+                                    f.name
+                                )
+                            })
+                            .collect();
+                        out.push_str(&format!(
+                            "{name}::{vname} {{ {} }} => {{\n\
+                             let mut inner: ::std::vec::Vec<(::std::string::String, ::serde::Content)> = ::std::vec::Vec::new();\n\
+                             {}\n\
+                             ::serde::Content::Map(vec![(\"{vname}\".to_string(), ::serde::Content::Map(inner))])\n\
+                             }}\n",
+                            binds.join(", "),
+                            pushes.join("\n")
+                        ));
+                    }
+                }
+            }
+            out.push_str("}\n}\n}\n");
+        }
+    }
+    out
+}
+
+fn field_deser(owner: &str, f: &Field) -> String {
+    let fname = &f.name;
+    if f.attrs.skip {
+        return format!("{fname}: ::std::default::Default::default(),\n");
+    }
+    let missing = match &f.attrs.default {
+        None => format!(
+            "return ::std::result::Result::Err(::serde::DeError::new(\"{owner}: missing field `{fname}`\"))"
+        ),
+        Some(None) => "::std::default::Default::default()".to_string(),
+        Some(Some(path)) => format!("{path}()"),
+    };
+    format!(
+        "{fname}: match ::serde::content_get(map, \"{fname}\") {{\n\
+         ::std::option::Option::Some(v) => ::serde::Deserialize::from_content(v)?,\n\
+         ::std::option::Option::None => {missing},\n\
+         }},\n"
+    )
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let mut out = String::new();
+    match input {
+        Input::Struct { name, fields } => {
+            out.push_str(&format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_content(content: &::serde::Content) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 let map = match content {{\n\
+                 ::serde::Content::Map(m) => m,\n\
+                 _ => return ::std::result::Result::Err(::serde::DeError::new(\"{name}: expected map\")),\n\
+                 }};\n\
+                 ::std::result::Result::Ok({name} {{\n"
+            ));
+            for f in fields {
+                out.push_str(&field_deser(name, f));
+            }
+            out.push_str("})\n}\n}\n");
+        }
+        Input::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.shape, VariantShape::Unit))
+                .map(|v| {
+                    format!(
+                        "\"{0}\" => ::std::result::Result::Ok({name}::{0}),\n",
+                        v.name
+                    )
+                })
+                .collect();
+            let tagged: Vec<&Variant> = variants
+                .iter()
+                .filter(|v| !matches!(v.shape, VariantShape::Unit))
+                .collect();
+            out.push_str(&format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_content(content: &::serde::Content) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 match content {{\n"
+            ));
+            out.push_str(&format!(
+                "::serde::Content::Str(s) => match s.as_str() {{\n\
+                 {}\
+                 _ => ::std::result::Result::Err(::serde::DeError::new(\"{name}: unknown variant\")),\n\
+                 }},\n",
+                unit_arms.join("")
+            ));
+            if !tagged.is_empty() {
+                out.push_str(
+                    "::serde::Content::Map(m) if m.len() == 1 => {\nlet (tag, body) = &m[0];\nmatch tag.as_str() {\n",
+                );
+                for v in &tagged {
+                    let vname = &v.name;
+                    match &v.shape {
+                        VariantShape::Unit => unreachable!(),
+                        VariantShape::Tuple(1) => out.push_str(&format!(
+                            "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}(::serde::Deserialize::from_content(body)?)),\n"
+                        )),
+                        VariantShape::Tuple(n) => {
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| {
+                                    format!("::serde::Deserialize::from_content(&seq[{i}])?")
+                                })
+                                .collect();
+                            out.push_str(&format!(
+                                "\"{vname}\" => {{\n\
+                                 let seq = match body {{\n\
+                                 ::serde::Content::Seq(s) if s.len() == {n} => s,\n\
+                                 _ => return ::std::result::Result::Err(::serde::DeError::new(\"{name}::{vname}: expected {n}-element sequence\")),\n\
+                                 }};\n\
+                                 ::std::result::Result::Ok({name}::{vname}({}))\n\
+                                 }}\n",
+                                items.join(", ")
+                            ));
+                        }
+                        VariantShape::Struct(fields) => {
+                            let mut body_fields = String::new();
+                            let owner = format!("{name}::{vname}");
+                            for f in fields {
+                                body_fields.push_str(&field_deser(&owner, f));
+                            }
+                            out.push_str(&format!(
+                                "\"{vname}\" => {{\n\
+                                 let map = match body {{\n\
+                                 ::serde::Content::Map(m) => m,\n\
+                                 _ => return ::std::result::Result::Err(::serde::DeError::new(\"{name}::{vname}: expected map\")),\n\
+                                 }};\n\
+                                 ::std::result::Result::Ok({name}::{vname} {{\n{body_fields}}})\n\
+                                 }}\n"
+                            ));
+                        }
+                    }
+                }
+                out.push_str(&format!(
+                    "_ => ::std::result::Result::Err(::serde::DeError::new(\"{name}: unknown variant\")),\n}}\n}}\n"
+                ));
+            }
+            out.push_str(&format!(
+                "_ => ::std::result::Result::Err(::serde::DeError::new(\"{name}: expected variant\")),\n}}\n}}\n}}\n"
+            ));
+        }
+    }
+    out
+}
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_serialize(&parsed)
+        .parse()
+        .expect("serde_derive: generated Serialize impl failed to parse")
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_deserialize(&parsed)
+        .parse()
+        .expect("serde_derive: generated Deserialize impl failed to parse")
+}

@@ -1,0 +1,129 @@
+//! Repair-search benchmark: the `SearchRefine` strategy against the
+//! Query Rewrite baseline.
+//!
+//! Runs the SPIDER-subset correction experiment with both strategies and
+//! asserts the acceptance invariants of the repair search:
+//!
+//! - SearchRefine corrects at least as many cases as Query Rewrite while
+//!   spending fewer engine executions per corrected case (the whole
+//!   candidate pool is pruned and ranked statically; only the chosen
+//!   candidate is validated);
+//! - the static pruner removes candidates on real workloads (the
+//!   `executions_skipped_static` / `executions_saved` ledger is not
+//!   empty);
+//! - SearchRefine reports are byte-identical at every worker count.
+//!
+//! Emits `BENCH_search.json`; CI uploads it as a workflow artifact.
+//!
+//! Run: `FISQL_SCALE=small cargo run --release -p fisql-bench --bin bench_search`
+
+use fisql_bench::{annotated_cases, runner, Setup};
+use fisql_core::{CorrectionReport, Strategy};
+
+fn main() {
+    let setup = Setup::from_env();
+    println!("# Repair-search benchmark (seed {})\n", setup.seed);
+
+    let (_, cases) = annotated_cases(&setup, &setup.spider);
+    println!("annotated SPIDER feedback set: {} cases", cases.len());
+
+    let rounds = 2;
+    let run_with = |strategy: Strategy, workers: usize| -> CorrectionReport {
+        runner(&setup, &setup.spider)
+            .strategy(strategy)
+            .rounds(rounds)
+            .workers(workers)
+            .run(&cases)
+    };
+
+    // Warm the embedding/selection caches.
+    let _ = run_with(Strategy::QueryRewrite, 1);
+
+    let corrected = |r: &CorrectionReport| *r.corrected_after_round.last().unwrap_or(&0);
+    let per_corrected = |r: &CorrectionReport| {
+        r.metrics.engine_executions as f64 / f64::from(u32::try_from(corrected(r).max(1)).unwrap())
+    };
+
+    let rewrite = run_with(Strategy::QueryRewrite, 1);
+    let search = run_with(Strategy::SearchRefine, 1);
+    let search_json = serde_json::to_string(&search).unwrap();
+
+    // Accuracy: the search must match or beat the rewrite baseline.
+    assert!(
+        corrected(&search) >= corrected(&rewrite),
+        "SearchRefine corrected {} cases, Query Rewrite {}",
+        corrected(&search),
+        corrected(&rewrite)
+    );
+    assert!(corrected(&search) > 0, "SearchRefine corrected nothing");
+    // Efficiency: fewer engine executions per corrected case.
+    assert!(
+        per_corrected(&search) < per_corrected(&rewrite),
+        "SearchRefine spent {:.2} executions per corrected case, Query Rewrite {:.2}",
+        per_corrected(&search),
+        per_corrected(&rewrite)
+    );
+    // The static pruner actually worked.
+    assert!(
+        search.executions_skipped_static + search.executions_saved > 0,
+        "the repair search pruned nothing statically"
+    );
+
+    println!(
+        "\n{:>14} {:>10} {:>12} {:>14} {:>12} {:>12}",
+        "strategy", "corrected", "executions", "exec/corrected", "pruned", "saved"
+    );
+    for (name, report) in [("Query Rewrite", &rewrite), ("SearchRefine", &search)] {
+        println!(
+            "{:>14} {:>10} {:>12} {:>14.2} {:>12} {:>12}",
+            name,
+            corrected(report),
+            report.metrics.engine_executions,
+            per_corrected(report),
+            report.executions_skipped_static,
+            report.executions_saved,
+        );
+    }
+
+    // Determinism: byte-identical SearchRefine reports at every worker
+    // count.
+    let mut rows = Vec::new();
+    for workers in [1usize, 2] {
+        let report = run_with(Strategy::SearchRefine, workers);
+        assert_eq!(
+            serde_json::to_string(&report).unwrap(),
+            search_json,
+            "SearchRefine report diverged at {workers} workers"
+        );
+        rows.push(serde_json::json!({
+            "requested_workers": workers,
+            "effective_workers": report.metrics.workers,
+            "wall_ms": report.metrics.wall_ms,
+            "report_identical": true,
+        }));
+    }
+
+    let json = serde_json::json!({
+        "seed": setup.seed,
+        "cases": cases.len(),
+        "rounds": rounds,
+        "search": {
+            "strategy": search.strategy,
+            "corrected_after_round": search.corrected_after_round,
+            "engine_executions": search.metrics.engine_executions,
+            "executions_per_corrected_case": per_corrected(&search),
+            "candidates_pruned_statically": search.executions_skipped_static,
+            "executions_saved": search.executions_saved,
+        },
+        "rewrite_baseline": {
+            "strategy": rewrite.strategy,
+            "corrected_after_round": rewrite.corrected_after_round,
+            "engine_executions": rewrite.metrics.engine_executions,
+            "executions_per_corrected_case": per_corrected(&rewrite),
+        },
+        "worker_runs": rows,
+    });
+    let out = "BENCH_search.json";
+    std::fs::write(out, json.to_string()).expect("write BENCH_search.json");
+    println!("\nwrote {out}");
+}

@@ -9,7 +9,10 @@ use fisql_core::{incorporate, CorrectionRun, IncorporateContext, Strategy};
 use fisql_engine::execute;
 use fisql_llm::{FaultConfig, FaultyBackend, ResilienceConfig, Resilient};
 use fisql_spider::check_prediction;
-use fisql_sqlkit::{diff_queries, normalize_query};
+use fisql_sqlkit::{
+    diff_queries, locate_faults, normalize_query, print_query_spanned, same_clause_family,
+    LocateOptions,
+};
 
 fn main() {
     let setup = Setup::from_env();
@@ -76,6 +79,54 @@ fn main() {
             cases.len(), ok, misaligned, interp_fail, apply_fail, partial_multi, ambiguous_wrong, other, initial_multi
         );
 
+        // Localization accuracy: does the top-ranked fault site land on a
+        // clause the gold diff actually edits? Top-1 requires the first
+        // site to hit; top-3 any of the first three; `sites` counts cases
+        // where localization produced anything at all. The gold diff's
+        // clause spans (via the spanned printer) are the ground truth.
+        let mut top1 = 0u64;
+        let mut top3 = 0u64;
+        let mut any_sites = 0u64;
+        for case in &cases {
+            let example = &corpus.examples[case.error.example_idx];
+            let db = corpus.database(example);
+            let previous = normalize_query(&case.error.initial);
+            let schema = db.schema_info();
+            let sites = locate_faults(
+                &previous,
+                &schema,
+                LocateOptions {
+                    feedback: Some(&case.feedback.text),
+                    highlight: case.feedback.highlight,
+                },
+            );
+            if sites.is_empty() {
+                continue;
+            }
+            any_sites += 1;
+            let gold_edits = diff_queries(&previous, &example.gold);
+            let spanned = print_query_spanned(&previous);
+            let hit = |site: &fisql_sqlkit::FaultSite| {
+                gold_edits.iter().any(|e| {
+                    let clause = e.clause();
+                    same_clause_family(&site.clause, &clause)
+                        || spanned
+                            .span_of(&clause)
+                            .is_some_and(|s| site.span.start < s.end && s.start < site.span.end)
+                })
+            };
+            if hit(&sites[0]) {
+                top1 += 1;
+                top3 += 1;
+            } else if sites.iter().take(3).any(hit) {
+                top3 += 1;
+            }
+        }
+        println!(
+            "{name} localization: top-1 {top1}/{any_sites}, top-3 {top3}/{any_sites} ({} case(s) without sites)",
+            cases.len() as u64 - any_sites
+        );
+
         // Static-analysis gate: per strategy, how many round-1 candidates
         // the analyzer flags (and typo-repairs) before they can reach the
         // engine, vs. how many of the gated candidates still fail there.
@@ -86,6 +137,7 @@ fn main() {
             },
             Strategy::FisqlDynamic,
             Strategy::QueryRewrite,
+            Strategy::SearchRefine,
         ] {
             let mut flagged = 0u64;
             let mut repaired = 0u64;

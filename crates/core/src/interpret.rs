@@ -60,6 +60,40 @@ pub fn interpret(
     highlight: Option<Span>,
     rng: &mut impl Rng,
 ) -> Interpretation {
+    let mut candidates = interpret_candidates(text, predicted, db, routed, highlight);
+    match candidates.len() {
+        0 => Interpretation {
+            edits: vec![],
+            candidates: 0,
+            label: "none",
+        },
+        n => {
+            let pick = if n == 1 { 0 } else { rng.gen_range(0..n) };
+            let chosen = candidates.swap_remove(pick);
+            Interpretation {
+                edits: chosen.edits,
+                candidates: n,
+                label: chosen.label,
+            }
+        }
+    }
+}
+
+/// Builds the full filtered candidate pool for `text` against
+/// `predicted`, without sampling: cue extraction, candidate generation,
+/// then the routing and highlight filters (each applied only when it
+/// leaves at least one survivor).
+///
+/// [`interpret`] samples one candidate from this pool; the search-refine
+/// strategy instead keeps the whole pool and scores every member
+/// statically.
+pub fn interpret_candidates(
+    text: &str,
+    predicted: &Query,
+    db: &Database,
+    routed: Option<OpClass>,
+    highlight: Option<Span>,
+) -> Vec<Candidate> {
     let cues = Cues::extract(text, predicted, db);
     let mut candidates = generate_candidates(&cues, predicted, db);
 
@@ -93,23 +127,7 @@ pub fn interpret(
             }
         }
     }
-
-    match candidates.len() {
-        0 => Interpretation {
-            edits: vec![],
-            candidates: 0,
-            label: "none",
-        },
-        n => {
-            let pick = if n == 1 { 0 } else { rng.gen_range(0..n) };
-            let chosen = candidates.swap_remove(pick);
-            Interpretation {
-                edits: chosen.edits,
-                candidates: n,
-                label: chosen.label,
-            }
-        }
-    }
+    candidates
 }
 
 /// Two clause paths are compatible when equal or when one is the WHERE

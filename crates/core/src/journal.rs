@@ -179,7 +179,7 @@ impl RunJournal {
             let body_len =
                 u32::from_le_bytes(bytes[offset..offset + 4].try_into().unwrap()) as usize;
             let checksum = u32::from_le_bytes(bytes[offset + 4..offset + 8].try_into().unwrap());
-            if body_len < 8 || body_len > MAX_RECORD_LEN || offset + 8 + body_len > bytes.len() {
+            if !(8..=MAX_RECORD_LEN).contains(&body_len) || offset + 8 + body_len > bytes.len() {
                 break; // torn tail
             }
             let body = &bytes[offset + 8..offset + 8 + body_len];

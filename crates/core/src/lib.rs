@@ -38,11 +38,11 @@ pub use analysis::{analyze_round, ErrorAnalysis, FailureCause};
 pub use assistant::{Assistant, AssistantTurn};
 pub use experiment::{zero_shot_report, AnnotatedCase, CorrectionReport, ErrorCase};
 pub use explain::{explain_query, reformulate};
-pub use interpret::{interpret, Interpretation};
+pub use interpret::{interpret, interpret_candidates, Candidate, Interpretation};
 pub use journal::{FsyncPolicy, RunJournal};
 pub use pipeline::{
     gate_candidate, incorporate, try_incorporate, ConformanceReport, GateOutcome,
-    IncorporateContext, IncorporateOutcome, Strategy,
+    IncorporateContext, IncorporateOutcome, SearchReport, Strategy,
 };
 pub use refine::{QueryBuilder, RefineError, RefineStep};
 pub use runner::{

@@ -5,15 +5,19 @@
 //! revised query out — so the experiment driver and benches swap them
 //! freely.
 
-use crate::interpret::{interpret, Interpretation};
+use crate::interpret::{interpret, interpret_candidates, Interpretation};
 use fisql_engine::Database;
 use fisql_feedback::Feedback;
-use fisql_llm::{prompt, BackendResult, FallibleLanguageModel, GenMode, GenRequest, LanguageModel};
+use fisql_llm::{
+    prompt, routing_alignment, BackendResult, FallibleLanguageModel, GenMode, GenRequest,
+    LanguageModel,
+};
 use fisql_spider::Example;
-use fisql_sqlkit::check::{check_query, render_report, repair_query, Diagnostic};
+use fisql_sqlkit::check::{check_query, render_report, repair_query, Diagnostic, SchemaInfo};
 use fisql_sqlkit::{
-    diff_queries, normalize_query, print_query, print_query_spanned, realized_classes,
-    same_clause_family, OpClass, Query,
+    apply_edits, diff_queries, enumerate_repairs, literal_year, locate_faults, normalize_query,
+    print_query, print_query_spanned, prune_candidates, realized_classes, same_clause_family, Expr,
+    FeedbackCues, Literal, LocateOptions, OpClass, Query, RepairCandidate,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -39,6 +43,13 @@ pub enum Strategy {
     /// The Query Rewrite baseline (§4.1): paraphrase the question to fold
     /// in the feedback, then regenerate from scratch.
     QueryRewrite,
+    /// Static fault localization + structure-preserving repair search:
+    /// rank fault sites from analyzer/flow/feedback evidence, enumerate
+    /// minimal candidate edits, prune statically (abstract
+    /// interpretation and equivalence proofs), and beam-search the
+    /// survivors by a static closeness score. The engine is touched only
+    /// by the runner's final validation — never inside the strategy.
+    SearchRefine,
 }
 
 impl Strategy {
@@ -63,6 +74,7 @@ impl Strategy {
             } => "FISQL (- Routing, + Highlighting)",
             Strategy::FisqlDynamic => "FISQL (dynamic routing)",
             Strategy::QueryRewrite => "Query Rewrite",
+            Strategy::SearchRefine => "SearchRefine",
         }
     }
 }
@@ -110,6 +122,38 @@ pub struct IncorporateOutcome {
     /// What the feedback-conformance gate observed, when it ran (FISQL
     /// paths with routing, `conformance_gate` on).
     pub conformance: Option<ConformanceReport>,
+    /// What the repair search did, when the strategy was
+    /// [`Strategy::SearchRefine`].
+    pub search: Option<SearchReport>,
+}
+
+/// Accounting for one search-refine step: how many fault sites were
+/// localized, how many candidates were enumerated, how many the static
+/// pruner removed before any execution, and how many survivors the beam
+/// search chose among. The runner folds `pruned_static` into
+/// `executions_skipped_static` and the non-chosen survivors into
+/// `executions_saved` — each is a candidate a generate-and-test loop
+/// would have run against the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SearchReport {
+    /// Ranked fault sites localized in the previous query.
+    pub sites: u64,
+    /// Repair candidates enumerated across all search rounds.
+    pub enumerated: u64,
+    /// Candidates removed statically (contradictory, invalid, or proven
+    /// equivalent) — executions a generate-and-test loop would have
+    /// burned.
+    pub pruned_static: u64,
+    /// Candidates that survived static pruning (the beam pool).
+    pub survivors: u64,
+    /// Beam members expanded with a second localization round.
+    pub expanded: u64,
+    /// Static closeness score of the chosen candidate (0 when no
+    /// candidate survived and the previous query was kept).
+    pub score: i64,
+    /// Generator label of the chosen candidate (`"none"` when no
+    /// candidate survived).
+    pub chosen: &'static str,
 }
 
 /// What the feedback-conformance gate observed for one candidate: whether
@@ -227,6 +271,7 @@ pub fn try_incorporate<L: FallibleLanguageModel + ?Sized>(
         } => fisql_step(llm, ctx, routing, highlighting, false),
         Strategy::FisqlDynamic => fisql_step(llm, ctx, true, false, true),
         Strategy::QueryRewrite => rewrite_step(llm, ctx),
+        Strategy::SearchRefine => search_step(llm, ctx),
     }
 }
 
@@ -362,6 +407,7 @@ fn fisql_step<L: FallibleLanguageModel + ?Sized>(
         prompt: prompt_text,
         gate,
         conformance,
+        search: None,
     })
 }
 
@@ -371,6 +417,262 @@ fn builtin_pool() -> &'static fisql_llm::RoutingPool {
     use std::sync::OnceLock;
     static POOL: OnceLock<fisql_llm::RoutingPool> = OnceLock::new();
     POOL.get_or_init(fisql_llm::RoutingPool::builtin)
+}
+
+/// Beam width of the repair search: survivors re-localized in round two.
+const BEAM_WIDTH: usize = 4;
+
+fn search_step<L: FallibleLanguageModel + ?Sized>(
+    llm: &L,
+    ctx: &IncorporateContext<'_>,
+) -> BackendResult<IncorporateOutcome> {
+    // The backend's only role here is feedback-type classification; every
+    // later step is pure static analysis, so the whole strategy is
+    // deterministic in (query, feedback, schema) — a requirement for the
+    // runner's bit-identical-reports contract.
+    let routed = llm.try_classify_feedback(&ctx.feedback.text, ctx.round)?;
+    let schema = ctx.db.schema_info();
+    let highlight = ctx.feedback.highlight;
+    let previous = normalize_query(ctx.previous);
+
+    // Localize: rank fault sites from analyzer, flow, feedback, and
+    // highlight evidence; mine the feedback for repair material.
+    let sites = locate_faults(
+        &previous,
+        &schema,
+        LocateOptions {
+            feedback: Some(&ctx.feedback.text),
+            highlight,
+        },
+    );
+    let cues = FeedbackCues::extract(&ctx.feedback.text, &schema);
+
+    // Enumerate: site-driven repairs, plus the feedback interpreter's
+    // full candidate pool (the same pool `interpret` samples one member
+    // from) re-expressed as repair candidates. Interpreter candidates
+    // carry the out-of-range site index `sites.len()` so diagnostics can
+    // tell the two generators apart.
+    let mut pool = enumerate_repairs(&previous, &schema, &sites, &cues);
+    for cand in interpret_candidates(
+        &ctx.feedback.text,
+        &previous,
+        ctx.db,
+        Some(routed),
+        highlight,
+    ) {
+        if let Ok(query) = apply_edits(&previous, &cand.edits) {
+            pool.push(RepairCandidate {
+                query,
+                edits: cand.edits,
+                site: sites.len(),
+                label: cand.label,
+            });
+        }
+    }
+    let enumerated_round1 = pool.len() as u64;
+
+    // Prune: abstract interpretation (contradictory/empty), analyzer
+    // (invalid names), and the equivalence oracle (no-ops, duplicates)
+    // drop candidates before anything can reach the engine.
+    let outcome = prune_candidates(&previous, pool, &schema);
+    let mut pruned_static = outcome.pruned_static();
+    let mut survivors = outcome.kept;
+
+    let score_of = |cand: &RepairCandidate| closeness(&previous, cand, &cues, routed, &schema);
+    let rank = |pool: &mut Vec<RepairCandidate>| {
+        pool.sort_by_cached_key(|c| (std::cmp::Reverse(score_of(c)), print_query(&c.query)));
+    };
+    rank(&mut survivors);
+
+    // Expand: a second localization round on the top beam members, so
+    // multi-edit faults (join + literal, table + column) are reachable.
+    // Second-round candidates are re-pruned against the *original* query
+    // and the accumulated pool, then ranked into it.
+    let beam: Vec<RepairCandidate> = survivors.iter().take(BEAM_WIDTH).cloned().collect();
+    let mut enumerated_round2 = 0u64;
+    for member in &beam {
+        let member_sites = locate_faults(
+            &member.query,
+            &schema,
+            LocateOptions {
+                feedback: Some(&ctx.feedback.text),
+                highlight: None,
+            },
+        );
+        let expansions = enumerate_repairs(&member.query, &schema, &member_sites, &cues);
+        enumerated_round2 += expansions.len() as u64;
+        let expansions: Vec<RepairCandidate> = expansions
+            .into_iter()
+            .map(|e| RepairCandidate {
+                query: e.query,
+                edits: member.edits.iter().cloned().chain(e.edits).collect(),
+                site: member.site,
+                label: e.label,
+            })
+            .collect();
+        let second = prune_candidates(&previous, expansions, &schema);
+        pruned_static += second.pruned_static();
+        for cand in second.kept {
+            let duplicate = survivors.iter().any(|k| k.query == cand.query);
+            if duplicate {
+                pruned_static += 1;
+            } else {
+                survivors.push(cand);
+            }
+        }
+    }
+    rank(&mut survivors);
+
+    let report = SearchReport {
+        sites: sites.len() as u64,
+        enumerated: enumerated_round1 + enumerated_round2,
+        pruned_static,
+        survivors: survivors.len() as u64,
+        expanded: beam.len() as u64,
+        score: survivors.first().map(&score_of).unwrap_or(0),
+        chosen: survivors.first().map(|c| c.label).unwrap_or("none"),
+    };
+
+    // Choose: the top-ranked survivor goes to the runner's validator; an
+    // empty pool keeps the previous query (interpretation failure, the
+    // paper's error cause (b)).
+    let chosen = survivors
+        .into_iter()
+        .next()
+        .map(|c| c.query)
+        .unwrap_or_else(|| previous.clone());
+
+    let mut prompt_text = prompt::feedback_prompt(
+        ctx.db,
+        &[],
+        &[],
+        ctx.question,
+        &print_query(&previous),
+        &ctx.feedback.text,
+    );
+    let (query, gate) = gate_candidate(ctx.db, chosen, &mut prompt_text);
+
+    Ok(IncorporateOutcome {
+        query,
+        question: ctx.question.to_string(),
+        routed: Some(routed),
+        interpretation: None,
+        prompt: prompt_text,
+        gate,
+        conformance: None,
+        search: Some(report),
+    })
+}
+
+/// Static closeness score for one repair candidate: cue coverage
+/// dominates, routed-class agreement breaks coverage ties, and edit
+/// count plus analyzer warnings act as minimality penalties. Integer
+/// arithmetic throughout — scores must be exactly reproducible.
+pub(crate) fn closeness(
+    previous: &Query,
+    cand: &RepairCandidate,
+    cues: &FeedbackCues,
+    routed: OpClass,
+    schema: &SchemaInfo,
+) -> i64 {
+    let realized = realized_classes(&diff_queries(previous, &cand.query));
+    let coverage = cue_coverage(&cand.query, cues);
+    let warnings = check_query(&cand.query, schema).len() as i64;
+    coverage * 30 + routing_alignment(routed, &realized) * 12
+        - 3 * (cand.edits.len() as i64)
+        - 2 * warnings
+}
+
+/// Counts how many of the feedback's cues the candidate query satisfies:
+/// mentioned years appear as literal years, numbers as numeric literals
+/// or the LIMIT count, strings as string literals, schema entities as
+/// referenced tables/columns, plus aggregate, sort-direction, and LIMIT
+/// expectations.
+fn cue_coverage(query: &Query, cues: &FeedbackCues) -> i64 {
+    let mut literals: Vec<Literal> = Vec::new();
+    let mut columns: Vec<String> = Vec::new();
+    let mut funcs: Vec<fisql_sqlkit::Func> = Vec::new();
+    for_each_expr(query, &mut |e| match e {
+        Expr::Literal(lit) => literals.push(lit.clone()),
+        Expr::Column(c) => columns.push(c.column.to_lowercase()),
+        Expr::Call { func, .. } => funcs.push(*func),
+        _ => {}
+    });
+    let tables = query.all_table_names();
+
+    let mut satisfied = 0i64;
+    for year in &cues.years {
+        if literals.iter().any(|l| literal_year(l) == Some(*year)) {
+            satisfied += 1;
+        }
+    }
+    for n in &cues.numbers {
+        let as_literal = literals
+            .iter()
+            .any(|l| matches!(l, Literal::Number(v) if v == n));
+        let as_limit = *n >= 0 && query.limit.is_some_and(|l| l.count == *n as u64);
+        if as_literal || as_limit {
+            satisfied += 1;
+        }
+    }
+    for s in &cues.strings {
+        if literals
+            .iter()
+            .any(|l| matches!(l, Literal::String(v) if v.eq_ignore_ascii_case(s)))
+        {
+            satisfied += 1;
+        }
+    }
+    for t in &cues.tables {
+        if tables.iter().any(|n| n.eq_ignore_ascii_case(t)) {
+            satisfied += 1;
+        }
+    }
+    for c in &cues.columns {
+        if columns.iter().any(|n| n.eq_ignore_ascii_case(c)) {
+            satisfied += 1;
+        }
+    }
+    for agg in &cues.aggregates {
+        if funcs.contains(agg) {
+            satisfied += 1;
+        }
+    }
+    if cues.ascending && query.order_by.iter().any(|o| !o.desc) {
+        satisfied += 1;
+    }
+    if cues.descending && query.order_by.iter().any(|o| o.desc) {
+        satisfied += 1;
+    }
+    if cues.limit_hint && query.limit.is_some() {
+        satisfied += 1;
+    }
+    satisfied
+}
+
+/// Visits every expression in every core's SELECT list, WHERE, GROUP BY,
+/// and HAVING, plus the trailing ORDER BY keys (subquery interiors are
+/// reached through [`Expr::walk`]'s own contract).
+fn for_each_expr(query: &Query, f: &mut impl FnMut(&Expr)) {
+    for core in query.cores() {
+        for item in &core.items {
+            if let fisql_sqlkit::SelectItem::Expr { expr, .. } = item {
+                expr.walk(f);
+            }
+        }
+        if let Some(w) = &core.where_clause {
+            w.walk(f);
+        }
+        for g in &core.group_by {
+            g.walk(f);
+        }
+        if let Some(h) = &core.having {
+            h.walk(f);
+        }
+    }
+    for o in &query.order_by {
+        o.expr.walk(f);
+    }
 }
 
 fn rewrite_step<L: FallibleLanguageModel + ?Sized>(
@@ -402,6 +704,7 @@ fn rewrite_step<L: FallibleLanguageModel + ?Sized>(
         prompt: prompt_text,
         gate,
         conformance: None,
+        search: None,
     })
 }
 
@@ -627,6 +930,128 @@ mod tests {
     }
 
     #[test]
+    fn search_refine_fixes_the_figure4_flagship() {
+        let corpus = build_aep(&AepConfig {
+            n_examples: 5,
+            seed: 2,
+        });
+        let e = &corpus.examples[0];
+        let previous = normalize_query(
+            &parse_query(
+                "SELECT COUNT(*) FROM hkg_dim_segment \
+                 WHERE createdTime >= '2023-01-01' AND createdTime < '2023-02-01'",
+            )
+            .unwrap(),
+        );
+        let fb = Feedback {
+            text: "we are in 2024".into(),
+            highlight: None,
+            intended: vec![],
+            misaligned: false,
+        };
+        let out = incorporate(
+            Strategy::SearchRefine,
+            &flawless_llm(),
+            &IncorporateContext {
+                db: corpus.database(e),
+                example: e,
+                question: &e.question,
+                previous: &previous,
+                feedback: &fb,
+                round: 0,
+                conformance_gate: false,
+            },
+        );
+        assert!(
+            structurally_equal(&out.query, &e.gold),
+            "got {}",
+            print_query(&out.query)
+        );
+        assert_eq!(out.routed, Some(OpClass::Edit));
+        let report = out.search.expect("search report should be present");
+        assert!(report.sites >= 1, "no fault sites localized: {report:?}");
+        assert!(report.survivors >= 1, "no survivors: {report:?}");
+        assert!(
+            report.pruned_static >= 1,
+            "nothing pruned statically: {report:?}"
+        );
+        assert_ne!(report.chosen, "none");
+        // The strategy itself never touches the engine; the runner's
+        // validator does.
+        assert!(out.interpretation.is_none());
+    }
+
+    #[test]
+    fn search_refine_is_deterministic() {
+        let corpus = build_aep(&AepConfig {
+            n_examples: 5,
+            seed: 2,
+        });
+        let e = &corpus.examples[0];
+        let previous = normalize_query(
+            &parse_query(
+                "SELECT COUNT(*) FROM hkg_dim_segment \
+                 WHERE createdTime >= '2023-01-01' AND createdTime < '2023-02-01'",
+            )
+            .unwrap(),
+        );
+        let fb = Feedback {
+            text: "we are in 2024".into(),
+            highlight: None,
+            intended: vec![],
+            misaligned: false,
+        };
+        let ctx = IncorporateContext {
+            db: corpus.database(e),
+            example: e,
+            question: &e.question,
+            previous: &previous,
+            feedback: &fb,
+            round: 0,
+            conformance_gate: false,
+        };
+        let a = incorporate(Strategy::SearchRefine, &flawless_llm(), &ctx);
+        let b = incorporate(Strategy::SearchRefine, &flawless_llm(), &ctx);
+        assert_eq!(a.query, b.query);
+        assert_eq!(a.search, b.search);
+    }
+
+    #[test]
+    fn search_refine_keeps_previous_on_ungroundable_feedback() {
+        let corpus = build_aep(&AepConfig {
+            n_examples: 5,
+            seed: 2,
+        });
+        let e = &corpus.examples[0];
+        let previous = normalize_query(&e.gold);
+        let fb = Feedback {
+            text: "change the frobnication coefficient".into(),
+            highlight: None,
+            intended: vec![],
+            misaligned: false,
+        };
+        let out = incorporate(
+            Strategy::SearchRefine,
+            &flawless_llm(),
+            &IncorporateContext {
+                db: corpus.database(e),
+                example: e,
+                question: &e.question,
+                previous: &previous,
+                feedback: &fb,
+                round: 0,
+                conformance_gate: false,
+            },
+        );
+        let report = out.search.expect("search report should be present");
+        if report.survivors == 0 {
+            assert!(structurally_equal(&out.query, &previous));
+            assert_eq!(report.chosen, "none");
+            assert_eq!(report.score, 0);
+        }
+    }
+
+    #[test]
     fn gate_repairs_typo_and_annotates_prompt() {
         let corpus = build_aep(&AepConfig {
             n_examples: 5,
@@ -697,5 +1122,6 @@ mod tests {
             "FISQL (+ Highlighting)"
         );
         assert_eq!(Strategy::QueryRewrite.name(), "Query Rewrite");
+        assert_eq!(Strategy::SearchRefine.name(), "SearchRefine");
     }
 }

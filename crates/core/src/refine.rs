@@ -33,10 +33,12 @@
 
 use crate::interpret::interpret;
 use fisql_engine::Database;
+use fisql_llm::keyword_route;
 use fisql_sqlkit::check::{check_query, render_report, repair_query, Diagnostic, SchemaInfo};
 use fisql_sqlkit::{
-    apply_edits, diff_queries, normalize_query, parse_query, print_query, realized_classes, EditOp,
-    OpClass, Query,
+    apply_edits, diff_queries, enumerate_repairs, locate_faults, normalize_query, parse_query,
+    print_query, prune_candidates, realized_classes, EditOp, FeedbackCues, LocateOptions, OpClass,
+    Query,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -223,6 +225,38 @@ impl<'a> QueryBuilder<'a> {
         Ok(&self.current)
     }
 
+    /// Ranked repair suggestions for an utterance, best first: the
+    /// static repair search's surviving candidates (fault localization →
+    /// structure-preserving enumeration → static pruning) scored by the
+    /// same closeness measure the `SearchRefine` strategy beam-searches.
+    /// Useful when [`Self::refine`] returns `NotUnderstood` — the
+    /// builder can show what the analyzer *would* change. Never touches
+    /// the engine.
+    pub fn suggest(&self, text: &str) -> Vec<(String, i64)> {
+        let routed = keyword_route(text);
+        let sites = locate_faults(
+            &self.current,
+            &self.schema,
+            LocateOptions {
+                feedback: Some(text),
+                highlight: None,
+            },
+        );
+        let cues = FeedbackCues::extract(text, &self.schema);
+        let pool = enumerate_repairs(&self.current, &self.schema, &sites, &cues);
+        let mut scored: Vec<(String, i64)> = prune_candidates(&self.current, pool, &self.schema)
+            .kept
+            .iter()
+            .map(|cand| {
+                let score =
+                    crate::pipeline::closeness(&self.current, cand, &cues, routed, &self.schema);
+                (print_query(&cand.query), score)
+            })
+            .collect();
+        scored.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        scored
+    }
+
     /// Undoes the last refinement; returns false when there is nothing to
     /// undo.
     pub fn undo(&mut self) -> bool {
@@ -281,6 +315,28 @@ mod tests {
         }
         db.add_table(seg);
         db
+    }
+
+    #[test]
+    fn suggest_ranks_repair_candidates_statically() {
+        let db = db();
+        let b = QueryBuilder::from_sql(
+            &db,
+            "SELECT segment_name FROM segment WHERE status = 'activ'",
+        )
+        .unwrap();
+        let suggestions = b.suggest("the status should be 'active'");
+        assert!(
+            !suggestions.is_empty(),
+            "the literal-swap repair should propose 'active'"
+        );
+        assert!(
+            suggestions[0].0.contains("'active'"),
+            "top suggestion {:?} does not use the quoted value",
+            suggestions[0]
+        );
+        // Deterministic: same input, same ranking.
+        assert_eq!(suggestions, b.suggest("the status should be 'active'"));
     }
 
     #[test]

@@ -746,6 +746,14 @@ impl<'a, L: FallibleLanguageModel + ?Sized> CorrectionRun<'a, L> {
                 verdict.statically_flagged += 1;
             }
             verdict.executions_saved += step.gate.executions_saved;
+            if let Some(s) = &step.search {
+                // Search accounting: statically-pruned candidates are
+                // executions a generate-and-test loop would have burned;
+                // non-chosen survivors are candidates the beam ranked
+                // below the one the validator actually runs.
+                verdict.executions_skipped_static += s.pruned_static;
+                verdict.executions_saved += s.survivors.saturating_sub(1);
+            }
             if let Some(c) = step.conformance {
                 verdict
                     .agreement
@@ -1093,6 +1101,89 @@ mod tests {
             with_oracle.metrics.engine_executions + with_oracle.executions_skipped_static,
             without.metrics.engine_executions
         );
+    }
+
+    #[test]
+    fn search_refine_reports_bit_identical_and_resumable() {
+        let (corpus, llm, user) = small_setup();
+        let run = CorrectionRun::new(&corpus, &llm, &user)
+            .strategy(Strategy::SearchRefine)
+            .demos_k(3)
+            .rounds(2);
+        let errors = run.workers(1).collect_errors();
+        let annotated = run.workers(1).annotate(&errors);
+        assert!(!annotated.is_empty());
+
+        let serial = run.workers(1).run(&annotated);
+        let serial_json = serde_json::to_string(&serial).unwrap();
+        for workers in [2, 8] {
+            let parallel = run.workers(workers).run(&annotated);
+            assert_eq!(
+                serde_json::to_string(&parallel).unwrap(),
+                serial_json,
+                "SearchRefine report diverged at {workers} workers"
+            );
+        }
+
+        // Torn-tail resume must reproduce the fresh report byte for byte.
+        let path = std::env::temp_dir().join(format!(
+            "fisql-runner-search-journal-{}.fjnl",
+            std::process::id()
+        ));
+        let journaled = run
+            .workers(1)
+            .journal(&path)
+            .fsync(FsyncPolicy::Never)
+            .run(&annotated);
+        assert_eq!(serde_json::to_string(&journaled).unwrap(), serial_json);
+        let full = std::fs::read(&path).unwrap();
+        let cut = (full.len() / 2).max(crate::journal::HEADER_LEN);
+        std::fs::write(&path, &full[..cut]).unwrap();
+        let resumed = run
+            .workers(4)
+            .journal(&path)
+            .resume(true)
+            .fsync(FsyncPolicy::Never)
+            .run(&annotated);
+        assert_eq!(
+            serde_json::to_string(&resumed).unwrap(),
+            serial_json,
+            "SearchRefine resume diverged from the fresh run"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn search_refine_executes_less_than_rewrite_per_correction() {
+        let (corpus, llm, user) = small_setup();
+        let base = CorrectionRun::new(&corpus, &llm, &user)
+            .demos_k(3)
+            .rounds(2)
+            .workers(1);
+        let errors = base.collect_errors();
+        let annotated = base.annotate(&errors);
+        assert!(!annotated.is_empty());
+
+        let corrected = |r: &CorrectionReport| *r.corrected_after_round.last().unwrap_or(&0);
+        let search = base.strategy(Strategy::SearchRefine).run(&annotated);
+        let rewrite = base.strategy(Strategy::QueryRewrite).run(&annotated);
+        assert!(
+            corrected(&search) >= corrected(&rewrite),
+            "SearchRefine corrected {} < Query Rewrite {}",
+            corrected(&search),
+            corrected(&rewrite)
+        );
+        assert!(corrected(&search) > 0, "SearchRefine corrected nothing");
+        let per_case =
+            |r: &CorrectionReport| r.metrics.engine_executions as f64 / corrected(r).max(1) as f64;
+        assert!(
+            per_case(&search) < per_case(&rewrite),
+            "SearchRefine {:.2} executions per corrected case >= Query Rewrite {:.2}",
+            per_case(&search),
+            per_case(&rewrite)
+        );
+        // The search's static pruning shows up in the ledger.
+        assert!(search.executions_skipped_static > 0 || search.executions_saved > 0);
     }
 
     #[test]

@@ -430,6 +430,34 @@ mod tests {
         }
     }
 
+    /// The Figure-4 walkthrough again, but corrected by the static
+    /// repair search instead of the prompting pipeline: the session
+    /// surface is strategy-agnostic, and `SearchRefine` must fix the
+    /// wrong-year query without any model edit application.
+    #[test]
+    fn search_refine_session_fixes_figure4() {
+        let (corpus, e, failing) = figure4_fixture();
+        let e = &e;
+        let assistant = Assistant {
+            llm: failing,
+            store: fisql_llm::DemoStore::new(vec![]),
+            demos_k: 0,
+        };
+        let mut session = Session::new(corpus.database(e), assistant, Strategy::SearchRefine);
+        let first = session.ask(e);
+        assert!(
+            first.sql_text.contains("2023"),
+            "expected the wrong-year query, got {}",
+            first.sql_text
+        );
+        let revised = session.give_feedback(e, "we are in 2024", None);
+        assert!(
+            structurally_equal(&revised.query, &e.gold),
+            "search did not fix the query: {}",
+            revised.sql_text
+        );
+    }
+
     /// Regression: replaying a question after a deprecated-shim call used
     /// to double-count gate events. `executions_saved()` must be a pure
     /// fold over the transcript — idempotent, unaffected by interleaved

@@ -7,7 +7,24 @@
 //! counters aggregate how often the two agree — the telemetry behind the
 //! conformance columns of the correction report.
 
+use fisql_sqlkit::OpClass;
 use serde::{Deserialize, Serialize};
+
+/// Scores how well a candidate's realized edit classes line up with the
+/// routed feedback class: `2` when the *dominant* (first) realized class
+/// is the routed one, `1` when the routed class appears anywhere in the
+/// realized set, `0` otherwise.
+///
+/// Used by the search-refine strategy as one term of its static
+/// closeness score; kept integer-valued so scores stay exactly
+/// reproducible across platforms.
+pub fn routing_alignment(routed: OpClass, realized: &[OpClass]) -> i64 {
+    match realized.first() {
+        Some(&first) if first == routed => 2,
+        _ if realized.contains(&routed) => 1,
+        _ => 0,
+    }
+}
 
 /// Aggregate counters for router-vs-realized conformance checks.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -85,5 +102,14 @@ mod tests {
     fn empty_stats_rate_is_zero() {
         assert_eq!(AgreementStats::default().agreement_rate(), 0.0);
         assert_eq!(AgreementStats::default().disagreements(), 0);
+    }
+
+    #[test]
+    fn routing_alignment_tiers() {
+        use OpClass::{Add, Edit, Remove};
+        assert_eq!(routing_alignment(Edit, &[Edit, Add]), 2);
+        assert_eq!(routing_alignment(Edit, &[Add, Edit]), 1);
+        assert_eq!(routing_alignment(Remove, &[Add, Edit]), 0);
+        assert_eq!(routing_alignment(Edit, &[]), 0);
     }
 }

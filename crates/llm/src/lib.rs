@@ -30,7 +30,7 @@ pub mod resilience;
 pub mod retrieval;
 pub mod routing_pool;
 
-pub use agreement::AgreementStats;
+pub use agreement::{routing_alignment, AgreementStats};
 pub use backend::{FallibleLanguageModel, LanguageModel};
 pub use cache::{CacheStats, ConcurrentCache};
 pub use calibration::Calibration;

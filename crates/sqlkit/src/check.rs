@@ -161,6 +161,16 @@ impl TableInfo {
             .iter()
             .find(|c| c.name.eq_ignore_ascii_case(name))
     }
+
+    /// Adds a foreign-key edge (builder style).
+    pub fn with_fk(mut self, column: &str, ref_table: &str, ref_column: &str) -> Self {
+        self.foreign_keys.push(FkInfo {
+            column: column.to_string(),
+            ref_table: ref_table.to_string(),
+            ref_column: ref_column.to_string(),
+        });
+        self
+    }
 }
 
 /// The full schema a query is analyzed against.
@@ -646,6 +656,16 @@ pub fn check_query(query: &Query, schema: &SchemaInfo) -> Vec<Diagnostic> {
     checker
         .diags
         .sort_by_key(|d| (std::cmp::Reverse(d.severity), d.span.start));
+    // Dedupe findings with identical code + span at collection: scoped
+    // checking and the flow pass can both anchor a finding to the same
+    // atom (and span fallbacks can collapse distinct anchors onto one
+    // range). Emitting the duplicate would double-weight the finding in
+    // re-prompt folding and fault localization.
+    let mut seen: std::collections::HashSet<(DiagCode, usize, usize)> =
+        std::collections::HashSet::new();
+    checker
+        .diags
+        .retain(|d| seen.insert((d.code, d.span.start, d.span.end)));
     checker.diags
 }
 

@@ -41,9 +41,11 @@ pub mod edit;
 pub mod error;
 pub mod flow;
 pub mod lexer;
+pub mod locate;
 pub mod normalize;
 pub mod parser;
 pub mod printer;
+pub mod repair;
 pub mod span;
 pub mod token;
 
@@ -63,7 +65,11 @@ pub use flow::{
     provably_equivalent, query_bounds, CardBounds, ConjunctTruth, OutputFacts, PredicateFacts,
     Provenance,
 };
+pub use locate::{literal_year, locate_faults, FaultKind, FaultSite, FeedbackCues, LocateOptions};
 pub use normalize::{normalize_query, structurally_equal};
 pub use parser::{parse_expr, parse_query};
 pub use printer::{print_expr, print_query, print_query_spanned, SpannedSql};
+pub use repair::{
+    enumerate_repairs, is_structure_preserving, prune_candidates, PruneOutcome, RepairCandidate,
+};
 pub use span::Span;

@@ -197,9 +197,18 @@ fn flag_value<T: std::str::FromStr>(args: &[String], flag: &str) -> Option<T> {
         })
 }
 
-/// `fisql --eval [--workers N] [--fault-rate R] [--retry-budget B]
-/// [--no-static-oracle] [--conformance-gate]`: the sharded correction
-/// evaluation on the bundled SPIDER-like and AEP-like corpora.
+/// `fisql --eval [--strategy S] [--workers N] [--fault-rate R]
+/// [--retry-budget B] [--no-static-oracle] [--conformance-gate]`: the
+/// sharded correction evaluation on the bundled SPIDER-like and AEP-like
+/// corpora.
+///
+/// `--strategy fisql|dynamic|rewrite|search` picks the
+/// feedback-incorporation strategy (default `fisql`): the paper's
+/// two-step prompting, its dynamic-routing variant, the Query Rewrite
+/// baseline, or the static fault-localization repair search
+/// (`SearchRefine`), which enumerates structure-preserving candidate
+/// edits, prunes them statically, and executes only the chosen
+/// candidate.
 ///
 /// `--fault-rate R` injects deterministic backend faults at total rate
 /// `R` (e.g. `0.2`), split evenly across timeouts, rate limits,
@@ -226,6 +235,19 @@ fn flag_value<T: std::str::FromStr>(args: &[String], flag: &str) -> Option<T> {
 /// (deterministic at any worker count) and cancelling runaway engine
 /// statements.
 fn run_eval(args: &[String]) {
+    let strategy = match flag_value::<String>(args, "--strategy").as_deref() {
+        None | Some("fisql") => Strategy::Fisql {
+            routing: true,
+            highlighting: false,
+        },
+        Some("dynamic") => Strategy::FisqlDynamic,
+        Some("rewrite") => Strategy::QueryRewrite,
+        Some("search") => Strategy::SearchRefine,
+        Some(other) => {
+            eprintln!("error: unknown --strategy `{other}` (try fisql, dynamic, rewrite, search)");
+            std::process::exit(2);
+        }
+    };
     let workers = flag_value(args, "--workers").unwrap_or_else(fisql_core::workers_from_env);
     let fault_rate: f64 = flag_value(args, "--fault-rate")
         .or_else(|| FaultConfig::from_env().map(|c| c.total_rate()))
@@ -280,6 +302,7 @@ fn run_eval(args: &[String]) {
             .as_ref()
             .map(|p| std::path::PathBuf::from(format!("{p}.{}", corpus.name)));
         let mut run = CorrectionRun::new(corpus, &chaos, &user)
+            .strategy(strategy)
             .demos_k(3)
             .rounds(2)
             .workers(workers)
@@ -300,8 +323,9 @@ fn run_eval(args: &[String]) {
         };
         let m = &report.metrics;
         println!(
-            "{}: {} errors, {} annotated; corrected after r1/r2: {:.1}%/{:.1}%",
+            "{} [{}]: {} errors, {} annotated; corrected after r1/r2: {:.1}%/{:.1}%",
             corpus.name,
+            strategy.name(),
             errors.len(),
             cases.len(),
             report.pct_after(1),

@@ -239,6 +239,70 @@ proptest! {
             }
         }
     }
+
+    /// The repair search's twin static guarantees: every enumerated
+    /// candidate is structure-preserving (its realized AST diff stays
+    /// inside the clause families its edit script declares), and every
+    /// candidate the abstract interpreter prunes as contradictory really
+    /// returns zero rows when executed — pruning it can never have cost
+    /// the search a correct query.
+    #[test]
+    fn repair_candidates_preserve_structure_and_pruning_is_sound(seed in 0u64..300) {
+        use fisql::fisql_sqlkit::{
+            enumerate_repairs, is_structure_preserving, locate_faults, prune_candidates,
+            FeedbackCues, LocateOptions,
+        };
+        let corpus = corpus_for(seed);
+        let feedbacks = [
+            "we are in 2024",
+            "order the results in descending order",
+            "only show the top 3",
+            "that name is wrong",
+            "use the created time",
+        ];
+        for (i, e) in corpus.examples.iter().take(8).enumerate() {
+            let db = corpus.database(e);
+            let schema = db.schema_info();
+            for wc in e.channels.iter().take(2) {
+                let bad = normalize_query(&fisql_spider::corrupt(&e.intent, &wc.channel));
+                let text = feedbacks[i % feedbacks.len()];
+                let sites = locate_faults(
+                    &bad,
+                    &schema,
+                    LocateOptions { feedback: Some(text), highlight: None },
+                );
+                let cues = FeedbackCues::extract(text, &schema);
+                let pool = enumerate_repairs(&bad, &schema, &sites, &cues);
+                for cand in &pool {
+                    prop_assert!(
+                        is_structure_preserving(&bad, cand),
+                        "candidate `{}` ({}) is not structure-preserving against `{}`",
+                        print_query(&cand.query),
+                        cand.label,
+                        print_query(&bad)
+                    );
+                }
+                let outcome = prune_candidates(&bad, pool, &schema);
+                for cand in &outcome.contradictory {
+                    if let Ok(rs) = fisql::fisql_engine::execute(db, &cand.query) {
+                        // Zero matching rows: either an empty result set,
+                        // or — for ungrouped aggregates, which always
+                        // emit one row — the empty-input aggregate row
+                        // (COUNT = 0, SUM/MIN/MAX/AVG = NULL).
+                        let empty_aggregate_rows = rs
+                            .rows
+                            .iter()
+                            .all(|row| row.iter().all(|v| matches!(v, Value::Null | Value::Int(0))));
+                        prop_assert!(
+                            rs.is_empty() || empty_aggregate_rows,
+                            "candidate `{}` pruned as contradictory matched rows: {rs}",
+                            print_query(&cand.query)
+                        );
+                    }
+                }
+            }
+        }
+    }
 }
 
 // Fuzz block: no explicit case count, so the proptest default applies
