@@ -1,0 +1,134 @@
+//! Serve-mode load benchmark: throughput and latency of the `fisql
+//! serve` daemon under deterministic scripted load.
+//!
+//! Boots an in-process daemon (ephemeral port, 32 session slots) and
+//! drives it at three client concurrency levels — under the cap, at the
+//! cap, and 2× over it — with the seeded load generator. Each level
+//! reports sessions/s, rounds/s, p50/p99 request latency, and the
+//! admission counters; the over-cap level demonstrates backpressure
+//! (queued admissions, zero failures). A final pair of runs asserts the
+//! load digest is identical across repetitions — per-session transcripts
+//! are deterministic regardless of scheduling. Emits `BENCH_serve.json`;
+//! CI uploads it as a workflow artifact.
+//!
+//! Run: `cargo run --release -p fisql-bench --bin bench_serve`
+
+use fisql_core::serve::{run_load, Server};
+use fisql_core::{LoadConfig, ServeConfig};
+
+const MAX_SESSIONS: usize = 32;
+const CONCURRENCY_LEVELS: [usize; 3] = [8, 32, 64];
+
+fn main() {
+    let serve_config = ServeConfig::default()
+        .port(0)
+        .max_sessions(MAX_SESSIONS)
+        .queue_depth(64)
+        .queue_wait_ms(30_000)
+        .n_examples(60);
+    println!(
+        "# Serve load benchmark ({MAX_SESSIONS} session slots, corpus seed {:#x})\n",
+        serve_config.seed
+    );
+    println!(
+        "{:>11} {:>9} {:>10} {:>11} {:>9} {:>9} {:>9} {:>9}",
+        "concurrency",
+        "sessions",
+        "wall ms",
+        "sessions/s",
+        "rounds/s",
+        "p50 us",
+        "p99 us",
+        "queued"
+    );
+
+    let mut rows = Vec::new();
+    for concurrency in CONCURRENCY_LEVELS {
+        let (report, summary) = one_level(&serve_config, concurrency, 0x10AD);
+        let queued = summary.admission.admitted_queued;
+        println!(
+            "{:>11} {:>9} {:>10} {:>11.1} {:>9.1} {:>9} {:>9} {:>9}",
+            concurrency,
+            report.sessions_completed,
+            report.wall_ms,
+            report.sessions_per_sec(),
+            report.rounds_per_sec(),
+            report.latency_percentile_us(50.0),
+            report.latency_percentile_us(99.0),
+            queued,
+        );
+        assert_eq!(report.sessions_failed, 0, "load must not fail sessions");
+        assert_eq!(
+            report.sessions_completed + report.sessions_rejected,
+            (2 * concurrency.max(MAX_SESSIONS)) as u64,
+            "every scripted session must complete or be explicitly rejected"
+        );
+        rows.push(serde_json::json!({
+            "concurrency": concurrency,
+            "sessions": report.sessions_completed,
+            "sessions_rejected": report.sessions_rejected,
+            "rounds": report.rounds,
+            "wall_ms": report.wall_ms,
+            "sessions_per_sec": report.sessions_per_sec(),
+            "rounds_per_sec": report.rounds_per_sec(),
+            "latency_p50_us": report.latency_percentile_us(50.0),
+            "latency_p99_us": report.latency_percentile_us(99.0),
+            "admitted_queued": queued,
+            "peak_active": summary.admission.peak_active,
+            "digest": format!("{:#018x}", report.digest),
+        }));
+    }
+
+    // Determinism across repetitions: same seed, same scripts, same
+    // per-session transcripts — the order-insensitive digest must agree.
+    let (a, _) = one_level(&serve_config, 16, 0xD1CE);
+    let (b, _) = one_level(&serve_config, 16, 0xD1CE);
+    assert_eq!(
+        a.digest, b.digest,
+        "load digest diverged across identical runs"
+    );
+    println!(
+        "\ndigest check: two identical runs agree ({:#018x})",
+        a.digest
+    );
+
+    let json = serde_json::json!({
+        "max_sessions": MAX_SESSIONS,
+        "queue_depth": 64,
+        "corpus_seed": serve_config.seed,
+        "n_examples": serve_config.n_examples,
+        "levels": rows,
+        "digest_stable_across_runs": true,
+    });
+    let out = "BENCH_serve.json";
+    std::fs::write(out, json.to_string()).expect("write BENCH_serve.json");
+    println!("wrote {out}");
+}
+
+/// Boots a fresh daemon, runs one load level against it, drains it, and
+/// returns the load report plus the daemon's own summary.
+fn one_level(
+    serve_config: &ServeConfig,
+    concurrency: usize,
+    load_seed: u64,
+) -> (fisql_core::LoadReport, fisql_core::serve::ServeSummary) {
+    let server = Server::bind(serve_config.clone()).expect("bind");
+    let handle = server.handle().expect("handle");
+    let addr = handle.addr().to_string();
+    let thread = std::thread::spawn(move || server.serve().expect("serve loop"));
+
+    let load = LoadConfig {
+        addr,
+        sessions: 2 * concurrency.max(MAX_SESSIONS),
+        concurrency,
+        max_rounds: 2,
+        seed: load_seed,
+        corpus_seed: serve_config.seed,
+        n_examples: serve_config.n_examples,
+        ..LoadConfig::default()
+    };
+    let report = run_load(&load).expect("load run");
+    handle.shutdown();
+    let summary = thread.join().expect("server thread");
+    (report, summary)
+}

@@ -19,11 +19,17 @@
 //!   watchdog.
 //! - [`journal`]: the crash-safe write-ahead run journal that makes
 //!   killed evaluations resumable without changing their reports.
+//! - [`config`]: typed, validated configuration for the `fisql` entry
+//!   points (`--eval`, `serve`, `load`).
+//! - [`serve`]: the long-lived multi-session daemon — wire protocol,
+//!   admission control, journal-backed session store, server, client,
+//!   and deterministic load generator.
 
 #![warn(missing_docs)]
 
 pub mod analysis;
 pub mod assistant;
+pub mod config;
 pub mod experiment;
 pub mod explain;
 pub mod interpret;
@@ -32,10 +38,12 @@ pub mod journal;
 pub mod pipeline;
 pub mod refine;
 pub mod runner;
+pub mod serve;
 pub mod session;
 
 pub use analysis::{analyze_round, ErrorAnalysis, FailureCause};
 pub use assistant::{Assistant, AssistantTurn};
+pub use config::{chaos_stack, ConfigError, EvalConfig, LoadConfig, ServeConfig};
 pub use experiment::{zero_shot_report, AnnotatedCase, CorrectionReport, ErrorCase};
 pub use explain::{explain_query, reformulate};
 pub use interpret::{interpret, interpret_candidates, Candidate, Interpretation};
@@ -49,4 +57,8 @@ pub use runner::{
     run_fingerprint, workers_from_env, CaseOutcome, CaseVerdict, CorrectionRun, ExperimentConfig,
     RunMetrics,
 };
-pub use session::{ChatEvent, Session};
+pub use serve::{
+    run_load, ClientTurn, Connected, LoadReport, ServeClient, ServeSummary, Server, ServerHandle,
+    SessionStore,
+};
+pub use session::{render_events, Session, SessionEvent};

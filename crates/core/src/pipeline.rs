@@ -79,6 +79,27 @@ impl Strategy {
     }
 }
 
+impl std::str::FromStr for Strategy {
+    type Err = String;
+
+    /// Parses the CLI spelling of a strategy (`fisql`, `dynamic`,
+    /// `rewrite`, `search`).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "fisql" => Ok(Strategy::Fisql {
+                routing: true,
+                highlighting: false,
+            }),
+            "dynamic" => Ok(Strategy::FisqlDynamic),
+            "rewrite" => Ok(Strategy::QueryRewrite),
+            "search" => Ok(Strategy::SearchRefine),
+            other => Err(format!(
+                "unknown strategy {other:?} (expected fisql, dynamic, rewrite, or search)"
+            )),
+        }
+    }
+}
+
 /// Everything a strategy needs for one incorporation step.
 pub struct IncorporateContext<'a> {
     /// Database under query.
@@ -173,7 +194,7 @@ pub struct ConformanceReport {
 
 /// What the static-analysis gate ([`gate_candidate`]) did to one
 /// candidate query.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct GateOutcome {
     /// Diagnostics the analyzer reported for the candidate (pre-repair).
     pub diagnostics: Vec<Diagnostic>,

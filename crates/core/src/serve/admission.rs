@@ -1,0 +1,333 @@
+//! Admission control for the serve daemon.
+//!
+//! The [`AdmissionGate`] bounds how much concurrent session work the
+//! daemon accepts: up to `max_sessions` connections hold a session slot
+//! at once, up to `queue_depth` more wait (bounded, with a wait budget)
+//! for a slot to free, and everything beyond that is **rejected
+//! immediately** with a typed backpressure response — the daemon sheds
+//! load instead of crashing or hanging under it.
+//!
+//! A granted [`Permit`] is RAII: dropping it (on any path out of the
+//! connection handler, including a contained panic) frees the slot and
+//! wakes one queued waiter.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Sizing knobs for the gate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdmissionConfig {
+    /// Concurrent session slots.
+    pub max_sessions: usize,
+    /// Connections allowed to wait for a slot.
+    pub queue_depth: usize,
+    /// Longest a queued connection waits before rejection, milliseconds.
+    pub queue_wait_ms: u64,
+}
+
+/// Cumulative gate telemetry (atomic, monotone).
+#[derive(Debug, Default)]
+pub struct AdmissionStats {
+    /// Admissions granted without queueing.
+    pub admitted_direct: AtomicU64,
+    /// Admissions granted after a queue wait.
+    pub admitted_queued: AtomicU64,
+    /// Rejections because the queue was full.
+    pub rejected_full: AtomicU64,
+    /// Rejections because the queue wait budget expired.
+    pub rejected_timeout: AtomicU64,
+    /// Rejections because the gate was closed (shutdown).
+    pub rejected_closed: AtomicU64,
+    /// Highest concurrent-session count observed.
+    pub peak_active: AtomicU64,
+}
+
+/// A snapshot of [`AdmissionStats`] counter values.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AdmissionSnapshot {
+    /// Admissions granted without queueing.
+    pub admitted_direct: u64,
+    /// Admissions granted after a queue wait.
+    pub admitted_queued: u64,
+    /// Rejections because the queue was full.
+    pub rejected_full: u64,
+    /// Rejections because the queue wait budget expired.
+    pub rejected_timeout: u64,
+    /// Rejections because the gate was closed (shutdown).
+    pub rejected_closed: u64,
+    /// Highest concurrent-session count observed.
+    pub peak_active: u64,
+}
+
+impl AdmissionSnapshot {
+    /// All rejections, any reason.
+    pub fn rejected(&self) -> u64 {
+        self.rejected_full + self.rejected_timeout + self.rejected_closed
+    }
+
+    /// All admissions, direct or queued.
+    pub fn admitted(&self) -> u64 {
+        self.admitted_direct + self.admitted_queued
+    }
+}
+
+#[derive(Debug)]
+struct GateState {
+    active: usize,
+    waiting: usize,
+}
+
+/// The admission gate (see the module docs).
+#[derive(Debug)]
+pub struct AdmissionGate {
+    config: AdmissionConfig,
+    state: Mutex<GateState>,
+    freed: Condvar,
+    closed: AtomicBool,
+    stats: AdmissionStats,
+}
+
+/// Why a connection was refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Rejection {
+    /// Cap and queue both full at arrival.
+    QueueFull {
+        /// Active sessions at the decision.
+        active: usize,
+        /// Queued connections at the decision.
+        queued: usize,
+    },
+    /// Queued, but no slot freed within the wait budget.
+    WaitExpired {
+        /// Active sessions at the decision.
+        active: usize,
+    },
+    /// The daemon is shutting down.
+    Closed,
+}
+
+impl Rejection {
+    /// Renders the refusal for the wire protocol.
+    pub fn reason(&self) -> String {
+        match self {
+            Rejection::QueueFull { active, queued } => {
+                format!("at capacity: {active} active session(s), {queued} queued connection(s)")
+            }
+            Rejection::WaitExpired { active } => {
+                format!("queue wait expired with {active} active session(s)")
+            }
+            Rejection::Closed => "daemon is shutting down".to_string(),
+        }
+    }
+}
+
+impl AdmissionGate {
+    /// Builds a gate.
+    pub fn new(config: AdmissionConfig) -> Arc<AdmissionGate> {
+        Arc::new(AdmissionGate {
+            config,
+            state: Mutex::new(GateState {
+                active: 0,
+                waiting: 0,
+            }),
+            freed: Condvar::new(),
+            closed: AtomicBool::new(false),
+            stats: AdmissionStats::default(),
+        })
+    }
+
+    /// Requests a session slot: granted immediately, granted after a
+    /// bounded queue wait, or rejected.
+    pub fn admit(self: &Arc<Self>) -> Result<Permit, Rejection> {
+        if self.closed.load(Ordering::Acquire) {
+            self.stats.rejected_closed.fetch_add(1, Ordering::Relaxed);
+            return Err(Rejection::Closed);
+        }
+        let mut state = self.lock_state();
+        if state.active < self.config.max_sessions {
+            state.active += 1;
+            self.note_active(state.active);
+            self.stats.admitted_direct.fetch_add(1, Ordering::Relaxed);
+            return Ok(Permit {
+                gate: Arc::clone(self),
+            });
+        }
+        if state.waiting >= self.config.queue_depth {
+            let rejection = Rejection::QueueFull {
+                active: state.active,
+                queued: state.waiting,
+            };
+            drop(state);
+            self.stats.rejected_full.fetch_add(1, Ordering::Relaxed);
+            return Err(rejection);
+        }
+        state.waiting += 1;
+        let deadline = Instant::now() + Duration::from_millis(self.config.queue_wait_ms);
+        loop {
+            if self.closed.load(Ordering::Acquire) {
+                state.waiting -= 1;
+                drop(state);
+                self.stats.rejected_closed.fetch_add(1, Ordering::Relaxed);
+                return Err(Rejection::Closed);
+            }
+            if state.active < self.config.max_sessions {
+                state.active += 1;
+                state.waiting -= 1;
+                self.note_active(state.active);
+                self.stats.admitted_queued.fetch_add(1, Ordering::Relaxed);
+                return Ok(Permit {
+                    gate: Arc::clone(self),
+                });
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                let active = state.active;
+                state.waiting -= 1;
+                drop(state);
+                self.stats.rejected_timeout.fetch_add(1, Ordering::Relaxed);
+                return Err(Rejection::WaitExpired { active });
+            }
+            let (next, _timeout) = self
+                .freed
+                .wait_timeout(state, deadline - now)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            state = next;
+        }
+    }
+
+    /// Closes the gate: every current and future admission request is
+    /// rejected with [`Rejection::Closed`]. Active permits drain
+    /// normally.
+    pub fn close(&self) {
+        self.closed.store(true, Ordering::Release);
+        self.freed.notify_all();
+    }
+
+    /// Sessions currently holding a permit.
+    pub fn active(&self) -> usize {
+        self.lock_state().active
+    }
+
+    /// Snapshot of the cumulative counters.
+    pub fn snapshot(&self) -> AdmissionSnapshot {
+        AdmissionSnapshot {
+            admitted_direct: self.stats.admitted_direct.load(Ordering::Relaxed),
+            admitted_queued: self.stats.admitted_queued.load(Ordering::Relaxed),
+            rejected_full: self.stats.rejected_full.load(Ordering::Relaxed),
+            rejected_timeout: self.stats.rejected_timeout.load(Ordering::Relaxed),
+            rejected_closed: self.stats.rejected_closed.load(Ordering::Relaxed),
+            peak_active: self.stats.peak_active.load(Ordering::Relaxed),
+        }
+    }
+
+    fn note_active(&self, active: usize) {
+        self.stats
+            .peak_active
+            .fetch_max(active as u64, Ordering::Relaxed);
+    }
+
+    fn lock_state(&self) -> std::sync::MutexGuard<'_, GateState> {
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+/// A held session slot; dropping it frees the slot and wakes a waiter.
+#[derive(Debug)]
+pub struct Permit {
+    gate: Arc<AdmissionGate>,
+}
+
+impl Drop for Permit {
+    fn drop(&mut self) {
+        let mut state = self.gate.lock_state();
+        state.active = state.active.saturating_sub(1);
+        drop(state);
+        self.gate.freed.notify_one();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    fn gate(max: usize, queue: usize, wait_ms: u64) -> Arc<AdmissionGate> {
+        AdmissionGate::new(AdmissionConfig {
+            max_sessions: max,
+            queue_depth: queue,
+            queue_wait_ms: wait_ms,
+        })
+    }
+
+    #[test]
+    fn admits_up_to_cap_then_rejects_past_queue() {
+        let gate = gate(2, 1, 50);
+        let p1 = gate.admit().unwrap();
+        let p2 = gate.admit().unwrap();
+        assert_eq!(gate.active(), 2);
+        // Queue slot: a waiter that times out.
+        let g = Arc::clone(&gate);
+        let waiter = thread::spawn(move || g.admit());
+        // Let the waiter enqueue, then overflow the queue.
+        thread::sleep(Duration::from_millis(10));
+        match gate.admit() {
+            Err(Rejection::QueueFull { active, queued }) => {
+                assert_eq!(active, 2);
+                assert_eq!(queued, 1);
+            }
+            other => panic!("expected QueueFull, got {other:?}"),
+        }
+        assert!(matches!(
+            waiter.join().unwrap(),
+            Err(Rejection::WaitExpired { .. })
+        ));
+        drop(p1);
+        drop(p2);
+        let snap = gate.snapshot();
+        assert_eq!(snap.admitted(), 2);
+        assert_eq!(snap.rejected(), 2);
+        assert_eq!(snap.peak_active, 2);
+    }
+
+    #[test]
+    fn queued_waiter_gets_the_freed_slot() {
+        let gate = gate(1, 4, 5_000);
+        let permit = gate.admit().unwrap();
+        let g = Arc::clone(&gate);
+        let waiter = thread::spawn(move || g.admit().map(drop));
+        thread::sleep(Duration::from_millis(20));
+        drop(permit);
+        waiter.join().unwrap().unwrap();
+        let snap = gate.snapshot();
+        assert_eq!(snap.admitted_queued, 1);
+        assert_eq!(snap.rejected(), 0);
+    }
+
+    #[test]
+    fn close_rejects_waiters_and_newcomers() {
+        let gate = gate(1, 4, 5_000);
+        let _permit = gate.admit().unwrap();
+        let g = Arc::clone(&gate);
+        let waiter = thread::spawn(move || g.admit().map(|_| ()));
+        thread::sleep(Duration::from_millis(20));
+        gate.close();
+        assert!(matches!(waiter.join().unwrap(), Err(Rejection::Closed)));
+        assert!(matches!(gate.admit(), Err(Rejection::Closed)));
+    }
+
+    #[test]
+    fn permits_release_under_panic_via_drop() {
+        let gate = gate(1, 0, 10);
+        let g = Arc::clone(&gate);
+        let _ = thread::spawn(move || {
+            let _permit = g.admit().unwrap();
+            panic!("handler bug");
+        })
+        .join();
+        assert_eq!(gate.active(), 0, "panicked holder must free its slot");
+        gate.admit().unwrap();
+    }
+}

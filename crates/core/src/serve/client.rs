@@ -1,0 +1,200 @@
+//! A typed client for the serve wire protocol.
+//!
+//! [`ServeClient`] wraps one TCP connection: `connect` performs the
+//! `Hello`/`Welcome` handshake (surfacing admission rejection as a typed
+//! outcome, not an error), and the per-request helpers send one frame
+//! and decode the matching response. The load generator, the serve
+//! tests, and the `fisql load` CLI all drive the daemon through this
+//! one client.
+
+use super::protocol::{read_frame, write_frame, ClientRequest, ServerResponse, PROTOCOL_VERSION};
+use crate::session::SessionEvent;
+use fisql_sqlkit::Span;
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+/// How a connection attempt resolved at the protocol level.
+pub enum Connected {
+    /// The session is open.
+    Admitted(ServeClient),
+    /// Admission control refused the connection.
+    Rejected {
+        /// The server's refusal reason.
+        reason: String,
+        /// Active sessions at the decision.
+        active: usize,
+        /// Queued connections at the decision.
+        queued: usize,
+    },
+    /// The daemon is shutting down.
+    ShuttingDown,
+}
+
+/// One open client session (see the module docs).
+pub struct ServeClient {
+    stream: TcpStream,
+    /// The id the server journals this session under.
+    pub session_id: u64,
+    /// Feedback rounds replayed from the store at handshake (0 for a
+    /// fresh session).
+    pub replayed_rounds: u64,
+}
+
+/// One Assistant turn as the client sees it.
+#[derive(Debug, Clone)]
+pub struct ClientTurn {
+    /// Feedback rounds completed so far on the current question.
+    pub round: u64,
+    /// The SQL now on the table.
+    pub sql: String,
+    /// The rendered chat bubble.
+    pub rendered: String,
+    /// The typed events this turn appended to the transcript.
+    pub events: Vec<SessionEvent>,
+}
+
+fn proto_err(message: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, message.into())
+}
+
+impl ServeClient {
+    /// Connects and performs the handshake. `resume` replays a stored
+    /// session.
+    pub fn connect<A: ToSocketAddrs>(addr: A, resume: Option<u64>) -> io::Result<Connected> {
+        Self::handshake(TcpStream::connect(addr)?, resume)
+    }
+
+    /// Connects, retrying refused connections until `budget` elapses —
+    /// for drivers started concurrently with the daemon.
+    pub fn connect_retry<A: ToSocketAddrs + Clone>(
+        addr: A,
+        resume: Option<u64>,
+        budget: Duration,
+    ) -> io::Result<Connected> {
+        let deadline = Instant::now() + budget;
+        loop {
+            match TcpStream::connect(addr.clone()) {
+                Ok(stream) => return Self::handshake(stream, resume),
+                Err(e) if Instant::now() < deadline => {
+                    let _ = e;
+                    std::thread::sleep(Duration::from_millis(25));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    fn handshake(mut stream: TcpStream, resume: Option<u64>) -> io::Result<Connected> {
+        stream.set_nodelay(true).ok();
+        write_frame(
+            &mut stream,
+            &ClientRequest::Hello {
+                version: PROTOCOL_VERSION,
+                resume,
+            },
+        )?;
+        match read_response(&mut stream)? {
+            ServerResponse::Welcome {
+                session_id,
+                replayed_rounds,
+            } => Ok(Connected::Admitted(ServeClient {
+                stream,
+                session_id,
+                replayed_rounds,
+            })),
+            ServerResponse::Rejected {
+                reason,
+                active,
+                queued,
+            } => Ok(Connected::Rejected {
+                reason,
+                active,
+                queued,
+            }),
+            ServerResponse::ShuttingDown => Ok(Connected::ShuttingDown),
+            ServerResponse::Error { message } => Err(proto_err(message)),
+            other => Err(proto_err(format!("unexpected handshake reply {other:?}"))),
+        }
+    }
+
+    /// Sends one request and reads one response.
+    pub fn request(&mut self, request: &ClientRequest) -> io::Result<ServerResponse> {
+        write_frame(&mut self.stream, request)?;
+        read_response(&mut self.stream)
+    }
+
+    /// Asks a question; returns the Assistant's turn.
+    pub fn ask(&mut self, question: &str) -> io::Result<ClientTurn> {
+        let response = self.request(&ClientRequest::Ask {
+            question: question.to_string(),
+        })?;
+        expect_turn(response)
+    }
+
+    /// Sends feedback on the previously shown SQL.
+    pub fn feedback(&mut self, text: &str, highlight: Option<Span>) -> io::Result<ClientTurn> {
+        let response = self.request(&ClientRequest::Feedback {
+            text: text.to_string(),
+            highlight,
+        })?;
+        expect_turn(response)
+    }
+
+    /// Fetches the session's full typed transcript.
+    pub fn transcript(&mut self) -> io::Result<Vec<SessionEvent>> {
+        match self.request(&ClientRequest::Transcript)? {
+            ServerResponse::TranscriptDump { events } => Ok(events),
+            ServerResponse::Error { message } => Err(proto_err(message)),
+            other => Err(proto_err(format!("unexpected transcript reply {other:?}"))),
+        }
+    }
+
+    /// Closes the session; returns the feedback rounds taken.
+    pub fn bye(mut self) -> io::Result<u64> {
+        match self.request(&ClientRequest::Bye)? {
+            ServerResponse::Goodbye { rounds } => Ok(rounds),
+            ServerResponse::Error { message } => Err(proto_err(message)),
+            other => Err(proto_err(format!("unexpected bye reply {other:?}"))),
+        }
+    }
+}
+
+/// Asks a daemon to shut down gracefully (no session needed). `Ok(true)`
+/// means the daemon acknowledged; `Ok(false)` means it had already
+/// stopped listening.
+pub fn request_shutdown<A: ToSocketAddrs>(addr: A) -> io::Result<bool> {
+    let mut stream = match TcpStream::connect(addr) {
+        Ok(stream) => stream,
+        Err(e) if e.kind() == io::ErrorKind::ConnectionRefused => return Ok(false),
+        Err(e) => return Err(e),
+    };
+    write_frame(&mut stream, &ClientRequest::Shutdown)?;
+    match read_frame::<_, ServerResponse>(&mut stream)? {
+        Some(ServerResponse::ShuttingDown) | None => Ok(true),
+        Some(other) => Err(proto_err(format!("unexpected shutdown reply {other:?}"))),
+    }
+}
+
+fn read_response(stream: &mut TcpStream) -> io::Result<ServerResponse> {
+    read_frame::<_, ServerResponse>(stream)?
+        .ok_or_else(|| proto_err("server closed the connection mid-conversation"))
+}
+
+fn expect_turn(response: ServerResponse) -> io::Result<ClientTurn> {
+    match response {
+        ServerResponse::Turn {
+            round,
+            sql,
+            rendered,
+            events,
+        } => Ok(ClientTurn {
+            round,
+            sql,
+            rendered,
+            events,
+        }),
+        ServerResponse::Error { message } => Err(proto_err(message)),
+        other => Err(proto_err(format!("unexpected turn reply {other:?}"))),
+    }
+}

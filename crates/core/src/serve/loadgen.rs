@@ -1,0 +1,319 @@
+//! A deterministic load generator for the serve daemon.
+//!
+//! `fisql load` (and `bench_serve`) drive a daemon with seeded session
+//! scripts: each scripted session asks corpus questions and sends a few
+//! feedback utterances, all drawn from a [`StdRng`] keyed by the script
+//! seed and session index — two runs with the same seed replay the same
+//! load, byte for byte.
+//!
+//! The report folds every completed session's transcript into an
+//! **order-insensitive digest** (a wrapping sum of per-session FNV-64
+//! digests over the serialized event stream). Which worker runs which
+//! script varies with scheduling, but each session's transcript is
+//! deterministic, so the digest is stable across runs — the load-level
+//! determinism check the serve tests and CI assert on.
+
+use super::client::{Connected, ServeClient};
+use crate::config::LoadConfig;
+use crate::journal::Fnv64;
+use fisql_spider::{build_aep, AepConfig, Corpus};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::io;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Feedback utterances the scripts cycle through — plausible follow-ups
+/// a user of the tool would type; the pipeline incorporates what it can
+/// route and leaves the rest, deterministically either way.
+const FEEDBACK_POOL: &[&str] = &[
+    "we are in 2024",
+    "only the january rows please",
+    "count them instead of listing",
+    "I meant the created date",
+    "sort by the count",
+];
+
+/// One scripted session: questions, each followed by feedback rounds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionScript {
+    /// `(question text, feedback utterances)` in play order.
+    pub questions: Vec<(String, Vec<String>)>,
+}
+
+/// Generates the scripts for a load run — a pure function of the config
+/// (seed, session count, round bound) and the corpus.
+pub fn build_scripts(config: &LoadConfig, corpus: &Corpus) -> Vec<SessionScript> {
+    (0..config.sessions)
+        .map(|i| {
+            let mut rng = StdRng::seed_from_u64(config.seed ^ (i as u64).wrapping_mul(0x9E37));
+            let n_questions = rng.gen_range(1..=2usize);
+            let questions = (0..n_questions)
+                .map(|_| {
+                    let example = rng.gen_range(0..corpus.examples.len());
+                    let rounds = rng.gen_range(1..=config.max_rounds);
+                    let feedback = (0..rounds)
+                        .map(|_| FEEDBACK_POOL[rng.gen_range(0..FEEDBACK_POOL.len())].to_string())
+                        .collect();
+                    (corpus.examples[example].question.clone(), feedback)
+                })
+                .collect();
+            SessionScript { questions }
+        })
+        .collect()
+}
+
+/// What one load run did.
+#[derive(Debug, Clone, Default)]
+pub struct LoadReport {
+    /// Sessions that ran their whole script and closed with `Bye`.
+    pub sessions_completed: u64,
+    /// Connections the daemon rejected (admission backpressure).
+    pub sessions_rejected: u64,
+    /// Sessions that failed on a transport or protocol error.
+    pub sessions_failed: u64,
+    /// Questions asked across completed sessions.
+    pub questions: u64,
+    /// Feedback rounds sent across completed sessions.
+    pub rounds: u64,
+    /// Per-request latencies, microseconds, ascending.
+    pub latencies_us: Vec<u64>,
+    /// Wall-clock for the whole run, milliseconds.
+    pub wall_ms: u64,
+    /// Order-insensitive digest over every completed session's
+    /// transcript (see the module docs).
+    pub digest: u64,
+}
+
+impl LoadReport {
+    /// Completed sessions per second of wall clock.
+    pub fn sessions_per_sec(&self) -> f64 {
+        per_sec(self.sessions_completed, self.wall_ms)
+    }
+
+    /// Feedback rounds per second of wall clock.
+    pub fn rounds_per_sec(&self) -> f64 {
+        per_sec(self.rounds, self.wall_ms)
+    }
+
+    /// The `p`-th latency percentile, microseconds (0 when no requests
+    /// were timed).
+    pub fn latency_percentile_us(&self, p: f64) -> u64 {
+        percentile(&self.latencies_us, p)
+    }
+}
+
+fn per_sec(count: u64, wall_ms: u64) -> f64 {
+    if wall_ms == 0 {
+        return 0.0;
+    }
+    count as f64 * 1000.0 / wall_ms as f64
+}
+
+/// The `p`-th percentile (0..=100) of an ascending sample by
+/// nearest-rank; 0 on an empty sample.
+pub fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+#[derive(Default)]
+struct Tally {
+    completed: u64,
+    rejected: u64,
+    failed: u64,
+    questions: u64,
+    rounds: u64,
+    latencies_us: Vec<u64>,
+    digest: u64,
+}
+
+/// Runs the scripted load against a daemon and reports.
+pub fn run_load(config: &LoadConfig) -> io::Result<LoadReport> {
+    let corpus = build_aep(&AepConfig {
+        n_examples: config.n_examples,
+        seed: config.corpus_seed,
+    });
+    let scripts = Arc::new(build_scripts(config, &corpus));
+    let next = Arc::new(AtomicUsize::new(0));
+    let tally = Arc::new(Mutex::new(Tally::default()));
+    let start = Instant::now();
+
+    let workers: Vec<_> = (0..config.concurrency.min(config.sessions))
+        .map(|_| {
+            let scripts = Arc::clone(&scripts);
+            let next = Arc::clone(&next);
+            let tally = Arc::clone(&tally);
+            let config = config.clone();
+            std::thread::spawn(move || loop {
+                let idx = next.fetch_add(1, Ordering::Relaxed);
+                let Some(script) = scripts.get(idx) else {
+                    return;
+                };
+                let outcome = run_script(&config, script);
+                let mut tally = tally
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                match outcome {
+                    Ok(Some(done)) => {
+                        tally.completed += 1;
+                        tally.questions += done.questions;
+                        tally.rounds += done.rounds;
+                        tally.latencies_us.extend(done.latencies_us);
+                        tally.digest = tally.digest.wrapping_add(done.digest);
+                    }
+                    Ok(None) => tally.rejected += 1,
+                    Err(_) => tally.failed += 1,
+                }
+            })
+        })
+        .collect();
+    for worker in workers {
+        let _ = worker.join();
+    }
+
+    let wall_ms = start.elapsed().as_millis() as u64;
+    let mut tally = Arc::try_unwrap(tally)
+        .map(|m| {
+            m.into_inner()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+        })
+        .unwrap_or_default();
+    tally.latencies_us.sort_unstable();
+
+    if config.shutdown {
+        super::client::request_shutdown(&config.addr)?;
+    }
+    Ok(LoadReport {
+        sessions_completed: tally.completed,
+        sessions_rejected: tally.rejected,
+        sessions_failed: tally.failed,
+        questions: tally.questions,
+        rounds: tally.rounds,
+        latencies_us: tally.latencies_us,
+        wall_ms,
+        digest: tally.digest,
+    })
+}
+
+struct SessionDone {
+    questions: u64,
+    rounds: u64,
+    latencies_us: Vec<u64>,
+    digest: u64,
+}
+
+/// Plays one script end to end. `Ok(None)` means the daemon rejected or
+/// drained the connection (backpressure, counted but not an error).
+fn run_script(config: &LoadConfig, script: &SessionScript) -> io::Result<Option<SessionDone>> {
+    let mut client = match ServeClient::connect_retry(
+        config.addr.as_str(),
+        None,
+        Duration::from_millis(config.connect_retry_ms),
+    )? {
+        Connected::Admitted(client) => client,
+        Connected::Rejected { .. } | Connected::ShuttingDown => return Ok(None),
+    };
+    let mut done = SessionDone {
+        questions: 0,
+        rounds: 0,
+        latencies_us: Vec::new(),
+        digest: 0,
+    };
+    for (question, feedbacks) in &script.questions {
+        let t = Instant::now();
+        client.ask(question)?;
+        done.latencies_us.push(t.elapsed().as_micros() as u64);
+        done.questions += 1;
+        for feedback in feedbacks {
+            let t = Instant::now();
+            client.feedback(feedback, None)?;
+            done.latencies_us.push(t.elapsed().as_micros() as u64);
+            done.rounds += 1;
+        }
+    }
+    let events = client.transcript()?;
+    done.digest = transcript_digest(&events);
+    client.bye()?;
+    Ok(Some(done))
+}
+
+/// FNV-64 over the serialized event stream — one session's contribution
+/// to the order-insensitive load digest.
+pub fn transcript_digest(events: &[crate::session::SessionEvent]) -> u64 {
+    let json = serde_json::to_vec(events).expect("session events serialize");
+    let mut fp = Fnv64::new();
+    fp.update(&json);
+    fp.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corpus() -> Corpus {
+        build_aep(&AepConfig {
+            n_examples: 20,
+            seed: 0xC11,
+        })
+    }
+
+    #[test]
+    fn scripts_are_deterministic_in_the_seed() {
+        let config = LoadConfig {
+            sessions: 8,
+            ..LoadConfig::default()
+        };
+        let corpus = corpus();
+        let a = build_scripts(&config, &corpus);
+        let b = build_scripts(&config, &corpus);
+        assert_eq!(a, b);
+        let other = build_scripts(
+            &LoadConfig {
+                seed: config.seed + 1,
+                ..config
+            },
+            &corpus,
+        );
+        assert_ne!(a, other);
+    }
+
+    #[test]
+    fn scripts_respect_the_round_bound() {
+        let config = LoadConfig {
+            sessions: 16,
+            max_rounds: 2,
+            ..LoadConfig::default()
+        };
+        for script in build_scripts(&config, &corpus()) {
+            assert!(!script.questions.is_empty());
+            for (question, feedbacks) in &script.questions {
+                assert!(!question.is_empty());
+                assert!((1..=2).contains(&feedbacks.len()));
+            }
+        }
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        assert_eq!(percentile(&[], 50.0), 0);
+        assert_eq!(percentile(&[7], 50.0), 7);
+        let sample: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&sample, 50.0), 50);
+        assert_eq!(percentile(&sample, 99.0), 99);
+        assert_eq!(percentile(&sample, 100.0), 100);
+        assert_eq!(percentile(&sample, 0.0), 1);
+    }
+
+    #[test]
+    fn digest_is_order_insensitive_across_sessions() {
+        let a = transcript_digest(&[crate::session::SessionEvent::User("a".into())]);
+        let b = transcript_digest(&[crate::session::SessionEvent::User("b".into())]);
+        assert_eq!(a.wrapping_add(b), b.wrapping_add(a));
+        assert_ne!(a, b);
+    }
+}

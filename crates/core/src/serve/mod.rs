@@ -1,0 +1,37 @@
+//! `fisql serve`: a long-lived, multi-session daemon over the
+//! transport-agnostic [`Session`](crate::session::Session) API.
+//!
+//! The module tree mirrors the request path:
+//!
+//! - [`protocol`] — length-prefixed JSON frames; [`ClientRequest`] in,
+//!   [`ServerResponse`] out, carrying the session's typed
+//!   [`SessionEvent`](crate::session::SessionEvent) stream verbatim.
+//! - [`admission`] — the concurrency gate: `max_sessions` slots, a
+//!   bounded wait queue, typed rejection beyond that (backpressure, not
+//!   collapse).
+//! - [`store`] — the session store: the write-ahead
+//!   [`RunJournal`](crate::journal::RunJournal) reused as a durable log
+//!   of session *inputs*; restart replays them through the deterministic
+//!   pipeline and reconstructs every transcript bit-identically.
+//! - [`server`] — the daemon: listener, per-connection threads, graceful
+//!   shutdown.
+//! - [`client`] — the typed client the CLI, tests, and load generator
+//!   drive the daemon with.
+//! - [`loadgen`] — seeded, deterministic load scripts and the load
+//!   report (`fisql load`, `bench_serve`).
+
+pub mod admission;
+pub mod client;
+pub mod loadgen;
+pub mod protocol;
+pub mod server;
+pub mod store;
+
+pub use admission::{AdmissionConfig, AdmissionGate, AdmissionSnapshot, Rejection};
+pub use client::{request_shutdown, ClientTurn, Connected, ServeClient};
+pub use loadgen::{
+    build_scripts, percentile, run_load, transcript_digest, LoadReport, SessionScript,
+};
+pub use protocol::{ClientRequest, ServerResponse, PROTOCOL_VERSION};
+pub use server::{ServeSummary, Server, ServerHandle};
+pub use store::{SessionOp, SessionStore, SESSION_STORE_MARKER};

@@ -1,0 +1,288 @@
+//! The serve wire protocol: length-prefixed JSON frames.
+//!
+//! Every message is one frame — `len u32 LE | json` — carrying a
+//! [`ClientRequest`] or [`ServerResponse`]. JSON keeps the protocol
+//! debuggable (`nc` + a hand-built frame works) and reuses the exact
+//! [`SessionEvent`] serialization the session store journals, so what a
+//! client receives over the wire is bit-identical to what a restart
+//! replay reconstructs.
+//!
+//! A conversation:
+//!
+//! ```text
+//! C: Hello { version: 1, resume: None }
+//! S: Welcome { session_id: 7, replayed_rounds: 0 }
+//! C: Ask { question: "how many audiences were created in January?" }
+//! S: Turn { round: 0, sql: "SELECT ...", rendered: "...", events: [...] }
+//! C: Feedback { text: "we are in 2024", highlight: None }
+//! S: Turn { round: 1, sql: "SELECT ...", rendered: "...", events: [...] }
+//! C: Bye
+//! S: Goodbye { rounds: 1 }
+//! ```
+
+use crate::session::SessionEvent;
+use fisql_sqlkit::Span;
+use serde::{Deserialize, Serialize};
+use std::io::{self, Read, Write};
+
+/// Protocol version; a mismatched client is refused at `Hello`.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Frames larger than this are refused — no legitimate message
+/// approaches it, and it bounds what a bad client can make the server
+/// buffer.
+pub const MAX_FRAME_LEN: usize = 4 << 20;
+
+/// One client → server message.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ClientRequest {
+    /// Opens (or, with `resume`, replays) a session. Must be the first
+    /// request on a connection.
+    Hello {
+        /// The client's [`PROTOCOL_VERSION`].
+        version: u32,
+        /// A previously issued session id to resume from the session
+        /// store, or `None` for a fresh session.
+        resume: Option<u64>,
+    },
+    /// Asks a natural-language question. The server resolves it onto the
+    /// bundled corpus (exact match first, nearest-embedding otherwise).
+    Ask {
+        /// The question text.
+        question: String,
+    },
+    /// Sends feedback on the previously shown SQL.
+    Feedback {
+        /// The feedback utterance.
+        text: String,
+        /// Optional highlight over the rendered SQL.
+        highlight: Option<Span>,
+    },
+    /// Requests the full typed transcript of this session.
+    Transcript,
+    /// Closes the session (the connection follows).
+    Bye,
+    /// Asks the daemon to shut down gracefully: stop accepting, drain
+    /// live sessions, sync the store, exit. Does not require a session.
+    Shutdown,
+}
+
+/// One server → client message.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ServerResponse {
+    /// The session is open.
+    Welcome {
+        /// Id under which the session is journaled (quote it in a later
+        /// `Hello { resume }` to pick the conversation back up).
+        session_id: u64,
+        /// Feedback rounds replayed from the store (0 for a fresh
+        /// session).
+        replayed_rounds: u64,
+    },
+    /// Admission control refused the connection (cap + queue exhausted,
+    /// queue wait expired, or the daemon is shutting down).
+    Rejected {
+        /// Human-readable refusal reason.
+        reason: String,
+        /// Sessions active when the decision was made.
+        active: usize,
+        /// Connections queued when the decision was made.
+        queued: usize,
+    },
+    /// One Assistant turn (answer to `Ask` or `Feedback`).
+    Turn {
+        /// Feedback rounds completed so far on this question.
+        round: u64,
+        /// The SQL now on the table.
+        sql: String,
+        /// The rendered chat bubble.
+        rendered: String,
+        /// The typed events this turn appended to the transcript.
+        events: Vec<SessionEvent>,
+    },
+    /// The full typed transcript (answer to `Transcript`).
+    TranscriptDump {
+        /// Every event so far, in order.
+        events: Vec<SessionEvent>,
+    },
+    /// The session is closed (answer to `Bye`).
+    Goodbye {
+        /// Feedback rounds taken over the whole connection.
+        rounds: u64,
+    },
+    /// The daemon acknowledged `Shutdown` and is draining.
+    ShuttingDown,
+    /// The request could not be served; the session (when one exists)
+    /// is still alive.
+    Error {
+        /// What went wrong.
+        message: String,
+    },
+}
+
+/// Writes one frame.
+pub fn write_frame<W: Write, T: Serialize>(w: &mut W, message: &T) -> io::Result<()> {
+    let json = serde_json::to_vec(message)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    if json.len() > MAX_FRAME_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {} bytes exceeds MAX_FRAME_LEN", json.len()),
+        ));
+    }
+    let len = u32::try_from(json.len()).expect("frame fits u32");
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(&json)?;
+    w.flush()
+}
+
+/// Reads one frame (blocking until a full frame arrives or the peer
+/// closes). Returns `Ok(None)` on a clean EOF *before* any frame byte.
+pub fn read_frame<R: Read, T: serde::de::DeserializeOwned>(r: &mut R) -> io::Result<Option<T>> {
+    let mut header = [0u8; 4];
+    match read_full(r, &mut header, false)? {
+        0 => return Ok(None),
+        4 => {}
+        _ => {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed mid-frame-header",
+            ))
+        }
+    }
+    let len = u32::from_le_bytes(header) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("peer announced a {len}-byte frame (max {MAX_FRAME_LEN})"),
+        ));
+    }
+    let mut body = vec![0u8; len];
+    if read_full(r, &mut body, true)? != len {
+        return Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "connection closed mid-frame-body",
+        ));
+    }
+    serde_json::from_slice(&body)
+        .map(Some)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+}
+
+/// Reads until `buf` is full or EOF; retries through timeout-style
+/// errors once a frame has started (the server polls its sockets with a
+/// read timeout so it can observe shutdown, and a frame must never be
+/// torn by that poll). `frame_started` marks reads that are always
+/// mid-frame (the body follows its header); the header read instead
+/// surfaces an empty-handed timeout to the caller, which is how the
+/// server regains control between requests.
+fn read_full<R: Read>(r: &mut R, buf: &mut [u8], frame_started: bool) -> io::Result<usize> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => break,
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e)
+                if (filled > 0 || frame_started)
+                    && matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                    ) =>
+            {
+                // Mid-frame poll timeout: the rest of the frame is in
+                // flight; keep reading.
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(filled)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_roundtrip() {
+        let requests = vec![
+            ClientRequest::Hello {
+                version: PROTOCOL_VERSION,
+                resume: Some(9),
+            },
+            ClientRequest::Ask {
+                question: "how many?".into(),
+            },
+            ClientRequest::Feedback {
+                text: "we are in 2024".into(),
+                highlight: None,
+            },
+            ClientRequest::Transcript,
+            ClientRequest::Bye,
+            ClientRequest::Shutdown,
+        ];
+        let mut wire = Vec::new();
+        for r in &requests {
+            write_frame(&mut wire, r).unwrap();
+        }
+        let mut cursor = &wire[..];
+        let mut back = Vec::new();
+        while let Some(r) = read_frame::<_, ClientRequest>(&mut cursor).unwrap() {
+            back.push(r);
+        }
+        assert_eq!(back, requests);
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        let responses = vec![
+            ServerResponse::Welcome {
+                session_id: 3,
+                replayed_rounds: 2,
+            },
+            ServerResponse::Rejected {
+                reason: "at capacity".into(),
+                active: 32,
+                queued: 16,
+            },
+            ServerResponse::Turn {
+                round: 1,
+                sql: "SELECT 1".into(),
+                rendered: "Assistant>".into(),
+                events: vec![crate::session::SessionEvent::User("hi".into())],
+            },
+            ServerResponse::ShuttingDown,
+            ServerResponse::Goodbye { rounds: 4 },
+        ];
+        let mut wire = Vec::new();
+        for r in &responses {
+            write_frame(&mut wire, r).unwrap();
+        }
+        let mut cursor = &wire[..];
+        for want in &responses {
+            let got: ServerResponse = read_frame(&mut cursor).unwrap().unwrap();
+            assert_eq!(&got, want);
+        }
+    }
+
+    #[test]
+    fn oversized_and_torn_frames_are_errors() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&u32::try_from(MAX_FRAME_LEN + 1).unwrap().to_le_bytes());
+        let mut cursor = &wire[..];
+        assert!(read_frame::<_, ClientRequest>(&mut cursor).is_err());
+
+        let mut torn = Vec::new();
+        write_frame(&mut torn, &ClientRequest::Bye).unwrap();
+        torn.truncate(torn.len() - 1);
+        let mut cursor = &torn[..];
+        assert!(read_frame::<_, ClientRequest>(&mut cursor).is_err());
+    }
+
+    #[test]
+    fn clean_eof_before_a_frame_is_none() {
+        let wire: Vec<u8> = Vec::new();
+        let mut cursor = &wire[..];
+        assert_eq!(read_frame::<_, ClientRequest>(&mut cursor).unwrap(), None);
+    }
+}

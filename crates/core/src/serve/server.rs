@@ -1,0 +1,645 @@
+//! The serve daemon: listener → admission → session actor → journal.
+//!
+//! [`Server::bind`] builds the serving world (corpus, simulated model,
+//! nearest-question index, session store, admission gate) and
+//! [`Server::serve`] runs the accept loop: one OS thread per connection,
+//! bounded in practice by the admission gate — a connection either holds
+//! one of `max_sessions` slots, waits in the bounded queue, or is
+//! rejected with a typed backpressure response within its first
+//! round-trip.
+//!
+//! Per-connection guard rails reuse the machinery previous layers built
+//! for the batch runner:
+//!
+//! - every request is dispatched under the process-wide panic isolation
+//!   hook (`core::isolate`), so a poisoned session answers `Error` and
+//!   the daemon lives;
+//! - every session talks to the model through its own
+//!   [`Resilient`](fisql_llm::Resilient) retry/breaker stack (reset at
+//!   session open, exactly like the runner's per-case reset), so one
+//!   flapping backend conversation cannot starve its neighbours;
+//! - every state-changing request is journaled write-ahead to the
+//!   [`SessionStore`], so a SIGKILL costs at most the in-flight round
+//!   and a restart replays every session bit-identically.
+//!
+//! Graceful shutdown: a `Shutdown` request (or
+//! [`ServerHandle::shutdown`]) closes the admission gate and flips the
+//! running flag; the accept loop stops, live connections notice within
+//! one socket-poll interval, finish their in-flight request, send
+//! `ShuttingDown`, and drain; the store syncs; `serve` returns the final
+//! [`ServeSummary`].
+
+use super::admission::{AdmissionConfig, AdmissionGate, AdmissionSnapshot};
+use super::protocol::{read_frame, write_frame, ClientRequest, ServerResponse, PROTOCOL_VERSION};
+use super::store::{SessionOp, SessionStore};
+use crate::assistant::Assistant;
+use crate::config::{chaos_stack, ServeConfig};
+use crate::session::{Session, SessionEvent};
+use fisql_llm::{Embedding, FallibleLanguageModel, FaultyBackend, LlmConfig, Resilient, SimLlm};
+use fisql_spider::{build_aep, AepConfig, Corpus, Example};
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Socket poll interval: how quickly idle connections and the accept
+/// loop observe shutdown.
+const POLL_INTERVAL: Duration = Duration::from_millis(50);
+
+/// Final serve-loop report.
+#[derive(Debug, Clone, Default)]
+pub struct ServeSummary {
+    /// Fresh sessions opened.
+    pub sessions_opened: u64,
+    /// Sessions resumed from the store.
+    pub sessions_resumed: u64,
+    /// Feedback rounds served live (replays not counted).
+    pub rounds_served: u64,
+    /// Questions answered live.
+    pub questions_served: u64,
+    /// Requests answered with a protocol `Error`.
+    pub errors: u64,
+    /// Requests whose handler panicked and was contained.
+    pub contained_panics: u64,
+    /// Admission-gate counters.
+    pub admission: AdmissionSnapshot,
+}
+
+#[derive(Debug, Default)]
+struct ServerCounters {
+    sessions_opened: AtomicU64,
+    sessions_resumed: AtomicU64,
+    rounds_served: AtomicU64,
+    questions_served: AtomicU64,
+    errors: AtomicU64,
+    contained_panics: AtomicU64,
+}
+
+/// Shared per-connection context.
+struct ConnCtx {
+    config: ServeConfig,
+    corpus: Arc<Corpus>,
+    embeddings: Arc<Vec<Embedding>>,
+    assistant: Assistant,
+    store: Arc<SessionStore>,
+    gate: Arc<AdmissionGate>,
+    running: Arc<AtomicBool>,
+    counters: Arc<ServerCounters>,
+}
+
+/// A handle for stopping a serving daemon from another thread.
+#[derive(Clone)]
+pub struct ServerHandle {
+    running: Arc<AtomicBool>,
+    gate: Arc<AdmissionGate>,
+    addr: SocketAddr,
+}
+
+impl ServerHandle {
+    /// Begins a graceful shutdown (idempotent).
+    pub fn shutdown(&self) {
+        self.gate.close();
+        self.running.store(false, Ordering::Release);
+    }
+
+    /// The daemon's bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+}
+
+/// The serve daemon (see the module docs).
+pub struct Server {
+    config: ServeConfig,
+    listener: TcpListener,
+    corpus: Arc<Corpus>,
+    embeddings: Arc<Vec<Embedding>>,
+    assistant: Assistant,
+    store: Arc<SessionStore>,
+    gate: Arc<AdmissionGate>,
+    running: Arc<AtomicBool>,
+    counters: Arc<ServerCounters>,
+}
+
+impl Server {
+    /// Binds the listener and builds the serving world. Opening an
+    /// existing session store validates its fingerprint against this
+    /// configuration and recovers its intact prefix.
+    pub fn bind(config: ServeConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(config.addr())?;
+        listener.set_nonblocking(true)?;
+        let corpus = Arc::new(build_aep(&AepConfig {
+            n_examples: config.n_examples,
+            seed: config.seed,
+        }));
+        let embeddings = Arc::new(
+            corpus
+                .examples
+                .iter()
+                .map(|e| Embedding::embed(&e.question))
+                .collect::<Vec<_>>(),
+        );
+        let assistant = Assistant::for_corpus(&corpus, SimLlm::new(LlmConfig::default()), 3);
+        let store = Arc::new(SessionStore::open(
+            config.store.as_deref(),
+            config.fingerprint(),
+            config.fsync,
+        )?);
+        let gate = AdmissionGate::new(AdmissionConfig {
+            max_sessions: config.max_sessions,
+            queue_depth: config.queue_depth,
+            queue_wait_ms: config.queue_wait_ms,
+        });
+        Ok(Server {
+            config,
+            listener,
+            corpus,
+            embeddings,
+            assistant,
+            store,
+            gate,
+            running: Arc::new(AtomicBool::new(true)),
+            counters: Arc::new(ServerCounters::default()),
+        })
+    }
+
+    /// The bound address (resolves `--port 0`).
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Sessions recovered from the store at bind time that a previous
+    /// daemon never saw closed.
+    pub fn recovered_sessions(&self) -> Vec<u64> {
+        self.store.unclosed_sessions()
+    }
+
+    /// A shutdown handle usable from another thread.
+    pub fn handle(&self) -> io::Result<ServerHandle> {
+        Ok(ServerHandle {
+            running: Arc::clone(&self.running),
+            gate: Arc::clone(&self.gate),
+            addr: self.local_addr()?,
+        })
+    }
+
+    /// Runs the accept loop until a graceful shutdown, then drains live
+    /// connections, syncs the store, and reports.
+    pub fn serve(self) -> io::Result<ServeSummary> {
+        let mut workers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        while self.running.load(Ordering::Acquire) {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    let ctx = ConnCtx {
+                        config: self.config.clone(),
+                        corpus: Arc::clone(&self.corpus),
+                        embeddings: Arc::clone(&self.embeddings),
+                        assistant: self.assistant.clone(),
+                        store: Arc::clone(&self.store),
+                        gate: Arc::clone(&self.gate),
+                        running: Arc::clone(&self.running),
+                        counters: Arc::clone(&self.counters),
+                    };
+                    workers.push(std::thread::spawn(move || {
+                        let corpus = Arc::clone(&ctx.corpus);
+                        // The connection thread is itself isolated: a bug
+                        // in the handler kills one connection, never the
+                        // daemon.
+                        if crate::isolate::run_isolated(|| handle_conn(&ctx, &corpus, stream))
+                            .is_err()
+                        {
+                            ctx.counters
+                                .contained_panics
+                                .fetch_add(1, Ordering::Relaxed);
+                        }
+                    }));
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(POLL_INTERVAL);
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+            workers.retain(|w| !w.is_finished());
+        }
+        // Drain: the gate is closed (shutdown already did it, or a
+        // handle-driven stop does it here); live handlers notice the
+        // flag within one poll interval.
+        self.gate.close();
+        for worker in workers {
+            let _ = worker.join();
+        }
+        self.store.sync()?;
+        Ok(ServeSummary {
+            sessions_opened: self.counters.sessions_opened.load(Ordering::Relaxed),
+            sessions_resumed: self.counters.sessions_resumed.load(Ordering::Relaxed),
+            rounds_served: self.counters.rounds_served.load(Ordering::Relaxed),
+            questions_served: self.counters.questions_served.load(Ordering::Relaxed),
+            errors: self.counters.errors.load(Ordering::Relaxed),
+            contained_panics: self.counters.contained_panics.load(Ordering::Relaxed),
+            admission: self.gate.snapshot(),
+        })
+    }
+}
+
+/// The per-connection chaos stack: deterministic fault injection (rate 0
+/// passes through) under retry/breaker middleware — the same stack the
+/// batch evaluator runs, now scoped to one connection.
+type ConnBackend = Resilient<FaultyBackend<SimLlm>>;
+
+/// One live session hosted by a connection.
+struct Hosted<'a> {
+    id: u64,
+    session: Session<'a>,
+    backend: ConnBackend,
+    example: Option<Example>,
+}
+
+fn handle_conn(ctx: &ConnCtx, corpus: &Corpus, mut stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    if stream.set_read_timeout(Some(POLL_INTERVAL)).is_err() {
+        return;
+    }
+
+    // First frame decides the connection's fate: Shutdown is a control
+    // message needing no session slot; anything else must be Hello.
+    let Some(first) = next_request(ctx, &mut stream) else {
+        return;
+    };
+    let resume = match first {
+        ClientRequest::Shutdown => {
+            ctx.gate.close();
+            ctx.running.store(false, Ordering::Release);
+            let _ = write_frame(&mut stream, &ServerResponse::ShuttingDown);
+            return;
+        }
+        ClientRequest::Hello { version, resume } => {
+            if version != PROTOCOL_VERSION {
+                send_error(
+                    ctx,
+                    &mut stream,
+                    format!(
+                        "protocol version {version} unsupported (server speaks {PROTOCOL_VERSION})"
+                    ),
+                );
+                return;
+            }
+            resume
+        }
+        other => {
+            send_error(ctx, &mut stream, format!("expected Hello, got {other:?}"));
+            return;
+        }
+    };
+
+    // Admission: slot, bounded queue, or typed rejection.
+    let _permit = match ctx.gate.admit() {
+        Ok(permit) => permit,
+        Err(rejection) => {
+            let (active, queued) = match &rejection {
+                super::admission::Rejection::QueueFull { active, queued } => (*active, *queued),
+                super::admission::Rejection::WaitExpired { active } => (*active, 0),
+                super::admission::Rejection::Closed => (ctx.gate.active(), 0),
+            };
+            let _ = write_frame(
+                &mut stream,
+                &ServerResponse::Rejected {
+                    reason: rejection.reason(),
+                    active,
+                    queued,
+                },
+            );
+            return;
+        }
+    };
+
+    // Open or replay the session.
+    let mut hosted = match resume {
+        None => {
+            let id = match ctx.store.open_session() {
+                Ok(id) => id,
+                Err(e) => {
+                    send_error(ctx, &mut stream, format!("session store: {e}"));
+                    return;
+                }
+            };
+            ctx.counters.sessions_opened.fetch_add(1, Ordering::Relaxed);
+            let backend = conn_backend(ctx);
+            backend.begin_session();
+            Hosted {
+                id,
+                session: Session::new(
+                    &corpus.databases[0],
+                    ctx.assistant.clone(),
+                    ctx.config.strategy,
+                ),
+                backend,
+                example: None,
+            }
+        }
+        Some(id) => {
+            let ops = ctx.store.session_ops(id);
+            if ops.is_empty() {
+                send_error(ctx, &mut stream, format!("unknown session {id}"));
+                return;
+            }
+            ctx.counters
+                .sessions_resumed
+                .fetch_add(1, Ordering::Relaxed);
+            replay_session(ctx, corpus, id, &ops)
+        }
+    };
+    let replayed_rounds = hosted.session.round();
+    if write_frame(
+        &mut stream,
+        &ServerResponse::Welcome {
+            session_id: hosted.id,
+            replayed_rounds,
+        },
+    )
+    .is_err()
+    {
+        return;
+    }
+
+    // The request loop.
+    loop {
+        let Some(request) = next_request(ctx, &mut stream) else {
+            return;
+        };
+        let response = dispatch(ctx, corpus, &mut hosted, request);
+        let last = matches!(
+            response,
+            ServerResponse::Goodbye { .. } | ServerResponse::ShuttingDown
+        );
+        if write_frame(&mut stream, &response).is_err() || last {
+            return;
+        }
+    }
+}
+
+/// Builds one connection's resilient chaos backend.
+fn conn_backend(ctx: &ConnCtx) -> ConnBackend {
+    chaos_stack(
+        &ctx.assistant.llm,
+        ctx.config.fault_rate,
+        ctx.config.retry_budget,
+    )
+}
+
+/// Reads the next request, polling so shutdown is observed between
+/// frames. `None` means the connection is over (EOF, error, or drain).
+fn next_request(ctx: &ConnCtx, stream: &mut TcpStream) -> Option<ClientRequest> {
+    loop {
+        if !ctx.running.load(Ordering::Acquire) {
+            let _ = write_frame(stream, &ServerResponse::ShuttingDown);
+            return None;
+        }
+        match read_frame::<_, ClientRequest>(stream) {
+            Ok(Some(request)) => return Some(request),
+            Ok(None) => return None,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) => {}
+            Err(e) => {
+                ctx.counters.errors.fetch_add(1, Ordering::Relaxed);
+                let _ = write_frame(
+                    stream,
+                    &ServerResponse::Error {
+                        message: format!("bad frame: {e}"),
+                    },
+                );
+                return None;
+            }
+        }
+    }
+}
+
+fn send_error(ctx: &ConnCtx, stream: &mut TcpStream, message: String) {
+    ctx.counters.errors.fetch_add(1, Ordering::Relaxed);
+    let _ = write_frame(stream, &ServerResponse::Error { message });
+}
+
+/// Serves one in-session request.
+fn dispatch<'a>(
+    ctx: &ConnCtx,
+    corpus: &'a Corpus,
+    hosted: &mut Hosted<'a>,
+    request: ClientRequest,
+) -> ServerResponse {
+    match request {
+        ClientRequest::Ask { question } => {
+            let example_idx = resolve_example(ctx, &question);
+            if let Err(e) = ctx.store.append(
+                hosted.id,
+                SessionOp::Ask {
+                    example_idx: example_idx as u64,
+                    question,
+                },
+            ) {
+                return store_error(ctx, e);
+            }
+            let response = serve_ask(ctx, corpus, hosted, example_idx);
+            if matches!(response, ServerResponse::Turn { .. }) {
+                ctx.counters
+                    .questions_served
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            response
+        }
+        ClientRequest::Feedback { text, highlight } => {
+            if !hosted.session.has_question() {
+                ctx.counters.errors.fetch_add(1, Ordering::Relaxed);
+                return ServerResponse::Error {
+                    message: "feedback before any question".to_string(),
+                };
+            }
+            if let Err(e) = ctx.store.append(
+                hosted.id,
+                SessionOp::Feedback {
+                    text: text.clone(),
+                    highlight,
+                },
+            ) {
+                return store_error(ctx, e);
+            }
+            let response = serve_feedback(ctx, hosted, &text, highlight);
+            if matches!(response, ServerResponse::Turn { .. }) {
+                ctx.counters.rounds_served.fetch_add(1, Ordering::Relaxed);
+            }
+            response
+        }
+        ClientRequest::Transcript => ServerResponse::TranscriptDump {
+            events: hosted.session.transcript.clone(),
+        },
+        ClientRequest::Bye => {
+            if let Err(e) = ctx.store.append(hosted.id, SessionOp::Closed) {
+                return store_error(ctx, e);
+            }
+            ServerResponse::Goodbye {
+                rounds: feedback_turns(&hosted.session),
+            }
+        }
+        ClientRequest::Hello { .. } => {
+            ctx.counters.errors.fetch_add(1, Ordering::Relaxed);
+            ServerResponse::Error {
+                message: "session already open".to_string(),
+            }
+        }
+        ClientRequest::Shutdown => {
+            ctx.gate.close();
+            ctx.running.store(false, Ordering::Release);
+            ServerResponse::ShuttingDown
+        }
+    }
+}
+
+fn store_error(ctx: &ConnCtx, e: io::Error) -> ServerResponse {
+    ctx.counters.errors.fetch_add(1, Ordering::Relaxed);
+    ServerResponse::Error {
+        message: format!("session store: {e}"),
+    }
+}
+
+/// Runs `ask` under panic isolation and packages the turn.
+fn serve_ask<'a>(
+    ctx: &ConnCtx,
+    corpus: &'a Corpus,
+    hosted: &mut Hosted<'a>,
+    example_idx: usize,
+) -> ServerResponse {
+    let example = corpus.examples[example_idx].clone();
+    let cursor = hosted.session.events().len();
+    hosted.session.db = corpus.database(&example);
+    let outcome = {
+        let session = &mut hosted.session;
+        let example = &example;
+        crate::isolate::run_isolated(|| session.ask(example))
+    };
+    hosted.example = Some(example);
+    turn_response(ctx, hosted, cursor, outcome)
+}
+
+/// Runs one feedback round under panic isolation and packages the turn.
+fn serve_feedback(
+    ctx: &ConnCtx,
+    hosted: &mut Hosted<'_>,
+    text: &str,
+    highlight: Option<fisql_sqlkit::Span>,
+) -> ServerResponse {
+    let example = hosted
+        .example
+        .clone()
+        .expect("has_question checked by the caller");
+    let cursor = hosted.session.events().len();
+    // give_feedback contains backend errors and panics internally
+    // (Degraded/Crashed events), so it always returns a turn.
+    let Hosted {
+        session, backend, ..
+    } = hosted;
+    let turn = session.give_feedback(backend, &example, text, highlight);
+    turn_response(ctx, hosted, cursor, Ok(turn))
+}
+
+/// Folds an isolated turn outcome into the wire response.
+fn turn_response(
+    ctx: &ConnCtx,
+    hosted: &mut Hosted<'_>,
+    cursor: usize,
+    outcome: Result<crate::assistant::AssistantTurn, String>,
+) -> ServerResponse {
+    match outcome {
+        Ok(turn) => ServerResponse::Turn {
+            round: hosted.session.round(),
+            sql: turn.sql_text.clone(),
+            rendered: Assistant::render_turn(&turn),
+            events: hosted.session.events_since(cursor).to_vec(),
+        },
+        Err(message) => {
+            ctx.counters
+                .contained_panics
+                .fetch_add(1, Ordering::Relaxed);
+            ServerResponse::Error {
+                message: format!("request panicked (contained): {message}"),
+            }
+        }
+    }
+}
+
+/// Reconstructs a session by replaying its journaled ops — the one code
+/// path behind both client reconnects and daemon restarts. Determinism
+/// of the whole pipeline makes the replayed transcript bit-identical to
+/// the original; a replayed op that panics is contained and skipped,
+/// exactly as the live round answered `Error` without mutating state.
+fn replay_session<'a>(ctx: &ConnCtx, corpus: &'a Corpus, id: u64, ops: &[SessionOp]) -> Hosted<'a> {
+    let backend = conn_backend(ctx);
+    backend.begin_session();
+    let mut hosted = Hosted {
+        id,
+        session: Session::new(
+            &corpus.databases[0],
+            ctx.assistant.clone(),
+            ctx.config.strategy,
+        ),
+        backend,
+        example: None,
+    };
+    for op in ops {
+        match op {
+            SessionOp::Opened | SessionOp::Closed => {}
+            SessionOp::Ask { example_idx, .. } => {
+                let idx = (*example_idx as usize).min(corpus.examples.len() - 1);
+                let example = corpus.examples[idx].clone();
+                hosted.session.db = corpus.database(&example);
+                let _ = crate::isolate::run_isolated(|| hosted.session.ask(&example));
+                hosted.example = Some(example);
+            }
+            SessionOp::Feedback { text, highlight } => {
+                let Some(example) = hosted.example.clone() else {
+                    continue;
+                };
+                let Hosted {
+                    session, backend, ..
+                } = &mut hosted;
+                session.give_feedback(&*backend, &example, text, *highlight);
+            }
+        }
+    }
+    hosted
+}
+
+/// Resolves a question onto the corpus: exact text match first, nearest
+/// embedding otherwise (both deterministic; the resolved index is
+/// journaled, so replay never re-runs this).
+fn resolve_example(ctx: &ConnCtx, question: &str) -> usize {
+    if let Some(idx) = ctx
+        .corpus
+        .examples
+        .iter()
+        .position(|e| e.question.eq_ignore_ascii_case(question))
+    {
+        return idx;
+    }
+    let q = Embedding::embed(question);
+    ctx.embeddings
+        .iter()
+        .enumerate()
+        .max_by(|a, b| {
+            q.cosine(a.1)
+                .partial_cmp(&q.cosine(b.1))
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
+        .map_or(0, |(i, _)| i)
+}
+
+/// Feedback turns recorded in the transcript (replayed + live).
+fn feedback_turns(session: &Session<'_>) -> u64 {
+    session
+        .events()
+        .iter()
+        .filter(|e| matches!(e, SessionEvent::Feedback { .. }))
+        .count() as u64
+}

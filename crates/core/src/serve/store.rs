@@ -1,0 +1,319 @@
+//! The session store: the write-ahead run journal reused as a durable,
+//! replayable log of session operations.
+//!
+//! `fisql serve` persists **inputs, not outputs**. Every state-changing
+//! client operation is appended as a `(session_id, SessionOp)` record to
+//! a [`RunJournal`] *before* it executes (write-ahead), and a session is
+//! reconstructed — after a client reconnect or a daemon restart, same
+//! code path — by replaying its ops through a fresh [`Session`]
+//! (../session.rs). Because the whole pipeline is deterministic (the
+//! simulated model, the fault injector, and the resilience middleware
+//! are all pure functions of their inputs), replay reproduces the
+//! transcript bit-identically; there is no second on-disk format and no
+//! snapshot to keep consistent.
+//!
+//! The journal's existing integrity machinery carries over unchanged:
+//! checksummed records mean a torn tail from a crash mid-append costs at
+//! most the last operation, and the header fingerprint — here derived
+//! from [`ServeConfig::fingerprint`](crate::config::ServeConfig) — makes
+//! the daemon refuse a store written under a different corpus, strategy,
+//! or chaos configuration rather than replay it into different
+//! transcripts. The header's case-count slot is pinned to
+//! [`SESSION_STORE_MARKER`], so an evaluation run journal can never be
+//! mistaken for a session store (or vice versa).
+
+use crate::journal::{FsyncPolicy, RunJournal};
+use fisql_sqlkit::Span;
+use serde::{Deserialize, Serialize};
+use std::io;
+use std::path::Path;
+use std::sync::Mutex;
+
+/// Value pinned into the journal header's case-count slot for session
+/// stores. An eval journal records its real (small) case count there, so
+/// the two uses of the format can never be confused.
+pub const SESSION_STORE_MARKER: u64 = u64::MAX;
+
+/// One journaled session operation — the replay unit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SessionOp {
+    /// The session was opened.
+    Opened,
+    /// The client asked a question; the server resolved it to a corpus
+    /// example. The resolved index is journaled so replay never depends
+    /// on the resolution heuristic staying stable.
+    Ask {
+        /// Index into the serve corpus's example list.
+        example_idx: u64,
+        /// The question as the client typed it (diagnostics only).
+        question: String,
+    },
+    /// The client sent feedback.
+    Feedback {
+        /// The feedback utterance.
+        text: String,
+        /// Optional highlight over the rendered SQL.
+        highlight: Option<Span>,
+    },
+    /// The client closed the session with `Bye`.
+    Closed,
+}
+
+#[derive(Debug)]
+struct Inner {
+    /// The backing journal, when the store is durable.
+    journal: Option<RunJournal>,
+    /// Every op, in append order — the in-memory image replays read.
+    ops: Vec<(u64, SessionOp)>,
+    /// Next session id to hand out.
+    next_id: u64,
+}
+
+/// A concurrent, durable session-operation log (see the module docs).
+#[derive(Debug)]
+pub struct SessionStore {
+    inner: Mutex<Inner>,
+}
+
+impl SessionStore {
+    /// Opens a store. With a `path`, an existing journal is resumed
+    /// (validating its fingerprint and truncating any torn tail) and a
+    /// missing one is created; without, the store is memory-only.
+    pub fn open(
+        path: Option<&Path>,
+        fingerprint: u64,
+        fsync: FsyncPolicy,
+    ) -> io::Result<SessionStore> {
+        let (journal, ops) = match path {
+            None => (None, Vec::new()),
+            Some(path) if path.exists() => {
+                let (journal, ops) = RunJournal::open_resume::<SessionOp>(
+                    path,
+                    fingerprint,
+                    SESSION_STORE_MARKER,
+                    fsync,
+                )?;
+                (Some(journal), ops)
+            }
+            Some(path) => (
+                Some(RunJournal::create(
+                    path,
+                    fingerprint,
+                    SESSION_STORE_MARKER,
+                    fsync,
+                )?),
+                Vec::new(),
+            ),
+        };
+        let next_id = ops.iter().map(|(id, _)| id + 1).max().unwrap_or(0);
+        Ok(SessionStore {
+            inner: Mutex::new(Inner {
+                journal,
+                ops,
+                next_id,
+            }),
+        })
+    }
+
+    /// Opens a fresh session: assigns the next id and journals its
+    /// `Opened` record.
+    pub fn open_session(&self) -> io::Result<u64> {
+        let mut inner = self.lock();
+        let id = inner.next_id;
+        inner.next_id += 1;
+        append_locked(&mut inner, id, SessionOp::Opened)?;
+        Ok(id)
+    }
+
+    /// Appends one op to an existing session, write-ahead.
+    pub fn append(&self, session_id: u64, op: SessionOp) -> io::Result<()> {
+        append_locked(&mut self.lock(), session_id, op)
+    }
+
+    /// The ops of one session, in order (empty = unknown session).
+    pub fn session_ops(&self, session_id: u64) -> Vec<SessionOp> {
+        self.lock()
+            .ops
+            .iter()
+            .filter(|(id, _)| *id == session_id)
+            .map(|(_, op)| op.clone())
+            .collect()
+    }
+
+    /// Every session id the store knows, ascending.
+    pub fn session_ids(&self) -> Vec<u64> {
+        let inner = self.lock();
+        let mut ids: Vec<u64> = inner.ops.iter().map(|(id, _)| *id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
+    /// Sessions recovered from disk at open time that were never closed
+    /// with `Bye` — the ones a crash interrupted.
+    pub fn unclosed_sessions(&self) -> Vec<u64> {
+        let inner = self.lock();
+        let mut open: Vec<u64> = Vec::new();
+        for (id, op) in &inner.ops {
+            match op {
+                SessionOp::Opened => open.push(*id),
+                SessionOp::Closed => open.retain(|o| o != id),
+                _ => {}
+            }
+        }
+        open
+    }
+
+    /// Flushes pending appends to stable storage.
+    pub fn sync(&self) -> io::Result<()> {
+        match self.lock().journal.as_mut() {
+            Some(journal) => journal.sync(),
+            None => Ok(()),
+        }
+    }
+
+    /// Total ops recorded (all sessions).
+    pub fn len(&self) -> usize {
+        self.lock().ops.len()
+    }
+
+    /// Whether the store holds no ops.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        // A poisoned store lock means a panic escaped the serve layer's
+        // isolation while appending; the in-memory image is still
+        // well-formed (Vec pushes are atomic at this granularity).
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+fn append_locked(inner: &mut Inner, session_id: u64, op: SessionOp) -> io::Result<()> {
+    if let Some(journal) = inner.journal.as_mut() {
+        journal.append(session_id, &op)?;
+    }
+    inner.ops.push((session_id, op));
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tmp(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!(
+            "fisql-session-store-{}-{name}.fjnl",
+            std::process::id()
+        ))
+    }
+
+    #[test]
+    fn ops_roundtrip_across_reopen() {
+        let path = tmp("roundtrip");
+        std::fs::remove_file(&path).ok();
+        {
+            let store = SessionStore::open(Some(&path), 0xF00D, FsyncPolicy::EachRecord).unwrap();
+            let a = store.open_session().unwrap();
+            let b = store.open_session().unwrap();
+            assert_ne!(a, b);
+            store
+                .append(
+                    a,
+                    SessionOp::Ask {
+                        example_idx: 4,
+                        question: "q".into(),
+                    },
+                )
+                .unwrap();
+            store
+                .append(
+                    a,
+                    SessionOp::Feedback {
+                        text: "we are in 2024".into(),
+                        highlight: None,
+                    },
+                )
+                .unwrap();
+            store.append(b, SessionOp::Closed).unwrap();
+            store.sync().unwrap();
+        }
+        let store = SessionStore::open(Some(&path), 0xF00D, FsyncPolicy::Batch).unwrap();
+        assert_eq!(store.session_ids(), vec![0, 1]);
+        assert_eq!(
+            store.session_ops(0),
+            vec![
+                SessionOp::Opened,
+                SessionOp::Ask {
+                    example_idx: 4,
+                    question: "q".into(),
+                },
+                SessionOp::Feedback {
+                    text: "we are in 2024".into(),
+                    highlight: None,
+                },
+            ]
+        );
+        assert_eq!(store.unclosed_sessions(), vec![0]);
+        // Ids never collide with recovered sessions.
+        assert_eq!(store.open_session().unwrap(), 2);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn foreign_fingerprint_is_refused() {
+        let path = tmp("foreign");
+        std::fs::remove_file(&path).ok();
+        {
+            let store = SessionStore::open(Some(&path), 0xAAAA, FsyncPolicy::Never).unwrap();
+            store.open_session().unwrap();
+            store.sync().unwrap();
+        }
+        let err = SessionStore::open(Some(&path), 0xBBBB, FsyncPolicy::Never).unwrap_err();
+        assert!(err.to_string().contains("fingerprint"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_tail_recovers_the_intact_prefix() {
+        let path = tmp("torn");
+        std::fs::remove_file(&path).ok();
+        {
+            let store = SessionStore::open(Some(&path), 0xF00D, FsyncPolicy::Never).unwrap();
+            let id = store.open_session().unwrap();
+            store
+                .append(
+                    id,
+                    SessionOp::Ask {
+                        example_idx: 0,
+                        question: "q".into(),
+                    },
+                )
+                .unwrap();
+            store.sync().unwrap();
+        }
+        // A crash mid-append: garbage half-record at the tail.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.extend_from_slice(&64u32.to_le_bytes());
+        bytes.extend_from_slice(&[0xCD; 9]);
+        std::fs::write(&path, &bytes).unwrap();
+
+        let store = SessionStore::open(Some(&path), 0xF00D, FsyncPolicy::Never).unwrap();
+        assert_eq!(store.len(), 2, "intact prefix only");
+        assert_eq!(store.session_ops(0).len(), 2);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn memory_only_store_works_without_a_path() {
+        let store = SessionStore::open(None, 0, FsyncPolicy::Never).unwrap();
+        let id = store.open_session().unwrap();
+        store.append(id, SessionOp::Closed).unwrap();
+        assert_eq!(store.session_ids(), vec![id]);
+        store.sync().unwrap();
+    }
+}

@@ -37,7 +37,7 @@ fn main() {
         },
     });
     let assistant = CoreAssistant {
-        llm,
+        llm: llm.clone(),
         store: DemoStore::new(vec![]),
         demos_k: 0,
     };
@@ -56,7 +56,7 @@ fn main() {
     assert!(first.sql_text.contains("2023"), "expected the 2023 default");
 
     // Turn 2: the feedback of Figure 4.
-    let revised = session.give_feedback(&example, "we are in 2024", None);
+    let revised = session.give_feedback(&llm, &example, "we are in 2024", None);
     assert!(
         structurally_equal(&revised.query, &example.gold),
         "feedback failed to fix the query"

@@ -46,10 +46,11 @@ pub use fisql_sqlkit;
 /// The commonly-used surface of the whole workspace in one import.
 pub mod prelude {
     pub use fisql_core::{
-        explain_query, incorporate, interpret, reformulate, run_fingerprint, zero_shot_report,
-        AnnotatedCase, Assistant, AssistantTurn, CaseOutcome, CaseVerdict, ChatEvent,
-        ConformanceReport, CorrectionReport, CorrectionRun, ErrorCase, ExperimentConfig,
-        FsyncPolicy, IncorporateContext, RunJournal, RunMetrics, Session, Strategy,
+        explain_query, incorporate, interpret, reformulate, render_events, run_fingerprint,
+        zero_shot_report, AnnotatedCase, Assistant, AssistantTurn, CaseOutcome, CaseVerdict,
+        ConfigError, ConformanceReport, CorrectionReport, CorrectionRun, ErrorCase, EvalConfig,
+        ExperimentConfig, FsyncPolicy, IncorporateContext, LoadConfig, RunJournal, RunMetrics,
+        ServeClient, ServeConfig, Server, Session, SessionEvent, Strategy,
     };
     pub use fisql_engine::{
         execute_sql, results_match, Column, DataType, Database, ForeignKey, ResultSet, Table, Value,

@@ -1,4 +1,4 @@
-//! `fisql` — the interactive FISQL console.
+//! `fisql` — the interactive FISQL console, evaluator, and daemon.
 //!
 //! A terminal rendition of the paper's tool (Figures 3-4): ask questions
 //! against the bundled AEP-like marketing database (or your own `.sql`
@@ -18,11 +18,20 @@
 //! you> :quit
 //! ```
 //!
-//! `fisql --eval [--workers N]` skips the console and runs the sharded
-//! correction evaluation (collect → annotate → correct) on the bundled
-//! corpora, printing per-round correction rates and throughput. `N = 0`
-//! (the default) uses all available cores; `FISQL_WORKERS` is honoured
-//! when the flag is absent.
+//! Three non-interactive entry points share the console's pipeline:
+//!
+//! - `fisql --eval` runs the sharded correction evaluation (collect →
+//!   annotate → correct) on the bundled corpora; flags parse into
+//!   [`EvalConfig`].
+//! - `fisql serve` hosts the session API as a long-lived multi-session
+//!   TCP daemon ([`ServeConfig`]): length-prefixed JSON frames,
+//!   admission control with backpressure, per-connection resilience, and
+//!   a journal-backed session store that replays sessions bit-identically
+//!   across restarts (`--store PATH`).
+//! - `fisql load` drives a daemon with seeded deterministic session
+//!   scripts ([`LoadConfig`]) and reports throughput, latency
+//!   percentiles, and the order-insensitive transcript digest;
+//!   `--shutdown` asks the daemon to drain afterwards.
 //!
 //! The backing model is the simulated LLM, so "asking a question" means
 //! picking the bundled corpus question closest to yours (by embedding
@@ -30,16 +39,19 @@
 //! pipeline interactively.
 
 use fisql::prelude::*;
-use fisql_core::Assistant;
+use fisql_core::serve::{run_load, Server};
+use fisql_core::{chaos_stack, Assistant, EvalConfig, LoadConfig, ServeConfig};
 use fisql_llm::Embedding;
 use std::io::{BufRead, Write};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
 
-    if args.iter().any(|a| a == "--eval") {
-        run_eval(&args);
-        return;
+    match args.get(1).map(String::as_str) {
+        Some("serve") => return run_serve(&args[2..]),
+        Some("load") => return run_load_cli(&args[2..]),
+        _ if args.iter().any(|a| a == "--eval") => return run_eval(&args),
+        _ => {}
     }
 
     // Corpus + database: bundled AEP-like by default; a schema file makes
@@ -61,7 +73,7 @@ fn main() {
     let db = custom_db.as_ref().unwrap_or(&corpus.databases[0]);
 
     let llm = SimLlm::new(LlmConfig::default());
-    let assistant = Assistant::for_corpus(&corpus, llm, 3);
+    let assistant = Assistant::for_corpus(&corpus, llm.clone(), 3);
     let strategy = Strategy::Fisql {
         routing: true,
         highlighting: false,
@@ -99,18 +111,11 @@ fn main() {
                 continue;
             }
             ":sql" => {
-                match session.transcript.iter().rev().find_map(|e| match e {
-                    fisql_core::ChatEvent::Assistant(t) => Some(t.clone()),
+                match session.events().iter().rev().find_map(|e| match e {
+                    SessionEvent::Assistant { sql, .. } => Some(sql.clone()),
                     _ => None,
                 }) {
-                    Some(t) => {
-                        let sql = t
-                            .lines()
-                            .skip_while(|l| !l.contains("[Show source]"))
-                            .nth(1)
-                            .unwrap_or("(no SQL yet)");
-                        println!("{sql}");
-                    }
+                    Some(sql) => println!("{sql}"),
                     None => println!("(ask a question first)"),
                 }
                 continue;
@@ -151,7 +156,7 @@ fn main() {
                 println!("(ask a question before giving feedback)");
                 continue;
             };
-            let turn = session.give_feedback(example, feedback.trim(), None);
+            let turn = session.give_feedback(&llm, example, feedback.trim(), None);
             println!("{}", Assistant::render_turn(&turn));
             continue;
         }
@@ -183,86 +188,132 @@ fn main() {
     println!("bye.");
 }
 
-/// Parses `--flag value` from the argument list, exiting on a malformed
-/// value.
-fn flag_value<T: std::str::FromStr>(args: &[String], flag: &str) -> Option<T> {
-    args.iter()
-        .position(|a| a == flag)
-        .and_then(|i| args.get(i + 1))
-        .map(|v| {
-            v.parse().unwrap_or_else(|_| {
-                eprintln!("error: {flag} got an invalid value `{v}`");
-                std::process::exit(2);
-            })
-        })
+/// `fisql serve [--host H] [--port P] [--max-sessions N] [--queue-depth
+/// Q] [--queue-wait-ms MS] [--store PATH] [--fsync never|each|batch]
+/// [--strategy S] [--fault-rate R] [--retry-budget B] [--seed S]
+/// [--examples N]`: the long-lived multi-session daemon.
+///
+/// Connections speak the length-prefixed JSON protocol
+/// (`fisql_core::serve::protocol`). Up to `--max-sessions` sessions run
+/// concurrently; `--queue-depth` more connections wait (bounded) and
+/// everything beyond is rejected with a typed backpressure response.
+/// With `--store PATH` every session operation is journaled write-ahead,
+/// and a restarted daemon replays stored sessions bit-identically
+/// (clients resume with `Hello { resume: <id> }`). A `Shutdown` request
+/// (`fisql load --shutdown`) drains the daemon gracefully.
+fn run_serve(args: &[String]) {
+    let config = ServeConfig::from_args(args).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    });
+    let server = Server::bind(config.clone()).unwrap_or_else(|e| {
+        eprintln!("error: cannot bind {}: {e}", config.addr());
+        std::process::exit(1);
+    });
+    let addr = server
+        .local_addr()
+        .map(|a| a.to_string())
+        .unwrap_or_else(|_| config.addr());
+    println!(
+        "fisql serve: listening on {addr} ({} session slot(s), queue {}, store {})",
+        config.max_sessions,
+        config.queue_depth,
+        config
+            .store
+            .as_ref()
+            .map_or("none".to_string(), |p| p.display().to_string()),
+    );
+    let recovered = server.recovered_sessions();
+    if !recovered.is_empty() {
+        println!(
+            "  recovered {} unclosed session(s) from the store: {recovered:?}",
+            recovered.len()
+        );
+    }
+    match server.serve() {
+        Ok(summary) => {
+            let a = &summary.admission;
+            println!(
+                "fisql serve: drained — {} session(s) opened, {} resumed, {} question(s), \
+                 {} feedback round(s), {} contained panic(s)",
+                summary.sessions_opened,
+                summary.sessions_resumed,
+                summary.questions_served,
+                summary.rounds_served,
+                summary.contained_panics,
+            );
+            println!(
+                "  admission: {} direct, {} queued, {} rejected ({} full / {} timeout / {} closed), peak {}",
+                a.admitted_direct,
+                a.admitted_queued,
+                a.rejected(),
+                a.rejected_full,
+                a.rejected_timeout,
+                a.rejected_closed,
+                a.peak_active,
+            );
+        }
+        Err(e) => {
+            eprintln!("error: serve loop failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// `fisql load [--addr A] [--sessions N] [--concurrency C] [--rounds R]
+/// [--seed S] [--corpus-seed S] [--examples N] [--connect-retry-ms MS]
+/// [--shutdown]`: the deterministic load generator.
+///
+/// Drives a running daemon with seeded session scripts and prints
+/// sessions/s, rounds/s, latency percentiles, and the order-insensitive
+/// transcript digest (stable across runs at any concurrency).
+/// `--shutdown` sends a graceful `Shutdown` after the load completes.
+fn run_load_cli(args: &[String]) {
+    let config = LoadConfig::from_args(args).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    });
+    let report = run_load(&config).unwrap_or_else(|e| {
+        eprintln!("error: load run failed: {e}");
+        std::process::exit(1);
+    });
+    println!(
+        "fisql load: {} session(s) completed, {} rejected, {} failed in {:.1} s",
+        report.sessions_completed,
+        report.sessions_rejected,
+        report.sessions_failed,
+        report.wall_ms as f64 / 1000.0,
+    );
+    println!(
+        "  {:.1} sessions/s, {:.1} rounds/s ({} question(s), {} round(s))",
+        report.sessions_per_sec(),
+        report.rounds_per_sec(),
+        report.questions,
+        report.rounds,
+    );
+    println!(
+        "  latency p50 {} us, p99 {} us over {} request(s)",
+        report.latency_percentile_us(50.0),
+        report.latency_percentile_us(99.0),
+        report.latencies_us.len(),
+    );
+    println!("  transcript digest {:#018x}", report.digest);
+    if report.sessions_failed > 0 {
+        std::process::exit(1);
+    }
 }
 
 /// `fisql --eval [--strategy S] [--workers N] [--fault-rate R]
-/// [--retry-budget B] [--no-static-oracle] [--conformance-gate]`: the
+/// [--retry-budget B] [--no-static-oracle] [--conformance-gate]
+/// [--journal PATH] [--resume] [--case-deadline MS] [--fsync P]`: the
 /// sharded correction evaluation on the bundled SPIDER-like and AEP-like
-/// corpora.
-///
-/// `--strategy fisql|dynamic|rewrite|search` picks the
-/// feedback-incorporation strategy (default `fisql`): the paper's
-/// two-step prompting, its dynamic-routing variant, the Query Rewrite
-/// baseline, or the static fault-localization repair search
-/// (`SearchRefine`), which enumerates structure-preserving candidate
-/// edits, prunes them statically, and executes only the chosen
-/// candidate.
-///
-/// `--fault-rate R` injects deterministic backend faults at total rate
-/// `R` (e.g. `0.2`), split evenly across timeouts, rate limits,
-/// transient faults, and malformed output; `--retry-budget B` sets the
-/// resilience layer's attempts per call (default 3). With faults the
-/// correction loop degrades gracefully — failed rounds keep the previous
-/// SQL — and the printed metrics include retry/breaker/degradation
-/// counts. `FISQL_FAULT_RATE` is honoured when the flag is absent.
-///
-/// `--no-static-oracle` disables the equivalence oracle that skips
-/// engine executions of candidates provably equivalent to queries
-/// already found incorrect; `--conformance-gate` enables the
-/// router-vs-realized feedback-conformance check with its one-shot
-/// re-prompt.
-///
-/// Durability flags: `--journal PATH` appends every finished case's
-/// verdict to a crash-safe write-ahead journal (one file per corpus,
-/// suffixed with the corpus name); `--resume` replays an existing
-/// journal's intact prefix and runs only the remaining cases, producing
-/// a report bit-identical to an uninterrupted run; `--fsync
-/// never|each|batch` picks the journal's durability/throughput
-/// trade-off (default `batch`); `--case-deadline MS` arms the stall
-/// watchdog, expiring cases whose virtual session clock exceeds `MS`
-/// (deterministic at any worker count) and cancelling runaway engine
-/// statements.
+/// corpora. Flags parse and validate through [`EvalConfig`]; see its
+/// docs for each knob's meaning.
 fn run_eval(args: &[String]) {
-    let strategy = match flag_value::<String>(args, "--strategy").as_deref() {
-        None | Some("fisql") => Strategy::Fisql {
-            routing: true,
-            highlighting: false,
-        },
-        Some("dynamic") => Strategy::FisqlDynamic,
-        Some("rewrite") => Strategy::QueryRewrite,
-        Some("search") => Strategy::SearchRefine,
-        Some(other) => {
-            eprintln!("error: unknown --strategy `{other}` (try fisql, dynamic, rewrite, search)");
-            std::process::exit(2);
-        }
-    };
-    let workers = flag_value(args, "--workers").unwrap_or_else(fisql_core::workers_from_env);
-    let fault_rate: f64 = flag_value(args, "--fault-rate")
-        .or_else(|| FaultConfig::from_env().map(|c| c.total_rate()))
-        .unwrap_or(0.0);
-    let retry_budget: u32 = flag_value(args, "--retry-budget").unwrap_or(3);
-    let static_oracle = !args.iter().any(|a| a == "--no-static-oracle");
-    let conformance_gate = args.iter().any(|a| a == "--conformance-gate");
-    let journal: Option<String> = flag_value(args, "--journal");
-    let resume = args.iter().any(|a| a == "--resume");
-    let case_deadline: Option<u64> = flag_value(args, "--case-deadline");
-    let fsync: FsyncPolicy = flag_value(args, "--fsync").unwrap_or_default();
-    if resume && journal.is_none() {
-        eprintln!("error: --resume requires --journal PATH");
+    let config = EvalConfig::from_args(args).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
         std::process::exit(2);
-    }
+    });
 
     let spider = build_spider(&SpiderConfig {
         n_databases: 12,
@@ -276,16 +327,9 @@ fn run_eval(args: &[String]) {
     let llm = SimLlm::new(LlmConfig::default());
     let user = SimUser::new(UserConfig::default());
     // The chaos stack: faults injected under the simulated model, retries
-    // and breaker on top. Built even at rate 0 — the zero-rate injector
-    // passes everything through, and `Resilient` adds only bookkeeping —
-    // so the eval path is identical with and without chaos.
-    let chaos = Resilient::new(
-        FaultyBackend::new(llm.clone(), FaultConfig::uniform(fault_rate)),
-        ResilienceConfig {
-            attempt_budget: retry_budget,
-            ..ResilienceConfig::default()
-        },
-    );
+    // and breaker on top — the same stack `fisql serve` builds per
+    // connection.
+    let chaos = chaos_stack(&llm, config.fault_rate, config.retry_budget);
 
     for corpus in [&spider, &aep] {
         // Error collection runs the Assistant front end (SimLlm-specific);
@@ -293,24 +337,25 @@ fn run_eval(args: &[String]) {
         let collect = CorrectionRun::new(corpus, &llm, &user)
             .demos_k(3)
             .rounds(2)
-            .workers(workers);
+            .workers(config.workers);
         let errors = collect.collect_errors();
         let cases = collect.annotate(&errors);
         // One journal file per corpus: both corpora share the --journal
         // prefix but must not share a fingerprinted case list.
-        let journal_path = journal
+        let journal_path = config
+            .journal
             .as_ref()
-            .map(|p| std::path::PathBuf::from(format!("{p}.{}", corpus.name)));
+            .map(|p| std::path::PathBuf::from(format!("{}.{}", p.display(), corpus.name)));
         let mut run = CorrectionRun::new(corpus, &chaos, &user)
-            .strategy(strategy)
+            .strategy(config.strategy)
             .demos_k(3)
             .rounds(2)
-            .workers(workers)
-            .static_oracle(static_oracle)
-            .conformance_gate(conformance_gate)
-            .case_deadline_ms(case_deadline)
-            .resume(resume)
-            .fsync(fsync);
+            .workers(config.workers)
+            .static_oracle(config.static_oracle)
+            .conformance_gate(config.conformance_gate)
+            .case_deadline_ms(config.case_deadline_ms)
+            .resume(config.resume)
+            .fsync(config.fsync);
         if let Some(path) = &journal_path {
             run = run.journal(path);
         }
@@ -325,7 +370,7 @@ fn run_eval(args: &[String]) {
         println!(
             "{} [{}]: {} errors, {} annotated; corrected after r1/r2: {:.1}%/{:.1}%",
             corpus.name,
-            strategy.name(),
+            config.strategy.name(),
             errors.len(),
             cases.len(),
             report.pct_after(1),
@@ -339,13 +384,13 @@ fn run_eval(args: &[String]) {
             m.engine_executions,
             100.0 * m.cache_hit_rate(),
         );
-        if static_oracle {
+        if config.static_oracle {
             println!(
                 "  static oracle: {} execution(s) skipped",
                 report.executions_skipped_static,
             );
         }
-        if conformance_gate {
+        if config.conformance_gate {
             println!(
                 "  conformance: {} agreed / {} disagreed, {} re-prompt(s)",
                 report.router_realized_agreements,
@@ -357,8 +402,8 @@ fn run_eval(args: &[String]) {
             println!(
                 "  journal: {} ({} policy){}",
                 path.display(),
-                fsync,
-                if resume { ", resumed" } else { "" },
+                config.fsync,
+                if config.resume { ", resumed" } else { "" },
             );
         }
         if report.cases_crashed > 0 || report.cases_timed_out > 0 {
@@ -367,12 +412,12 @@ fn run_eval(args: &[String]) {
                 report.cases_crashed, report.cases_timed_out,
             );
         }
-        if fault_rate > 0.0 {
+        if config.fault_rate > 0.0 {
             let r = &m.resilience;
             println!(
                 "  faults: rate {:.0}%, {} attempts / {} calls, {} retries, {} breaker trips, \
                  {} rounds degraded in {} case(s)",
-                100.0 * fault_rate,
+                100.0 * config.fault_rate,
                 r.attempts,
                 r.calls,
                 r.retries,

@@ -237,7 +237,8 @@ fn session_transcript_records_full_conversation() {
         seed: 77,
     });
     let e = &aep.examples[0];
-    let assistant = Assistant::for_corpus(&aep, SimLlm::new(LlmConfig::default()), 2);
+    let llm = SimLlm::new(LlmConfig::default());
+    let assistant = Assistant::for_corpus(&aep, llm.clone(), 2);
     let mut session = Session::new(
         aep.database(e),
         assistant,
@@ -247,7 +248,7 @@ fn session_transcript_records_full_conversation() {
         },
     );
     session.ask(e);
-    session.give_feedback(e, "we are in 2024", None);
+    session.give_feedback(&llm, e, "we are in 2024", None);
     let transcript = session.render_transcript();
     assert_eq!(transcript.matches("User>").count(), 2);
     assert_eq!(transcript.matches("Assistant>").count(), 2);

@@ -51,7 +51,7 @@ fn two_errors_need_two_rounds_and_then_match() {
     let (corpus, example, llm) = two_error_setup();
     let db = &corpus.databases[0];
     let assistant = Assistant {
-        llm,
+        llm: llm.clone(),
         store: DemoStore::new(vec![]),
         demos_k: 0,
     };
@@ -73,7 +73,7 @@ fn two_errors_need_two_rounds_and_then_match() {
     );
 
     // Round 1: fix the year. Still wrong (extra column).
-    let after_year = session.give_feedback(&example, "we are in 2024", None);
+    let after_year = session.give_feedback(&llm, &example, "we are in 2024", None);
     assert!(
         after_year.sql_text.contains("2024"),
         "{}",
@@ -85,7 +85,7 @@ fn two_errors_need_two_rounds_and_then_match() {
     );
 
     // Round 2: drop the stray column. Now execution-correct.
-    let fixed = session.give_feedback(&example, "do not give segment names", None);
+    let fixed = session.give_feedback(&llm, &example, "do not give segment names", None);
     assert!(
         structurally_equal(&fixed.query, &example.gold),
         "after two rounds: {}",
@@ -103,7 +103,7 @@ fn feedback_order_does_not_matter() {
     let (corpus, example, llm) = two_error_setup();
     let db = &corpus.databases[0];
     let assistant = Assistant {
-        llm,
+        llm: llm.clone(),
         store: DemoStore::new(vec![]),
         demos_k: 0,
     };
@@ -116,8 +116,8 @@ fn feedback_order_does_not_matter() {
         },
     );
     session.ask(&example);
-    session.give_feedback(&example, "do not give segment names", None);
-    let fixed = session.give_feedback(&example, "we are in 2024", None);
+    session.give_feedback(&llm, &example, "do not give segment names", None);
+    let fixed = session.give_feedback(&llm, &example, "we are in 2024", None);
     assert!(
         structurally_equal(&fixed.query, &example.gold),
         "reverse order failed: {}",
@@ -130,7 +130,7 @@ fn asking_again_resets_the_round_counter() {
     let (corpus, example, llm) = two_error_setup();
     let db = &corpus.databases[0];
     let assistant = Assistant {
-        llm,
+        llm: llm.clone(),
         store: DemoStore::new(vec![]),
         demos_k: 0,
     };
@@ -143,7 +143,7 @@ fn asking_again_resets_the_round_counter() {
         },
     );
     let a = session.ask(&example);
-    session.give_feedback(&example, "we are in 2024", None);
+    session.give_feedback(&llm, &example, "we are in 2024", None);
     // Re-asking returns to the same deterministic initial answer.
     let b = session.ask(&example);
     assert_eq!(
@@ -157,13 +157,13 @@ fn query_rewrite_session_changes_question_across_rounds() {
     let (corpus, example, llm) = two_error_setup();
     let db = &corpus.databases[0];
     let assistant = Assistant {
-        llm,
+        llm: llm.clone(),
         store: DemoStore::new(vec![]),
         demos_k: 0,
     };
     let mut session = fisql_core::Session::new(db, assistant, Strategy::QueryRewrite);
     session.ask(&example);
-    let turn = session.give_feedback(&example, "we are in 2024", None);
+    let turn = session.give_feedback(&llm, &example, "we are in 2024", None);
     // The rewrite prompt records the merged question.
     assert!(turn.prompt.contains("we are in 2024"), "{}", turn.prompt);
 }

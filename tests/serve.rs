@@ -1,0 +1,283 @@
+//! Integration tests for `fisql serve`: concurrent session capacity,
+//! admission backpressure, journal-backed restart replay, and graceful
+//! shutdown — all against a real daemon on a real socket.
+
+use fisql_core::serve::{
+    run_load, Connected, ServeClient, ServeSummary, Server, ServerHandle, SessionStore,
+};
+use fisql_core::{LoadConfig, ServeConfig, SessionEvent};
+use fisql_spider::{build_aep, AepConfig};
+use std::sync::{Arc, Barrier};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A small, fast serving configuration on an ephemeral port.
+fn test_config() -> ServeConfig {
+    ServeConfig::default().port(0).n_examples(24)
+}
+
+/// Boots a daemon and returns its address, shutdown handle, and the
+/// thread that will yield the final summary.
+fn boot(config: ServeConfig) -> (String, ServerHandle, JoinHandle<ServeSummary>) {
+    let server = Server::bind(config).expect("bind");
+    let handle = server.handle().expect("handle");
+    let addr = handle.addr().to_string();
+    let thread = std::thread::spawn(move || server.serve().expect("serve loop"));
+    (addr, handle, thread)
+}
+
+fn stop(handle: &ServerHandle, thread: JoinHandle<ServeSummary>) -> ServeSummary {
+    handle.shutdown();
+    thread.join().expect("server thread")
+}
+
+fn admitted(connected: Connected) -> ServeClient {
+    match connected {
+        Connected::Admitted(client) => client,
+        Connected::Rejected { reason, .. } => panic!("rejected: {reason}"),
+        Connected::ShuttingDown => panic!("daemon shutting down"),
+    }
+}
+
+#[test]
+fn thirty_two_truly_concurrent_sessions_are_sustained() {
+    let config = test_config().max_sessions(32);
+    let seed = config.seed;
+    let n_examples = config.n_examples;
+    let (addr, handle, thread) = boot(config);
+    let corpus = build_aep(&AepConfig { n_examples, seed });
+
+    // 32 clients connect and ALL hold their sessions open at once
+    // (barrier), then each runs a full ask+feedback round.
+    let barrier = Arc::new(Barrier::new(32));
+    let clients: Vec<_> = (0..32usize)
+        .map(|i| {
+            let addr = addr.clone();
+            let question = corpus.examples[i % corpus.examples.len()].question.clone();
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let mut client = admitted(
+                    ServeClient::connect_retry(addr.as_str(), None, Duration::from_secs(10))
+                        .expect("connect"),
+                );
+                // Everyone is admitted concurrently before anyone works.
+                barrier.wait();
+                let turn = client.ask(&question).expect("ask");
+                assert!(!turn.sql.is_empty());
+                let turn = client.feedback("we are in 2024", None).expect("feedback");
+                assert_eq!(turn.round, 1);
+                client.bye().expect("bye")
+            })
+        })
+        .collect();
+    for client in clients {
+        assert_eq!(client.join().expect("client thread"), 1);
+    }
+
+    let summary = stop(&handle, thread);
+    assert_eq!(summary.sessions_opened, 32);
+    assert_eq!(
+        summary.admission.peak_active, 32,
+        "all 32 held slots at once"
+    );
+    assert_eq!(summary.admission.rejected(), 0);
+    assert_eq!(summary.rounds_served, 32);
+    assert_eq!(summary.contained_panics, 0);
+}
+
+#[test]
+fn admission_rejects_beyond_cap_without_crash_or_hang() {
+    // Two slots, no queue: the third concurrent connection must be
+    // rejected immediately — and the daemon must keep serving afterwards.
+    let config = test_config().max_sessions(2).queue_depth(0);
+    let (addr, handle, thread) = boot(config);
+
+    let a =
+        admitted(ServeClient::connect_retry(addr.as_str(), None, Duration::from_secs(10)).unwrap());
+    let b = admitted(ServeClient::connect(addr.as_str(), None).unwrap());
+    match ServeClient::connect(addr.as_str(), None).unwrap() {
+        Connected::Rejected { reason, active, .. } => {
+            assert_eq!(active, 2);
+            assert!(reason.contains("capacity"), "{reason}");
+        }
+        Connected::Admitted(_) => panic!("third session must be rejected"),
+        Connected::ShuttingDown => panic!("daemon is not shutting down"),
+    }
+
+    // Free the slots; the daemon still serves new sessions.
+    drop(a);
+    drop(b);
+    let mut retries = 0;
+    let c = loop {
+        match ServeClient::connect(addr.as_str(), None).unwrap() {
+            Connected::Admitted(client) => break client,
+            _ if retries < 100 => {
+                retries += 1;
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            other => {
+                let _ = other;
+                panic!("slots never freed after clients dropped");
+            }
+        }
+    };
+    assert_eq!(c.bye().expect("bye"), 0);
+
+    let summary = stop(&handle, thread);
+    assert!(summary.admission.rejected_full >= 1);
+    assert_eq!(summary.admission.peak_active, 2);
+}
+
+#[test]
+fn scripted_load_completes_against_a_capped_daemon() {
+    let config = test_config().max_sessions(8);
+    let seed = config.seed;
+    let n_examples = config.n_examples;
+    let (addr, handle, thread) = boot(config);
+
+    let load = LoadConfig {
+        addr,
+        sessions: 40,
+        concurrency: 16,
+        max_rounds: 2,
+        corpus_seed: seed,
+        n_examples,
+        ..LoadConfig::default()
+    };
+    let report = run_load(&load).expect("load");
+    // Queued admission (depth 16, 5 s budget) absorbs the overshoot:
+    // every scripted session completes, none fail.
+    assert_eq!(report.sessions_completed, 40);
+    assert_eq!(report.sessions_failed, 0);
+    assert!(report.rounds >= 40);
+    assert!(report.latencies_us.len() >= 80);
+
+    let summary = stop(&handle, thread);
+    assert_eq!(summary.sessions_opened, 40);
+    assert!(summary.admission.peak_active <= 8);
+}
+
+#[test]
+fn restart_replays_journaled_sessions_bit_identically() {
+    let dir = std::env::temp_dir().join(format!("fisql-serve-replay-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let store = dir.join("sessions.fjnl");
+    std::fs::remove_file(&store).ok();
+
+    let config = test_config().store(&store);
+    let seed = config.seed;
+    let n_examples = config.n_examples;
+    let corpus = build_aep(&AepConfig { n_examples, seed });
+
+    // Run a session against the first daemon, then stop it WITHOUT the
+    // client saying Bye — as a crash/restart would.
+    let (addr, handle, thread) = boot(config.clone());
+    let (session_id, before) = {
+        let mut client = admitted(
+            ServeClient::connect_retry(addr.as_str(), None, Duration::from_secs(10)).unwrap(),
+        );
+        client.ask(&corpus.examples[1].question).unwrap();
+        client.feedback("we are in 2024", None).unwrap();
+        client
+            .feedback("only the january rows please", None)
+            .unwrap();
+        let transcript = client.transcript().unwrap();
+        (client.session_id, transcript)
+        // client drops here: connection closes, session stays journaled.
+    };
+    stop(&handle, thread);
+
+    // A fresh daemon on the same store reports the unclosed session and
+    // replays it bit-identically on resume.
+    let restarted = Server::bind(config).expect("rebind");
+    assert_eq!(restarted.recovered_sessions(), vec![session_id]);
+    let handle = restarted.handle().unwrap();
+    let addr = handle.addr().to_string();
+    let thread = std::thread::spawn(move || restarted.serve().expect("serve loop"));
+
+    let mut client = admitted(
+        ServeClient::connect_retry(addr.as_str(), Some(session_id), Duration::from_secs(10))
+            .unwrap(),
+    );
+    assert_eq!(client.session_id, session_id);
+    assert_eq!(client.replayed_rounds, 2);
+    let after = client.transcript().unwrap();
+    assert_eq!(after, before, "replayed transcript diverged");
+    assert_eq!(
+        serde_json::to_vec(&after).unwrap(),
+        serde_json::to_vec(&before).unwrap(),
+        "replayed transcript not bit-identical"
+    );
+    // The resumed session is live: another round works on top of it.
+    let turn = client
+        .feedback("count them instead of listing", None)
+        .unwrap();
+    assert_eq!(turn.round, 3);
+    client.bye().unwrap();
+
+    let summary = stop(&handle, thread);
+    assert_eq!(summary.sessions_resumed, 1);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn foreign_store_configuration_is_refused_at_bind() {
+    let dir = std::env::temp_dir().join(format!("fisql-serve-foreign-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let store = dir.join("sessions.fjnl");
+    std::fs::remove_file(&store).ok();
+
+    let config = test_config().store(&store);
+    let (_, handle, thread) = boot(config.clone());
+    stop(&handle, thread);
+
+    // A different corpus seed changes the replay fingerprint: binding
+    // over the old store must refuse, not silently replay wrong.
+    let err = Server::bind(config.seed(0xD1FF))
+        .err()
+        .expect("must refuse");
+    assert!(err.to_string().contains("fingerprint"), "{err}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn shutdown_request_drains_the_daemon_gracefully() {
+    let (addr, _handle, thread) = boot(test_config());
+    // An open session sees the drain notice instead of a dead socket.
+    let mut client =
+        admitted(ServeClient::connect_retry(addr.as_str(), None, Duration::from_secs(10)).unwrap());
+    assert!(fisql_core::serve::request_shutdown(addr.as_str()).expect("shutdown"));
+    let summary = thread.join().expect("server thread");
+    assert_eq!(summary.sessions_opened, 1);
+    // The daemon is gone: new connections fail or are drained.
+    assert!(matches!(
+        ServeClient::connect(addr.as_str(), None),
+        Err(_) | Ok(Connected::ShuttingDown) | Ok(Connected::Rejected { .. })
+    ));
+    // The held client's next request surfaces the drain (ShuttingDown
+    // frame or closed socket), never a hang.
+    let _ = client.request(&fisql_core::serve::ClientRequest::Transcript);
+}
+
+#[test]
+fn session_store_marker_separates_stores_from_eval_journals() {
+    // A serve session store can never be opened as an eval journal: the
+    // header's case-count slot is pinned to the marker.
+    let dir = std::env::temp_dir().join(format!("fisql-serve-marker-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("sessions.fjnl");
+    std::fs::remove_file(&path).ok();
+    let store = SessionStore::open(Some(&path), 7, fisql_core::FsyncPolicy::EachRecord).unwrap();
+    store.open_session().unwrap();
+    store.sync().unwrap();
+    drop(store);
+    let err = fisql_core::RunJournal::open_resume::<SessionEvent>(
+        &path,
+        7,
+        10, // a real case count, not the marker
+        fisql_core::FsyncPolicy::Never,
+    )
+    .expect_err("eval open over a session store must refuse");
+    assert!(err.to_string().contains("case"), "{err}");
+    std::fs::remove_dir_all(&dir).ok();
+}
