@@ -8,12 +8,15 @@
 //! admission counters; the over-cap level demonstrates backpressure
 //! (queued admissions, zero failures). A final pair of runs asserts the
 //! load digest is identical across repetitions — per-session transcripts
-//! are deterministic regardless of scheduling. Emits `BENCH_serve.json`;
+//! are deterministic regardless of scheduling. A final survivability
+//! level mixes seeded chaos clients (slowloris, torn frames, stalls)
+//! into the scripted load on a compacting, idle-reaping daemon and
+//! reports the reap and compaction counters. Emits `BENCH_serve.json`;
 //! CI uploads it as a workflow artifact.
 //!
 //! Run: `cargo run --release -p fisql-bench --bin bench_serve`
 
-use fisql_core::serve::{run_load, Server};
+use fisql_core::serve::{run_chaos, run_load, ChaosConfig, Server};
 use fisql_core::{LoadConfig, ServeConfig};
 
 const MAX_SESSIONS: usize = 32;
@@ -75,6 +78,9 @@ fn main() {
             "latency_p99_us": report.latency_percentile_us(99.0),
             "admitted_queued": queued,
             "peak_active": summary.admission.peak_active,
+            "reaped": summary.admission.reaped,
+            "degraded": summary.sessions_degraded,
+            "compactions": summary.store.compactions,
             "digest": format!("{:#018x}", report.digest),
         }));
     }
@@ -92,6 +98,64 @@ fn main() {
         a.digest
     );
 
+    // Survivability level: scripted load with seeded chaos clients on a
+    // compacting, idle-reaping daemon. The scripted sessions must all
+    // complete and the chaos slots must all come back.
+    let chaos_serve = serve_config
+        .clone()
+        .idle_timeout_ms(400)
+        .compact_every(8)
+        .store(std::env::temp_dir().join(format!("fisql-bench-chaos-{}.fjnl", std::process::id())));
+    let server = Server::bind(chaos_serve.clone()).expect("bind chaos level");
+    let handle = server.handle().expect("handle");
+    let addr = handle.addr().to_string();
+    let thread = std::thread::spawn(move || server.serve().expect("serve loop"));
+    let chaos_addr = addr.clone();
+    let chaos_thread = std::thread::spawn(move || {
+        run_chaos(&ChaosConfig {
+            addr: chaos_addr,
+            clients: 12,
+            seed: 0xC4A05,
+            byte_pause_ms: 25,
+            read_deadline_ms: 30_000,
+            connect_retry_ms: 15_000,
+            ..ChaosConfig::default()
+        })
+        .expect("chaos run")
+    });
+    let report = run_load(&LoadConfig {
+        addr,
+        sessions: 2 * MAX_SESSIONS,
+        concurrency: 16,
+        max_rounds: 2,
+        seed: 0x10AD,
+        corpus_seed: serve_config.seed,
+        n_examples: serve_config.n_examples,
+        ..LoadConfig::default()
+    })
+    .expect("load under chaos");
+    let chaos_report = chaos_thread.join().expect("chaos thread");
+    handle.shutdown();
+    let summary = thread.join().expect("server thread");
+    if let Some(path) = &chaos_serve.store {
+        std::fs::remove_file(path).ok();
+    }
+    assert_eq!(
+        report.sessions_failed, 0,
+        "chaos must not fail healthy sessions"
+    );
+    assert_eq!(chaos_report.failed, 0, "chaos clients must all resolve");
+    assert_eq!(summary.final_active, 0, "every chaos slot must return");
+    println!(
+        "\nchaos level: {} healthy session(s) completed beside {} attacker(s) — \
+         {} reaped, {} compaction(s), {} slot(s) leaked",
+        report.sessions_completed,
+        chaos_report.clients,
+        summary.admission.reaped,
+        summary.store.compactions,
+        summary.final_active,
+    );
+
     let json = serde_json::json!({
         "max_sessions": MAX_SESSIONS,
         "queue_depth": 64,
@@ -99,6 +163,21 @@ fn main() {
         "n_examples": serve_config.n_examples,
         "levels": rows,
         "digest_stable_across_runs": true,
+        "chaos": {
+            "clients": chaos_report.clients,
+            "admitted": chaos_report.admitted,
+            "reaped_observed": chaos_report.reaped,
+            "refused": chaos_report.refused,
+            "disconnected": chaos_report.disconnected,
+            "served": chaos_report.served,
+            "reaped": summary.admission.reaped,
+            "degraded": summary.sessions_degraded,
+            "compactions": summary.store.compactions,
+            "store_generation": summary.store.generation,
+            "healthy_sessions": report.sessions_completed,
+            "healthy_digest": format!("{:#018x}", report.digest),
+            "final_active": summary.final_active,
+        },
     });
     let out = "BENCH_serve.json";
     std::fs::write(out, json.to_string()).expect("write BENCH_serve.json");

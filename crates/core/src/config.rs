@@ -196,6 +196,16 @@ pub struct ServeConfig {
     pub store: Option<PathBuf>,
     /// Session-store fsync policy.
     pub fsync: FsyncPolicy,
+    /// Idle-session reaping: a connection silent for this long has its
+    /// slot reclaimed (journaled `Reaped`, typed close frame). 0
+    /// disables the reaper.
+    pub idle_timeout_ms: u64,
+    /// Auto-compact the session store after this many closed/reaped
+    /// sessions (0 = only on explicit `Compact` requests).
+    pub compact_every: u64,
+    /// Deterministic disk-fault injection rate in `[0, 1]` on the
+    /// session store's append and fsync lanes (chaos serving).
+    pub disk_fault_rate: f64,
     /// Feedback-incorporation strategy for hosted sessions.
     pub strategy: Strategy,
     /// Injected backend fault rate in `[0, 1]` (chaos serving).
@@ -220,6 +230,9 @@ impl Default for ServeConfig {
             queue_wait_ms: 5_000,
             store: None,
             fsync: FsyncPolicy::default(),
+            idle_timeout_ms: 0,
+            compact_every: 0,
+            disk_fault_rate: 0.0,
             strategy: Strategy::Fisql {
                 routing: true,
                 highlighting: false,
@@ -244,6 +257,12 @@ impl ServeConfig {
             queue_wait_ms: flag_value(args, "--queue-wait-ms")?.unwrap_or(defaults.queue_wait_ms),
             store: flag_value::<String>(args, "--store")?.map(PathBuf::from),
             fsync: flag_value(args, "--fsync")?.unwrap_or_default(),
+            idle_timeout_ms: flag_value(args, "--idle-timeout")?.unwrap_or(0),
+            compact_every: flag_value(args, "--compact-every")?.unwrap_or(0),
+            disk_fault_rate: match flag_value(args, "--disk-fault-rate")? {
+                Some(rate) => rate,
+                None => crate::serve::DiskFaultConfig::from_env().map_or(0.0, |c| c.append_rate),
+            },
             strategy: flag_value(args, "--strategy")?.unwrap_or(defaults.strategy),
             fault_rate: flag_value(args, "--fault-rate")?.unwrap_or(0.0),
             retry_budget: flag_value(args, "--retry-budget")?.unwrap_or(defaults.retry_budget),
@@ -257,6 +276,7 @@ impl ServeConfig {
     /// Checks cross-field invariants.
     pub fn validate(&self) -> Result<(), ConfigError> {
         check_rate(self.fault_rate, "--fault-rate")?;
+        check_rate(self.disk_fault_rate, "--disk-fault-rate")?;
         if self.max_sessions == 0 {
             return Err(ConfigError("--max-sessions must be at least 1".into()));
         }
@@ -328,6 +348,24 @@ impl ServeConfig {
     /// Builder: sets the session-store fsync policy.
     pub fn fsync(mut self, policy: FsyncPolicy) -> Self {
         self.fsync = policy;
+        self
+    }
+
+    /// Builder: sets the idle-session reap timeout (0 disables).
+    pub fn idle_timeout_ms(mut self, ms: u64) -> Self {
+        self.idle_timeout_ms = ms;
+        self
+    }
+
+    /// Builder: sets the auto-compaction cadence (0 disables).
+    pub fn compact_every(mut self, closed_sessions: u64) -> Self {
+        self.compact_every = closed_sessions;
+        self
+    }
+
+    /// Builder: sets the disk-fault injection rate.
+    pub fn disk_fault_rate(mut self, rate: f64) -> Self {
+        self.disk_fault_rate = rate;
         self
     }
 
@@ -495,15 +533,37 @@ mod tests {
             a.fingerprint(),
             b.clone().strategy(Strategy::SearchRefine).fingerprint()
         );
-        // The transport knobs do not: replay is transport-independent.
+        // The transport and survivability knobs do not: replay is
+        // transport-independent, and reaping/compaction/disk faults
+        // change durability, never transcript content.
         assert_eq!(
             a.fingerprint(),
             b.clone()
                 .port(0)
                 .max_sessions(4)
                 .queue_depth(1)
+                .idle_timeout_ms(250)
+                .compact_every(4)
+                .disk_fault_rate(0.3)
                 .fingerprint()
         );
+    }
+
+    #[test]
+    fn serve_config_parses_the_survivability_flags() {
+        let config = ServeConfig::from_args(&args(&[
+            "--idle-timeout",
+            "750",
+            "--compact-every",
+            "8",
+            "--disk-fault-rate",
+            "0.1",
+        ]))
+        .unwrap();
+        assert_eq!(config.idle_timeout_ms, 750);
+        assert_eq!(config.compact_every, 8);
+        assert!((config.disk_fault_rate - 0.1).abs() < 1e-12);
+        assert!(ServeConfig::from_args(&args(&["--disk-fault-rate", "1.5"])).is_err());
     }
 
     #[test]

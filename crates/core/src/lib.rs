@@ -58,7 +58,8 @@ pub use runner::{
     RunMetrics,
 };
 pub use serve::{
-    run_load, ClientTurn, Connected, LoadReport, ServeClient, ServeSummary, Server, ServerHandle,
-    SessionStore,
+    run_chaos, run_load, ChaosBehavior, ChaosConfig, ChaosReport, ClientTurn, Connected,
+    LoadReport, ServeClient, ServeSummary, Server, ServerHandle, ServerStats, SessionStore,
+    StoreOptions,
 };
 pub use session::{render_events, Session, SessionEvent};

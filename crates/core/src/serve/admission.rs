@@ -7,10 +7,19 @@
 //! immediately** with a typed backpressure response — the daemon sheds
 //! load instead of crashing or hanging under it.
 //!
+//! Queueing is **FIFO by ticket**: each waiter takes a monotonically
+//! increasing ticket and slots are granted strictly in ticket order. A
+//! fresh arrival never barges past a queued waiter — while anyone is
+//! queued, newcomers queue behind them (or are rejected when the queue
+//! is full), so a slot freed under contention always goes to the
+//! longest-waiting connection.
+//!
 //! A granted [`Permit`] is RAII: dropping it (on any path out of the
 //! connection handler, including a contained panic) frees the slot and
-//! wakes one queued waiter.
+//! wakes the queue.
 
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -39,12 +48,15 @@ pub struct AdmissionStats {
     pub rejected_timeout: AtomicU64,
     /// Rejections because the gate was closed (shutdown).
     pub rejected_closed: AtomicU64,
+    /// Sessions whose slot was reclaimed by the idle reaper.
+    pub reaped: AtomicU64,
     /// Highest concurrent-session count observed.
     pub peak_active: AtomicU64,
 }
 
-/// A snapshot of [`AdmissionStats`] counter values.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+/// A snapshot of [`AdmissionStats`] counter values (serde-serializable,
+/// so the `Stats` admin request can carry it over the wire).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct AdmissionSnapshot {
     /// Admissions granted without queueing.
     pub admitted_direct: u64,
@@ -56,6 +68,8 @@ pub struct AdmissionSnapshot {
     pub rejected_timeout: u64,
     /// Rejections because the gate was closed (shutdown).
     pub rejected_closed: u64,
+    /// Sessions whose slot was reclaimed by the idle reaper.
+    pub reaped: u64,
     /// Highest concurrent-session count observed.
     pub peak_active: u64,
 }
@@ -75,7 +89,9 @@ impl AdmissionSnapshot {
 #[derive(Debug)]
 struct GateState {
     active: usize,
-    waiting: usize,
+    /// Waiting tickets, front = next to be served.
+    queue: VecDeque<u64>,
+    next_ticket: u64,
 }
 
 /// The admission gate (see the module docs).
@@ -129,7 +145,8 @@ impl AdmissionGate {
             config,
             state: Mutex::new(GateState {
                 active: 0,
-                waiting: 0,
+                queue: VecDeque::new(),
+                next_ticket: 0,
             }),
             freed: Condvar::new(),
             closed: AtomicBool::new(false),
@@ -138,14 +155,16 @@ impl AdmissionGate {
     }
 
     /// Requests a session slot: granted immediately, granted after a
-    /// bounded queue wait, or rejected.
+    /// bounded FIFO queue wait, or rejected.
     pub fn admit(self: &Arc<Self>) -> Result<Permit, Rejection> {
         if self.closed.load(Ordering::Acquire) {
             self.stats.rejected_closed.fetch_add(1, Ordering::Relaxed);
             return Err(Rejection::Closed);
         }
         let mut state = self.lock_state();
-        if state.active < self.config.max_sessions {
+        // Direct admission only when nobody is queued ahead — a slot
+        // freed under contention always goes to the oldest waiter.
+        if state.active < self.config.max_sessions && state.queue.is_empty() {
             state.active += 1;
             self.note_active(state.active);
             self.stats.admitted_direct.fetch_add(1, Ordering::Relaxed);
@@ -153,29 +172,34 @@ impl AdmissionGate {
                 gate: Arc::clone(self),
             });
         }
-        if state.waiting >= self.config.queue_depth {
+        if state.queue.len() >= self.config.queue_depth {
             let rejection = Rejection::QueueFull {
                 active: state.active,
-                queued: state.waiting,
+                queued: state.queue.len(),
             };
             drop(state);
             self.stats.rejected_full.fetch_add(1, Ordering::Relaxed);
             return Err(rejection);
         }
-        state.waiting += 1;
+        let ticket = state.next_ticket;
+        state.next_ticket += 1;
+        state.queue.push_back(ticket);
         let deadline = Instant::now() + Duration::from_millis(self.config.queue_wait_ms);
         loop {
             if self.closed.load(Ordering::Acquire) {
-                state.waiting -= 1;
+                state.queue.retain(|t| *t != ticket);
                 drop(state);
                 self.stats.rejected_closed.fetch_add(1, Ordering::Relaxed);
                 return Err(Rejection::Closed);
             }
-            if state.active < self.config.max_sessions {
+            if state.queue.front() == Some(&ticket) && state.active < self.config.max_sessions {
+                state.queue.pop_front();
                 state.active += 1;
-                state.waiting -= 1;
                 self.note_active(state.active);
                 self.stats.admitted_queued.fetch_add(1, Ordering::Relaxed);
+                // The next ticket may also be admissible (several slots
+                // freed at once): pass the wakeup along.
+                self.freed.notify_all();
                 return Ok(Permit {
                     gate: Arc::clone(self),
                 });
@@ -183,9 +207,12 @@ impl AdmissionGate {
             let now = Instant::now();
             if now >= deadline {
                 let active = state.active;
-                state.waiting -= 1;
+                state.queue.retain(|t| *t != ticket);
                 drop(state);
                 self.stats.rejected_timeout.fetch_add(1, Ordering::Relaxed);
+                // A timed-out head of queue may have been blocking a
+                // later admissible ticket.
+                self.freed.notify_all();
                 return Err(Rejection::WaitExpired { active });
             }
             let (next, _timeout) = self
@@ -209,6 +236,17 @@ impl AdmissionGate {
         self.lock_state().active
     }
 
+    /// Connections currently queued for a slot.
+    pub fn waiting(&self) -> usize {
+        self.lock_state().queue.len()
+    }
+
+    /// Records one idle-reaped session (the permit itself returns via
+    /// its normal RAII drop; this only counts the event).
+    pub fn note_reaped(&self) {
+        self.stats.reaped.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Snapshot of the cumulative counters.
     pub fn snapshot(&self) -> AdmissionSnapshot {
         AdmissionSnapshot {
@@ -217,6 +255,7 @@ impl AdmissionGate {
             rejected_full: self.stats.rejected_full.load(Ordering::Relaxed),
             rejected_timeout: self.stats.rejected_timeout.load(Ordering::Relaxed),
             rejected_closed: self.stats.rejected_closed.load(Ordering::Relaxed),
+            reaped: self.stats.reaped.load(Ordering::Relaxed),
             peak_active: self.stats.peak_active.load(Ordering::Relaxed),
         }
     }
@@ -234,7 +273,7 @@ impl AdmissionGate {
     }
 }
 
-/// A held session slot; dropping it frees the slot and wakes a waiter.
+/// A held session slot; dropping it frees the slot and wakes the queue.
 #[derive(Debug)]
 pub struct Permit {
     gate: Arc<AdmissionGate>,
@@ -245,7 +284,10 @@ impl Drop for Permit {
         let mut state = self.gate.lock_state();
         state.active = state.active.saturating_sub(1);
         drop(state);
-        self.gate.freed.notify_one();
+        // notify_all, not notify_one: only the head ticket may take the
+        // slot, and the head is whichever waiter holds it — everyone
+        // re-checks, exactly one admits.
+        self.gate.freed.notify_all();
     }
 }
 
@@ -262,6 +304,21 @@ mod tests {
         })
     }
 
+    /// Spawns a waiter and blocks until it is actually queued.
+    fn spawn_queued(
+        gate: &Arc<AdmissionGate>,
+        expect_queued: usize,
+    ) -> thread::JoinHandle<Result<Permit, Rejection>> {
+        let g = Arc::clone(gate);
+        let handle = thread::spawn(move || g.admit());
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while gate.waiting() < expect_queued {
+            assert!(Instant::now() < deadline, "waiter never queued");
+            thread::sleep(Duration::from_millis(2));
+        }
+        handle
+    }
+
     #[test]
     fn admits_up_to_cap_then_rejects_past_queue() {
         let gate = gate(2, 1, 50);
@@ -269,10 +326,7 @@ mod tests {
         let p2 = gate.admit().unwrap();
         assert_eq!(gate.active(), 2);
         // Queue slot: a waiter that times out.
-        let g = Arc::clone(&gate);
-        let waiter = thread::spawn(move || g.admit());
-        // Let the waiter enqueue, then overflow the queue.
-        thread::sleep(Duration::from_millis(10));
+        let waiter = spawn_queued(&gate, 1);
         match gate.admit() {
             Err(Rejection::QueueFull { active, queued }) => {
                 assert_eq!(active, 2);
@@ -296,26 +350,128 @@ mod tests {
     fn queued_waiter_gets_the_freed_slot() {
         let gate = gate(1, 4, 5_000);
         let permit = gate.admit().unwrap();
-        let g = Arc::clone(&gate);
-        let waiter = thread::spawn(move || g.admit().map(drop));
-        thread::sleep(Duration::from_millis(20));
+        let waiter = spawn_queued(&gate, 1);
         drop(permit);
-        waiter.join().unwrap().unwrap();
+        drop(waiter.join().unwrap().unwrap());
         let snap = gate.snapshot();
         assert_eq!(snap.admitted_queued, 1);
         assert_eq!(snap.rejected(), 0);
     }
 
     #[test]
+    fn queued_waiters_are_served_in_fifo_order() {
+        // One slot, four waiters enqueued in a known order (each is
+        // observed in the queue before the next spawns). Slots must be
+        // granted in exactly that order — ticket FIFO, no barging.
+        let gate = gate(1, 8, 30_000);
+        let first = gate.admit().unwrap();
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let waiters: Vec<_> = (0..4usize)
+            .map(|i| {
+                let g = Arc::clone(&gate);
+                let order = Arc::clone(&order);
+                let handle = thread::spawn(move || {
+                    let permit = g.admit().expect("queued waiter admitted");
+                    order.lock().unwrap().push(i);
+                    // Hold briefly so the next grant is observably later.
+                    thread::sleep(Duration::from_millis(5));
+                    drop(permit);
+                });
+                let deadline = Instant::now() + Duration::from_secs(10);
+                while gate.waiting() < i + 1 {
+                    assert!(Instant::now() < deadline, "waiter {i} never queued");
+                    thread::sleep(Duration::from_millis(2));
+                }
+                handle
+            })
+            .collect();
+        // A newcomer while the queue is non-empty must not barge even
+        // though... the cap is full anyway; it joins the back.
+        drop(first);
+        for w in waiters {
+            w.join().unwrap();
+        }
+        assert_eq!(*order.lock().unwrap(), vec![0, 1, 2, 3], "not FIFO");
+        assert_eq!(gate.snapshot().admitted_queued, 4);
+    }
+
+    #[test]
+    fn no_barging_while_the_queue_is_occupied() {
+        // Slot free-able, one queued waiter: a newcomer must queue
+        // behind it, not snatch the freed slot.
+        let gate = gate(1, 8, 30_000);
+        let holder = gate.admit().unwrap();
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let spawn_recorder = |tag: u32, expect_queued: usize| {
+            let g = Arc::clone(&gate);
+            let order = Arc::clone(&order);
+            let handle = thread::spawn(move || {
+                let permit = g.admit().expect("admitted");
+                order.lock().unwrap().push(tag);
+                thread::sleep(Duration::from_millis(5));
+                drop(permit);
+            });
+            let deadline = Instant::now() + Duration::from_secs(10);
+            while gate.waiting() < expect_queued {
+                assert!(Instant::now() < deadline, "waiter {tag} never queued");
+                thread::sleep(Duration::from_millis(2));
+            }
+            handle
+        };
+        let early = spawn_recorder(1, 1);
+        let late = spawn_recorder(2, 2);
+        drop(holder);
+        early.join().unwrap();
+        late.join().unwrap();
+        assert_eq!(*order.lock().unwrap(), vec![1, 2], "newcomer barged");
+    }
+
+    #[test]
+    fn rejected_timeout_accounting_is_exact_under_contention() {
+        // One slot held for the whole test; K waiters queue and ALL must
+        // time out — rejected_timeout == K exactly, no double counts,
+        // and the queue is empty afterwards.
+        const K: usize = 6;
+        let gate = gate(1, K, 120);
+        let _holder = gate.admit().unwrap();
+        let waiters: Vec<_> = (0..K)
+            .map(|i| {
+                let handle = {
+                    let g = Arc::clone(&gate);
+                    thread::spawn(move || g.admit())
+                };
+                let deadline = Instant::now() + Duration::from_secs(10);
+                while gate.waiting() < i + 1 {
+                    assert!(Instant::now() < deadline, "waiter never queued");
+                    thread::sleep(Duration::from_millis(2));
+                }
+                handle
+            })
+            .collect();
+        // Queue is at depth: one more arrival is a full rejection.
+        assert!(matches!(gate.admit(), Err(Rejection::QueueFull { .. })));
+        for w in waiters {
+            assert!(matches!(
+                w.join().unwrap(),
+                Err(Rejection::WaitExpired { active: 1 })
+            ));
+        }
+        let snap = gate.snapshot();
+        assert_eq!(snap.rejected_timeout, K as u64, "exact timeout count");
+        assert_eq!(snap.rejected_full, 1);
+        assert_eq!(snap.admitted_queued, 0);
+        assert_eq!(gate.waiting(), 0, "timed-out tickets must leave the queue");
+    }
+
+    #[test]
     fn close_rejects_waiters_and_newcomers() {
         let gate = gate(1, 4, 5_000);
         let _permit = gate.admit().unwrap();
-        let g = Arc::clone(&gate);
-        let waiter = thread::spawn(move || g.admit().map(|_| ()));
-        thread::sleep(Duration::from_millis(20));
+        let waiter = spawn_queued(&gate, 1);
         gate.close();
         assert!(matches!(waiter.join().unwrap(), Err(Rejection::Closed)));
         assert!(matches!(gate.admit(), Err(Rejection::Closed)));
+        assert_eq!(gate.waiting(), 0);
     }
 
     #[test]
@@ -329,5 +485,17 @@ mod tests {
         .join();
         assert_eq!(gate.active(), 0, "panicked holder must free its slot");
         gate.admit().unwrap();
+    }
+
+    #[test]
+    fn reap_counter_is_independent_of_the_permit_lifecycle() {
+        let gate = gate(2, 0, 10);
+        let p = gate.admit().unwrap();
+        gate.note_reaped();
+        drop(p);
+        let snap = gate.snapshot();
+        assert_eq!(snap.reaped, 1);
+        assert_eq!(snap.admitted(), 1);
+        assert_eq!(gate.active(), 0);
     }
 }

@@ -7,12 +7,24 @@
 //! tests, and the `fisql load` CLI all drive the daemon through this
 //! one client.
 
-use super::protocol::{read_frame, write_frame, ClientRequest, ServerResponse, PROTOCOL_VERSION};
+use super::protocol::{
+    read_frame_deadline, write_frame, ClientRequest, ServerResponse, ServerStats, PROTOCOL_VERSION,
+};
+use super::store::CompactionOutcome;
 use crate::session::SessionEvent;
 use fisql_sqlkit::Span;
 use std::io;
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::{Duration, Instant};
+
+/// Socket poll tick under the client's read deadline: reads wake this
+/// often to check the deadline clock.
+const CLIENT_POLL: Duration = Duration::from_millis(100);
+
+/// Default bound on waiting for one server response. A dead or wedged
+/// daemon surfaces as a timeout error instead of hanging `fisql load`
+/// (or a test) forever.
+pub const DEFAULT_READ_DEADLINE: Duration = Duration::from_secs(30);
 
 /// How a connection attempt resolved at the protocol level.
 pub enum Connected {
@@ -34,6 +46,8 @@ pub enum Connected {
 /// One open client session (see the module docs).
 pub struct ServeClient {
     stream: TcpStream,
+    /// Longest this client waits for one server response.
+    read_deadline: Duration,
     /// The id the server journals this session under.
     pub session_id: u64,
     /// Feedback rounds replayed from the store at handshake (0 for a
@@ -86,7 +100,11 @@ impl ServeClient {
     }
 
     fn handshake(mut stream: TcpStream, resume: Option<u64>) -> io::Result<Connected> {
-        stream.set_nodelay(true).ok();
+        // Socket setup errors are propagated, not swallowed: a client
+        // whose poll timeout could not be armed would hang forever on a
+        // dead daemon, which is exactly what the read deadline exists to
+        // prevent.
+        prepare_stream(&mut stream)?;
         write_frame(
             &mut stream,
             &ClientRequest::Hello {
@@ -94,12 +112,13 @@ impl ServeClient {
                 resume,
             },
         )?;
-        match read_response(&mut stream)? {
+        match read_response(&mut stream, DEFAULT_READ_DEADLINE)? {
             ServerResponse::Welcome {
                 session_id,
                 replayed_rounds,
             } => Ok(Connected::Admitted(ServeClient {
                 stream,
+                read_deadline: DEFAULT_READ_DEADLINE,
                 session_id,
                 replayed_rounds,
             })),
@@ -118,10 +137,25 @@ impl ServeClient {
         }
     }
 
+    /// Bounds how long this client waits for one server response
+    /// (default [`DEFAULT_READ_DEADLINE`]).
+    pub fn set_read_deadline(&mut self, deadline: Duration) {
+        self.read_deadline = deadline;
+    }
+
     /// Sends one request and reads one response.
     pub fn request(&mut self, request: &ClientRequest) -> io::Result<ServerResponse> {
         write_frame(&mut self.stream, request)?;
-        read_response(&mut self.stream)
+        read_response(&mut self.stream, self.read_deadline)
+    }
+
+    /// Fetches the daemon's live statistics.
+    pub fn stats(&mut self) -> io::Result<ServerStats> {
+        match self.request(&ClientRequest::Stats)? {
+            ServerResponse::Stats(stats) => Ok(stats),
+            ServerResponse::Error { message } => Err(proto_err(message)),
+            other => Err(proto_err(format!("unexpected stats reply {other:?}"))),
+        }
     }
 
     /// Asks a question; returns the Assistant's turn.
@@ -160,6 +194,13 @@ impl ServeClient {
     }
 }
 
+/// Arms a freshly connected socket: no Nagle delay, and the poll tick
+/// the read deadline is checked against.
+fn prepare_stream(stream: &mut TcpStream) -> io::Result<()> {
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(CLIENT_POLL))
+}
+
 /// Asks a daemon to shut down gracefully (no session needed). `Ok(true)`
 /// means the daemon acknowledged; `Ok(false)` means it had already
 /// stopped listening.
@@ -169,16 +210,59 @@ pub fn request_shutdown<A: ToSocketAddrs>(addr: A) -> io::Result<bool> {
         Err(e) if e.kind() == io::ErrorKind::ConnectionRefused => return Ok(false),
         Err(e) => return Err(e),
     };
+    prepare_stream(&mut stream)?;
     write_frame(&mut stream, &ClientRequest::Shutdown)?;
-    match read_frame::<_, ServerResponse>(&mut stream)? {
+    let deadline = Instant::now() + DEFAULT_READ_DEADLINE;
+    match read_frame_deadline::<_, ServerResponse>(&mut stream, deadline, true)? {
         Some(ServerResponse::ShuttingDown) | None => Ok(true),
         Some(other) => Err(proto_err(format!("unexpected shutdown reply {other:?}"))),
     }
 }
 
-fn read_response(stream: &mut TcpStream) -> io::Result<ServerResponse> {
-    read_frame::<_, ServerResponse>(stream)?
-        .ok_or_else(|| proto_err("server closed the connection mid-conversation"))
+/// Fetches a daemon's live statistics without opening a session.
+pub fn request_stats<A: ToSocketAddrs>(addr: A) -> io::Result<ServerStats> {
+    let mut stream = TcpStream::connect(addr)?;
+    prepare_stream(&mut stream)?;
+    write_frame(&mut stream, &ClientRequest::Stats)?;
+    match read_response(&mut stream, DEFAULT_READ_DEADLINE)? {
+        ServerResponse::Stats(stats) => Ok(stats),
+        ServerResponse::Error { message } => Err(proto_err(message)),
+        other => Err(proto_err(format!("unexpected stats reply {other:?}"))),
+    }
+}
+
+/// Asks a daemon to compact its session store now (no session needed).
+pub fn request_compact<A: ToSocketAddrs>(addr: A) -> io::Result<CompactionOutcome> {
+    let mut stream = TcpStream::connect(addr)?;
+    prepare_stream(&mut stream)?;
+    write_frame(&mut stream, &ClientRequest::Compact)?;
+    match read_response(&mut stream, DEFAULT_READ_DEADLINE)? {
+        ServerResponse::Compacted {
+            generation,
+            ops_before,
+            ops_after,
+            sessions_dropped,
+        } => Ok(CompactionOutcome {
+            generation,
+            ops_before,
+            ops_after,
+            sessions_dropped,
+        }),
+        ServerResponse::Error { message } => Err(proto_err(message)),
+        other => Err(proto_err(format!("unexpected compact reply {other:?}"))),
+    }
+}
+
+fn read_response(stream: &mut TcpStream, read_deadline: Duration) -> io::Result<ServerResponse> {
+    let deadline = Instant::now() + read_deadline;
+    match read_frame_deadline::<_, ServerResponse>(stream, deadline, true)? {
+        Some(ServerResponse::Reaped { reason, .. }) => Err(io::Error::new(
+            io::ErrorKind::ConnectionReset,
+            format!("session reaped by the daemon: {reason}"),
+        )),
+        Some(response) => Ok(response),
+        None => Err(proto_err("server closed the connection mid-conversation")),
+    }
 }
 
 fn expect_turn(response: ServerResponse) -> io::Result<ClientTurn> {

@@ -13,13 +13,18 @@
 //! deterministic, so the digest is stable across runs — the load-level
 //! determinism check the serve tests and CI assert on.
 
-use super::client::{Connected, ServeClient};
+use super::client::{request_stats, Connected, ServeClient};
+use super::protocol::{
+    read_frame_deadline, write_frame, ClientRequest, ServerResponse, ServerStats, MAX_FRAME_LEN,
+    PROTOCOL_VERSION,
+};
 use crate::config::LoadConfig;
 use crate::journal::Fnv64;
 use fisql_spider::{build_aep, AepConfig, Corpus};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::io;
+use std::io::{self, Write};
+use std::net::TcpStream;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -84,6 +89,9 @@ pub struct LoadReport {
     /// Order-insensitive digest over every completed session's
     /// transcript (see the module docs).
     pub digest: u64,
+    /// The daemon's live statistics, fetched at the end of the run
+    /// (`None` when the daemon was already gone).
+    pub stats: Option<ServerStats>,
 }
 
 impl LoadReport {
@@ -185,6 +193,10 @@ pub fn run_load(config: &LoadConfig) -> io::Result<LoadReport> {
         .unwrap_or_default();
     tally.latencies_us.sort_unstable();
 
+    // Live daemon statistics, fetched before any shutdown so the report
+    // reflects the run it drove (best-effort: a daemon that already
+    // drained yields `None`, not a failed load).
+    let stats = request_stats(&config.addr).ok();
     if config.shutdown {
         super::client::request_shutdown(&config.addr)?;
     }
@@ -197,6 +209,7 @@ pub fn run_load(config: &LoadConfig) -> io::Result<LoadReport> {
         latencies_us: tally.latencies_us,
         wall_ms,
         digest: tally.digest,
+        stats,
     })
 }
 
@@ -240,6 +253,307 @@ fn run_script(config: &LoadConfig, script: &SessionScript) -> io::Result<Option<
     done.digest = transcript_digest(&events);
     client.bye()?;
     Ok(Some(done))
+}
+
+// ---------------------------------------------------------------------
+// Network chaos harness
+// ---------------------------------------------------------------------
+
+/// One adversarial client behavior the chaos harness can play.
+///
+/// Every behavior completes a *legitimate* `Hello` handshake first (so
+/// it holds a real admission slot), then turns hostile — the harness
+/// exists to prove that misbehaving peers cost the daemon nothing but
+/// the slot they were granted, and that the slot always comes back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosBehavior {
+    /// Writes a valid request one byte at a time with a pause between
+    /// bytes — the classic slowloris. The daemon's idle clock only
+    /// resets on *completed* frames, so the trickle must still be
+    /// reaped.
+    Slowloris,
+    /// Writes half of a valid frame, then drops the connection.
+    MidFrameDisconnect,
+    /// Writes a length header claiming a frame larger than
+    /// [`MAX_FRAME_LEN`].
+    Oversized,
+    /// Writes a correctly framed payload of non-UTF-8 garbage.
+    Garbage,
+    /// Completes the handshake, then never sends another byte.
+    SilentStall,
+}
+
+/// All behaviors, in the order the seeded picker indexes them.
+pub const ALL_CHAOS_BEHAVIORS: &[ChaosBehavior] = &[
+    ChaosBehavior::Slowloris,
+    ChaosBehavior::MidFrameDisconnect,
+    ChaosBehavior::Oversized,
+    ChaosBehavior::Garbage,
+    ChaosBehavior::SilentStall,
+];
+
+/// Configuration for one chaos run.
+#[derive(Debug, Clone)]
+pub struct ChaosConfig {
+    /// Daemon address, `host:port`.
+    pub addr: String,
+    /// How many adversarial clients to run (one thread each).
+    pub clients: usize,
+    /// Seed for the per-client behavior picker and payload choices.
+    pub seed: u64,
+    /// Behaviors to draw from; defaults to [`ALL_CHAOS_BEHAVIORS`].
+    pub behaviors: Vec<ChaosBehavior>,
+    /// Pause between bytes for [`ChaosBehavior::Slowloris`].
+    pub byte_pause_ms: u64,
+    /// Longest any chaos client waits for one server frame. Bound this
+    /// above the daemon's idle timeout so stalls observe their reap.
+    pub read_deadline_ms: u64,
+    /// Budget for retrying refused TCP connects at startup.
+    pub connect_retry_ms: u64,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            addr: String::new(),
+            clients: 8,
+            seed: 0xC4A0,
+            behaviors: ALL_CHAOS_BEHAVIORS.to_vec(),
+            byte_pause_ms: 40,
+            read_deadline_ms: 10_000,
+            connect_retry_ms: 2_000,
+        }
+    }
+}
+
+/// How the chaos clients fared — every client lands in exactly one
+/// bucket besides `clients` and `admitted`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChaosReport {
+    /// Clients launched.
+    pub clients: u64,
+    /// Clients whose handshake was admitted (granted a slot).
+    pub admitted: u64,
+    /// Clients refused at the handshake (admission backpressure or an
+    /// unwritable store).
+    pub rejected: u64,
+    /// Clients that observed their own reap (a typed `Reaped` frame).
+    pub reaped: u64,
+    /// Hostile frames answered with a typed `Error` frame.
+    pub refused: u64,
+    /// Connections that ended with a raw socket drop (ours or the
+    /// daemon's) instead of a typed frame.
+    pub disconnected: u64,
+    /// Hostile clients the daemon nonetheless served a normal turn.
+    pub served: u64,
+    /// Anything else — handshake transport errors, unexpected frames.
+    /// A healthy chaos run keeps this at zero.
+    pub failed: u64,
+}
+
+/// What one chaos client's hostility resolved to.
+enum ChaosOutcome {
+    Rejected,
+    Reaped,
+    Refused,
+    Disconnected,
+    Served,
+    Failed,
+}
+
+/// Runs `config.clients` adversarial clients against a daemon and
+/// tallies how each one was put down. Deterministic in the seed up to
+/// scheduling: the behavior each client plays is a pure function of
+/// `(seed, client index)`.
+pub fn run_chaos(config: &ChaosConfig) -> io::Result<ChaosReport> {
+    if config.behaviors.is_empty() || config.clients == 0 {
+        return Ok(ChaosReport::default());
+    }
+    let report = Arc::new(Mutex::new(ChaosReport::default()));
+    let workers: Vec<_> = (0..config.clients)
+        .map(|i| {
+            let config = config.clone();
+            let report = Arc::clone(&report);
+            std::thread::spawn(move || {
+                let mut rng =
+                    StdRng::seed_from_u64(config.seed ^ (i as u64).wrapping_mul(0x9E37_79B9));
+                let behavior = config.behaviors[rng.gen_range(0..config.behaviors.len())];
+                let outcome = run_chaos_client(&config, behavior, &mut rng);
+                let mut report = report
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                report.clients += 1;
+                match outcome {
+                    ChaosOutcome::Rejected => report.rejected += 1,
+                    ChaosOutcome::Reaped => {
+                        report.admitted += 1;
+                        report.reaped += 1;
+                    }
+                    ChaosOutcome::Refused => {
+                        report.admitted += 1;
+                        report.refused += 1;
+                    }
+                    ChaosOutcome::Disconnected => {
+                        report.admitted += 1;
+                        report.disconnected += 1;
+                    }
+                    ChaosOutcome::Served => {
+                        report.admitted += 1;
+                        report.served += 1;
+                    }
+                    ChaosOutcome::Failed => report.failed += 1,
+                }
+            })
+        })
+        .collect();
+    for worker in workers {
+        let _ = worker.join();
+    }
+    Ok(Arc::try_unwrap(report)
+        .map(|m| {
+            m.into_inner()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+        })
+        .unwrap_or_default())
+}
+
+/// Serializes one request into its exact wire bytes (header + body).
+fn encode_frame(request: &ClientRequest) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    write_frame(&mut bytes, request).expect("a request frame serializes");
+    bytes
+}
+
+fn chaos_deadline(config: &ChaosConfig) -> Instant {
+    Instant::now() + Duration::from_millis(config.read_deadline_ms)
+}
+
+/// Connects, completes a legitimate handshake, then plays `behavior`.
+fn run_chaos_client(
+    config: &ChaosConfig,
+    behavior: ChaosBehavior,
+    rng: &mut StdRng,
+) -> ChaosOutcome {
+    let connect_deadline = Instant::now() + Duration::from_millis(config.connect_retry_ms);
+    let mut stream = loop {
+        match TcpStream::connect(config.addr.as_str()) {
+            Ok(stream) => break stream,
+            Err(_) if Instant::now() < connect_deadline => {
+                std::thread::sleep(Duration::from_millis(25));
+            }
+            Err(_) => return ChaosOutcome::Failed,
+        }
+    };
+    if stream.set_nodelay(true).is_err()
+        || stream
+            .set_read_timeout(Some(Duration::from_millis(50)))
+            .is_err()
+    {
+        return ChaosOutcome::Failed;
+    }
+    let hello = ClientRequest::Hello {
+        version: PROTOCOL_VERSION,
+        resume: None,
+    };
+    if write_frame(&mut stream, &hello).is_err() {
+        return ChaosOutcome::Failed;
+    }
+    match read_frame_deadline::<_, ServerResponse>(&mut stream, chaos_deadline(config), true) {
+        Ok(Some(ServerResponse::Welcome { .. })) => {}
+        Ok(Some(ServerResponse::Rejected { .. } | ServerResponse::ShuttingDown)) => {
+            return ChaosOutcome::Rejected;
+        }
+        _ => return ChaosOutcome::Failed,
+    }
+
+    let ask = ClientRequest::Ask {
+        question: format!("chaos question {}", rng.gen_range(0..1000u32)),
+    };
+    match behavior {
+        ChaosBehavior::Slowloris => {
+            let frame = encode_frame(&ask);
+            for &byte in &frame {
+                if stream.write_all(&[byte]).is_err() {
+                    // The daemon reaped us mid-trickle and closed the
+                    // socket; the write side saw it first.
+                    return ChaosOutcome::Disconnected;
+                }
+                std::thread::sleep(Duration::from_millis(config.byte_pause_ms));
+            }
+            match read_verdict(&mut stream, config) {
+                Verdict::Reaped => ChaosOutcome::Reaped,
+                Verdict::Error => ChaosOutcome::Refused,
+                Verdict::Turn => {
+                    // Outran the idle clock: close politely so the
+                    // session does not read as a casualty.
+                    let _ = write_frame(&mut stream, &ClientRequest::Bye);
+                    let _ = read_frame_deadline::<_, ServerResponse>(
+                        &mut stream,
+                        chaos_deadline(config),
+                        true,
+                    );
+                    ChaosOutcome::Served
+                }
+                Verdict::Gone => ChaosOutcome::Disconnected,
+            }
+        }
+        ChaosBehavior::MidFrameDisconnect => {
+            let frame = encode_frame(&ask);
+            let half = (frame.len() / 2).max(5);
+            let _ = stream.write_all(&frame[..half.min(frame.len())]);
+            drop(stream);
+            ChaosOutcome::Disconnected
+        }
+        ChaosBehavior::Oversized => {
+            let header = ((MAX_FRAME_LEN + 1) as u32).to_le_bytes();
+            if stream.write_all(&header).is_err() {
+                return ChaosOutcome::Disconnected;
+            }
+            match read_verdict(&mut stream, config) {
+                Verdict::Error => ChaosOutcome::Refused,
+                Verdict::Reaped => ChaosOutcome::Reaped,
+                Verdict::Gone => ChaosOutcome::Disconnected,
+                Verdict::Turn => ChaosOutcome::Failed,
+            }
+        }
+        ChaosBehavior::Garbage => {
+            let body: Vec<u8> = (0..64).map(|_| rng.gen_range(0x80..=0xFFu8)).collect();
+            let mut frame = (body.len() as u32).to_le_bytes().to_vec();
+            frame.extend_from_slice(&body);
+            if stream.write_all(&frame).is_err() {
+                return ChaosOutcome::Disconnected;
+            }
+            match read_verdict(&mut stream, config) {
+                Verdict::Error => ChaosOutcome::Refused,
+                Verdict::Reaped => ChaosOutcome::Reaped,
+                Verdict::Gone => ChaosOutcome::Disconnected,
+                Verdict::Turn => ChaosOutcome::Failed,
+            }
+        }
+        ChaosBehavior::SilentStall => match read_verdict(&mut stream, config) {
+            Verdict::Reaped => ChaosOutcome::Reaped,
+            Verdict::Error => ChaosOutcome::Refused,
+            Verdict::Gone => ChaosOutcome::Disconnected,
+            Verdict::Turn => ChaosOutcome::Failed,
+        },
+    }
+}
+
+/// What the daemon's next frame (or lack of one) said about us.
+enum Verdict {
+    Reaped,
+    Error,
+    Turn,
+    Gone,
+}
+
+fn read_verdict(stream: &mut TcpStream, config: &ChaosConfig) -> Verdict {
+    match read_frame_deadline::<_, ServerResponse>(stream, chaos_deadline(config), true) {
+        Ok(Some(ServerResponse::Reaped { .. })) => Verdict::Reaped,
+        Ok(Some(ServerResponse::Error { .. })) => Verdict::Error,
+        Ok(Some(ServerResponse::Turn { .. })) => Verdict::Turn,
+        _ => Verdict::Gone,
+    }
 }
 
 /// FNV-64 over the serialized event stream — one session's contribution
@@ -307,6 +621,29 @@ mod tests {
         assert_eq!(percentile(&sample, 99.0), 99);
         assert_eq!(percentile(&sample, 100.0), 100);
         assert_eq!(percentile(&sample, 0.0), 1);
+    }
+
+    #[test]
+    fn chaos_behavior_choice_is_a_pure_function_of_seed_and_index() {
+        let pick = |seed: u64, i: u64| {
+            let mut rng = StdRng::seed_from_u64(seed ^ i.wrapping_mul(0x9E37_79B9));
+            ALL_CHAOS_BEHAVIORS[rng.gen_range(0..ALL_CHAOS_BEHAVIORS.len())]
+        };
+        for i in 0..32 {
+            assert_eq!(pick(0xC4A0, i), pick(0xC4A0, i));
+        }
+        // The pool actually mixes: some pair of clients differs.
+        assert!((1..32).any(|i| pick(0xC4A0, i) != pick(0xC4A0, 0)));
+    }
+
+    #[test]
+    fn chaos_run_with_no_clients_is_empty() {
+        let report = run_chaos(&ChaosConfig {
+            clients: 0,
+            ..ChaosConfig::default()
+        })
+        .unwrap();
+        assert_eq!(report, ChaosReport::default());
     }
 
     #[test]

@@ -13,8 +13,11 @@
 //!   [`RunJournal`](crate::journal::RunJournal) reused as a durable log
 //!   of session *inputs*; restart replays them through the deterministic
 //!   pipeline and reconstructs every transcript bit-identically.
-//! - [`server`] — the daemon: listener, per-connection threads, graceful
-//!   shutdown.
+//! - [`diskfault`] — deterministic disk-fault injection for the store
+//!   (append/fsync failures, disk-full), pure-hash scheduled like the
+//!   backend fault injector.
+//! - [`server`] — the daemon: listener, per-connection threads, the
+//!   idle-session reaper, graceful shutdown.
 //! - [`client`] — the typed client the CLI, tests, and load generator
 //!   drive the daemon with.
 //! - [`loadgen`] — seeded, deterministic load scripts and the load
@@ -22,16 +25,24 @@
 
 pub mod admission;
 pub mod client;
+pub mod diskfault;
 pub mod loadgen;
 pub mod protocol;
 pub mod server;
 pub mod store;
 
 pub use admission::{AdmissionConfig, AdmissionGate, AdmissionSnapshot, Rejection};
-pub use client::{request_shutdown, ClientTurn, Connected, ServeClient};
-pub use loadgen::{
-    build_scripts, percentile, run_load, transcript_digest, LoadReport, SessionScript,
+pub use client::{
+    request_compact, request_shutdown, request_stats, ClientTurn, Connected, ServeClient,
 };
-pub use protocol::{ClientRequest, ServerResponse, PROTOCOL_VERSION};
+pub use diskfault::{DiskFaultConfig, DISK_FAULT_RATE_ENV};
+pub use loadgen::{
+    build_scripts, percentile, run_chaos, run_load, transcript_digest, ChaosBehavior, ChaosConfig,
+    ChaosReport, LoadReport, SessionScript, ALL_CHAOS_BEHAVIORS,
+};
+pub use protocol::{ClientRequest, ServerResponse, ServerStats, PROTOCOL_VERSION};
 pub use server::{ServeSummary, Server, ServerHandle};
-pub use store::{SessionOp, SessionStore, SESSION_STORE_MARKER};
+pub use store::{
+    Appended, CompactionOutcome, SessionOp, SessionStore, StoreOptions, StoreSnapshot,
+    SESSION_STORE_MARKER,
+};

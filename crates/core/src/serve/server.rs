@@ -30,8 +30,12 @@
 //! [`ServeSummary`].
 
 use super::admission::{AdmissionConfig, AdmissionGate, AdmissionSnapshot};
-use super::protocol::{read_frame, write_frame, ClientRequest, ServerResponse, PROTOCOL_VERSION};
-use super::store::{SessionOp, SessionStore};
+use super::diskfault::DiskFaultConfig;
+use super::protocol::{
+    deadline_expired, read_frame, read_frame_deadline, write_frame, ClientRequest, ServerResponse,
+    ServerStats, PROTOCOL_VERSION,
+};
+use super::store::{Appended, SessionOp, SessionStore, StoreOptions, StoreSnapshot};
 use crate::assistant::Assistant;
 use crate::config::{chaos_stack, ServeConfig};
 use crate::session::{Session, SessionEvent};
@@ -41,7 +45,7 @@ use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Socket poll interval: how quickly idle connections and the accept
 /// loop observe shutdown.
@@ -62,8 +66,17 @@ pub struct ServeSummary {
     pub errors: u64,
     /// Requests whose handler panicked and was contained.
     pub contained_panics: u64,
-    /// Admission-gate counters.
+    /// Sessions degraded to memory-only by a store fault.
+    pub sessions_degraded: u64,
+    /// Admission-gate counters (including `reaped`).
     pub admission: AdmissionSnapshot,
+    /// Session-store health at drain.
+    pub store: StoreSnapshot,
+    /// Sessions still holding a slot after the drain (0 on a clean
+    /// drain — the survivability suites assert on it).
+    pub final_active: usize,
+    /// Connections still queued after the drain (0 on a clean drain).
+    pub final_queued: usize,
 }
 
 #[derive(Debug, Default)]
@@ -74,6 +87,7 @@ struct ServerCounters {
     questions_served: AtomicU64,
     errors: AtomicU64,
     contained_panics: AtomicU64,
+    sessions_degraded: AtomicU64,
 }
 
 /// Shared per-connection context.
@@ -86,6 +100,7 @@ struct ConnCtx {
     gate: Arc<AdmissionGate>,
     running: Arc<AtomicBool>,
     counters: Arc<ServerCounters>,
+    started: Instant,
 }
 
 /// A handle for stopping a serving daemon from another thread.
@@ -120,6 +135,7 @@ pub struct Server {
     gate: Arc<AdmissionGate>,
     running: Arc<AtomicBool>,
     counters: Arc<ServerCounters>,
+    started: Instant,
 }
 
 impl Server {
@@ -141,10 +157,14 @@ impl Server {
                 .collect::<Vec<_>>(),
         );
         let assistant = Assistant::for_corpus(&corpus, SimLlm::new(LlmConfig::default()), 3);
+        let faults = (config.disk_fault_rate > 0.0)
+            .then(|| DiskFaultConfig::uniform(config.disk_fault_rate));
         let store = Arc::new(SessionStore::open(
             config.store.as_deref(),
-            config.fingerprint(),
-            config.fsync,
+            StoreOptions::new(config.fingerprint())
+                .fsync(config.fsync)
+                .compact_every(config.compact_every)
+                .faults(faults),
         )?);
         let gate = AdmissionGate::new(AdmissionConfig {
             max_sessions: config.max_sessions,
@@ -161,6 +181,7 @@ impl Server {
             gate,
             running: Arc::new(AtomicBool::new(true)),
             counters: Arc::new(ServerCounters::default()),
+            started: Instant::now(),
         })
     }
 
@@ -200,6 +221,7 @@ impl Server {
                         gate: Arc::clone(&self.gate),
                         running: Arc::clone(&self.running),
                         counters: Arc::clone(&self.counters),
+                        started: self.started,
                     };
                     workers.push(std::thread::spawn(move || {
                         let corpus = Arc::clone(&ctx.corpus);
@@ -230,7 +252,9 @@ impl Server {
         for worker in workers {
             let _ = worker.join();
         }
-        self.store.sync()?;
+        // A chaos-degraded store may legitimately fail its final sync
+        // (injected fsync fault, disk-full); the drain still reports.
+        let _ = self.store.sync();
         Ok(ServeSummary {
             sessions_opened: self.counters.sessions_opened.load(Ordering::Relaxed),
             sessions_resumed: self.counters.sessions_resumed.load(Ordering::Relaxed),
@@ -238,7 +262,11 @@ impl Server {
             questions_served: self.counters.questions_served.load(Ordering::Relaxed),
             errors: self.counters.errors.load(Ordering::Relaxed),
             contained_panics: self.counters.contained_panics.load(Ordering::Relaxed),
+            sessions_degraded: self.counters.sessions_degraded.load(Ordering::Relaxed),
             admission: self.gate.snapshot(),
+            store: self.store.snapshot(),
+            final_active: self.gate.active(),
+            final_queued: self.gate.waiting(),
         })
     }
 }
@@ -254,6 +282,9 @@ struct Hosted<'a> {
     session: Session<'a>,
     backend: ConnBackend,
     example: Option<Example>,
+    /// The session has lost its journal lane (disk fault) and now lives
+    /// in memory only.
+    degraded: bool,
 }
 
 fn handle_conn(ctx: &ConnCtx, corpus: &Corpus, mut stream: TcpStream) {
@@ -262,34 +293,54 @@ fn handle_conn(ctx: &ConnCtx, corpus: &Corpus, mut stream: TcpStream) {
         return;
     }
 
-    // First frame decides the connection's fate: Shutdown is a control
-    // message needing no session slot; anything else must be Hello.
-    let Some(first) = next_request(ctx, &mut stream) else {
-        return;
-    };
-    let resume = match first {
-        ClientRequest::Shutdown => {
-            ctx.gate.close();
-            ctx.running.store(false, Ordering::Release);
-            let _ = write_frame(&mut stream, &ServerResponse::ShuttingDown);
-            return;
-        }
-        ClientRequest::Hello { version, resume } => {
-            if version != PROTOCOL_VERSION {
-                send_error(
-                    ctx,
-                    &mut stream,
-                    format!(
-                        "protocol version {version} unsupported (server speaks {PROTOCOL_VERSION})"
-                    ),
-                );
+    // Pre-session frames: admin requests (Shutdown/Stats/Compact) need
+    // no session slot; everything else must be Hello. The idle clock
+    // runs here too — a connection that never says Hello cannot pin its
+    // thread forever.
+    let resume = loop {
+        let first = match next_request(ctx, &mut stream) {
+            NextFrame::Request(request) => request,
+            NextFrame::Gone => return,
+            NextFrame::Idle { idle_ms } => {
+                // No slot held yet; close the half-open connection.
+                let _ = write_frame(&mut stream, &reaped_frame(ctx, idle_ms));
                 return;
             }
-            resume
-        }
-        other => {
-            send_error(ctx, &mut stream, format!("expected Hello, got {other:?}"));
-            return;
+        };
+        match first {
+            ClientRequest::Shutdown => {
+                ctx.gate.close();
+                ctx.running.store(false, Ordering::Release);
+                let _ = write_frame(&mut stream, &ServerResponse::ShuttingDown);
+                return;
+            }
+            ClientRequest::Stats => {
+                if write_frame(&mut stream, &ServerResponse::Stats(server_stats(ctx))).is_err() {
+                    return;
+                }
+            }
+            ClientRequest::Compact => {
+                if write_frame(&mut stream, &compact_response(ctx)).is_err() {
+                    return;
+                }
+            }
+            ClientRequest::Hello { version, resume } => {
+                if version != PROTOCOL_VERSION {
+                    send_error(
+                        ctx,
+                        &mut stream,
+                        format!(
+                            "protocol version {version} unsupported (server speaks {PROTOCOL_VERSION})"
+                        ),
+                    );
+                    return;
+                }
+                break resume;
+            }
+            other => {
+                send_error(ctx, &mut stream, format!("expected Hello, got {other:?}"));
+                return;
+            }
         }
     };
 
@@ -314,20 +365,31 @@ fn handle_conn(ctx: &ConnCtx, corpus: &Corpus, mut stream: TcpStream) {
         }
     };
 
-    // Open or replay the session.
+    // Open or replay the session. An unwritable store (disk-full) sheds
+    // *new* sessions with a typed rejection — durability is gone and
+    // accepting fresh work the restart would lose is worse than
+    // backpressure.
     let mut hosted = match resume {
         None => {
-            let id = match ctx.store.open_session() {
-                Ok(id) => id,
+            let (id, durability) = match ctx.store.open_session() {
+                Ok(pair) => pair,
                 Err(e) => {
-                    send_error(ctx, &mut stream, format!("session store: {e}"));
+                    ctx.counters.errors.fetch_add(1, Ordering::Relaxed);
+                    let _ = write_frame(
+                        &mut stream,
+                        &ServerResponse::Rejected {
+                            reason: format!("session store: {e}"),
+                            active: ctx.gate.active(),
+                            queued: ctx.gate.waiting(),
+                        },
+                    );
                     return;
                 }
             };
             ctx.counters.sessions_opened.fetch_add(1, Ordering::Relaxed);
             let backend = conn_backend(ctx);
             backend.begin_session();
-            Hosted {
+            let mut hosted = Hosted {
                 id,
                 session: Session::new(
                     &corpus.databases[0],
@@ -336,7 +398,10 @@ fn handle_conn(ctx: &ConnCtx, corpus: &Corpus, mut stream: TcpStream) {
                 ),
                 backend,
                 example: None,
-            }
+                degraded: false,
+            };
+            note_append(ctx, &mut hosted, durability);
+            hosted
         }
         Some(id) => {
             let ops = ctx.store.session_ops(id);
@@ -363,10 +428,21 @@ fn handle_conn(ctx: &ConnCtx, corpus: &Corpus, mut stream: TcpStream) {
         return;
     }
 
-    // The request loop.
+    // The request loop. Idle expiry here is a reap proper: the session
+    // holds a slot, so the reaper journals `Reaped`, counts it, answers
+    // with a typed close frame, and lets the RAII permit return the
+    // slot.
     loop {
-        let Some(request) = next_request(ctx, &mut stream) else {
-            return;
+        let request = match next_request(ctx, &mut stream) {
+            NextFrame::Request(request) => request,
+            NextFrame::Gone => return,
+            NextFrame::Idle { idle_ms } => {
+                let durability = ctx.store.append(hosted.id, SessionOp::Reaped { idle_ms });
+                note_append(ctx, &mut hosted, durability);
+                ctx.gate.note_reaped();
+                let _ = write_frame(&mut stream, &reaped_frame(ctx, idle_ms));
+                return;
+            }
         };
         let response = dispatch(ctx, corpus, &mut hosted, request);
         let last = matches!(
@@ -375,6 +451,69 @@ fn handle_conn(ctx: &ConnCtx, corpus: &Corpus, mut stream: TcpStream) {
         );
         if write_frame(&mut stream, &response).is_err() || last {
             return;
+        }
+    }
+}
+
+/// The typed close frame for an idle-reaped connection.
+fn reaped_frame(ctx: &ConnCtx, idle_ms: u64) -> ServerResponse {
+    ServerResponse::Reaped {
+        reason: format!(
+            "connection idle for {idle_ms} ms (limit {} ms); slot reclaimed",
+            ctx.config.idle_timeout_ms
+        ),
+        idle_ms,
+    }
+}
+
+/// Live daemon statistics for the `Stats` admin request.
+fn server_stats(ctx: &ConnCtx) -> ServerStats {
+    ServerStats {
+        admission: ctx.gate.snapshot(),
+        store: ctx.store.snapshot(),
+        sessions_opened: ctx.counters.sessions_opened.load(Ordering::Relaxed),
+        sessions_resumed: ctx.counters.sessions_resumed.load(Ordering::Relaxed),
+        questions_served: ctx.counters.questions_served.load(Ordering::Relaxed),
+        rounds_served: ctx.counters.rounds_served.load(Ordering::Relaxed),
+        sessions_degraded: ctx.counters.sessions_degraded.load(Ordering::Relaxed),
+        errors: ctx.counters.errors.load(Ordering::Relaxed),
+        contained_panics: ctx.counters.contained_panics.load(Ordering::Relaxed),
+        uptime_ms: ctx.started.elapsed().as_millis() as u64,
+    }
+}
+
+/// Runs an on-demand store compaction for the `Compact` admin request.
+fn compact_response(ctx: &ConnCtx) -> ServerResponse {
+    match ctx.store.compact() {
+        Ok(outcome) => ServerResponse::Compacted {
+            generation: outcome.generation,
+            ops_before: outcome.ops_before,
+            ops_after: outcome.ops_after,
+            sessions_dropped: outcome.sessions_dropped,
+        },
+        Err(e) => {
+            ctx.counters.errors.fetch_add(1, Ordering::Relaxed);
+            ServerResponse::Error {
+                message: format!("compaction failed: {e}"),
+            }
+        }
+    }
+}
+
+/// Folds one append's durability into the session: the first degraded
+/// append flips the session to memory-only, records a transcript
+/// `Degraded` event, and counts it — the daemon serves on.
+fn note_append(ctx: &ConnCtx, hosted: &mut Hosted<'_>, durability: Appended) {
+    if let Appended::Degraded { error } = durability {
+        if !hosted.degraded {
+            hosted.degraded = true;
+            ctx.counters
+                .sessions_degraded
+                .fetch_add(1, Ordering::Relaxed);
+            hosted.session.transcript.push(SessionEvent::Degraded {
+                round: hosted.session.round(),
+                error: format!("session store degraded to memory-only: {error}"),
+            });
         }
     }
 }
@@ -388,17 +527,54 @@ fn conn_backend(ctx: &ConnCtx) -> ConnBackend {
     )
 }
 
+/// What waiting for the next frame resolved to.
+enum NextFrame {
+    /// A complete request arrived.
+    Request(ClientRequest),
+    /// The connection is over (EOF, transport/protocol error, drain).
+    Gone,
+    /// The idle clock expired — no complete frame within
+    /// `--idle-timeout` (counting mid-frame stalls: a slowloris peer
+    /// trickling bytes never completes a frame and still expires).
+    Idle {
+        /// Milliseconds since the last completed frame.
+        idle_ms: u64,
+    },
+}
+
 /// Reads the next request, polling so shutdown is observed between
-/// frames. `None` means the connection is over (EOF, error, or drain).
-fn next_request(ctx: &ConnCtx, stream: &mut TcpStream) -> Option<ClientRequest> {
+/// frames. The idle clock arms per wait: it resets on every completed
+/// frame and is checked both between reads (silent peer) and inside a
+/// frame (trickling peer), virtual-clock style — the deadline is
+/// computed once and compared, never slept against.
+fn next_request(ctx: &ConnCtx, stream: &mut TcpStream) -> NextFrame {
+    let armed = Instant::now();
+    let deadline = (ctx.config.idle_timeout_ms > 0)
+        .then(|| armed + Duration::from_millis(ctx.config.idle_timeout_ms));
     loop {
         if !ctx.running.load(Ordering::Acquire) {
             let _ = write_frame(stream, &ServerResponse::ShuttingDown);
-            return None;
+            return NextFrame::Gone;
         }
-        match read_frame::<_, ClientRequest>(stream) {
-            Ok(Some(request)) => return Some(request),
-            Ok(None) => return None,
+        if let Some(deadline) = deadline {
+            if Instant::now() >= deadline {
+                return NextFrame::Idle {
+                    idle_ms: armed.elapsed().as_millis() as u64,
+                };
+            }
+        }
+        let read = match deadline {
+            Some(deadline) => read_frame_deadline::<_, ClientRequest>(stream, deadline, false),
+            None => read_frame::<_, ClientRequest>(stream),
+        };
+        match read {
+            Ok(Some(request)) => return NextFrame::Request(request),
+            Ok(None) => return NextFrame::Gone,
+            Err(e) if deadline_expired(&e) => {
+                return NextFrame::Idle {
+                    idle_ms: armed.elapsed().as_millis() as u64,
+                }
+            }
             Err(e)
                 if matches!(
                     e.kind(),
@@ -412,7 +588,7 @@ fn next_request(ctx: &ConnCtx, stream: &mut TcpStream) -> Option<ClientRequest> 
                         message: format!("bad frame: {e}"),
                     },
                 );
-                return None;
+                return NextFrame::Gone;
             }
         }
     }
@@ -433,15 +609,14 @@ fn dispatch<'a>(
     match request {
         ClientRequest::Ask { question } => {
             let example_idx = resolve_example(ctx, &question);
-            if let Err(e) = ctx.store.append(
+            let durability = ctx.store.append(
                 hosted.id,
                 SessionOp::Ask {
                     example_idx: example_idx as u64,
                     question,
                 },
-            ) {
-                return store_error(ctx, e);
-            }
+            );
+            note_append(ctx, hosted, durability);
             let response = serve_ask(ctx, corpus, hosted, example_idx);
             if matches!(response, ServerResponse::Turn { .. }) {
                 ctx.counters
@@ -457,15 +632,14 @@ fn dispatch<'a>(
                     message: "feedback before any question".to_string(),
                 };
             }
-            if let Err(e) = ctx.store.append(
+            let durability = ctx.store.append(
                 hosted.id,
                 SessionOp::Feedback {
                     text: text.clone(),
                     highlight,
                 },
-            ) {
-                return store_error(ctx, e);
-            }
+            );
+            note_append(ctx, hosted, durability);
             let response = serve_feedback(ctx, hosted, &text, highlight);
             if matches!(response, ServerResponse::Turn { .. }) {
                 ctx.counters.rounds_served.fetch_add(1, Ordering::Relaxed);
@@ -476,9 +650,8 @@ fn dispatch<'a>(
             events: hosted.session.transcript.clone(),
         },
         ClientRequest::Bye => {
-            if let Err(e) = ctx.store.append(hosted.id, SessionOp::Closed) {
-                return store_error(ctx, e);
-            }
+            let durability = ctx.store.append(hosted.id, SessionOp::Closed);
+            note_append(ctx, hosted, durability);
             ServerResponse::Goodbye {
                 rounds: feedback_turns(&hosted.session),
             }
@@ -494,13 +667,8 @@ fn dispatch<'a>(
             ctx.running.store(false, Ordering::Release);
             ServerResponse::ShuttingDown
         }
-    }
-}
-
-fn store_error(ctx: &ConnCtx, e: io::Error) -> ServerResponse {
-    ctx.counters.errors.fetch_add(1, Ordering::Relaxed);
-    ServerResponse::Error {
-        message: format!("session store: {e}"),
+        ClientRequest::Stats => ServerResponse::Stats(server_stats(ctx)),
+        ClientRequest::Compact => compact_response(ctx),
     }
 }
 
@@ -586,10 +754,14 @@ fn replay_session<'a>(ctx: &ConnCtx, corpus: &'a Corpus, id: u64, ops: &[Session
         ),
         backend,
         example: None,
+        degraded: false,
     };
     for op in ops {
         match op {
-            SessionOp::Opened | SessionOp::Closed => {}
+            SessionOp::Opened
+            | SessionOp::Closed
+            | SessionOp::Reaped { .. }
+            | SessionOp::Checkpoint { .. } => {}
             SessionOp::Ask { example_idx, .. } => {
                 let idx = (*example_idx as usize).min(corpus.examples.len() - 1);
                 let example = corpus.examples[idx].clone();

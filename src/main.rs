@@ -190,6 +190,7 @@ fn main() {
 
 /// `fisql serve [--host H] [--port P] [--max-sessions N] [--queue-depth
 /// Q] [--queue-wait-ms MS] [--store PATH] [--fsync never|each|batch]
+/// [--idle-timeout MS] [--compact-every N] [--disk-fault-rate R]
 /// [--strategy S] [--fault-rate R] [--retry-budget B] [--seed S]
 /// [--examples N]`: the long-lived multi-session daemon.
 ///
@@ -201,6 +202,13 @@ fn main() {
 /// and a restarted daemon replays stored sessions bit-identically
 /// (clients resume with `Hello { resume: <id> }`). A `Shutdown` request
 /// (`fisql load --shutdown`) drains the daemon gracefully.
+///
+/// Survivability: `--idle-timeout MS` reaps sessions that complete no
+/// frame for that long (typed `Reaped` farewell, slot returned);
+/// `--compact-every N` rewrites the store after every N closed sessions,
+/// keeping only live sessions; `--disk-fault-rate R` (or the
+/// `FISQL_DISK_FAULT_RATE` env var) injects deterministic store faults —
+/// an affected session degrades to memory-only instead of dying.
 fn run_serve(args: &[String]) {
     let config = ServeConfig::from_args(args).unwrap_or_else(|e| {
         eprintln!("error: {e}");
@@ -252,6 +260,20 @@ fn run_serve(args: &[String]) {
                 a.rejected_closed,
                 a.peak_active,
             );
+            let s = &summary.store;
+            println!(
+                "  survivability: {} reaped, {} degraded, store gen {} ({} op(s), {} compaction(s), \
+                 {} append fault(s), writable {}), final active {} / queued {}",
+                a.reaped,
+                summary.sessions_degraded,
+                s.generation,
+                s.ops,
+                s.compactions,
+                s.append_faults,
+                s.writable,
+                summary.final_active,
+                summary.final_queued,
+            );
         }
         Err(e) => {
             eprintln!("error: serve loop failed: {e}");
@@ -298,6 +320,20 @@ fn run_load_cli(args: &[String]) {
         report.latencies_us.len(),
     );
     println!("  transcript digest {:#018x}", report.digest);
+    if let Some(stats) = &report.stats {
+        println!(
+            "  daemon: {} opened / {} resumed / {} reaped / {} degraded, store gen {} \
+             ({} op(s), {} compaction(s)), uptime {:.1} s",
+            stats.sessions_opened,
+            stats.sessions_resumed,
+            stats.admission.reaped,
+            stats.sessions_degraded,
+            stats.store.generation,
+            stats.store.ops,
+            stats.store.compactions,
+            stats.uptime_ms as f64 / 1000.0,
+        );
+    }
     if report.sessions_failed > 0 {
         std::process::exit(1);
     }

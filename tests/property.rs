@@ -412,3 +412,85 @@ fn aep_database_is_seed_deterministic() {
     let b = fisql_spider::build_aep_database(&mut StdRng::seed_from_u64(5));
     assert_eq!(a, b);
 }
+
+// ---------------------------------------------------------------------
+// Serve wire-protocol fuzzing: adversarial bytes through the frame
+// reader must produce a typed error or clean EOF — never a panic, an
+// unbounded allocation, or a hang.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arbitrary bytes: the reader returns `Ok` or `Err`, never panics.
+    #[test]
+    fn protocol_reader_never_panics_on_random_bytes(
+        bytes in proptest::collection::vec(any::<u8>(), 0..256usize)
+    ) {
+        let mut cursor = std::io::Cursor::new(bytes);
+        let _ = fisql_core::serve::protocol::read_frame::<_, fisql_core::serve::ClientRequest>(
+            &mut cursor,
+        );
+    }
+
+    /// A valid frame truncated at every possible cut point is an error
+    /// or EOF, never a panic.
+    #[test]
+    fn protocol_reader_never_panics_on_truncated_frames(cut in 0usize..64) {
+        let mut bytes = Vec::new();
+        fisql_core::serve::protocol::write_frame(
+            &mut bytes,
+            &fisql_core::serve::ClientRequest::Bye,
+        ).unwrap();
+        let full = bytes.len();
+        bytes.truncate(cut.min(full));
+        let truncated = bytes.len() < full;
+        let mut cursor = std::io::Cursor::new(bytes);
+        let result = fisql_core::serve::protocol::read_frame::<
+            _,
+            fisql_core::serve::ClientRequest,
+        >(&mut cursor);
+        if truncated {
+            // Empty input is clean EOF (`Ok(None)`); a torn frame is a
+            // typed error.
+            prop_assert!(matches!(result, Ok(None) | Err(_)));
+        } else {
+            prop_assert!(matches!(
+                result,
+                Ok(Some(fisql_core::serve::ClientRequest::Bye))
+            ));
+        }
+    }
+
+    /// Deeply nested JSON in a well-formed frame is refused by the
+    /// parser's depth limit — it must not blow the stack.
+    #[test]
+    fn protocol_reader_survives_deeply_nested_json(depth in 1usize..1500) {
+        let mut body = Vec::with_capacity(depth * 2);
+        body.extend(std::iter::repeat_n(b'[', depth));
+        body.extend(std::iter::repeat_n(b']', depth));
+        let mut frame = (body.len() as u32).to_le_bytes().to_vec();
+        frame.extend_from_slice(&body);
+        let mut cursor = std::io::Cursor::new(frame);
+        let result = fisql_core::serve::protocol::read_frame::<
+            _,
+            fisql_core::serve::ClientRequest,
+        >(&mut cursor);
+        // A JSON array is never a `ClientRequest`, and past the depth
+        // limit it is not even JSON to serde: both are typed errors.
+        prop_assert!(result.is_err());
+    }
+
+    /// A frame header may claim any length: oversized claims are
+    /// refused before any allocation happens.
+    #[test]
+    fn protocol_reader_refuses_oversized_headers(extra in 1u32..1024) {
+        let claimed = (fisql_core::serve::protocol::MAX_FRAME_LEN as u32) + extra;
+        let mut cursor = std::io::Cursor::new(claimed.to_le_bytes().to_vec());
+        let result = fisql_core::serve::protocol::read_frame::<
+            _,
+            fisql_core::serve::ClientRequest,
+        >(&mut cursor);
+        prop_assert!(result.is_err());
+    }
+}
