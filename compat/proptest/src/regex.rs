@@ -42,7 +42,7 @@ struct Parser<'a> {
     chars: std::iter::Peekable<std::str::Chars<'a>>,
 }
 
-impl<'a> Parser<'a> {
+impl Parser<'_> {
     fn parse_alt(&mut self) -> Result<Vec<Node>, String> {
         let mut arms = vec![self.parse_seq()?];
         while self.chars.peek() == Some(&'|') {

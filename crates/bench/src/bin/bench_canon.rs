@@ -1,0 +1,135 @@
+//! Canonicalization benchmark: semantic result cache + canonical oracle.
+//!
+//! Runs the SPIDER-subset correction experiment with the per-worker
+//! semantic result cache on and off and asserts the acceptance
+//! invariants of the canonical-form layer:
+//!
+//! - the serialized report is byte-identical with the cache on and off,
+//!   at 1, 4, and 8 workers (the cache is never observable);
+//! - the cache actually fires: at every worker count it skips at least
+//!   one engine execution, and the measured engine-invocation count
+//!   (logical executions minus cache hits) drops against the cache-off
+//!   baseline.
+//!
+//! Emits `BENCH_canon.json` with a hit-rate column per run; CI uploads
+//! it as a workflow artifact.
+//!
+//! Run: `FISQL_SCALE=small cargo run --release -p fisql-bench --bin bench_canon`
+
+use fisql_bench::{annotated_cases, runner, Setup};
+use fisql_core::{CorrectionReport, Strategy};
+
+fn main() {
+    let setup = Setup::from_env();
+    println!("# Canonicalization benchmark (seed {})\n", setup.seed);
+
+    let (_, cases) = annotated_cases(&setup, &setup.spider);
+    println!("annotated SPIDER feedback set: {} cases", cases.len());
+
+    let strategy = Strategy::Fisql {
+        routing: true,
+        highlighting: false,
+    };
+    let rounds = 2;
+    let run_with = |workers: usize, cache: bool| -> CorrectionReport {
+        runner(&setup, &setup.spider)
+            .strategy(strategy)
+            .rounds(rounds)
+            .workers(workers)
+            .semantic_cache(cache)
+            .run(&cases)
+    };
+
+    // Warm the embedding/selection caches.
+    let _ = run_with(1, false);
+
+    // The cache-off baseline: every logical execution reaches the
+    // engine, so its logical count is the measured count.
+    let baseline = run_with(1, false);
+    let baseline_json = serde_json::to_string(&baseline).unwrap();
+    let baseline_measured = baseline.metrics.engine_executions;
+    assert_eq!(
+        baseline.metrics.executions_skipped_cache, 0,
+        "disabled cache must not count hits"
+    );
+
+    println!(
+        "\n{:>8} {:>8} {:>10} {:>10} {:>10} {:>9} {:>11}",
+        "workers", "cache", "logical", "skipped", "measured", "hit rate", "reduction"
+    );
+    println!(
+        "{:>8} {:>8} {:>10} {:>10} {:>10} {:>9} {:>11}",
+        1, "off", baseline_measured, 0, baseline_measured, "-", "-"
+    );
+    let mut rows = vec![serde_json::json!({
+        "requested_workers": 1,
+        "effective_workers": baseline.metrics.workers,
+        "semantic_cache": false,
+        "wall_ms": baseline.metrics.wall_ms,
+        "logical_executions": baseline_measured,
+        "executions_skipped_cache": 0,
+        "measured_executions": baseline_measured,
+        "cache_hit_rate": 0.0,
+        "reduction_vs_uncached": 0.0,
+        "report_bit_identical": true,
+    })];
+    for workers in [1usize, 4, 8] {
+        let report = run_with(workers, true);
+        let m = &report.metrics;
+
+        // Observability acceptance: the cache never changes the report.
+        assert_eq!(
+            serde_json::to_string(&report).unwrap(),
+            baseline_json,
+            "cached report diverged from uncached at {workers} workers"
+        );
+        // Effectiveness acceptance: the cache fires and the measured
+        // engine-invocation count drops.
+        assert!(
+            m.executions_skipped_cache >= 1,
+            "no executions served from cache at {workers} workers"
+        );
+        let measured = m.engine_executions - m.executions_skipped_cache;
+        assert!(
+            measured < baseline_measured,
+            "no measured execution drop at {workers} workers"
+        );
+
+        let reduction = 1.0 - (measured as f64 / baseline_measured as f64);
+        println!(
+            "{:>8} {:>8} {:>10} {:>10} {:>10} {:>8.1}% {:>10.1}%",
+            m.workers,
+            "on",
+            m.engine_executions,
+            m.executions_skipped_cache,
+            measured,
+            100.0 * m.semantic_cache_hit_rate(),
+            100.0 * reduction,
+        );
+        rows.push(serde_json::json!({
+            "requested_workers": workers,
+            "effective_workers": m.workers,
+            "semantic_cache": true,
+            "wall_ms": m.wall_ms,
+            "logical_executions": m.engine_executions,
+            "executions_skipped_cache": m.executions_skipped_cache,
+            "measured_executions": measured,
+            "cache_hit_rate": m.semantic_cache_hit_rate(),
+            "reduction_vs_uncached": reduction,
+            "report_bit_identical": true,
+        }));
+    }
+
+    let json = serde_json::json!({
+        "seed": setup.seed,
+        "cases": cases.len(),
+        "rounds": rounds,
+        "strategy": baseline.strategy,
+        "corrected_after_round": baseline.corrected_after_round,
+        "baseline_measured_executions": baseline_measured,
+        "runs": rows,
+    });
+    let out = "BENCH_canon.json";
+    std::fs::write(out, json.to_string()).expect("write BENCH_canon.json");
+    println!("\nwrote {out}");
+}

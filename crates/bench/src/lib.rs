@@ -5,6 +5,7 @@
 //! corpus/model/user construction so all experiments run off identical,
 //! seeded inputs.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use fisql_core::{AnnotatedCase, CorrectionReport, CorrectionRun, Strategy};
@@ -80,7 +81,7 @@ impl Setup {
         };
         let llm = SimLlm::new(LlmConfig {
             seed: seed ^ 0x515E,
-            calibration: Default::default(),
+            calibration: fisql_llm::Calibration::default(),
         });
         let user = SimUser::new(UserConfig {
             seed: seed ^ 0x05E4,

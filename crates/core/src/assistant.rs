@@ -71,6 +71,24 @@ impl Assistant {
     /// Answers `example` against `db`. `salt` distinguishes repeated
     /// generations (attempt number).
     pub fn answer(&self, db: &Database, example: &Example, salt: u64) -> AssistantTurn {
+        let guard = fisql_engine::ExecLimits {
+            max_rows: fisql_engine::ExecLimits::interactive().max_rows,
+            deadline_ms: None,
+        };
+        self.answer_with(db, example, salt, |db, q| {
+            fisql_engine::execute_with_limits(db, q, guard).map_err(|e| e.to_string())
+        })
+    }
+
+    /// [`answer`](Assistant::answer) with the render's engine call
+    /// abstracted out (see [`present_with`](Assistant::present_with)).
+    pub fn answer_with(
+        &self,
+        db: &Database,
+        example: &Example,
+        salt: u64,
+        exec: impl FnMut(&Database, &Query) -> Result<ResultSet, String>,
+    ) -> AssistantTurn {
         let retrieved = self.store.retrieve(&example.question, self.demos_k);
         let prompt_text = if retrieved.is_empty() {
             prompt::zero_shot_prompt(db, &example.question)
@@ -85,7 +103,7 @@ impl Assistant {
             mode: GenMode::Initial,
         });
         let query = normalize_query(&generation.query);
-        self.present(db, query, prompt_text, generation.fired)
+        self.present_with(db, query, prompt_text, generation.fired, exec)
     }
 
     /// Packages a query into the four-output Assistant turn.
@@ -96,10 +114,6 @@ impl Assistant {
         prompt: String,
         fired: Vec<&'static str>,
     ) -> AssistantTurn {
-        let sql_text = print_query(&query);
-        let spanned = print_query_spanned(&query);
-        let reformulation = reformulate(&query);
-        let explanation = explain_query(&query);
         // Row-budget guard only (no wall-clock deadline): the rendered
         // grid participates in deterministic replay, so the outcome must
         // not depend on machine load.
@@ -107,8 +121,29 @@ impl Assistant {
             max_rows: fisql_engine::ExecLimits::interactive().max_rows,
             deadline_ms: None,
         };
-        let result =
-            fisql_engine::execute_with_limits(db, &query, guard).map_err(|e| e.to_string());
+        self.present_with(db, query, prompt, fired, |db, q| {
+            fisql_engine::execute_with_limits(db, q, guard).map_err(|e| e.to_string())
+        })
+    }
+
+    /// [`present`](Assistant::present) with the engine call abstracted
+    /// out, so a serve session can route the render through its result
+    /// cache. The executor must reproduce `execute_with_limits` under
+    /// the interactive row budget byte-for-byte for presented turns to
+    /// stay bit-identical.
+    pub fn present_with(
+        &self,
+        db: &Database,
+        query: Query,
+        prompt: String,
+        fired: Vec<&'static str>,
+        mut exec: impl FnMut(&Database, &Query) -> Result<ResultSet, String>,
+    ) -> AssistantTurn {
+        let sql_text = print_query(&query);
+        let spanned = print_query_spanned(&query);
+        let reformulation = reformulate(&query);
+        let explanation = explain_query(&query);
+        let result = exec(db, &query);
         AssistantTurn {
             query,
             sql_text,

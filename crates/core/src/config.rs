@@ -91,6 +91,10 @@ pub struct EvalConfig {
     pub static_oracle: bool,
     /// Run the feedback-conformance gate.
     pub conformance_gate: bool,
+    /// Serve repeated semantically-equivalent executions from the
+    /// per-worker result cache (on by default; reports are bit-identical
+    /// either way).
+    pub semantic_cache: bool,
     /// Write-ahead journal path prefix (one file per corpus).
     pub journal: Option<PathBuf>,
     /// Resume from an existing journal.
@@ -113,6 +117,7 @@ impl Default for EvalConfig {
             retry_budget: 3,
             static_oracle: true,
             conformance_gate: false,
+            semantic_cache: true,
             journal: None,
             resume: false,
             case_deadline_ms: None,
@@ -136,6 +141,7 @@ impl EvalConfig {
             retry_budget: flag_value(args, "--retry-budget")?.unwrap_or(3),
             static_oracle: !switch(args, "--no-static-oracle"),
             conformance_gate: switch(args, "--conformance-gate"),
+            semantic_cache: !switch(args, "--no-semantic-cache"),
             journal: flag_value::<String>(args, "--journal")?.map(PathBuf::from),
             resume: switch(args, "--resume"),
             case_deadline_ms: flag_value(args, "--case-deadline")?,
@@ -172,6 +178,12 @@ impl EvalConfig {
     /// Builder: sets the injected fault rate.
     pub fn fault_rate(mut self, rate: f64) -> Self {
         self.fault_rate = rate;
+        self
+    }
+
+    /// Builder: enables or disables the semantic result cache.
+    pub fn semantic_cache(mut self, on: bool) -> Self {
+        self.semantic_cache = on;
         self
     }
 }
@@ -218,6 +230,9 @@ pub struct ServeConfig {
     pub seed: u64,
     /// Corpus size (examples).
     pub n_examples: usize,
+    /// Give each hosted session a result cache for re-presented SQL (on
+    /// by default; transcripts are byte-identical either way).
+    pub semantic_cache: bool,
 }
 
 impl Default for ServeConfig {
@@ -241,6 +256,7 @@ impl Default for ServeConfig {
             retry_budget: 3,
             seed: 0xC11,
             n_examples: 120,
+            semantic_cache: true,
         }
     }
 }
@@ -268,6 +284,7 @@ impl ServeConfig {
             retry_budget: flag_value(args, "--retry-budget")?.unwrap_or(defaults.retry_budget),
             seed: flag_value(args, "--seed")?.unwrap_or(defaults.seed),
             n_examples: flag_value(args, "--examples")?.unwrap_or(defaults.n_examples),
+            semantic_cache: !switch(args, "--no-semantic-cache"),
         };
         config.validate()?;
         Ok(config)
@@ -306,6 +323,7 @@ impl ServeConfig {
         fp.update(format!("{:?}", self.strategy).as_bytes());
         fp.update(&self.fault_rate.to_bits().to_le_bytes());
         fp.update(&self.retry_budget.to_le_bytes());
+        fp.update(&[u8::from(self.semantic_cache)]);
         fp.finish()
     }
 
@@ -390,6 +408,12 @@ impl ServeConfig {
     /// Builder: sets the corpus size.
     pub fn n_examples(mut self, n: usize) -> Self {
         self.n_examples = n;
+        self
+    }
+
+    /// Builder: enables or disables the per-session result cache.
+    pub fn semantic_cache(mut self, on: bool) -> Self {
+        self.semantic_cache = on;
         self
     }
 }
@@ -487,6 +511,7 @@ mod tests {
             "5",
             "--no-static-oracle",
             "--conformance-gate",
+            "--no-semantic-cache",
             "--journal",
             "/tmp/j",
             "--resume",
@@ -502,6 +527,7 @@ mod tests {
         assert_eq!(config.retry_budget, 5);
         assert!(!config.static_oracle);
         assert!(config.conformance_gate);
+        assert!(!config.semantic_cache);
         assert_eq!(
             config.journal.as_deref(),
             Some(std::path::Path::new("/tmp/j"))
@@ -532,6 +558,10 @@ mod tests {
         assert_ne!(
             a.fingerprint(),
             b.clone().strategy(Strategy::SearchRefine).fingerprint()
+        );
+        assert_ne!(
+            a.fingerprint(),
+            b.clone().semantic_cache(false).fingerprint()
         );
         // The transport and survivability knobs do not: replay is
         // transport-independent, and reaping/compaction/disk faults

@@ -80,13 +80,27 @@ pub(crate) fn build_view(
         max_rows: ExecLimits::interactive().max_rows,
         deadline_ms: None,
     };
+    build_view_with(db, example, predicted, |db, q| {
+        fisql_engine::execute_with_limits(db, q, guard).map_err(|e| e.to_string())
+    })
+}
+
+/// [`build_view`] with the engine call abstracted out so the runner can
+/// route it through the per-shard result cache's exact-print lane. The
+/// executor must reproduce `execute_with_limits` under the interactive
+/// row budget byte-for-byte (rows and error strings) for rendered views
+/// to stay bit-identical.
+pub(crate) fn build_view_with(
+    db: &fisql_engine::Database,
+    example: &fisql_spider::Example,
+    predicted: &Query,
+    mut exec: impl FnMut(&fisql_engine::Database, &Query) -> Result<fisql_engine::ResultSet, String>,
+) -> UserView {
     UserView {
         question: example.question.clone(),
         sql: print_query_spanned(predicted),
         explanation: crate::explain::explain_query(predicted),
-        result: fisql_engine::execute_with_limits(db, predicted, guard)
-            .map(|rs| rs.render_grid(10))
-            .map_err(|e| e.to_string()),
+        result: exec(db, predicted).map(|rs| rs.render_grid(10)),
     }
 }
 

@@ -230,7 +230,7 @@ impl Cues {
                 masked.replace_range(pos..pos + human.len(), &"\u{2}".repeat(human.len()));
                 columns.push((table.clone(), column.clone()));
             } else if let Some(pos) = find_word(&masked, &format!("{human}s")) {
-                masked.replace_range(pos..pos + human.len() + 1, &"\u{2}".repeat(human.len() + 1));
+                masked.replace_range(pos..=(pos + human.len()), &"\u{2}".repeat(human.len() + 1));
                 columns.push((table.clone(), column.clone()));
             }
         }

@@ -25,6 +25,7 @@
 //!   admission control, journal-backed session store, server, client,
 //!   and deterministic load generator.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod analysis;
@@ -38,6 +39,7 @@ pub mod journal;
 pub mod pipeline;
 pub mod refine;
 pub mod runner;
+pub mod semcache;
 pub mod serve;
 pub mod session;
 
@@ -57,6 +59,7 @@ pub use runner::{
     run_fingerprint, workers_from_env, CaseOutcome, CaseVerdict, CorrectionRun, ExperimentConfig,
     RunMetrics,
 };
+pub use semcache::{CacheStats, SemanticCache};
 pub use serve::{
     run_chaos, run_load, ChaosBehavior, ChaosConfig, ChaosReport, ClientTurn, Connected,
     LoadReport, ServeClient, ServeSummary, Server, ServerHandle, ServerStats, SessionStore,

@@ -305,9 +305,10 @@ fn fisql_step<L: FallibleLanguageModel + ?Sized>(
 ) -> BackendResult<IncorporateOutcome> {
     // Step 1 (§3.3): feedback-type identification + routed demonstrations
     // (fixed set, or dynamically selected — the §5 extension).
-    let routed = match routing {
-        true => Some(llm.try_classify_feedback(&ctx.feedback.text, ctx.round)?),
-        false => None,
+    let routed = if routing {
+        Some(llm.try_classify_feedback(&ctx.feedback.text, ctx.round)?)
+    } else {
+        None
     };
     let type_demos: Vec<String> = match routed {
         Some(class) if dynamic => builtin_pool().select(class, &ctx.feedback.text, ctx.previous, 2),
@@ -371,6 +372,12 @@ fn fisql_step<L: FallibleLanguageModel + ?Sized>(
     let conformance = match (ctx.conformance_gate, routed) {
         (true, Some(routed_class)) => {
             let conforms = |q: &Query| {
+                // A candidate canonically equivalent to the previous
+                // query is a semantic no-op regardless of its spelling —
+                // cause-(b) non-conformance just like an empty diff.
+                if fisql_sqlkit::canonically_equivalent(ctx.previous, q) {
+                    return false;
+                }
                 let realized = diff_queries(ctx.previous, q);
                 let classes = realized_classes(&realized);
                 if !classes.contains(&routed_class) {

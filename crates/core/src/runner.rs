@@ -61,12 +61,13 @@
 //!   reports worker-count invariant under simulated stalls.
 
 use crate::assistant::Assistant;
-use crate::experiment::{build_view, AnnotatedCase, CorrectionReport, ErrorCase};
+use crate::experiment::{build_view, build_view_with, AnnotatedCase, CorrectionReport, ErrorCase};
 use crate::journal::{Fnv64, FsyncPolicy, RunJournal};
 use crate::pipeline::{try_incorporate, IncorporateContext, Strategy};
+use crate::semcache::SemanticCache;
 use fisql_feedback::SimUser;
 use fisql_llm::{cache, AgreementStats, FallibleLanguageModel, ResilienceStats, SimLlm};
-use fisql_spider::{check_prediction, Corpus, Verdict};
+use fisql_spider::{check_prediction, check_prediction_with, Corpus, Verdict};
 use fisql_sqlkit::{normalize_query, print_query, print_query_spanned};
 use serde::{Deserialize, Serialize};
 use std::io;
@@ -115,6 +116,13 @@ pub struct ExperimentConfig {
     /// no case actually stalls).
     #[serde(default)]
     pub case_deadline_ms: Option<u64>,
+    /// Per-shard semantic result cache: serve repeated executions of
+    /// canonically-equivalent SQL (and byte-identical view renders)
+    /// from memory instead of the engine (see [`crate::semcache`]).
+    /// Reports are bit-identical with the cache on or off and at any
+    /// worker count; only the [`RunMetrics`] cache counters move.
+    #[serde(default = "default_true")]
+    pub semantic_cache: bool,
 }
 
 fn default_true() -> bool {
@@ -135,6 +143,7 @@ impl Default for ExperimentConfig {
             static_oracle: default_true(),
             conformance_gate: false,
             case_deadline_ms: None,
+            semantic_cache: default_true(),
         }
     }
 }
@@ -184,6 +193,12 @@ pub struct RunMetrics {
     pub cache_hits: u64,
     /// Retrieval/embedding cache misses during the run.
     pub cache_misses: u64,
+    /// Engine executions served from the per-shard semantic result
+    /// caches instead of the engine (summed over shards; zero with the
+    /// cache disabled).
+    pub executions_skipped_cache: u64,
+    /// Semantic-cache lookups that had to execute the engine.
+    pub semantic_cache_misses: u64,
     /// Resilience-layer telemetry deltas for the run (attempts, retries,
     /// breaker trips, fast-fails, …). All zeros when the backend exposes
     /// no resilience middleware.
@@ -201,6 +216,15 @@ impl RunMetrics {
         cache::CacheStats {
             hits: self.cache_hits,
             misses: self.cache_misses,
+        }
+        .hit_rate()
+    }
+
+    /// Semantic result-cache hits as a fraction of all lookups.
+    pub fn semantic_cache_hit_rate(&self) -> f64 {
+        crate::semcache::CacheStats {
+            hits: self.executions_skipped_cache,
+            misses: self.semantic_cache_misses,
         }
         .hit_rate()
     }
@@ -227,6 +251,8 @@ impl RunMetrics {
             engine_executions,
             cache_hits: delta.hits,
             cache_misses: delta.misses,
+            executions_skipped_cache: 0,
+            semantic_cache_misses: 0,
             resilience,
             agreement: AgreementStats::default(),
         }
@@ -302,12 +328,12 @@ pub struct CorrectionRun<'a, L: FallibleLanguageModel + ?Sized = SimLlm> {
 
 // Manual Clone/Copy: derives would bound `L: Clone`/`L: Copy`, but only
 // references to `L` are stored.
-impl<'a, L: FallibleLanguageModel + ?Sized> Clone for CorrectionRun<'a, L> {
+impl<L: FallibleLanguageModel + ?Sized> Clone for CorrectionRun<'_, L> {
     fn clone(&self) -> Self {
         *self
     }
 }
-impl<'a, L: FallibleLanguageModel + ?Sized> Copy for CorrectionRun<'a, L> {}
+impl<L: FallibleLanguageModel + ?Sized> Copy for CorrectionRun<'_, L> {}
 
 impl<'a, L: FallibleLanguageModel + ?Sized> CorrectionRun<'a, L> {
     /// Starts a run over `corpus` with the default
@@ -363,6 +389,13 @@ impl<'a, L: FallibleLanguageModel + ?Sized> CorrectionRun<'a, L> {
     /// Enables or disables the feedback-conformance gate.
     pub fn conformance_gate(mut self, on: bool) -> Self {
         self.cfg.conformance_gate = on;
+        self
+    }
+
+    /// Enables or disables the per-shard semantic result cache (on by
+    /// default; reports are bit-identical either way).
+    pub fn semantic_cache(mut self, on: bool) -> Self {
+        self.cfg.semantic_cache = on;
         self
     }
 
@@ -463,7 +496,12 @@ impl<'a, L: FallibleLanguageModel + ?Sized> CorrectionRun<'a, L> {
             .filter_map(|(i, o)| o.is_none().then_some(i))
             .collect();
         let workers = self.cfg.effective_workers(pending.len());
-        for (idx, outcome) in self.run_pending(cases, &pending, workers, journal.as_ref())? {
+        let semcache_hits = AtomicU64::new(0);
+        let semcache_misses = AtomicU64::new(0);
+        let semcache_totals = (&semcache_hits, &semcache_misses);
+        for (idx, outcome) in
+            self.run_pending(cases, &pending, workers, journal.as_ref(), semcache_totals)?
+        {
             outcomes[idx] = Some(outcome);
         }
         if let Some(journal) = &journal {
@@ -514,6 +552,8 @@ impl<'a, L: FallibleLanguageModel + ?Sized> CorrectionRun<'a, L> {
             resilience,
         );
         metrics.agreement = agreement;
+        metrics.executions_skipped_cache = semcache_hits.load(Ordering::Acquire);
+        metrics.semantic_cache_misses = semcache_misses.load(Ordering::Acquire);
         Ok(CorrectionReport {
             strategy: self.cfg.strategy.name().to_string(),
             total: cases.len(),
@@ -568,6 +608,7 @@ impl<'a, L: FallibleLanguageModel + ?Sized> CorrectionRun<'a, L> {
         pending: &[usize],
         workers: usize,
         journal: Option<&Mutex<RunJournal>>,
+        semcache_totals: (&AtomicU64, &AtomicU64),
     ) -> io::Result<Vec<(usize, CaseOutcome)>> {
         if pending.is_empty() {
             return Ok(Vec::new());
@@ -586,7 +627,9 @@ impl<'a, L: FallibleLanguageModel + ?Sized> CorrectionRun<'a, L> {
                 .chunks(chunk)
                 .zip(&slots)
                 .map(|(shard, slot)| {
-                    scope.spawn(|| self.run_shard(cases, shard, slot, epoch, journal))
+                    scope.spawn(|| {
+                        self.run_shard(cases, shard, slot, epoch, journal, semcache_totals)
+                    })
                 })
                 .collect();
             let mut merged = Vec::with_capacity(pending.len());
@@ -617,6 +660,7 @@ impl<'a, L: FallibleLanguageModel + ?Sized> CorrectionRun<'a, L> {
         slot: &Arc<CaseSlot>,
         epoch: Instant,
         journal: Option<&Mutex<RunJournal>>,
+        semcache_totals: (&AtomicU64, &AtomicU64),
     ) -> io::Result<Vec<(usize, CaseOutcome)>> {
         // While the watchdog is armed, long engine executions on this
         // thread poll the case budget (strided, inside the engine's
@@ -628,14 +672,19 @@ impl<'a, L: FallibleLanguageModel + ?Sized> CorrectionRun<'a, L> {
             })));
             PulseGuard
         });
+        // One semantic result cache per shard: no cross-thread state, so
+        // which executions hit depends only on this shard's own case
+        // sequence — worker count still cannot change any report field.
+        let mut semcache = SemanticCache::new(self.cfg.semantic_cache);
         let mut out = Vec::with_capacity(shard.len());
         for &idx in shard {
             slot.begin(idx, epoch, self.cfg.case_deadline_ms);
-            let mut outcome =
-                match crate::isolate::run_isolated(|| self.run_case(&cases[idx], slot, epoch)) {
-                    Ok(outcome) => outcome,
-                    Err(message) => CaseOutcome::Crashed { message },
-                };
+            let mut outcome = match crate::isolate::run_isolated(|| {
+                self.run_case(&cases[idx], slot, epoch, &mut semcache)
+            }) {
+                Ok(outcome) => outcome,
+                Err(message) => CaseOutcome::Crashed { message },
+            };
             if slot.claim_journaled() {
                 if let Some(journal) = journal {
                     journal
@@ -654,11 +703,23 @@ impl<'a, L: FallibleLanguageModel + ?Sized> CorrectionRun<'a, L> {
             slot.end();
             out.push((idx, outcome));
         }
+        semcache_totals
+            .0
+            .fetch_add(semcache.stats.hits, Ordering::AcqRel);
+        semcache_totals
+            .1
+            .fetch_add(semcache.stats.misses, Ordering::AcqRel);
         Ok(out)
     }
 
     /// One case's multi-round correction loop — the unit of sharding.
-    fn run_case(&self, case: &AnnotatedCase, slot: &CaseSlot, epoch: Instant) -> CaseOutcome {
+    fn run_case(
+        &self,
+        case: &AnnotatedCase,
+        slot: &CaseSlot,
+        epoch: Instant,
+        semcache: &mut SemanticCache,
+    ) -> CaseOutcome {
         // One case = one resilience session: the backend resets its
         // per-session breaker/deadline state here, on this worker's
         // thread, so failure handling depends only on this case's own
@@ -703,7 +764,13 @@ impl<'a, L: FallibleLanguageModel + ?Sized> CorrectionRun<'a, L> {
             let mut feedback = if round == 0 {
                 Some(case.feedback.clone())
             } else {
-                let view = build_view(db, example, &current);
+                // The render goes through the cache's exact-print lane:
+                // a hit replays the byte-identical grid or error string a
+                // fresh execution would have produced. The logical
+                // execution counter is charged either way — report
+                // fields must not depend on cache state.
+                let view =
+                    build_view_with(db, example, &current, |db, q| semcache.execute_view(db, q));
                 verdict.engine_executions += 1; // the view renders a result grid
                 self.user.feedback(example, &current, &view, round as u64)
             };
@@ -762,24 +829,32 @@ impl<'a, L: FallibleLanguageModel + ?Sized> CorrectionRun<'a, L> {
             current = step.query;
             question = step.question;
 
-            // Equivalence oracle: a candidate provably equivalent to a
-            // query this case already executed-and-found-incorrect must
-            // produce the same (wrong) result — skip both engine runs of
-            // the correctness check. Only analyzer-clean candidates are
-            // eligible: a gate error means the query may not execute at
-            // all, and the memo's verdicts only transfer to executions.
+            // Equivalence oracle: a candidate canonically equivalent to
+            // a query this case already executed-and-found-incorrect
+            // must produce the same (wrong) result — skip both engine
+            // runs of the correctness check. Only analyzer-clean
+            // candidates are eligible: a gate error means the query may
+            // not execute at all, and the memo's verdicts only transfer
+            // to executions. (`canonically_equivalent` subsumes the
+            // pre-canon `provably_equivalent` check, so this strictly
+            // grows the skip set.)
             if self.cfg.static_oracle
                 && !step.gate.has_errors()
                 && known_incorrect
                     .iter()
-                    .any(|q| fisql_sqlkit::provably_equivalent(q, &current))
+                    .any(|q| fisql_sqlkit::canonically_equivalent(q, &current))
             {
                 verdict.executions_skipped_static += 2;
                 continue;
             }
 
+            // Both the gold and the predicted execution route through
+            // the semantic lane; the logical counter is charged
+            // unconditionally so reports stay cache-invariant.
             verdict.engine_executions += 2; // correctness check runs predicted + gold
-            let check = check_prediction(db, example, &current);
+            let check = check_prediction_with(db, example, &current, |db, q| {
+                semcache.execute_semantic(db, q)
+            });
             if check.is_correct() {
                 verdict.corrected_at = Some(round);
                 break;
@@ -795,7 +870,7 @@ impl<'a, L: FallibleLanguageModel + ?Sized> CorrectionRun<'a, L> {
     }
 }
 
-impl<'a> CorrectionRun<'a, SimLlm> {
+impl CorrectionRun<'_, SimLlm> {
     /// Runs the production Assistant (few-shot RAG) over the corpus and
     /// collects the error cases (§4.1). Sharded across the configured
     /// worker count; output order matches corpus order.

@@ -1,0 +1,292 @@
+//! Semantic result cache keyed by `(db_fingerprint, canon_fingerprint)`.
+//!
+//! Correction runs execute the same SQL over and over: the gold query of
+//! a case re-executes every round, candidate repairs are dense with
+//! semantically-equal spellings, and serve sessions re-render the same
+//! prediction grid after every feedback turn. [`SemanticCache`] turns
+//! those repeats into hash lookups with two lanes:
+//!
+//! * the **semantic lane** serves correctness checks
+//!   ([`check_prediction`](fisql_spider::check_prediction)-shaped
+//!   executions under unlimited budgets). It is keyed by the canonical
+//!   fingerprint ([`fisql_sqlkit::canon_fingerprint`]), so *any*
+//!   canonically-equivalent spelling hits. Soundness leans on two
+//!   established contracts: the canon soundness proptest (equal
+//!   fingerprints ⇒ identical engine results) and the analyzer-agreement
+//!   property (analyzer-clean queries execute without error) — the lane
+//!   therefore only serves or stores analyzer-clean queries and `Ok`
+//!   results, exactly the gate the PR 4 static oracle established for
+//!   rewrite-based reasoning (rewrites may erase an erroring
+//!   subexpression, so error behaviour is only preserved on queries that
+//!   cannot error);
+//! * the **exact lane** serves user-visible renders (view grids and
+//!   serve-session result frames) under the interactive row budget. It
+//!   is keyed by the exact printed SQL, which makes it trivially sound —
+//!   byte-identical query text on the same database — so it may cache
+//!   `Err` strings too.
+//!
+//! The cache is deliberately **per-shard** (one per worker thread, one
+//! per serve session): no cross-thread state means worker count cannot
+//! change which executions hit, and reports stay bit-identical at any
+//! worker count. Hit counters are folded into
+//! [`RunMetrics`](crate::runner::RunMetrics), which is `#[serde(skip)]`
+//! in serialized reports, so cache effectiveness is observable without
+//! perturbing replay contracts.
+
+use fisql_engine::{Database, ExecLimits, ResultSet};
+use fisql_sqlkit::{check_query, fnv64, print_query, Query, SchemaInfo};
+use std::collections::HashMap;
+
+/// Hit/miss accounting for one cache instance.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Engine executions served from cache (both lanes).
+    pub hits: u64,
+    /// Calls that had to execute the engine (including analyzer-gate
+    /// bypasses on the semantic lane).
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Hit rate in `[0, 1]`; 0 when the cache was never consulted.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A per-shard semantic + exact result cache. See the module docs for
+/// the two lanes and their soundness arguments.
+#[derive(Debug, Default)]
+pub struct SemanticCache {
+    enabled: bool,
+    /// Database fingerprints, memoized by database name (corpus
+    /// databases are unique by name; the fingerprint content-checks that
+    /// assumption cheaply).
+    db_fps: HashMap<String, u64>,
+    /// Schema introspection memo for the analyzer gate, keyed by db
+    /// fingerprint.
+    schemas: HashMap<u64, SchemaInfo>,
+    /// Canonical-fingerprint memo keyed by exact printed SQL (computing
+    /// the canonical form is pure AST work but not free).
+    canon_fps: HashMap<u64, u64>,
+    /// Semantic lane: `(db_fp, canon_fp)` → unlimited-budget `Ok` rows.
+    semantic: HashMap<(u64, u64), ResultSet>,
+    /// Exact lane: `(db_fp, print_fp)` → interactive-budget outcome.
+    exact: HashMap<(u64, u64), Result<ResultSet, String>>,
+    /// Counters.
+    pub stats: CacheStats,
+}
+
+impl SemanticCache {
+    /// A live cache (`enabled = true`) or a transparent pass-through
+    /// (`enabled = false`: every call executes, counters stay zero).
+    pub fn new(enabled: bool) -> Self {
+        SemanticCache {
+            enabled,
+            ..SemanticCache::default()
+        }
+    }
+
+    /// Whether this cache serves lookups at all.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Fingerprint of a database: FNV-1a over its name plus every
+    /// table's name, column names, and row count. Cheap (no row data)
+    /// but strong enough to content-check the name-uniqueness assumption
+    /// the corpus already guarantees.
+    pub fn db_fingerprint(db: &Database) -> u64 {
+        let mut payload = Vec::new();
+        payload.extend_from_slice(db.name.as_bytes());
+        for table in &db.tables {
+            payload.push(0x1f);
+            payload.extend_from_slice(table.name.as_bytes());
+            for col in &table.columns {
+                payload.push(0x1e);
+                payload.extend_from_slice(col.name.as_bytes());
+            }
+            payload.push(0x1d);
+            payload.extend_from_slice(&(table.rows.len() as u64).to_le_bytes());
+        }
+        fnv64(&payload)
+    }
+
+    fn db_fp(&mut self, db: &Database) -> u64 {
+        if let Some(fp) = self.db_fps.get(&db.name) {
+            return *fp;
+        }
+        let fp = Self::db_fingerprint(db);
+        self.db_fps.insert(db.name.clone(), fp);
+        fp
+    }
+
+    fn analyzer_clean(&mut self, db_fp: u64, db: &Database, query: &Query) -> bool {
+        let schema = self
+            .schemas
+            .entry(db_fp)
+            .or_insert_with(|| db.schema_info());
+        !check_query(query, schema).iter().any(|d| d.is_error())
+    }
+
+    fn canon_fp(&mut self, print_fp: u64, query: &Query) -> u64 {
+        if let Some(fp) = self.canon_fps.get(&print_fp) {
+            return *fp;
+        }
+        let fp = fisql_sqlkit::canon_fingerprint(query);
+        self.canon_fps.insert(print_fp, fp);
+        fp
+    }
+
+    /// Execute under unlimited budgets through the semantic lane.
+    ///
+    /// Analyzer-clean queries are served by canonical fingerprint and
+    /// their `Ok` results stored; analyzer-rejected queries bypass the
+    /// lane entirely (their error behaviour is spelling-dependent, which
+    /// canonical keying would erase).
+    pub fn execute_semantic(&mut self, db: &Database, query: &Query) -> Result<ResultSet, String> {
+        if !self.enabled {
+            return fisql_engine::execute(db, query).map_err(|e| e.to_string());
+        }
+        let db_fp = self.db_fp(db);
+        if !self.analyzer_clean(db_fp, db, query) {
+            self.stats.misses += 1;
+            return fisql_engine::execute(db, query).map_err(|e| e.to_string());
+        }
+        let print_fp = fnv64(print_query(query).as_bytes());
+        let canon_fp = self.canon_fp(print_fp, query);
+        if let Some(rs) = self.semantic.get(&(db_fp, canon_fp)) {
+            self.stats.hits += 1;
+            return Ok(rs.clone());
+        }
+        self.stats.misses += 1;
+        let res = fisql_engine::execute(db, query).map_err(|e| e.to_string());
+        if let Ok(rs) = &res {
+            self.semantic.insert((db_fp, canon_fp), rs.clone());
+        }
+        res
+    }
+
+    /// Execute under the interactive row budget through the exact lane
+    /// (byte-identical printed SQL on the same database; errors cached
+    /// too). This is the lane user-visible grids render from, so hits
+    /// reproduce exactly what a fresh execution would have shown.
+    pub fn execute_view(&mut self, db: &Database, query: &Query) -> Result<ResultSet, String> {
+        let guard = ExecLimits {
+            max_rows: ExecLimits::interactive().max_rows,
+            deadline_ms: None,
+        };
+        if !self.enabled {
+            return fisql_engine::execute_with_limits(db, query, guard).map_err(|e| e.to_string());
+        }
+        let db_fp = self.db_fp(db);
+        let print_fp = fnv64(print_query(query).as_bytes());
+        if let Some(res) = self.exact.get(&(db_fp, print_fp)) {
+            self.stats.hits += 1;
+            return res.clone();
+        }
+        self.stats.misses += 1;
+        let res = fisql_engine::execute_with_limits(db, query, guard).map_err(|e| e.to_string());
+        self.exact.insert((db_fp, print_fp), res.clone());
+        res
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fisql_spider::{build_spider, SpiderConfig};
+    use fisql_sqlkit::parse_query;
+
+    fn corpus_db() -> Database {
+        build_spider(&SpiderConfig::small(77)).databases[0].clone()
+    }
+
+    fn first_table_and_int_col(db: &Database) -> (String, String) {
+        for t in &db.tables {
+            for c in &t.columns {
+                if matches!(c.dtype, fisql_engine::DataType::Int) {
+                    return (t.name.clone(), c.name.clone());
+                }
+            }
+        }
+        panic!("no int column in corpus db");
+    }
+
+    #[test]
+    fn semantic_lane_serves_equivalent_spellings() {
+        let db = corpus_db();
+        let (t, c) = first_table_and_int_col(&db);
+        let mut cache = SemanticCache::new(true);
+        let a = parse_query(&format!("SELECT {c} FROM {t} WHERE {c} > 1")).unwrap();
+        let b = parse_query(&format!("SELECT {c} FROM {t} WHERE NOT ({c} <= 1)")).unwrap();
+        let ra = cache.execute_semantic(&db, &a).unwrap();
+        assert_eq!(cache.stats, CacheStats { hits: 0, misses: 1 });
+        let rb = cache.execute_semantic(&db, &b).unwrap();
+        assert_eq!(cache.stats, CacheStats { hits: 1, misses: 1 });
+        assert!(fisql_engine::results_match(&ra, &rb));
+        // Fresh execution agrees with the served result.
+        let fresh = fisql_engine::execute(&db, &b).unwrap();
+        assert!(fisql_engine::results_match(&fresh, &rb));
+    }
+
+    #[test]
+    fn analyzer_rejected_queries_bypass_the_semantic_lane() {
+        let db = corpus_db();
+        let (t, _) = first_table_and_int_col(&db);
+        let mut cache = SemanticCache::new(true);
+        let bad = parse_query(&format!("SELECT no_such_column FROM {t}")).unwrap();
+        assert!(cache.execute_semantic(&db, &bad).is_err());
+        assert!(cache.execute_semantic(&db, &bad).is_err());
+        assert_eq!(cache.stats.hits, 0, "error executions are never served");
+        assert_eq!(cache.stats.misses, 2);
+    }
+
+    #[test]
+    fn exact_lane_caches_renders_and_errors() {
+        let db = corpus_db();
+        let (t, c) = first_table_and_int_col(&db);
+        let mut cache = SemanticCache::new(true);
+        let q = parse_query(&format!("SELECT {c} FROM {t}")).unwrap();
+        let r1 = cache.execute_view(&db, &q);
+        let r2 = cache.execute_view(&db, &q);
+        assert_eq!(r1, r2);
+        assert_eq!(cache.stats, CacheStats { hits: 1, misses: 1 });
+        let bad = parse_query(&format!("SELECT nope FROM {t}")).unwrap();
+        let e1 = cache.execute_view(&db, &bad);
+        let e2 = cache.execute_view(&db, &bad);
+        assert!(e1.is_err());
+        assert_eq!(e1, e2);
+        assert_eq!(cache.stats, CacheStats { hits: 2, misses: 2 });
+    }
+
+    #[test]
+    fn disabled_cache_is_transparent() {
+        let db = corpus_db();
+        let (t, c) = first_table_and_int_col(&db);
+        let mut cache = SemanticCache::new(false);
+        let q = parse_query(&format!("SELECT {c} FROM {t} WHERE {c} > 0")).unwrap();
+        let a = cache.execute_semantic(&db, &q).unwrap();
+        let b = cache.execute_semantic(&db, &q).unwrap();
+        assert!(fisql_engine::results_match(&a, &b));
+        assert_eq!(cache.stats, CacheStats::default());
+    }
+
+    #[test]
+    fn db_fingerprints_distinguish_corpus_databases() {
+        let corpus = build_spider(&SpiderConfig::small(78));
+        let mut fps: Vec<u64> = corpus
+            .databases
+            .iter()
+            .map(SemanticCache::db_fingerprint)
+            .collect();
+        fps.sort_unstable();
+        fps.dedup();
+        assert_eq!(fps.len(), corpus.databases.len());
+    }
+}

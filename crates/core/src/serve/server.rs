@@ -395,7 +395,8 @@ fn handle_conn(ctx: &ConnCtx, corpus: &Corpus, mut stream: TcpStream) {
                     &corpus.databases[0],
                     ctx.assistant.clone(),
                     ctx.config.strategy,
-                ),
+                )
+                .semantic_cache(ctx.config.semantic_cache),
                 backend,
                 example: None,
                 degraded: false,
@@ -751,7 +752,8 @@ fn replay_session<'a>(ctx: &ConnCtx, corpus: &'a Corpus, id: u64, ops: &[Session
             &corpus.databases[0],
             ctx.assistant.clone(),
             ctx.config.strategy,
-        ),
+        )
+        .semantic_cache(ctx.config.semantic_cache),
         backend,
         example: None,
         degraded: false,

@@ -89,6 +89,11 @@ pub struct Session<'a> {
     /// The current example and state, once a question was asked.
     state: Option<State>,
     round: u64,
+    /// Per-session result cache (exact-print lane): re-presenting the
+    /// same SQL — degraded rounds, repeated feedback, replayed questions
+    /// — replays the byte-identical grid without re-executing. On by
+    /// default; [`Session::semantic_cache`] disables it.
+    semcache: crate::semcache::SemanticCache,
 }
 
 struct State {
@@ -97,7 +102,7 @@ struct State {
 }
 
 impl<'a> Session<'a> {
-    /// Opens a session.
+    /// Opens a session (result cache on).
     pub fn new(db: &'a Database, assistant: Assistant, strategy: Strategy) -> Self {
         Session {
             db,
@@ -106,7 +111,20 @@ impl<'a> Session<'a> {
             transcript: Vec::new(),
             state: None,
             round: 0,
+            semcache: crate::semcache::SemanticCache::new(true),
         }
+    }
+
+    /// Enables or disables the per-session result cache (builder-style;
+    /// presented turns are byte-identical either way).
+    pub fn semantic_cache(mut self, on: bool) -> Self {
+        self.semcache = crate::semcache::SemanticCache::new(on);
+        self
+    }
+
+    /// Hit/miss counters of the per-session result cache.
+    pub fn cache_stats(&self) -> crate::semcache::CacheStats {
+        self.semcache.stats
     }
 
     /// The typed event stream so far.
@@ -136,7 +154,9 @@ impl<'a> Session<'a> {
     pub fn ask(&mut self, example: &Example) -> AssistantTurn {
         self.transcript
             .push(SessionEvent::User(example.question.clone()));
-        let turn = self.assistant.answer(self.db, example, 0);
+        let assistant = &self.assistant;
+        let semcache = &mut self.semcache;
+        let turn = assistant.answer_with(self.db, example, 0, |db, q| semcache.execute_view(db, q));
         self.push_assistant(&turn);
         self.state = Some(State {
             question: example.question.clone(),
@@ -208,15 +228,13 @@ impl<'a> Session<'a> {
             .as_mut()
             .expect("absorb() requires an active question");
         state.current = outcome.query.clone();
-        state.question = outcome.question.clone();
+        state.question.clone_from(&outcome.question);
         self.transcript.push(SessionEvent::Gate {
             round: self.round,
             outcome: outcome.gate.clone(),
         });
         self.round += 1;
-        let turn = self
-            .assistant
-            .present(self.db, outcome.query, outcome.prompt, vec![]);
+        let turn = self.present_cached(outcome.query, outcome.prompt);
         self.push_assistant(&turn);
         turn
     }
@@ -251,11 +269,19 @@ impl<'a> Session<'a> {
             .expect("a failed round requires an active question")
             .current
             .clone();
-        let turn = self
-            .assistant
-            .present(self.db, current, String::new(), vec![]);
+        let turn = self.present_cached(current, String::new());
         self.push_assistant(&turn);
         turn
+    }
+
+    /// Presents a query through the session's result cache: the render
+    /// re-executes only on the first sighting of each exact SQL text.
+    fn present_cached(&mut self, query: fisql_sqlkit::Query, prompt: String) -> AssistantTurn {
+        let assistant = &self.assistant;
+        let semcache = &mut self.semcache;
+        assistant.present_with(self.db, query, prompt, vec![], |db, q| {
+            semcache.execute_view(db, q)
+        })
     }
 
     /// Appends the structured Assistant event for `turn`.

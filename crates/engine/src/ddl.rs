@@ -370,7 +370,7 @@ mod tests {
     use super::*;
     use crate::exec::execute_sql;
 
-    const SCRIPT: &str = r#"
+    const SCRIPT: &str = r"
         CREATE TABLE singer (
           singer_id INT PRIMARY KEY,
           name TEXT NOT NULL,
@@ -388,7 +388,7 @@ mod tests {
           (2, 'Ann O''Hara', 33, NULL),
           (3, 'Tribal King', 25, 3.0);
         INSERT INTO concert (concert_id, singer_id, title) VALUES (1, 2, 'Opening Night');
-    "#;
+    ";
 
     #[test]
     fn loads_schema_and_rows() {

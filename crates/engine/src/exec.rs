@@ -193,7 +193,7 @@ struct Scope<'a> {
     outer: Option<&'a Scope<'a>>,
 }
 
-impl<'a> Scope<'a> {
+impl Scope<'_> {
     fn lookup(&self, col: &ColumnRef) -> ExecResult<Value> {
         if let Some(idx) = self.rel.resolve(col)? {
             return Ok(self.row[idx].clone());
@@ -229,7 +229,7 @@ struct Executor<'a> {
     started: Instant,
 }
 
-impl<'a> Executor<'a> {
+impl Executor<'_> {
     /// Charges `n` materialized rows against the budgets. The row check
     /// runs on every charge; the (costlier) clock read runs only when
     /// the running total crosses a 1024-row boundary, so per-row charges
@@ -1502,12 +1502,12 @@ fn scalar_function(func: Func, args: &[Value]) -> ExecResult<Value> {
             };
             let chars: Vec<char> = s.chars().collect();
             // SQL SUBSTR is 1-based; negative start counts from the end.
-            let begin = if *start > 0 {
-                (*start as usize).saturating_sub(1)
-            } else if *start < 0 {
-                chars.len().saturating_sub(start.unsigned_abs() as usize)
-            } else {
-                0
+            let begin = match (*start).cmp(&0) {
+                std::cmp::Ordering::Greater => (*start as usize).saturating_sub(1),
+                std::cmp::Ordering::Less => {
+                    chars.len().saturating_sub(start.unsigned_abs() as usize)
+                }
+                std::cmp::Ordering::Equal => 0,
             };
             let len = match args.get(2) {
                 Some(Value::Int(n)) if *n >= 0 => *n as usize,

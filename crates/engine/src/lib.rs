@@ -25,6 +25,7 @@
 //! assert_eq!(rs.rows, vec![vec![Value::Text("Ann".into())]]);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod ddl;

@@ -5,6 +5,7 @@
 //! Table 1-style utterances, highlight spans (Figure 9), engagement and
 //! misalignment noise.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod user;

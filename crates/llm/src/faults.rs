@@ -229,11 +229,12 @@ impl<B: FallibleLanguageModel> FaultyBackend<B> {
             });
         }
         threshold += self.cfg.panic;
-        if u < threshold {
-            // Deliberately NOT a BackendError: this models a client-side
-            // bug, and must unwind to the runner's isolation boundary.
-            panic!("injected backend panic (example {example_id}, key {key:#x})");
-        }
+        // Deliberately NOT a BackendError: this models a client-side
+        // bug, and must unwind to the runner's isolation boundary.
+        assert!(
+            u >= threshold,
+            "injected backend panic (example {example_id}, key {key:#x})"
+        );
         Ok(())
     }
 }

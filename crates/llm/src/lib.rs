@@ -15,6 +15,7 @@
 //! calibrated comprehension model reproduces the shape of every reported
 //! number while keeping each pipeline stage real and testable.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod agreement;

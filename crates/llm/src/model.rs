@@ -331,7 +331,7 @@ pub fn channel_resolved_by_text(channel: &ErrorChannel, example: &Example, text:
             .get(*proj_idx)
             .map(|p| match p {
                 fisql_spider::Projection::Column { column, .. } => mentions(column),
-                _ => false,
+                fisql_spider::Projection::Agg(_) => false,
             })
             .unwrap_or(false),
         ErrorChannel::FilterColumnConfusion { pred_idx, .. } => example
@@ -360,7 +360,7 @@ pub fn channel_resolved_by_text(channel: &ErrorChannel, example: &Example, text:
             .get(*proj_idx)
             .map(|p| match p {
                 fisql_spider::Projection::Column { column, .. } => mentions(column),
-                _ => false,
+                fisql_spider::Projection::Agg(_) => false,
             })
             .unwrap_or(false),
         ErrorChannel::DropPredicate { pred_idx } => example

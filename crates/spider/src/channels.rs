@@ -365,42 +365,42 @@ fn apply_channel_to_intent(i: &mut Intent, channel: &ErrorChannel) -> bool {
         }
         ErrorChannel::ColumnConfusion { proj_idx, wrong } => {
             if let Some(Projection::Column { column, .. }) = i.projections.get_mut(*proj_idx) {
-                *column = wrong.clone();
+                column.clone_from(wrong);
             }
         }
         ErrorChannel::FilterColumnConfusion { pred_idx, wrong } => {
             if let Some(p) = i.preds.get_mut(*pred_idx) {
-                p.column = wrong.clone();
+                p.column.clone_from(wrong);
             }
         }
         ErrorChannel::TableConfusion { wrong } => {
             let old = i.primary.clone();
-            i.primary = wrong.clone();
+            i.primary.clone_from(wrong);
             for p in &mut i.preds {
                 if p.table == old {
-                    p.table = wrong.clone();
+                    p.table.clone_from(wrong);
                 }
             }
             for proj in &mut i.projections {
                 if let Projection::Column { table, .. } = proj {
                     if *table == old {
-                        *table = wrong.clone();
+                        table.clone_from(wrong);
                     }
                 }
             }
             for j in &mut i.joins {
                 if j.left_table == old {
-                    j.left_table = wrong.clone();
+                    j.left_table.clone_from(wrong);
                 }
             }
             if let Shape::Superlative { order_table, .. } = &mut i.shape {
                 if *order_table == old {
-                    *order_table = wrong.clone();
+                    order_table.clone_from(wrong);
                 }
             }
             if let Shape::GroupBy { key_table, .. } = &mut i.shape {
                 if *key_table == old {
-                    *key_table = wrong.clone();
+                    key_table.clone_from(wrong);
                 }
             }
         }
@@ -460,13 +460,13 @@ fn apply_channel_to_intent(i: &mut Intent, channel: &ErrorChannel) -> bool {
                 for proj in &mut i.projections {
                     if let Projection::Column { table, .. } = proj {
                         if *table == dropped.table {
-                            *table = i.primary.clone();
+                            table.clone_from(&i.primary);
                         }
                     }
                 }
                 for p in &mut i.preds {
                     if p.table == dropped.table {
-                        p.table = i.primary.clone();
+                        p.table.clone_from(&i.primary);
                     }
                 }
                 // Later joins that attached to the dropped table reattach
@@ -474,7 +474,7 @@ fn apply_channel_to_intent(i: &mut Intent, channel: &ErrorChannel) -> bool {
                 // point).
                 for j in &mut i.joins {
                     if j.left_table == dropped.table {
-                        j.left_table = i.primary.clone();
+                        j.left_table.clone_from(&i.primary);
                     }
                 }
             }

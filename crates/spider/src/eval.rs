@@ -29,7 +29,23 @@ impl Verdict {
 
 /// Checks a predicted query against an example's gold on `db`.
 pub fn check_prediction(db: &Database, example: &Example, predicted: &Query) -> Verdict {
-    let gold_rs = match execute(db, &example.gold) {
+    check_prediction_with(db, example, predicted, |db, q| {
+        execute(db, q).map_err(|e| e.to_string())
+    })
+}
+
+/// [`check_prediction`] with the engine call abstracted out, so callers
+/// can route both the gold and the predicted execution through a result
+/// cache. The executor must behave like `execute` under unlimited
+/// budgets (same rows, same error strings) for the verdict to match an
+/// uncached check.
+pub fn check_prediction_with(
+    db: &Database,
+    example: &Example,
+    predicted: &Query,
+    mut exec: impl FnMut(&Database, &Query) -> Result<ResultSet, String>,
+) -> Verdict {
+    let gold_rs = match exec(db, &example.gold) {
         Ok(rs) => rs,
         Err(e) => {
             // Corpus construction validates gold; reaching this means the
@@ -39,7 +55,7 @@ pub fn check_prediction(db: &Database, example: &Example, predicted: &Query) -> 
             };
         }
     };
-    match execute(db, predicted) {
+    match exec(db, predicted) {
         Ok(rs) => {
             if results_match(&rs, &gold_rs) {
                 Verdict::Correct
@@ -47,9 +63,7 @@ pub fn check_prediction(db: &Database, example: &Example, predicted: &Query) -> 
                 Verdict::WrongResult
             }
         }
-        Err(e) => Verdict::ExecutionError {
-            message: e.to_string(),
-        },
+        Err(e) => Verdict::ExecutionError { message: e },
     }
 }
 

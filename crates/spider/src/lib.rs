@@ -15,6 +15,7 @@
 //! ways a model can misread the question — are recorded for the simulated
 //! LLM in `fisql-llm`.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod aep;
@@ -34,7 +35,9 @@ pub use channels::{
     applicable_channels, corrupt, corrupt_many, DifficultyProfile, ErrorChannel, WeightedChannel,
 };
 pub use corpus::{build_spider, SpiderConfig};
-pub use eval::{check_prediction, evaluate, user_visible_result, AccuracyReport, Verdict};
+pub use eval::{
+    check_prediction, check_prediction_with, evaluate, user_visible_result, AccuracyReport, Verdict,
+};
 pub use example::{Corpus, Example, Hardness};
 pub use intent::{AggIntent, Intent, JoinStep, PredIntent, PredKind, Projection, Shape};
 pub use intent_gen::generate_intent;

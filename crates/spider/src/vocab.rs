@@ -714,7 +714,7 @@ mod tests {
     #[test]
     fn theme_names_are_unique() {
         let mut names: Vec<_> = THEMES.iter().map(|t| t.name).collect();
-        names.sort();
+        names.sort_unstable();
         names.dedup();
         assert_eq!(names.len(), THEMES.len());
     }
@@ -723,7 +723,7 @@ mod tests {
     fn entity_names_unique_within_theme() {
         for t in THEMES {
             let mut e: Vec<_> = t.entities.to_vec();
-            e.sort();
+            e.sort_unstable();
             e.dedup();
             assert_eq!(e.len(), t.entities.len(), "dup entity in {}", t.name);
         }

@@ -148,6 +148,22 @@ impl BinOp {
             other => *other,
         }
     }
+
+    /// The logical complement of a comparison (`NOT (a < b)` ⇔ `a >= b`
+    /// under the engine's total value order, with NULL operands yielding
+    /// NULL on both sides). `None` for non-comparison operators, which
+    /// have no operator-level complement.
+    pub fn negated(&self) -> Option<BinOp> {
+        match self {
+            BinOp::Eq => Some(BinOp::NotEq),
+            BinOp::NotEq => Some(BinOp::Eq),
+            BinOp::Lt => Some(BinOp::GtEq),
+            BinOp::LtEq => Some(BinOp::Gt),
+            BinOp::Gt => Some(BinOp::LtEq),
+            BinOp::GtEq => Some(BinOp::Lt),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for BinOp {

@@ -353,10 +353,12 @@ impl Diagnostic {
 pub fn render_report(sql: &str, diags: &[Diagnostic]) -> String {
     let mut sorted: Vec<&Diagnostic> = diags.iter().collect();
     sorted.sort_by_key(|d| (std::cmp::Reverse(d.severity), d.span.start));
-    sorted
-        .iter()
-        .map(|d| format!("- {}\n", d.render(sql)))
-        .collect()
+    sorted.iter().fold(String::new(), |mut out, d| {
+        out.push_str("- ");
+        out.push_str(&d.render(sql));
+        out.push('\n');
+        out
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -505,7 +507,7 @@ enum Lookup {
     NotFound,
 }
 
-impl<'a> Scope<'a> {
+impl Scope<'_> {
     fn resolve(&self, cref: &ColumnRef) -> Lookup {
         if let Some(q) = &cref.table {
             let mut level: Option<&Scope<'_>> = Some(self);
@@ -669,7 +671,7 @@ pub fn check_query(query: &Query, schema: &SchemaInfo) -> Vec<Diagnostic> {
     checker.diags
 }
 
-impl<'s> Checker<'s> {
+impl Checker<'_> {
     fn push(
         &mut self,
         code: DiagCode,
@@ -1485,7 +1487,13 @@ impl<'s> Checker<'s> {
                 let t = self.check_expr(expr, scope, ctx);
                 let shape = self.check_query_scoped(subquery, Some(scope));
                 if let Some(cols) = &shape {
-                    if cols.len() != 1 {
+                    if cols.len() == 1 {
+                        let it = Typed {
+                            ty: cols[0].ctype,
+                            anchor: None,
+                        };
+                        self.warn_incompatible(&t, &it, "IN subquery");
+                    } else {
                         let span = t.anchor.unwrap_or_else(|| self.spans.whole());
                         self.push(
                             DiagCode::SubqueryArity,
@@ -1494,12 +1502,6 @@ impl<'s> Checker<'s> {
                             format!("IN subquery must produce 1 column, got {}", cols.len()),
                             None,
                         );
-                    } else {
-                        let it = Typed {
-                            ty: cols[0].ctype,
-                            anchor: None,
-                        };
-                        self.warn_incompatible(&t, &it, "IN subquery");
                     }
                 }
                 Typed {

@@ -84,17 +84,15 @@ pub fn apply_edit(query: &Query, op: &EditOp) -> Result<Query, EditError> {
         EditOp::ReplaceTable { from, to } => {
             replace_table(&mut q, from, to)?;
         }
-        EditOp::AddJoin { join } => {
-            match &mut q.core.from {
-                Some(f) => f.joins.push(join.clone()),
-                None => {
-                    q.core.from = Some(FromClause {
-                        base: join.factor.clone(),
-                        joins: Vec::new(),
-                    });
-                }
-            };
-        }
+        EditOp::AddJoin { join } => match &mut q.core.from {
+            Some(f) => f.joins.push(join.clone()),
+            None => {
+                q.core.from = Some(FromClause {
+                    base: join.factor.clone(),
+                    joins: Vec::new(),
+                });
+            }
+        },
         EditOp::RemoveJoin { index, .. } => {
             let Some(f) = &mut q.core.from else {
                 return Err(EditError::IndexOutOfRange {
@@ -154,16 +152,16 @@ pub fn apply_edit(query: &Query, op: &EditOp) -> Result<Query, EditError> {
             q.core.where_clause = Expr::conjoin(conj);
         }
         EditOp::SetGroupBy { to, .. } => {
-            q.core.group_by = to.clone();
+            q.core.group_by.clone_from(to);
             if to.is_empty() {
                 q.core.having = None;
             }
         }
         EditOp::SetHaving { to, .. } => {
-            q.core.having = to.clone();
+            q.core.having.clone_from(to);
         }
         EditOp::SetOrderBy { to, .. } => {
-            q.order_by = to.clone();
+            q.order_by.clone_from(to);
         }
         EditOp::SetLimit { to, .. } => {
             q.limit = *to;

@@ -225,9 +225,9 @@ impl<'a> Lexer<'a> {
                 self.pos += 1;
             }
         }
-        if matches!(self.bytes.get(self.pos), Some(b'e') | Some(b'E')) {
+        if matches!(self.bytes.get(self.pos), Some(b'e' | b'E')) {
             let mut lookahead = self.pos + 1;
-            if matches!(self.bytes.get(lookahead), Some(b'+') | Some(b'-')) {
+            if matches!(self.bytes.get(lookahead), Some(b'+' | b'-')) {
                 lookahead += 1;
             }
             if self.bytes.get(lookahead).is_some_and(u8::is_ascii_digit) {

@@ -32,9 +32,11 @@
 //! # let _ = print_query(&fixed);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod ast;
+pub mod canon;
 pub mod check;
 pub mod diff;
 pub mod edit;
@@ -53,6 +55,7 @@ pub use ast::{
     BinOp, ClausePath, ColumnRef, Expr, FromClause, Func, Join, JoinKind, LimitClause, Literal,
     OrderItem, Query, SelectCore, SelectItem, SetOp, TableFactor, UnaryOp,
 };
+pub use canon::{canon_fingerprint, canonicalize, canonically_equivalent, fnv64};
 pub use check::{
     check_query, edit_distance, nearest_name, render_report, repair_query, ColType, ColumnInfo,
     DiagCode, Diagnostic, FkInfo, SchemaInfo, Severity, TableInfo,

@@ -439,9 +439,7 @@ impl Parser {
             let negated = if self.at_kw(Keyword::Not)
                 && matches!(
                     self.peek2().kind,
-                    TokenKind::Keyword(Keyword::In)
-                        | TokenKind::Keyword(Keyword::Between)
-                        | TokenKind::Keyword(Keyword::Like)
+                    TokenKind::Keyword(Keyword::In | Keyword::Between | Keyword::Like)
                 ) {
                 self.advance();
                 true
@@ -639,10 +637,10 @@ impl Parser {
 
     fn case_expr(&mut self) -> ParseResult<Expr> {
         self.expect_kw(Keyword::Case)?;
-        let operand = if !self.at_kw(Keyword::When) {
-            Some(Box::new(self.expr(0)?))
-        } else {
+        let operand = if self.at_kw(Keyword::When) {
             None
+        } else {
+            Some(Box::new(self.expr(0)?))
         };
         let mut branches = Vec::new();
         while self.eat_kw(Keyword::When) {
@@ -885,7 +883,7 @@ mod tests {
         let query = q("SELECT x.n FROM (SELECT name AS n FROM singer) AS x");
         match &query.core.from.as_ref().unwrap().base {
             TableFactor::Derived { alias, .. } => assert_eq!(alias, "x"),
-            other => panic!("{other:?}"),
+            other @ TableFactor::Table { .. } => panic!("{other:?}"),
         }
     }
 

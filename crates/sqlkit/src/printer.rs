@@ -492,13 +492,13 @@ mod tests {
     #[test]
     fn parenthesization_preserves_structure() {
         let printed = roundtrip("SELECT * FROM t WHERE (a = 1 OR b = 2) AND c = 3");
-        assert!(printed.contains("("), "printed: {printed}");
+        assert!(printed.contains('('), "printed: {printed}");
     }
 
     #[test]
     fn no_spurious_parens_in_plain_conjunction() {
         let printed = roundtrip("SELECT * FROM t WHERE a = 1 AND b = 2");
-        assert!(!printed.contains("("), "printed: {printed}");
+        assert!(!printed.contains('('), "printed: {printed}");
     }
 
     #[test]

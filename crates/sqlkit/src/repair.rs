@@ -29,9 +29,10 @@ use crate::ast::{
 use crate::check::{check_query, nearest_name, ColType, SchemaInfo};
 use crate::diff::{diff_queries, same_clause_family, EditOp};
 use crate::edit::{apply_edit, apply_edits};
-use crate::flow::{analyze_conjunction, provably_empty, provably_equivalent};
+use crate::flow::{analyze_conjunction, provably_empty};
 use crate::locate::{literal_year, FaultKind, FaultSite, FeedbackCues};
-use crate::normalize::{normalize_query, structurally_equal};
+use crate::normalize::normalize_query;
+use std::collections::HashSet;
 
 /// Maximum candidates enumerated per call; keeps the search bounded.
 const ENUM_BUDGET: usize = 48;
@@ -795,15 +796,28 @@ fn where_unsat(q: &Query) -> bool {
 /// deduplicates candidates proven equivalent to the original or to an
 /// earlier survivor. No engine execution happens here — that is the
 /// point.
+///
+/// Dedup is a canonical-fingerprint set lookup (O(n) over the pool)
+/// instead of the old O(n²) pairwise prover. Canonical-form equality
+/// subsumes `structurally_equal` and the prover's syntactic path; the
+/// prover's remaining path (both sides provably empty) cannot apply
+/// among survivors, because provably-empty candidates were already
+/// routed to the contradictory lane — so the fingerprint set drops
+/// exactly what pairwise proving dropped. Equivalence to the original
+/// keeps the full `canonically_equivalent` check as a fingerprint-miss
+/// fallback since the original need not be non-empty.
 pub fn prune_candidates(
     original: &Query,
     candidates: Vec<RepairCandidate>,
     schema: &SchemaInfo,
 ) -> PruneOutcome {
     let base = normalize_query(original);
+    let base_fp = crate::canon::canon_fingerprint(&base);
     let mut out = PruneOutcome::default();
+    let mut seen: HashSet<u64> = HashSet::new();
     for cand in candidates {
-        if structurally_equal(&cand.query, &base) || provably_equivalent(&cand.query, &base) {
+        let fp = crate::canon::canon_fingerprint(&cand.query);
+        if fp == base_fp || crate::canon::canonically_equivalent(&cand.query, &base) {
             out.deduped += 1;
             continue;
         }
@@ -818,9 +832,7 @@ pub fn prune_candidates(
             out.invalid.push(cand);
             continue;
         }
-        if out.kept.iter().any(|k| {
-            structurally_equal(&k.query, &cand.query) || provably_equivalent(&k.query, &cand.query)
-        }) {
+        if !seen.insert(fp) {
             out.deduped += 1;
             continue;
         }
@@ -1029,5 +1041,88 @@ mod tests {
         );
         assert_eq!(a, b);
         assert!(a.len() <= ENUM_BUDGET);
+    }
+
+    /// Reference pruner: identical lane structure but O(n²) pairwise
+    /// `canonically_equivalent` dedup instead of the fingerprint set.
+    fn prune_reference(
+        original: &Query,
+        candidates: Vec<RepairCandidate>,
+        schema: &SchemaInfo,
+    ) -> PruneOutcome {
+        let base = normalize_query(original);
+        let mut out = PruneOutcome::default();
+        for cand in candidates {
+            if crate::canon::canonically_equivalent(&cand.query, &base) {
+                out.deduped += 1;
+                continue;
+            }
+            if provably_empty(&cand.query) || where_unsat(&cand.query) {
+                out.contradictory.push(cand);
+                continue;
+            }
+            if check_query(&cand.query, schema)
+                .iter()
+                .any(|d| d.is_error())
+            {
+                out.invalid.push(cand);
+                continue;
+            }
+            if out
+                .kept
+                .iter()
+                .any(|k| crate::canon::canonically_equivalent(&k.query, &cand.query))
+            {
+                out.deduped += 1;
+                continue;
+            }
+            out.kept.push(cand);
+        }
+        out
+    }
+
+    #[test]
+    fn fingerprint_dedup_matches_pairwise_on_200_candidates() {
+        // A dense pool of syntactic variants: semantically-equal spellings
+        // (NOT-pushed, reordered, padded), genuinely distinct predicates,
+        // contradictory and analyzer-rejected candidates.
+        let original = "SELECT name FROM singer WHERE age > 30";
+        let q = parse_query(original).unwrap();
+        let s = schema();
+        let mut pool: Vec<RepairCandidate> = Vec::new();
+        let variants = [
+            "SELECT name FROM singer WHERE NOT (age <= 30)",
+            "SELECT name FROM singer WHERE age > 30 AND age > 20",
+            "SELECT name FROM singer WHERE age > {n}",
+            "SELECT name FROM singer WHERE NOT (age <= {n})",
+            "SELECT name FROM singer WHERE age > {n} AND age > 1",
+            "SELECT name FROM singer WHERE age > {n} AND TRUE",
+            "SELECT name FROM singer WHERE age = {n} AND age != {n}",
+            "SELECT name FROM singer WHERE bogus_col > {n}",
+            "SELECT name FROM singer WHERE country = 'x{n}'",
+            "SELECT s.name FROM singer AS s WHERE s.age > {n}",
+        ];
+        for i in 0..200usize {
+            let tpl = variants[i % variants.len()];
+            let sql = tpl.replace("{n}", &(30 + (i / variants.len()) as i64).to_string());
+            pool.push(RepairCandidate {
+                query: normalize_query(&parse_query(&sql).unwrap()),
+                edits: Vec::new(),
+                site: 0,
+                label: "pool",
+            });
+        }
+        assert_eq!(pool.len(), 200);
+        let fast = prune_candidates(&q, pool.clone(), &s);
+        let slow = prune_reference(&q, pool, &s);
+        assert_eq!(fast.kept, slow.kept);
+        assert_eq!(fast.contradictory, slow.contradictory);
+        assert_eq!(fast.invalid, slow.invalid);
+        assert_eq!(fast.deduped, slow.deduped);
+        // The pool is genuinely dense: every lane is exercised.
+        assert!(fast.deduped > 0, "deduped {}", fast.deduped);
+        assert!(!fast.contradictory.is_empty());
+        assert!(!fast.invalid.is_empty());
+        assert!(!fast.kept.is_empty());
     }
 }

@@ -255,7 +255,7 @@ fn set_op_arity_mismatch_is_an_error() {
     let d = find(&diags, DiagCode::SetOpArity);
     assert_eq!(d.severity, Severity::Error);
     assert!(!d.span.slice(&sql).is_empty());
-    assert!(d.message.contains("1") && d.message.contains("2"), "{d:?}");
+    assert!(d.message.contains('1') && d.message.contains('2'), "{d:?}");
 }
 
 #[test]

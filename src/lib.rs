@@ -34,6 +34,7 @@
 //! assert_eq!(rs.scalar().unwrap(), &Value::Int(1));
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub use fisql_core;
@@ -65,9 +66,10 @@ pub mod prelude {
         build_aep, build_spider, AepConfig, Corpus, Example, Hardness, SpiderConfig,
     };
     pub use fisql_sqlkit::{
-        apply_edits, check_query, diff_queries, normalize_query, parse_query, print_query,
-        provably_equivalent, render_report, repair_query, structurally_equal, DiagCode, Diagnostic,
-        EditOp, OpClass, Query, SchemaInfo, Severity, Span,
+        apply_edits, canon_fingerprint, canonicalize, canonically_equivalent, check_query,
+        diff_queries, normalize_query, parse_query, print_query, provably_equivalent,
+        render_report, repair_query, structurally_equal, DiagCode, Diagnostic, EditOp, OpClass,
+        Query, SchemaInfo, Severity, Span,
     };
     pub use rand::SeedableRng;
 }

@@ -38,6 +38,8 @@
 //! similarity) and answering it — good enough to drive the whole feedback
 //! pipeline interactively.
 
+#![forbid(unsafe_code)]
+
 use fisql::prelude::*;
 use fisql_core::serve::{run_load, Server};
 use fisql_core::{chaos_stack, Assistant, EvalConfig, LoadConfig, ServeConfig};
@@ -192,7 +194,8 @@ fn main() {
 /// Q] [--queue-wait-ms MS] [--store PATH] [--fsync never|each|batch]
 /// [--idle-timeout MS] [--compact-every N] [--disk-fault-rate R]
 /// [--strategy S] [--fault-rate R] [--retry-budget B] [--seed S]
-/// [--examples N]`: the long-lived multi-session daemon.
+/// [--examples N] [--no-semantic-cache]`: the long-lived multi-session
+/// daemon.
 ///
 /// Connections speak the length-prefixed JSON protocol
 /// (`fisql_core::serve::protocol`). Up to `--max-sessions` sessions run
@@ -340,8 +343,9 @@ fn run_load_cli(args: &[String]) {
 }
 
 /// `fisql --eval [--strategy S] [--workers N] [--fault-rate R]
-/// [--retry-budget B] [--no-static-oracle] [--conformance-gate]
-/// [--journal PATH] [--resume] [--case-deadline MS] [--fsync P]`: the
+/// [--retry-budget B] [--no-static-oracle] [--no-semantic-cache]
+/// [--conformance-gate] [--journal PATH] [--resume]
+/// [--case-deadline MS] [--fsync P]`: the
 /// sharded correction evaluation on the bundled SPIDER-like and AEP-like
 /// corpora. Flags parse and validate through [`EvalConfig`]; see its
 /// docs for each knob's meaning.
@@ -388,6 +392,7 @@ fn run_eval(args: &[String]) {
             .rounds(2)
             .workers(config.workers)
             .static_oracle(config.static_oracle)
+            .semantic_cache(config.semantic_cache)
             .conformance_gate(config.conformance_gate)
             .case_deadline_ms(config.case_deadline_ms)
             .resume(config.resume)
@@ -424,6 +429,13 @@ fn run_eval(args: &[String]) {
             println!(
                 "  static oracle: {} execution(s) skipped",
                 report.executions_skipped_static,
+            );
+        }
+        if config.semantic_cache {
+            println!(
+                "  semantic cache: {} execution(s) skipped, hit rate {:.0}%",
+                m.executions_skipped_cache,
+                100.0 * m.semantic_cache_hit_rate(),
             );
         }
         if config.conformance_gate {

@@ -1,0 +1,125 @@
+//! Golden-file suite for the normalizer and the canonicalizer.
+//!
+//! Each case in `tests/golden/canon.txt` pins the exact printed output
+//! of `normalize_query` and `canonicalize` for one input SQL string, so
+//! a rewrite-rule change that moves any canonical form is visible in
+//! review as a diff of the golden file rather than a distant test
+//! failure. Regenerate with `FISQL_BLESS=1 cargo test --test
+//! canon_golden` after an intentional change.
+
+#![forbid(unsafe_code)]
+
+use fisql::prelude::*;
+
+const GOLDEN_PATH: &str = "tests/golden/canon.txt";
+
+/// One golden case: a name, the input SQL, and the expected printed
+/// normalized and canonical forms.
+#[derive(Debug)]
+struct Case {
+    name: String,
+    input: String,
+    norm: String,
+    canon: String,
+}
+
+/// Parses the golden file: `== name` opens a case, `in:`/`norm:`/
+/// `canon:` lines carry the SQL, `#` lines and blanks are ignored.
+fn parse_golden(text: &str) -> Vec<Case> {
+    let mut cases: Vec<Case> = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim_end();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(name) = line.strip_prefix("== ") {
+            cases.push(Case {
+                name: name.trim().to_string(),
+                input: String::new(),
+                norm: String::new(),
+                canon: String::new(),
+            });
+            continue;
+        }
+        let case = cases
+            .last_mut()
+            .unwrap_or_else(|| panic!("line {}: directive before any `== name`", lineno + 1));
+        if let Some(sql) = line.strip_prefix("in:") {
+            case.input = sql.trim().to_string();
+        } else if let Some(sql) = line.strip_prefix("norm:") {
+            case.norm = sql.trim().to_string();
+        } else if let Some(sql) = line.strip_prefix("canon:") {
+            case.canon = sql.trim().to_string();
+        } else {
+            panic!("line {}: unrecognized golden line: {line}", lineno + 1);
+        }
+    }
+    cases
+}
+
+fn flatten(sql: &str) -> String {
+    sql.split_whitespace().collect::<Vec<_>>().join(" ")
+}
+
+#[test]
+fn canonical_forms_match_the_golden_file() {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join(GOLDEN_PATH);
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+    let cases = parse_golden(&text);
+    assert!(cases.len() >= 10, "golden file lost its cases");
+
+    let bless = std::env::var("FISQL_BLESS").is_ok_and(|v| !v.is_empty() && v != "0");
+    let mut blessed = String::from(
+        "# Golden canonical forms: `in:` is parsed, then `norm:` must match\n\
+         # print(normalize_query(in)) and `canon:` must match\n\
+         # print(canonicalize(in)). Regenerate with FISQL_BLESS=1.\n",
+    );
+    let mut failures = Vec::new();
+    for case in &cases {
+        let query = parse_query(&case.input)
+            .unwrap_or_else(|e| panic!("case `{}`: input does not parse: {e}", case.name));
+        let norm = flatten(&print_query(&normalize_query(&query)));
+        let canon_q = canonicalize(&query);
+        let canon = flatten(&print_query(&canon_q));
+
+        // The printed canonical form must itself parse back to the
+        // canonical AST — the fingerprint hashes this text, so it must
+        // be a faithful encoding.
+        let reparsed = parse_query(&canon)
+            .unwrap_or_else(|e| panic!("case `{}`: canonical form does not parse: {e}", case.name));
+        assert_eq!(
+            canonicalize(&reparsed),
+            canon_q,
+            "case `{}`: canonical form is not a fixpoint of print ∘ canonicalize",
+            case.name
+        );
+
+        blessed.push_str(&format!(
+            "\n== {}\nin:    {}\nnorm:  {norm}\ncanon: {canon}\n",
+            case.name, case.input
+        ));
+        if norm != case.norm {
+            failures.push(format!(
+                "case `{}`: normalized form drifted\n  expected: {}\n  actual:   {norm}",
+                case.name, case.norm
+            ));
+        }
+        if canon != case.canon {
+            failures.push(format!(
+                "case `{}`: canonical form drifted\n  expected: {}\n  actual:   {canon}",
+                case.name, case.canon
+            ));
+        }
+    }
+    if bless {
+        std::fs::write(&path, blessed).unwrap();
+        return;
+    }
+    assert!(
+        failures.is_empty(),
+        "{} golden mismatch(es):\n{}\n(run with FISQL_BLESS=1 to regenerate)",
+        failures.len(),
+        failures.join("\n")
+    );
+}

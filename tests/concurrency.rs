@@ -69,6 +69,43 @@ fn serial_and_parallel_reports_are_bit_identical() {
     }
 }
 
+/// The semantic result cache is an execution-count optimization, never
+/// an observable one: the serialized correction report is byte-identical
+/// with the cache on and off, at every worker count. (Cache counters
+/// live in the unserialized run metrics, and every verdict charges its
+/// logical execution cost whether or not the engine actually ran.)
+#[test]
+fn semantic_cache_reports_are_bit_identical() {
+    let (corpus, llm, user) = setup();
+    let run = CorrectionRun::new(&corpus, &llm, &user)
+        .demos_k(3)
+        .rounds(2);
+    let errors = run.workers(1).collect_errors();
+    let cases = run.workers(1).annotate(&errors);
+
+    let baseline = run.workers(1).semantic_cache(false).run(&cases);
+    let baseline_json = serde_json::to_string(&baseline).unwrap();
+    assert_eq!(
+        baseline.metrics.executions_skipped_cache, 0,
+        "disabled cache must not count hits"
+    );
+    for workers in [1usize, 4, 8] {
+        let cached = run.workers(workers).semantic_cache(true).run(&cases);
+        assert_eq!(
+            serde_json::to_string(&cached).unwrap(),
+            baseline_json,
+            "cached report diverged from uncached at {workers} workers"
+        );
+    }
+    // The cache actually fires on this corpus — the invariance above is
+    // not vacuous.
+    let cached = run.workers(1).semantic_cache(true).run(&cases);
+    assert!(
+        cached.metrics.executions_skipped_cache > 0,
+        "semantic cache never hit on a corpus with repeated equivalent queries"
+    );
+}
+
 #[test]
 fn error_collection_is_worker_count_invariant() {
     let (corpus, llm, user) = setup();

@@ -305,6 +305,174 @@ proptest! {
     }
 }
 
+/// Cases for the canonicalization fuzz block below: 24 by default (the
+/// tests iterate whole corpora per case, so each case is already broad),
+/// cranked up in CI's `canon` job via `PROPTEST_CASES`.
+fn canon_fuzz_cases() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(24)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(canon_fuzz_cases()))]
+
+    /// Canonicalization is idempotent: one more pass over an already
+    /// canonical query changes nothing. Exercised over gold queries and
+    /// their channel corruptions (the shapes the pipeline actually
+    /// canonicalizes).
+    #[test]
+    fn canonicalize_is_idempotent(seed in 0u64..300) {
+        let corpus = corpus_for(seed);
+        for e in corpus.examples.iter().take(12) {
+            let c = canonicalize(&e.gold);
+            prop_assert_eq!(
+                canonicalize(&c), c.clone(),
+                "canonicalize not idempotent for {}", print_query(&e.gold)
+            );
+            for wc in e.channels.iter().take(2) {
+                let bad = normalize_query(&fisql_spider::corrupt(&e.intent, &wc.channel));
+                let cb = canonicalize(&bad);
+                prop_assert_eq!(
+                    canonicalize(&cb), cb.clone(),
+                    "canonicalize not idempotent for {}", print_query(&bad)
+                );
+            }
+        }
+    }
+
+    /// Semantic-fingerprint soundness — the property the result cache's
+    /// correctness rides on: whenever two queries share a canonical
+    /// fingerprint, executing both against the generated database yields
+    /// the same multiset of rows (or both fail). The variant pool mixes
+    /// gold queries, their normalizations, tautological `AND TRUE`
+    /// padding, double negation, and channel corruptions; the padded and
+    /// normalized variants are asserted to actually collide with gold,
+    /// so the property is never vacuously true.
+    #[test]
+    fn canon_fingerprint_is_sound(seed in 0u64..300) {
+        use fisql::fisql_sqlkit::{BinOp, Expr, Literal, UnaryOp};
+        let corpus = corpus_for(seed);
+        for e in corpus.examples.iter().take(12) {
+            let db = corpus.database(e);
+            let gold_fp = canon_fingerprint(&e.gold);
+            let mut variants = vec![e.gold.clone(), normalize_query(&e.gold)];
+            prop_assert_eq!(
+                canon_fingerprint(&variants[1]), gold_fp,
+                "normalization moved the fingerprint of {}", print_query(&e.gold)
+            );
+            if let Some(w) = &e.gold.core.where_clause {
+                // `WHERE p` → `WHERE p AND TRUE` folds away.
+                let mut padded = e.gold.clone();
+                padded.core.where_clause = Some(Expr::Binary {
+                    left: Box::new(w.clone()),
+                    op: BinOp::And,
+                    right: Box::new(Expr::Literal(Literal::Bool(true))),
+                });
+                // `WHERE p` → `WHERE NOT NOT p` — the canonicalizer
+                // eliminates the double negation when `p` is
+                // boolean-shaped (and must stay sound either way).
+                let mut doubled = e.gold.clone();
+                doubled.core.where_clause = Some(Expr::Unary {
+                    op: UnaryOp::Not,
+                    expr: Box::new(Expr::Unary {
+                        op: UnaryOp::Not,
+                        expr: Box::new(w.clone()),
+                    }),
+                });
+                prop_assert_eq!(
+                    canon_fingerprint(&padded), gold_fp,
+                    "tautological padding moved the fingerprint of {}",
+                    print_query(&e.gold)
+                );
+                variants.push(padded);
+                variants.push(doubled);
+            }
+            for wc in e.channels.iter().take(2) {
+                variants.push(normalize_query(&fisql_spider::corrupt(&e.intent, &wc.channel)));
+            }
+            for a in &variants {
+                for b in &variants {
+                    if canon_fingerprint(a) != canon_fingerprint(b) {
+                        continue;
+                    }
+                    let ra = fisql::fisql_engine::execute(db, a);
+                    let rb = fisql::fisql_engine::execute(db, b);
+                    match (ra, rb) {
+                        (Ok(ra), Ok(rb)) => prop_assert!(
+                            results_match(&ra, &rb),
+                            "fingerprint collision between inequivalent queries: {} vs {}",
+                            print_query(a),
+                            print_query(b)
+                        ),
+                        (Err(_), Err(_)) => {}
+                        _ => prop_assert!(
+                            false,
+                            "fingerprint equated an executing and a failing query: {} vs {}",
+                            print_query(a),
+                            print_query(b)
+                        ),
+                    }
+                }
+            }
+        }
+    }
+
+    /// `canonically_equivalent` subsumes both prior equivalence oracles
+    /// and stays sound on everything it claims (checked by execution,
+    /// like `equivalence_oracle_is_sound` above).
+    #[test]
+    fn canonical_equivalence_subsumes_and_stays_sound(seed in 0u64..200) {
+        let corpus = corpus_for(seed);
+        for e in corpus.examples.iter().take(10) {
+            let db = corpus.database(e);
+            let norm = normalize_query(&e.gold);
+            prop_assert!(structurally_equal(&norm, &norm));
+            prop_assert!(canonically_equivalent(&e.gold, &norm));
+            let mut variants = vec![e.gold.clone(), norm];
+            for wc in e.channels.iter().take(2) {
+                variants.push(normalize_query(&fisql_spider::corrupt(&e.intent, &wc.channel)));
+            }
+            for a in &variants {
+                for b in &variants {
+                    // Subsumption: anything the old oracles accept, the
+                    // canonical oracle accepts.
+                    if structurally_equal(a, b) || provably_equivalent(a, b) {
+                        prop_assert!(
+                            canonically_equivalent(a, b),
+                            "canonical oracle weaker than prior oracles: {} vs {}",
+                            print_query(a),
+                            print_query(b)
+                        );
+                    }
+                    if !canonically_equivalent(a, b) {
+                        continue;
+                    }
+                    let ra = fisql::fisql_engine::execute(db, a);
+                    let rb = fisql::fisql_engine::execute(db, b);
+                    match (ra, rb) {
+                        (Ok(ra), Ok(rb)) => prop_assert!(
+                            results_match(&ra, &rb),
+                            "canonical oracle unsound: {} vs {}",
+                            print_query(a),
+                            print_query(b)
+                        ),
+                        (Err(_), Err(_)) => {}
+                        _ => prop_assert!(
+                            false,
+                            "canonical oracle equated an executing and a failing query: {} vs {}",
+                            print_query(a),
+                            print_query(b)
+                        ),
+                    }
+                }
+            }
+        }
+    }
+
+}
+
 // Fuzz block: no explicit case count, so the proptest default applies
 // and CI can crank it up via `PROPTEST_CASES` (the crash-recovery job
 // runs these at 10k+ cases). The properties assert only "never panics":

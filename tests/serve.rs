@@ -255,7 +255,7 @@ fn shutdown_request_drains_the_daemon_gracefully() {
     // The daemon is gone: new connections fail or are drained.
     assert!(matches!(
         ServeClient::connect(addr.as_str(), None),
-        Err(_) | Ok(Connected::ShuttingDown) | Ok(Connected::Rejected { .. })
+        Err(_) | Ok(Connected::ShuttingDown | Connected::Rejected { .. })
     ));
     // The held client's next request surfaces the drain (ShuttingDown
     // frame or closed socket), never a hang.
