@@ -233,6 +233,23 @@ pub struct ServeConfig {
     /// Give each hosted session a result cache for re-presented SQL (on
     /// by default; transcripts are byte-identical either way).
     pub semantic_cache: bool,
+    /// Boot as a hot standby following the primary whose `--repl-listen`
+    /// address this is. A follower refuses sessions until promoted.
+    pub replica_of: Option<String>,
+    /// Accept follower connections on this address (primary side;
+    /// `host:0` prints the resolved address like the client listener).
+    pub repl_listen: Option<String>,
+    /// When state-changing responses are released: `none` (immediately,
+    /// shipping is async) or `quorum` (after a majority of connected
+    /// followers acknowledged durability).
+    pub repl_ack: crate::serve::AckMode,
+    /// Longest one response waits for follower acknowledgement before
+    /// being released anyway, milliseconds (quorum mode).
+    pub repl_ack_timeout_ms: u64,
+    /// Follower auto-promotion on primary link loss (on by default;
+    /// `--no-auto-promote` leaves promotion to the admin `Promote`
+    /// request).
+    pub auto_promote: bool,
 }
 
 impl Default for ServeConfig {
@@ -257,6 +274,11 @@ impl Default for ServeConfig {
             seed: 0xC11,
             n_examples: 120,
             semantic_cache: true,
+            replica_of: None,
+            repl_listen: None,
+            repl_ack: crate::serve::AckMode::None,
+            repl_ack_timeout_ms: 5_000,
+            auto_promote: true,
         }
     }
 }
@@ -285,6 +307,17 @@ impl ServeConfig {
             seed: flag_value(args, "--seed")?.unwrap_or(defaults.seed),
             n_examples: flag_value(args, "--examples")?.unwrap_or(defaults.n_examples),
             semantic_cache: !switch(args, "--no-semantic-cache"),
+            replica_of: flag_value(args, "--replica-of")?,
+            repl_listen: flag_value(args, "--repl-listen")?,
+            repl_ack: match flag_value::<String>(args, "--repl-ack")? {
+                Some(mode) => mode
+                    .parse()
+                    .map_err(|e| ConfigError(format!("--repl-ack: {e}")))?,
+                None => defaults.repl_ack,
+            },
+            repl_ack_timeout_ms: flag_value(args, "--repl-ack-timeout")?
+                .unwrap_or(defaults.repl_ack_timeout_ms),
+            auto_promote: !switch(args, "--no-auto-promote"),
         };
         config.validate()?;
         Ok(config)
@@ -302,6 +335,19 @@ impl ServeConfig {
         }
         if self.n_examples == 0 {
             return Err(ConfigError("--examples must be at least 1".into()));
+        }
+        if self.repl_ack == crate::serve::AckMode::Quorum
+            && self.repl_listen.is_none()
+            && self.replica_of.is_none()
+        {
+            return Err(ConfigError(
+                "--repl-ack quorum needs replication (--repl-listen or --replica-of)".into(),
+            ));
+        }
+        if self.repl_ack_timeout_ms == 0 {
+            return Err(ConfigError(
+                "--repl-ack-timeout must be at least 1 ms".into(),
+            ));
         }
         Ok(())
     }
@@ -416,12 +462,54 @@ impl ServeConfig {
         self.semantic_cache = on;
         self
     }
+
+    /// Builder: boots the daemon as a follower of this primary
+    /// replication address.
+    pub fn replica_of(mut self, primary: impl Into<String>) -> Self {
+        self.replica_of = Some(primary.into());
+        self
+    }
+
+    /// Builder: accepts follower connections on this address.
+    pub fn repl_listen(mut self, addr: impl Into<String>) -> Self {
+        self.repl_listen = Some(addr.into());
+        self
+    }
+
+    /// Builder: sets the replication acknowledgement mode.
+    pub fn repl_ack(mut self, mode: crate::serve::AckMode) -> Self {
+        self.repl_ack = mode;
+        self
+    }
+
+    /// Builder: sets the follower-ack wait budget (quorum mode).
+    pub fn repl_ack_timeout_ms(mut self, ms: u64) -> Self {
+        self.repl_ack_timeout_ms = ms;
+        self
+    }
+
+    /// Builder: enables or disables follower auto-promotion.
+    pub fn auto_promote(mut self, on: bool) -> Self {
+        self.auto_promote = on;
+        self
+    }
+
+    /// Builder: clears all replication wiring (standalone daemon) — the
+    /// failover harness starts from this before wiring each node.
+    pub fn replication_off(mut self) -> Self {
+        self.replica_of = None;
+        self.repl_listen = None;
+        self.repl_ack = crate::serve::AckMode::None;
+        self
+    }
 }
 
 /// Configuration for `fisql load`: the deterministic load generator.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LoadConfig {
-    /// Server address to drive.
+    /// Server address to drive — or a comma-separated endpoint list
+    /// (primary first, standbys after) the clients fail over across
+    /// (see [`LoadConfig::endpoints`]).
     pub addr: String,
     /// Scripted sessions to run.
     pub sessions: usize,
@@ -486,7 +574,22 @@ impl LoadConfig {
                 "--sessions, --concurrency, and --rounds must all be at least 1".into(),
             ));
         }
+        if self.endpoints().is_empty() {
+            return Err(ConfigError("--addr must name at least one endpoint".into()));
+        }
         Ok(())
+    }
+
+    /// The failover endpoint list: `--addr` split on commas, in order
+    /// (primary first). A single plain address is a one-entry list, so
+    /// the non-replicated path is unchanged.
+    pub fn endpoints(&self) -> Vec<String> {
+        self.addr
+            .split(',')
+            .map(str::trim)
+            .filter(|a| !a.is_empty())
+            .map(str::to_string)
+            .collect()
     }
 }
 
@@ -565,7 +668,10 @@ mod tests {
         );
         // The transport and survivability knobs do not: replay is
         // transport-independent, and reaping/compaction/disk faults
-        // change durability, never transcript content.
+        // change durability, never transcript content. The replication
+        // knobs are in the same class — a follower must open a store
+        // written by its primary, so they must never move the
+        // fingerprint.
         assert_eq!(
             a.fingerprint(),
             b.clone()
@@ -575,8 +681,44 @@ mod tests {
                 .idle_timeout_ms(250)
                 .compact_every(4)
                 .disk_fault_rate(0.3)
+                .replica_of("127.0.0.1:9000")
+                .repl_listen("127.0.0.1:0")
+                .repl_ack(crate::serve::AckMode::Quorum)
+                .repl_ack_timeout_ms(100)
+                .auto_promote(false)
                 .fingerprint()
         );
+    }
+
+    #[test]
+    fn serve_config_parses_the_replication_flags() {
+        let config = ServeConfig::from_args(&args(&[
+            "--replica-of",
+            "127.0.0.1:9000",
+            "--repl-listen",
+            "127.0.0.1:0",
+            "--repl-ack",
+            "quorum",
+            "--repl-ack-timeout",
+            "750",
+            "--no-auto-promote",
+        ]))
+        .unwrap();
+        assert_eq!(config.replica_of.as_deref(), Some("127.0.0.1:9000"));
+        assert_eq!(config.repl_listen.as_deref(), Some("127.0.0.1:0"));
+        assert_eq!(config.repl_ack, crate::serve::AckMode::Quorum);
+        assert_eq!(config.repl_ack_timeout_ms, 750);
+        assert!(!config.auto_promote);
+
+        assert!(
+            ServeConfig::from_args(&args(&["--repl-ack", "all"])).is_err(),
+            "unknown ack mode"
+        );
+        assert!(
+            ServeConfig::from_args(&args(&["--repl-ack", "quorum"])).is_err(),
+            "quorum without replication is a config error"
+        );
+        assert!(ServeConfig::from_args(&args(&["--repl-ack-timeout", "0"])).is_err());
     }
 
     #[test]
@@ -623,5 +765,26 @@ mod tests {
         assert_eq!(config.max_rounds, 2);
         assert!(config.shutdown);
         assert!(LoadConfig::from_args(&args(&["--sessions", "0"])).is_err());
+    }
+
+    #[test]
+    fn load_config_endpoint_list_splits_on_commas() {
+        let single = LoadConfig::default();
+        assert_eq!(single.endpoints(), vec![single.addr.clone()]);
+
+        let config = LoadConfig {
+            addr: "127.0.0.1:4151, 127.0.0.1:4152".to_string(),
+            ..LoadConfig::default()
+        };
+        assert_eq!(
+            config.endpoints(),
+            vec!["127.0.0.1:4151".to_string(), "127.0.0.1:4152".to_string()]
+        );
+        assert!(config.validate().is_ok());
+        let empty = LoadConfig {
+            addr: " , ".to_string(),
+            ..LoadConfig::default()
+        };
+        assert!(empty.validate().is_err());
     }
 }

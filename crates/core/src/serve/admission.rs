@@ -17,6 +17,13 @@
 //! A granted [`Permit`] is RAII: dropping it (on any path out of the
 //! connection handler, including a contained panic) frees the slot and
 //! wakes the queue.
+//!
+//! Panic posture: the production paths in this module never `unwrap()`
+//! — lock poisoning is absorbed with `PoisonError::into_inner` (the
+//! gate's counters stay consistent because every mutation happens
+//! under the lock before any panic-prone code runs). Every `unwrap()`
+//! in this file lives in `#[cfg(test)] mod tests`, where a panic *is*
+//! the failure report.
 
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;

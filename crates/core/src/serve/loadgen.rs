@@ -13,7 +13,7 @@
 //! deterministic, so the digest is stable across runs — the load-level
 //! determinism check the serve tests and CI assert on.
 
-use super::client::{request_stats, Connected, ServeClient};
+use super::client::{request_shutdown, request_stats, FailoverClient};
 use super::protocol::{
     read_frame_deadline, write_frame, ClientRequest, ServerResponse, ServerStats, MAX_FRAME_LEN,
     PROTOCOL_VERSION,
@@ -84,6 +84,14 @@ pub struct LoadReport {
     pub rounds: u64,
     /// Per-request latencies, microseconds, ascending.
     pub latencies_us: Vec<u64>,
+    /// Endpoint failovers clients performed mid-session (0 unless a
+    /// node died under load).
+    pub failovers: u64,
+    /// Confirmed turns a promoted follower had never seen (possible
+    /// only with `--repl-ack none`).
+    pub lost_rounds: u64,
+    /// Wall-clock of each successful failover, microseconds, ascending.
+    pub failover_latencies_us: Vec<u64>,
     /// Wall-clock for the whole run, milliseconds.
     pub wall_ms: u64,
     /// Order-insensitive digest over every completed session's
@@ -109,6 +117,12 @@ impl LoadReport {
     /// were timed).
     pub fn latency_percentile_us(&self, p: f64) -> u64 {
         percentile(&self.latencies_us, p)
+    }
+
+    /// The `p`-th failover-latency percentile, microseconds (0 when no
+    /// failover happened).
+    pub fn failover_percentile_us(&self, p: f64) -> u64 {
+        percentile(&self.failover_latencies_us, p)
     }
 }
 
@@ -137,6 +151,9 @@ struct Tally {
     questions: u64,
     rounds: u64,
     latencies_us: Vec<u64>,
+    failovers: u64,
+    lost_rounds: u64,
+    failover_latencies_us: Vec<u64>,
     digest: u64,
 }
 
@@ -172,6 +189,11 @@ pub fn run_load(config: &LoadConfig) -> io::Result<LoadReport> {
                         tally.questions += done.questions;
                         tally.rounds += done.rounds;
                         tally.latencies_us.extend(done.latencies_us);
+                        tally.failovers += done.failovers;
+                        tally.lost_rounds += done.lost_rounds;
+                        tally
+                            .failover_latencies_us
+                            .extend(done.failover_latencies_us);
                         tally.digest = tally.digest.wrapping_add(done.digest);
                     }
                     Ok(None) => tally.rejected += 1,
@@ -192,13 +214,29 @@ pub fn run_load(config: &LoadConfig) -> io::Result<LoadReport> {
         })
         .unwrap_or_default();
     tally.latencies_us.sort_unstable();
+    tally.failover_latencies_us.sort_unstable();
 
     // Live daemon statistics, fetched before any shutdown so the report
-    // reflects the run it drove (best-effort: a daemon that already
-    // drained yields `None`, not a failed load).
-    let stats = request_stats(&config.addr).ok();
+    // reflects the run it drove. The first endpoint still standing
+    // answers — after a failover that is the promoted follower
+    // (best-effort: a cluster that already drained yields `None`, not a
+    // failed load).
+    let stats = config
+        .endpoints()
+        .iter()
+        .find_map(|endpoint| request_stats(endpoint).ok());
     if config.shutdown {
-        super::client::request_shutdown(&config.addr)?;
+        // Shut down every reachable endpoint; an already-gone node is
+        // fine, but a node that refused the shutdown surfaces.
+        let mut last_err = None;
+        for endpoint in config.endpoints() {
+            if let Err(e) = request_shutdown(&endpoint) {
+                last_err = Some(e);
+            }
+        }
+        if let Some(e) = last_err {
+            return Err(e);
+        }
     }
     Ok(LoadReport {
         sessions_completed: tally.completed,
@@ -207,6 +245,9 @@ pub fn run_load(config: &LoadConfig) -> io::Result<LoadReport> {
         questions: tally.questions,
         rounds: tally.rounds,
         latencies_us: tally.latencies_us,
+        failovers: tally.failovers,
+        lost_rounds: tally.lost_rounds,
+        failover_latencies_us: tally.failover_latencies_us,
         wall_ms,
         digest: tally.digest,
         stats,
@@ -217,24 +258,31 @@ struct SessionDone {
     questions: u64,
     rounds: u64,
     latencies_us: Vec<u64>,
+    failovers: u64,
+    lost_rounds: u64,
+    failover_latencies_us: Vec<u64>,
     digest: u64,
 }
 
 /// Plays one script end to end. `Ok(None)` means the daemon rejected or
 /// drained the connection (backpressure, counted but not an error).
+///
+/// The session rides a [`FailoverClient`] over the config's endpoint
+/// list: with a single endpoint it behaves exactly like the plain
+/// client; with several, a node dying mid-script makes the client
+/// re-attach to the promoted follower and resume where it left off.
 fn run_script(config: &LoadConfig, script: &SessionScript) -> io::Result<Option<SessionDone>> {
-    let mut client = match ServeClient::connect_retry(
-        config.addr.as_str(),
-        None,
-        Duration::from_millis(config.connect_retry_ms),
-    )? {
-        Connected::Admitted(client) => client,
-        Connected::Rejected { .. } | Connected::ShuttingDown => return Ok(None),
+    let budget = Duration::from_millis(config.connect_retry_ms);
+    let Some(mut client) = FailoverClient::connect(config.endpoints(), budget)? else {
+        return Ok(None);
     };
     let mut done = SessionDone {
         questions: 0,
         rounds: 0,
         latencies_us: Vec::new(),
+        failovers: 0,
+        lost_rounds: 0,
+        failover_latencies_us: Vec::new(),
         digest: 0,
     };
     for (question, feedbacks) in &script.questions {
@@ -252,6 +300,9 @@ fn run_script(config: &LoadConfig, script: &SessionScript) -> io::Result<Option<
     let events = client.transcript()?;
     done.digest = transcript_digest(&events);
     client.bye()?;
+    done.failovers = client.failovers;
+    done.lost_rounds = client.lost_rounds;
+    done.failover_latencies_us = std::mem::take(&mut client.failover_latencies_us);
     Ok(Some(done))
 }
 
@@ -420,6 +471,9 @@ pub fn run_chaos(config: &ChaosConfig) -> io::Result<ChaosReport> {
 /// Serializes one request into its exact wire bytes (header + body).
 fn encode_frame(request: &ClientRequest) -> Vec<u8> {
     let mut bytes = Vec::new();
+    // Infallible in practice: writing to a Vec cannot fail, and every
+    // `ClientRequest` variant is plain-data serde (no maps with
+    // non-string keys, no custom Serialize impls that can error).
     write_frame(&mut bytes, request).expect("a request frame serializes");
     bytes
 }
@@ -559,6 +613,8 @@ fn read_verdict(stream: &mut TcpStream, config: &ChaosConfig) -> Verdict {
 /// FNV-64 over the serialized event stream — one session's contribution
 /// to the order-insensitive load digest.
 pub fn transcript_digest(events: &[crate::session::SessionEvent]) -> u64 {
+    // Infallible in practice: `SessionEvent` is plain-data serde (the
+    // same serialization every wire frame carrying events relies on).
     let json = serde_json::to_vec(events).expect("session events serialize");
     let mut fp = Fnv64::new();
     fp.update(&json);

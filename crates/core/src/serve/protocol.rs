@@ -75,6 +75,12 @@ pub enum ClientRequest {
     /// reaped sessions' history, bump the generation). Does not require
     /// a session.
     Compact,
+    /// Asks a standby follower to promote itself to primary: bump and
+    /// persist the fencing epoch, start accepting sessions, and fence
+    /// the old primary (see `serve::replicate`). Does not require a
+    /// session. A node that is already primary answers with its current
+    /// epoch; a fenced node refuses.
+    Promote,
 }
 
 /// One server → client message.
@@ -145,6 +151,23 @@ pub enum ServerResponse {
         /// Sessions whose history was dropped.
         sessions_dropped: u64,
     },
+    /// This node is not accepting session writes: it is a standby
+    /// follower, or an ex-primary fenced by a higher epoch. The typed
+    /// refusal is what keeps a deposed primary from silently diverging
+    /// its store — clients take it as the signal to fail over.
+    Fenced {
+        /// The node's current role.
+        role: super::replicate::Role,
+        /// The node's fencing epoch.
+        epoch: u64,
+        /// Human-readable explanation.
+        message: String,
+    },
+    /// The node promoted itself to primary (answer to `Promote`).
+    Promoted {
+        /// The fencing epoch the node now serves at.
+        epoch: u64,
+    },
     /// The request could not be served; the session (when one exists)
     /// is still alive.
     Error {
@@ -177,6 +200,21 @@ pub struct ServerStats {
     pub contained_panics: u64,
     /// Wall-clock since the daemon bound its listener, milliseconds.
     pub uptime_ms: u64,
+    /// Replication role (primary even when replication is unused).
+    pub role: super::replicate::Role,
+    /// Fencing epoch (0 = this lineage was never promoted).
+    pub epoch: u64,
+    /// Records the slowest connected follower has not yet acknowledged
+    /// (0 with no followers).
+    pub replication_lag_records: u64,
+    /// Followers currently attached to the replication channel.
+    pub repl_followers: u64,
+    /// Records shipped to followers since the daemon started.
+    pub repl_records_shipped: u64,
+    /// Responses released because the follower-ack wait timed out
+    /// (quorum mode only; each one is durability the client believed in
+    /// but a follower never confirmed).
+    pub repl_ack_timeouts: u64,
 }
 
 /// Writes one frame.
@@ -189,6 +227,8 @@ pub fn write_frame<W: Write, T: Serialize>(w: &mut W, message: &T) -> io::Result
             format!("frame of {} bytes exceeds MAX_FRAME_LEN", json.len()),
         ));
     }
+    // Infallible: json.len() <= MAX_FRAME_LEN (4 MiB) was checked above,
+    // far inside u32 range.
     let len = u32::try_from(json.len()).expect("frame fits u32");
     w.write_all(&len.to_le_bytes())?;
     w.write_all(&json)?;

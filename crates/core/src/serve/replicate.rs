@@ -1,0 +1,1046 @@
+//! Hot-standby replication: journal shipping, fencing epochs, and
+//! promotion (DESIGN.md §17).
+//!
+//! A **primary** daemon streams its session-store records — the same
+//! `(session_id, SessionOp)` units the store journals write-ahead — to
+//! one or more **followers** over a second length-prefixed channel
+//! (`--repl-listen` on the primary, `--replica-of` on the follower).
+//! A follower applies each record through
+//! [`SessionStore::apply_replicated`], which feeds the exact replay path
+//! a restart uses, so the follower's in-memory session image tracks the
+//! primary byte-identically: when a client re-attaches after failover,
+//! the promoted follower replays the shipped ops into the same
+//! transcript the primary would have produced.
+//!
+//! # The replication log
+//!
+//! [`ReplLog`] is the logical op stream since store lineage began:
+//! every store append lands in it (metadata records — checkpoints,
+//! epochs — never do), and its index is the shipping sequence number.
+//! It is deliberately independent of the on-disk journal: compaction
+//! rewrites the file but never renumbers the stream, so a follower can
+//! catch up across a primary compaction without resynchronization. A
+//! node boots its log from the store's surviving ops, which is what
+//! makes record counts comparable across restarts of the same lineage
+//! (a follower whose store diverged from the primary's lineage must
+//! start from an empty store instead).
+//!
+//! # Fencing
+//!
+//! Every store carries a monotonic **epoch**, persisted as a metadata
+//! record (see [`SessionOp::Epoch`](super::store::SessionOp)) and bumped
+//! on every promotion. The handshake exchanges epochs, and the rule is
+//! one-directional: whoever sees a *higher* epoch than its own knows it
+//! has been deposed. A promoted follower sends a best-effort fencing
+//! notice to its old primary; a deposed primary flips
+//! [`ReplState::fenced`] and answers every subsequent write attempt with
+//! a typed [`Fenced`](super::protocol::ServerResponse::Fenced) response
+//! instead of silently diverging its store.
+//!
+//! # Acknowledgement modes
+//!
+//! With `--repl-ack quorum`, the serving loop release-gates every
+//! state-changing response on follower durability: the response is not
+//! written until a majority of the *connected* followers (at least one)
+//! has acknowledged the record — so a round the client saw acknowledged
+//! is never lost to a primary crash. With `--repl-ack none`, shipping is
+//! asynchronous and the tail of the stream rides at risk (the
+//! `run_failover` harness measures exactly that trade).
+
+use super::protocol::{read_frame, read_frame_deadline, write_frame};
+use super::store::{Appended, SessionOp, SessionStore};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::io;
+use std::net::{TcpListener, TcpStream};
+use std::str::FromStr;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
+
+/// Replication wire-protocol version (independent of the client
+/// protocol's version).
+pub const REPL_PROTOCOL_VERSION: u32 = 1;
+
+/// Poll tick for the replication threads: how quickly shutdown,
+/// new records, and link loss are observed.
+const REPL_POLL: Duration = Duration::from_millis(10);
+
+/// A primary sends a heartbeat after this long without records, so a
+/// quiet stream still proves the link is alive.
+const HEARTBEAT_EVERY: Duration = Duration::from_millis(500);
+
+/// A follower declares the link dead after this long without a frame
+/// (heartbeats make this a true failure detector, not a quiet stream).
+const LINK_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Handshake bound: how long either side waits for the peer's first
+/// frame.
+const HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Records shipped per batch before acks are drained again.
+const SHIP_BATCH: usize = 256;
+
+/// Which role a serving node is currently playing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Role {
+    /// Accepting sessions and (when configured) shipping to followers.
+    #[default]
+    Primary,
+    /// Standing by: applying the primary's stream, refusing sessions
+    /// until promoted.
+    Follower,
+    /// A deposed ex-primary: a higher epoch exists, so every write
+    /// attempt gets a typed refusal.
+    Fenced,
+}
+
+impl std::fmt::Display for Role {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Role::Primary => "primary",
+            Role::Follower => "follower",
+            Role::Fenced => "fenced",
+        })
+    }
+}
+
+/// When the primary releases a state-changing response to the client.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum AckMode {
+    /// Immediately after local execution; shipping is asynchronous.
+    #[default]
+    None,
+    /// After a majority of the connected followers (at least one) has
+    /// acknowledged every record the request journaled.
+    Quorum,
+}
+
+impl FromStr for AckMode {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "none" => Ok(AckMode::None),
+            "quorum" => Ok(AckMode::Quorum),
+            other => Err(format!("unknown ack mode {other:?} (none|quorum)")),
+        }
+    }
+}
+
+impl std::fmt::Display for AckMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            AckMode::None => "none",
+            AckMode::Quorum => "quorum",
+        })
+    }
+}
+
+/// One replication-channel frame (either direction), carried by the same
+/// length-prefixed JSON codec the client protocol uses.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ReplFrame {
+    /// Follower → primary: opens the stream.
+    Hello {
+        /// The follower's [`REPL_PROTOCOL_VERSION`].
+        version: u32,
+        /// The follower's store fingerprint; a mismatch is refused (the
+        /// stores would replay into different transcripts).
+        fingerprint: u64,
+        /// The follower's fencing epoch. Higher than the primary's means
+        /// the "primary" is deposed — this frame doubles as the fencing
+        /// notice a promoted follower sends its old primary.
+        epoch: u64,
+        /// Records the follower already holds; shipping resumes there.
+        have: u64,
+    },
+    /// Primary → follower: the stream is open.
+    Welcome {
+        /// The primary's fencing epoch (the follower adopts it).
+        epoch: u64,
+        /// The primary's current stream length.
+        tail: u64,
+    },
+    /// Either direction: the receiver's epoch is stale; it must stop
+    /// writing and rejoin as a follower.
+    Fenced {
+        /// The higher epoch that deposed it.
+        epoch: u64,
+    },
+    /// The handshake was refused for a non-epoch reason (version or
+    /// fingerprint mismatch).
+    Refused {
+        /// Human-readable reason.
+        message: String,
+    },
+    /// Primary → follower: one record of the op stream.
+    Ship {
+        /// Stream index of this record.
+        seq: u64,
+        /// The session the op belongs to.
+        session_id: u64,
+        /// The op itself — the same unit the store journals.
+        op: SessionOp,
+    },
+    /// Primary → follower: the link is alive; `tail` lets an idle
+    /// follower measure lag.
+    Heartbeat {
+        /// The primary's current stream length.
+        tail: u64,
+    },
+    /// Follower → primary: every record below `upto` is durably applied.
+    Ack {
+        /// Exclusive upper bound of the acknowledged prefix.
+        upto: u64,
+    },
+}
+
+#[derive(Debug, Default)]
+struct LogInner {
+    /// The logical op stream; index = shipping sequence number.
+    records: Vec<(u64, SessionOp)>,
+    /// Per-connected-follower acknowledged prefix length.
+    followers: HashMap<u64, u64>,
+    next_follower: u64,
+    /// Ship frames written across all followers (stats).
+    shipped: u64,
+    /// Test/chaos hook: while held, shippers stop sending (acks still
+    /// drain), so replication lag builds deterministically.
+    held: bool,
+}
+
+/// The in-memory logical op stream and follower-acknowledgement state
+/// (see the module docs).
+#[derive(Debug, Default)]
+pub struct ReplLog {
+    inner: Mutex<LogInner>,
+    /// Signalled when records are appended.
+    grew: Condvar,
+    /// Signalled when a follower acknowledges.
+    acked: Condvar,
+}
+
+impl ReplLog {
+    /// An empty log.
+    pub fn new() -> ReplLog {
+        ReplLog::default()
+    }
+
+    /// A log seeded with a store's surviving ops, so record counts are
+    /// comparable across restarts of the same lineage.
+    pub fn preloaded(records: Vec<(u64, SessionOp)>) -> ReplLog {
+        ReplLog {
+            inner: Mutex::new(LogInner {
+                records,
+                ..LogInner::default()
+            }),
+            ..ReplLog::default()
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, LogInner> {
+        // Poison tolerance mirrors the store's: the log is a Vec and two
+        // maps, all well-formed at every await point.
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Appends one record; returns the stream length after it.
+    pub fn append(&self, session_id: u64, op: SessionOp) -> u64 {
+        let mut inner = self.lock();
+        inner.records.push((session_id, op));
+        let tail = inner.records.len() as u64;
+        drop(inner);
+        self.grew.notify_all();
+        tail
+    }
+
+    /// The stream length (the next record's sequence number).
+    pub fn tail(&self) -> u64 {
+        self.lock().records.len() as u64
+    }
+
+    /// A batch of records starting at `from` (empty while shipping is
+    /// held, or when `from` is at or past the tail).
+    pub fn records_from(&self, from: u64, max: usize) -> Vec<(u64, u64, SessionOp)> {
+        let inner = self.lock();
+        if inner.held {
+            return Vec::new();
+        }
+        inner
+            .records
+            .iter()
+            .enumerate()
+            .skip(from as usize)
+            .take(max)
+            .map(|(seq, (id, op))| (seq as u64, *id, op.clone()))
+            .collect()
+    }
+
+    /// Registers a follower connection whose acknowledged prefix starts
+    /// at `have`; returns its id for [`ReplLog::ack`].
+    pub fn register(&self, have: u64) -> u64 {
+        let mut inner = self.lock();
+        let id = inner.next_follower;
+        inner.next_follower += 1;
+        inner.followers.insert(id, have);
+        drop(inner);
+        // A registration can satisfy (or change) quorum for waiters.
+        self.acked.notify_all();
+        id
+    }
+
+    /// Drops a follower connection from the quorum.
+    pub fn deregister(&self, id: u64) {
+        self.lock().followers.remove(&id);
+        self.acked.notify_all();
+    }
+
+    /// Records a follower's acknowledged prefix (monotonic).
+    pub fn ack(&self, id: u64, upto: u64) {
+        let mut inner = self.lock();
+        if let Some(slot) = inner.followers.get_mut(&id) {
+            *slot = (*slot).max(upto);
+        }
+        drop(inner);
+        self.acked.notify_all();
+    }
+
+    /// Counts one shipped record batch (stats).
+    pub fn note_shipped(&self, n: u64) {
+        self.lock().shipped += n;
+    }
+
+    /// Ship frames written across all followers since boot.
+    pub fn shipped(&self) -> u64 {
+        self.lock().shipped
+    }
+
+    /// Connected followers.
+    pub fn followers(&self) -> usize {
+        self.lock().followers.len()
+    }
+
+    /// Records not yet acknowledged by the slowest connected follower
+    /// (0 with no followers: nothing is owed).
+    pub fn lag(&self) -> u64 {
+        let inner = self.lock();
+        let tail = inner.records.len() as u64;
+        inner
+            .followers
+            .values()
+            .map(|acked| tail.saturating_sub(*acked))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The prefix length acknowledged by a majority of the connected
+    /// followers (`u64::MAX` with none connected: a single-node quorum
+    /// is trivially satisfied).
+    fn quorum_acked(inner: &LogInner) -> u64 {
+        let followers = inner.followers.len();
+        if followers == 0 {
+            return u64::MAX;
+        }
+        let mut acks: Vec<u64> = inner.followers.values().copied().collect();
+        acks.sort_unstable_by(|a, b| b.cmp(a));
+        // Majority of the replica set including the primary itself:
+        // (followers + 1 primary) / 2 + 1 nodes, minus the primary.
+        let needed = followers.div_ceil(2);
+        acks[needed - 1]
+    }
+
+    /// Blocks until a follower majority has acknowledged `upto` records,
+    /// the deadline passes, or `running` flips false. Returns whether
+    /// the quorum was reached.
+    pub fn wait_quorum(&self, upto: u64, deadline: Instant, running: &AtomicBool) -> bool {
+        let mut inner = self.lock();
+        loop {
+            if Self::quorum_acked(&inner) >= upto {
+                return true;
+            }
+            if !running.load(Ordering::Acquire) || Instant::now() >= deadline {
+                return false;
+            }
+            let (guard, _) = self
+                .acked
+                .wait_timeout(inner, REPL_POLL)
+                .unwrap_or_else(PoisonError::into_inner);
+            inner = guard;
+        }
+    }
+
+    /// Blocks until the stream grows past `from` or the timeout passes.
+    fn wait_grow(&self, from: u64, timeout: Duration) {
+        let inner = self.lock();
+        if inner.records.len() as u64 > from && !inner.held {
+            return;
+        }
+        let _ = self
+            .grew
+            .wait_timeout(inner, timeout)
+            .unwrap_or_else(PoisonError::into_inner);
+    }
+
+    /// Test/chaos hook: pauses (or resumes) shipping so replication lag
+    /// builds deterministically. Acks keep draining.
+    pub fn hold(&self, held: bool) {
+        self.lock().held = held;
+        self.grew.notify_all();
+    }
+}
+
+/// Shared replication state: the log, the fencing epoch, and the node's
+/// current role. Present (and inert) even when replication is disabled,
+/// so the serving loop has one code path.
+#[derive(Debug)]
+pub struct ReplState {
+    /// The logical op stream (see [`ReplLog`]).
+    pub log: Arc<ReplLog>,
+    store: Arc<SessionStore>,
+    epoch: AtomicU64,
+    follower: AtomicBool,
+    fenced: AtomicBool,
+    /// The higher epoch that fenced this node (0 while unfenced).
+    fenced_by: AtomicU64,
+    /// When state-changing responses are released (see [`AckMode`]).
+    pub ack: AckMode,
+    /// Longest one response waits for follower acknowledgement before
+    /// being released anyway (counted in `ack_timeouts`).
+    pub ack_timeout_ms: u64,
+    ack_timeouts: AtomicU64,
+}
+
+impl ReplState {
+    /// Builds the node's replication state over its store: the log is
+    /// seeded from the store's surviving ops and attached so every
+    /// subsequent append flows into it.
+    pub fn new(
+        store: Arc<SessionStore>,
+        follower: bool,
+        ack: AckMode,
+        ack_timeout_ms: u64,
+    ) -> Arc<ReplState> {
+        let log = Arc::new(ReplLog::preloaded(store.replication_image()));
+        store.attach_repl(Arc::clone(&log));
+        Arc::new(ReplState {
+            log,
+            epoch: AtomicU64::new(store.epoch()),
+            store,
+            follower: AtomicBool::new(follower),
+            fenced: AtomicBool::new(false),
+            fenced_by: AtomicU64::new(0),
+            ack,
+            ack_timeout_ms,
+            ack_timeouts: AtomicU64::new(0),
+        })
+    }
+
+    /// The node's fencing epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Whether a higher epoch has deposed this node.
+    pub fn fenced(&self) -> bool {
+        self.fenced.load(Ordering::Acquire)
+    }
+
+    /// The epoch that fenced this node (0 while unfenced).
+    pub fn fenced_by(&self) -> u64 {
+        self.fenced_by.load(Ordering::Acquire)
+    }
+
+    /// Whether the node is standing by as a follower.
+    pub fn is_follower(&self) -> bool {
+        self.follower.load(Ordering::Acquire)
+    }
+
+    /// The current role.
+    pub fn role(&self) -> Role {
+        if self.fenced() {
+            Role::Fenced
+        } else if self.is_follower() {
+            Role::Follower
+        } else {
+            Role::Primary
+        }
+    }
+
+    /// Whether `Hello` must be refused (followers and fenced nodes do
+    /// not open sessions).
+    pub fn refuses_sessions(&self) -> bool {
+        self.is_follower() || self.fenced()
+    }
+
+    /// Marks the node deposed by `epoch`. Idempotent; the epoch itself
+    /// is *not* adopted or persisted — a fenced node writes nothing.
+    pub fn fence(&self, epoch: u64) {
+        self.fenced_by.fetch_max(epoch, Ordering::AcqRel);
+        self.fenced.store(true, Ordering::Release);
+    }
+
+    /// Promotes the node to primary: bumps the epoch past everything it
+    /// has seen, persists it in the store, and starts accepting
+    /// sessions. A fenced node refuses (it must rejoin as a follower
+    /// under the new primary instead of forking history).
+    pub fn promote(&self) -> io::Result<u64> {
+        if self.fenced() {
+            return Err(io::Error::new(
+                io::ErrorKind::PermissionDenied,
+                format!(
+                    "node is fenced (deposed by epoch {}); rejoin as a follower instead of promoting",
+                    self.fenced_by()
+                ),
+            ));
+        }
+        let epoch = self.epoch().max(self.fenced_by()) + 1;
+        self.store.set_epoch(epoch)?;
+        self.epoch.fetch_max(epoch, Ordering::AcqRel);
+        self.follower.store(false, Ordering::Release);
+        Ok(epoch)
+    }
+
+    /// Adopts a primary's (equal-or-higher) epoch, persisting it.
+    pub fn adopt_epoch(&self, epoch: u64) -> io::Result<()> {
+        if epoch > self.epoch() {
+            self.store.set_epoch(epoch)?;
+            self.epoch.fetch_max(epoch, Ordering::AcqRel);
+        }
+        Ok(())
+    }
+
+    /// Release-gates one state-changing response on follower durability
+    /// (no-op under [`AckMode::None`]). A timeout releases the response
+    /// anyway — the client must not hang on a dead follower — and is
+    /// counted.
+    pub fn quorum_gate(&self, running: &AtomicBool) {
+        if self.ack != AckMode::Quorum {
+            return;
+        }
+        let upto = self.log.tail();
+        let deadline = Instant::now() + Duration::from_millis(self.ack_timeout_ms);
+        if !self.log.wait_quorum(upto, deadline, running) {
+            self.ack_timeouts.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Responses released on an ack timeout instead of follower
+    /// durability.
+    pub fn ack_timeouts(&self) -> u64 {
+        self.ack_timeouts.load(Ordering::Relaxed)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Primary side: the replication acceptor and per-follower shippers
+// ---------------------------------------------------------------------
+
+/// Accepts follower connections and spawns one shipper per follower.
+/// Runs until `running` flips false.
+pub fn run_repl_acceptor(
+    listener: TcpListener,
+    repl: Arc<ReplState>,
+    running: Arc<AtomicBool>,
+    fingerprint: u64,
+) {
+    let mut shippers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    while running.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let repl = Arc::clone(&repl);
+                let running = Arc::clone(&running);
+                shippers.push(std::thread::spawn(move || {
+                    run_shipper(stream, &repl, &running, fingerprint);
+                }));
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(REPL_POLL);
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => break,
+        }
+        shippers.retain(|s| !s.is_finished());
+    }
+    for shipper in shippers {
+        let _ = shipper.join();
+    }
+}
+
+/// Serves one follower connection: handshake, then ship-and-drain until
+/// the link drops, the daemon stops, or this node is fenced.
+fn run_shipper(mut stream: TcpStream, repl: &ReplState, running: &AtomicBool, fingerprint: u64) {
+    if stream.set_nodelay(true).is_err() || stream.set_read_timeout(Some(REPL_POLL)).is_err() {
+        return;
+    }
+    let deadline = Instant::now() + HANDSHAKE_TIMEOUT;
+    let hello = match read_frame_deadline::<_, ReplFrame>(&mut stream, deadline, true) {
+        Ok(Some(ReplFrame::Hello {
+            version,
+            fingerprint: fp,
+            epoch,
+            have,
+        })) => {
+            if version != REPL_PROTOCOL_VERSION {
+                let _ = write_frame(
+                    &mut stream,
+                    &ReplFrame::Refused {
+                        message: format!(
+                            "replication protocol {version} unsupported (speaking {REPL_PROTOCOL_VERSION})"
+                        ),
+                    },
+                );
+                return;
+            }
+            if fp != fingerprint {
+                let _ = write_frame(
+                    &mut stream,
+                    &ReplFrame::Refused {
+                        message: format!(
+                            "store fingerprint mismatch: follower {fp:#018x}, primary {fingerprint:#018x}"
+                        ),
+                    },
+                );
+                return;
+            }
+            (epoch, have)
+        }
+        _ => return,
+    };
+    let (peer_epoch, have) = hello;
+    if peer_epoch > repl.epoch() {
+        // The peer out-epochs us: we are the deposed one. Fence and say
+        // so — this is the promoted follower's fencing notice landing.
+        repl.fence(peer_epoch);
+        let _ = write_frame(&mut stream, &ReplFrame::Fenced { epoch: peer_epoch });
+        return;
+    }
+    if write_frame(
+        &mut stream,
+        &ReplFrame::Welcome {
+            epoch: repl.epoch(),
+            tail: repl.log.tail(),
+        },
+    )
+    .is_err()
+    {
+        return;
+    }
+
+    let id = repl.log.register(have.min(repl.log.tail()));
+    let mut sent = have.min(repl.log.tail());
+    let mut last_write = Instant::now();
+    loop {
+        if !running.load(Ordering::Acquire) || repl.fenced() {
+            break;
+        }
+        // Drain acknowledgements (non-blocking: the socket's poll tick
+        // surfaces WouldBlock when the follower is quiet).
+        loop {
+            match read_frame::<_, ReplFrame>(&mut stream) {
+                Ok(Some(ReplFrame::Ack { upto })) => repl.log.ack(id, upto),
+                Ok(Some(_)) => {}
+                Ok(None) => {
+                    repl.log.deregister(id);
+                    return;
+                }
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    break;
+                }
+                Err(_) => {
+                    repl.log.deregister(id);
+                    return;
+                }
+            }
+        }
+        // Ship the next batch.
+        let batch = repl.log.records_from(sent, SHIP_BATCH);
+        if batch.is_empty() {
+            if last_write.elapsed() >= HEARTBEAT_EVERY {
+                let tail = repl.log.tail();
+                if write_frame(&mut stream, &ReplFrame::Heartbeat { tail }).is_err() {
+                    break;
+                }
+                last_write = Instant::now();
+            }
+            repl.log.wait_grow(sent, REPL_POLL);
+            continue;
+        }
+        let n = batch.len() as u64;
+        let mut failed = false;
+        for (seq, session_id, op) in batch {
+            if write_frame(
+                &mut stream,
+                &ReplFrame::Ship {
+                    seq,
+                    session_id,
+                    op,
+                },
+            )
+            .is_err()
+            {
+                failed = true;
+                break;
+            }
+            sent = seq + 1;
+        }
+        if failed {
+            break;
+        }
+        repl.log.note_shipped(n);
+        last_write = Instant::now();
+    }
+    repl.log.deregister(id);
+}
+
+// ---------------------------------------------------------------------
+// Follower side: the receive/apply loop and promotion
+// ---------------------------------------------------------------------
+
+/// Why one connection to the primary ended.
+enum FollowEnd {
+    /// The daemon is stopping or the node was promoted elsewhere.
+    Stopped,
+    /// The primary fenced *us*?? No — the primary acknowledged being
+    /// deposed by our higher epoch; we are the rightful primary.
+    PeerFenced,
+    /// Version/fingerprint mismatch; retrying will not help quickly.
+    Refused,
+    /// The link dropped (connect failure, EOF, or frame timeout).
+    LinkLost {
+        /// Whether a handshake had completed on this attempt.
+        was_connected: bool,
+    },
+}
+
+/// Follows a primary until the daemon stops, the node is promoted, or —
+/// with `auto_promote` — the link to a once-reached primary drops, at
+/// which point the follower promotes itself and sends the old primary a
+/// best-effort fencing notice.
+pub fn run_follower(
+    primary: &str,
+    repl: &Arc<ReplState>,
+    running: &Arc<AtomicBool>,
+    fingerprint: u64,
+    auto_promote: bool,
+) {
+    let mut ever_connected = false;
+    while running.load(Ordering::Acquire) && repl.is_follower() {
+        match follow_once(primary, repl, running, fingerprint) {
+            FollowEnd::Stopped => return,
+            FollowEnd::PeerFenced => {
+                // Our epoch already dominates; make the role match it.
+                if repl.is_follower() {
+                    let _ = repl.promote();
+                }
+                return;
+            }
+            FollowEnd::Refused => {
+                // A config mismatch will not heal by tight retrying.
+                sleep_while_running(running, Duration::from_millis(500));
+            }
+            FollowEnd::LinkLost { was_connected } => {
+                ever_connected |= was_connected;
+                if ever_connected && auto_promote && repl.is_follower() {
+                    if repl.promote().is_ok() {
+                        notify_deposed(primary, repl.epoch(), fingerprint);
+                    }
+                    return;
+                }
+                sleep_while_running(running, Duration::from_millis(100));
+            }
+        }
+    }
+}
+
+/// One connection attempt to the primary: handshake, then apply shipped
+/// records until the link ends.
+fn follow_once(
+    primary: &str,
+    repl: &ReplState,
+    running: &AtomicBool,
+    fingerprint: u64,
+) -> FollowEnd {
+    let Ok(mut stream) = TcpStream::connect(primary) else {
+        return FollowEnd::LinkLost {
+            was_connected: false,
+        };
+    };
+    if stream.set_nodelay(true).is_err() || stream.set_read_timeout(Some(REPL_POLL)).is_err() {
+        return FollowEnd::LinkLost {
+            was_connected: false,
+        };
+    }
+    if write_frame(
+        &mut stream,
+        &ReplFrame::Hello {
+            version: REPL_PROTOCOL_VERSION,
+            fingerprint,
+            epoch: repl.epoch(),
+            have: repl.log.tail(),
+        },
+    )
+    .is_err()
+    {
+        return FollowEnd::LinkLost {
+            was_connected: false,
+        };
+    }
+    let deadline = Instant::now() + HANDSHAKE_TIMEOUT;
+    match read_frame_deadline::<_, ReplFrame>(&mut stream, deadline, true) {
+        Ok(Some(ReplFrame::Welcome { epoch, .. })) => {
+            let _ = repl.adopt_epoch(epoch);
+        }
+        Ok(Some(ReplFrame::Fenced { .. })) => return FollowEnd::PeerFenced,
+        Ok(Some(ReplFrame::Refused { .. })) => return FollowEnd::Refused,
+        _ => {
+            return FollowEnd::LinkLost {
+                was_connected: false,
+            }
+        }
+    }
+
+    let mut last_frame = Instant::now();
+    loop {
+        if !running.load(Ordering::Acquire) || !repl.is_follower() {
+            return FollowEnd::Stopped;
+        }
+        match read_frame::<_, ReplFrame>(&mut stream) {
+            Ok(Some(ReplFrame::Ship {
+                seq,
+                session_id,
+                op,
+            })) => {
+                last_frame = Instant::now();
+                let tail = repl.log.tail();
+                if seq > tail {
+                    // A gap means the streams desynchronized; drop the
+                    // link and re-handshake from our actual count.
+                    return FollowEnd::LinkLost {
+                        was_connected: true,
+                    };
+                }
+                if seq == tail {
+                    // Applying through the store feeds the same replay
+                    // image a restart uses — and the attached log, so
+                    // our `have` advances with it.
+                    let durability = repl.store.apply_replicated(session_id, op);
+                    if !matches!(durability, Appended::Durable) {
+                        // A degraded apply is in memory only; claiming
+                        // durability to the primary would be a lie, so
+                        // the ack stream simply stops advancing.
+                        continue;
+                    }
+                }
+                if write_frame(
+                    &mut stream,
+                    &ReplFrame::Ack {
+                        upto: repl.log.tail(),
+                    },
+                )
+                .is_err()
+                {
+                    return FollowEnd::LinkLost {
+                        was_connected: true,
+                    };
+                }
+            }
+            Ok(Some(ReplFrame::Heartbeat { .. })) => {
+                last_frame = Instant::now();
+                if write_frame(
+                    &mut stream,
+                    &ReplFrame::Ack {
+                        upto: repl.log.tail(),
+                    },
+                )
+                .is_err()
+                {
+                    return FollowEnd::LinkLost {
+                        was_connected: true,
+                    };
+                }
+            }
+            Ok(Some(ReplFrame::Fenced { .. })) => return FollowEnd::PeerFenced,
+            Ok(Some(_)) => {}
+            Ok(None) => {
+                return FollowEnd::LinkLost {
+                    was_connected: true,
+                }
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                if last_frame.elapsed() >= LINK_TIMEOUT {
+                    return FollowEnd::LinkLost {
+                        was_connected: true,
+                    };
+                }
+            }
+            Err(_) => {
+                return FollowEnd::LinkLost {
+                    was_connected: true,
+                }
+            }
+        }
+    }
+}
+
+/// Best-effort fencing notice to a (possibly dead) old primary: a
+/// `Hello` carrying our higher epoch makes it fence itself; every
+/// failure mode is fine (it is dead, or it will be fenced the moment it
+/// ships to us).
+pub fn notify_deposed(addr: &str, epoch: u64, fingerprint: u64) {
+    let Ok(mut stream) = TcpStream::connect(addr) else {
+        return;
+    };
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(REPL_POLL));
+    let _ = write_frame(
+        &mut stream,
+        &ReplFrame::Hello {
+            version: REPL_PROTOCOL_VERSION,
+            fingerprint,
+            epoch,
+            have: 0,
+        },
+    );
+    let deadline = Instant::now() + Duration::from_millis(500);
+    let _ = read_frame_deadline::<_, ReplFrame>(&mut stream, deadline, true);
+}
+
+fn sleep_while_running(running: &AtomicBool, total: Duration) {
+    let deadline = Instant::now() + total;
+    while running.load(Ordering::Acquire) && Instant::now() < deadline {
+        std::thread::sleep(REPL_POLL);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ack_mode_parses_and_renders() {
+        assert_eq!("none".parse::<AckMode>().unwrap(), AckMode::None);
+        assert_eq!("quorum".parse::<AckMode>().unwrap(), AckMode::Quorum);
+        assert!("all".parse::<AckMode>().is_err());
+        assert_eq!(AckMode::Quorum.to_string(), "quorum");
+    }
+
+    #[test]
+    fn repl_frames_roundtrip() {
+        let frames = vec![
+            ReplFrame::Hello {
+                version: REPL_PROTOCOL_VERSION,
+                fingerprint: 0xF00D,
+                epoch: 2,
+                have: 17,
+            },
+            ReplFrame::Welcome { epoch: 2, tail: 40 },
+            ReplFrame::Fenced { epoch: 3 },
+            ReplFrame::Ship {
+                seq: 5,
+                session_id: 1,
+                op: SessionOp::Opened,
+            },
+            ReplFrame::Heartbeat { tail: 41 },
+            ReplFrame::Ack { upto: 41 },
+        ];
+        let mut wire = Vec::new();
+        for f in &frames {
+            write_frame(&mut wire, f).unwrap();
+        }
+        let mut cursor = &wire[..];
+        for want in &frames {
+            let got: ReplFrame = read_frame(&mut cursor).unwrap().unwrap();
+            assert_eq!(&got, want);
+        }
+    }
+
+    #[test]
+    fn log_tracks_tail_acks_and_lag() {
+        let log = ReplLog::new();
+        assert_eq!(log.tail(), 0);
+        assert_eq!(log.lag(), 0, "no followers: nothing owed");
+        log.append(0, SessionOp::Opened);
+        log.append(0, SessionOp::Closed);
+        assert_eq!(log.tail(), 2);
+
+        let f = log.register(0);
+        assert_eq!(log.lag(), 2);
+        log.ack(f, 1);
+        assert_eq!(log.lag(), 1);
+        log.ack(f, 2);
+        assert_eq!(log.lag(), 0);
+        // Acks are monotonic: a stale ack never regresses.
+        log.ack(f, 1);
+        assert_eq!(log.lag(), 0);
+        log.deregister(f);
+        assert_eq!(log.lag(), 0);
+    }
+
+    #[test]
+    fn hold_pauses_shipping_reads() {
+        let log = ReplLog::new();
+        log.append(0, SessionOp::Opened);
+        assert_eq!(log.records_from(0, 16).len(), 1);
+        log.hold(true);
+        assert!(log.records_from(0, 16).is_empty(), "held log ships nothing");
+        log.hold(false);
+        assert_eq!(log.records_from(0, 16).len(), 1);
+    }
+
+    #[test]
+    fn quorum_wait_is_trivial_without_followers_and_gated_with_one() {
+        let log = ReplLog::new();
+        log.append(0, SessionOp::Opened);
+        let running = AtomicBool::new(true);
+        // No followers: a single-node quorum is already satisfied.
+        assert!(log.wait_quorum(1, Instant::now() + Duration::from_millis(10), &running));
+
+        let f = log.register(0);
+        assert!(
+            !log.wait_quorum(1, Instant::now() + Duration::from_millis(30), &running),
+            "an unacknowledged record must gate"
+        );
+        log.ack(f, 1);
+        assert!(log.wait_quorum(1, Instant::now() + Duration::from_millis(30), &running));
+    }
+
+    #[test]
+    fn quorum_is_a_majority_of_connected_followers() {
+        let inner_with = |acks: &[u64]| {
+            let mut inner = LogInner::default();
+            for (i, a) in acks.iter().enumerate() {
+                inner.followers.insert(i as u64, *a);
+            }
+            inner
+        };
+        assert_eq!(ReplLog::quorum_acked(&inner_with(&[])), u64::MAX);
+        assert_eq!(ReplLog::quorum_acked(&inner_with(&[3])), 3);
+        // Two followers: one ack (plus the primary) is a 2/3 majority.
+        assert_eq!(ReplLog::quorum_acked(&inner_with(&[5, 1])), 5);
+        // Three followers: two must acknowledge (3/4 majority).
+        assert_eq!(ReplLog::quorum_acked(&inner_with(&[9, 4, 1])), 4);
+    }
+
+    #[test]
+    fn records_from_respects_offset_and_batch() {
+        let log = ReplLog::new();
+        for i in 0..10u64 {
+            log.append(i, SessionOp::Opened);
+        }
+        let batch = log.records_from(7, 2);
+        assert_eq!(batch.len(), 2);
+        assert_eq!(batch[0].0, 7);
+        assert_eq!(batch[1].0, 8);
+        assert!(log.records_from(10, 4).is_empty());
+    }
+}

@@ -35,6 +35,7 @@ use super::protocol::{
     deadline_expired, read_frame, read_frame_deadline, write_frame, ClientRequest, ServerResponse,
     ServerStats, PROTOCOL_VERSION,
 };
+use super::replicate::{notify_deposed, run_follower, run_repl_acceptor, ReplState, Role};
 use super::store::{Appended, SessionOp, SessionStore, StoreOptions, StoreSnapshot};
 use crate::assistant::Assistant;
 use crate::config::{chaos_stack, ServeConfig};
@@ -99,6 +100,8 @@ struct ConnCtx {
     store: Arc<SessionStore>,
     gate: Arc<AdmissionGate>,
     running: Arc<AtomicBool>,
+    aborted: Arc<AtomicBool>,
+    repl: Arc<ReplState>,
     counters: Arc<ServerCounters>,
     started: Instant,
 }
@@ -107,7 +110,9 @@ struct ConnCtx {
 #[derive(Clone)]
 pub struct ServerHandle {
     running: Arc<AtomicBool>,
+    aborted: Arc<AtomicBool>,
     gate: Arc<AdmissionGate>,
+    repl: Arc<ReplState>,
     addr: SocketAddr,
 }
 
@@ -116,6 +121,24 @@ impl ServerHandle {
     pub fn shutdown(&self) {
         self.gate.close();
         self.running.store(false, Ordering::Release);
+    }
+
+    /// Kills the daemon without farewell: no `ShuttingDown` frames, no
+    /// responses for in-flight requests — connections just see their
+    /// socket die, exactly as a SIGKILL looks from the outside. The
+    /// failover harness uses this as its deterministic in-process
+    /// primary kill; the store is NOT synced beyond what write-ahead
+    /// appends already flushed.
+    pub fn abort(&self) {
+        self.aborted.store(true, Ordering::Release);
+        self.gate.close();
+        self.running.store(false, Ordering::Release);
+    }
+
+    /// The daemon's replication state (role, epoch, log) — the failover
+    /// harness reads lag and holds shipping through this.
+    pub fn repl(&self) -> &ReplState {
+        &self.repl
     }
 
     /// The daemon's bound address.
@@ -128,12 +151,15 @@ impl ServerHandle {
 pub struct Server {
     config: ServeConfig,
     listener: TcpListener,
+    repl_listener: Option<TcpListener>,
     corpus: Arc<Corpus>,
     embeddings: Arc<Vec<Embedding>>,
     assistant: Assistant,
     store: Arc<SessionStore>,
     gate: Arc<AdmissionGate>,
     running: Arc<AtomicBool>,
+    aborted: Arc<AtomicBool>,
+    repl: Arc<ReplState>,
     counters: Arc<ServerCounters>,
     started: Instant,
 }
@@ -171,15 +197,36 @@ impl Server {
             queue_depth: config.queue_depth,
             queue_wait_ms: config.queue_wait_ms,
         });
+        // Replication state exists (inert) even without replication, so
+        // the serving path is identical either way. A `--replica-of`
+        // daemon boots as a follower; `--repl-listen` binds the channel
+        // followers connect to.
+        let repl = ReplState::new(
+            Arc::clone(&store),
+            config.replica_of.is_some(),
+            config.repl_ack,
+            config.repl_ack_timeout_ms,
+        );
+        let repl_listener = match config.repl_listen.as_deref() {
+            Some(addr) => {
+                let listener = TcpListener::bind(addr)?;
+                listener.set_nonblocking(true)?;
+                Some(listener)
+            }
+            None => None,
+        };
         Ok(Server {
             config,
             listener,
+            repl_listener,
             corpus,
             embeddings,
             assistant,
             store,
             gate,
             running: Arc::new(AtomicBool::new(true)),
+            aborted: Arc::new(AtomicBool::new(false)),
+            repl,
             counters: Arc::new(ServerCounters::default()),
             started: Instant::now(),
         })
@@ -188,6 +235,14 @@ impl Server {
     /// The bound address (resolves `--port 0`).
     pub fn local_addr(&self) -> io::Result<SocketAddr> {
         self.listener.local_addr()
+    }
+
+    /// The bound replication-channel address, when `--repl-listen` is
+    /// set (resolves a `:0` port).
+    pub fn repl_addr(&self) -> Option<SocketAddr> {
+        self.repl_listener
+            .as_ref()
+            .and_then(|l| l.local_addr().ok())
     }
 
     /// Sessions recovered from the store at bind time that a previous
@@ -200,14 +255,36 @@ impl Server {
     pub fn handle(&self) -> io::Result<ServerHandle> {
         Ok(ServerHandle {
             running: Arc::clone(&self.running),
+            aborted: Arc::clone(&self.aborted),
             gate: Arc::clone(&self.gate),
+            repl: Arc::clone(&self.repl),
             addr: self.local_addr()?,
         })
     }
 
     /// Runs the accept loop until a graceful shutdown, then drains live
     /// connections, syncs the store, and reports.
-    pub fn serve(self) -> io::Result<ServeSummary> {
+    pub fn serve(mut self) -> io::Result<ServeSummary> {
+        // Replication threads: an acceptor + per-follower shippers on
+        // the primary side, the receive/apply loop on the follower side.
+        let mut repl_threads: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        if let Some(listener) = self.repl_listener.take() {
+            let repl = Arc::clone(&self.repl);
+            let running = Arc::clone(&self.running);
+            let fingerprint = self.config.fingerprint();
+            repl_threads.push(std::thread::spawn(move || {
+                run_repl_acceptor(listener, repl, running, fingerprint);
+            }));
+        }
+        if let Some(primary) = self.config.replica_of.clone() {
+            let repl = Arc::clone(&self.repl);
+            let running = Arc::clone(&self.running);
+            let fingerprint = self.config.fingerprint();
+            let auto_promote = self.config.auto_promote;
+            repl_threads.push(std::thread::spawn(move || {
+                run_follower(&primary, &repl, &running, fingerprint, auto_promote);
+            }));
+        }
         let mut workers: Vec<std::thread::JoinHandle<()>> = Vec::new();
         while self.running.load(Ordering::Acquire) {
             match self.listener.accept() {
@@ -220,6 +297,8 @@ impl Server {
                         store: Arc::clone(&self.store),
                         gate: Arc::clone(&self.gate),
                         running: Arc::clone(&self.running),
+                        aborted: Arc::clone(&self.aborted),
+                        repl: Arc::clone(&self.repl),
                         counters: Arc::clone(&self.counters),
                         started: self.started,
                     };
@@ -251,6 +330,9 @@ impl Server {
         self.gate.close();
         for worker in workers {
             let _ = worker.join();
+        }
+        for thread in repl_threads {
+            let _ = thread.join();
         }
         // A chaos-degraded store may legitimately fail its final sync
         // (injected fsync fault, disk-full); the drain still reports.
@@ -324,6 +406,11 @@ fn handle_conn(ctx: &ConnCtx, corpus: &Corpus, mut stream: TcpStream) {
                     return;
                 }
             }
+            ClientRequest::Promote => {
+                if write_frame(&mut stream, &promote_response(ctx)).is_err() {
+                    return;
+                }
+            }
             ClientRequest::Hello { version, resume } => {
                 if version != PROTOCOL_VERSION {
                     send_error(
@@ -333,6 +420,13 @@ fn handle_conn(ctx: &ConnCtx, corpus: &Corpus, mut stream: TcpStream) {
                             "protocol version {version} unsupported (server speaks {PROTOCOL_VERSION})"
                         ),
                     );
+                    return;
+                }
+                // A standby follower or a fenced ex-primary does not
+                // open sessions: the typed refusal is the client's
+                // signal to try the next endpoint.
+                if ctx.repl.refuses_sessions() {
+                    let _ = write_frame(&mut stream, &fenced_frame(ctx));
                     return;
                 }
                 break resume;
@@ -348,6 +442,13 @@ fn handle_conn(ctx: &ConnCtx, corpus: &Corpus, mut stream: TcpStream) {
     let _permit = match ctx.gate.admit() {
         Ok(permit) => permit,
         Err(rejection) => {
+            // An aborted (killed) daemon writes nothing — the gate is
+            // closed as a side effect of the abort, but answering with
+            // a typed rejection would turn "your peer died, fail over"
+            // into "backpressure, give up" for the connecting client.
+            if ctx.aborted.load(Ordering::Acquire) {
+                return;
+            }
             let (active, queued) = match &rejection {
                 super::admission::Rejection::QueueFull { active, queued } => (*active, *queued),
                 super::admission::Rejection::WaitExpired { active } => (*active, 0),
@@ -416,6 +517,13 @@ fn handle_conn(ctx: &ConnCtx, corpus: &Corpus, mut stream: TcpStream) {
             replay_session(ctx, corpus, id, &ops)
         }
     };
+    // Under quorum acks, even the Welcome (whose open was journaled)
+    // waits for follower durability before the client may believe in
+    // the session. An aborted (killed) daemon writes nothing more.
+    ctx.repl.quorum_gate(&ctx.running);
+    if ctx.aborted.load(Ordering::Acquire) {
+        return;
+    }
     let replayed_rounds = hosted.session.round();
     if write_frame(
         &mut stream,
@@ -445,7 +553,25 @@ fn handle_conn(ctx: &ConnCtx, corpus: &Corpus, mut stream: TcpStream) {
                 return;
             }
         };
+        // State-changing requests journal write-ahead inside dispatch;
+        // under quorum acks their responses are release-gated on
+        // follower durability. The gate sits between execution and the
+        // response write: the op is already durable locally AND shipped,
+        // so a primary killed inside the gate loses only un-acked
+        // responses — never acknowledged ones.
+        let gated = matches!(
+            request,
+            ClientRequest::Ask { .. } | ClientRequest::Feedback { .. } | ClientRequest::Bye
+        );
         let response = dispatch(ctx, corpus, &mut hosted, request);
+        if gated {
+            ctx.repl.quorum_gate(&ctx.running);
+        }
+        if ctx.aborted.load(Ordering::Acquire) {
+            // Killed mid-request: drop the response on the floor — the
+            // client must see a dead socket, not a farewell.
+            return;
+        }
         let last = matches!(
             response,
             ServerResponse::Goodbye { .. } | ServerResponse::ShuttingDown
@@ -480,6 +606,66 @@ fn server_stats(ctx: &ConnCtx) -> ServerStats {
         errors: ctx.counters.errors.load(Ordering::Relaxed),
         contained_panics: ctx.counters.contained_panics.load(Ordering::Relaxed),
         uptime_ms: ctx.started.elapsed().as_millis() as u64,
+        role: ctx.repl.role(),
+        epoch: ctx.repl.epoch(),
+        replication_lag_records: ctx.repl.log.lag(),
+        repl_followers: ctx.repl.log.followers() as u64,
+        repl_records_shipped: ctx.repl.log.shipped(),
+        repl_ack_timeouts: ctx.repl.ack_timeouts(),
+    }
+}
+
+/// The typed write refusal a follower or fenced ex-primary answers
+/// session traffic with — sent *before* any store append, so a deposed
+/// node's store never diverges from the promoted one's.
+fn fenced_frame(ctx: &ConnCtx) -> ServerResponse {
+    let role = ctx.repl.role();
+    let epoch = ctx.repl.epoch();
+    let message = match role {
+        Role::Follower => format!(
+            "standing by as a follower (epoch {epoch}); not accepting session writes — \
+             retry against the primary"
+        ),
+        Role::Fenced => format!(
+            "write fenced: this node (epoch {epoch}) was deposed by epoch {}; \
+             restart it as a follower of the new primary",
+            ctx.repl.fenced_by()
+        ),
+        Role::Primary => format!("not accepting session writes (epoch {epoch})"),
+    };
+    ServerResponse::Fenced {
+        role,
+        epoch,
+        message,
+    }
+}
+
+/// Serves the `Promote` admin request: a follower (or an idle primary,
+/// idempotently) bumps its epoch and starts accepting sessions; the old
+/// primary is fenced best-effort. A fenced node refuses — promoting it
+/// would fork history.
+fn promote_response(ctx: &ConnCtx) -> ServerResponse {
+    if ctx.repl.role() == Role::Primary {
+        return ServerResponse::Promoted {
+            epoch: ctx.repl.epoch(),
+        };
+    }
+    match ctx.repl.promote() {
+        Ok(epoch) => {
+            if let Some(primary) = ctx.config.replica_of.clone() {
+                let fingerprint = ctx.config.fingerprint();
+                // Off-thread: the old primary may be dead, and a client
+                // asking us to promote must not wait on its timeout.
+                std::thread::spawn(move || notify_deposed(&primary, epoch, fingerprint));
+            }
+            ServerResponse::Promoted { epoch }
+        }
+        Err(e) => {
+            ctx.counters.errors.fetch_add(1, Ordering::Relaxed);
+            ServerResponse::Error {
+                message: format!("promotion refused: {e}"),
+            }
+        }
     }
 }
 
@@ -554,7 +740,11 @@ fn next_request(ctx: &ConnCtx, stream: &mut TcpStream) -> NextFrame {
         .then(|| armed + Duration::from_millis(ctx.config.idle_timeout_ms));
     loop {
         if !ctx.running.load(Ordering::Acquire) {
-            let _ = write_frame(stream, &ServerResponse::ShuttingDown);
+            // A graceful drain says goodbye; an abort (in-process kill)
+            // just drops the connection mid-conversation.
+            if !ctx.aborted.load(Ordering::Acquire) {
+                let _ = write_frame(stream, &ServerResponse::ShuttingDown);
+            }
             return NextFrame::Gone;
         }
         if let Some(deadline) = deadline {
@@ -607,6 +797,18 @@ fn dispatch<'a>(
     hosted: &mut Hosted<'a>,
     request: ClientRequest,
 ) -> ServerResponse {
+    // A node fenced mid-session refuses every further write on the
+    // session — the append must never happen, or the deposed store
+    // diverges from the promoted follower's. Reads (Transcript, Stats)
+    // still serve: they help the client re-attach elsewhere.
+    if ctx.repl.fenced()
+        && matches!(
+            request,
+            ClientRequest::Ask { .. } | ClientRequest::Feedback { .. } | ClientRequest::Bye
+        )
+    {
+        return fenced_frame(ctx);
+    }
     match request {
         ClientRequest::Ask { question } => {
             let example_idx = resolve_example(ctx, &question);
@@ -670,6 +872,7 @@ fn dispatch<'a>(
         }
         ClientRequest::Stats => ServerResponse::Stats(server_stats(ctx)),
         ClientRequest::Compact => compact_response(ctx),
+        ClientRequest::Promote => promote_response(ctx),
     }
 }
 
@@ -699,10 +902,15 @@ fn serve_feedback(
     text: &str,
     highlight: Option<fisql_sqlkit::Span>,
 ) -> ServerResponse {
-    let example = hosted
-        .example
-        .clone()
-        .expect("has_question checked by the caller");
+    // The caller checked has_question(), so the example is present in
+    // practice — but a typed error beats panicking a daemon thread on a
+    // future call-site slip.
+    let Some(example) = hosted.example.clone() else {
+        ctx.counters.errors.fetch_add(1, Ordering::Relaxed);
+        return ServerResponse::Error {
+            message: "feedback before any question".to_string(),
+        };
+    };
     let cursor = hosted.session.events().len();
     // give_feedback contains backend errors and panics internally
     // (Degraded/Crashed events), so it always returns a turn.
@@ -763,7 +971,8 @@ fn replay_session<'a>(ctx: &ConnCtx, corpus: &'a Corpus, id: u64, ops: &[Session
             SessionOp::Opened
             | SessionOp::Closed
             | SessionOp::Reaped { .. }
-            | SessionOp::Checkpoint { .. } => {}
+            | SessionOp::Checkpoint { .. }
+            | SessionOp::Epoch { .. } => {}
             SessionOp::Ask { example_idx, .. } => {
                 let idx = (*example_idx as usize).min(corpus.examples.len() - 1);
                 let example = corpus.examples[idx].clone();

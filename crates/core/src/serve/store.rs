@@ -50,13 +50,14 @@
 //! continue memory-only.
 
 use super::diskfault::DiskFaultConfig;
+use super::replicate::ReplLog;
 use crate::journal::{FsyncPolicy, RunJournal};
 use fisql_sqlkit::Span;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::io;
 use std::path::{Path, PathBuf};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// Value pinned into the journal header's case-count slot for session
 /// stores. An eval journal records its real (small) case count there, so
@@ -107,6 +108,17 @@ pub enum SessionOp {
         /// Floor for newly issued session ids, so ids of compacted-away
         /// sessions are never reused.
         next_session_id: u64,
+    },
+    /// Fencing-epoch record, journaled under [`META_SESSION`] when this
+    /// node is promoted to replication primary (see
+    /// [`super::replicate`]). Monotonic: the store's epoch is the max of
+    /// every `Epoch` record it holds; compaction re-asserts it right
+    /// after the checkpoint. Never written while replication is unused
+    /// (epoch 0 is implicit), so a replication-free store's bytes are
+    /// unchanged. Never part of a session's replay stream.
+    Epoch {
+        /// The fencing epoch (>= 1; bumped on every promotion).
+        epoch: u64,
     },
 }
 
@@ -216,6 +228,8 @@ pub struct StoreSnapshot {
     /// Whether the store is durable at all (`false` = memory-only by
     /// configuration).
     pub durable: bool,
+    /// Fencing epoch (0 = this lineage was never promoted).
+    pub epoch: u64,
 }
 
 #[derive(Debug)]
@@ -241,6 +255,12 @@ struct Inner {
     sync_count: u64,
     /// False after disk-full: the journal takes no further writes.
     writable: bool,
+    /// Fencing epoch (max of every `Epoch` record; 0 = replication never
+    /// promoted this lineage).
+    epoch: u64,
+    /// Replication log every non-meta append is mirrored into, once a
+    /// `ReplState` attaches one (absent when replication is unused).
+    repl: Option<Arc<ReplLog>>,
     compactions: u64,
     ops_dropped: u64,
     append_faults: u64,
@@ -281,9 +301,11 @@ impl SessionStore {
             ),
         };
         // Split metadata off the replayable stream: a checkpoint pins
-        // the generation and the id floor, and never reaches replay.
+        // the generation and the id floor, an epoch record pins the
+        // fencing epoch, and neither reaches replay.
         let mut generation = 0;
         let mut id_floor = 0;
+        let mut epoch = 0;
         let mut ops = Vec::with_capacity(raw_ops.len());
         for (id, op) in raw_ops {
             match op {
@@ -293,6 +315,9 @@ impl SessionStore {
                 } if id == META_SESSION => {
                     generation = generation.max(g);
                     id_floor = id_floor.max(next_session_id);
+                }
+                SessionOp::Epoch { epoch: e } if id == META_SESSION => {
+                    epoch = epoch.max(e);
                 }
                 _ => ops.push((id, op)),
             }
@@ -321,6 +346,8 @@ impl SessionStore {
                 total_ops,
                 sync_count: 0,
                 writable: true,
+                epoch,
+                repl: None,
                 compactions: 0,
                 ops_dropped: 0,
                 append_faults: 0,
@@ -353,6 +380,63 @@ impl SessionStore {
     /// reports it.
     pub fn append(&self, session_id: u64, op: SessionOp) -> Appended {
         self.append_locked(&mut self.lock(), session_id, op)
+    }
+
+    /// Applies one record shipped from a replication primary: the same
+    /// append path (journaled write-ahead, mirrored into the attached
+    /// log so the follower's `have` count advances), plus an id-floor
+    /// bump so a later promotion never reissues a replicated session's
+    /// id.
+    pub fn apply_replicated(&self, session_id: u64, op: SessionOp) -> Appended {
+        let mut inner = self.lock();
+        if session_id != META_SESSION {
+            inner.next_id = inner.next_id.max(session_id + 1);
+        }
+        self.append_locked(&mut inner, session_id, op)
+    }
+
+    /// Attaches the replication log every subsequent non-meta append is
+    /// mirrored into (the caller preloads it from
+    /// [`SessionStore::replication_image`] first).
+    pub fn attach_repl(&self, log: Arc<ReplLog>) {
+        self.lock().repl = Some(log);
+    }
+
+    /// A copy of the live op stream, for seeding a replication log.
+    pub fn replication_image(&self) -> Vec<(u64, SessionOp)> {
+        self.lock().ops.clone()
+    }
+
+    /// The store's fencing epoch (0 = never promoted).
+    pub fn epoch(&self) -> u64 {
+        self.lock().epoch
+    }
+
+    /// Raises the fencing epoch, persisting an [`SessionOp::Epoch`]
+    /// record (synced immediately — a promotion that later un-happens
+    /// would re-split the brain). The in-memory epoch advances even if
+    /// the disk is gone: a promotion must not fail on a degraded store,
+    /// it only loses crash-persistence of the fence.
+    pub fn set_epoch(&self, epoch: u64) -> io::Result<()> {
+        let mut inner = self.lock();
+        if epoch <= inner.epoch {
+            return Ok(());
+        }
+        inner.epoch = epoch;
+        if inner.writable {
+            if let Some(journal) = inner.journal.as_mut() {
+                let written = journal
+                    .append(META_SESSION, &SessionOp::Epoch { epoch })
+                    .and_then(|()| journal.sync());
+                if let Err(err) = written {
+                    inner.append_faults += 1;
+                    if err.kind() == io::ErrorKind::StorageFull {
+                        inner.writable = false;
+                    }
+                }
+            }
+        }
+        Ok(())
     }
 
     fn append_locked(&self, inner: &mut Inner, session_id: u64, op: SessionOp) -> Appended {
@@ -394,6 +478,13 @@ impl SessionStore {
         }
         // The in-memory image always records the op: the live daemon
         // replays reconnects from memory even while the disk is gone.
+        // A degraded (memory-only) op still enters the replication log —
+        // a follower with a healthy disk is exactly how it survives.
+        if let Some(repl) = &inner.repl {
+            if session_id != META_SESSION {
+                repl.append(session_id, op.clone());
+            }
+        }
         inner.ops.push((session_id, op));
 
         if closes {
@@ -439,6 +530,7 @@ impl SessionStore {
                 ));
             }
             let tmp = PathBuf::from(format!("{}.compact", path.display()));
+            let epoch = inner.epoch;
             let rewrite = (|| -> io::Result<RunJournal> {
                 let mut journal = RunJournal::create(
                     &tmp,
@@ -453,6 +545,12 @@ impl SessionStore {
                         next_session_id: inner.next_id,
                     },
                 )?;
+                // The rewrite drops every old metadata record, so a
+                // nonzero fencing epoch must be re-asserted or a restart
+                // would forget it was ever promoted.
+                if epoch > 0 {
+                    journal.append(META_SESSION, &SessionOp::Epoch { epoch })?;
+                }
                 for (id, op) in &kept {
                     journal.append(*id, op)?;
                 }
@@ -531,9 +629,12 @@ impl SessionStore {
             .options
             .faults
             .and_then(|f| f.sync_fault(sync_index, total));
-        let result = match injected {
-            Some(err) => Err(err),
-            None => inner.journal.as_mut().expect("journal checked").sync(),
+        let result = match (injected, inner.journal.as_mut()) {
+            (Some(err), _) => Err(err),
+            (None, Some(journal)) => journal.sync(),
+            // Unreachable (memory-only stores returned above), but a
+            // no-op beats a panic on a daemon-lifetime path.
+            (None, None) => Ok(()),
         };
         if let Err(err) = result {
             inner.sync_faults += 1;
@@ -570,6 +671,7 @@ impl SessionStore {
             sync_faults: inner.sync_faults,
             writable: inner.journal.is_none() || inner.writable,
             durable: inner.journal.is_some(),
+            epoch: inner.epoch,
         }
     }
 

@@ -194,8 +194,9 @@ fn main() {
 /// Q] [--queue-wait-ms MS] [--store PATH] [--fsync never|each|batch]
 /// [--idle-timeout MS] [--compact-every N] [--disk-fault-rate R]
 /// [--strategy S] [--fault-rate R] [--retry-budget B] [--seed S]
-/// [--examples N] [--no-semantic-cache]`: the long-lived multi-session
-/// daemon.
+/// [--examples N] [--no-semantic-cache] [--repl-listen ADDR]
+/// [--replica-of ADDR] [--repl-ack none|quorum] [--repl-ack-timeout MS]
+/// [--no-auto-promote]`: the long-lived multi-session daemon.
 ///
 /// Connections speak the length-prefixed JSON protocol
 /// (`fisql_core::serve::protocol`). Up to `--max-sessions` sessions run
@@ -212,6 +213,18 @@ fn main() {
 /// keeping only live sessions; `--disk-fault-rate R` (or the
 /// `FISQL_DISK_FAULT_RATE` env var) injects deterministic store faults —
 /// an affected session degrades to memory-only instead of dying.
+///
+/// Replication: `--repl-listen ADDR` makes this daemon a primary that
+/// ships every journal record to attached followers; `--replica-of
+/// ADDR` makes it a follower of that primary's replication listener
+/// (read-only until promoted). `--repl-ack quorum` holds each write's
+/// response until a follower confirms durability (released after
+/// `--repl-ack-timeout` with the timeout counted); the default
+/// (`none`) ships asynchronously. A follower that loses its primary
+/// self-promotes by bumping the persisted fencing epoch — pass
+/// `--no-auto-promote` to require an explicit admin `Promote` instead.
+/// A deposed primary fences itself and answers writes with a typed
+/// `Fenced` response.
 fn run_serve(args: &[String]) {
     let config = ServeConfig::from_args(args).unwrap_or_else(|e| {
         eprintln!("error: {e}");
@@ -234,6 +247,20 @@ fn run_serve(args: &[String]) {
             .as_ref()
             .map_or("none".to_string(), |p| p.display().to_string()),
     );
+    // The replication listener's resolved address on its own line, so
+    // scripts (and the CI smoke job) binding port 0 can read it back.
+    if let Some(repl_addr) = server.repl_addr() {
+        println!(
+            "  replication listening on {repl_addr} (ack {})",
+            config.repl_ack
+        );
+    }
+    if let Some(primary) = &config.replica_of {
+        println!(
+            "  replicating from {primary} (auto-promote {})",
+            if config.auto_promote { "on" } else { "off" },
+        );
+    }
     let recovered = server.recovered_sessions();
     if !recovered.is_empty() {
         println!(
@@ -266,7 +293,7 @@ fn run_serve(args: &[String]) {
             let s = &summary.store;
             println!(
                 "  survivability: {} reaped, {} degraded, store gen {} ({} op(s), {} compaction(s), \
-                 {} append fault(s), writable {}), final active {} / queued {}",
+                 {} append fault(s), writable {}, epoch {}), final active {} / queued {}",
                 a.reaped,
                 summary.sessions_degraded,
                 s.generation,
@@ -274,6 +301,7 @@ fn run_serve(args: &[String]) {
                 s.compactions,
                 s.append_faults,
                 s.writable,
+                s.epoch,
                 summary.final_active,
                 summary.final_queued,
             );
@@ -293,6 +321,12 @@ fn run_serve(args: &[String]) {
 /// sessions/s, rounds/s, latency percentiles, and the order-insensitive
 /// transcript digest (stable across runs at any concurrency).
 /// `--shutdown` sends a graceful `Shutdown` after the load completes.
+///
+/// `--addr` takes a comma-separated endpoint list (`primary,follower`):
+/// each scripted client holds the whole list and, when its endpoint
+/// dies mid-session, re-attaches by session id to the next one — riding
+/// a failover without losing its place. The report then includes the
+/// failover count, any lost rounds, and re-attach latency percentiles.
 fn run_load_cli(args: &[String]) {
     let config = LoadConfig::from_args(args).unwrap_or_else(|e| {
         eprintln!("error: {e}");
@@ -323,6 +357,15 @@ fn run_load_cli(args: &[String]) {
         report.latencies_us.len(),
     );
     println!("  transcript digest {:#018x}", report.digest);
+    if report.failovers > 0 || report.lost_rounds > 0 {
+        println!(
+            "  failover: {} re-attach(es), {} lost round(s), re-attach p50 {} us / p99 {} us",
+            report.failovers,
+            report.lost_rounds,
+            report.failover_percentile_us(50.0),
+            report.failover_percentile_us(99.0),
+        );
+    }
     if let Some(stats) = &report.stats {
         println!(
             "  daemon: {} opened / {} resumed / {} reaped / {} degraded, store gen {} \
@@ -335,6 +378,16 @@ fn run_load_cli(args: &[String]) {
             stats.store.ops,
             stats.store.compactions,
             stats.uptime_ms as f64 / 1000.0,
+        );
+        println!(
+            "  replication: role {:?}, epoch {}, lag {} record(s), {} follower(s), \
+             {} shipped, {} ack timeout(s)",
+            stats.role,
+            stats.epoch,
+            stats.replication_lag_records,
+            stats.repl_followers,
+            stats.repl_records_shipped,
+            stats.repl_ack_timeouts,
         );
     }
     if report.sessions_failed > 0 {

@@ -43,6 +43,7 @@ fn admitted(connected: Connected) -> ServeClient {
         Connected::Admitted(client) => client,
         Connected::Rejected { reason, .. } => panic!("rejected: {reason}"),
         Connected::ShuttingDown => panic!("daemon shutting down"),
+        Connected::Fenced { message, .. } => panic!("fenced: {message}"),
     }
 }
 

@@ -39,6 +39,7 @@ fn admitted(connected: Connected) -> ServeClient {
         Connected::Admitted(client) => client,
         Connected::Rejected { reason, .. } => panic!("rejected: {reason}"),
         Connected::ShuttingDown => panic!("daemon shutting down"),
+        Connected::Fenced { message, .. } => panic!("fenced: {message}"),
     }
 }
 
@@ -105,6 +106,7 @@ fn admission_rejects_beyond_cap_without_crash_or_hang() {
         }
         Connected::Admitted(_) => panic!("third session must be rejected"),
         Connected::ShuttingDown => panic!("daemon is not shutting down"),
+        Connected::Fenced { message, .. } => panic!("fenced: {message}"),
     }
 
     // Free the slots; the daemon still serves new sessions.
