@@ -380,6 +380,12 @@ pub struct FailoverClient {
     feedback_done: u64,
     /// Budget for one full re-attach (covers follower promotion).
     reattach_budget: Duration,
+    /// The next re-attach sweep should probe the *current* endpoint
+    /// first: the disconnect was a read-deadline expiry, which a
+    /// slow-but-alive node (e.g. stalled in a quorum-ack wait) also
+    /// produces — sweeping away from it immediately would turn one slow
+    /// turn into a full failover against a node that never died.
+    prefer_current_on_reattach: bool,
     /// Successful re-attachments to another endpoint.
     pub failovers: u64,
     /// Confirmed turns the promoted node had never seen (possible only
@@ -425,6 +431,7 @@ impl FailoverClient {
             questions_done: 0,
             feedback_done: 0,
             reattach_budget: budget,
+            prefer_current_on_reattach: false,
             failovers: 0,
             lost_rounds: 0,
             failover_latencies_us: Vec::new(),
@@ -472,7 +479,7 @@ impl FailoverClient {
                 }
                 Err(e) if is_failover_error(&e) && attempts < MAX_FAILOVERS => {
                     attempts += 1;
-                    self.client = None;
+                    self.mark_disconnected(&e);
                 }
                 Err(e) => return Err(e),
             }
@@ -506,7 +513,7 @@ impl FailoverClient {
                     Ok(None) => {}
                     Err(e) if is_failover_error(&e) && attempts < MAX_FAILOVERS => {
                         attempts += 1;
-                        self.client = None;
+                        self.mark_disconnected(&e);
                         continue;
                     }
                     Err(e) => return Err(e),
@@ -559,7 +566,7 @@ impl FailoverClient {
                 Ok(ServerResponse::Fenced { .. }) => self.client = None,
                 Ok(ServerResponse::Error { message }) => return Err(proto_err(message)),
                 Ok(other) => return Err(proto_err(format!("unexpected turn reply {other:?}"))),
-                Err(e) if is_failover_error(&e) => self.client = None,
+                Err(e) if is_failover_error(&e) => self.mark_disconnected(&e),
                 Err(e) => return Err(e),
             }
             attempts += 1;
@@ -572,14 +579,27 @@ impl FailoverClient {
         }
     }
 
-    /// Sweeps the *other* endpoints until one admits the resumed
-    /// session, waiting out follower promotion within the budget.
+    /// Drops the connection ahead of a re-attach sweep, remembering
+    /// whether the error was a read-deadline expiry — the one failure a
+    /// slow-but-alive node also produces, so the sweep re-probes the
+    /// same endpoint before deserting it.
+    fn mark_disconnected(&mut self, e: &io::Error) {
+        self.client = None;
+        self.prefer_current_on_reattach = is_deadline_expiry(e);
+    }
+
+    /// Sweeps the endpoints until one admits the resumed session,
+    /// waiting out follower promotion within the budget. Normally the
+    /// *other* endpoints come first (the current one is presumed dead
+    /// and tried last); after a read-deadline expiry the current
+    /// endpoint is retried first — see [`FailoverClient::mark_disconnected`].
     fn fail_over(&mut self) -> io::Result<()> {
         let started = Instant::now();
         let deadline = started + self.reattach_budget;
         self.client = None;
+        let start = usize::from(!std::mem::take(&mut self.prefer_current_on_reattach));
         loop {
-            for offset in 1..=self.endpoints.len() {
+            for offset in start..start + self.endpoints.len() {
                 let idx = (self.current + offset) % self.endpoints.len();
                 match ServeClient::connect(self.endpoints[idx].as_str(), self.session_id) {
                     Ok(Connected::Admitted(client)) => {
@@ -714,7 +734,11 @@ fn last_assistant(events: &[SessionEvent]) -> (String, String) {
 }
 
 /// Errors that mean "the node is gone or unusable", as opposed to a
-/// typed protocol error the conversation should surface.
+/// typed protocol error the conversation should surface. Deadline
+/// expiries ([`is_deadline_expiry`]) are included — a silent crash also
+/// looks like one — but they get gentler treatment: the re-attach sweep
+/// retries the same endpoint first, so a slow-but-alive node (stalled
+/// in a quorum-ack wait, say) is not abandoned over one slow turn.
 fn is_failover_error(e: &io::Error) -> bool {
     matches!(
         e.kind(),
@@ -723,7 +747,14 @@ fn is_failover_error(e: &io::Error) -> bool {
             | io::ErrorKind::ConnectionRefused
             | io::ErrorKind::BrokenPipe
             | io::ErrorKind::UnexpectedEof
-            | io::ErrorKind::TimedOut
-            | io::ErrorKind::WouldBlock
+    ) || is_deadline_expiry(e)
+}
+
+/// Errors a read deadline produces on a node that may be slow, not
+/// dead.
+fn is_deadline_expiry(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock
     )
 }

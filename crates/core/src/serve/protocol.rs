@@ -215,6 +215,16 @@ pub struct ServerStats {
     /// (quorum mode only; each one is durability the client believed in
     /// but a follower never confirmed).
     pub repl_ack_timeouts: u64,
+    /// Quorum acking is currently degraded to counted-async: zero
+    /// followers are connected and a full ack wait already expired, so
+    /// responses release immediately (each still counted in
+    /// `repl_ack_timeouts`) until a follower reconnects.
+    #[serde(default)]
+    pub repl_ack_degraded: bool,
+    /// Times the quorum gate entered degraded-async (follower-less)
+    /// operation since the daemon started.
+    #[serde(default)]
+    pub repl_ack_degraded_entries: u64,
 }
 
 /// Writes one frame.

@@ -18,12 +18,20 @@
 //! every store append lands in it (metadata records — checkpoints,
 //! epochs — never do), and its index is the shipping sequence number.
 //! It is deliberately independent of the on-disk journal: compaction
-//! rewrites the file but never renumbers the stream, so a follower can
-//! catch up across a primary compaction without resynchronization. A
-//! node boots its log from the store's surviving ops, which is what
-//! makes record counts comparable across restarts of the same lineage
-//! (a follower whose store diverged from the primary's lineage must
-//! start from an empty store instead).
+//! rewrites the file but never renumbers the *live* stream, so a
+//! follower can catch up across a primary compaction without
+//! resynchronization. A node boots its log from the store's surviving
+//! ops — which means a restart *after* a compaction renumbers the
+//! stream (the dropped ops are gone), so raw record counts are **not**
+//! trusted across reconnects. Every stream position carries a rolling
+//! **lineage hash** of the records before it; the handshake exchanges
+//! `(have, have_hash)` and the primary verifies the follower's prefix
+//! is byte-identical to its own before resuming shipping there. On any
+//! mismatch — a renumbered stream, a fenced ex-primary rejoining with
+//! divergent history, ops lost to a degraded disk — the primary answers
+//! [`ReplFrame::Resync`] instead of silently skipping records: the
+//! follower resets its store to an empty image (keeping its fencing
+//! epoch) and re-bootstraps from sequence zero.
 //!
 //! # Fencing
 //!
@@ -42,10 +50,34 @@
 //! With `--repl-ack quorum`, the serving loop release-gates every
 //! state-changing response on follower durability: the response is not
 //! written until a majority of the *connected* followers (at least one)
-//! has acknowledged the record — so a round the client saw acknowledged
-//! is never lost to a primary crash. With `--repl-ack none`, shipping is
-//! asynchronous and the tail of the stream rides at risk (the
-//! `run_failover` harness measures exactly that trade).
+//! has acknowledged the record the request itself appended — so while a
+//! follower is connected, a round the client saw acknowledged is never
+//! lost to a primary crash. With **zero** followers connected the
+//! quorum is *not* trivially satisfied: the gate blocks for one full
+//! ack timeout (giving a follower the chance to reconnect), and only
+//! then does the node enter a counted **degraded-async** state —
+//! subsequent responses are released immediately (each counted in
+//! `repl_ack_timeouts`, the entry in `repl_ack_degraded_entries`) until
+//! a follower reconnects, which re-arms the gate. Rounds released while
+//! degraded ride at the same risk as `--repl-ack none`; the counters
+//! make that window observable instead of silent. With `--repl-ack
+//! none`, shipping is asynchronous and the tail of the stream rides at
+//! risk (the `run_failover` harness measures exactly that trade).
+//!
+//! # The partition caveat
+//!
+//! Auto-promotion fires on *link loss*, which a network partition is
+//! indistinguishable from: a partitioned-but-alive primary keeps
+//! serving while the follower promotes itself, and the promoted node's
+//! fencing notice cannot cross the partition — both sides accept writes
+//! at different epochs until the partition heals and the old primary
+//! hears the higher epoch (at which point it fences and refuses further
+//! writes, but the divergence already happened). Quorum acks bound the
+//! damage — the partitioned primary stalls one ack timeout and then
+//! only releases counted degraded responses — but do not prevent it.
+//! Deployments where partitions are plausible should run
+//! `--no-auto-promote` and promote through the admin `Promote` request
+//! instead.
 
 use super::protocol::{read_frame, read_frame_deadline, write_frame};
 use super::store::{Appended, SessionOp, SessionStore};
@@ -80,6 +112,30 @@ const HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(5);
 
 /// Records shipped per batch before acks are drained again.
 const SHIP_BATCH: usize = 256;
+
+/// Seed of the rolling lineage hash (FNV-1a offset basis): the hash of
+/// the empty stream prefix.
+pub const LINEAGE_HASH_SEED: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// One FNV-1a pass over `bytes`, continuing from `hash`.
+fn fnv_mix(mut hash: u64, bytes: &[u8]) -> u64 {
+    for &byte in bytes {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    hash
+}
+
+/// Extends the rolling lineage hash by one record. Two nodes hold the
+/// same hash at position `n` iff their first `n` records are
+/// byte-identical — which is what makes a `(have, have_hash)` pair a
+/// trustworthy resume point where a raw count is not.
+fn record_hash(prev: u64, session_id: u64, op: &SessionOp) -> u64 {
+    // Infallible in practice: `SessionOp` is plain-data serde (no maps
+    // with non-string keys, no fallible Serialize impls).
+    let body = serde_json::to_vec(op).expect("a SessionOp serializes");
+    fnv_mix(fnv_mix(prev, &session_id.to_le_bytes()), &body)
+}
 
 /// Which role a serving node is currently playing.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -153,6 +209,12 @@ pub enum ReplFrame {
         epoch: u64,
         /// Records the follower already holds; shipping resumes there.
         have: u64,
+        /// The follower's rolling lineage hash at `have` (see
+        /// [`LINEAGE_HASH_SEED`]). The primary refuses to resume from a
+        /// raw count whose prefix it cannot prove byte-identical to its
+        /// own stream — a compaction-then-restart renumbers the stream,
+        /// and trusting `have` across that would silently skip records.
+        have_hash: u64,
     },
     /// Primary → follower: the stream is open.
     Welcome {
@@ -170,6 +232,16 @@ pub enum ReplFrame {
     /// The handshake was refused for a non-epoch reason (version or
     /// fingerprint mismatch).
     Refused {
+        /// Human-readable reason.
+        message: String,
+    },
+    /// Primary → follower: the follower's `(have, have_hash)` does not
+    /// name a prefix of the primary's stream — the stream was renumbered
+    /// (compaction + restart) or the stores diverged (e.g. a deposed
+    /// ex-primary rejoining). The follower must reset to an empty store
+    /// image and re-handshake from sequence zero; resuming by count
+    /// would skip records while still acknowledging them.
+    Resync {
         /// Human-readable reason.
         message: String,
     },
@@ -199,6 +271,9 @@ pub enum ReplFrame {
 struct LogInner {
     /// The logical op stream; index = shipping sequence number.
     records: Vec<(u64, SessionOp)>,
+    /// `hashes[i]` = rolling lineage hash of the prefix of length
+    /// `i + 1` (the hash of the empty prefix is [`LINEAGE_HASH_SEED`]).
+    hashes: Vec<u64>,
     /// Per-connected-follower acknowledged prefix length.
     followers: HashMap<u64, u64>,
     next_follower: u64,
@@ -207,6 +282,17 @@ struct LogInner {
     /// Test/chaos hook: while held, shippers stop sending (acks still
     /// drain), so replication lag builds deterministically.
     held: bool,
+}
+
+impl LogInner {
+    /// Appends one record, extending the lineage hash; returns the new
+    /// stream length.
+    fn push(&mut self, session_id: u64, op: SessionOp) -> u64 {
+        let prev = self.hashes.last().copied().unwrap_or(LINEAGE_HASH_SEED);
+        self.hashes.push(record_hash(prev, session_id, &op));
+        self.records.push((session_id, op));
+        self.records.len() as u64
+    }
 }
 
 /// The in-memory logical op stream and follower-acknowledgement state
@@ -226,14 +312,17 @@ impl ReplLog {
         ReplLog::default()
     }
 
-    /// A log seeded with a store's surviving ops, so record counts are
-    /// comparable across restarts of the same lineage.
+    /// A log seeded with a store's surviving ops. Counts (and lineage
+    /// hashes) stay comparable across a restart only while nothing was
+    /// compacted away; the handshake's hash check is what catches the
+    /// renumbered case.
     pub fn preloaded(records: Vec<(u64, SessionOp)>) -> ReplLog {
+        let mut inner = LogInner::default();
+        for (session_id, op) in records {
+            inner.push(session_id, op);
+        }
         ReplLog {
-            inner: Mutex::new(LogInner {
-                records,
-                ..LogInner::default()
-            }),
+            inner: Mutex::new(inner),
             ..ReplLog::default()
         }
     }
@@ -247,8 +336,7 @@ impl ReplLog {
     /// Appends one record; returns the stream length after it.
     pub fn append(&self, session_id: u64, op: SessionOp) -> u64 {
         let mut inner = self.lock();
-        inner.records.push((session_id, op));
-        let tail = inner.records.len() as u64;
+        let tail = inner.push(session_id, op);
         drop(inner);
         self.grew.notify_all();
         tail
@@ -257,6 +345,28 @@ impl ReplLog {
     /// The stream length (the next record's sequence number).
     pub fn tail(&self) -> u64 {
         self.lock().records.len() as u64
+    }
+
+    /// The rolling lineage hash of the first `n` records — `None` when
+    /// the stream is shorter than `n`, i.e. `n` is not a position this
+    /// log can vouch for.
+    pub fn prefix_hash(&self, n: u64) -> Option<u64> {
+        if n == 0 {
+            return Some(LINEAGE_HASH_SEED);
+        }
+        let inner = self.lock();
+        inner.hashes.get(n as usize - 1).copied()
+    }
+
+    /// Empties the stream (records and hashes; connected-follower state
+    /// is untouched) — the follower side of a [`ReplFrame::Resync`],
+    /// invoked through [`SessionStore::reset_for_resync`].
+    pub fn reset(&self) {
+        let mut inner = self.lock();
+        inner.records.clear();
+        inner.hashes.clear();
+        drop(inner);
+        self.grew.notify_all();
     }
 
     /// A batch of records starting at `from` (empty while shipping is
@@ -334,12 +444,13 @@ impl ReplLog {
     }
 
     /// The prefix length acknowledged by a majority of the connected
-    /// followers (`u64::MAX` with none connected: a single-node quorum
-    /// is trivially satisfied).
+    /// followers. With **none** connected nothing is durable anywhere
+    /// else, so the answer is 0 — the gate (not this function) decides
+    /// how to degrade after the ack timeout.
     fn quorum_acked(inner: &LogInner) -> u64 {
         let followers = inner.followers.len();
         if followers == 0 {
-            return u64::MAX;
+            return 0;
         }
         let mut acks: Vec<u64> = inner.followers.values().copied().collect();
         acks.sort_unstable_by(|a, b| b.cmp(a));
@@ -408,6 +519,10 @@ pub struct ReplState {
     /// being released anyway (counted in `ack_timeouts`).
     pub ack_timeout_ms: u64,
     ack_timeouts: AtomicU64,
+    /// Quorum gating is degraded to counted-async: zero followers were
+    /// connected for a full ack timeout. Cleared when one reconnects.
+    ack_degraded: AtomicBool,
+    ack_degraded_entries: AtomicU64,
 }
 
 impl ReplState {
@@ -432,6 +547,8 @@ impl ReplState {
             ack,
             ack_timeout_ms,
             ack_timeouts: AtomicU64::new(0),
+            ack_degraded: AtomicBool::new(false),
+            ack_degraded_entries: AtomicU64::new(0),
         })
     }
 
@@ -510,24 +627,64 @@ impl ReplState {
     }
 
     /// Release-gates one state-changing response on follower durability
-    /// (no-op under [`AckMode::None`]). A timeout releases the response
-    /// anyway — the client must not hang on a dead follower — and is
-    /// counted.
-    pub fn quorum_gate(&self, running: &AtomicBool) {
-        if self.ack != AckMode::Quorum {
+    /// of the records the request itself appended — `upto` is the
+    /// stream length right after that append (0 = the request appended
+    /// nothing; nothing to gate). No-op under [`AckMode::None`].
+    ///
+    /// A timeout releases the response anyway — the client must not
+    /// hang on a dead follower — and is counted. When the timeout fires
+    /// with **zero** followers connected, the node additionally enters
+    /// *degraded-async* mode: until a follower reconnects (which
+    /// re-arms the gate), subsequent responses are released immediately
+    /// but still counted in `ack_timeouts`, so the no-durability window
+    /// is observable rather than a silent trivial pass.
+    pub fn quorum_gate(&self, upto: u64, running: &AtomicBool) {
+        if self.ack != AckMode::Quorum || upto == 0 {
             return;
         }
-        let upto = self.log.tail();
+        if self.log.followers() > 0 {
+            // A follower is back: leave degraded-async mode and gate
+            // for real again.
+            self.ack_degraded.store(false, Ordering::Release);
+        } else if self.ack_degraded.load(Ordering::Acquire) {
+            // Already degraded: zero followers have cost a full ack
+            // timeout once; stalling every subsequent response would
+            // add latency without adding durability.
+            self.ack_timeouts.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
         let deadline = Instant::now() + Duration::from_millis(self.ack_timeout_ms);
         if !self.log.wait_quorum(upto, deadline, running) {
             self.ack_timeouts.fetch_add(1, Ordering::Relaxed);
+            if self.log.followers() == 0 && !self.ack_degraded.swap(true, Ordering::AcqRel) {
+                self.ack_degraded_entries.fetch_add(1, Ordering::Relaxed);
+            }
         }
     }
 
-    /// Responses released on an ack timeout instead of follower
-    /// durability.
+    /// Responses released on an ack timeout (or while degraded-async)
+    /// instead of follower durability.
     pub fn ack_timeouts(&self) -> u64 {
         self.ack_timeouts.load(Ordering::Relaxed)
+    }
+
+    /// Whether quorum gating is currently degraded to counted-async
+    /// (zero followers connected for at least one full ack timeout).
+    pub fn ack_degraded(&self) -> bool {
+        self.ack_degraded.load(Ordering::Acquire)
+    }
+
+    /// Times the node entered degraded-async gating since boot.
+    pub fn ack_degraded_entries(&self) -> u64 {
+        self.ack_degraded_entries.load(Ordering::Relaxed)
+    }
+
+    /// Resets this node's store to an empty image — the follower side
+    /// of a [`ReplFrame::Resync`]. The fencing epoch survives; every
+    /// record does not (the primary re-ships its whole image from
+    /// sequence zero).
+    pub fn resync(&self) -> io::Result<()> {
+        self.store.reset_for_resync()
     }
 }
 
@@ -579,6 +736,7 @@ fn run_shipper(mut stream: TcpStream, repl: &ReplState, running: &AtomicBool, fi
             fingerprint: fp,
             epoch,
             have,
+            have_hash,
         })) => {
             if version != REPL_PROTOCOL_VERSION {
                 let _ = write_frame(
@@ -602,17 +760,41 @@ fn run_shipper(mut stream: TcpStream, repl: &ReplState, running: &AtomicBool, fi
                 );
                 return;
             }
-            (epoch, have)
+            (epoch, have, have_hash)
         }
         _ => return,
     };
-    let (peer_epoch, have) = hello;
+    let (peer_epoch, have, have_hash) = hello;
     if peer_epoch > repl.epoch() {
         // The peer out-epochs us: we are the deposed one. Fence and say
         // so — this is the promoted follower's fencing notice landing.
         repl.fence(peer_epoch);
         let _ = write_frame(&mut stream, &ReplFrame::Fenced { epoch: peer_epoch });
         return;
+    }
+    // Lineage check: `have` is a trustworthy resume point only if the
+    // follower's first `have` records are byte-identical to ours. A
+    // compaction followed by a restart renumbers this node's stream, and
+    // a fenced ex-primary rejoins with divergent history — in both
+    // cases resuming by raw count would skip genuinely new records
+    // while the follower still acknowledged them (silent acked data
+    // loss). Refuse and demand a resync instead.
+    match repl.log.prefix_hash(have) {
+        Some(hash) if hash == have_hash => {}
+        _ => {
+            let _ = write_frame(
+                &mut stream,
+                &ReplFrame::Resync {
+                    message: format!(
+                        "stream lineage mismatch at record {have} (primary tail {}): the \
+                         op stream was renumbered or diverged; reset to an empty store \
+                         image and re-handshake from sequence zero",
+                        repl.log.tail()
+                    ),
+                },
+            );
+            return;
+        }
     }
     if write_frame(
         &mut stream,
@@ -626,8 +808,8 @@ fn run_shipper(mut stream: TcpStream, repl: &ReplState, running: &AtomicBool, fi
         return;
     }
 
-    let id = repl.log.register(have.min(repl.log.tail()));
-    let mut sent = have.min(repl.log.tail());
+    let id = repl.log.register(have);
+    let mut sent = have;
     let mut last_write = Instant::now();
     loop {
         if !running.load(Ordering::Acquire) || repl.fenced() {
@@ -705,11 +887,15 @@ fn run_shipper(mut stream: TcpStream, repl: &ReplState, running: &AtomicBool, fi
 enum FollowEnd {
     /// The daemon is stopping or the node was promoted elsewhere.
     Stopped,
-    /// The primary fenced *us*?? No — the primary acknowledged being
-    /// deposed by our higher epoch; we are the rightful primary.
+    /// The peer acknowledged being deposed by our higher epoch; we are
+    /// the rightful primary.
     PeerFenced,
     /// Version/fingerprint mismatch; retrying will not help quickly.
     Refused,
+    /// The primary cannot vouch for our `(have, have_hash)` prefix —
+    /// its stream was renumbered or our stores diverged. We must reset
+    /// to an empty image and re-handshake from sequence zero.
+    Resync,
     /// The link dropped (connect failure, EOF, or frame timeout).
     LinkLost {
         /// Whether a handshake had completed on this attempt.
@@ -743,6 +929,18 @@ pub fn run_follower(
                 // A config mismatch will not heal by tight retrying.
                 sleep_while_running(running, Duration::from_millis(500));
             }
+            FollowEnd::Resync => {
+                // Our history is not a prefix of the primary's stream:
+                // wipe to an empty image (the epoch survives) and
+                // re-bootstrap from sequence zero. `ever_connected` is
+                // deliberately reset — auto-promoting a just-wiped
+                // follower would serve an empty store.
+                ever_connected = false;
+                if repl.resync().is_err() {
+                    // The wipe needs a writable disk; back off and retry.
+                    sleep_while_running(running, Duration::from_millis(500));
+                }
+            }
             FollowEnd::LinkLost { was_connected } => {
                 ever_connected |= was_connected;
                 if ever_connected && auto_promote && repl.is_follower() {
@@ -775,13 +973,19 @@ fn follow_once(
             was_connected: false,
         };
     }
+    let have = repl.log.tail();
+    let have_hash = repl
+        .log
+        .prefix_hash(have)
+        .unwrap_or(LINEAGE_HASH_SEED);
     if write_frame(
         &mut stream,
         &ReplFrame::Hello {
             version: REPL_PROTOCOL_VERSION,
             fingerprint,
             epoch: repl.epoch(),
-            have: repl.log.tail(),
+            have,
+            have_hash,
         },
     )
     .is_err()
@@ -797,6 +1001,7 @@ fn follow_once(
         }
         Ok(Some(ReplFrame::Fenced { .. })) => return FollowEnd::PeerFenced,
         Ok(Some(ReplFrame::Refused { .. })) => return FollowEnd::Refused,
+        Ok(Some(ReplFrame::Resync { .. })) => return FollowEnd::Resync,
         _ => {
             return FollowEnd::LinkLost {
                 was_connected: false,
@@ -865,6 +1070,7 @@ fn follow_once(
                 }
             }
             Ok(Some(ReplFrame::Fenced { .. })) => return FollowEnd::PeerFenced,
+            Ok(Some(ReplFrame::Resync { .. })) => return FollowEnd::Resync,
             Ok(Some(_)) => {}
             Ok(None) => {
                 return FollowEnd::LinkLost {
@@ -909,6 +1115,7 @@ pub fn notify_deposed(addr: &str, epoch: u64, fingerprint: u64) {
             fingerprint,
             epoch,
             have: 0,
+            have_hash: LINEAGE_HASH_SEED,
         },
     );
     let deadline = Instant::now() + Duration::from_millis(500);
@@ -942,9 +1149,13 @@ mod tests {
                 fingerprint: 0xF00D,
                 epoch: 2,
                 have: 17,
+                have_hash: 0xBEEF,
             },
             ReplFrame::Welcome { epoch: 2, tail: 40 },
             ReplFrame::Fenced { epoch: 3 },
+            ReplFrame::Resync {
+                message: "lineage mismatch".to_string(),
+            },
             ReplFrame::Ship {
                 seq: 5,
                 session_id: 1,
@@ -998,12 +1209,17 @@ mod tests {
     }
 
     #[test]
-    fn quorum_wait_is_trivial_without_followers_and_gated_with_one() {
+    fn quorum_wait_blocks_without_followers_and_gates_with_one() {
         let log = ReplLog::new();
         log.append(0, SessionOp::Opened);
         let running = AtomicBool::new(true);
-        // No followers: a single-node quorum is already satisfied.
-        assert!(log.wait_quorum(1, Instant::now() + Duration::from_millis(10), &running));
+        // No followers: nothing is durable anywhere else, so the wait
+        // must NOT pass trivially — it times out (the gate's degraded
+        // accounting takes over from there).
+        assert!(
+            !log.wait_quorum(1, Instant::now() + Duration::from_millis(30), &running),
+            "zero connected followers must not satisfy a quorum"
+        );
 
         let f = log.register(0);
         assert!(
@@ -1023,12 +1239,95 @@ mod tests {
             }
             inner
         };
-        assert_eq!(ReplLog::quorum_acked(&inner_with(&[])), u64::MAX);
+        assert_eq!(ReplLog::quorum_acked(&inner_with(&[])), 0);
         assert_eq!(ReplLog::quorum_acked(&inner_with(&[3])), 3);
         // Two followers: one ack (plus the primary) is a 2/3 majority.
         assert_eq!(ReplLog::quorum_acked(&inner_with(&[5, 1])), 5);
         // Three followers: two must acknowledge (3/4 majority).
         assert_eq!(ReplLog::quorum_acked(&inner_with(&[9, 4, 1])), 4);
+    }
+
+    #[test]
+    fn prefix_hash_identifies_identical_prefixes_only() {
+        let ask = |i: u64| SessionOp::Ask {
+            example_idx: i,
+            question: format!("q{i}"),
+        };
+        let a = ReplLog::new();
+        let b = ReplLog::new();
+        assert_eq!(a.prefix_hash(0), Some(LINEAGE_HASH_SEED));
+        assert_eq!(a.prefix_hash(1), None, "no record to vouch for");
+        for log in [&a, &b] {
+            log.append(0, SessionOp::Opened);
+            log.append(0, ask(1));
+            log.append(1, SessionOp::Opened);
+        }
+        for n in 0..=3u64 {
+            assert_eq!(a.prefix_hash(n), b.prefix_hash(n), "identical streams at {n}");
+        }
+        // Diverge: same length, different content → different hashes.
+        a.append(0, ask(2));
+        b.append(0, ask(3));
+        assert_ne!(a.prefix_hash(4), b.prefix_hash(4));
+        // A renumbered (compacted + restarted) stream: the survivors of
+        // `a` reloaded from scratch share no comparable positions.
+        let survivors = vec![(1, SessionOp::Opened)];
+        let reseeded = ReplLog::preloaded(survivors);
+        assert_eq!(reseeded.tail(), 1);
+        assert_ne!(
+            reseeded.prefix_hash(1),
+            a.prefix_hash(1),
+            "a renumbered stream must not look like a prefix of the original"
+        );
+    }
+
+    #[test]
+    fn preloaded_log_matches_incrementally_built_hashes() {
+        let incremental = ReplLog::new();
+        incremental.append(3, SessionOp::Opened);
+        incremental.append(3, SessionOp::Closed);
+        let preloaded =
+            ReplLog::preloaded(vec![(3, SessionOp::Opened), (3, SessionOp::Closed)]);
+        assert_eq!(incremental.prefix_hash(2), preloaded.prefix_hash(2));
+        preloaded.reset();
+        assert_eq!(preloaded.tail(), 0);
+        assert_eq!(preloaded.prefix_hash(0), Some(LINEAGE_HASH_SEED));
+        assert_eq!(preloaded.prefix_hash(1), None);
+    }
+
+    #[test]
+    fn quorum_gate_degrades_to_counted_async_without_followers() {
+        let store = Arc::new(
+            SessionStore::open(None, super::super::store::StoreOptions::new(0)).expect("store"),
+        );
+        let repl = ReplState::new(Arc::clone(&store), false, AckMode::Quorum, 40);
+        let running = AtomicBool::new(true);
+
+        // First gated response with zero followers: stalls one full ack
+        // timeout, counts it, and enters degraded-async.
+        let upto = repl.log.append(0, SessionOp::Opened);
+        let started = Instant::now();
+        repl.quorum_gate(upto, &running);
+        assert!(started.elapsed() >= Duration::from_millis(40));
+        assert_eq!(repl.ack_timeouts(), 1);
+        assert!(repl.ack_degraded());
+        assert_eq!(repl.ack_degraded_entries(), 1);
+
+        // Degraded: subsequent releases are immediate but still counted.
+        let upto = repl.log.append(0, SessionOp::Closed);
+        let started = Instant::now();
+        repl.quorum_gate(upto, &running);
+        assert!(started.elapsed() < Duration::from_millis(40));
+        assert_eq!(repl.ack_timeouts(), 2);
+        assert_eq!(repl.ack_degraded_entries(), 1, "one entry, many releases");
+
+        // A follower reconnecting re-arms the gate; once it has
+        // acknowledged the tail the gate passes on durability again.
+        let f = repl.log.register(0);
+        repl.log.ack(f, repl.log.tail());
+        repl.quorum_gate(repl.log.tail(), &running);
+        assert!(!repl.ack_degraded(), "a connected follower re-arms gating");
+        assert_eq!(repl.ack_timeouts(), 2, "a satisfied quorum is not a timeout");
     }
 
     #[test]

@@ -367,6 +367,11 @@ struct Hosted<'a> {
     /// The session has lost its journal lane (disk fault) and now lives
     /// in memory only.
     degraded: bool,
+    /// The replication stream position of this session's latest
+    /// journaled op (0 = nothing to gate on). A quorum gate waits for
+    /// followers to hold *this* position — the session's own writes —
+    /// not whatever the global log tail happens to be under load.
+    repl_upto: u64,
 }
 
 fn handle_conn(ctx: &ConnCtx, corpus: &Corpus, mut stream: TcpStream) {
@@ -472,8 +477,8 @@ fn handle_conn(ctx: &ConnCtx, corpus: &Corpus, mut stream: TcpStream) {
     // backpressure.
     let mut hosted = match resume {
         None => {
-            let (id, durability) = match ctx.store.open_session() {
-                Ok(pair) => pair,
+            let (id, durability, repl_upto) = match ctx.store.open_session_tracked() {
+                Ok(opened) => opened,
                 Err(e) => {
                     ctx.counters.errors.fetch_add(1, Ordering::Relaxed);
                     let _ = write_frame(
@@ -501,6 +506,7 @@ fn handle_conn(ctx: &ConnCtx, corpus: &Corpus, mut stream: TcpStream) {
                 backend,
                 example: None,
                 degraded: false,
+                repl_upto,
             };
             note_append(ctx, &mut hosted, durability);
             hosted
@@ -519,8 +525,10 @@ fn handle_conn(ctx: &ConnCtx, corpus: &Corpus, mut stream: TcpStream) {
     };
     // Under quorum acks, even the Welcome (whose open was journaled)
     // waits for follower durability before the client may believe in
-    // the session. An aborted (killed) daemon writes nothing more.
-    ctx.repl.quorum_gate(&ctx.running);
+    // the session — gated on the open's own stream position, so a
+    // resume (no new append, `repl_upto` 0) passes straight through.
+    // An aborted (killed) daemon writes nothing more.
+    ctx.repl.quorum_gate(hosted.repl_upto, &ctx.running);
     if ctx.aborted.load(Ordering::Acquire) {
         return;
     }
@@ -546,7 +554,10 @@ fn handle_conn(ctx: &ConnCtx, corpus: &Corpus, mut stream: TcpStream) {
             NextFrame::Request(request) => request,
             NextFrame::Gone => return,
             NextFrame::Idle { idle_ms } => {
-                let durability = ctx.store.append(hosted.id, SessionOp::Reaped { idle_ms });
+                let (durability, upto) = ctx
+                    .store
+                    .append_tracked(hosted.id, SessionOp::Reaped { idle_ms });
+                hosted.repl_upto = hosted.repl_upto.max(upto);
                 note_append(ctx, &mut hosted, durability);
                 ctx.gate.note_reaped();
                 let _ = write_frame(&mut stream, &reaped_frame(ctx, idle_ms));
@@ -565,7 +576,7 @@ fn handle_conn(ctx: &ConnCtx, corpus: &Corpus, mut stream: TcpStream) {
         );
         let response = dispatch(ctx, corpus, &mut hosted, request);
         if gated {
-            ctx.repl.quorum_gate(&ctx.running);
+            ctx.repl.quorum_gate(hosted.repl_upto, &ctx.running);
         }
         if ctx.aborted.load(Ordering::Acquire) {
             // Killed mid-request: drop the response on the floor — the
@@ -612,6 +623,8 @@ fn server_stats(ctx: &ConnCtx) -> ServerStats {
         repl_followers: ctx.repl.log.followers() as u64,
         repl_records_shipped: ctx.repl.log.shipped(),
         repl_ack_timeouts: ctx.repl.ack_timeouts(),
+        repl_ack_degraded: ctx.repl.ack_degraded(),
+        repl_ack_degraded_entries: ctx.repl.ack_degraded_entries(),
     }
 }
 
@@ -812,13 +825,14 @@ fn dispatch<'a>(
     match request {
         ClientRequest::Ask { question } => {
             let example_idx = resolve_example(ctx, &question);
-            let durability = ctx.store.append(
+            let (durability, upto) = ctx.store.append_tracked(
                 hosted.id,
                 SessionOp::Ask {
                     example_idx: example_idx as u64,
                     question,
                 },
             );
+            hosted.repl_upto = hosted.repl_upto.max(upto);
             note_append(ctx, hosted, durability);
             let response = serve_ask(ctx, corpus, hosted, example_idx);
             if matches!(response, ServerResponse::Turn { .. }) {
@@ -835,13 +849,14 @@ fn dispatch<'a>(
                     message: "feedback before any question".to_string(),
                 };
             }
-            let durability = ctx.store.append(
+            let (durability, upto) = ctx.store.append_tracked(
                 hosted.id,
                 SessionOp::Feedback {
                     text: text.clone(),
                     highlight,
                 },
             );
+            hosted.repl_upto = hosted.repl_upto.max(upto);
             note_append(ctx, hosted, durability);
             let response = serve_feedback(ctx, hosted, &text, highlight);
             if matches!(response, ServerResponse::Turn { .. }) {
@@ -853,7 +868,8 @@ fn dispatch<'a>(
             events: hosted.session.transcript.clone(),
         },
         ClientRequest::Bye => {
-            let durability = ctx.store.append(hosted.id, SessionOp::Closed);
+            let (durability, upto) = ctx.store.append_tracked(hosted.id, SessionOp::Closed);
+            hosted.repl_upto = hosted.repl_upto.max(upto);
             note_append(ctx, hosted, durability);
             ServerResponse::Goodbye {
                 rounds: feedback_turns(&hosted.session),
@@ -965,6 +981,7 @@ fn replay_session<'a>(ctx: &ConnCtx, corpus: &'a Corpus, id: u64, ops: &[Session
         backend,
         example: None,
         degraded: false,
+        repl_upto: 0,
     };
     for op in ops {
         match op {

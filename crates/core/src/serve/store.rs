@@ -362,6 +362,14 @@ impl SessionStore {
     /// running memory-only, but new work is shed while durability is
     /// gone.
     pub fn open_session(&self) -> io::Result<(u64, Appended)> {
+        let (id, durability, _) = self.open_session_tracked()?;
+        Ok((id, durability))
+    }
+
+    /// [`SessionStore::open_session`], also reporting the replication
+    /// stream position of the `Opened` record (0 when replication is
+    /// detached) so the caller can gate on exactly its own append.
+    pub fn open_session_tracked(&self) -> io::Result<(u64, Appended, u64)> {
         let mut inner = self.lock();
         if inner.journal.is_some() && !inner.writable {
             return Err(io::Error::new(
@@ -371,14 +379,23 @@ impl SessionStore {
         }
         let id = inner.next_id;
         inner.next_id += 1;
-        let durability = self.append_locked(&mut inner, id, SessionOp::Opened);
-        Ok((id, durability))
+        let (durability, repl_upto) = self.append_locked(&mut inner, id, SessionOp::Opened);
+        Ok((id, durability, repl_upto))
     }
 
     /// Appends one op to an existing session, write-ahead. Never fails
     /// the session: a disk fault degrades the append to memory-only and
     /// reports it.
     pub fn append(&self, session_id: u64, op: SessionOp) -> Appended {
+        self.append_locked(&mut self.lock(), session_id, op).0
+    }
+
+    /// [`SessionStore::append`], also reporting the replication stream
+    /// position this op landed at (0 when nothing was mirrored — meta
+    /// ops, or no log attached). The position is what a quorum gate
+    /// waits on: a session is gated on its own writes, not on whatever
+    /// unrelated sessions appended since.
+    pub fn append_tracked(&self, session_id: u64, op: SessionOp) -> (Appended, u64) {
         self.append_locked(&mut self.lock(), session_id, op)
     }
 
@@ -392,7 +409,7 @@ impl SessionStore {
         if session_id != META_SESSION {
             inner.next_id = inner.next_id.max(session_id + 1);
         }
-        self.append_locked(&mut inner, session_id, op)
+        self.append_locked(&mut inner, session_id, op).0
     }
 
     /// Attaches the replication log every subsequent non-meta append is
@@ -439,7 +456,12 @@ impl SessionStore {
         Ok(())
     }
 
-    fn append_locked(&self, inner: &mut Inner, session_id: u64, op: SessionOp) -> Appended {
+    fn append_locked(
+        &self,
+        inner: &mut Inner,
+        session_id: u64,
+        op: SessionOp,
+    ) -> (Appended, u64) {
         let op_index = {
             let slot = inner.op_counts.entry(session_id).or_insert(0);
             let index = *slot;
@@ -480,9 +502,10 @@ impl SessionStore {
         // replays reconnects from memory even while the disk is gone.
         // A degraded (memory-only) op still enters the replication log —
         // a follower with a healthy disk is exactly how it survives.
+        let mut repl_upto = 0;
         if let Some(repl) = &inner.repl {
             if session_id != META_SESSION {
-                repl.append(session_id, op.clone());
+                repl_upto = repl.append(session_id, op.clone());
             }
         }
         inner.ops.push((session_id, op));
@@ -497,7 +520,7 @@ impl SessionStore {
                 let _ = self.compact_locked(inner);
             }
         }
-        durability
+        (durability, repl_upto)
     }
 
     /// Rewrites the journal keeping only unclosed sessions' ops, bumps
@@ -591,6 +614,63 @@ impl SessionStore {
             ops_after,
             sessions_dropped,
         })
+    }
+
+    /// Empties the store back to a blank image so a follower can
+    /// re-bootstrap from a primary whose stream lineage no longer
+    /// matches (see `serve::replicate`). The journal is atomically
+    /// rewritten to just the fencing epoch — the one fact that must
+    /// survive a resync, or a wiped ex-primary could forget it was
+    /// deposed — and the attached replication log is cleared so the
+    /// next handshake offers `have = 0`. Fault counters and the
+    /// fault-schedule keys (`total_ops`, `sync_count`) stay monotonic.
+    pub fn reset_for_resync(&self) -> io::Result<()> {
+        let mut inner = self.lock();
+        if let Some(path) = inner.path.clone() {
+            if !inner.writable {
+                return Err(io::Error::new(
+                    io::ErrorKind::StorageFull,
+                    "session store is unwritable (disk full); cannot resync",
+                ));
+            }
+            let tmp = PathBuf::from(format!("{}.resync", path.display()));
+            let epoch = inner.epoch;
+            let rewrite = (|| -> io::Result<RunJournal> {
+                let mut journal = RunJournal::create(
+                    &tmp,
+                    self.options.fingerprint,
+                    SESSION_STORE_MARKER,
+                    self.options.fsync,
+                )?;
+                if epoch > 0 {
+                    journal.append(META_SESSION, &SessionOp::Epoch { epoch })?;
+                }
+                journal.sync()?;
+                Ok(journal)
+            })();
+            match rewrite {
+                Ok(journal) => {
+                    std::fs::rename(&tmp, &path)?;
+                    inner.journal = Some(journal);
+                }
+                Err(err) => {
+                    std::fs::remove_file(&tmp).ok();
+                    if err.kind() == io::ErrorKind::StorageFull {
+                        inner.writable = false;
+                    }
+                    return Err(err);
+                }
+            }
+        }
+        inner.ops.clear();
+        inner.op_counts.clear();
+        inner.next_id = 0;
+        inner.generation = 0;
+        inner.closed_since_compact = 0;
+        if let Some(repl) = &inner.repl {
+            repl.reset();
+        }
+        Ok(())
     }
 
     /// The ops of one session, in order (empty = unknown session).
@@ -780,6 +860,46 @@ mod tests {
         // Ids never collide with recovered sessions.
         assert_eq!(store.open_session().unwrap().0, 2);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn reset_for_resync_blanks_the_image_but_keeps_the_epoch() {
+        let path = tmp("resync");
+        std::fs::remove_file(&path).ok();
+        {
+            let store =
+                SessionStore::open(Some(&path), opts(0xF00D, FsyncPolicy::EachRecord)).unwrap();
+            let (id, _) = store.open_session().unwrap();
+            store.append(id, ask(1));
+            store.set_epoch(3).unwrap();
+            store.reset_for_resync().unwrap();
+            assert_eq!(store.len(), 0, "the image is blank");
+            assert!(store.session_ids().is_empty());
+            assert_eq!(store.epoch(), 3, "the fence survives the wipe");
+            // Ids restart from 0 — the resynced stream renumbers them.
+            assert_eq!(store.open_session().unwrap().0, 0);
+        }
+        // The journal rewrite is what a restart replays: blank ops, the
+        // epoch re-asserted.
+        let store = SessionStore::open(Some(&path), opts(0xF00D, FsyncPolicy::Never)).unwrap();
+        assert_eq!(store.session_ids(), vec![0], "only the post-resync open");
+        assert_eq!(store.epoch(), 3);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn tracked_appends_report_the_replication_position() {
+        let store = SessionStore::open(None, opts(0, FsyncPolicy::Never)).unwrap();
+        // Replication detached: nothing to gate on.
+        let (id, _, upto) = store.open_session_tracked().unwrap();
+        assert_eq!(upto, 0);
+        let log = std::sync::Arc::new(crate::serve::replicate::ReplLog::new());
+        store.attach_repl(std::sync::Arc::clone(&log));
+        let (_, upto) = store.append_tracked(id, ask(0));
+        assert_eq!(upto, 1, "first mirrored record");
+        let (_, upto) = store.append_tracked(id, SessionOp::Closed);
+        assert_eq!(upto, 2);
+        assert_eq!(log.tail(), 2);
     }
 
     #[test]

@@ -260,6 +260,13 @@ fn run_serve(args: &[String]) {
             "  replicating from {primary} (auto-promote {})",
             if config.auto_promote { "on" } else { "off" },
         );
+        if config.auto_promote {
+            println!(
+                "  note: auto-promote cannot distinguish a dead primary from a network \
+                 partition; where partitions are plausible, prefer --no-auto-promote \
+                 and an explicit admin Promote"
+            );
+        }
     }
     let recovered = server.recovered_sessions();
     if !recovered.is_empty() {
@@ -381,13 +388,15 @@ fn run_load_cli(args: &[String]) {
         );
         println!(
             "  replication: role {:?}, epoch {}, lag {} record(s), {} follower(s), \
-             {} shipped, {} ack timeout(s)",
+             {} shipped, {} ack timeout(s), ack degraded {} ({} entry(ies))",
             stats.role,
             stats.epoch,
             stats.replication_lag_records,
             stats.repl_followers,
             stats.repl_records_shipped,
             stats.repl_ack_timeouts,
+            if stats.repl_ack_degraded { "yes" } else { "no" },
+            stats.repl_ack_degraded_entries,
         );
     }
     if report.sessions_failed > 0 {

@@ -326,6 +326,108 @@ fn follower_store_tracks_the_primary_byte_identically() {
 }
 
 // ---------------------------------------------------------------------
+// Resync: a compacted-and-restarted primary renumbers its stream; the
+// follower must detect the lineage break and re-bootstrap, not silently
+// ack records it never applied.
+// ---------------------------------------------------------------------
+
+#[test]
+fn follower_resyncs_after_primary_compaction_and_restart() {
+    let base = test_config();
+    let (primary, follower, p_store, f_store) = boot_pair(&base, "resync", false);
+    let corpus = fisql_spider::build_aep(&fisql_spider::AepConfig {
+        n_examples: base.n_examples,
+        seed: base.seed,
+    });
+
+    // Three full conversations, all closed — compaction will drop every
+    // one of them and renumber the stream from scratch.
+    for i in 0..3 {
+        let mut client = admitted(
+            ServeClient::connect_retry(primary.addr.as_str(), None, Duration::from_secs(10))
+                .expect("connect"),
+        );
+        client.ask(&corpus.examples[i].question).expect("ask");
+        client.feedback("we are in 2024", None).expect("feedback");
+        client.bye().expect("bye");
+    }
+    wait_for("replication to drain", Duration::from_secs(10), || {
+        let p = request_stats(primary.addr.as_str());
+        let f = request_stats(follower.addr.as_str());
+        match (p, f) {
+            (Ok(p), Ok(f)) => p.replication_lag_records == 0 && p.store.ops == f.store.ops,
+            _ => false,
+        }
+    });
+    let full_ops = request_stats(follower.addr.as_str())
+        .expect("follower stats")
+        .store
+        .ops;
+    assert!(full_ops > 0);
+    stop(follower);
+    stop(primary);
+
+    // Offline compaction: every session is closed, so the rewritten
+    // journal keeps nothing — the reborn primary's replication log is a
+    // renumbered stream the follower's full copy no longer prefixes.
+    {
+        let store = SessionStore::open(
+            Some(&p_store),
+            StoreOptions::new(base.fingerprint()).fsync(fisql_core::FsyncPolicy::EachRecord),
+        )
+        .expect("reopen primary store");
+        let outcome = store.compact().expect("compact");
+        assert!(outcome.ops_after < outcome.ops_before, "{outcome:?}");
+    }
+
+    let primary = boot(base.clone().store(&p_store).repl_listen("127.0.0.1:0"));
+    let repl = primary.repl_addr.expect("repl listener bound");
+    let follower = boot(
+        base.clone()
+            .store(&f_store)
+            .replica_of(repl.to_string())
+            .auto_promote(false),
+    );
+    wait_for("follower to re-attach", Duration::from_secs(10), || {
+        primary.handle.repl().log.followers() > 0
+    });
+
+    // One fresh conversation proves the resynced link ships again.
+    let mut client = admitted(
+        ServeClient::connect_retry(primary.addr.as_str(), None, Duration::from_secs(10))
+            .expect("connect"),
+    );
+    client.ask(&corpus.examples[3].question).expect("ask");
+    client.feedback("we are in 2024", None).expect("feedback");
+    client.bye().expect("bye");
+
+    // The follower must converge on exactly the primary's image: the
+    // stale full stream wiped, only post-compaction records applied. A
+    // count-based resume would instead leave it with its old ops (plus
+    // anything re-shipped on top) while still acking.
+    wait_for("post-resync convergence", Duration::from_secs(10), || {
+        let p = request_stats(primary.addr.as_str());
+        let f = request_stats(follower.addr.as_str());
+        match (p, f) {
+            (Ok(p), Ok(f)) => p.replication_lag_records == 0 && p.store.ops == f.store.ops,
+            _ => false,
+        }
+    });
+    let f_stats = request_stats(follower.addr.as_str()).expect("follower stats");
+    assert!(
+        f_stats.store.ops < full_ops,
+        "the follower must have dropped its stale pre-compaction stream \
+         ({} ops, was {full_ops})",
+        f_stats.store.ops,
+    );
+
+    stop(follower);
+    stop(primary);
+    std::fs::remove_file(&p_store).ok();
+    std::fs::remove_file(&f_store).ok();
+}
+
+// ---------------------------------------------------------------------
 // Epoch records in the store.
 // ---------------------------------------------------------------------
 
